@@ -1,0 +1,24 @@
+"""Bench A1 — design ablation: subset-sum variance across sampling designs.
+
+Context for the paper's core trade-off (§2.2): the adaptive bottom-k
+threshold achieves near-VarOpt / near-CPS variance at fixed size with a
+trivially simple sketch, while Poisson pays for its random size and CPS
+pays O(nk) computation.
+"""
+
+from repro.experiments import ablation_samplers
+
+
+def test_sampler_ablation(benchmark, report):
+    result = benchmark.pedantic(
+        ablation_samplers.run, kwargs={"seed": 0}, rounds=1, iterations=1
+    )
+    report(
+        "ablation_samplers",
+        f"{result.table()}\n\n(truth = {result.truth:.2f}, "
+        f"{result.n_trials} trials)",
+    )
+    by_name = {row.design: row for row in result.rows}
+    for row in result.rows:
+        assert abs(row.relative_bias) < 0.1, row
+    assert by_name["varopt"].variance <= by_name["poisson"].variance

@@ -1,0 +1,49 @@
+"""Bench T5/T6 — Sections 4–6: the asymptotic theory, measured.
+
+* T5: the no-oversampling variance-target heuristic converges to the exact
+  stopping rule as data grows (threshold gap shrinks, estimator RMSE ratio
+  near 1).
+* T6: Lemma 13 — exponential priorities are asymptotically equivalent to
+  uniform ones: the coupled inclusion-disagreement probability is o(t).
+"""
+
+import numpy as np
+
+from repro.asymptotics.equivalence import inclusion_disagreement
+from repro.core.priorities import ExponentialPriority
+from repro.experiments import section6_heuristic
+from repro.experiments.common import format_table
+
+
+def test_heuristic_threshold_consistency(benchmark, report):
+    result = benchmark.pedantic(
+        section6_heuristic.run, kwargs={"seed": 0}, rounds=1, iterations=1
+    )
+    report("section6_heuristic", result.table())
+    assert result.threshold_gap[-1] < result.threshold_gap[0]
+    assert np.all(result.heuristic_rmse_ratio < 2.5)
+
+
+def test_priority_equivalence_lemma13(benchmark, report):
+    fam = ExponentialPriority()
+    weights = np.array([0.5, 1.0, 2.0, 4.0])
+    thresholds = (0.2, 0.05, 0.0125, 0.003125)
+
+    def sweep():
+        rows = []
+        for t in thresholds:
+            p = inclusion_disagreement(
+                fam, weights, t, n_trials=300_000, rng=np.random.default_rng(7)
+            )
+            rows.append((t, p, p / t))
+        return rows
+
+    rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    table = format_table(["threshold t", "P(disagree)", "ratio P/t"], rows)
+    report(
+        "lemma13_equivalence",
+        table + "\n\npaper target: P(disagree) = o(t) — the ratio column "
+        "must fall toward 0",
+    )
+    ratios = [r[2] for r in rows]
+    assert ratios[-1] < 0.25 * ratios[0]

@@ -1,0 +1,20 @@
+"""Bench T4 — §2.5–2.6: unbiasedness under adaptive thresholds, measured.
+
+Paper target: under the substitutable bottom-k threshold, the plain HT
+total, the HT variance estimator, and the Kendall-tau pseudo-HT estimator
+are unbiased (|z| small over many Monte-Carlo draws); the §2.3 exclude-group
+rule — substitutable but violating positivity — shows the predicted bias.
+"""
+
+from repro.experiments import estimator_bias
+
+
+def test_estimator_bias(benchmark, report):
+    result = benchmark.pedantic(
+        estimator_bias.run, kwargs={"seed": 0}, rounds=1, iterations=1
+    )
+    report("estimator_bias", result.table())
+    for row in result.rows[:3]:
+        assert abs(row.z_score) < 5.0, row
+    control = result.rows[-1]
+    assert control.relative_bias < -0.2

@@ -1,0 +1,28 @@
+"""Bench F1 — Figure 1: sliding-window thresholds at a steady arrival rate.
+
+Paper target: per-item adaptive thresholds track the ideal marginal
+probability ``k/(rate * window)`` while the G&L final threshold sits near
+half of it; the improved final threshold recovers the ideal.
+"""
+
+from repro.experiments import figure1
+
+
+def test_figure1_thresholds(benchmark, report):
+    result = benchmark.pedantic(
+        figure1.run,
+        kwargs={"rate": 400.0, "k": 50, "t_end": 6.0, "seed": 0},
+        rounds=1,
+        iterations=1,
+    )
+    summary = (
+        f"{result.table()}\n\n"
+        f"ideal threshold k/(rate*window) = {result.ideal_threshold:.4f}\n"
+        f"steady improved/GL threshold ratio = {result.steady_ratio:.2f} "
+        f"(paper: ~2x)\n"
+        f"steady improved/GL sample ratio    = "
+        f"{result.steady_sample_ratio:.2f} (paper: ~2x)"
+    )
+    report("figure1_sliding_thresholds", summary)
+    assert result.steady_ratio > 1.4
+    assert result.steady_sample_ratio > 1.3

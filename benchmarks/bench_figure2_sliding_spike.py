@@ -1,0 +1,27 @@
+"""Bench F2 — Figure 2: sliding-window behaviour under an arrival spike.
+
+Paper target: the improved sampler keeps ~2x the usable sample at steady
+state, its threshold dominates G&L's pointwise, and it recovers from the
+spike no slower (typically faster) than G&L.
+"""
+
+from repro.experiments import figure2
+
+
+def test_figure2_spike(benchmark, report):
+    result = benchmark.pedantic(
+        figure2.run, kwargs={"seed": 0}, rounds=1, iterations=1
+    )
+    summary = (
+        f"{result.table()}\n\n"
+        f"steady improved/GL sample ratio = {result.steady_sample_ratio:.2f} "
+        f"(paper: ~2x)\n"
+        f"threshold dominance (improved >= GL) = "
+        f"{100 * result.threshold_dominance:.0f}% of grid points\n"
+        f"recovery after spike: improved {result.improved_recovery:.2f}s, "
+        f"G&L {result.gl_recovery:.2f}s"
+    )
+    report("figure2_sliding_spike", summary)
+    assert result.threshold_dominance == 1.0
+    assert result.steady_sample_ratio > 1.3
+    assert result.improved_recovery <= result.gl_recovery + 1.2 * result.window

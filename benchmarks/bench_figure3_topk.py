@@ -1,0 +1,25 @@
+"""Bench F3 — Figure 3: adaptive top-k sampler vs FrequentItems.
+
+Paper target: sampler error stays low across the Pitman–Yor tail parameter
+while FrequentItems degrades as beta -> 1; the sampler's size adapts
+(small for separated heads, large for heavy tails) while FrequentItems is
+fixed at 0.75x its table size.
+"""
+
+from repro.experiments import figure3
+
+
+def test_figure3_topk(benchmark, report):
+    result = benchmark.pedantic(figure3.run, kwargs={"seed": 0}, rounds=1, iterations=1)
+    summary = (
+        f"{result.table()}\n\n"
+        f"(k={result.k}, stream={result.stream_length}, "
+        f"{result.n_trials} trials per beta)\n"
+        "paper shape: sampler errors low/flat, FrequentItems errors grow "
+        "with beta;\nsampler size adapts, FrequentItems size fixed"
+    )
+    report("figure3_topk", summary)
+    # Heavy-tail regime: the sampler must beat or match FrequentItems.
+    assert result.sampler_errors[-1] <= result.freqitems_errors[-1] + 0.5
+    # Size adaptivity across the beta sweep.
+    assert result.sampler_sizes[-1] > 1.5 * result.sampler_sizes[0]

@@ -1,0 +1,27 @@
+"""Bench F4 — Figure 4: distinct-count union error vs Jaccard similarity.
+
+Paper target (|A| = 10^6, |B| = 2|A|, k = 100): the adaptive-threshold
+(LCS) merge achieves ~7.5-8% relative error where bottom-k and Theta
+unions sit at ~9.5-10%, across the plotted Jaccard range.  Default scale is
+|A| = 2*10^4; REPRO_SCALE=50 restores the paper's sizes.
+"""
+
+import numpy as np
+
+from repro.experiments import figure4
+
+
+def test_figure4_union_error(benchmark, report):
+    result = benchmark.pedantic(figure4.run, kwargs={"seed": 0}, rounds=1, iterations=1)
+    mean_gain = float(np.mean(result.theta_error / result.lcs_error))
+    summary = (
+        f"{result.table()}\n\n"
+        f"(|A|={result.size_a}, |B|={result.size_b}, k={result.k}, "
+        f"{result.n_trials} trials)\n"
+        f"mean theta/LCS error ratio = {mean_gain:.2f} "
+        "(paper: ~1.25-1.35x at k=100)"
+    )
+    report("figure4_distinct_union", summary)
+    assert np.all(result.lcs_error <= result.theta_error + 0.5)
+    assert np.all(result.lcs_error <= result.bottomk_error + 0.5)
+    assert result.lcs_error[0] < result.theta_error[0]

@@ -1,0 +1,19 @@
+"""Bench T2 — §3.5: chained merges with one dominating set.
+
+Paper target: with one big set and many tiny ones, the Theta union's error
+scales with the total cardinality while the per-item-threshold merge's
+error scales with the big set only — an improvement on the order of
+``total / big`` (100x in the paper's constants).
+"""
+
+from repro.experiments import section35_merge
+
+
+def test_merge_dominance(benchmark, report):
+    result = benchmark.pedantic(
+        section35_merge.run, kwargs={"seed": 0}, rounds=1, iterations=1
+    )
+    report("section35_merge_dominance", result.table())
+    expected_order = result.total / result.big_size
+    assert result.improvement > 5.0
+    assert result.improvement > 0.2 * expected_order

@@ -1,0 +1,18 @@
+"""Bench T7 — §3.6: frequent-group distinct counting footprint.
+
+Paper target: m dedicated sketches + one shared pool keep the footprint
+near ``m * k`` entries however many tiny groups exist, where per-group
+sketches grow linearly — at unchanged heavy-group accuracy.
+"""
+
+from repro.experiments import section36_grouped
+
+
+def test_grouped_distinct_footprint(benchmark, report):
+    result = benchmark.pedantic(
+        section36_grouped.run, kwargs={"seed": 0}, rounds=1, iterations=1
+    )
+    report("section36_grouped", result.table())
+    assert result.memory_ratio > 2.0
+    assert result.heavy_rel_rmse < 0.35
+    assert abs(result.tiny_total_bias) < 0.5

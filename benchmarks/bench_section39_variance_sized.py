@@ -1,0 +1,21 @@
+"""Bench T3 — §3.9: variance-sized samples hit their variance target.
+
+Paper target: ``E Vhat(S_T) = delta^2`` exactly (continuity of the
+estimated variance in the threshold), realized MSE tracking the target,
+and sample sizes that shrink as the tolerated error grows.
+"""
+
+import numpy as np
+
+from repro.experiments import section39_variance
+
+
+def test_variance_target(benchmark, report):
+    result = benchmark.pedantic(
+        section39_variance.run, kwargs={"seed": 0}, rounds=1, iterations=1
+    )
+    report("section39_variance_sized", result.table())
+    np.testing.assert_allclose(result.vhat_mean, result.deltas**2, rtol=1e-6)
+    ratios = result.mse / result.deltas**2
+    assert np.all(ratios > 0.5) and np.all(ratios < 2.0)
+    assert np.all(np.diff(result.sample_sizes) < 0)

@@ -1,0 +1,35 @@
+"""Benchmark-harness helpers.
+
+Each bench regenerates one of the paper's figures/claims (see the
+experiment index in DESIGN.md §3): it runs the corresponding
+``repro.experiments`` module once under pytest-benchmark timing, prints the
+series/table the paper reports (visible through output capture thanks to
+``report``), and archives it under ``benchmarks/results/`` so EXPERIMENTS.md
+can cite the measured numbers.
+
+Scale note: figures run at the CI scale by default; set ``REPRO_SCALE`` to
+approach the paper's constants (e.g. ``REPRO_SCALE=50`` restores Figure 4's
+|A| = 10^6).
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+import pytest
+
+RESULTS_DIR = pathlib.Path(__file__).resolve().parent / "results"
+
+
+@pytest.fixture
+def report(capsys):
+    """Print a bench's table through pytest's capture and archive it."""
+
+    def _report(name: str, text: str) -> None:
+        RESULTS_DIR.mkdir(exist_ok=True)
+        (RESULTS_DIR / f"{name}.txt").write_text(text + "\n")
+        with capsys.disabled():
+            print(f"\n=== {name} ===")
+            print(text)
+
+    return _report

@@ -1,0 +1,51 @@
+"""Approximate query processing with early stopping (Section 3.10).
+
+A dashboard issues aggregate queries with a user-chosen accuracy knob.
+Rows are stored sorted by sampling priority, so every prefix is a valid
+threshold sample; the engine reads rows until the estimated standard error
+reaches the target and stops.  Tight targets read more rows — the accuracy
+/ latency trade-off is set per query, not at ingest time.
+
+Run:  python examples/aqp_dashboard.py
+"""
+
+import numpy as np
+
+from repro import PriorityLayoutTable
+
+
+def main() -> None:
+    rng = np.random.default_rng(11)
+    n_rows = 200_000
+
+    # An orders table: region code and order value.
+    region = rng.integers(0, 4, n_rows)
+    value = rng.lognormal(mean=4.0, sigma=1.0, size=n_rows)
+    table = PriorityLayoutTable(value, salt=5)
+    truth = float(value.sum())
+
+    print(f"orders table: {n_rows} rows, true total {truth:,.0f}\n")
+    print(f"{'target':>10} {'rows read':>10} {'% read':>7} {'estimate':>14} {'err %':>7}")
+    for pct in (10.0, 3.0, 1.0, 0.3):
+        target = pct / 100.0 * truth
+        res = table.query_total(target)
+        print(
+            f"{pct:9.1f}% {res.rows_read:10d} {100 * res.fraction_read:6.2f}% "
+            f"{res.estimate:14,.0f} {100 * (res.estimate / truth - 1):+7.2f}%"
+        )
+
+    # Subset query: only region 2, same layout, same guarantees.
+    mask = region == 2
+    sub_truth = float(value[mask].sum())
+    res = table.query_total(0.02 * sub_truth, mask=mask)
+    print(
+        f"\nregion-2 total: truth {sub_truth:,.0f}, "
+        f"estimate {res.estimate:,.0f} "
+        f"({100 * (res.estimate / sub_truth - 1):+.2f}%) "
+        f"after reading {res.rows_read} rows "
+        f"({100 * res.fraction_read:.2f}% of the table)"
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,61 @@
+"""Distributed distinct counting with per-item-threshold merges (Section 3.5).
+
+Ten shards each sketch their local user sets; the coordinator merges the
+sketches to estimate global distinct users.  The paper's adaptive-threshold
+merge keeps *every* retained hash usable via per-item thresholds (the LCS
+generalization), while the classic Theta union throws information away by
+cutting to the global minimum theta.  With one big shard and many small
+ones, the gap is dramatic — only the big shard contributes error to ours.
+
+Run:  python examples/distinct_count_union.py
+"""
+
+from functools import reduce
+
+import numpy as np
+
+from repro import AdaptiveDistinctSketch, ThetaSketch
+from repro.workloads import many_small_sets
+
+
+def main() -> None:
+    k = 256
+    salt = 42
+    big, smalls = many_small_sets(big_size=200_000, n_small=400, small_size=120)
+    total = big.size + sum(s.size for s in smalls)
+    print(f"shards  : 1 x {big.size} users + {len(smalls)} x {smalls[0].size}")
+    print(f"total   : {total} distinct users; sketch size k={k}\n")
+
+    # Build one sketch per shard (identical hashing: coordinated).
+    def adaptive(keys):
+        sk = AdaptiveDistinctSketch(k, salt=salt)
+        sk.extend(keys.tolist())
+        return sk
+
+    def theta(keys):
+        sk = ThetaSketch(k, salt=salt)
+        sk.extend(keys.tolist())
+        return sk
+
+    adaptive_merged = reduce(
+        lambda acc, keys: acc.merge_in_place(adaptive(keys)), smalls, adaptive(big)
+    )
+    theta_merged = reduce(
+        lambda acc, keys: acc.union(theta(keys)), smalls, theta(big)
+    )
+
+    est_a = adaptive_merged.estimate_distinct()
+    est_t = theta_merged.estimate()
+    print(f"adaptive merge : {est_a:12.0f}  "
+          f"({100 * (est_a / total - 1):+.2f}% error, "
+          f"{len(adaptive_merged)} usable entries)")
+    print(f"theta union    : {est_t:12.0f}  "
+          f"({100 * (est_t / total - 1):+.2f}% error, "
+          f"{len(theta_merged)} usable entries)")
+    print("\nsmall shards fit entirely in their sketches (threshold 1), so")
+    print("the adaptive merge counts them exactly; only the big shard's")
+    print("sketch contributes sampling error (Section 3.5's ~total/big gain).")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,50 @@
+"""Sliding-window monitoring with the improved G&L sampler (Section 3.2).
+
+Simulates a service emitting events whose arrival rate spikes (an incident),
+maintains a bounded-memory uniform sample of the last window, and compares
+the paper's improved final threshold against the original Gemulla–Lehner
+rule: same sketch, same memory, ~2x the usable sample, faster recovery.
+
+Run:  python examples/sliding_window_monitoring.py
+"""
+
+import numpy as np
+
+from repro import SlidingWindowSampler
+from repro.workloads import inhomogeneous_arrivals, spike_rate
+
+
+def main() -> None:
+    rng = np.random.default_rng(1)
+    window = 1.0  # seconds
+    k = 100  # memory budget (current candidates)
+
+    rate = spike_rate(base=800.0, spike=4000.0, spike_start=3.0, spike_end=3.5)
+    arrivals = inhomogeneous_arrivals(rate, 4000.0, 0.0, 8.0, rng)
+    print(f"events generated : {arrivals.size} over 8s (spike at t=3.0-3.5)")
+
+    sampler = SlidingWindowSampler(k=k, window=window, rng=rng)
+    cursor = 0
+    print(f"\n{'time':>5} {'rate':>6} {'G&L n':>6} {'ours n':>7} {'ratio':>6}")
+    for now in np.arange(1.0, 8.0 + 1e-9, 0.5):
+        while cursor < arrivals.size and arrivals[cursor] <= now:
+            sampler.update(float(arrivals[cursor]), key=cursor)
+            cursor += 1
+        snap = sampler.snapshot(float(now))
+        ratio = snap.improved_sample_size / max(snap.gl_sample_size, 1)
+        print(
+            f"{now:5.1f} {float(rate(np.array(now))):6.0f} "
+            f"{snap.gl_sample_size:6d} {snap.improved_sample_size:7d} "
+            f"{ratio:6.2f}"
+        )
+
+    # The sample is uniform over the window, so window aggregates are easy:
+    est = sampler.estimate_window_count(8.0)
+    truth = int(np.sum(arrivals > 7.0))
+    print(f"\nevents in last window : truth {truth}, HT estimate {est:.0f}")
+    print(f"peak memory           : {sampler.max_current} current + "
+          f"{sampler.max_expired} expired candidates")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,14 @@
+"""Setuptools shim.
+
+The canonical metadata lives in ``pyproject.toml``.  This file exists so the
+package can be installed in environments whose setuptools predates built-in
+PEP 660 editable support (no ``wheel`` package available offline):
+
+    python setup.py develop
+
+is equivalent to ``pip install -e .`` there.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,129 @@
+"""Adaptive threshold sampling - a full reproduction of Ting (SIGMOD 2022).
+
+The package mirrors the paper's structure:
+
+* :mod:`repro.core` - the adaptive threshold framework (Section 2):
+  priorities, threshold rules, recalibration/substitutability, HT and
+  pseudo-HT estimators.
+* :mod:`repro.samplers` - the application samplers (Section 3): bottom-k,
+  memory budgets, sliding windows, adaptive top-k, distinct counting and
+  merges, stratified/multi-objective/variance-sized samples, AQP, time
+  decay, plus VarOpt and exact CPS comparators.
+* :mod:`repro.baselines` - FrequentItems, Space-Saving, Theta, KMV.
+* :mod:`repro.workloads` - the synthetic workloads of the evaluation.
+* :mod:`repro.asymptotics` - numerical reproductions of Sections 4-6.
+* :mod:`repro.experiments` - one module per figure / quantified claim.
+
+Quickstart::
+
+    from repro import BottomKSampler
+    sampler = BottomKSampler(k=100)
+    for key, weight in my_stream:
+        sampler.update(key, weight)
+    sample = sampler.sample()
+    print(sample.ht_total(), sample.ht_confidence_interval())
+"""
+
+from .baselines import (
+    FrequentItemsSketch,
+    KMVSketch,
+    SpaceSavingSketch,
+    ThetaSketch,
+    UnbiasedSpaceSavingSketch,
+)
+from .core import (
+    BottomK,
+    BudgetPrefix,
+    ExponentialPriority,
+    FixedThreshold,
+    InverseWeightPriority,
+    MaxComposition,
+    MinComposition,
+    RngFactory,
+    Sample,
+    SequentialBottomK,
+    StratifiedBottomK,
+    ThresholdRule,
+    Uniform01Priority,
+    VarianceTargetRule,
+    hash_to_unit,
+    ht_total,
+    ht_variance_estimate,
+    is_substitutable,
+    kendall_tau_estimate,
+    recalibrate,
+    substitutability_order,
+)
+from .samplers import (
+    AdaptiveDistinctSketch,
+    AdaptiveTopKSampler,
+    BottomKSampler,
+    BudgetSampler,
+    ConditionalPoissonSampler,
+    ExponentialDecaySampler,
+    GroupedDistinctSketch,
+    MultiObjectiveLayout,
+    MultiObjectiveSampler,
+    MultiStratifiedSampler,
+    PoissonSampler,
+    PriorityLayoutTable,
+    SlidingWindowSampler,
+    VarianceTargetSampler,
+    VarOptSampler,
+    WeightedDistinctSketch,
+    lcs_union,
+    solve_stopping_threshold,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "__version__",
+    # core
+    "ThresholdRule",
+    "FixedThreshold",
+    "BottomK",
+    "BudgetPrefix",
+    "StratifiedBottomK",
+    "SequentialBottomK",
+    "VarianceTargetRule",
+    "MinComposition",
+    "MaxComposition",
+    "Uniform01Priority",
+    "InverseWeightPriority",
+    "ExponentialPriority",
+    "Sample",
+    "RngFactory",
+    "hash_to_unit",
+    "ht_total",
+    "ht_variance_estimate",
+    "kendall_tau_estimate",
+    "recalibrate",
+    "is_substitutable",
+    "substitutability_order",
+    # samplers
+    "PoissonSampler",
+    "BottomKSampler",
+    "BudgetSampler",
+    "SlidingWindowSampler",
+    "AdaptiveTopKSampler",
+    "WeightedDistinctSketch",
+    "AdaptiveDistinctSketch",
+    "lcs_union",
+    "GroupedDistinctSketch",
+    "MultiStratifiedSampler",
+    "MultiObjectiveSampler",
+    "VarianceTargetSampler",
+    "solve_stopping_threshold",
+    "PriorityLayoutTable",
+    "MultiObjectiveLayout",
+    "ExponentialDecaySampler",
+    "VarOptSampler",
+    "ConditionalPoissonSampler",
+    # baselines
+    "FrequentItemsSketch",
+    "SpaceSavingSketch",
+    "UnbiasedSpaceSavingSketch",
+    "ThetaSketch",
+    "KMVSketch",
+]

@@ -1,0 +1,52 @@
+"""Numerical reproductions of the paper's asymptotic theory (Sections 4–6).
+
+The theorems are about weak convergence; what can be *run* are their
+finite-sample fingerprints:
+
+* :mod:`repro.asymptotics.mestimators` — HT-weighted M-estimators whose
+  consistency under adaptive thresholds Theorem 10 guarantees.
+* :mod:`repro.asymptotics.equivalence` — Lemma 13's priority-distribution
+  equivalence, measured as a vanishing inclusion-disagreement rate.
+* :mod:`repro.asymptotics.empirical_process` — Donsker diagnostics: the
+  rescaled objective's mean/covariance/normality against the GP limit.
+* :mod:`repro.asymptotics.heuristics` — Section 6's no-oversampling
+  variance-target rule compared with the exact stopping rule.
+"""
+
+from .empirical_process import (
+    analytic_covariance,
+    gaussianity_diagnostics,
+    simulate_process,
+)
+from .equivalence import (
+    inclusion_disagreement,
+    linearization_weights,
+    uniformizing_transform,
+)
+from .heuristics import (
+    HeuristicComparison,
+    deterministic_threshold,
+    heuristic_vs_exact,
+)
+from .mestimators import (
+    mestimate_from_sample,
+    weighted_least_squares,
+    weighted_mean,
+    weighted_quantile,
+)
+
+__all__ = [
+    "weighted_mean",
+    "weighted_quantile",
+    "weighted_least_squares",
+    "mestimate_from_sample",
+    "linearization_weights",
+    "uniformizing_transform",
+    "inclusion_disagreement",
+    "simulate_process",
+    "analytic_covariance",
+    "gaussianity_diagnostics",
+    "HeuristicComparison",
+    "heuristic_vs_exact",
+    "deterministic_threshold",
+]

@@ -1,0 +1,93 @@
+"""Asymptotic equivalence of priority distributions (Thm 12, Lemma 13).
+
+Section 4's second headline result: in the sub-linear sampling regime every
+priority distribution whose conditional CDF has a linear expansion at zero,
+``F(r | x) = w_x r + o(r)``, samples asymptotically like the plain
+``Uniform(0, 1/w_x)`` priority-sampling family.  Lemma 13 is constructive:
+a monotone transform ``rho`` converts priorities whose CDF-ratio has a
+limit at zero into uniform-equivalent ones.
+
+This module provides:
+
+* :func:`linearization_weights` — extract the ``w_x`` slope of a family's
+  CDF at zero (numerically, for arbitrary families);
+* :func:`uniformizing_transform` — Lemma 13's ``rho`` built from a
+  reference CDF, as a :class:`~repro.core.priorities.TransformedPriority`;
+* :func:`inclusion_disagreement` — the probability that the transformed
+  and the uniform priorities disagree on inclusion at threshold ``t``
+  (the quantity Lemma 13 bounds by ``o(t)``), estimated by Monte Carlo.
+
+The bench ``bench_asymptotics.py`` sweeps thresholds downward and shows the
+disagreement vanishing at rate ``o(t)`` for exponential priorities.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..core.priorities import PriorityFamily, TransformedPriority
+from ..core.rng import as_generator
+
+__all__ = [
+    "linearization_weights",
+    "uniformizing_transform",
+    "inclusion_disagreement",
+]
+
+
+def linearization_weights(
+    family: PriorityFamily, weights, r0: float = 1e-8
+) -> np.ndarray:
+    """Numeric slope ``w_x = F'(0 | x)`` of the priority CDF at zero."""
+    weights = np.asarray(weights, dtype=float)
+    return np.asarray(family.cdf(r0, weights), dtype=float) / r0
+
+
+def uniformizing_transform(
+    family: PriorityFamily, reference_weight: float = 1.0
+) -> TransformedPriority:
+    """Lemma 13's monotone rescaling ``rho = F(. | reference) ``.
+
+    Applying the reference item's CDF to every priority maps the reference
+    item's priorities to exact Uniform(0, 1); items whose CDF-ratio to the
+    reference converges at zero become *asymptotically* uniform with weight
+    ``w_x / w_ref``, which is the lemma's statement.
+    """
+
+    def rho(r):
+        return np.asarray(family.cdf(r, reference_weight), dtype=float)
+
+    def rho_inv(u):
+        return np.asarray(family.inverse_cdf(u, reference_weight), dtype=float)
+
+    return TransformedPriority(family, rho, rho_inv)
+
+
+def inclusion_disagreement(
+    family: PriorityFamily,
+    weights,
+    threshold: float,
+    n_trials: int = 100_000,
+    rng=None,
+) -> float:
+    """Monte-Carlo ``P(1(rho(R) < t) != 1(R_dot < t))`` of Lemma 13.
+
+    ``R`` comes from ``family`` (transformed through the uniformizing
+    ``rho``); ``R_dot ~ Uniform(0, 1/w_x)`` is the idealized priority,
+    coupled through the same underlying uniform as in the lemma's proof.
+    Lemma 13 asserts this probability is ``o(threshold)``.
+    """
+    rng = as_generator(rng)
+    weights = np.asarray(weights, dtype=float)
+    transform = uniformizing_transform(family)
+    w_lin = linearization_weights(family, weights)
+    w_ref = float(linearization_weights(family, 1.0))
+
+    idx = rng.integers(0, weights.size, size=int(n_trials))
+    w = weights[idx]
+    u = rng.random(int(n_trials))
+    transformed = np.asarray(transform.inverse_cdf(u, w), dtype=float)
+    # Coupled uniform-family priority with the lemma's weights.
+    uniform_equiv = u / (w_lin[idx] / w_ref)
+    disagree = (transformed < threshold) != (uniform_equiv < threshold)
+    return float(np.mean(disagree))

@@ -1,0 +1,24 @@
+"""Baselines the paper compares against, re-implemented from scratch.
+
+* :class:`FrequentItemsSketch` — Apache DataSketches' Misra–Gries variant
+  (Figure 3's comparator).
+* :class:`SpaceSavingSketch` / :class:`UnbiasedSpaceSavingSketch` —
+  Metwally et al. and Ting (2018) frequent-item sketches.
+* :class:`ThetaSketch` — min-theta union distinct counting (Figure 4).
+* :class:`KMVSketch` — the basic bottom-k distinct counter (Figure 4).
+"""
+
+from .frequent_items import FrequentItemsSketch
+from .kmv import KMVSketch, kmv_union
+from .space_saving import SpaceSavingSketch, UnbiasedSpaceSavingSketch
+from .theta import ThetaSketch, theta_union
+
+__all__ = [
+    "FrequentItemsSketch",
+    "SpaceSavingSketch",
+    "UnbiasedSpaceSavingSketch",
+    "ThetaSketch",
+    "theta_union",
+    "KMVSketch",
+    "kmv_union",
+]

@@ -1,0 +1,99 @@
+"""FrequentItems sketch — the Apache DataSketches baseline of Figure 3.
+
+A Misra–Gries variant with lazy median purges (Anderson et al., IMC 2017,
+cited as [1]): counts live in a hash map of capacity ``max_map_size``; when
+the load factor passes 0.75 the sketch subtracts the median count from
+every entry, drops non-positive entries, and remembers the cumulative
+subtraction as the global error offset.  Estimates are ``count + offset``
+(upper bound); the guarantee is ``offset <= n / (0.75 * max_map_size)``.
+
+The paper reports the sketch "size" as 0.75x the allocated hash table
+(:attr:`FrequentItemsSketch.nominal_size`), and queries the top-k by
+estimate — both conventions are reproduced here and used by
+``repro.experiments.figure3``.
+"""
+
+from __future__ import annotations
+
+import statistics
+from typing import Iterable
+
+__all__ = ["FrequentItemsSketch"]
+
+
+class FrequentItemsSketch:
+    """Misra–Gries sketch with DataSketches-style median purges.
+
+    Parameters
+    ----------
+    max_map_size:
+        Allocated hash-map capacity; the sketch purges when the number of
+        tracked keys would exceed ``0.75 * max_map_size``.
+    """
+
+    LOAD_FACTOR = 0.75
+
+    def __init__(self, max_map_size: int):
+        if max_map_size < 2:
+            raise ValueError("max_map_size must be at least 2")
+        self.max_map_size = int(max_map_size)
+        self.counts: dict[object, int] = {}
+        self.offset = 0  # cumulative purge subtraction (max undercount)
+        self.items_seen = 0
+
+    @property
+    def nominal_size(self) -> int:
+        """The size the paper reports: 0.75x the allocated table."""
+        return int(self.LOAD_FACTOR * self.max_map_size)
+
+    def update(self, key: object, count: int = 1) -> None:
+        """Add ``count`` occurrences of ``key``."""
+        if count <= 0:
+            raise ValueError("count must be positive")
+        self.items_seen += count
+        if key in self.counts:
+            self.counts[key] += count
+            return
+        if len(self.counts) >= self.nominal_size:
+            self._purge()
+        # After a purge the new key may still not fit only if every count
+        # was identical; subtracting the median removes at least half the
+        # entries otherwise.  Insert unconditionally, matching DataSketches.
+        self.counts[key] = count
+
+    def extend(self, keys: Iterable[object]) -> None:
+        """Bulk :meth:`update`."""
+        for key in keys:
+            self.update(key)
+
+    def _purge(self) -> None:
+        """Subtract the median count, drop non-positive entries."""
+        median = int(statistics.median(self.counts.values()))
+        median = max(median, 1)
+        self.offset += median
+        self.counts = {
+            key: c - median for key, c in self.counts.items() if c - median > 0
+        }
+
+    def __len__(self) -> int:
+        return len(self.counts)
+
+    def estimate(self, key: object) -> int:
+        """Upper-bound estimate ``count + offset`` (0 for untracked keys)."""
+        if key not in self.counts:
+            return 0
+        return self.counts[key] + self.offset
+
+    def lower_bound(self, key: object) -> int:
+        """Guaranteed lower bound on the true count."""
+        return self.counts.get(key, 0)
+
+    def top(self, j: int) -> list[tuple[object, int]]:
+        """The ``j`` keys with the largest estimates."""
+        ranked = sorted(self.counts.items(), key=lambda kv: kv[1], reverse=True)
+        return [(key, c + self.offset) for key, c in ranked[:j]]
+
+    @property
+    def maximum_error(self) -> int:
+        """Current worst-case undercount for any tracked key."""
+        return self.offset

@@ -1,0 +1,117 @@
+"""KMV (k minimum values) distinct counter — the "bottom-k sketch" of Fig 4.
+
+Keeps the ``k`` smallest coordinated hashes; the classic unbiased estimator
+is ``(k - 1) / h_(k)`` where ``h_(k)`` is the k-th smallest hash (Giroire;
+Beyer et al., cited as [15], [3]).  Unions merge the retained hash sets and
+re-sketch to the k smallest — the "basic bottom-k" union whose error Figure
+4 compares against Theta and the paper's per-item-threshold merge.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Iterable
+
+from ..core.hashing import hash_to_unit
+
+__all__ = ["KMVSketch", "kmv_union"]
+
+
+class KMVSketch:
+    """k-minimum-values sketch over coordinated Uniform(0, 1) hashes."""
+
+    def __init__(self, k: int, salt: int = 0):
+        if k < 2:
+            raise ValueError("k must be at least 2")
+        self.k = int(k)
+        self.salt = int(salt)
+        self._heap: list[float] = []  # max-heap (negated) of the k smallest
+        self._hashes: set[float] = set()
+        self._exact = 0  # distinct count while underfull
+
+    def update(self, key: object) -> None:
+        """Offer a key; duplicates are idempotent (same hash)."""
+        h = hash_to_unit(key, self.salt)
+        self._offer(h)
+
+    def _offer(self, h: float) -> None:
+        if h in self._hashes:
+            return
+        if len(self._heap) < self.k:
+            heapq.heappush(self._heap, -h)
+            self._hashes.add(h)
+            self._exact += 1
+            return
+        worst = -self._heap[0]
+        if h >= worst:
+            self._exact = self.k + 1  # saturated: no longer exact
+            return
+        heapq.heapreplace(self._heap, -h)
+        self._hashes.discard(worst)
+        self._hashes.add(h)
+        self._exact = self.k + 1
+
+    def extend(self, keys: Iterable[object]) -> None:
+        """Bulk :meth:`update`."""
+        for key in keys:
+            self.update(key)
+
+    @property
+    def is_exact(self) -> bool:
+        """True while fewer than k distinct keys have been offered."""
+        return self._exact <= self.k
+
+    @property
+    def kth_minimum(self) -> float:
+        if len(self._heap) < self.k:
+            return 1.0
+        return -self._heap[0]
+
+    def __len__(self) -> int:
+        return len(self._hashes)
+
+    def estimate(self) -> float:
+        """``(k - 1) / h_(k)``, or the exact count while underfull."""
+        if self.is_exact:
+            return float(len(self._hashes))
+        return (self.k - 1) / self.kth_minimum
+
+    @classmethod
+    def from_hashes(cls, hashes, k: int, salt: int = 0) -> "KMVSketch":
+        """Build a sketch from precomputed distinct hash values (vectorized)."""
+        import numpy as np
+
+        hashes = np.asarray(hashes, dtype=float)
+        out = cls(k, salt=salt)
+        keep = min(k + 1, hashes.size)
+        if keep:
+            smallest = np.partition(hashes, keep - 1)[:keep]
+            for h in np.sort(smallest):
+                out._offer(float(h))
+        if hashes.size > k:
+            out._exact = out.k + 1
+        return out
+
+    def union(self, other: "KMVSketch") -> "KMVSketch":
+        """Re-sketch the merged hash sets down to the k smallest."""
+        if other.salt != self.salt:
+            raise ValueError("cannot union sketches with different salts")
+        out = KMVSketch(max(self.k, other.k), salt=self.salt)
+        merged = self._hashes | other._hashes
+        saturated = not (self.is_exact and other.is_exact)
+        for h in merged:
+            out._offer(h)
+        if saturated:
+            out._exact = out.k + 1
+        return out
+
+
+def kmv_union(sketches: Iterable[KMVSketch]) -> KMVSketch:
+    """Union an iterable of KMV sketches left to right."""
+    sketches = list(sketches)
+    if not sketches:
+        raise ValueError("need at least one sketch")
+    out = sketches[0]
+    for sk in sketches[1:]:
+        out = out.union(sk)
+    return out

@@ -1,0 +1,169 @@
+"""Space-Saving and Unbiased Space-Saving baselines.
+
+* :class:`SpaceSavingSketch` — Metwally et al.'s deterministic frequent-item
+  sketch (cited as [22]): fixed capacity ``m``; a new key evicts the
+  minimum-count entry and inherits ``min_count + 1`` with error bound
+  ``min_count``.
+* :class:`UnbiasedSpaceSavingSketch` — Ting (2018), cited as [30]: identical
+  except the *label* of the minimum counter is handed to the new key only
+  with probability ``1 / (min_count + 1)``.  This makes every counter an
+  unbiased estimate of its labelled key's count, enabling the disaggregated
+  subset sums that the paper's adaptive top-k sampler (Section 3.3)
+  generalizes with thresholds.
+
+Both serve as context baselines for Figure 3 and as comparison points in
+the top-k tests.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Callable, Iterable
+
+from ..core.rng import as_generator
+
+__all__ = ["SpaceSavingSketch", "UnbiasedSpaceSavingSketch"]
+
+
+class _CounterStore:
+    """Capacity-bounded counter map with O(log m) min-counter access."""
+
+    def __init__(self, capacity: int):
+        if capacity < 1:
+            raise ValueError("capacity must be positive")
+        self.capacity = int(capacity)
+        self.counts: dict[object, int] = {}
+        self.errors: dict[object, int] = {}
+        self._heap: list[tuple[int, int, object]] = []  # (count, tiebreak, key)
+        self._tick = 0
+
+    def _push(self, key: object) -> None:
+        self._tick += 1
+        heapq.heappush(self._heap, (self.counts[key], self._tick, key))
+
+    def increment(self, key: object, by: int = 1) -> None:
+        self.counts[key] += by
+        self._push(key)  # lazy: stale heap entries are skipped on pop
+
+    def insert(self, key: object, count: int, error: int) -> None:
+        self.counts[key] = count
+        self.errors[key] = error
+        self._push(key)
+
+    def pop_min(self) -> tuple[object, int]:
+        """Remove and return the (key, count) with the smallest count."""
+        while self._heap:
+            count, _, key = heapq.heappop(self._heap)
+            if self.counts.get(key) == count:
+                del self.counts[key]
+                self.errors.pop(key, None)
+                return key, count
+        raise KeyError("store is empty")
+
+    def __len__(self) -> int:
+        return len(self.counts)
+
+
+class SpaceSavingSketch:
+    """Deterministic Space-Saving: guaranteed error <= n / m."""
+
+    def __init__(self, capacity: int):
+        self.capacity = int(capacity)
+        self._store = _CounterStore(capacity)
+        self.items_seen = 0
+
+    def update(self, key: object) -> None:
+        """Count one occurrence, evicting the min counter when full."""
+        self.items_seen += 1
+        store = self._store
+        if key in store.counts:
+            store.increment(key)
+            return
+        if len(store) < self.capacity:
+            store.insert(key, 1, 0)
+            return
+        _, min_count = store.pop_min()
+        store.insert(key, min_count + 1, min_count)
+
+    def extend(self, keys: Iterable[object]) -> None:
+        """Bulk :meth:`update`."""
+        for key in keys:
+            self.update(key)
+
+    def __len__(self) -> int:
+        return len(self._store)
+
+    def estimate(self, key: object) -> int:
+        """Upper-bound count estimate (0 for untracked keys)."""
+        return self._store.counts.get(key, 0)
+
+    def guaranteed(self, key: object) -> int:
+        """Lower bound: estimate minus the inherited error."""
+        if key not in self._store.counts:
+            return 0
+        return self._store.counts[key] - self._store.errors.get(key, 0)
+
+    def top(self, j: int) -> list[tuple[object, int]]:
+        """The ``j`` keys with the largest counters."""
+        ranked = sorted(
+            self._store.counts.items(), key=lambda kv: kv[1], reverse=True
+        )
+        return ranked[:j]
+
+
+class UnbiasedSpaceSavingSketch:
+    """Unbiased Space-Saving (Ting 2018): probabilistic label handover.
+
+    On an untracked key the minimum counter is incremented and relabelled
+    to the new key with probability ``1 / new_count`` — making each counter
+    value an unbiased estimator of its label's true count and supporting
+    unbiased subset sums over label predicates.
+    """
+
+    def __init__(self, capacity: int, rng=None):
+        self.capacity = int(capacity)
+        self._store = _CounterStore(capacity)
+        self.rng = as_generator(rng if rng is not None else 0)
+        self.items_seen = 0
+
+    def update(self, key: object) -> None:
+        """Count one occurrence with probabilistic label handover."""
+        self.items_seen += 1
+        store = self._store
+        if key in store.counts:
+            store.increment(key)
+            return
+        if len(store) < self.capacity:
+            store.insert(key, 1, 0)
+            return
+        min_key, min_count = store.pop_min()
+        new_count = min_count + 1
+        if self.rng.random() < 1.0 / new_count:
+            store.insert(key, new_count, min_count)
+        else:
+            store.insert(min_key, new_count, min_count)
+
+    def extend(self, keys: Iterable[object]) -> None:
+        """Bulk :meth:`update`."""
+        for key in keys:
+            self.update(key)
+
+    def __len__(self) -> int:
+        return len(self._store)
+
+    def estimate(self, key: object) -> int:
+        """Unbiased count estimate of ``key`` (0 when untracked)."""
+        return self._store.counts.get(key, 0)
+
+    def estimate_subset_sum(self, predicate: Callable[[object], bool]) -> float:
+        """Unbiased estimate of total occurrences of keys in a subset."""
+        return float(
+            sum(c for key, c in self._store.counts.items() if predicate(key))
+        )
+
+    def top(self, j: int) -> list[tuple[object, int]]:
+        """The ``j`` keys with the largest counters."""
+        ranked = sorted(
+            self._store.counts.items(), key=lambda kv: kv[1], reverse=True
+        )
+        return ranked[:j]

@@ -1,0 +1,91 @@
+"""Building and composing thresholds (Section 2.8, Theorem 9).
+
+Theorem 9 gives closure properties for threshold rules:
+
+* the per-item **max** of 1-substitutable rules is 1-substitutable
+  (used by multi-stratified sampling, Section 3.7, and sketch merges,
+  Section 3.5);
+* the per-item **min** of substitutable (or d-substitutable) rules is again
+  substitutable (d-substitutable) — used by the improved sliding-window
+  threshold of Section 3.2 and by Theta-style unions.
+
+These compositions are themselves :class:`~repro.core.thresholds.ThresholdRule`
+instances, so the recalibration/substitutability machinery applies to them
+unchanged and the test-suite can verify Theorem 9 empirically.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from .thresholds import ThresholdRule
+
+__all__ = ["MinComposition", "MaxComposition", "ClampedRule"]
+
+
+class _Composition(ThresholdRule):
+    """Shared machinery for per-item min/max of component rules."""
+
+    def __init__(self, rules: Sequence[ThresholdRule]):
+        if not rules:
+            raise ValueError("composition requires at least one rule")
+        self.rules = list(rules)
+        self.monotone = all(rule.monotone for rule in self.rules)
+
+    def _stacked(self, priorities: np.ndarray) -> np.ndarray:
+        priorities = np.asarray(priorities, dtype=float)
+        return np.stack([rule.thresholds(priorities) for rule in self.rules])
+
+
+class MinComposition(_Composition):
+    """Per-item minimum of component thresholds.
+
+    By Theorem 9, preserves full and d-substitutability: recalibrating an
+    item that is sampled under the min is recalibrating an item sampled
+    under *every* component, so no component threshold moves.
+    """
+
+    def thresholds(self, priorities: np.ndarray) -> np.ndarray:
+        return self._stacked(priorities).min(axis=0)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"MinComposition({self.rules!r})"
+
+
+class MaxComposition(_Composition):
+    """Per-item maximum of component thresholds.
+
+    By Theorem 9, preserves 1-substitutability — enough for unbiased HT
+    subset sums.  Reproduction note: Section 3.7 further claims the max of
+    per-stratum bottom-k rules is *fully* substitutable via Theorem 6, but
+    the exhaustive checker finds order-1 realizations (flooring an item
+    lying above another stratum's threshold moves that stratum's order
+    statistic, violating the singleton condition at other coordinates), so
+    this library only relies on 1-substitutability for max compositions.
+    """
+
+    def thresholds(self, priorities: np.ndarray) -> np.ndarray:
+        return self._stacked(priorities).max(axis=0)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"MaxComposition({self.rules!r})"
+
+
+class ClampedRule(ThresholdRule):
+    """Clamp a rule's thresholds into ``[lo, hi]``.
+
+    Clamping by constants is composition with fixed-threshold rules, so it
+    inherits their closure properties; it is used e.g. to cap budget rules
+    at the priority-support ceiling.
+    """
+
+    def __init__(self, rule: ThresholdRule, lo: float = -np.inf, hi: float = np.inf):
+        self.rule = rule
+        self.lo = float(lo)
+        self.hi = float(hi)
+        self.monotone = rule.monotone
+
+    def thresholds(self, priorities: np.ndarray) -> np.ndarray:
+        return np.clip(self.rule.thresholds(priorities), self.lo, self.hi)

@@ -1,0 +1,61 @@
+"""Pathological threshold rules used as counterexamples.
+
+Section 2.3 motivates the theory with a rule that silently excludes a whole
+subpopulation: ``T_i := min{R_j : gender_j = Female}``.  Every female
+priority is at least the minimum female priority, so no female is ever
+sampled, and no estimator applied to the sample can recover the female
+total — the positivity condition ``F_i(T_i) > 0`` of Corollary 3 fails.
+
+These rules exist so the tests can demonstrate *why* the framework's
+conditions matter: the checkers accept the good rules and the estimators go
+wrong on these, in exactly the way the paper describes.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .thresholds import ThresholdRule
+
+__all__ = ["ExcludeGroupRule", "MeanThresholdRule"]
+
+
+class ExcludeGroupRule(ThresholdRule):
+    """The paper's "exclude all females" rule.
+
+    Every item's threshold is the minimum priority within the excluded
+    group, so members of that group are never sampled (their priorities are
+    >= the threshold by construction).  The rule is monotone, and even
+    passes the substitutability check on realized samples — the failure is
+    the positivity condition, not substitutability, which is precisely the
+    distinction the tests exercise.
+    """
+
+    def __init__(self, groups, excluded):
+        self.groups = np.asarray(groups)
+        self.excluded = excluded
+
+    def thresholds(self, priorities: np.ndarray) -> np.ndarray:
+        priorities = np.asarray(priorities, dtype=float)
+        mask = self.groups == self.excluded
+        if not np.any(mask):
+            return np.full(priorities.size, np.inf)
+        t = priorities[mask].min()
+        return np.full(priorities.size, t)
+
+
+class MeanThresholdRule(ThresholdRule):
+    """A genuinely non-substitutable rule: ``T_i = mean(R)`` for every item.
+
+    Sampled items sit below the average priority, so flooring any sampled
+    priority drags the average — and hence every threshold — down.  Not
+    even 1-substitutable, and the naive "treat T as fixed" HT estimator is
+    biased (for two uniform priorities the expected estimate of a unit total
+    is 2·ln 2 ≈ 1.386).  The estimator tests reproduce that bias number.
+    """
+
+    def thresholds(self, priorities: np.ndarray) -> np.ndarray:
+        priorities = np.asarray(priorities, dtype=float)
+        if priorities.size == 0:
+            return np.empty(0)
+        return np.full(priorities.size, float(priorities.mean()))

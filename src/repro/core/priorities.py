@@ -1,0 +1,216 @@
+"""Priority distributions and the priority–threshold duality.
+
+Every adaptive threshold sampler pairs each item ``i`` with an independent
+random *priority* ``R_i`` whose CDF ``F_i`` may depend on the item (typically
+through a weight ``w_i``).  The item is sampled iff ``R_i < T_i`` for a
+threshold ``T_i``, and its *pseudo-inclusion probability* is ``F_i(T_i)``
+(Section 2.1 of the paper).
+
+This module implements the priority families the paper uses:
+
+* :class:`Uniform01Priority` — ``R ~ Uniform(0, 1)``, the distinct-counting /
+  unweighted case (Theta sketches, KMV, sliding windows).
+* :class:`InverseWeightPriority` — ``R = U / w``, *priority sampling*
+  (Duffield–Lund–Thorup).  ``F(r) = min(1, w r)``.
+* :class:`ExponentialPriority` — ``R ~ Exponential(rate=w)``, the PPSWOR /
+  bottom-k weighted sampling family (Rosén).  ``F(r) = 1 − exp(−w r)``.
+* :class:`TransformedPriority` — a monotone reparameterization of another
+  family; the constructive device behind Lemma 13's asymptotic-equivalence
+  result.
+
+Section 2.9 (priority–threshold duality) says inclusion ``R_i < T_i`` with
+``R_i = F_i^{-1}(U_i)`` is the same event as ``U_i < F_i(T_i)``; the
+:func:`to_uniform` / :func:`from_uniform` helpers implement both directions
+so samplers can either move thresholds or move priorities.
+"""
+
+from __future__ import annotations
+
+import abc
+import math
+from typing import Callable
+
+import numpy as np
+
+__all__ = [
+    "PriorityFamily",
+    "Uniform01Priority",
+    "Uniform01",
+    "InverseWeightPriority",
+    "PrioritySamplingPriority",
+    "ExponentialPriority",
+    "TransformedPriority",
+    "to_uniform",
+    "from_uniform",
+]
+
+
+class PriorityFamily(abc.ABC):
+    """A per-item priority distribution ``F(. | weight)``.
+
+    All methods are vectorized: ``r``/``u`` and ``weight`` broadcast against
+    each other following numpy rules.  Scalars in, scalars out.
+    """
+
+    #: Infimum of the support; recalibration of non-decreasing rules sets
+    #: priorities of sampled items to this value (Section 2.5).
+    support_floor: float = 0.0
+
+    @abc.abstractmethod
+    def cdf(self, r, weight=1.0):
+        """Return ``F(r | weight)``, the pseudo-inclusion prob of threshold r."""
+
+    @abc.abstractmethod
+    def inverse_cdf(self, u, weight=1.0):
+        """Return ``F^{-1}(u | weight)``; maps uniforms to priorities."""
+
+    def draw(self, rng: np.random.Generator, weight=1.0, size=None):
+        """Draw priorities for items with the given weights.
+
+        When ``size`` is None the shape follows ``weight``'s shape.
+        """
+        weight = np.asarray(weight, dtype=float)
+        if size is None:
+            size = weight.shape if weight.shape else None
+        u = rng.random(size)
+        return self.inverse_cdf(u, weight)
+
+    def pseudo_inclusion(self, threshold, weight=1.0):
+        """``F(threshold | weight)`` clipped into [0, 1].
+
+        ``threshold = +inf`` yields probability 1 (everything sampled), which
+        is how rules signal "no constraint binds yet".
+        """
+        t = np.asarray(threshold, dtype=float)
+        p = np.where(np.isposinf(t), 1.0, self.cdf(np.where(np.isposinf(t), 0.0, t), weight))
+        p = np.clip(p, 0.0, 1.0)
+        if np.isscalar(threshold) and p.ndim == 0:
+            return float(p)
+        return p
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"{type(self).__name__}()"
+
+
+class Uniform01Priority(PriorityFamily):
+    """``R ~ Uniform(0, 1)`` regardless of weight.
+
+    This is the family behind distinct counting: coordinated hashes of item
+    keys are Uniform(0, 1) priorities, so a threshold ``T`` samples each
+    distinct key with probability ``T``.
+    """
+
+    def cdf(self, r, weight=1.0):
+        r = np.asarray(r, dtype=float)
+        out = np.clip(r, 0.0, 1.0)
+        return float(out) if out.ndim == 0 else out
+
+    def inverse_cdf(self, u, weight=1.0):
+        u = np.asarray(u, dtype=float)
+        return float(u) if u.ndim == 0 else u
+
+
+class InverseWeightPriority(PriorityFamily):
+    """Priority sampling priorities ``R = U / w`` with ``U ~ Uniform(0, 1)``.
+
+    ``F(r | w) = min(1, w r)``: an item of weight ``w`` facing threshold
+    ``T`` is included with probability ``min(1, w T)``, so the HT estimate of
+    its weight is ``max(w, 1/T)`` — exactly the Duffield–Lund–Thorup priority
+    sampling estimator (Section 2.5.1).
+    """
+
+    def cdf(self, r, weight=1.0):
+        r = np.asarray(r, dtype=float)
+        w = np.asarray(weight, dtype=float)
+        out = np.clip(w * r, 0.0, 1.0)
+        return float(out) if out.ndim == 0 else out
+
+    def inverse_cdf(self, u, weight=1.0):
+        u = np.asarray(u, dtype=float)
+        w = np.asarray(weight, dtype=float)
+        out = u / w
+        return float(out) if out.ndim == 0 else out
+
+
+class ExponentialPriority(PriorityFamily):
+    """PPSWOR priorities ``R ~ Exponential(rate=w)``.
+
+    Bottom-k over exponential priorities draws a probability-proportional-
+    to-size sample *without replacement* (successive-sampling / Rosén).
+    ``F(r | w) = 1 − exp(−w r)``.
+    """
+
+    def cdf(self, r, weight=1.0):
+        r = np.asarray(r, dtype=float)
+        w = np.asarray(weight, dtype=float)
+        out = -np.expm1(-w * np.maximum(r, 0.0))
+        return float(out) if out.ndim == 0 else out
+
+    def inverse_cdf(self, u, weight=1.0):
+        u = np.asarray(u, dtype=float)
+        w = np.asarray(weight, dtype=float)
+        out = -np.log1p(-u) / w
+        return float(out) if out.ndim == 0 else out
+
+
+class TransformedPriority(PriorityFamily):
+    """Monotone reparameterization ``R' = rho(R)`` of a base family.
+
+    If ``rho`` is strictly increasing then thresholding ``R'`` at ``rho(t)``
+    is the same event as thresholding ``R`` at ``t``; Lemma 13 uses such a
+    transform to turn any family with a regular CDF near zero into the
+    uniform family.  ``rho_inverse`` must invert ``rho`` on the support.
+    """
+
+    def __init__(
+        self,
+        base: PriorityFamily,
+        rho: Callable[[np.ndarray], np.ndarray],
+        rho_inverse: Callable[[np.ndarray], np.ndarray],
+        support_floor: float | None = None,
+    ):
+        self.base = base
+        self.rho = rho
+        self.rho_inverse = rho_inverse
+        if support_floor is None:
+            support_floor = float(rho(np.asarray(base.support_floor, dtype=float)))
+        self.support_floor = support_floor
+
+    def cdf(self, r, weight=1.0):
+        return self.base.cdf(self.rho_inverse(np.asarray(r, dtype=float)), weight)
+
+    def inverse_cdf(self, u, weight=1.0):
+        return self.rho(np.asarray(self.base.inverse_cdf(u, weight), dtype=float))
+
+
+def to_uniform(priorities, weights, family: PriorityFamily):
+    """Duality, one direction: map priorities to the uniforms generating them.
+
+    ``U_i = F_i(R_i)`` — inclusion ``R_i < T_i`` becomes ``U_i < F_i(T_i)``.
+    """
+    return family.cdf(priorities, weights)
+
+
+def from_uniform(uniforms, weights, family: PriorityFamily):
+    """Duality, other direction: materialize priorities from uniforms."""
+    return family.inverse_cdf(uniforms, weights)
+
+
+# Common aliases mirroring the paper's terminology.
+Uniform01 = Uniform01Priority
+PrioritySamplingPriority = InverseWeightPriority
+
+
+def effective_threshold_for_decay(
+    threshold: float, elapsed: float, decay_rate: float
+) -> float:
+    """Grow a threshold to emulate exponentially decaying weights.
+
+    Section 2.9: with weights ``w_i(t) = w_i exp(-lambda t)`` it is
+    inconvenient to rescale every stored priority as time passes; instead the
+    *threshold* is inflated by ``exp(lambda * elapsed)`` while priorities stay
+    fixed.  This helper returns the inflated threshold.
+    """
+    if elapsed < 0:
+        raise ValueError("elapsed time must be non-negative")
+    return threshold * math.exp(decay_rate * elapsed)

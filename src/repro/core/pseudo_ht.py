@@ -1,0 +1,135 @@
+"""Pseudo-HT estimators for higher-order statistics (Sections 2.4–2.6.2).
+
+Theorem 2 makes any statistic of the form ``sum_lambda h_lambda(x_lambda)``
+estimable from an adaptive threshold sample via recalibrated thresholds, and
+Theorem 4 lets substitutable thresholds be plugged in as if fixed.  This
+module implements the statistics the paper works through:
+
+* Kendall's tau rank correlation — a degree-2 polynomial in the inclusion
+  indicators, unbiased under 2-substitutable thresholds — and its variance
+  estimator, which is degree 4 and exploits the Poisson factorization of
+  the pairwise/four-wise inclusion probabilities.
+* Unbiased population central moments / skew / kurtosis via the
+  distinct-sums engine (:mod:`repro.core.distinct_sums`).
+
+The estimators need the population size ``n`` (the number of pairs is
+``n*(n-1)/2``); every streaming sampler in this library tracks it.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .distinct_sums import (
+    central_moment_unbiased,
+    kurtosis_estimate,
+    skewness_estimate,
+)
+
+__all__ = [
+    "kendall_tau_population",
+    "kendall_tau_estimate",
+    "kendall_tau_variance_estimate",
+    "central_moment_unbiased",
+    "skewness_estimate",
+    "kurtosis_estimate",
+]
+
+
+def kendall_tau_population(x: np.ndarray, y: np.ndarray) -> float:
+    """Exact Kendall's tau of the full population (ground truth for tests).
+
+    ``tau = (n choose 2)^{-1} sum_{i<j} sign(x_i - x_j) sign(y_i - y_j)``.
+    """
+    x = np.asarray(x, dtype=float)
+    y = np.asarray(y, dtype=float)
+    n = x.size
+    if n < 2:
+        raise ValueError("Kendall's tau needs at least two items")
+    sx = np.sign(x[:, None] - x[None, :])
+    sy = np.sign(y[:, None] - y[None, :])
+    total = float(np.sum(np.triu(sx * sy, k=1)))
+    return total / (n * (n - 1) / 2.0)
+
+
+def _concordance_matrix(x: np.ndarray, y: np.ndarray) -> np.ndarray:
+    """``C_ij = sign(x_i - x_j) sign(y_i - y_j)`` over the sampled items."""
+    sx = np.sign(x[:, None] - x[None, :])
+    sy = np.sign(y[:, None] - y[None, :])
+    return sx * sy
+
+
+def kendall_tau_estimate(
+    x: np.ndarray, y: np.ndarray, probs: np.ndarray, n: int
+) -> float:
+    """HT estimate of Kendall's tau from a threshold sample.
+
+    ``tau_hat = (n choose 2)^{-1} sum_{i<j in sample} C_ij / (p_i p_j)``.
+
+    Unbiased whenever the threshold is 2-substitutable (Section 2.6.2) —
+    bottom-k thresholds qualify, the sequential rule of Section 2.7 does not,
+    and the tests confirm both behaviours.
+    """
+    x = np.asarray(x, dtype=float)
+    y = np.asarray(y, dtype=float)
+    probs = np.asarray(probs, dtype=float)
+    if n < 2:
+        raise ValueError("population size must be at least 2")
+    m = x.size
+    if m < 2:
+        return 0.0
+    c = _concordance_matrix(x, y)
+    inv = 1.0 / probs
+    weighted = c * np.outer(inv, inv)
+    total = float(np.sum(np.triu(weighted, k=1)))
+    return total / (n * (n - 1) / 2.0)
+
+
+def kendall_tau_variance_estimate(
+    x: np.ndarray, y: np.ndarray, probs: np.ndarray, n: int
+) -> float:
+    """Unbiased estimate of ``Var(tau_hat | X, Y)`` under Poisson sampling.
+
+    The general HT variance over correlated pair indicators (Section 2.6.2)
+    reduces, for Poisson designs, to two contributions:
+
+    * diagonal pairs ``P = Q``:  ``(1 - pi_P) / pi_P^2 * C_P^2``;
+    * pairs sharing exactly one index ``s``:
+      ``(1 - p_s)/p_s^2 * (C_sj / p_j) (C_sl / p_l)`` for ``j != l``
+      (pairs with disjoint support are independent and drop out).
+
+    The shared-index double sum collapses to ``(sum_j C_sj/p_j)^2 -
+    sum_j (C_sj/p_j)^2`` per shared item ``s``, making the whole estimator
+    ``O(m^2)``.  Requires a 4-substitutable threshold and at least four
+    sampled items for strict unbiasedness; may be slightly negative in small
+    samples, as HT variance estimators can be.
+    """
+    x = np.asarray(x, dtype=float)
+    y = np.asarray(y, dtype=float)
+    probs = np.asarray(probs, dtype=float)
+    m = x.size
+    if n < 2:
+        raise ValueError("population size must be at least 2")
+    if m < 2:
+        return 0.0
+    c = _concordance_matrix(x, y)
+    inv = 1.0 / probs
+
+    # Diagonal: unordered sampled pairs P = {i, j}.
+    pair_probs = np.outer(probs, probs)
+    diag_terms = (1.0 - pair_probs) / pair_probs**2 * c**2
+    diagonal = float(np.sum(np.triu(diag_terms, k=1)))
+
+    # Shared index: for each sampled s, pairs {s, j} and {s, l} with j != l.
+    shared = 0.0
+    weighted = c * inv[None, :]  # row s: C_sj / p_j
+    row_sums = weighted.sum(axis=1)  # includes j = s term, which is 0 (C_ss = 0)
+    row_sq_sums = (weighted**2).sum(axis=1)
+    shared_factors = (1.0 - probs) / probs**2
+    # The variance expansion is an ordered double sum over pairs (P, Q), so
+    # each unordered combination appears twice — and so does each (j, l)
+    # with j != l in (sum^2 - sum of squares).  The counts match; no halving.
+    shared = float(np.sum(shared_factors * (row_sums**2 - row_sq_sums)))
+
+    n_pairs = n * (n - 1) / 2.0
+    return (diagonal + shared) / n_pairs**2

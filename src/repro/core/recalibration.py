@@ -1,0 +1,205 @@
+"""Threshold recalibration and substitutability (Sections 2.5–2.6).
+
+The paper's central analytical device: for a monomial term indexed by a
+subset ``lambda`` of items, replace the adaptive threshold ``T`` with the
+*recalibrated* threshold computed after pushing the priorities of ``lambda``
+to the bottom of their support::
+
+    tau_tilde^lambda(R_-lambda) = inf_r { tau(r) : r_-lambda = R_-lambda }
+
+For non-decreasing rules the infimum is attained by flooring the ``lambda``
+coordinates, which is what :func:`recalibrate` does.  Conditional on the
+recalibrated threshold, the inclusion indicators of ``lambda`` are
+independent Bernoullis (Lemma 1), which is what makes pseudo-HT estimators
+unbiased (Theorem 2).
+
+A threshold is *substitutable* (Section 2.6) when recalibration does not
+move it for any subset of the realized sample, i.e. ``Z_i = 1 for all i in
+lambda  =>  T_tilde^lambda_lambda = T_lambda``; *d-substitutable* restricts
+to ``|lambda| <= d``.  Substitutable thresholds can be treated as fixed
+thresholds for any estimator in the paper's polynomial class (Theorem 4).
+
+This module provides executable versions of those definitions — used both by
+the estimators (to *construct* recalibrated thresholds) and by the tests (to
+*verify* the paper's worked examples: bottom-k is substitutable, the
+sequential rule of Section 2.7 is 1- but not 2-substitutable, and so on).
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Iterable, Sequence
+
+import numpy as np
+
+from .thresholds import ThresholdRule, sample_indices, sample_mask
+
+__all__ = [
+    "recalibrate",
+    "recalibrated_inclusion",
+    "is_substitutable",
+    "substitutability_order",
+    "verify_singleton_condition",
+]
+
+
+def recalibrate(
+    rule: ThresholdRule,
+    priorities: np.ndarray,
+    subset: Sequence[int],
+    floor: float = 0.0,
+) -> np.ndarray:
+    """Return the recalibrated threshold vector ``T_tilde^lambda``.
+
+    Parameters
+    ----------
+    rule:
+        A non-decreasing threshold rule (``rule.monotone`` must be True; for
+        such rules flooring attains the infimum in the definition).
+    priorities:
+        The realized priority vector ``R``.
+    subset:
+        The index set ``lambda`` whose priorities are floored.
+    floor:
+        The infimum of the priority support (0 for all bundled families).
+
+    Notes
+    -----
+    Only coordinates in ``lambda`` of the returned vector are meaningful for
+    the theory (the paper writes ``T_tilde^lambda_lambda``), but the full
+    vector is returned because rules naturally produce it.
+    """
+    if not rule.monotone:
+        raise ValueError(
+            "recalibration by flooring requires a non-decreasing rule; "
+            "override recalibrate for general rules"
+        )
+    modified = np.array(priorities, dtype=float, copy=True)
+    subset = np.asarray(list(subset), dtype=int)
+    if subset.size:
+        modified[subset] = floor
+    return rule.thresholds(modified)
+
+
+def recalibrated_inclusion(
+    rule: ThresholdRule,
+    priorities: np.ndarray,
+    subset: Sequence[int],
+    floor: float = 0.0,
+) -> np.ndarray:
+    """Indicators ``Z_tilde^lambda_i = 1(R_i < T_tilde^lambda_i)`` over lambda."""
+    recal = recalibrate(rule, priorities, subset, floor)
+    priorities = np.asarray(priorities, dtype=float)
+    subset = np.asarray(list(subset), dtype=int)
+    return priorities[subset] < recal[subset]
+
+
+def _subsets(indices: np.ndarray, max_size: int) -> Iterable[tuple[int, ...]]:
+    for size in range(1, max_size + 1):
+        yield from itertools.combinations(indices.tolist(), size)
+
+
+def is_substitutable(
+    rule: ThresholdRule,
+    priorities: np.ndarray,
+    d: int | None = None,
+    floor: float = 0.0,
+    atol: float = 1e-12,
+) -> bool:
+    """Check substitutability of ``rule`` at the realized ``priorities``.
+
+    Implements the definition directly: for every subset ``lambda`` of the
+    realized sample (up to size ``d``; all sizes when ``d`` is None), the
+    recalibrated thresholds on ``lambda`` must equal the original ones.
+
+    This is exponential in the sample size and meant for the test-suite's
+    small instances; it is the executable form of the paper's Definition in
+    Section 2.6.
+    """
+    priorities = np.asarray(priorities, dtype=float)
+    original = rule.thresholds(priorities)
+    sampled = sample_indices(priorities, original)
+    max_size = sampled.size if d is None else min(d, sampled.size)
+    for subset in _subsets(sampled, max_size):
+        recal = recalibrate(rule, priorities, subset, floor)
+        idx = np.asarray(subset, dtype=int)
+        if not np.allclose(
+            recal[idx], original[idx], atol=atol, rtol=0.0, equal_nan=True
+        ):
+            return False
+    return True
+
+
+def substitutability_order(
+    rule: ThresholdRule,
+    priorities: np.ndarray,
+    floor: float = 0.0,
+    atol: float = 1e-12,
+) -> int:
+    """Largest ``d`` such that the rule is d-substitutable at ``priorities``.
+
+    Returns the realized sample size when fully substitutable and 0 when not
+    even singletons can be recalibrated in place.
+    """
+    priorities = np.asarray(priorities, dtype=float)
+    original = rule.thresholds(priorities)
+    sampled = sample_indices(priorities, original)
+    best = 0
+    for size in range(1, sampled.size + 1):
+        ok = True
+        for subset in itertools.combinations(sampled.tolist(), size):
+            recal = recalibrate(rule, priorities, subset, floor)
+            idx = np.asarray(subset, dtype=int)
+            if not np.allclose(recal[idx], original[idx], atol=atol, rtol=0.0):
+                ok = False
+                break
+        if not ok:
+            break
+        best = size
+    return best
+
+
+def verify_singleton_condition(
+    rule: ThresholdRule,
+    priorities: np.ndarray,
+    floor: float = 0.0,
+    atol: float = 1e-12,
+) -> bool:
+    """Theorem 6's simpler sufficient condition, checked at ``priorities``.
+
+    For a non-decreasing rule, if recalibrating any *single* sampled item
+    leaves the thresholds of all sampled items unchanged, the rule is
+    substitutable.  This checks that premise; the test-suite confirms
+    Theorem 6 by comparing against :func:`is_substitutable`.
+    """
+    priorities = np.asarray(priorities, dtype=float)
+    original = rule.thresholds(priorities)
+    sampled = sample_indices(priorities, original)
+    for i in sampled.tolist():
+        recal = recalibrate(rule, priorities, (i,), floor)
+        if not np.allclose(
+            recal[sampled], original[sampled], atol=atol, rtol=0.0, equal_nan=True
+        ):
+            return False
+    return True
+
+
+def conditional_inclusion_probability(
+    rule: ThresholdRule,
+    priorities: np.ndarray,
+    subset: Sequence[int],
+    family,
+    weights=1.0,
+    floor: float = 0.0,
+) -> float:
+    """Lemma 1: ``P(prod_{i in lambda} Z_tilde_i = 1 | T_tilde^lambda)``.
+
+    Equals the product of pseudo-inclusion probabilities of the recalibrated
+    thresholds.  Exposed mainly for the tests that verify Lemma 1 against
+    brute-force conditional frequencies.
+    """
+    recal = recalibrate(rule, priorities, subset, floor)
+    subset = np.asarray(list(subset), dtype=int)
+    weights = np.broadcast_to(np.asarray(weights, dtype=float), np.asarray(priorities).shape)
+    probs = family.pseudo_inclusion(recal[subset], weights[subset])
+    return float(np.prod(probs))

@@ -1,0 +1,191 @@
+"""Sample containers shared by every sampler in the library.
+
+A :class:`Sample` is the canonical output of an adaptive threshold sampler:
+parallel arrays of item keys, payload values, weights, priorities and the
+per-item thresholds in force when the sample was finalized, plus the
+priority family needed to turn thresholds into pseudo-inclusion
+probabilities.  All the estimators of Section 2 are exposed as methods so
+downstream code never recomputes probabilities by hand.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Iterator, Sequence
+
+import numpy as np
+
+from . import estimators
+from .priorities import PriorityFamily, Uniform01Priority
+
+__all__ = ["Sample", "SampledItem"]
+
+
+@dataclass(frozen=True)
+class SampledItem:
+    """A single sampled record (a row view of :class:`Sample`)."""
+
+    key: object
+    value: float
+    weight: float
+    priority: float
+    threshold: float
+    probability: float
+
+    @property
+    def ht_weight(self) -> float:
+        """The HT multiplier ``1 / probability`` this item carries."""
+        return 1.0 / self.probability
+
+
+@dataclass
+class Sample:
+    """A finalized adaptive-threshold sample with estimation methods.
+
+    Parameters
+    ----------
+    keys:
+        Item identifiers (any hashable objects).
+    values:
+        The numeric payload the HT estimators aggregate (often equal to
+        ``weights`` for PPS subset sums).
+    weights:
+        Sampling weights that parameterize the priority family.
+    priorities:
+        Realized priorities ``R_i`` of the sampled items.
+    thresholds:
+        Per-item thresholds ``T_i`` in force at finalization.
+    family:
+        Priority family; defaults to Uniform(0, 1).
+    population_size:
+        Optional known ``n`` (needed by e.g. Kendall's tau).
+    """
+
+    keys: list
+    values: np.ndarray
+    weights: np.ndarray
+    priorities: np.ndarray
+    thresholds: np.ndarray
+    family: PriorityFamily = field(default_factory=Uniform01Priority)
+    population_size: int | None = None
+
+    def __post_init__(self) -> None:
+        self.values = np.asarray(self.values, dtype=float)
+        self.weights = np.asarray(self.weights, dtype=float)
+        self.priorities = np.asarray(self.priorities, dtype=float)
+        self.thresholds = np.asarray(self.thresholds, dtype=float)
+        sizes = {
+            len(self.keys),
+            self.values.size,
+            self.weights.size,
+            self.priorities.size,
+            self.thresholds.size,
+        }
+        if len(sizes) != 1:
+            raise ValueError("all Sample columns must have equal length")
+
+    # ------------------------------------------------------------------
+    # Container protocol
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self.keys)
+
+    def __iter__(self) -> Iterator[SampledItem]:
+        probs = self.probabilities
+        for i, key in enumerate(self.keys):
+            yield SampledItem(
+                key=key,
+                value=float(self.values[i]),
+                weight=float(self.weights[i]),
+                priority=float(self.priorities[i]),
+                threshold=float(self.thresholds[i]),
+                probability=float(probs[i]),
+            )
+
+    # ------------------------------------------------------------------
+    # Derived quantities
+    # ------------------------------------------------------------------
+    @property
+    def probabilities(self) -> np.ndarray:
+        """Pseudo-inclusion probabilities ``F_i(T_i)`` of the sampled items."""
+        return estimators.inclusion_probabilities(
+            self.family, self.thresholds, self.weights
+        )
+
+    def select(self, predicate: Callable[[object], bool] | np.ndarray) -> "Sample":
+        """Restrict to items whose key satisfies ``predicate`` (or a mask).
+
+        Subset selection before estimation is exactly the subset-sum use
+        case of Corollary 3: zero out everything outside the subset.
+        """
+        if callable(predicate):
+            mask = np.fromiter(
+                (bool(predicate(k)) for k in self.keys),
+                dtype=bool,
+                count=len(self.keys),
+            )
+        else:
+            mask = np.asarray(predicate, dtype=bool)
+            if mask.size != len(self.keys):
+                raise ValueError("mask length must match the sample")
+        return Sample(
+            keys=[k for k, keep in zip(self.keys, mask) if keep],
+            values=self.values[mask],
+            weights=self.weights[mask],
+            priorities=self.priorities[mask],
+            thresholds=self.thresholds[mask],
+            family=self.family,
+            population_size=self.population_size,
+        )
+
+    # ------------------------------------------------------------------
+    # Estimators (Section 2)
+    # ------------------------------------------------------------------
+    def ht_total(self, values: Sequence[float] | None = None) -> float:
+        """HT estimate of the population total of ``values`` (default payload)."""
+        vals = self.values if values is None else np.asarray(values, dtype=float)
+        return estimators.ht_total(vals, self.probabilities)
+
+    def ht_variance_estimate(self, values: Sequence[float] | None = None) -> float:
+        """Unbiased estimate of the variance of :meth:`ht_total`."""
+        vals = self.values if values is None else np.asarray(values, dtype=float)
+        return estimators.ht_variance_estimate(vals, self.probabilities)
+
+    def ht_stderr(self, values: Sequence[float] | None = None) -> float:
+        """Estimated standard error of :meth:`ht_total`."""
+        vals = self.values if values is None else np.asarray(values, dtype=float)
+        return estimators.ht_stderr(vals, self.probabilities)
+
+    def ht_confidence_interval(
+        self, level: float = 0.95, values: Sequence[float] | None = None
+    ) -> tuple[float, float]:
+        """Normal-approximation confidence interval for the total."""
+        vals = self.values if values is None else np.asarray(values, dtype=float)
+        return estimators.ht_confidence_interval(vals, self.probabilities, level)
+
+    def hajek_mean(self, values: Sequence[float] | None = None) -> float:
+        """Hajek (ratio) estimate of the population mean."""
+        vals = self.values if values is None else np.asarray(values, dtype=float)
+        return estimators.hajek_mean(vals, self.probabilities)
+
+    def distinct_estimate(self) -> float:
+        """HT estimate of the population size: ``sum_i 1 / p_i``.
+
+        With Uniform(0, 1) hash priorities this is the distinct-count
+        estimator of Section 3.4 (``N_hat = sum Z_i / F_i(w_i T_i)``).
+        """
+        probs = self.probabilities
+        if probs.size == 0:
+            return 0.0
+        return float(np.sum(1.0 / probs))
+
+    def summary(self) -> dict:
+        """A plain-dict summary convenient for logging and benchmarks."""
+        probs = self.probabilities
+        return {
+            "size": len(self),
+            "total_estimate": self.ht_total(),
+            "stderr": self.ht_stderr(),
+            "min_probability": float(probs.min()) if len(self) else None,
+            "population_estimate": self.distinct_estimate(),
+        }

@@ -1,0 +1,310 @@
+"""Adaptive threshold rules ``T = tau(R | D)`` (Sections 2.3–2.7).
+
+A :class:`ThresholdRule` is a deterministic function from the full priority
+vector to a vector of per-item thresholds.  Data the rule conditions on
+(item sizes, strata, weights, arrival order) is fixed at construction, which
+matches the paper's ``tau_i(R | D)`` notation: given the data ``D``, a rule
+is a pure function of the priorities ``R``.
+
+The rules here are the *offline / analysis* representation used by the
+theory machinery in :mod:`repro.core.recalibration` (recalibrated thresholds,
+substitutability checks) and by the exact unbiasedness tests.  The streaming
+samplers in :mod:`repro.samplers` implement the same rules incrementally; the
+test-suite cross-checks the two representations on common inputs.
+
+Conventions
+-----------
+* ``thresholds`` returns one value per item; ``+inf`` means "no constraint"
+  (pseudo-inclusion probability one).
+* The sample defined by rule and priorities is ``{i : R_i < T_i}`` with a
+  strict inequality, matching the paper.
+* All bundled rules are non-decreasing functions of each priority coordinate
+  (``monotone = True``), which is what makes recalibration computable by
+  flooring priorities (Section 2.5).
+"""
+
+from __future__ import annotations
+
+import abc
+
+import numpy as np
+
+__all__ = [
+    "ThresholdRule",
+    "FixedThreshold",
+    "BottomK",
+    "BudgetPrefix",
+    "StratifiedBottomK",
+    "SequentialBottomK",
+    "DescendingStoppingRule",
+    "VarianceTargetRule",
+    "sample_mask",
+    "sample_indices",
+]
+
+
+class ThresholdRule(abc.ABC):
+    """Deterministic map from a priority vector to per-item thresholds."""
+
+    #: True when the rule is a non-decreasing function of every coordinate.
+    monotone: bool = True
+
+    @abc.abstractmethod
+    def thresholds(self, priorities: np.ndarray) -> np.ndarray:
+        """Return the per-item threshold vector ``T`` for priorities ``R``."""
+
+    def sample(self, priorities: np.ndarray) -> np.ndarray:
+        """Indices of the sampled items: ``{i : R_i < T_i}``."""
+        return sample_indices(priorities, self.thresholds(priorities))
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"{type(self).__name__}()"
+
+
+def sample_mask(priorities: np.ndarray, thresholds: np.ndarray) -> np.ndarray:
+    """Boolean inclusion mask ``Z_i = 1(R_i < T_i)``."""
+    return np.asarray(priorities, dtype=float) < np.asarray(thresholds, dtype=float)
+
+def sample_indices(priorities: np.ndarray, thresholds: np.ndarray) -> np.ndarray:
+    """Integer indices of the sampled items."""
+    return np.flatnonzero(sample_mask(priorities, thresholds))
+
+
+class FixedThreshold(ThresholdRule):
+    """The trivial rule: a constant (possibly per-item) threshold.
+
+    With a fixed threshold, items are included independently — the Poisson
+    sampling design of Section 2.1 that all the adaptive machinery reduces to.
+    """
+
+    def __init__(self, threshold):
+        self.threshold = np.asarray(threshold, dtype=float)
+
+    def thresholds(self, priorities: np.ndarray) -> np.ndarray:
+        priorities = np.asarray(priorities, dtype=float)
+        return np.broadcast_to(self.threshold, priorities.shape).copy()
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"FixedThreshold({self.threshold!r})"
+
+
+class BottomK(ThresholdRule):
+    """Bottom-k / priority sampling rule (Section 2.5.1).
+
+    The common threshold is the ``(k+1)``-st smallest priority, so exactly
+    ``k`` items are sampled (with probability one, ties have measure zero).
+    When ``n <= k`` the threshold is ``+inf`` and everything is kept.
+
+    This rule is fully substitutable: flooring the priority of any sampled
+    item leaves the ``(k+1)``-st order statistic unchanged.
+    """
+
+    def __init__(self, k: int):
+        if k < 1:
+            raise ValueError("k must be a positive integer")
+        self.k = int(k)
+
+    def thresholds(self, priorities: np.ndarray) -> np.ndarray:
+        priorities = np.asarray(priorities, dtype=float)
+        n = priorities.size
+        if n <= self.k:
+            return np.full(n, np.inf)
+        # (k+1)-st smallest == index k of the ascending order statistics.
+        t = np.partition(priorities, self.k)[self.k]
+        return np.full(n, t)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"BottomK(k={self.k})"
+
+
+class BudgetPrefix(ThresholdRule):
+    """Variable-item-size memory budget rule (Section 3.1).
+
+    Scan items in ascending priority order accumulating their sizes; the
+    threshold is the priority of the first item that would push the running
+    total over ``budget``.  Everything strictly before that boundary is the
+    sample, so the sample always fits in the budget but — unlike a
+    conservatively sized bottom-k — wastes none of it.
+
+    The rule is substitutable: flooring priorities of sampled items permutes
+    only the prefix, leaving the boundary item (and hence the threshold)
+    unchanged.
+    """
+
+    def __init__(self, sizes, budget: float):
+        self.sizes = np.asarray(sizes, dtype=float)
+        if np.any(self.sizes < 0):
+            raise ValueError("item sizes must be non-negative")
+        if budget <= 0:
+            raise ValueError("budget must be positive")
+        self.budget = float(budget)
+
+    def thresholds(self, priorities: np.ndarray) -> np.ndarray:
+        priorities = np.asarray(priorities, dtype=float)
+        n = priorities.size
+        if n != self.sizes.size:
+            raise ValueError("priorities and sizes must align")
+        order = np.argsort(priorities, kind="stable")
+        cumulative = np.cumsum(self.sizes[order])
+        overflow = np.flatnonzero(cumulative > self.budget)
+        if overflow.size == 0:
+            return np.full(n, np.inf)
+        boundary = order[overflow[0]]
+        return np.full(n, priorities[boundary])
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"BudgetPrefix(budget={self.budget}, n={self.sizes.size})"
+
+
+class StratifiedBottomK(ThresholdRule):
+    """Per-stratum bottom-k: item ``i``'s threshold comes from its stratum.
+
+    The building block of multi-stratified sampling (Section 3.7); composing
+    two of these with a per-item ``max`` gives a sample that is stratified in
+    both attributes simultaneously (see
+    :class:`repro.core.composition.MaxComposition`).
+    """
+
+    def __init__(self, strata, k: int):
+        if k < 1:
+            raise ValueError("k must be a positive integer")
+        self.strata = np.asarray(strata)
+        self.k = int(k)
+
+    def thresholds(self, priorities: np.ndarray) -> np.ndarray:
+        priorities = np.asarray(priorities, dtype=float)
+        if priorities.size != self.strata.size:
+            raise ValueError("priorities and strata must align")
+        out = np.empty(priorities.size)
+        for stratum in np.unique(self.strata):
+            mask = self.strata == stratum
+            group = priorities[mask]
+            if group.size <= self.k:
+                out[mask] = np.inf
+            else:
+                out[mask] = np.partition(group, self.k)[self.k]
+        return out
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"StratifiedBottomK(k={self.k})"
+
+
+class SequentialBottomK(ThresholdRule):
+    """The Section 2.7 worked example: "ever in the bottom-k sketch".
+
+    Items arrive in index order; item ``i`` enters the running bottom-k
+    sketch iff its priority beats the k-th smallest of the *previous*
+    priorities, and once stored it is never dropped.  Formally::
+
+        T_i = k-th smallest of {R_1, ..., R_{i-1}}   (+inf while i <= k)
+
+    The rule is 1-substitutable (``T_i`` never depends on ``R_i``) but not
+    2-substitutable: lowering an early sampled priority can move a later
+    item's threshold.  The test-suite uses it to exercise exactly that
+    boundary of the theory, and Theorem 7 still licenses its HT estimator.
+    """
+
+    def __init__(self, k: int):
+        if k < 1:
+            raise ValueError("k must be a positive integer")
+        self.k = int(k)
+
+    def thresholds(self, priorities: np.ndarray) -> np.ndarray:
+        priorities = np.asarray(priorities, dtype=float)
+        n = priorities.size
+        out = np.full(n, np.inf)
+        if n == 0:
+            return out
+        import heapq
+
+        # Max-heap (negated) of the k smallest priorities seen so far.
+        heap: list[float] = []
+        for i in range(n):
+            if len(heap) == self.k:
+                out[i] = -heap[0]
+            heapq.heappush(heap, -float(priorities[i]))
+            if len(heap) > self.k:
+                heapq.heappop(heap)
+        return out
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"SequentialBottomK(k={self.k})"
+
+
+class DescendingStoppingRule(ThresholdRule):
+    """Stopping-time rule of Theorem 8.
+
+    Scan priorities in *descending* order ``R_(n) > R_(n-1) > ...``; a
+    caller-supplied predicate decides, after seeing each prefix, whether to
+    stop.  The threshold is the priority at which the scan stops, and
+    everything strictly below it is the sample.  Theorem 8 shows any such
+    stopping time yields a substitutable threshold.
+
+    Parameters
+    ----------
+    stop:
+        ``stop(prefix) -> bool`` where ``prefix`` is the descending array of
+        priorities inspected so far (the last entry is the candidate
+        threshold).  The first prefix has length 1.
+    """
+
+    def __init__(self, stop):
+        self.stop = stop
+
+    def thresholds(self, priorities: np.ndarray) -> np.ndarray:
+        priorities = np.asarray(priorities, dtype=float)
+        n = priorities.size
+        order = np.argsort(priorities)[::-1]
+        descending = priorities[order]
+        for m in range(1, n + 1):
+            if self.stop(descending[:m]):
+                return np.full(n, descending[m - 1])
+        # Never stopped: nothing is excluded.
+        return np.full(n, np.inf)
+
+
+class VarianceTargetRule(ThresholdRule):
+    """Variance-sized samples (Section 3.9).
+
+    Stop at the largest threshold ``t`` where the *unbiased estimate* of the
+    HT total's variance reaches the target ``delta**2``::
+
+        Vhat(S_t) = sum_{R_i < t} x_i^2 (1 - F_i(t)) / F_i(t)^2
+
+    Scanning thresholds downward, ``Vhat`` increases continuously between
+    jumps, so the first crossing is a stopping time in the sense of
+    Theorem 8 (up to the oversampling caveat the paper discusses; the exact
+    streaming version lives in :mod:`repro.samplers.variance_sized`).
+
+    This rule evaluates ``Vhat`` only at candidate thresholds equal to data
+    priorities, returning the largest priority whose ``Vhat`` meets the
+    target — the discrete version used by the offline analysis path.
+    """
+
+    def __init__(self, values, weights, delta: float, family=None):
+        from .priorities import InverseWeightPriority
+
+        self.values = np.asarray(values, dtype=float)
+        self.weights = np.asarray(weights, dtype=float)
+        if delta <= 0:
+            raise ValueError("delta must be positive")
+        self.delta = float(delta)
+        self.family = family if family is not None else InverseWeightPriority()
+
+    def thresholds(self, priorities: np.ndarray) -> np.ndarray:
+        priorities = np.asarray(priorities, dtype=float)
+        n = priorities.size
+        if n != self.values.size:
+            raise ValueError("priorities and values must align")
+        order = np.argsort(priorities)[::-1]
+        descending = priorities[order]
+        target = self.delta**2
+        for m in range(n):
+            t = descending[m]
+            below = priorities < t
+            probs = self.family.pseudo_inclusion(t, self.weights[below])
+            with np.errstate(divide="ignore"):
+                terms = self.values[below] ** 2 * (1.0 - probs) / probs**2
+            if float(np.sum(terms)) >= target:
+                return np.full(n, t)
+        return np.full(n, descending[-1] if n else np.inf)

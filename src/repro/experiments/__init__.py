@@ -1,0 +1,37 @@
+"""Experiment modules — one per paper figure / quantified claim.
+
+Each module exposes ``run(...) -> result`` (a dataclass with the series
+the paper plots plus derived shape statistics) and ``main()`` which prints
+the table; the ``benchmarks/`` harness calls the same ``run`` functions.
+See the experiment index in DESIGN.md §3 for the mapping to the paper.
+"""
+
+from . import (
+    ablation_multi_objective,
+    ablation_samplers,
+    estimator_bias,
+    figure1,
+    figure2,
+    figure3,
+    figure4,
+    section6_heuristic,
+    section31_budget,
+    section35_merge,
+    section36_grouped,
+    section39_variance,
+)
+
+__all__ = [
+    "figure1",
+    "figure2",
+    "figure3",
+    "figure4",
+    "section31_budget",
+    "section35_merge",
+    "section36_grouped",
+    "section39_variance",
+    "estimator_bias",
+    "section6_heuristic",
+    "ablation_samplers",
+    "ablation_multi_objective",
+]

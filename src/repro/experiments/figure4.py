@@ -1,0 +1,126 @@
+"""Figure 4: distinct-count union error vs Jaccard similarity.
+
+The paper unions sketches of |A| = 10^6 and |B| = 2*10^6 with k = 100 and
+plots the relative error SD(N_hat - N)/N of three union estimators as the
+Jaccard similarity varies:
+
+* **Adaptive Threshold (LCS)** — the per-item-max merge of Section 3.5
+  (all retained samples stay usable, ~2k effective samples);
+* **Bottom-k** — re-sketch the union to the k smallest hashes, estimate
+  (k-1)/h_(k);
+* **Theta** — min-theta union trimmed to nominal k, estimate count/theta.
+
+Reproduction targets: LCS sits clearly below both baselines (~7.5% vs
+~9.5-10% at k=100) across the Jaccard range, with the gap closing as the
+overlap approaches containment (where every hash is shared and the extra
+samples carry no extra information).
+
+Default sizes are scaled down 50x (|A| = 2*10^4) for CI; REPRO_SCALE=50
+restores the paper's sizes.  Sketch construction is vectorized through
+``from_hashes`` — the union logic under test is the real implementation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..baselines.kmv import KMVSketch
+from ..baselines.theta import ThetaSketch
+from ..core.hashing import hash_array_to_unit
+from ..samplers.distinct import AdaptiveDistinctSketch
+from ..workloads.sets import set_pair_with_jaccard
+from .common import format_table, scaled
+
+__all__ = ["Figure4Result", "run", "main"]
+
+
+@dataclass
+class Figure4Result:
+    jaccards: np.ndarray
+    lcs_error: np.ndarray  # relative error SD, percent
+    bottomk_error: np.ndarray
+    theta_error: np.ndarray
+    size_a: int
+    size_b: int
+    k: int
+    n_trials: int
+
+    def table(self) -> str:
+        rows = zip(self.jaccards, self.lcs_error, self.bottomk_error, self.theta_error)
+        return format_table(
+            ["jaccard", "lcs_err_%", "bottomk_err_%", "theta_err_%"], rows
+        )
+
+
+def run(
+    jaccards=(0.0, 0.05, 0.1, 0.15, 0.2, 0.25, 0.3, 0.33),
+    size_a: int | None = None,
+    size_b: int | None = None,
+    k: int = 100,
+    n_trials: int | None = None,
+    seed: int = 0,
+) -> Figure4Result:
+    size_a = size_a if size_a is not None else scaled(20_000)
+    size_b = size_b if size_b is not None else 2 * size_a
+    n_trials = n_trials if n_trials is not None else scaled(40)
+    jaccards = np.asarray(jaccards, dtype=float)
+
+    lcs_err = np.empty(jaccards.size)
+    bk_err = np.empty(jaccards.size)
+    theta_err = np.empty(jaccards.size)
+
+    for ji, j in enumerate(jaccards):
+        keys_a, keys_b = set_pair_with_jaccard(size_a, size_b, float(j))
+        truth = float(np.union1d(keys_a, keys_b).size)
+        rel_lcs, rel_bk, rel_theta = [], [], []
+        for trial in range(n_trials):
+            salt = seed * 100_003 + ji * 1009 + trial
+            ha = hash_array_to_unit(keys_a, salt)
+            hb = hash_array_to_unit(keys_b, salt)
+
+            lcs = AdaptiveDistinctSketch.from_hashes(ha, k, salt).merge(
+                AdaptiveDistinctSketch.from_hashes(hb, k, salt)
+            )
+            bk = KMVSketch.from_hashes(ha, k, salt).union(
+                KMVSketch.from_hashes(hb, k, salt)
+            )
+            th = ThetaSketch.from_hashes(ha, k, salt).union(
+                ThetaSketch.from_hashes(hb, k, salt)
+            )
+            rel_lcs.append((lcs.estimate_distinct() - truth) / truth)
+            rel_bk.append((bk.estimate() - truth) / truth)
+            rel_theta.append((th.estimate() - truth) / truth)
+        lcs_err[ji] = 100.0 * float(np.std(rel_lcs))
+        bk_err[ji] = 100.0 * float(np.std(rel_bk))
+        theta_err[ji] = 100.0 * float(np.std(rel_theta))
+
+    return Figure4Result(
+        jaccards=jaccards,
+        lcs_error=lcs_err,
+        bottomk_error=bk_err,
+        theta_error=theta_err,
+        size_a=size_a,
+        size_b=size_b,
+        k=k,
+        n_trials=n_trials,
+    )
+
+
+def main() -> Figure4Result:
+    result = run()
+    print(
+        f"Figure 4 — distinct counting union (A={result.size_a}, "
+        f"B={result.size_b}, k={result.k}, {result.n_trials} trials)"
+    )
+    print(result.table())
+    print(
+        "\npaper shape: Adaptive Threshold (LCS) ~7.5-8% relative error, "
+        "Bottom-k and Theta ~9.5-10%"
+    )
+    return result
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,110 @@
+"""Section 3.1 claim (T1): budget sampling vs conservative bottom-k.
+
+With survey-like item sizes (max 5113 chars, mean 1265), a bottom-k sketch
+that must *guarantee* a memory budget B can only afford
+``k = B / L_max`` items, while the adaptive budget sampler keeps the
+maximal prefix that fits — about ``B / L_mean`` items.  The paper's
+headline: the guaranteed bottom-k sample is expected to be ~1/4 the size
+of the adaptive-threshold sample (5113 / 1265 ~ 4.04).
+
+The experiment also validates estimation: HT estimates of the total item
+count from the budget sample stay unbiased.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..samplers.budget import BudgetSampler
+from ..workloads.sizes import SURVEY_MAX_SIZE, survey_sizes
+from .common import format_table, scaled
+
+__all__ = ["BudgetResult", "run", "main"]
+
+
+@dataclass
+class BudgetResult:
+    budget: float
+    mean_item_size: float
+    max_item_size: float
+    conservative_k: int
+    adaptive_sizes: np.ndarray  # per-trial usable sample sizes
+    utilizations: np.ndarray  # per-trial fraction of budget used
+    count_estimates: np.ndarray  # HT estimates of the population count
+    population: int
+
+    @property
+    def mean_adaptive_size(self) -> float:
+        return float(np.mean(self.adaptive_sizes))
+
+    @property
+    def size_ratio(self) -> float:
+        """Adaptive sample size over the conservative bottom-k size."""
+        return self.mean_adaptive_size / max(self.conservative_k, 1)
+
+    @property
+    def count_bias(self) -> float:
+        return float(np.mean(self.count_estimates)) / self.population - 1.0
+
+    def table(self) -> str:
+        rows = [
+            ("budget B", self.budget),
+            ("max item size L_max", self.max_item_size),
+            ("mean item size", self.mean_item_size),
+            ("conservative bottom-k  (B / L_max)", self.conservative_k),
+            ("adaptive sample size (mean)", self.mean_adaptive_size),
+            ("size ratio (paper: ~4x)", self.size_ratio),
+            ("budget utilization (mean)", float(np.mean(self.utilizations))),
+            ("HT count estimate rel. bias", self.count_bias),
+        ]
+        return format_table(["quantity", "value"], rows)
+
+
+def run(
+    population: int | None = None,
+    budget_items: float = 40.0,
+    n_trials: int | None = None,
+    seed: int = 0,
+) -> BudgetResult:
+    """``budget_items`` sets B as a multiple of the mean item size."""
+    population = population if population is not None else scaled(4_000)
+    n_trials = n_trials if n_trials is not None else scaled(20)
+    rng = np.random.default_rng(seed)
+    sizes = survey_sizes(population, rng)
+    budget = budget_items * float(sizes.mean())
+    conservative_k = BudgetSampler.conservative_bottomk_size(budget, SURVEY_MAX_SIZE)
+
+    adaptive_sizes = np.empty(n_trials)
+    utilizations = np.empty(n_trials)
+    count_estimates = np.empty(n_trials)
+    for trial in range(n_trials):
+        sampler = BudgetSampler(budget, rng=np.random.default_rng((seed, trial)))
+        for i in range(population):
+            sampler.update(i, size=float(sizes[i]))
+        adaptive_sizes[trial] = len(sampler)
+        utilizations[trial] = sampler.used / budget
+        count_estimates[trial] = sampler.sample().distinct_estimate()
+
+    return BudgetResult(
+        budget=budget,
+        mean_item_size=float(sizes.mean()),
+        max_item_size=float(sizes.max()),
+        conservative_k=conservative_k,
+        adaptive_sizes=adaptive_sizes,
+        utilizations=utilizations,
+        count_estimates=count_estimates,
+        population=population,
+    )
+
+
+def main() -> BudgetResult:
+    result = run()
+    print("Section 3.1 (T1) — variable item sizes under a memory budget")
+    print(result.table())
+    return result
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,108 @@
+"""Section 3.5 claim (T2): merge error when one set dominates.
+
+Scenario from the paper: one big set plus a huge number of tiny sets (each
+far below the sketch size k).  A Theta merge collapses to the big sketch's
+threshold and trims, so its error scales with the *total* cardinality; the
+per-item-threshold merge keeps the tiny sets' exact entries (their
+thresholds are 1), so only the big sketch contributes error and the
+relative error improves by roughly ``total / big`` — 100x in the paper's
+numbers, reproduced here at a scaled-down total/big ratio.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from functools import reduce
+
+import numpy as np
+
+from ..baselines.theta import ThetaSketch
+from ..core.hashing import hash_array_to_unit
+from ..samplers.distinct import AdaptiveDistinctSketch
+from ..workloads.sets import many_small_sets
+from .common import format_table, scaled
+
+__all__ = ["MergeDominanceResult", "run", "main"]
+
+
+@dataclass
+class MergeDominanceResult:
+    big_size: int
+    n_small: int
+    small_size: int
+    total: int
+    adaptive_rmse: float
+    theta_rmse: float
+    n_trials: int
+
+    @property
+    def improvement(self) -> float:
+        """Theta RMSE over adaptive RMSE (paper: ~ total / big ~ 100x)."""
+        return self.theta_rmse / max(self.adaptive_rmse, 1e-12)
+
+    def table(self) -> str:
+        rows = [
+            ("big set size", self.big_size),
+            ("small sets", f"{self.n_small} x {self.small_size}"),
+            ("total distinct", self.total),
+            ("adaptive merge rel. RMSE", self.adaptive_rmse),
+            ("theta merge rel. RMSE", self.theta_rmse),
+            ("improvement factor (paper: ~total/big)", self.improvement),
+            ("total/big ratio", self.total / self.big_size),
+        ]
+        return format_table(["quantity", "value"], rows)
+
+
+def run(
+    big_size: int | None = None,
+    n_small: int | None = None,
+    small_size: int = 50,
+    k: int = 100,
+    n_trials: int | None = None,
+    seed: int = 0,
+) -> MergeDominanceResult:
+    big_size = big_size if big_size is not None else scaled(1_000)
+    n_small = n_small if n_small is not None else scaled(1_000)
+    n_trials = n_trials if n_trials is not None else max(4, scaled(10))
+    big, smalls = many_small_sets(big_size, n_small, small_size)
+    total = big_size + n_small * small_size
+
+    adaptive_err, theta_err = [], []
+    for trial in range(n_trials):
+        salt = seed * 7919 + trial
+        hb = hash_array_to_unit(big, salt)
+        small_hashes = [hash_array_to_unit(s, salt) for s in smalls]
+
+        adaptive = reduce(
+            lambda acc, h: acc.merge(AdaptiveDistinctSketch.from_hashes(h, k, salt)),
+            small_hashes,
+            AdaptiveDistinctSketch.from_hashes(hb, k, salt),
+        )
+        theta = reduce(
+            lambda acc, h: acc.union(ThetaSketch.from_hashes(h, k, salt)),
+            small_hashes,
+            ThetaSketch.from_hashes(hb, k, salt),
+        )
+        adaptive_err.append((adaptive.estimate_distinct() - total) / total)
+        theta_err.append((theta.estimate() - total) / total)
+
+    return MergeDominanceResult(
+        big_size=big_size,
+        n_small=n_small,
+        small_size=small_size,
+        total=total,
+        adaptive_rmse=float(np.sqrt(np.mean(np.square(adaptive_err)))),
+        theta_rmse=float(np.sqrt(np.mean(np.square(theta_err)))),
+        n_trials=n_trials,
+    )
+
+
+def main() -> MergeDominanceResult:
+    result = run()
+    print("Section 3.5 (T2) — chained merges when one set dominates")
+    print(result.table())
+    return result
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,44 @@
+"""Samplers and sketches built on the adaptive threshold framework.
+
+One module per application section of the paper (see DESIGN.md for the
+complete map); everything here emits :class:`repro.core.sample.Sample`
+containers or exposes HT-style estimators directly.
+"""
+
+from .aqp import MultiObjectiveLayout, PriorityLayoutTable, QueryResult
+from .bottomk import BottomKSampler
+from .budget import BudgetSampler
+from .cps import ConditionalPoissonSampler
+from .distinct import AdaptiveDistinctSketch, WeightedDistinctSketch, lcs_union
+from .grouped_distinct import GroupedDistinctSketch
+from .multi_objective import MultiObjectiveSampler
+from .poisson import PoissonSampler
+from .sliding_window import SlidingWindowSampler, WindowSnapshot
+from .stratified import MultiStratifiedSampler
+from .time_decay import ExponentialDecaySampler
+from .topk import AdaptiveTopKSampler
+from .variance_sized import VarianceTargetSampler, solve_stopping_threshold
+from .varopt import VarOptSampler
+
+__all__ = [
+    "PoissonSampler",
+    "BottomKSampler",
+    "BudgetSampler",
+    "SlidingWindowSampler",
+    "WindowSnapshot",
+    "AdaptiveTopKSampler",
+    "WeightedDistinctSketch",
+    "AdaptiveDistinctSketch",
+    "lcs_union",
+    "GroupedDistinctSketch",
+    "MultiStratifiedSampler",
+    "MultiObjectiveSampler",
+    "VarianceTargetSampler",
+    "solve_stopping_threshold",
+    "PriorityLayoutTable",
+    "MultiObjectiveLayout",
+    "QueryResult",
+    "ExponentialDecaySampler",
+    "VarOptSampler",
+    "ConditionalPoissonSampler",
+]

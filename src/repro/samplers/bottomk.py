@@ -1,0 +1,197 @@
+"""Streaming bottom-k / priority sampling (Section 2.5.1).
+
+Keeps the ``k`` items with the smallest priorities; the threshold is the
+``(k+1)``-st smallest priority seen.  With ``R = U/w`` priorities this is
+Duffield–Lund–Thorup priority sampling; with exponential priorities it is
+PPSWOR; with uniform priorities it is a plain reservoir-equivalent uniform
+sample and simultaneously a KMV distinct counter.
+
+Because the bottom-k threshold is fully substitutable (Section 2.5.1), the
+fixed-threshold HT estimator and its variance estimator apply verbatim —
+the :meth:`BottomKSampler.sample` output plugs straight into
+:class:`repro.core.sample.Sample`'s methods.
+
+The sampler is mergeable: combining the retained heaps of two sketches over
+disjoint streams reproduces exactly the sketch of the concatenated stream.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Callable
+
+import numpy as np
+
+from ..core.hashing import hash_to_unit
+from ..core.priorities import InverseWeightPriority, PriorityFamily
+from ..core.rng import as_generator
+from ..core.sample import Sample
+
+__all__ = ["BottomKSampler"]
+
+
+class _Entry:
+    """One retained stream record, ordered by priority (max-heap via negation)."""
+
+    __slots__ = ("priority", "key", "weight", "value")
+
+    def __init__(self, priority: float, key: object, weight: float, value: float):
+        self.priority = priority
+        self.key = key
+        self.weight = weight
+        self.value = value
+
+    def __lt__(self, other: "_Entry") -> bool:
+        # heapq is a min-heap; we need the *largest* priority on top, so
+        # invert the comparison.
+        return self.priority > other.priority
+
+
+class BottomKSampler:
+    """Weighted bottom-k sampler with an adaptive, substitutable threshold.
+
+    Parameters
+    ----------
+    k:
+        Target sample size.  Memory is ``O(k)`` (the sketch stores ``k + 1``
+        entries; the largest is the threshold witness).
+    family:
+        Priority family; ``InverseWeightPriority`` (default) gives priority
+        sampling, ``ExponentialPriority`` gives PPSWOR, ``Uniform01Priority``
+        gives uniform sampling / KMV.
+    coordinated:
+        Hash-based priorities (stable per key) instead of RNG draws.
+    """
+
+    def __init__(
+        self,
+        k: int,
+        family: PriorityFamily | None = None,
+        coordinated: bool = False,
+        salt: int = 0,
+        rng=None,
+    ):
+        if k < 1:
+            raise ValueError("k must be a positive integer")
+        self.k = int(k)
+        self.family = family if family is not None else InverseWeightPriority()
+        self.coordinated = bool(coordinated)
+        self.salt = int(salt)
+        self.rng = as_generator(rng if rng is not None else 0)
+        # Max-heap of the k+1 smallest-priority entries seen so far.
+        self._heap: list[_Entry] = []
+        self.items_seen = 0
+
+    # ------------------------------------------------------------------
+    # Stream interface
+    # ------------------------------------------------------------------
+    def _priority(self, key: object, weight: float) -> float:
+        if self.coordinated:
+            u = hash_to_unit(key, self.salt)
+        else:
+            u = float(self.rng.random())
+        return float(self.family.inverse_cdf(u, weight))
+
+    def update(self, key: object, weight: float = 1.0, value: float | None = None) -> bool:
+        """Offer one item; returns True when it is currently retained."""
+        self.items_seen += 1
+        r = self._priority(key, weight)
+        return self._offer(_Entry(r, key, float(weight), float(weight if value is None else value)))
+
+    def _offer(self, entry: _Entry) -> bool:
+        if len(self._heap) <= self.k:
+            heapq.heappush(self._heap, entry)
+            return True
+        if entry.priority >= self._heap[0].priority:
+            return False
+        heapq.heapreplace(self._heap, entry)
+        return True
+
+    def extend(self, keys, weights=None, values=None) -> None:
+        """Bulk :meth:`update`."""
+        n = len(keys)
+        weights = np.ones(n) if weights is None else np.asarray(weights, dtype=float)
+        for i, key in enumerate(keys):
+            self.update(
+                key,
+                float(weights[i]),
+                None if values is None else float(values[i]),
+            )
+
+    # ------------------------------------------------------------------
+    # State
+    # ------------------------------------------------------------------
+    @property
+    def threshold(self) -> float:
+        """The (k+1)-st smallest priority, or +inf while n <= k."""
+        if len(self._heap) <= self.k:
+            return float("inf")
+        return self._heap[0].priority
+
+    def __len__(self) -> int:
+        return min(len(self._heap), self.k)
+
+    def _retained(self) -> list[_Entry]:
+        """Entries strictly below the threshold (the usable sample)."""
+        t = self.threshold
+        return [e for e in self._heap if e.priority < t]
+
+    def sample(self) -> Sample:
+        """Finalized sample; plugs into every Section 2 estimator."""
+        entries = self._retained()
+        t = self.threshold
+        return Sample(
+            keys=[e.key for e in entries],
+            values=np.array([e.value for e in entries], dtype=float),
+            weights=np.array([e.weight for e in entries], dtype=float),
+            priorities=np.array([e.priority for e in entries], dtype=float),
+            thresholds=np.full(len(entries), t),
+            family=self.family,
+            population_size=self.items_seen,
+        )
+
+    # ------------------------------------------------------------------
+    # Convenience estimators
+    # ------------------------------------------------------------------
+    def estimate_total(self, predicate: Callable[[object], bool] | None = None) -> float:
+        """HT estimate of the (subset) sum of item values."""
+        sample = self.sample()
+        if predicate is not None:
+            sample = sample.select(predicate)
+        return sample.ht_total()
+
+    def estimate_distinct(self) -> float:
+        """HT population-size estimate ``sum 1/F_i(T)``.
+
+        With uniform priorities this is the KMV-style ``k / R_(k+1)``
+        estimator; Section 3.4 shows the same sketch answers both subset-sum
+        and distinct-count queries when weighted.
+        """
+        return self.sample().distinct_estimate()
+
+    # ------------------------------------------------------------------
+    # Merging
+    # ------------------------------------------------------------------
+    def merge(self, other: "BottomKSampler") -> "BottomKSampler":
+        """Merge sketches of two *disjoint* streams.
+
+        The merged sketch equals the sketch of the concatenated stream: the
+        union of retained entries, cut back to the k+1 smallest priorities.
+        (For coordinated sketches over overlapping key sets, use the
+        distinct-counting merges in :mod:`repro.samplers.distinct`, which
+        handle duplicate keys.)
+        """
+        if other.k != self.k:
+            raise ValueError("cannot merge bottom-k sketches with different k")
+        if type(other.family) is not type(self.family):
+            raise ValueError("cannot merge sketches with different priority families")
+        merged = BottomKSampler(
+            self.k,
+            family=self.family,
+            coordinated=self.coordinated,
+            salt=self.salt,
+        )
+        merged.items_seen = self.items_seen + other.items_seen
+        for entry in list(self._heap) + list(other._heap):
+            merged._offer(_Entry(entry.priority, entry.key, entry.weight, entry.value))
+        return merged

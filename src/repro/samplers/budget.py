@@ -1,0 +1,168 @@
+"""Memory-budget sampling for variable item sizes (Section 3.1).
+
+A bottom-k sketch guarantees *count* but not *memory*: with items of varying
+size, k must be set conservatively to ``B / L_max``.  The budget sampler
+instead keeps the maximal ascending-priority prefix whose total size fits in
+``B``; the threshold is the priority of the first item that would overflow.
+The rule is substitutable (flooring sampled priorities only permutes the
+prefix), so the plain HT estimator applies, and the whole budget is used:
+on the paper's survey-like workload the usable sample is ~4x larger than
+the conservative bottom-k (claim T1, reproduced in
+``benchmarks/bench_section31_budget.py``).
+
+Implementation note: after each insertion the stored prefix sums are
+monotone, so "evict the largest priority while the total exceeds B" lands
+exactly on the first-overflow boundary the offline rule defines; the
+test-suite cross-checks the streaming sampler against
+:class:`repro.core.thresholds.BudgetPrefix` on identical priorities.
+"""
+
+from __future__ import annotations
+
+import bisect
+from typing import Callable
+
+import numpy as np
+
+from ..core.hashing import hash_to_unit
+from ..core.priorities import InverseWeightPriority, PriorityFamily
+from ..core.rng import as_generator
+from ..core.sample import Sample
+
+__all__ = ["BudgetSampler"]
+
+
+class BudgetSampler:
+    """Adaptive-threshold sampler honoring a hard memory budget.
+
+    Parameters
+    ----------
+    budget:
+        Total size the sample may occupy (same units as item sizes).
+    family:
+        Priority family for weighted sampling; default priority sampling.
+    """
+
+    def __init__(
+        self,
+        budget: float,
+        family: PriorityFamily | None = None,
+        coordinated: bool = False,
+        salt: int = 0,
+        rng=None,
+    ):
+        if budget <= 0:
+            raise ValueError("budget must be positive")
+        self.budget = float(budget)
+        self.family = family if family is not None else InverseWeightPriority()
+        self.coordinated = bool(coordinated)
+        self.salt = int(salt)
+        self.rng = as_generator(rng if rng is not None else 0)
+        # Ascending priority order: parallel lists managed with bisect.
+        self._priorities: list[float] = []
+        self._records: list[tuple[object, float, float, float]] = []  # key, w, v, size
+        self._total_size = 0.0
+        self._threshold = float("inf")
+        self.items_seen = 0
+        self.max_item_size_seen = 0.0
+
+    # ------------------------------------------------------------------
+    # Stream interface
+    # ------------------------------------------------------------------
+    def _priority(self, key: object, weight: float) -> float:
+        if self.coordinated:
+            u = hash_to_unit(key, self.salt)
+        else:
+            u = float(self.rng.random())
+        return float(self.family.inverse_cdf(u, weight))
+
+    def update(
+        self,
+        key: object,
+        size: float,
+        weight: float = 1.0,
+        value: float | None = None,
+    ) -> bool:
+        """Offer one item of the given size; returns True if retained."""
+        if size < 0:
+            raise ValueError("item size must be non-negative")
+        self.items_seen += 1
+        self.max_item_size_seen = max(self.max_item_size_seen, float(size))
+        r = self._priority(key, weight)
+        if not r < self._threshold:
+            return False
+        idx = bisect.bisect_left(self._priorities, r)
+        self._priorities.insert(idx, r)
+        self._records.insert(
+            idx, (key, float(weight), float(weight if value is None else value), float(size))
+        )
+        self._total_size += float(size)
+        self._evict_overflow()
+        # The offered item survives iff its priority is still stored below
+        # the (possibly reduced) threshold.
+        return r < self._threshold
+
+    def _evict_overflow(self) -> None:
+        """Drop the tail of the priority order until the budget holds.
+
+        Because prefix sums of non-negative sizes are monotone, popping the
+        largest priority until the total fits is identical to evicting
+        everything at or after the first overflow position; the threshold
+        becomes the smallest evicted priority.
+        """
+        evicted_min = None
+        while self._total_size > self.budget and self._priorities:
+            r = self._priorities.pop()
+            _, _, _, size = self._records.pop()
+            self._total_size -= size
+            evicted_min = r
+        if evicted_min is not None:
+            self._threshold = min(self._threshold, evicted_min)
+
+    # ------------------------------------------------------------------
+    # State
+    # ------------------------------------------------------------------
+    @property
+    def threshold(self) -> float:
+        """Current adaptive threshold (+inf until the budget first binds)."""
+        return self._threshold
+
+    @property
+    def used(self) -> float:
+        """Total size currently stored; always <= budget."""
+        return self._total_size
+
+    def __len__(self) -> int:
+        return len(self._priorities)
+
+    def sample(self) -> Sample:
+        """Finalized sample; HT estimators are valid since the rule is
+        substitutable (and variance estimates need ``budget >= 2 L_max``,
+        mirroring the paper's ``B >= 2 L_max`` remark)."""
+        return Sample(
+            keys=[rec[0] for rec in self._records],
+            values=np.array([rec[2] for rec in self._records], dtype=float),
+            weights=np.array([rec[1] for rec in self._records], dtype=float),
+            priorities=np.array(self._priorities, dtype=float),
+            thresholds=np.full(len(self._priorities), self._threshold),
+            family=self.family,
+            population_size=self.items_seen,
+        )
+
+    def estimate_total(self, predicate: Callable[[object], bool] | None = None) -> float:
+        """HT estimate of the (subset) sum of item values."""
+        sample = self.sample()
+        if predicate is not None:
+            sample = sample.select(predicate)
+        return sample.ht_total()
+
+    @staticmethod
+    def conservative_bottomk_size(budget: float, max_item_size: float) -> int:
+        """The k a bottom-k sketch must use to honor the same budget.
+
+        ``k = floor(B / L_max)`` — the paper's baseline whose sample is
+        ~4x smaller on survey-like size distributions.
+        """
+        if max_item_size <= 0:
+            raise ValueError("max_item_size must be positive")
+        return int(budget // max_item_size)

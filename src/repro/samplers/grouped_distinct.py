@@ -1,0 +1,167 @@
+"""Frequent groups for distinct counting (Section 3.6).
+
+A GROUP BY over distinct counts ("distinct users per ad x demographic")
+can create millions of groups, most tiny; per-group sketches waste memory.
+The paper's scheme keeps full bottom-k sketches only for ``m`` heavy
+groups plus one shared *general pool* sampled at
+
+    ``T_max = max_g T_g``  over the m dedicated thresholds,
+
+so small groups are sampled at the rate appropriate for the heavy hitters
+(their tolerated error becomes a fraction of the *heavy* group sizes, the
+trade the paper spells out).  Mechanics on a new item of group ``g``:
+
+* ``g`` has a dedicated sketch → update it (possibly lowering ``T_g`` and
+  therefore ``T_max``, which prunes the pool);
+* otherwise admit ``(key, g)`` to the pool iff its hash < ``T_max``; when
+  a pooled group accumulates more than ``k`` retained items it is promoted
+  to a dedicated sketch, demoting the dedicated group with the *largest*
+  threshold back into the pool.
+"""
+
+from __future__ import annotations
+
+from typing import Hashable
+
+from ..core.hashing import hash_to_unit
+
+__all__ = ["GroupedDistinctSketch"]
+
+
+class _GroupSketch:
+    """Plain bottom-k set of (hash, key) pairs for one group."""
+
+    __slots__ = ("k", "entries")
+
+    def __init__(self, k: int):
+        self.k = k
+        self.entries: dict[object, float] = {}
+
+    def offer(self, key: object, h: float) -> None:
+        if key in self.entries:
+            return
+        self.entries[key] = h
+        if len(self.entries) > self.k + 1:
+            worst = max(self.entries, key=self.entries.get)
+            del self.entries[worst]
+
+    @property
+    def threshold(self) -> float:
+        if len(self.entries) <= self.k:
+            return 1.0
+        return max(self.entries.values())
+
+    def estimate(self) -> float:
+        t = self.threshold
+        if t >= 1.0:
+            return float(len(self.entries))
+        return sum(1 for h in self.entries.values() if h < t) / t
+
+
+class GroupedDistinctSketch:
+    """Distinct counts per group with ``m`` sketches + one shared pool.
+
+    Parameters
+    ----------
+    m:
+        Number of dedicated per-group sketches.
+    k:
+        Bottom-k size of each dedicated sketch (and promotion trigger for
+        pooled groups).
+    """
+
+    def __init__(self, m: int, k: int, salt: int = 0):
+        if m < 1 or k < 1:
+            raise ValueError("m and k must be positive")
+        self.m = int(m)
+        self.k = int(k)
+        self.salt = int(salt)
+        self.dedicated: dict[Hashable, _GroupSketch] = {}
+        # pool: group -> {key: hash}, all below t_max
+        self.pool: dict[Hashable, dict[object, float]] = {}
+        self.items_seen = 0
+
+    @property
+    def t_max(self) -> float:
+        """The pool's admission threshold: max over dedicated thresholds."""
+        if len(self.dedicated) < self.m:
+            return 1.0
+        return max(s.threshold for s in self.dedicated.values())
+
+    def update(self, group: Hashable, key: object) -> None:
+        """Offer one (group, item) observation."""
+        self.items_seen += 1
+        h = hash_to_unit((group, key), self.salt)
+        sketch = self.dedicated.get(group)
+        if sketch is not None:
+            before = sketch.threshold
+            sketch.offer(key, h)
+            if sketch.threshold < before:
+                self._prune_pool()
+            return
+        if len(self.dedicated) < self.m:
+            # Spare dedicated capacity: groups become dedicated on sight.
+            sketch = _GroupSketch(self.k)
+            sketch.offer(key, h)
+            self.dedicated[group] = sketch
+            return
+        if h >= self.t_max:
+            return
+        bucket = self.pool.setdefault(group, {})
+        if key not in bucket:
+            bucket[key] = h
+            if len(bucket) > self.k:
+                self._promote(group)
+
+    def _promote(self, group: Hashable) -> None:
+        """Swap a pool-heavy group with the loosest dedicated sketch."""
+        loosest = max(self.dedicated, key=lambda g: self.dedicated[g].threshold)
+        demoted = self.dedicated.pop(loosest)
+        sketch = _GroupSketch(self.k)
+        for key, h in self.pool.pop(group).items():
+            sketch.offer(key, h)
+        self.dedicated[group] = sketch
+        # Demoted entries drop into the pool (subject to the new t_max).
+        t = self.t_max
+        bucket = self.pool.setdefault(loosest, {})
+        for key, h in demoted.entries.items():
+            if h < t:
+                bucket[key] = h
+        if not bucket:
+            self.pool.pop(loosest, None)
+        self._prune_pool()
+
+    def _prune_pool(self) -> None:
+        t = self.t_max
+        for group in list(self.pool):
+            bucket = {k: h for k, h in self.pool[group].items() if h < t}
+            if bucket:
+                self.pool[group] = bucket
+            else:
+                del self.pool[group]
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    def estimate(self, group: Hashable) -> float:
+        """Estimated distinct count of ``group`` (0 if never seen)."""
+        sketch = self.dedicated.get(group)
+        if sketch is not None:
+            return sketch.estimate()
+        bucket = self.pool.get(group)
+        if not bucket:
+            return 0.0
+        t = self.t_max
+        if t >= 1.0:
+            return float(len(bucket))
+        return len(bucket) / t
+
+    def groups(self) -> set:
+        """All groups with any retained state (dedicated or pooled)."""
+        return set(self.dedicated) | set(self.pool)
+
+    def memory_entries(self) -> int:
+        """Total stored entries — the footprint §3.6 aims to bound."""
+        dedicated = sum(len(s.entries) for s in self.dedicated.values())
+        pooled = sum(len(b) for b in self.pool.values())
+        return dedicated + pooled

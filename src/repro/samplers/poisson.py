@@ -1,0 +1,130 @@
+"""Fixed-threshold (Poisson) sampling — Section 2.1.
+
+The baseline design every adaptive scheme is measured against: each item is
+kept independently iff its priority falls below a *fixed* threshold.  The
+sampler exists both as a practical tool (when good inclusion probabilities
+are known in advance) and as the reference design whose estimators the
+adaptive samplers reuse via threshold substitution.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+import numpy as np
+
+from ..core.hashing import hash_to_unit
+from ..core.priorities import InverseWeightPriority, PriorityFamily, Uniform01Priority
+from ..core.rng import as_generator
+from ..core.sample import Sample
+
+__all__ = ["PoissonSampler"]
+
+
+class PoissonSampler:
+    """Stream sampler with a fixed threshold per item.
+
+    Parameters
+    ----------
+    threshold:
+        Either a constant or a callable ``threshold(key, weight) -> float``.
+    family:
+        Priority family; default ``InverseWeightPriority`` makes the
+        inclusion probability ``min(1, w * threshold)`` (PPS sampling).
+    coordinated:
+        When True, priorities come from a salted hash of the key so that
+        independent sketches sample the same keys; otherwise from ``rng``.
+    """
+
+    def __init__(
+        self,
+        threshold: float | Callable[[object, float], float],
+        family: PriorityFamily | None = None,
+        coordinated: bool = False,
+        salt: int = 0,
+        rng=None,
+    ):
+        self._threshold = threshold
+        self.family = family if family is not None else InverseWeightPriority()
+        self.coordinated = bool(coordinated)
+        self.salt = int(salt)
+        self.rng = as_generator(rng if rng is not None else 0)
+        self._keys: list = []
+        self._values: list[float] = []
+        self._weights: list[float] = []
+        self._priorities: list[float] = []
+        self._thresholds: list[float] = []
+        self.items_seen = 0
+
+    def threshold_for(self, key: object, weight: float) -> float:
+        """The fixed threshold applied to ``key``."""
+        if callable(self._threshold):
+            return float(self._threshold(key, weight))
+        return float(self._threshold)
+
+    def _priority(self, key: object, weight: float) -> float:
+        if self.coordinated:
+            u = hash_to_unit(key, self.salt)
+        else:
+            u = float(self.rng.random())
+        return float(self.family.inverse_cdf(u, weight))
+
+    def update(self, key: object, weight: float = 1.0, value: float | None = None) -> bool:
+        """Offer one item; returns True when it was sampled."""
+        self.items_seen += 1
+        t = self.threshold_for(key, weight)
+        r = self._priority(key, weight)
+        if not r < t:
+            return False
+        self._keys.append(key)
+        self._values.append(float(weight if value is None else value))
+        self._weights.append(float(weight))
+        self._priorities.append(r)
+        self._thresholds.append(t)
+        return True
+
+    def extend(self, keys, weights=None, values=None) -> None:
+        """Bulk :meth:`update`."""
+        n = len(keys)
+        weights = np.ones(n) if weights is None else np.asarray(weights, dtype=float)
+        for i, key in enumerate(keys):
+            self.update(
+                key,
+                float(weights[i]),
+                None if values is None else float(values[i]),
+            )
+
+    def __len__(self) -> int:
+        return len(self._keys)
+
+    def sample(self) -> Sample:
+        """The current sample with its (fixed) per-item thresholds."""
+        return Sample(
+            keys=list(self._keys),
+            values=np.asarray(self._values, dtype=float),
+            weights=np.asarray(self._weights, dtype=float),
+            priorities=np.asarray(self._priorities, dtype=float),
+            thresholds=np.asarray(self._thresholds, dtype=float),
+            family=self.family,
+            population_size=self.items_seen,
+        )
+
+    @classmethod
+    def with_inclusion_probability(
+        cls, probability: float, coordinated: bool = False, salt: int = 0, rng=None
+    ) -> "PoissonSampler":
+        """Uniform Poisson sampling at a given per-item probability.
+
+        Uses the priority–threshold duality (Section 2.9): a Uniform(0, 1)
+        priority against threshold ``p`` includes items with probability
+        ``p`` regardless of weight.
+        """
+        if not 0.0 < probability <= 1.0:
+            raise ValueError("probability must be in (0, 1]")
+        return cls(
+            threshold=probability,
+            family=Uniform01Priority(),
+            coordinated=coordinated,
+            salt=salt,
+            rng=rng,
+        )

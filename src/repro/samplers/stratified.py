@@ -1,0 +1,215 @@
+"""Multi-stratified sampling under a budget (Section 3.7).
+
+One sample that is *simultaneously* a stratified sample along several
+attributes (e.g. by country and by age), fitting a total budget of ``B``
+items.  Construction:
+
+* each stratum of each dimension keeps a bottom-k threshold over the
+  coordinated priorities of its members;
+* an item's threshold is the **max** over its strata thresholds — included
+  if any of its strata wants it.  The max of substitutable (disjoint,
+  per-stratum bottom-k) rules is 1-substitutable by Theorem 9 and in fact
+  fully substitutable by Theorem 6, so HT estimation applies;
+* to hit the budget exactly, per-stratum sample sizes are chosen
+  dynamically: repeatedly pick the stratum with the most members under its
+  threshold and lower that threshold past its largest retained priority,
+  until at most ``B`` items remain covered.
+
+The streaming sampler keeps ``k0`` candidates per stratum (the per-stratum
+cap also bounds how far the budget refinement can tighten), and the budget
+refinement operates on retained candidates only — thresholds only ever
+move down, so no discarded item could have been needed.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Hashable, Sequence
+
+import numpy as np
+
+from ..core.hashing import hash_to_unit
+from ..core.priorities import Uniform01Priority
+from ..core.sample import Sample
+
+__all__ = ["MultiStratifiedSampler", "StratumState"]
+
+
+class StratumState:
+    """Bottom-k candidate set for one stratum of one dimension."""
+
+    __slots__ = ("dim", "label", "k", "heap", "members")
+
+    def __init__(self, dim: int, label: Hashable, k: int):
+        self.dim = dim
+        self.label = label
+        self.k = k
+        self.heap: list[tuple[float, object]] = []  # max-heap (negated priority)
+        self.members: dict[object, float] = {}  # key -> priority
+
+    def offer(self, key: object, priority: float) -> None:
+        if key in self.members:
+            return
+        if len(self.members) <= self.k:
+            self.members[key] = priority
+            heapq.heappush(self.heap, (-priority, key))
+            return
+        worst_p, worst_key = self.heap[0]
+        if priority >= -worst_p:
+            return
+        heapq.heapreplace(self.heap, (-priority, key))
+        del self.members[worst_key]
+        self.members[key] = priority
+
+    @property
+    def threshold(self) -> float:
+        """(k+1)-st smallest member priority, +inf while underfull."""
+        if len(self.members) <= self.k:
+            return float("inf")
+        return -self.heap[0][0]
+
+
+class MultiStratifiedSampler:
+    """Coordinated sample stratified along several attributes at once.
+
+    Parameters
+    ----------
+    n_dims:
+        Number of stratification attributes (2 in the paper's
+        country-by-age example; any number works).
+    k:
+        Per-stratum candidate budget (upper bound on per-stratum sample
+        size before budget refinement).
+    salt:
+        Hash salt for the coordinated Uniform(0, 1) priorities.
+    """
+
+    def __init__(self, n_dims: int, k: int, salt: int = 0):
+        if n_dims < 1:
+            raise ValueError("need at least one stratification dimension")
+        if k < 1:
+            raise ValueError("k must be positive")
+        self.n_dims = int(n_dims)
+        self.k = int(k)
+        self.salt = int(salt)
+        self.family = Uniform01Priority()
+        self._strata: dict[tuple[int, Hashable], StratumState] = {}
+        self._items: dict[object, tuple[tuple[Hashable, ...], float, float]] = {}
+        self.items_seen = 0
+
+    # ------------------------------------------------------------------
+    # Streaming
+    # ------------------------------------------------------------------
+    def update(
+        self, key: object, strata: Sequence[Hashable], value: float = 1.0
+    ) -> None:
+        """Offer an item with one stratum label per dimension."""
+        if len(strata) != self.n_dims:
+            raise ValueError(f"expected {self.n_dims} stratum labels")
+        self.items_seen += 1
+        if key in self._items:
+            return
+        r = hash_to_unit(key, self.salt)
+        self._items[key] = (tuple(strata), r, float(value))
+        for dim, label in enumerate(strata):
+            state = self._strata.get((dim, label))
+            if state is None:
+                state = StratumState(dim, label, self.k)
+                self._strata[(dim, label)] = state
+            state.offer(key, r)
+        # Items retained by no stratum can be dropped to bound memory.
+        if len(self._items) > 4 * sum(len(s.members) for s in self._strata.values()):
+            self._compact()
+
+    def _compact(self) -> None:
+        keep = set()
+        for state in self._strata.values():
+            keep.update(state.members)
+        self._items = {k: v for k, v in self._items.items() if k in keep}
+
+    # ------------------------------------------------------------------
+    # Thresholds and samples
+    # ------------------------------------------------------------------
+    def thresholds(self) -> dict[tuple[int, Hashable], float]:
+        """Current per-stratum bottom-k thresholds."""
+        return {sk: st.threshold for sk, st in self._strata.items()}
+
+    def _item_threshold(
+        self, strata: tuple[Hashable, ...], taus: dict[tuple[int, Hashable], float]
+    ) -> float:
+        return max(taus[(dim, label)] for dim, label in enumerate(strata))
+
+    def sample(self, budget: int | None = None) -> Sample:
+        """Finalized sample, optionally refined to at most ``budget`` items.
+
+        Budget refinement (the paper's dynamic-k rule): while more than
+        ``budget`` items are covered, take the stratum with the most
+        retained members under its threshold and lower its threshold just
+        below its largest retained priority.  Because items belong to one
+        stratum per dimension, a single decrement may not shrink the
+        sample; the loop runs until it does.
+        """
+        taus = {sk: st.threshold for sk, st in self._strata.items()}
+        # Retained members per stratum, sorted ascending by priority.
+        retained: dict[tuple[int, Hashable], list[tuple[float, object]]] = {}
+        for sk, st in self._strata.items():
+            members = sorted(
+                (p, key) for key, p in st.members.items() if p < taus[sk]
+            )
+            retained[sk] = members
+
+        # Cover counts: in how many dimensions is each item under threshold?
+        cover: dict[object, int] = {}
+        for members in retained.values():
+            for _, key in members:
+                cover[key] = cover.get(key, 0) + 1
+        sample_size = len(cover)
+
+        if budget is not None and budget < 1:
+            raise ValueError("budget must be at least 1")
+        if budget is not None:
+            heap = [(-len(members), sk) for sk, members in retained.items()]
+            heapq.heapify(heap)
+            while sample_size > budget and heap:
+                neg_count, sk = heapq.heappop(heap)
+                members = retained[sk]
+                if -neg_count != len(members):
+                    if members:
+                        heapq.heappush(heap, (-len(members), sk))
+                    continue
+                if not members:
+                    continue
+                # Lower this stratum's threshold past its top member.
+                top_priority, top_key = members.pop()
+                taus[sk] = top_priority
+                cover[top_key] -= 1
+                if cover[top_key] == 0:
+                    del cover[top_key]
+                    sample_size -= 1
+                if members:
+                    heapq.heappush(heap, (-len(members), sk))
+
+        keys = list(cover.keys())
+        priorities = np.array([self._items[k][1] for k in keys])
+        values = np.array([self._items[k][2] for k in keys])
+        item_taus = np.array(
+            [self._item_threshold(self._items[k][0], taus) for k in keys]
+        )
+        return Sample(
+            keys=keys,
+            values=values,
+            weights=np.ones(len(keys)),
+            priorities=priorities,
+            thresholds=item_taus,
+            family=self.family,
+            population_size=self.items_seen,
+        )
+
+    def stratum_counts(self, sample: Sample) -> dict[tuple[int, Hashable], int]:
+        """How many sampled items each stratum contributed (diagnostics)."""
+        counts: dict[tuple[int, Hashable], int] = {}
+        for key in sample.keys:
+            strata = self._items[key][0]
+            for dim, label in enumerate(strata):
+                counts[(dim, label)] = counts.get((dim, label), 0) + 1
+        return counts

@@ -1,0 +1,128 @@
+"""Time-decayed sampling via the priority–threshold duality (Section 2.9).
+
+With exponentially decaying weights ``w_i(t) = w_i exp(-lambda (t - t_i))``
+the natural priority ``U_i / w_i(t)`` changes every instant.  The duality
+observation: uniform exponential decay preserves the *order* of priorities,
+so one static priority per item,
+
+    ``P_i = U_i / (w_i exp(lambda t_i))``
+
+(equivalently: let the threshold grow as ``exp(lambda t)`` instead of
+shrinking every weight) supports a bottom-k sketch whose sample at any
+query time is exactly the decayed-weight priority sample.  Log-domain
+storage keeps the exponentials finite for arbitrarily long streams.
+"""
+
+from __future__ import annotations
+
+import heapq
+import math
+from typing import Callable
+
+from ..core.rng import as_generator
+
+__all__ = ["ExponentialDecaySampler"]
+
+
+class _DecayEntry:
+    __slots__ = ("log_priority", "key", "weight", "time", "value")
+
+    def __init__(self, log_priority, key, weight, time, value):
+        self.log_priority = log_priority
+        self.key = key
+        self.weight = weight
+        self.time = time
+        self.value = value
+
+    def __lt__(self, other):  # max-heap via inverted comparison
+        return self.log_priority > other.log_priority
+
+
+class ExponentialDecaySampler:
+    """Bottom-k sample under exponentially time-decayed weights.
+
+    Parameters
+    ----------
+    k:
+        Sample size.
+    decay_rate:
+        Decay constant lambda; an item's effective weight halves every
+        ``ln 2 / lambda`` time units.
+    """
+
+    def __init__(self, k: int, decay_rate: float, rng=None):
+        if k < 1:
+            raise ValueError("k must be a positive integer")
+        if decay_rate < 0:
+            raise ValueError("decay_rate must be non-negative")
+        self.k = int(k)
+        self.decay_rate = float(decay_rate)
+        self.rng = as_generator(rng if rng is not None else 0)
+        self._heap: list[_DecayEntry] = []  # k+1 smallest log-priorities
+        self.items_seen = 0
+        self._last_time = -math.inf
+
+    def update(self, time: float, key: object, weight: float = 1.0, value: float | None = None) -> bool:
+        """Offer an item arriving at ``time`` (non-decreasing)."""
+        if weight <= 0:
+            raise ValueError("weight must be positive")
+        if time < self._last_time:
+            raise ValueError("arrival times must be non-decreasing")
+        self._last_time = time
+        self.items_seen += 1
+        u = float(self.rng.random())
+        # log P_i = log U - log w - lambda * t  (later arrivals favored)
+        log_p = math.log(u) - math.log(weight) - self.decay_rate * time
+        entry = _DecayEntry(log_p, key, float(weight), float(time),
+                            float(weight if value is None else value))
+        if len(self._heap) <= self.k:
+            heapq.heappush(self._heap, entry)
+            return True
+        if entry.log_priority >= self._heap[0].log_priority:
+            return False
+        heapq.heapreplace(self._heap, entry)
+        return True
+
+    @property
+    def log_threshold(self) -> float:
+        """Log of the (k+1)-st smallest static priority."""
+        if len(self._heap) <= self.k:
+            return math.inf
+        return self._heap[0].log_priority
+
+    def _retained(self) -> list[_DecayEntry]:
+        t = self.log_threshold
+        return [e for e in self._heap if e.log_priority < t]
+
+    def __len__(self) -> int:
+        return len(self._retained())
+
+    def inclusion_probability(self, entry: _DecayEntry) -> float:
+        """``F_i(T) = min(1, w_i exp(lambda t_i) * T)`` in log domain."""
+        log_t = self.log_threshold
+        if math.isinf(log_t):
+            return 1.0
+        exponent = log_t + math.log(entry.weight) + self.decay_rate * entry.time
+        return math.exp(min(0.0, exponent))
+
+    def estimate_decayed_total(
+        self, now: float, predicate: Callable[[object], bool] | None = None
+    ) -> float:
+        """HT estimate of ``sum_i w_i exp(-lambda (now - t_i))`` (subset).
+
+        The decayed total is the time-discounted count/importance of the
+        stream — e.g. recent-activity scores.
+        """
+        total = 0.0
+        for entry in self._retained():
+            if predicate is not None and not predicate(entry.key):
+                continue
+            decayed = entry.weight * math.exp(
+                -self.decay_rate * max(0.0, now - entry.time)
+            )
+            total += decayed / self.inclusion_probability(entry)
+        return total
+
+    def keys(self) -> list[object]:
+        """Keys of the currently retained sample."""
+        return [e.key for e in self._retained()]

@@ -1,0 +1,193 @@
+"""Adaptive top-k sampling for frequent items & disaggregated sums (§3.3).
+
+The top-k problem must return the k most frequent items *whatever* their
+frequencies — unlike the frequent-items problem, no minimum frequency is
+guaranteed, so no fixed sketch size works for every distribution.  The
+paper's sampler adapts both the sampling probability and the sketch size:
+
+* every occurrence draws a fresh Uniform(0, 1) priority ``R_t``;
+* an item not in the sample enters iff ``R_t < T`` (the current adaptive
+  threshold), storing its entry priority ``R_i``, threshold ``T_i = T`` and
+  a counter ``v_i`` of subsequent occurrences;
+* the count estimate is ``c_hat_i = 1/T_i + v_i`` (HT: the entering
+  occurrence had pseudo-inclusion probability ``T_i``, later ones are
+  counted exactly);
+* the adaptive threshold ``T(t)`` is the smallest priority in the sample
+  such that at least ``k`` items have ``c_hat_i > 1/T(t)`` — splitting the
+  sample into k "frequent" items and a downsampled "infrequent" tail;
+* when ``T`` decreases, infrequent items with ``R_i >= T`` are discarded
+  and the remaining infrequent entries are re-anchored (``T_i <- T``,
+  ``v_i <- 0``); frequent items are never touched.
+
+Flooring the priorities of any sampled subset changes neither the sample
+nor the thresholds, so the rule is substitutable and the HT estimates
+support the disaggregated subset-sum queries of Ting (2018).
+
+This is the "TopKSampler" compared against Apache DataSketches'
+FrequentItems in Figure 3 (``repro.experiments.figure3``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Iterable
+
+from ..core.rng import as_generator
+
+__all__ = ["AdaptiveTopKSampler", "TopKEntry"]
+
+
+@dataclass
+class TopKEntry:
+    """Sample-list entry: entry priority, anchor threshold, and counter."""
+
+    priority: float
+    threshold: float
+    count: int
+
+    @property
+    def estimate(self) -> float:
+        """Unbiased occurrence-count estimate ``1/T_i + v_i``."""
+        return 1.0 / self.threshold + self.count
+
+
+class AdaptiveTopKSampler:
+    """Variable-size sampler that learns to keep only the top-k items.
+
+    Parameters
+    ----------
+    k:
+        Number of frequent slots the adaptive threshold protects.
+    recompute_every:
+        Threshold recomputation cadence, counted in *insertions* of new
+        keys (recomputation is also triggered every 4096 plain updates so
+        long frequent-only streams stay tight).  1 recomputes eagerly.
+    """
+
+    def __init__(self, k: int, recompute_every: int = 8, rng=None):
+        if k < 1:
+            raise ValueError("k must be a positive integer")
+        self.k = int(k)
+        self.recompute_every = max(1, int(recompute_every))
+        self.rng = as_generator(rng if rng is not None else 0)
+        self.table: dict[object, TopKEntry] = {}
+        self.threshold = 1.0
+        self.items_seen = 0
+        self._inserts_since_recompute = 0
+        self._updates_since_recompute = 0
+        self.max_table_size = 0
+
+    # ------------------------------------------------------------------
+    # Stream interface
+    # ------------------------------------------------------------------
+    def update(self, key: object) -> None:
+        """Process one occurrence of ``key``."""
+        self.items_seen += 1
+        self._updates_since_recompute += 1
+        entry = self.table.get(key)
+        if entry is not None:
+            entry.count += 1
+        else:
+            r = float(self.rng.random())
+            if r < self.threshold:
+                self.table[key] = TopKEntry(priority=r, threshold=self.threshold, count=0)
+                self._inserts_since_recompute += 1
+                self.max_table_size = max(self.max_table_size, len(self.table))
+        if (
+            self._inserts_since_recompute >= self.recompute_every
+            or self._updates_since_recompute >= 4096
+        ):
+            self.recompute_threshold()
+
+    def extend(self, keys: Iterable[object]) -> None:
+        """Bulk :meth:`update`."""
+        for key in keys:
+            self.update(key)
+
+    # ------------------------------------------------------------------
+    # The adaptive threshold
+    # ------------------------------------------------------------------
+    def recompute_threshold(self) -> None:
+        """Lower ``T`` to the smallest sample priority keeping k frequent items.
+
+        ``T_new = min{ R_j in sample : #{i : c_hat_i > 1/R_j} >= k }``; the
+        count condition is monotone in ``R_j``, so it reduces to comparing
+        against the k-th largest estimate.
+        """
+        self._inserts_since_recompute = 0
+        self._updates_since_recompute = 0
+        if len(self.table) <= self.k:
+            return
+        estimates = sorted(
+            (entry.estimate for entry in self.table.values()), reverse=True
+        )
+        kth_largest = estimates[self.k - 1]
+        if kth_largest <= 0:
+            return
+        cutoff = 1.0 / kth_largest
+        candidates = [
+            entry.priority
+            for entry in self.table.values()
+            if entry.priority > cutoff
+        ]
+        if not candidates:
+            return
+        t_new = min(candidates)
+        if t_new >= self.threshold:
+            return
+        self.threshold = t_new
+        self._apply_threshold(t_new)
+
+    def _apply_threshold(self, t_new: float) -> None:
+        """Discard / re-anchor infrequent entries after a threshold drop."""
+        boundary = 1.0 / t_new
+        discard = []
+        for key, entry in self.table.items():
+            if entry.estimate > boundary:
+                continue  # frequent: untouched
+            if entry.priority >= t_new:
+                discard.append(key)
+            else:
+                entry.threshold = t_new
+                entry.count = 0
+        for key in discard:
+            del self.table[key]
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self.table)
+
+    def estimate_count(self, key: object) -> float:
+        """Unbiased estimate of the number of occurrences of ``key``."""
+        entry = self.table.get(key)
+        return entry.estimate if entry is not None else 0.0
+
+    def top(self, j: int | None = None) -> list[tuple[object, float]]:
+        """The ``j`` (default k) keys with the largest estimated counts."""
+        j = self.k if j is None else int(j)
+        ranked = sorted(
+            self.table.items(), key=lambda kv: kv[1].estimate, reverse=True
+        )
+        return [(key, entry.estimate) for key, entry in ranked[:j]]
+
+    def estimate_subset_sum(self, predicate: Callable[[object], bool]) -> float:
+        """Disaggregated subset sum: total occurrences of keys in a subset.
+
+        The substitutable threshold makes this unbiased for any subset fixed
+        in advance — the "disaggregated subset sum" use case the paper
+        motivates with pages-by-topic aggregation.
+        """
+        return sum(
+            entry.estimate
+            for key, entry in self.table.items()
+            if predicate(key)
+        )
+
+    def frequent_keys(self) -> list[object]:
+        """Keys currently classified as frequent (``c_hat > 1/T``)."""
+        boundary = 1.0 / self.threshold if self.threshold > 0 else float("inf")
+        return [
+            key for key, entry in self.table.items() if entry.estimate > boundary
+        ]

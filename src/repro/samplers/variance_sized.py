@@ -1,0 +1,318 @@
+"""Variance-sized samples (Section 3.9) and the Section 6 heuristic.
+
+Priority sampling guarantees *relative* error given enough items; here the
+goal is an *absolute* variance guarantee ``Var(error) <= delta^2``.  The
+threshold is chosen where the unbiased variance estimate of the HT total
+crosses the target::
+
+    Vhat(S_t) = sum_{R_i < t} x_i^2 (1 - F_i(t)) / F_i(t)^2
+
+``Vhat`` decreases continuously in ``t`` between priority jumps and jumps
+*down* as ``t`` rises past each priority (a term leaves the sample), so the
+crossing need not be unique.  Two rules, matching the paper's discussion:
+
+* :func:`solve_stopping_threshold` — the **largest** crossing.  This is the
+  true stopping time of Theorem 8 (``E Vhat(S_T) = delta^2``), but locating
+  it requires looking *above* the threshold, i.e. oversampling: "the
+  stopping time may be a larger threshold that includes additional points
+  that are not in the sample" (§3.9).
+* :func:`solve_first_crossing` — the **smallest** crossing, computable from
+  the sample alone (everything below the candidate threshold is retained).
+  This is the no-oversampling heuristic that Section 6 justifies
+  asymptotically: the sawtooth fluctuations of ``Vhat`` around the
+  increasing true variance curve are ``O_p(n^{-1/2})`` relatively, so both
+  crossings converge to the same deterministic threshold.
+
+:class:`VarianceTargetSampler` is the streaming form.  Mid-stream, the
+final crossing cannot be known (``Vhat`` still grows as items arrive), so
+bounding memory requires anticipating it: given a ``horizon`` (expected
+stream length — known for file scans, configurable otherwise) the sampler
+linearly extrapolates the variance curve (``E Vhat_i(t) = (i/N) Vhat_N(t)``
+for i.i.d. arrivals), caps retention at ``oversample`` times the
+extrapolated threshold, and reports at :meth:`finalize` whether the cap
+ever bound (soundness flag).  Without a horizon it retains everything and
+is always sound.
+"""
+
+from __future__ import annotations
+
+import bisect
+
+import numpy as np
+
+from ..core.hashing import hash_to_unit
+from ..core.priorities import InverseWeightPriority, PriorityFamily
+from ..core.rng import as_generator
+from ..core.sample import Sample
+
+__all__ = [
+    "solve_stopping_threshold",
+    "solve_first_crossing",
+    "VarianceTargetSampler",
+]
+
+
+def _vhat(values, weights, t, family) -> float:
+    """Variance estimate at threshold ``t`` over items with priority < t.
+
+    Caller passes only the items below ``t``; terms with ``F = 1`` vanish.
+    """
+    probs = np.asarray(family.pseudo_inclusion(t, weights), dtype=float)
+    with np.errstate(divide="ignore", invalid="ignore"):
+        terms = np.where(
+            probs < 1.0, values**2 * (1.0 - probs) / probs**2, 0.0
+        )
+    return float(np.sum(terms))
+
+
+def _bisect_crossing(vals, wts, lo, hi, target, family, tol) -> float:
+    """Bisect ``Vhat(t) = target`` on (lo, hi) where Vhat decreases in t."""
+    a, b = lo, hi
+    for _ in range(200):
+        mid = 0.5 * (a + b)
+        if _vhat(vals, wts, mid, family) >= target:
+            a = mid
+        else:
+            b = mid
+        if b - a <= tol * max(1.0, b):
+            break
+    return 0.5 * (a + b)
+
+
+def solve_stopping_threshold(
+    values,
+    weights,
+    priorities,
+    delta: float,
+    family: PriorityFamily | None = None,
+    tol: float = 1e-12,
+) -> float:
+    """The largest threshold ``T`` with ``Vhat(S_T) = delta^2`` (exact rule).
+
+    Scans the intervals between descending order statistics; within an
+    interval the sample is fixed and ``Vhat`` is continuous and decreasing,
+    so bisection finds the crossing.  Returns ``+inf`` when even the
+    smallest non-empty sample estimates a variance below the target (no
+    downsampling needed).
+    """
+    if delta <= 0:
+        raise ValueError("delta must be positive")
+    family = family if family is not None else InverseWeightPriority()
+    values = np.asarray(values, dtype=float)
+    weights = np.asarray(weights, dtype=float)
+    priorities = np.asarray(priorities, dtype=float)
+    target = delta * delta
+    n = priorities.size
+    if n == 0:
+        return float("inf")
+    descending = np.sort(priorities)[::-1]
+
+    # Interval m (m = 0..n-1) is (d_{m+1}, d_m) with d_0 := +inf; its sample
+    # is "all but the m largest priorities".  Vhat only jumps *down* as t
+    # rises through a boundary, so scanning from the top, the first interval
+    # whose lower end reaches the target brackets the supremum crossing.
+    for m in range(n):
+        lo = descending[m]
+        hi = descending[m - 1] if m >= 1 else np.inf
+        mask = priorities <= lo  # the sample for t in (lo, hi)
+        vals, wts = values[mask], weights[mask]
+        if _vhat(vals, wts, lo, family) < target:
+            continue
+        if not np.isfinite(hi):
+            hi = max(lo * 2.0, 1.0)
+            while _vhat(vals, wts, hi, family) >= target and hi < 1e300:
+                hi *= 2.0
+        return _bisect_crossing(vals, wts, lo, hi, target, family, tol)
+    return float("inf")
+
+
+def solve_first_crossing(
+    values,
+    weights,
+    priorities,
+    delta: float,
+    family: PriorityFamily | None = None,
+    tol: float = 1e-12,
+) -> float:
+    """The smallest threshold with ``Vhat = delta^2`` (the §6 heuristic).
+
+    Scans intervals from the bottom; the first interval whose *lower* end
+    is above the target and whose upper end falls below it contains the
+    first down-crossing.  Everything the computation touches lies below the
+    returned threshold, which is what makes this rule implementable from
+    the sample alone.
+    """
+    if delta <= 0:
+        raise ValueError("delta must be positive")
+    family = family if family is not None else InverseWeightPriority()
+    values = np.asarray(values, dtype=float)
+    weights = np.asarray(weights, dtype=float)
+    priorities = np.asarray(priorities, dtype=float)
+    target = delta * delta
+    n = priorities.size
+    if n == 0:
+        return float("inf")
+    ascending = np.sort(priorities)
+
+    for m in range(n):  # interval (a_m, a_{m+1}): sample = first m+1 items
+        lo = ascending[m]
+        hi = ascending[m + 1] if m + 1 < n else np.inf
+        mask = priorities <= lo
+        vals, wts = values[mask], weights[mask]
+        v_lo = _vhat(vals, wts, lo, family)
+        if v_lo < target:
+            continue  # crossed below this interval already — keep going up?
+        if not np.isfinite(hi):
+            hi = max(lo * 2.0, 1.0)
+            while _vhat(vals, wts, hi, family) >= target and hi < 1e300:
+                hi *= 2.0
+        if _vhat(vals, wts, hi, family) >= target:
+            continue  # still above target at the top; crossing is higher
+        return _bisect_crossing(vals, wts, lo, hi, target, family, tol)
+    return float("inf")
+
+
+class VarianceTargetSampler:
+    """Streaming sampler that stops sampling once the variance target holds.
+
+    Parameters
+    ----------
+    delta:
+        Target standard error of the HT total.
+    horizon:
+        Expected number of stream items.  When given, retention is capped
+        at ``oversample`` times the *extrapolated* final stopping threshold
+        (memory-bounded); when None, everything is retained (always sound).
+    oversample:
+        Retention multiplier above the extrapolated threshold.
+    """
+
+    def __init__(
+        self,
+        delta: float,
+        horizon: int | None = None,
+        oversample: float = 2.0,
+        family: PriorityFamily | None = None,
+        coordinated: bool = False,
+        salt: int = 0,
+        rng=None,
+    ):
+        if delta <= 0:
+            raise ValueError("delta must be positive")
+        if oversample < 1.0:
+            raise ValueError("oversample must be >= 1")
+        if horizon is not None and horizon < 1:
+            raise ValueError("horizon must be positive when given")
+        self.delta = float(delta)
+        self.horizon = None if horizon is None else int(horizon)
+        self.oversample = float(oversample)
+        self.family = family if family is not None else InverseWeightPriority()
+        self.coordinated = bool(coordinated)
+        self.salt = int(salt)
+        self.rng = as_generator(rng if rng is not None else 0)
+        self._priorities: list[float] = []
+        self._records: list[tuple[object, float, float]] = []  # key, weight, value
+        self._cap = float("inf")
+        self._cap_ever_bound = False
+        self.items_seen = 0
+
+    def _priority(self, key: object, weight: float) -> float:
+        if self.coordinated:
+            u = hash_to_unit(key, self.salt)
+        else:
+            u = float(self.rng.random())
+        return float(self.family.inverse_cdf(u, weight))
+
+    def update(self, key: object, weight: float = 1.0, value: float | None = None) -> bool:
+        """Offer one item; returns True if retained (possibly provisionally)."""
+        r = self._priority(key, weight)
+        return self.offer_with_priority(key, r, weight, value)
+
+    def offer_with_priority(
+        self,
+        key: object,
+        priority: float,
+        weight: float = 1.0,
+        value: float | None = None,
+    ) -> bool:
+        """Offer an item whose priority was drawn externally."""
+        self.items_seen += 1
+        if not priority < self._cap:
+            self._cap_ever_bound = True
+            return False
+        idx = bisect.bisect_left(self._priorities, priority)
+        self._priorities.insert(idx, priority)
+        self._records.insert(
+            idx, (key, float(weight), float(weight if value is None else value))
+        )
+        # Don't cap before the extrapolated threshold has stabilized: the
+        # early-stream estimate is noisy, and an over-tight cap can never be
+        # undone (evicted items are gone).
+        if (
+            self.horizon is not None
+            and self.items_seen >= 256
+            and self.items_seen % 64 == 0
+        ):
+            self._tighten_cap()
+        return True
+
+    def _arrays(self) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        return (
+            np.array([rec[2] for rec in self._records]),
+            np.array([rec[1] for rec in self._records]),
+            np.asarray(self._priorities, dtype=float),
+        )
+
+    def _tighten_cap(self) -> None:
+        """Cap retention at the extrapolated final stopping threshold.
+
+        ``E Vhat_i(t) = (i / N) Vhat_N(t)`` for i.i.d. arrivals, so the
+        final threshold is estimated by solving with a scaled-down target
+        ``delta^2 * i / N``.
+        """
+        if not self._priorities:
+            return
+        scale = min(1.0, self.items_seen / float(self.horizon))
+        values, weights, priorities = self._arrays()
+        t_hat = solve_first_crossing(
+            values, weights, priorities, self.delta * np.sqrt(scale), self.family
+        )
+        if not np.isfinite(t_hat):
+            return
+        cap = t_hat * self.oversample
+        if cap >= self._cap:
+            return
+        self._cap = cap
+        cut = bisect.bisect_left(self._priorities, cap)
+        del self._priorities[cut:]
+        del self._records[cut:]
+
+    def provisional_threshold(self) -> float:
+        """First-crossing stopping threshold over the retained items."""
+        if not self._priorities:
+            return float("inf")
+        values, weights, priorities = self._arrays()
+        return solve_first_crossing(values, weights, priorities, self.delta, self.family)
+
+    def finalize(self) -> tuple[Sample, bool]:
+        """Final sample plus a soundness flag.
+
+        The flag is True when the chosen threshold lies strictly inside the
+        retained region (the retention cap never truncated the information
+        the stopping rule needed).
+        """
+        t_star = self.provisional_threshold()
+        sound = (not self._cap_ever_bound) or t_star < self._cap
+        threshold = min(t_star, self._cap)
+        cut = bisect.bisect_left(self._priorities, threshold)
+        records = self._records[:cut]
+        sample = Sample(
+            keys=[rec[0] for rec in records],
+            values=np.array([rec[2] for rec in records]),
+            weights=np.array([rec[1] for rec in records]),
+            priorities=np.array(self._priorities[:cut]),
+            thresholds=np.full(cut, threshold),
+            family=self.family,
+            population_size=self.items_seen,
+        )
+        return sample, sound

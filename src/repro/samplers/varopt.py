@@ -1,0 +1,96 @@
+"""VarOpt_k sampling (Cohen–Duffield–Kaplan–Lund–Thorup, cited as [7]).
+
+The fixed-size, variance-optimal comparator from the paper's related work:
+keeps exactly ``k`` items; on overflow it solves for the threshold ``tau``
+with ``sum_i min(1, w_i / tau) = k``, evicts one item with probability
+``1 - min(1, w_i / tau)`` (these sum to one), and assigns every surviving
+"small" item the adjusted weight ``tau``.  Subset sums are estimated by
+summing adjusted weights — unbiased, with variance optimal among fixed-size
+unbiased schemes.
+
+Included as a baseline for the sampler-ablation bench (A1 in DESIGN.md):
+priority sampling's variance is within a factor of VarOpt's, which the
+bench verifies empirically.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+import numpy as np
+
+from ..core.rng import as_generator
+
+__all__ = ["VarOptSampler"]
+
+
+class VarOptSampler:
+    """Fixed-size variance-optimal weighted sampler."""
+
+    def __init__(self, k: int, rng=None):
+        if k < 1:
+            raise ValueError("k must be a positive integer")
+        self.k = int(k)
+        self.rng = as_generator(rng if rng is not None else 0)
+        self._keys: list[object] = []
+        self._weights: list[float] = []  # adjusted weights
+        self.threshold = 0.0  # largest tau used so far
+        self.items_seen = 0
+
+    def update(self, key: object, weight: float) -> None:
+        """Offer one weighted item."""
+        if weight <= 0:
+            raise ValueError("weight must be positive")
+        self.items_seen += 1
+        self._keys.append(key)
+        self._weights.append(float(weight))
+        if len(self._keys) > self.k:
+            self._evict_one()
+
+    def _evict_one(self) -> None:
+        """Drop one of the k+1 items per the VarOpt eviction distribution."""
+        weights = np.asarray(self._weights, dtype=float)
+        tau = self._solve_tau(weights, self.k)
+        drop_probs = 1.0 - np.minimum(1.0, weights / tau)
+        total = drop_probs.sum()
+        # Total is exactly 1 in exact arithmetic; normalize for safety.
+        drop_probs = drop_probs / total
+        victim = int(self.rng.choice(len(weights), p=drop_probs))
+        del self._keys[victim]
+        del self._weights[victim]
+        # Survivors below tau take the adjusted weight tau.
+        self._weights = [tau if w < tau else w for w in self._weights]
+        self.threshold = max(self.threshold, tau)
+
+    @staticmethod
+    def _solve_tau(weights: np.ndarray, k: int) -> float:
+        """Solve ``sum_i min(1, w_i / tau) = k`` for k+1 weights.
+
+        With weights ascending, if the ``t`` smallest are "small"
+        (``w <= tau``), then ``tau = (sum of t smallest) / (t - 1)``; scan
+        ``t`` until the bracketing condition ``w_t <= tau < w_{t+1}`` holds.
+        """
+        ws = np.sort(weights)
+        n = ws.size  # == k + 1
+        prefix = np.cumsum(ws)
+        for t in range(2, n + 1):
+            tau = prefix[t - 1] / (t - 1)
+            upper = ws[t] if t < n else np.inf
+            if ws[t - 1] <= tau + 1e-12 and tau < upper + 1e-12:
+                return float(tau)
+        raise AssertionError("VarOpt threshold equation must have a solution")
+
+    def __len__(self) -> int:
+        return len(self._keys)
+
+    def estimate_total(self, predicate: Callable[[object], bool] | None = None) -> float:
+        """Unbiased subset-sum estimate: sum of adjusted weights."""
+        if predicate is None:
+            return float(sum(self._weights))
+        return float(
+            sum(w for key, w in zip(self._keys, self._weights) if predicate(key))
+        )
+
+    def items(self) -> list[tuple[object, float]]:
+        """The retained (key, adjusted_weight) pairs."""
+        return list(zip(self._keys, self._weights))

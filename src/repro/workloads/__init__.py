@@ -1,0 +1,38 @@
+"""Workload generators standing in for the paper's evaluation data.
+
+Every dataset the paper evaluates on is synthetic or unavailable offline;
+these modules generate exact equivalents (see the substitution notes in
+DESIGN.md §2.4).
+"""
+
+from .arrivals import (
+    homogeneous_arrivals,
+    inhomogeneous_arrivals,
+    piecewise_rate,
+    spike_rate,
+)
+from .pitman_yor import pitman_yor_stream, true_top_k
+from .sets import many_small_sets, max_jaccard, set_pair_with_jaccard
+from .sizes import SURVEY_MAX_SIZE, SURVEY_MEAN_SIZE, survey_sizes
+from .weights import correlated_weight_pair, lognormal_weights, pareto_weights
+from .zipf import zipf_stream, zipf_weights
+
+__all__ = [
+    "homogeneous_arrivals",
+    "inhomogeneous_arrivals",
+    "spike_rate",
+    "piecewise_rate",
+    "pitman_yor_stream",
+    "true_top_k",
+    "set_pair_with_jaccard",
+    "max_jaccard",
+    "many_small_sets",
+    "survey_sizes",
+    "SURVEY_MAX_SIZE",
+    "SURVEY_MEAN_SIZE",
+    "lognormal_weights",
+    "pareto_weights",
+    "correlated_weight_pair",
+    "zipf_stream",
+    "zipf_weights",
+]

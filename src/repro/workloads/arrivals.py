@@ -1,0 +1,92 @@
+"""Arrival processes for the sliding-window experiments (Figures 1 and 2).
+
+Figure 1 uses a steady arrival rate; Figure 2 injects a large spike in the
+items-per-second rate and watches the samplers recover.  Both are
+(in)homogeneous Poisson processes, generated exactly by thinning against
+the peak rate.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterator, Sequence
+
+import numpy as np
+
+from ..core.rng import as_generator
+
+__all__ = [
+    "homogeneous_arrivals",
+    "inhomogeneous_arrivals",
+    "spike_rate",
+    "piecewise_rate",
+]
+
+
+def homogeneous_arrivals(
+    rate: float, t_start: float, t_end: float, rng=None
+) -> np.ndarray:
+    """Arrival times of a Poisson process at constant ``rate`` on an interval."""
+    if rate <= 0:
+        raise ValueError("rate must be positive")
+    if t_end <= t_start:
+        raise ValueError("t_end must exceed t_start")
+    rng = as_generator(rng)
+    n = rng.poisson(rate * (t_end - t_start))
+    times = rng.uniform(t_start, t_end, size=n)
+    times.sort()
+    return times
+
+
+def inhomogeneous_arrivals(
+    rate_fn: Callable[[np.ndarray], np.ndarray],
+    peak_rate: float,
+    t_start: float,
+    t_end: float,
+    rng=None,
+) -> np.ndarray:
+    """Exact arrivals for a time-varying rate by thinning at ``peak_rate``.
+
+    ``rate_fn`` must be vectorized and bounded by ``peak_rate`` on the
+    interval.
+    """
+    rng = as_generator(rng)
+    candidates = homogeneous_arrivals(peak_rate, t_start, t_end, rng)
+    if candidates.size == 0:
+        return candidates
+    accept = rng.random(candidates.size) < np.asarray(rate_fn(candidates)) / peak_rate
+    return candidates[accept]
+
+
+def spike_rate(
+    base: float, spike: float, spike_start: float, spike_end: float
+) -> Callable[[np.ndarray], np.ndarray]:
+    """Figure 2's rate profile: ``base`` with a plateau at ``spike``."""
+    if spike < base:
+        raise ValueError("spike rate should be at least the base rate")
+
+    def rate(t: np.ndarray) -> np.ndarray:
+        t = np.asarray(t, dtype=float)
+        return np.where((t >= spike_start) & (t < spike_end), spike, base)
+
+    return rate
+
+
+def piecewise_rate(
+    breakpoints: Sequence[float], rates: Sequence[float]
+) -> Callable[[np.ndarray], np.ndarray]:
+    """Step-function rate: ``rates[i]`` on ``[breakpoints[i], breakpoints[i+1])``.
+
+    ``len(rates) == len(breakpoints) + 1``; the first rate applies before
+    the first breakpoint, the last after the last breakpoint.
+    """
+    breakpoints = np.asarray(breakpoints, dtype=float)
+    rates = np.asarray(rates, dtype=float)
+    if rates.size != breakpoints.size + 1:
+        raise ValueError("need one more rate than breakpoints")
+
+    def rate(t: np.ndarray) -> np.ndarray:
+        t = np.asarray(t, dtype=float)
+        idx = np.searchsorted(breakpoints, t, side="right")
+        return rates[idx]
+
+    return rate

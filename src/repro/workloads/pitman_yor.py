@@ -1,0 +1,75 @@
+"""Pitman–Yor preferential-attachment streams (Figure 3's workload).
+
+The paper evaluates the top-k sampler on a Pitman–Yor(1, beta) process: the
+t-th stream element is a *new* item with probability ``(1 + beta * C_t) / t``
+(``C_t`` = number of distinct items so far) and otherwise repeats the j-th
+existing item with probability ``(n_tj - beta) / t``.  Small ``beta`` gives
+a few dominant heavy hitters; ``beta`` near 1 gives heavy tails with poorly
+separated frequencies — exactly the regime where fixed-size frequent-item
+sketches fail and the adaptive sampler's size has to grow.
+
+The sampler below is the exact sequential scheme (no approximation), using
+a cumulative-count trick to draw the repeated item in O(log C_t).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..core.rng import as_generator
+
+__all__ = ["pitman_yor_stream", "true_top_k"]
+
+
+def pitman_yor_stream(
+    n: int, beta: float, rng=None, concentration: float = 1.0
+) -> np.ndarray:
+    """Generate ``n`` stream elements from Pitman–Yor(concentration, beta).
+
+    Returns an int array of item ids (0-based, in order of first
+    appearance).  ``beta`` must lie in [0, 1); ``concentration = 1``
+    matches the paper's Pitman–Yor(1, beta).
+
+    Sequential law (theta = concentration, C = distinct so far, t = 1-based
+    position): new item with probability ``(theta + beta C) / (theta + t - 1)``,
+    else item j with probability ``(n_j - beta) / (theta + t - 1)``.
+    The paper's exposition sets theta = 1, giving the ``(1 + beta C_t)/t``
+    form quoted above.
+    """
+    if not 0.0 <= beta < 1.0:
+        raise ValueError("beta must lie in [0, 1)")
+    if n < 1:
+        raise ValueError("n must be positive")
+    rng = as_generator(rng)
+    theta = float(concentration)
+
+    stream = np.empty(n, dtype=np.int64)
+    counts: list[int] = []  # occurrences per item
+    tokens: list[int] = []  # flat history: one entry per past element
+
+    for t in range(1, n + 1):
+        denom = theta + t - 1
+        p_new = (theta + beta * len(counts)) / denom
+        if t == 1 or rng.random() < p_new:
+            item = len(counts)
+            counts.append(1)
+        else:
+            # Draw j with probability proportional to (n_j - beta) by
+            # rejection: propose a uniform past token (prob n_j / (t-1)),
+            # accept with probability (n_j - beta) / n_j.  Expected
+            # iterations are bounded by 1 / (1 - beta).
+            while True:
+                item = tokens[int(rng.integers(0, len(tokens)))]
+                if rng.random() < (counts[item] - beta) / counts[item]:
+                    break
+            counts[item] += 1
+        tokens.append(item)
+        stream[t - 1] = item
+    return stream
+
+
+def true_top_k(stream: np.ndarray, k: int) -> list[int]:
+    """The ground-truth top-k item ids by frequency (ties by id)."""
+    ids, counts = np.unique(np.asarray(stream), return_counts=True)
+    order = np.lexsort((ids, -counts))
+    return [int(ids[i]) for i in order[:k]]

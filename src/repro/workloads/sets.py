@@ -1,0 +1,76 @@
+"""Set-pair construction for the distinct-counting experiments (Figure 4).
+
+Figure 4 sweeps the Jaccard similarity of two sets with fixed sizes
+(|A| = 10^6, |B| = 2*10^6 in the paper).  Given sizes and a target Jaccard
+``J``, the intersection size is ``I = J * (|A| + |B|) / (1 + J)``; the
+generator allocates integer key ranges for the intersection and the two
+differences, so the construction is exact and trivially reproducible.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["set_pair_with_jaccard", "max_jaccard", "many_small_sets"]
+
+
+def max_jaccard(size_a: int, size_b: int) -> float:
+    """Largest achievable Jaccard for the given sizes (full containment)."""
+    small, large = sorted((int(size_a), int(size_b)))
+    return small / large if large else 0.0
+
+
+def set_pair_with_jaccard(
+    size_a: int, size_b: int, jaccard: float, key_offset: int = 0
+) -> tuple[np.ndarray, np.ndarray]:
+    """Integer key arrays for sets A, B with the exact target Jaccard.
+
+    Keys are consecutive integers starting at ``key_offset``:
+    ``[intersection | A-only | B-only]``.  Rounding the intersection size
+    to an integer perturbs the realized Jaccard by O(1/|A|); the realized
+    value can be recomputed from the returned arrays when needed.
+    """
+    if not 0.0 <= jaccard <= max_jaccard(size_a, size_b) + 1e-12:
+        raise ValueError(
+            f"jaccard {jaccard} unachievable for sizes {size_a}, {size_b}"
+        )
+    union_minus = size_a + size_b
+    intersection = int(round(jaccard * union_minus / (1.0 + jaccard)))
+    intersection = min(intersection, size_a, size_b)
+    a_only = size_a - intersection
+    b_only = size_b - intersection
+    base = int(key_offset)
+    inter_keys = np.arange(base, base + intersection, dtype=np.int64)
+    a_keys = np.concatenate(
+        [inter_keys, np.arange(base + intersection, base + intersection + a_only, dtype=np.int64)]
+    )
+    b_keys = np.concatenate(
+        [
+            inter_keys,
+            np.arange(
+                base + intersection + a_only,
+                base + intersection + a_only + b_only,
+                dtype=np.int64,
+            ),
+        ]
+    )
+    return a_keys, b_keys
+
+
+def many_small_sets(
+    big_size: int, n_small: int, small_size: int, key_offset: int = 0
+) -> tuple[np.ndarray, list[np.ndarray]]:
+    """Disjoint sets for the §3.5 dominance scenario.
+
+    One big set of ``big_size`` keys plus ``n_small`` disjoint sets of
+    ``small_size`` keys each (the paper's 10^6-big / 10^6-times-100 case,
+    scaled by the caller).
+    """
+    base = int(key_offset)
+    big = np.arange(base, base + big_size, dtype=np.int64)
+    cursor = base + big_size
+    smalls = []
+    for _ in range(n_small):
+        smalls.append(np.arange(cursor, cursor + small_size, dtype=np.int64))
+        cursor += small_size
+    return big, smalls

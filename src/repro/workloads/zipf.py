@@ -1,0 +1,32 @@
+"""Zipfian streams and weight vectors — generic skewed workloads.
+
+Used by the top-k tests (a distribution with cleanly separated head), the
+micro-benchmarks, and the sampler ablation.  The generator draws from a
+*bounded* Zipf (finite universe), which keeps true counts computable.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..core.rng import as_generator
+
+__all__ = ["zipf_stream", "zipf_weights"]
+
+
+def zipf_weights(n_items: int, exponent: float = 1.2) -> np.ndarray:
+    """Unnormalized Zipf frequencies ``1 / rank^exponent`` for a universe."""
+    if n_items < 1:
+        raise ValueError("n_items must be positive")
+    ranks = np.arange(1, n_items + 1, dtype=float)
+    return ranks**-float(exponent)
+
+
+def zipf_stream(
+    n: int, n_items: int, exponent: float = 1.2, rng=None
+) -> np.ndarray:
+    """``n`` draws (item ids) from a bounded Zipf(exponent) universe."""
+    rng = as_generator(rng)
+    probs = zipf_weights(n_items, exponent)
+    probs = probs / probs.sum()
+    return rng.choice(n_items, size=int(n), p=probs)

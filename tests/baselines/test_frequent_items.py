@@ -1,0 +1,75 @@
+"""Tests for the FrequentItems baseline (repro.baselines.frequent_items)."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.frequent_items import FrequentItemsSketch
+from repro.workloads.zipf import zipf_stream
+
+
+class TestMechanics:
+    def test_exact_without_purges(self):
+        s = FrequentItemsSketch(64)
+        for i in range(10):
+            for _ in range(i + 1):
+                s.update(i)
+        for i in range(10):
+            assert s.estimate(i) == i + 1
+            assert s.lower_bound(i) == i + 1
+        assert s.maximum_error == 0
+
+    def test_nominal_size(self):
+        assert FrequentItemsSketch(128).nominal_size == 96
+
+    def test_purge_caps_table(self):
+        s = FrequentItemsSketch(16)
+        for i in range(1000):
+            s.update(i)  # all distinct: worst case
+        assert len(s) <= s.nominal_size + 1
+
+    def test_untracked_estimate_zero(self):
+        s = FrequentItemsSketch(16)
+        s.update("a")
+        assert s.estimate("zzz") == 0
+
+    def test_update_validation(self):
+        with pytest.raises(ValueError):
+            FrequentItemsSketch(16).update("a", count=0)
+        with pytest.raises(ValueError):
+            FrequentItemsSketch(1)
+
+    def test_weighted_updates(self):
+        s = FrequentItemsSketch(32)
+        s.update("a", count=10)
+        s.update("a", count=5)
+        assert s.estimate("a") == 15
+
+
+class TestGuarantees:
+    def test_misra_gries_error_bound(self):
+        """offset <= n / nominal_size — the classical MG guarantee."""
+        s = FrequentItemsSketch(32)
+        stream = zipf_stream(20_000, 5000, 1.05, rng=0)
+        for item in stream.tolist():
+            s.update(item)
+        assert s.maximum_error <= s.items_seen / s.nominal_size * 1.01
+
+    def test_bounds_bracket_truth(self):
+        s = FrequentItemsSketch(64)
+        stream = zipf_stream(30_000, 2000, 1.1, rng=1)
+        ids, counts = np.unique(stream, return_counts=True)
+        truth = dict(zip(ids.tolist(), counts.tolist()))
+        for item in stream.tolist():
+            s.update(item)
+        for key in list(s.counts)[:50]:
+            assert s.lower_bound(key) <= truth[key] <= s.estimate(key)
+
+    def test_top_heavy_hitters_found(self):
+        stream = zipf_stream(50_000, 1000, 1.5, rng=2)
+        s = FrequentItemsSketch(128)
+        for item in stream.tolist():
+            s.update(item)
+        ids, counts = np.unique(stream, return_counts=True)
+        truth = set(ids[np.argsort(counts)[::-1][:5]].tolist())
+        returned = {k for k, _ in s.top(5)}
+        assert len(returned & truth) >= 4

@@ -1,0 +1,134 @@
+"""Tests for Theta and KMV distinct-count baselines."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.kmv import KMVSketch, kmv_union
+from repro.baselines.theta import ThetaSketch, theta_union
+from repro.core.hashing import hash_array_to_unit
+
+from ..conftest import assert_within_se
+
+
+class TestThetaSketch:
+    def test_exact_while_underfull(self):
+        s = ThetaSketch(100, salt=0)
+        s.extend(range(40))
+        assert s.estimate() == pytest.approx(40.0)
+        assert s.theta == 1.0
+
+    def test_duplicates_idempotent(self):
+        s = ThetaSketch(10, salt=0)
+        for _ in range(3):
+            s.extend(range(5))
+        assert s.estimate() == pytest.approx(5.0)
+
+    def test_estimate_unbiased(self):
+        n, k = 800, 64
+        estimates = []
+        for salt in range(300):
+            s = ThetaSketch(k, salt=salt)
+            s.extend(range(n))
+            estimates.append(s.estimate())
+        assert_within_se(estimates, float(n))
+
+    def test_union_min_theta(self):
+        a = ThetaSketch(20, salt=1)
+        a.extend(range(1000))
+        b = ThetaSketch(20, salt=1)
+        b.extend(range(500, 2500))
+        u = a.union(b)
+        assert u.theta <= min(a.theta, b.theta)
+        assert len(u) <= 21
+
+    def test_union_estimate_accuracy(self):
+        truth = 3000.0
+        estimates = []
+        for salt in range(200):
+            a = ThetaSketch(64, salt=salt)
+            a.extend(range(1000))
+            b = ThetaSketch(64, salt=salt)
+            b.extend(range(500, 2500))  # union = 0..2499 plus 2500..?  n=2500
+            estimates.append(a.union(b).estimate())
+        assert np.mean(estimates) == pytest.approx(2500.0, rel=0.05)
+
+    def test_union_salt_mismatch(self):
+        with pytest.raises(ValueError):
+            ThetaSketch(5, salt=0).union(ThetaSketch(5, salt=1))
+
+    def test_theta_union_helper(self):
+        sketches = []
+        for block in range(3):
+            s = ThetaSketch(32, salt=2)
+            s.extend(range(block * 300, (block + 1) * 300))
+            sketches.append(s)
+        assert theta_union(sketches).estimate() == pytest.approx(900, rel=0.4)
+
+    def test_from_hashes_matches_streaming(self):
+        n, k, salt = 500, 40, 7
+        streamed = ThetaSketch(k, salt=salt)
+        streamed.extend(range(n))
+        built = ThetaSketch.from_hashes(
+            hash_array_to_unit(np.arange(n), salt), k, salt
+        )
+        assert built.estimate() == pytest.approx(streamed.estimate())
+        assert built.theta == pytest.approx(streamed.theta)
+
+
+class TestKMVSketch:
+    def test_exact_while_underfull(self):
+        s = KMVSketch(50, salt=0)
+        s.extend(range(20))
+        assert s.is_exact
+        assert s.estimate() == 20.0
+
+    def test_estimate_unbiased(self):
+        n, k = 1000, 50
+        estimates = []
+        for salt in range(300):
+            s = KMVSketch(k, salt=salt)
+            s.extend(range(n))
+            estimates.append(s.estimate())
+        assert_within_se(estimates, float(n))
+
+    def test_union_equals_union_stream(self):
+        k, salt = 30, 3
+        a = KMVSketch(k, salt=salt)
+        a.extend(range(400))
+        b = KMVSketch(k, salt=salt)
+        b.extend(range(200, 900))
+        direct = KMVSketch(k, salt=salt)
+        direct.extend(range(900))
+        u = a.union(b)
+        assert u.estimate() == pytest.approx(direct.estimate())
+        assert u.kth_minimum == pytest.approx(direct.kth_minimum)
+
+    def test_union_of_exact_sketches(self):
+        a = KMVSketch(50, salt=4)
+        a.extend(range(10))
+        b = KMVSketch(50, salt=4)
+        b.extend(range(5, 20))
+        u = a.union(b)
+        assert u.estimate() == pytest.approx(20.0)
+
+    def test_kmv_union_helper(self):
+        parts = []
+        for block in range(4):
+            s = KMVSketch(40, salt=5)
+            s.extend(range(block * 200, (block + 1) * 200))
+            parts.append(s)
+        assert kmv_union(parts).estimate() == pytest.approx(800, rel=0.4)
+
+    def test_k_validation(self):
+        with pytest.raises(ValueError):
+            KMVSketch(1)
+
+    def test_from_hashes_matches_streaming(self):
+        n, k, salt = 600, 40, 9
+        streamed = KMVSketch(k, salt=salt)
+        streamed.extend(range(n))
+        built = KMVSketch.from_hashes(
+            hash_array_to_unit(np.arange(n), salt), k, salt
+        )
+        assert built.estimate() == pytest.approx(streamed.estimate())
+        assert built.is_exact == streamed.is_exact

@@ -1,0 +1,62 @@
+"""Tests for threshold composition (repro.core.composition)."""
+
+import numpy as np
+import pytest
+
+from repro.core.composition import ClampedRule, MaxComposition, MinComposition
+from repro.core.thresholds import BottomK, FixedThreshold, StratifiedBottomK
+
+
+class TestMinMaxValues:
+    def test_min_is_pointwise_min(self, rng):
+        pr = rng.random(15)
+        rules = [BottomK(3), FixedThreshold(0.25)]
+        combo = MinComposition(rules)
+        expected = np.minimum(rules[0].thresholds(pr), rules[1].thresholds(pr))
+        np.testing.assert_array_equal(combo.thresholds(pr), expected)
+
+    def test_max_is_pointwise_max(self, rng):
+        pr = rng.random(15)
+        rules = [BottomK(3), FixedThreshold(0.25)]
+        combo = MaxComposition(rules)
+        expected = np.maximum(rules[0].thresholds(pr), rules[1].thresholds(pr))
+        np.testing.assert_array_equal(combo.thresholds(pr), expected)
+
+    def test_min_sample_is_intersection(self, rng):
+        pr = rng.random(20)
+        a, b = BottomK(5), BottomK(9)
+        combo = MinComposition([a, b])
+        expected = set(a.sample(pr)) & set(b.sample(pr))
+        assert set(combo.sample(pr)) == expected
+
+    def test_max_sample_is_union(self, rng):
+        pr = rng.random(20)
+        strata = np.array(["x", "y"] * 10)
+        a = StratifiedBottomK(strata, k=3)
+        b = BottomK(4)
+        combo = MaxComposition([a, b])
+        expected = set(a.sample(pr)) | set(b.sample(pr))
+        assert set(combo.sample(pr)) == expected
+
+    def test_empty_composition_rejected(self):
+        with pytest.raises(ValueError):
+            MinComposition([])
+
+    def test_monotone_flag_propagates(self):
+        rule = BottomK(2)
+        rule.monotone = False
+        assert MinComposition([rule, BottomK(2)]).monotone is False
+        assert MaxComposition([BottomK(2)]).monotone is True
+
+
+class TestClamped:
+    def test_clamps_both_sides(self, rng):
+        pr = rng.random(10)
+        rule = ClampedRule(BottomK(3), lo=0.1, hi=0.5)
+        t = rule.thresholds(pr)
+        assert np.all(t >= 0.1) and np.all(t <= 0.5)
+
+    def test_infinite_thresholds_capped(self, rng):
+        pr = rng.random(3)  # underfull bottom-k -> +inf
+        rule = ClampedRule(BottomK(5), hi=1.0)
+        assert np.all(rule.thresholds(pr) == 1.0)

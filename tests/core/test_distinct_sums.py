@@ -1,0 +1,165 @@
+"""Tests for the distinct-sums engine (repro.core.distinct_sums).
+
+The estimators' defining property — exact unbiasedness under Poisson
+sampling — is verified by exhaustive enumeration for degrees 2-4.
+"""
+
+import itertools
+import math
+
+import numpy as np
+import pytest
+
+from repro.core.distinct_sums import (
+    central_moment_unbiased,
+    estimate_distinct_product,
+    estimate_power_sum_product,
+    kurtosis_estimate,
+    set_partitions,
+    skewness_estimate,
+)
+
+from ..conftest import exact_expectation
+
+
+def bell_number(n: int) -> int:
+    """Bell numbers via the triangle recurrence (for the partition test)."""
+    row = [1]
+    for _ in range(n - 1):
+        new = [row[-1]]
+        for value in row:
+            new.append(new[-1] + value)
+        row = new
+    return row[-1]
+
+
+class TestSetPartitions:
+    @pytest.mark.parametrize("n,expected", [(1, 1), (2, 2), (3, 5), (4, 15)])
+    def test_counts_are_bell_numbers(self, n, expected):
+        parts = list(set_partitions(range(n)))
+        assert len(parts) == expected == bell_number(n)
+
+    def test_partitions_cover_all_items(self):
+        for partition in set_partitions(range(4)):
+            flat = sorted(i for block in partition for i in block)
+            assert flat == [0, 1, 2, 3]
+
+    def test_empty(self):
+        assert list(set_partitions([])) == [[]]
+
+
+@pytest.fixture
+def population():
+    values = np.array([1.0, -2.0, 3.5, 0.5])
+    probs = np.array([0.4, 0.8, 0.55, 0.7])
+    return values, probs
+
+
+def distinct_sum_truth(values: np.ndarray, d: int) -> float:
+    """Brute-force sum over distinct index tuples of prod values."""
+    n = values.size
+    total = 0.0
+    for tup in itertools.permutations(range(n), d):
+        total += math.prod(values[i] for i in tup)
+    return total
+
+
+class TestDistinctProduct:
+    @pytest.mark.parametrize("d", [1, 2, 3, 4])
+    def test_exactly_unbiased(self, population, d):
+        values, probs = population
+        truth = distinct_sum_truth(values, d)
+        expected = exact_expectation(
+            probs,
+            lambda mask: estimate_distinct_product([values[mask]] * d, probs[mask]),
+        )
+        assert expected == pytest.approx(truth, abs=1e-8)
+
+    def test_mixed_vectors(self, population):
+        values, probs = population
+        other = values**2
+        truth = sum(
+            values[i] * other[j]
+            for i in range(4)
+            for j in range(4)
+            if i != j
+        )
+        expected = exact_expectation(
+            probs,
+            lambda mask: estimate_distinct_product(
+                [values[mask], other[mask]], probs[mask]
+            ),
+        )
+        assert expected == pytest.approx(truth, abs=1e-8)
+
+    def test_alignment_validation(self, population):
+        values, probs = population
+        with pytest.raises(ValueError):
+            estimate_distinct_product([values[:2]], probs)
+
+    def test_empty_degree(self, population):
+        values, probs = population
+        assert estimate_distinct_product([], probs) == 1.0
+
+
+class TestPowerSumProducts:
+    @pytest.mark.parametrize(
+        "exponents",
+        [(1,), (2,), (1, 1), (2, 1), (1, 1, 1), (2, 1, 1), (1, 1, 1, 1)],
+    )
+    def test_exactly_unbiased(self, population, exponents):
+        values, probs = population
+        truth = math.prod(float(np.sum(values**r)) for r in exponents)
+        expected = exact_expectation(
+            probs,
+            lambda mask: estimate_power_sum_product(
+                values[mask], probs[mask], exponents
+            ),
+        )
+        assert expected == pytest.approx(truth, rel=1e-8)
+
+
+class TestCentralMoments:
+    @pytest.mark.parametrize("k", [2, 3, 4])
+    def test_exactly_unbiased(self, population, k):
+        values, probs = population
+        truth = float(np.mean((values - values.mean()) ** k))
+        expected = exact_expectation(
+            probs,
+            lambda mask: central_moment_unbiased(
+                values[mask], probs[mask], values.size, k
+            ),
+        )
+        assert expected == pytest.approx(truth, abs=1e-8)
+
+    def test_unsupported_degree(self, population):
+        values, probs = population
+        with pytest.raises(ValueError):
+            central_moment_unbiased(values, probs, 4, 5)
+
+    def test_requires_positive_n(self, population):
+        values, probs = population
+        with pytest.raises(ValueError):
+            central_moment_unbiased(values, probs, 0, 2)
+
+
+class TestSkewKurtosis:
+    def test_consistency_on_large_sample(self, rng):
+        # Skewness/kurtosis are plug-in ratios: consistent, so a large
+        # lightly-sampled population should land near scipy's values.
+        from scipy import stats
+
+        n = 3000
+        values = rng.gamma(3.0, 1.0, n)  # skewed population
+        probs = np.full(n, 0.5)
+        mask = rng.random(n) < probs
+        skew = skewness_estimate(values[mask], probs[mask], n)
+        kurt = kurtosis_estimate(values[mask], probs[mask], n)
+        assert skew == pytest.approx(stats.skew(values), abs=0.25)
+        assert kurt == pytest.approx(stats.kurtosis(values, fisher=False), abs=1.0)
+
+    def test_degenerate_variance_rejected(self):
+        values = np.array([0.0])
+        probs = np.array([1.0])
+        with pytest.raises(ValueError):
+            skewness_estimate(values, probs, 1)

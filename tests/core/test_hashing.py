@@ -1,0 +1,90 @@
+"""Tests for stable hashing (repro.core.hashing)."""
+
+import numpy as np
+import pytest
+from scipy import stats
+
+from repro.core.hashing import (
+    hash_array_to_unit,
+    hash_key,
+    hash_to_unit,
+    splitmix64,
+    splitmix64_array,
+)
+
+
+class TestSplitMix:
+    def test_scalar_deterministic(self):
+        assert splitmix64(42) == splitmix64(42)
+
+    def test_scalar_distinct_inputs(self):
+        outputs = {splitmix64(i) for i in range(10_000)}
+        assert len(outputs) == 10_000  # no collisions on small ints
+
+    def test_scalar_in_64bit_range(self):
+        for i in (0, 1, 2**63, 2**64 - 1):
+            h = splitmix64(i)
+            assert 0 <= h < 2**64
+
+    def test_array_matches_scalar(self):
+        keys = np.arange(1000, dtype=np.uint64)
+        arr = splitmix64_array(keys)
+        for i in (0, 1, 17, 999):
+            assert int(arr[i]) == splitmix64(i)
+
+    def test_array_does_not_mutate_input(self):
+        keys = np.arange(10, dtype=np.uint64)
+        copy = keys.copy()
+        splitmix64_array(keys)
+        assert np.array_equal(keys, copy)
+
+
+class TestHashKey:
+    def test_int_and_numpy_int_agree(self):
+        assert hash_key(7) == hash_key(np.int64(7))
+
+    def test_salt_changes_hash(self):
+        assert hash_key(7, salt=0) != hash_key(7, salt=1)
+
+    def test_string_stable(self):
+        assert hash_key("user-123") == hash_key("user-123")
+
+    def test_bytes_and_str_routes(self):
+        # bytes and the utf-8 string hash identically by construction
+        assert hash_key(b"abc") == hash_key("abc")
+
+    def test_tuple_keys_supported(self):
+        assert hash_key(("group", 5)) == hash_key(("group", 5))
+        assert hash_key(("group", 5)) != hash_key(("group", 6))
+
+
+class TestHashToUnit:
+    def test_open_interval(self):
+        values = [hash_to_unit(i) for i in range(5000)]
+        assert all(0.0 < v < 1.0 for v in values)
+
+    def test_uniformity_kolmogorov_smirnov(self):
+        values = np.array([hash_to_unit(i, salt=3) for i in range(20_000)])
+        stat = stats.kstest(values, "uniform")
+        assert stat.pvalue > 1e-4, f"hash output not uniform: p={stat.pvalue}"
+
+    def test_salts_give_independent_streams(self):
+        a = np.array([hash_to_unit(i, salt=1) for i in range(5000)])
+        b = np.array([hash_to_unit(i, salt=2) for i in range(5000)])
+        corr = np.corrcoef(a, b)[0, 1]
+        assert abs(corr) < 0.05
+
+    def test_vectorized_matches_scalar(self):
+        keys = np.arange(256)
+        vec = hash_array_to_unit(keys, salt=9)
+        scalars = np.array([hash_to_unit(int(k), salt=9) for k in keys])
+        np.testing.assert_allclose(vec, scalars, rtol=0, atol=0)
+
+    def test_vectorized_rejects_floats(self):
+        with pytest.raises(TypeError):
+            hash_array_to_unit(np.array([0.5, 1.5]))
+
+    def test_vectorized_uniformity(self):
+        values = hash_array_to_unit(np.arange(50_000), salt=11)
+        stat = stats.kstest(values, "uniform")
+        assert stat.pvalue > 1e-4

@@ -1,0 +1,144 @@
+"""Tests for priority families and duality (repro.core.priorities)."""
+
+import math
+
+import numpy as np
+import pytest
+from scipy import stats
+
+from repro.core.priorities import (
+    ExponentialPriority,
+    InverseWeightPriority,
+    TransformedPriority,
+    Uniform01Priority,
+    effective_threshold_for_decay,
+    from_uniform,
+    to_uniform,
+)
+
+FAMILIES = [Uniform01Priority(), InverseWeightPriority(), ExponentialPriority()]
+
+
+class TestCdfInverseRoundtrip:
+    @pytest.mark.parametrize("family", FAMILIES, ids=lambda f: type(f).__name__)
+    @pytest.mark.parametrize("weight", [0.5, 1.0, 3.7])
+    def test_roundtrip(self, family, weight):
+        u = np.linspace(0.01, 0.99, 25)
+        r = family.inverse_cdf(u, weight)
+        np.testing.assert_allclose(family.cdf(r, weight), u, atol=1e-12)
+
+    @pytest.mark.parametrize("family", FAMILIES, ids=lambda f: type(f).__name__)
+    def test_scalar_in_scalar_out(self, family):
+        assert isinstance(family.cdf(0.3, 2.0), float)
+        assert isinstance(family.inverse_cdf(0.3, 2.0), float)
+
+
+class TestUniform01:
+    def test_cdf_clipped(self):
+        fam = Uniform01Priority()
+        assert fam.cdf(-0.5) == 0.0
+        assert fam.cdf(2.0) == 1.0
+        assert fam.cdf(0.25) == 0.25
+
+    def test_weight_ignored(self):
+        fam = Uniform01Priority()
+        assert fam.cdf(0.3, weight=100.0) == 0.3
+
+
+class TestInverseWeight:
+    def test_cdf_formula(self):
+        fam = InverseWeightPriority()
+        assert fam.cdf(0.1, weight=5.0) == pytest.approx(0.5)
+        assert fam.cdf(10.0, weight=5.0) == 1.0  # saturates at 1
+
+    def test_heavy_item_always_included(self):
+        # w * t >= 1 means inclusion probability 1 under threshold t.
+        fam = InverseWeightPriority()
+        assert fam.pseudo_inclusion(0.5, weight=2.0) == 1.0
+
+    def test_draw_distribution(self, rng):
+        fam = InverseWeightPriority()
+        r = fam.draw(rng, weight=np.full(20_000, 4.0))
+        # R = U/4 ~ Uniform(0, 0.25)
+        stat = stats.kstest(r * 4.0, "uniform")
+        assert stat.pvalue > 1e-4
+
+
+class TestExponential:
+    def test_cdf_formula(self):
+        fam = ExponentialPriority()
+        assert fam.cdf(1.0, weight=2.0) == pytest.approx(1 - math.exp(-2.0))
+
+    def test_draw_distribution(self, rng):
+        fam = ExponentialPriority()
+        r = fam.draw(rng, weight=np.full(20_000, 3.0))
+        stat = stats.kstest(r, "expon", args=(0, 1 / 3.0))
+        assert stat.pvalue > 1e-4
+
+    def test_bottom_one_is_pps(self, rng):
+        # P(argmin of exponentials = i) = w_i / sum(w): the PPSWOR property.
+        fam = ExponentialPriority()
+        weights = np.array([1.0, 2.0, 3.0])
+        wins = np.zeros(3)
+        for _ in range(8000):
+            r = fam.draw(rng, weights)
+            wins[np.argmin(r)] += 1
+        freq = wins / wins.sum()
+        np.testing.assert_allclose(freq, weights / weights.sum(), atol=0.02)
+
+
+class TestPseudoInclusion:
+    @pytest.mark.parametrize("family", FAMILIES, ids=lambda f: type(f).__name__)
+    def test_infinite_threshold_is_one(self, family):
+        assert family.pseudo_inclusion(np.inf, 2.0) == 1.0
+
+    def test_vectorized_with_inf(self):
+        fam = InverseWeightPriority()
+        p = fam.pseudo_inclusion(np.array([np.inf, 0.1]), np.array([1.0, 5.0]))
+        np.testing.assert_allclose(p, [1.0, 0.5])
+
+
+class TestDuality:
+    def test_uniform_of_priority(self):
+        fam = InverseWeightPriority()
+        u = np.array([0.2, 0.8])
+        w = np.array([2.0, 0.5])
+        r = from_uniform(u, w, fam)
+        np.testing.assert_allclose(to_uniform(r, w, fam), u, atol=1e-12)
+
+    def test_inclusion_events_agree(self, rng):
+        # R < T  iff  U < F(T): the Section 2.9 duality.
+        fam = ExponentialPriority()
+        w, t = 2.5, 0.3
+        u = rng.random(1000)
+        r = fam.inverse_cdf(u, w)
+        np.testing.assert_array_equal(r < t, u < fam.cdf(t, w))
+
+
+class TestTransformedPriority:
+    def test_monotone_transform_preserves_events(self, rng):
+        base = ExponentialPriority()
+        fam = TransformedPriority(base, rho=lambda r: np.asarray(r) ** 2,
+                                  rho_inverse=lambda s: np.sqrt(np.asarray(s)))
+        w, t = 1.5, 0.4
+        u = rng.random(500)
+        r_base = np.asarray(base.inverse_cdf(u, w))
+        r_trans = np.asarray(fam.inverse_cdf(u, w))
+        np.testing.assert_array_equal(r_base < t, r_trans < t**2)
+
+    def test_cdf_consistency(self):
+        base = ExponentialPriority()
+        fam = TransformedPriority(base, rho=lambda r: 2 * np.asarray(r),
+                                  rho_inverse=lambda s: np.asarray(s) / 2)
+        assert fam.cdf(0.8, 1.0) == pytest.approx(base.cdf(0.4, 1.0))
+
+
+class TestDecayHelper:
+    def test_growth(self):
+        assert effective_threshold_for_decay(0.1, 2.0, 0.5) == pytest.approx(
+            0.1 * math.exp(1.0)
+        )
+
+    def test_negative_elapsed_rejected(self):
+        with pytest.raises(ValueError):
+            effective_threshold_for_decay(0.1, -1.0, 0.5)

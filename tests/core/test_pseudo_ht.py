@@ -1,0 +1,118 @@
+"""Tests for pseudo-HT estimators (Kendall's tau) — Section 2.6.2."""
+
+import numpy as np
+import pytest
+from scipy import stats
+
+from repro.core.priorities import Uniform01Priority
+from repro.core.pseudo_ht import (
+    kendall_tau_estimate,
+    kendall_tau_population,
+    kendall_tau_variance_estimate,
+)
+from repro.core.thresholds import BottomK
+
+from ..conftest import exact_expectation
+
+
+@pytest.fixture
+def xy():
+    rng = np.random.default_rng(7)
+    x = rng.normal(size=7)
+    y = 0.5 * x + rng.normal(size=7)
+    return x, y
+
+
+class TestPopulationTau:
+    def test_matches_scipy(self, xy):
+        x, y = xy
+        ours = kendall_tau_population(x, y)
+        scipys = stats.kendalltau(x, y).statistic
+        assert ours == pytest.approx(scipys, abs=1e-12)
+
+    def test_perfect_concordance(self):
+        x = np.arange(5.0)
+        assert kendall_tau_population(x, 2 * x + 1) == 1.0
+        assert kendall_tau_population(x, -x) == -1.0
+
+    def test_needs_two_items(self):
+        with pytest.raises(ValueError):
+            kendall_tau_population(np.array([1.0]), np.array([1.0]))
+
+
+class TestTauEstimate:
+    def test_exactly_unbiased_under_poisson(self, xy):
+        x, y = xy
+        probs = np.array([0.5, 0.8, 0.6, 0.9, 0.7, 0.55, 0.85])
+        truth = kendall_tau_population(x, y)
+        expected = exact_expectation(
+            probs,
+            lambda mask: kendall_tau_estimate(
+                x[mask], y[mask], probs[mask], x.size
+            ),
+        )
+        assert expected == pytest.approx(truth, abs=1e-9)
+
+    def test_unbiased_under_bottomk_monte_carlo(self, xy):
+        # Bottom-k is 2-substitutable, so the tau estimator stays unbiased
+        # when its adaptive threshold is treated as fixed (Section 2.6.2).
+        x, y = xy
+        n, k = x.size, 4
+        rule = BottomK(k)
+        fam = Uniform01Priority()
+        truth = kendall_tau_population(x, y)
+        rng = np.random.default_rng(3)
+        estimates = []
+        for _ in range(20_000):
+            u = rng.random(n)
+            t = rule.thresholds(u)[0]
+            mask = u < t
+            probs = np.asarray(fam.pseudo_inclusion(t, np.ones(mask.sum())))
+            estimates.append(
+                kendall_tau_estimate(x[mask], y[mask], probs, n)
+            )
+        arr = np.asarray(estimates)
+        se = arr.std(ddof=1) / np.sqrt(arr.size)
+        assert abs(arr.mean() - truth) < 4.5 * se
+
+    def test_small_sample_returns_zero(self, xy):
+        x, y = xy
+        assert kendall_tau_estimate(x[:1], y[:1], np.array([0.5]), 7) == 0.0
+
+    def test_full_sample_equals_population(self, xy):
+        x, y = xy
+        est = kendall_tau_estimate(x, y, np.ones(x.size), x.size)
+        assert est == pytest.approx(kendall_tau_population(x, y))
+
+
+class TestTauVariance:
+    def test_exactly_unbiased_under_poisson(self, xy):
+        """The degree-4 variance estimator of Section 2.6.2, enumerated."""
+        x, y = xy
+        n = x.size
+        probs = np.array([0.6, 0.85, 0.7, 0.9, 0.75, 0.65, 0.8])
+        truth = kendall_tau_population(x, y)
+        true_variance = exact_expectation(
+            probs,
+            lambda mask: (
+                kendall_tau_estimate(x[mask], y[mask], probs[mask], n) - truth
+            )
+            ** 2,
+        )
+        expected_estimate = exact_expectation(
+            probs,
+            lambda mask: kendall_tau_variance_estimate(
+                x[mask], y[mask], probs[mask], n
+            ),
+        )
+        assert expected_estimate == pytest.approx(true_variance, rel=1e-8)
+
+    def test_zero_variance_when_certain(self, xy):
+        x, y = xy
+        v = kendall_tau_variance_estimate(x, y, np.ones(x.size), x.size)
+        assert v == pytest.approx(0.0, abs=1e-12)
+
+    def test_positive_on_typical_sample(self, xy):
+        x, y = xy
+        probs = np.full(x.size, 0.5)
+        assert kendall_tau_variance_estimate(x, y, probs, x.size) > 0.0

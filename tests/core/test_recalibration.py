@@ -1,0 +1,264 @@
+"""Tests for recalibration and substitutability — the paper's Section 2.5/2.6.
+
+These tests execute the paper's worked examples directly:
+
+* bottom-k thresholds are fully substitutable (Section 2.5.1);
+* the "ever in the sketch" sequential rule is 1- but not 2-substitutable
+  (Section 2.7's example);
+* the mean-threshold rule is not even 1-substitutable;
+* Theorem 6's singleton condition agrees with full substitutability;
+* Lemma 1's conditional inclusion probability matches brute force.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.pathology import ExcludeGroupRule, MeanThresholdRule
+from repro.core.priorities import Uniform01Priority
+from repro.core.recalibration import (
+    conditional_inclusion_probability,
+    is_substitutable,
+    recalibrate,
+    recalibrated_inclusion,
+    substitutability_order,
+    verify_singleton_condition,
+)
+from repro.core.thresholds import (
+    BottomK,
+    BudgetPrefix,
+    FixedThreshold,
+    SequentialBottomK,
+    StratifiedBottomK,
+)
+from repro.core.composition import MaxComposition, MinComposition
+
+
+class TestRecalibrate:
+    def test_definition_flooring(self, rng):
+        pr = rng.random(10)
+        rule = BottomK(3)
+        recal = recalibrate(rule, pr, subset=[0, 1])
+        modified = pr.copy()
+        modified[[0, 1]] = 0.0
+        np.testing.assert_array_equal(recal, rule.thresholds(modified))
+
+    def test_never_increases_threshold_for_monotone_rules(self, rng):
+        # tau_tilde <= tau is the defining inequality of Section 2.5.
+        for rule in (BottomK(4), SequentialBottomK(3), MeanThresholdRule()):
+            pr = rng.random(12)
+            original = rule.thresholds(pr)
+            sampled = np.flatnonzero(pr < original)
+            for i in sampled[:4]:
+                recal = recalibrate(rule, pr, [int(i)])
+                assert np.all(recal <= original + 1e-15)
+
+    def test_empty_subset_is_identity(self, rng):
+        pr = rng.random(8)
+        rule = BottomK(3)
+        np.testing.assert_array_equal(
+            recalibrate(rule, pr, []), rule.thresholds(pr)
+        )
+
+    def test_requires_monotone_rule(self):
+        rule = BottomK(2)
+        rule.monotone = False
+        with pytest.raises(ValueError):
+            recalibrate(rule, np.array([0.1, 0.2, 0.3]), [0])
+
+    def test_recalibrated_inclusion_indicators(self, rng):
+        pr = rng.random(9)
+        rule = BottomK(3)
+        sampled = rule.sample(pr)
+        ind = recalibrated_inclusion(rule, pr, sampled.tolist())
+        assert np.all(ind)  # substitutable => indicators stay 1
+
+
+class TestSubstitutability:
+    @pytest.mark.parametrize("seed", range(5))
+    def test_bottomk_fully_substitutable(self, seed):
+        pr = np.random.default_rng(seed).random(12)
+        assert is_substitutable(BottomK(4), pr)
+
+    @pytest.mark.parametrize("seed", range(5))
+    def test_fixed_threshold_substitutable(self, seed):
+        pr = np.random.default_rng(seed).random(10)
+        assert is_substitutable(FixedThreshold(0.4), pr)
+
+    @pytest.mark.parametrize("seed", range(5))
+    def test_budget_rule_substitutable(self, seed):
+        rng = np.random.default_rng(seed)
+        pr = rng.random(12)
+        sizes = rng.integers(1, 6, 12).astype(float)
+        assert is_substitutable(BudgetPrefix(sizes, budget=12.0), pr)
+
+    @pytest.mark.parametrize("seed", range(5))
+    def test_stratified_substitutable(self, seed):
+        rng = np.random.default_rng(seed)
+        pr = rng.random(12)
+        strata = np.array(list("aabbbbccaabc"))
+        assert is_substitutable(StratifiedBottomK(strata, k=2), pr)
+
+    @pytest.mark.parametrize("seed", range(8))
+    def test_sequential_rule_exactly_order_one(self, seed):
+        # The paper's Section 2.7 example: 1-substitutable, not 2-.
+        pr = np.random.default_rng(seed).random(14)
+        order = substitutability_order(SequentialBottomK(3), pr)
+        assert order >= 1
+        sample_size = SequentialBottomK(3).sample(pr).size
+        if sample_size >= 2 and order >= 2:
+            # Most realizations break at pairs; allow benign draws but make
+            # sure *some* seed exhibits the failure (checked below).
+            pass
+
+    def test_sequential_rule_not_2_substitutable_somewhere(self):
+        # At least one realization must witness the 2-substitutability
+        # failure the paper describes.
+        found = False
+        for seed in range(40):
+            pr = np.random.default_rng(seed).random(14)
+            if substitutability_order(SequentialBottomK(3), pr) == 1:
+                found = True
+                break
+        assert found, "no realization exhibited the Section 2.7 failure"
+
+    @pytest.mark.parametrize("seed", range(5))
+    def test_mean_rule_not_even_singleton(self, seed):
+        pr = np.random.default_rng(seed).random(10)
+        assert substitutability_order(MeanThresholdRule(), pr) == 0
+
+    def test_d_substitutable_check_matches_order(self, rng):
+        pr = rng.random(12)
+        rule = SequentialBottomK(3)
+        order = substitutability_order(rule, pr)
+        assert is_substitutable(rule, pr, d=order)
+        if order < rule.sample(pr).size:
+            assert not is_substitutable(rule, pr, d=order + 1)
+
+
+class TestTheorem6:
+    """The singleton condition implies full substitutability."""
+
+    @pytest.mark.parametrize("seed", range(10))
+    def test_singleton_iff_full_for_bundled_rules(self, seed):
+        rng = np.random.default_rng(seed)
+        pr = rng.random(10)
+        sizes = rng.integers(1, 5, 10).astype(float)
+        rules = [
+            BottomK(3),
+            BudgetPrefix(sizes, budget=10.0),
+            StratifiedBottomK(np.array(list("ababababab")), k=2),
+            MeanThresholdRule(),
+        ]
+        for rule in rules:
+            singleton = verify_singleton_condition(rule, pr)
+            full = is_substitutable(rule, pr)
+            if singleton:
+                assert full, f"{rule} passes singletons but fails Theorem 6"
+
+
+class TestCompositionSubstitutability:
+    """Theorem 9 closure, executed."""
+
+    @pytest.mark.parametrize("seed", range(5))
+    def test_min_of_substitutable_is_substitutable(self, seed):
+        rng = np.random.default_rng(seed)
+        pr = rng.random(12)
+        rule = MinComposition([BottomK(4), FixedThreshold(0.6)])
+        assert is_substitutable(rule, pr)
+
+    @pytest.mark.parametrize("seed", range(8))
+    def test_max_of_disjoint_stratified_is_1_substitutable(self, seed):
+        """Section 3.7's composition is 1-substitutable, per Theorem 9.
+
+        Reproduction note (recorded in DESIGN.md): the paper further claims
+        full substitutability via Theorem 6, but the singleton condition
+        can fail — flooring an item that lies *above* another stratum's
+        threshold pulls that stratum's order statistic (and hence a
+        co-member's threshold) down.  Our exhaustive checker exhibits
+        realizations of order exactly 1, so only 1-substitutability (which
+        is what unbiased HT subset sums need) is asserted; the stratified
+        sampler's Monte-Carlo unbiasedness test covers the practical claim.
+        """
+        rng = np.random.default_rng(seed)
+        pr = rng.random(12)
+        dims = [
+            StratifiedBottomK(np.array(list("aaaabbbbcccc")), k=2),
+            StratifiedBottomK(np.array(list("xyxyxyxyxyxy")), k=2),
+        ]
+        assert substitutability_order(MaxComposition(dims), pr) >= 1
+
+    def test_max_of_stratified_not_always_fully_substitutable(self):
+        # The counterexample that contradicts the paper's Theorem 6 claim.
+        found = False
+        for seed in range(30):
+            pr = np.random.default_rng(seed).random(12)
+            dims = [
+                StratifiedBottomK(np.array(list("aaaabbbbcccc")), k=2),
+                StratifiedBottomK(np.array(list("xyxyxyxyxyxy")), k=2),
+            ]
+            rule = MaxComposition(dims)
+            if substitutability_order(rule, pr) < rule.sample(pr).size:
+                found = True
+                break
+        assert found
+
+    @pytest.mark.parametrize("seed", range(5))
+    def test_max_of_sequential_is_1_substitutable(self, seed):
+        rng = np.random.default_rng(seed)
+        pr = rng.random(12)
+        rule = MaxComposition([SequentialBottomK(3), SequentialBottomK(5)])
+        assert substitutability_order(rule, pr) >= 1
+
+
+class TestLemma1:
+    def test_conditional_inclusion_probability(self):
+        """Brute-force check of Lemma 1 on bottom-k.
+
+        Conditioning on the recalibrated threshold value, the inclusion of
+        a sampled subset must occur with probability prod F(T_tilde).
+        """
+        rng = np.random.default_rng(0)
+        n, k = 6, 2
+        rule = BottomK(k)
+        fam = Uniform01Priority()
+        # Condition on everything except the subset's priorities: redraw
+        # the subset and compare empirical inclusion to the lemma.
+        base = rng.random(n)
+        subset = rule.sample(base)[:2].tolist()
+        lemma_p = conditional_inclusion_probability(rule, base, subset, fam)
+        recal = recalibrate(rule, base, subset)
+        hits = 0
+        trials = 40_000
+        draws = rng.random((trials, len(subset)))
+        for row in draws:
+            pr = base.copy()
+            pr[subset] = row
+            t = rule.thresholds(pr)
+            # The recalibrated threshold is fixed by construction; count
+            # inclusion of the whole subset under fresh priorities.
+            if np.all(pr[subset] < recal[subset]):
+                hits += 1
+                np.testing.assert_allclose(t[subset], recal[subset], atol=1e-12)
+        assert hits / trials == pytest.approx(lemma_p, abs=0.01)
+
+
+class TestExcludeGroupPathology:
+    def test_group_never_sampled(self, rng):
+        groups = np.array(["F", "M"] * 10)
+        rule = ExcludeGroupRule(groups, "F")
+        pr = rng.random(20)
+        idx = rule.sample(pr)
+        assert np.all(groups[idx] == "M")
+
+    def test_substitutable_but_zero_probability(self, rng):
+        # The rule passes the substitutability check — the failure is the
+        # positivity condition F_i(T_i) > 0, exactly as Section 2.3 warns.
+        groups = np.array(["F", "M"] * 8)
+        pr = rng.random(16)
+        rule = ExcludeGroupRule(groups, "F")
+        assert is_substitutable(rule, pr)
+        t = rule.thresholds(pr)
+        female_probs = np.minimum(t[groups == "F"], 1.0)
+        # Every female's priority is >= the threshold: estimation impossible.
+        assert np.all(pr[groups == "F"] >= t[groups == "F"])
+        assert np.all(female_probs < 1.0)

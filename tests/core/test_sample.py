@@ -1,0 +1,122 @@
+"""Tests for the Sample container (repro.core.sample)."""
+
+import numpy as np
+import pytest
+
+from repro.core.priorities import InverseWeightPriority, Uniform01Priority
+from repro.core.sample import Sample, SampledItem
+
+
+@pytest.fixture
+def sample():
+    return Sample(
+        keys=["a", "b", "c"],
+        values=np.array([2.0, 3.0, 5.0]),
+        weights=np.array([2.0, 3.0, 5.0]),
+        priorities=np.array([0.05, 0.1, 0.02]),
+        thresholds=np.array([0.2, 0.2, 0.2]),
+        family=InverseWeightPriority(),
+        population_size=10,
+    )
+
+
+class TestContainer:
+    def test_len(self, sample):
+        assert len(sample) == 3
+
+    def test_iteration_yields_items(self, sample):
+        items = list(sample)
+        assert all(isinstance(i, SampledItem) for i in items)
+        assert items[0].key == "a"
+        assert items[0].probability == pytest.approx(0.4)
+        assert items[0].ht_weight == pytest.approx(2.5)
+
+    def test_column_length_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            Sample(
+                keys=["a"],
+                values=np.array([1.0, 2.0]),
+                weights=np.array([1.0]),
+                priorities=np.array([0.1]),
+                thresholds=np.array([0.5]),
+            )
+
+    def test_probabilities(self, sample):
+        np.testing.assert_allclose(sample.probabilities, [0.4, 0.6, 1.0])
+
+
+class TestSelect:
+    def test_by_predicate(self, sample):
+        sub = sample.select(lambda k: k in {"a", "c"})
+        assert sub.keys == ["a", "c"]
+        assert len(sub) == 2
+
+    def test_by_mask(self, sample):
+        sub = sample.select(np.array([True, False, True]))
+        assert sub.keys == ["a", "c"]
+
+    def test_mask_length_checked(self, sample):
+        with pytest.raises(ValueError):
+            sample.select(np.array([True]))
+
+    def test_select_preserves_metadata(self, sample):
+        sub = sample.select(lambda k: True)
+        assert sub.population_size == 10
+        assert isinstance(sub.family, InverseWeightPriority)
+
+
+class TestEstimates:
+    def test_ht_total(self, sample):
+        expected = 2.0 / 0.4 + 3.0 / 0.6 + 5.0 / 1.0
+        assert sample.ht_total() == pytest.approx(expected)
+
+    def test_ht_total_custom_values(self, sample):
+        est = sample.ht_total(values=[1.0, 1.0, 1.0])
+        assert est == pytest.approx(1 / 0.4 + 1 / 0.6 + 1.0)
+
+    def test_subset_sum_via_select(self, sample):
+        est = sample.select(lambda k: k == "a").ht_total()
+        assert est == pytest.approx(5.0)
+
+    def test_variance_and_stderr(self, sample):
+        v = sample.ht_variance_estimate()
+        assert sample.ht_stderr() == pytest.approx(np.sqrt(v))
+
+    def test_confidence_interval_contains_estimate(self, sample):
+        lo, hi = sample.ht_confidence_interval()
+        assert lo <= sample.ht_total() <= hi
+
+    def test_distinct_estimate(self, sample):
+        assert sample.distinct_estimate() == pytest.approx(
+            1 / 0.4 + 1 / 0.6 + 1.0
+        )
+
+    def test_hajek_mean(self, sample):
+        probs = sample.probabilities
+        expected = np.sum(sample.values / probs) / np.sum(1 / probs)
+        assert sample.hajek_mean() == pytest.approx(expected)
+
+    def test_summary_keys(self, sample):
+        s = sample.summary()
+        assert set(s) == {
+            "size",
+            "total_estimate",
+            "stderr",
+            "min_probability",
+            "population_estimate",
+        }
+        assert s["size"] == 3
+
+    def test_empty_sample_summary(self):
+        empty = Sample(
+            keys=[],
+            values=np.array([]),
+            weights=np.array([]),
+            priorities=np.array([]),
+            thresholds=np.array([]),
+            family=Uniform01Priority(),
+        )
+        s = empty.summary()
+        assert s["size"] == 0
+        assert s["total_estimate"] == 0.0
+        assert s["min_probability"] is None

@@ -1,0 +1,105 @@
+"""Monte-Carlo verification of Theorems 7 and 8 (Section 2.7).
+
+Theorem 7: a sequential thresholding rule — here the §2.7 "ever in the
+bottom-k sketch" rule, which is only 1-substitutable — still yields an
+unbiased pseudo-HT estimator for sums.
+
+Theorem 8: any threshold that is a stopping time of the descending-priority
+filtration is *fully* substitutable, so even higher-order estimators apply.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.priorities import Uniform01Priority
+from repro.core.recalibration import is_substitutable
+from repro.core.thresholds import DescendingStoppingRule, SequentialBottomK
+
+from ..conftest import assert_within_se
+
+
+class TestTheorem7:
+    def test_ht_total_unbiased_under_sequential_rule(self):
+        """The 1-substitutable sequential rule keeps HT sums unbiased."""
+        rng = np.random.default_rng(0)
+        n, k = 40, 6
+        values = rng.lognormal(0, 0.5, n)
+        fam = Uniform01Priority()
+        rule = SequentialBottomK(k)
+        estimates = []
+        for trial in range(4000):
+            u = np.random.default_rng(trial + 1).random(n)
+            t = rule.thresholds(u)
+            mask = u < t
+            probs = np.asarray(fam.pseudo_inclusion(t[mask], 1.0))
+            estimates.append(float(np.sum(values[mask] / probs)))
+        assert_within_se(estimates, float(values.sum()))
+
+    def test_sample_larger_than_final_bottomk(self):
+        # "Ever in the sketch" stores more than the final bottom-k — the
+        # point of the example (aggregates over any prefix window).
+        rng = np.random.default_rng(1)
+        sizes = []
+        for trial in range(50):
+            u = rng.random(200)
+            sizes.append(SequentialBottomK(5).sample(u).size)
+        assert np.mean(sizes) > 10  # ~ k * H_n growth
+
+
+class TestTheorem8:
+    @pytest.mark.parametrize("seed", range(6))
+    def test_stopping_time_rule_fully_substitutable(self, seed):
+        # Stop once the inspected (descending) prefix has 5 priorities or
+        # its smallest value drops under 0.6 — a stopping time of the
+        # descending filtration.
+        rule = DescendingStoppingRule(
+            lambda prefix: prefix.size >= 5 or prefix[-1] < 0.6
+        )
+        pr = np.random.default_rng(seed).random(15)
+        assert is_substitutable(rule, pr)
+
+    def test_ht_total_unbiased_under_stopping_rule(self):
+        rng = np.random.default_rng(2)
+        n = 30
+        values = rng.lognormal(0, 0.4, n)
+        fam = Uniform01Priority()
+        rule = DescendingStoppingRule(
+            lambda prefix: prefix.size >= n // 3 or prefix[-1] < 0.5
+        )
+        estimates = []
+        for trial in range(4000):
+            u = np.random.default_rng(trial + 10_000).random(n)
+            t = rule.thresholds(u)
+            mask = u < t
+            if not mask.any():
+                estimates.append(0.0)
+                continue
+            probs = np.asarray(fam.pseudo_inclusion(t[mask], 1.0))
+            estimates.append(float(np.sum(values[mask] / probs)))
+        assert_within_se(estimates, float(values.sum()))
+
+    def test_variance_estimator_unbiased_under_stopping_rule(self):
+        """Full substitutability licenses second-order estimators too."""
+        rng = np.random.default_rng(3)
+        n = 25
+        values = rng.lognormal(0, 0.4, n)
+        truth = float(values.sum())
+        fam = Uniform01Priority()
+        rule = DescendingStoppingRule(
+            lambda prefix: prefix.size >= 8 or prefix[-1] < 0.55
+        )
+        sq_errors, var_estimates = [], []
+        for trial in range(4000):
+            u = np.random.default_rng(trial + 20_000).random(n)
+            t = rule.thresholds(u)
+            mask = u < t
+            probs = np.asarray(fam.pseudo_inclusion(t[mask], 1.0))
+            est = float(np.sum(values[mask] / probs))
+            sq_errors.append((est - truth) ** 2)
+            var_estimates.append(
+                float(np.sum(values[mask] ** 2 * (1 - probs) / probs**2))
+            )
+        # E[Vhat] must match the realized MSE (both noisy; compare means).
+        assert np.mean(var_estimates) == pytest.approx(
+            np.mean(sq_errors), rel=0.15
+        )

@@ -1,0 +1,186 @@
+"""Tests for the threshold rules (repro.core.thresholds)."""
+
+import numpy as np
+import pytest
+
+from repro.core.thresholds import (
+    BottomK,
+    BudgetPrefix,
+    DescendingStoppingRule,
+    FixedThreshold,
+    SequentialBottomK,
+    StratifiedBottomK,
+    VarianceTargetRule,
+    sample_indices,
+    sample_mask,
+)
+
+
+class TestSampleHelpers:
+    def test_mask_strict_inequality(self):
+        mask = sample_mask(np.array([0.2, 0.5, 0.5]), np.array([0.5, 0.5, 0.6]))
+        np.testing.assert_array_equal(mask, [True, False, True])
+
+    def test_indices(self):
+        idx = sample_indices(np.array([0.9, 0.1, 0.3]), np.full(3, 0.5))
+        np.testing.assert_array_equal(idx, [1, 2])
+
+
+class TestFixedThreshold:
+    def test_broadcast_constant(self):
+        rule = FixedThreshold(0.3)
+        np.testing.assert_array_equal(rule.thresholds(np.zeros(4)), np.full(4, 0.3))
+
+    def test_per_item_vector(self):
+        rule = FixedThreshold(np.array([0.1, 0.2]))
+        np.testing.assert_array_equal(rule.thresholds(np.zeros(2)), [0.1, 0.2])
+
+
+class TestBottomK:
+    def test_threshold_is_order_statistic(self, rng):
+        pr = rng.random(50)
+        rule = BottomK(7)
+        t = rule.thresholds(pr)
+        assert np.all(t == np.sort(pr)[7])
+
+    def test_sample_size_is_k(self, rng):
+        pr = rng.random(100)
+        assert BottomK(10).sample(pr).size == 10
+
+    def test_underfull_keeps_everything(self, rng):
+        pr = rng.random(5)
+        rule = BottomK(10)
+        assert np.all(np.isinf(rule.thresholds(pr)))
+        assert rule.sample(pr).size == 5
+
+    def test_invalid_k(self):
+        with pytest.raises(ValueError):
+            BottomK(0)
+
+
+class TestBudgetPrefix:
+    def test_prefix_semantics(self):
+        # priorities ascending order: sizes 3, 4, 5 with budget 8 keeps 2.
+        pr = np.array([0.1, 0.2, 0.3])
+        rule = BudgetPrefix(sizes=[3.0, 4.0, 5.0], budget=8.0)
+        t = rule.thresholds(pr)
+        assert np.all(t == 0.3)
+        assert rule.sample(pr).size == 2
+
+    def test_first_overflow_excludes_rest_even_if_it_fits(self):
+        # sizes in priority order: 5, 9, 1 — the 9 overflows a budget of 10,
+        # and the trailing 1 is excluded too despite fitting.
+        pr = np.array([0.1, 0.2, 0.3])
+        rule = BudgetPrefix(sizes=[5.0, 9.0, 1.0], budget=10.0)
+        assert rule.sample(pr).size == 1
+
+    def test_everything_fits(self):
+        rule = BudgetPrefix(sizes=[1.0, 1.0], budget=10.0)
+        assert np.all(np.isinf(rule.thresholds(np.array([0.5, 0.6]))))
+
+    def test_oversized_item_blocks(self):
+        pr = np.array([0.05, 0.5])
+        rule = BudgetPrefix(sizes=[100.0, 1.0], budget=10.0)
+        # The huge item is first by priority; everything is excluded.
+        assert rule.sample(pr).size == 0
+
+    def test_sample_always_fits_budget(self, rng):
+        for trial in range(20):
+            n = 30
+            pr = rng.random(n)
+            sizes = rng.integers(1, 20, n).astype(float)
+            rule = BudgetPrefix(sizes, budget=50.0)
+            idx = rule.sample(pr)
+            assert sizes[idx].sum() <= 50.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            BudgetPrefix(sizes=[-1.0], budget=5.0)
+        with pytest.raises(ValueError):
+            BudgetPrefix(sizes=[1.0], budget=0.0)
+        with pytest.raises(ValueError):
+            BudgetPrefix(sizes=[1.0, 2.0], budget=5.0).thresholds(np.zeros(3))
+
+
+class TestStratifiedBottomK:
+    def test_per_stratum_thresholds(self, rng):
+        strata = np.array(["a"] * 10 + ["b"] * 10)
+        pr = rng.random(20)
+        rule = StratifiedBottomK(strata, k=3)
+        t = rule.thresholds(pr)
+        assert np.all(t[:10] == np.sort(pr[:10])[3])
+        assert np.all(t[10:] == np.sort(pr[10:])[3])
+
+    def test_small_stratum_kept_whole(self, rng):
+        strata = np.array(["a"] * 2 + ["b"] * 10)
+        pr = rng.random(12)
+        t = StratifiedBottomK(strata, k=5).thresholds(pr)
+        assert np.all(np.isinf(t[:2]))
+
+    def test_each_stratum_gets_k(self, rng):
+        strata = np.repeat(["a", "b", "c"], 20)
+        pr = rng.random(60)
+        rule = StratifiedBottomK(strata, k=4)
+        idx = rule.sample(pr)
+        for s in "abc":
+            assert np.sum(strata[idx] == s) == 4
+
+
+class TestSequentialBottomK:
+    def test_threshold_is_prefix_order_statistic(self, rng):
+        pr = rng.random(30)
+        rule = SequentialBottomK(5)
+        t = rule.thresholds(pr)
+        assert np.all(np.isinf(t[:5]))
+        for i in range(5, 30):
+            assert t[i] == np.sort(pr[:i])[4]
+
+    def test_sample_contains_final_bottomk(self, rng):
+        # "Ever in the sketch" is a superset of the final bottom-k sample.
+        pr = rng.random(50)
+        ever = set(SequentialBottomK(5).sample(pr).tolist())
+        final = set(np.argsort(pr)[:5].tolist())
+        assert final <= ever
+
+
+class TestDescendingStoppingRule:
+    def test_stop_after_m_items(self, rng):
+        # Stopping after exactly 4 inspected priorities = bottom-(n-4) rule.
+        pr = rng.random(12)
+        rule = DescendingStoppingRule(lambda prefix: prefix.size == 4)
+        t = rule.thresholds(pr)
+        assert np.all(t == np.sort(pr)[::-1][3])
+        assert rule.sample(pr).size == 8
+
+    def test_never_stop_keeps_all(self, rng):
+        pr = rng.random(6)
+        rule = DescendingStoppingRule(lambda prefix: False)
+        assert np.all(np.isinf(rule.thresholds(pr)))
+
+
+class TestVarianceTargetRule:
+    def test_threshold_meets_target(self, rng):
+        n = 80
+        weights = rng.lognormal(0, 0.5, n)
+        values = weights.copy()
+        pr = rng.random(n) / weights
+        rule = VarianceTargetRule(values, weights, delta=values.sum() * 0.05)
+        t = rule.thresholds(pr)[0]
+        below = pr < t
+        probs = np.minimum(1.0, weights[below] * t)
+        vhat = np.sum(values[below] ** 2 * (1 - probs) / probs**2)
+        assert vhat >= (values.sum() * 0.05) ** 2
+
+    def test_larger_delta_smaller_threshold(self, rng):
+        # Tolerating more error means sampling fewer items: the stopping
+        # threshold decreases as delta grows.
+        n = 60
+        weights = rng.lognormal(0, 0.5, n)
+        pr = rng.random(n) / weights
+        t_tight = VarianceTargetRule(weights, weights, delta=1.0).thresholds(pr)[0]
+        t_loose = VarianceTargetRule(weights, weights, delta=10.0).thresholds(pr)[0]
+        assert t_loose <= t_tight
+
+    def test_delta_validation(self):
+        with pytest.raises(ValueError):
+            VarianceTargetRule([1.0], [1.0], delta=0.0)

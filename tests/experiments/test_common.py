@@ -1,0 +1,72 @@
+"""Tests for experiment utilities (repro.experiments.common) and the CLI."""
+
+import subprocess
+import sys
+
+import pytest
+
+from repro.experiments.common import format_table, scale_factor, scaled
+
+
+class TestScaleFactor:
+    def test_default(self, monkeypatch):
+        monkeypatch.delenv("REPRO_SCALE", raising=False)
+        assert scale_factor() == 1.0
+
+    def test_env_override(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SCALE", "2.5")
+        assert scale_factor() == 2.5
+
+    def test_invalid_value(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SCALE", "lots")
+        with pytest.raises(ValueError):
+            scale_factor()
+
+    def test_nonpositive_rejected(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SCALE", "0")
+        with pytest.raises(ValueError):
+            scale_factor()
+
+    def test_scaled_rounding_and_floor(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SCALE", "0.001")
+        assert scaled(100, minimum=5) == 5
+        monkeypatch.setenv("REPRO_SCALE", "3")
+        assert scaled(100) == 300
+
+
+class TestFormatTable:
+    def test_alignment_and_floats(self):
+        out = format_table(["name", "value"], [("a", 1.23456789), ("bb", 2)])
+        lines = out.splitlines()
+        assert lines[0].startswith("name")
+        assert "1.235" in out  # 4 significant digits by default
+        assert len(lines) == 4
+
+    def test_empty_rows(self):
+        out = format_table(["x"], [])
+        assert "x" in out
+
+
+class TestRunnerCLI:
+    def test_unknown_id_exits_2(self):
+        result = subprocess.run(
+            [sys.executable, "-m", "repro.experiments", "nope"],
+            capture_output=True,
+            text=True,
+        )
+        assert result.returncode == 2
+        assert "unknown experiment ids" in result.stdout
+
+    def test_single_experiment_runs(self):
+        env = {"REPRO_SCALE": "0.02"}
+        import os
+
+        result = subprocess.run(
+            [sys.executable, "-m", "repro.experiments", "t1"],
+            capture_output=True,
+            text=True,
+            env={**os.environ, **env},
+            timeout=300,
+        )
+        assert result.returncode == 0
+        assert "Section 3.1" in result.stdout

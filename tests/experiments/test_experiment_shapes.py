@@ -1,0 +1,210 @@
+"""Integration tests: every experiment reproduces the paper's *shape*.
+
+These run the experiment modules at reduced scale and assert the
+qualitative claims of each figure / numbered claim (see DESIGN.md §3);
+the full-scale numbers live in the benchmark harness.
+"""
+
+import numpy as np
+import pytest
+
+from repro.experiments import (
+    ablation_multi_objective,
+    ablation_samplers,
+    estimator_bias,
+    figure1,
+    figure2,
+    figure3,
+    figure4,
+    section6_heuristic,
+    section31_budget,
+    section35_merge,
+    section39_variance,
+)
+
+
+class TestFigure1:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return figure1.run(rate=300.0, k=30, t_end=5.0, seed=3)
+
+    def test_improved_threshold_larger(self, result):
+        assert result.steady_ratio > 1.4  # paper: ~2x
+
+    def test_sample_ratio(self, result):
+        assert result.steady_sample_ratio > 1.3
+
+    def test_improved_closer_to_ideal(self, result):
+        mask = result.steady_mask
+        gap_improved = np.abs(result.improved_threshold[mask] - result.ideal_threshold)
+        gap_gl = np.abs(result.gl_threshold[mask] - result.ideal_threshold)
+        assert gap_improved.mean() < gap_gl.mean()
+
+    def test_table_renders(self, result):
+        assert "gl_threshold" in result.table()
+
+
+class TestFigure2:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return figure2.run(base_rate=300.0, k=40, seed=1)
+
+    def test_threshold_dominance(self, result):
+        assert result.threshold_dominance == 1.0
+
+    def test_sample_ratio_near_two(self, result):
+        assert 1.3 < result.steady_sample_ratio < 3.0
+
+    def test_both_recover(self, result):
+        assert np.isfinite(result.improved_recovery)
+        # Improved must not recover substantially later than G&L.
+        if np.isfinite(result.gl_recovery):
+            assert result.improved_recovery <= result.gl_recovery + 1.2 * result.window
+
+    def test_spike_visible_in_rates(self, result):
+        assert result.rates.max() > 4 * result.rates.min()
+
+
+class TestFigure3:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return figure3.run(
+            betas=(0.25, 0.9), stream_length=8000, n_trials=3, seed=0
+        )
+
+    def test_sampler_no_worse_on_heavy_tail(self, result):
+        # At large beta FrequentItems degrades; the sampler must not.
+        assert result.sampler_errors[-1] <= result.freqitems_errors[-1] + 1.0
+
+    def test_sampler_size_adapts(self, result):
+        assert result.sampler_sizes[1] > 1.5 * result.sampler_sizes[0]
+
+    def test_freqitems_size_fixed(self, result):
+        assert np.all(result.freqitems_sizes == result.freqitems_sizes[0])
+
+    def test_errors_bounded_by_k(self, result):
+        assert np.all(result.sampler_errors <= result.k)
+
+
+class TestFigure4:
+    @pytest.fixture(scope="class")
+    def result(self):
+        # 0.45 sits close to the containment maximum of 0.5 for |B| = 2|A|,
+        # where the paper notes the advantage disappears.
+        return figure4.run(
+            jaccards=(0.0, 0.15, 0.45), size_a=5000, n_trials=30, seed=1
+        )
+
+    def test_lcs_beats_baselines_at_low_jaccard(self, result):
+        assert result.lcs_error[0] < result.bottomk_error[0]
+        assert result.lcs_error[0] < result.theta_error[0]
+
+    def test_errors_in_sane_range(self, result):
+        # k = 100 -> relative error SD around 1/sqrt(k) = 10%.
+        for series in (result.lcs_error, result.bottomk_error, result.theta_error):
+            assert np.all(series > 2.0) and np.all(series < 25.0)
+
+    def test_lcs_dominates_across_grid(self, result):
+        # The paper's figure shows the LCS line below both baselines over
+        # the whole plotted Jaccard range (it only collapses at A == B).
+        assert np.all(result.lcs_error <= result.theta_error)
+        assert np.all(result.lcs_error <= result.bottomk_error)
+
+
+class TestSection31:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return section31_budget.run(population=2500, n_trials=12, seed=0)
+
+    def test_ratio_near_four(self, result):
+        assert 2.8 < result.size_ratio < 5.8  # paper: ~4.04
+
+    def test_budget_fully_used(self, result):
+        assert np.all(result.utilizations > 0.9)
+
+    def test_count_estimate_unbiased(self, result):
+        assert abs(result.count_bias) < 0.12
+
+
+class TestSection35:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return section35_merge.run(
+            big_size=800, n_small=400, small_size=50, n_trials=8, seed=0
+        )
+
+    def test_adaptive_merge_wins_big(self, result):
+        assert result.improvement > 5.0
+
+    def test_improvement_tracks_total_over_big(self, result):
+        # Paper: the gain is on the order of total/big.
+        expected = result.total / result.big_size
+        assert result.improvement > 0.25 * expected
+
+
+class TestSection39:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return section39_variance.run(
+            population=800, deltas=(15.0, 30.0), n_trials=120, seed=0
+        )
+
+    def test_vhat_hits_target_exactly(self, result):
+        np.testing.assert_allclose(result.vhat_mean, result.deltas**2, rtol=1e-6)
+
+    def test_mse_tracks_target(self, result):
+        ratios = result.mse / result.deltas**2
+        assert np.all(ratios > 0.5) and np.all(ratios < 2.0)
+
+    def test_smaller_delta_larger_sample(self, result):
+        assert result.sample_sizes[0] > result.sample_sizes[1]
+
+
+class TestEstimatorBias:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return estimator_bias.run(population=50, k=10, n_trials=1500, seed=0)
+
+    def test_substitutable_rows_unbiased(self, result):
+        for row in result.rows[:3]:
+            assert abs(row.z_score) < 5.0, row
+
+    def test_negative_control_biased(self, result):
+        control = result.rows[-1]
+        assert control.relative_bias < -0.2
+        assert control.z_score < -8.0
+
+
+class TestSection6:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return section6_heuristic.run(sizes=(300, 2400), n_trials=15, seed=0)
+
+    def test_gap_shrinks(self, result):
+        assert result.threshold_gap[-1] < result.threshold_gap[0]
+
+    def test_rmse_ratio_near_one(self, result):
+        assert np.all(result.heuristic_rmse_ratio < 2.5)
+
+
+class TestAblations:
+    def test_sampler_ablation(self):
+        result = ablation_samplers.run(population=120, k=15, n_trials=300, seed=0)
+        by_name = {row.design: row for row in result.rows}
+        for row in result.rows:
+            assert abs(row.relative_bias) < 0.12, row
+        # VarOpt is variance-optimal; Poisson pays for its random size.
+        assert by_name["varopt"].variance <= by_name["poisson"].variance
+        # Priority sampling lands within a small factor of VarOpt.
+        assert by_name["priority (bottom-k)"].variance < 5.0 * max(
+            by_name["varopt"].variance, 1e-12
+        )
+
+    def test_multi_objective_ablation(self):
+        result = ablation_multi_objective.run(
+            correlations=(0.0, 1.0), population=1500, k=40, n_trials=8, seed=0
+        )
+        assert result.union_sizes[-1] == pytest.approx(40, abs=1)
+        assert result.union_sizes[0] > 1.3 * 40
+        assert np.all(np.abs(result.profit_bias) < 0.2)
+        assert np.all(np.abs(result.revenue_bias) < 0.2)

@@ -1,0 +1,125 @@
+"""Tests for early-stopping AQP (repro.samplers.aqp, §3.10)."""
+
+import numpy as np
+import pytest
+
+from repro.samplers.aqp import MultiObjectiveLayout, PriorityLayoutTable
+
+
+@pytest.fixture
+def table(rng):
+    values = rng.lognormal(0, 0.6, 3000)
+    return PriorityLayoutTable(values, salt=1), values
+
+
+class TestLayout:
+    def test_rows_sorted_by_priority(self, table):
+        t, _ = table
+        assert np.all(np.diff(t.priorities) >= 0)
+
+    def test_row_ids_permutation(self, table):
+        t, values = table
+        assert sorted(t.row_ids.tolist()) == list(range(values.size))
+        np.testing.assert_allclose(np.sort(t.values), np.sort(values))
+
+    def test_weight_validation(self):
+        with pytest.raises(ValueError):
+            PriorityLayoutTable(np.array([1.0, 0.0]))
+        with pytest.raises(ValueError):
+            PriorityLayoutTable(np.array([1.0, 2.0]), weights=np.array([1.0, -1.0]))
+
+
+class TestQueries:
+    def test_meets_stderr_target(self, table):
+        t, values = table
+        target = 0.05 * values.sum()
+        result = t.query_total(target)
+        assert result.stderr <= target + 1e-9
+        assert result.rows_read < len(t)
+
+    def test_estimate_accuracy(self, table):
+        t, values = table
+        target = 0.03 * values.sum()
+        result = t.query_total(target)
+        assert result.estimate == pytest.approx(values.sum(), rel=0.15)
+
+    def test_tighter_target_reads_more(self, table):
+        t, values = table
+        loose = t.query_total(0.10 * values.sum())
+        tight = t.query_total(0.01 * values.sum())
+        assert tight.rows_read > loose.rows_read
+        assert 0 < loose.fraction_read < 1
+
+    def test_subset_query(self, table):
+        t, values = table
+        mask = np.arange(values.size) % 3 == 0
+        truth = values[mask].sum()
+        result = t.query_total(0.05 * truth, mask=mask)
+        assert result.estimate == pytest.approx(truth, rel=0.25)
+
+    def test_max_rows_respected(self, table):
+        t, values = table
+        result = t.query_total(1e-12 * values.sum(), max_rows=100)
+        assert result.rows_read == 100
+
+    def test_impossible_target_reads_everything(self, table):
+        t, values = table
+        result = t.query_total(1e-9)
+        assert result.rows_read == len(t)
+        assert result.estimate == pytest.approx(values.sum())
+
+    def test_target_validation(self, table):
+        t, _ = table
+        with pytest.raises(ValueError):
+            t.query_total(0.0)
+
+
+class TestMultiObjectiveLayout:
+    @pytest.fixture
+    def layout(self, rng):
+        n = 1200
+        metrics = {
+            "revenue": rng.lognormal(0, 0.5, n),
+            "quantity": rng.lognormal(0, 0.5, n),
+        }
+        return MultiObjectiveLayout(metrics, k=50, salt=3), metrics
+
+    def test_blocks_partition_rows(self, layout):
+        lo, metrics = layout
+        n = metrics["revenue"].size
+        all_rows = np.concatenate([rows for _, rows, _ in lo.blocks])
+        assert sorted(all_rows.tolist()) == list(range(n))
+
+    def test_blocks_alternate_metrics(self, layout):
+        lo, _ = layout
+        names = [name for name, _, _ in lo.blocks[:4]]
+        assert names == ["revenue", "quantity", "revenue", "quantity"]
+
+    def test_sample_for_is_valid_threshold_sample(self, layout):
+        """Every row below the returned threshold must be in the sample."""
+        lo, metrics = layout
+        rows, threshold = lo.sample_for("revenue", n_blocks=2)
+        pr = lo.priorities["revenue"]
+        expected = np.flatnonzero(pr < threshold)
+        assert set(rows.tolist()) == set(expected.tolist())
+        assert rows.size >= 2 * lo.k
+
+    def test_sample_supports_ht_estimation(self, layout):
+        lo, metrics = layout
+        rows, threshold = lo.sample_for("revenue", n_blocks=3)
+        w = metrics["revenue"]
+        probs = np.minimum(1.0, w[rows] * threshold)
+        est = float(np.sum(w[rows] / probs))
+        assert est == pytest.approx(w.sum(), rel=0.3)
+
+    def test_reading_all_blocks_returns_everything(self, layout):
+        lo, metrics = layout
+        rows, threshold = lo.sample_for("revenue", n_blocks=10**6)
+        assert rows.size == metrics["revenue"].size
+        assert np.isinf(threshold)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            MultiObjectiveLayout({}, k=5)
+        with pytest.raises(ValueError):
+            MultiObjectiveLayout({"m": np.ones(3)}, k=0)

@@ -1,0 +1,154 @@
+"""Tests for the streaming bottom-k sampler (repro.samplers.bottomk)."""
+
+import numpy as np
+import pytest
+
+from repro.core.priorities import (
+    ExponentialPriority,
+    InverseWeightPriority,
+    Uniform01Priority,
+)
+from repro.core.thresholds import BottomK
+from repro.samplers.bottomk import BottomKSampler
+
+from ..conftest import assert_within_se
+
+
+class TestStreamingMechanics:
+    def test_sample_size_capped_at_k(self, rng):
+        s = BottomKSampler(5, rng=rng)
+        for i in range(100):
+            s.update(i)
+        assert len(s) == 5
+        assert len(s.sample()) == 5
+
+    def test_underfull_keeps_everything(self, rng):
+        s = BottomKSampler(10, rng=rng)
+        for i in range(4):
+            s.update(i)
+        assert len(s.sample()) == 4
+        assert s.threshold == np.inf
+
+    def test_threshold_matches_offline_rule(self):
+        # Feed known priorities through the coordinated path and compare
+        # with the offline (k+1)-st order statistic.
+        k, n = 4, 40
+        s = BottomKSampler(k, family=Uniform01Priority(), coordinated=True, salt=5)
+        from repro.core.hashing import hash_to_unit
+
+        priorities = np.array([hash_to_unit(i, 5) for i in range(n)])
+        for i in range(n):
+            s.update(i)
+        offline = BottomK(k).thresholds(priorities)[0]
+        assert s.threshold == pytest.approx(offline)
+        expected_keys = set(np.flatnonzero(priorities < offline).tolist())
+        assert set(s.sample().keys) == expected_keys
+
+    def test_items_seen_tracked(self, rng):
+        s = BottomKSampler(3, rng=rng)
+        s.extend(range(17))
+        assert s.items_seen == 17
+        assert s.sample().population_size == 17
+
+    def test_invalid_k(self):
+        with pytest.raises(ValueError):
+            BottomKSampler(0)
+
+
+class TestEstimation:
+    def test_ht_total_unbiased_weighted(self):
+        weights = np.random.default_rng(0).lognormal(0, 0.7, 60)
+        truth = weights.sum()
+        estimates = []
+        for trial in range(600):
+            s = BottomKSampler(12, rng=np.random.default_rng(trial + 1))
+            for i, w in enumerate(weights):
+                s.update(i, weight=float(w))
+            estimates.append(s.estimate_total())
+        assert_within_se(estimates, truth)
+
+    def test_subset_sum_unbiased(self):
+        weights = np.random.default_rng(1).lognormal(0, 0.5, 50)
+        subset = set(range(0, 50, 3))
+        truth = sum(w for i, w in enumerate(weights) if i in subset)
+        estimates = []
+        for trial in range(600):
+            s = BottomKSampler(10, rng=np.random.default_rng(trial + 1))
+            for i, w in enumerate(weights):
+                s.update(i, weight=float(w))
+            estimates.append(s.estimate_total(lambda key: key in subset))
+        assert_within_se(estimates, truth)
+
+    def test_distinct_estimate_unbiased_uniform(self):
+        # k / R_(k+1) is the classic unbiased KMV-style estimator.
+        n, k = 300, 20
+        estimates = []
+        for trial in range(400):
+            s = BottomKSampler(k, family=Uniform01Priority(),
+                               rng=np.random.default_rng(trial))
+            for i in range(n):
+                s.update(i)
+            estimates.append(s.estimate_distinct())
+        assert_within_se(estimates, float(n))
+
+    def test_variance_estimate_tracks_mse(self):
+        weights = np.random.default_rng(2).lognormal(0, 0.6, 80)
+        truth = weights.sum()
+        sq_errors, var_estimates = [], []
+        for trial in range(500):
+            s = BottomKSampler(15, rng=np.random.default_rng(trial))
+            for i, w in enumerate(weights):
+                s.update(i, weight=float(w))
+            sample = s.sample()
+            sq_errors.append((sample.ht_total() - truth) ** 2)
+            var_estimates.append(sample.ht_variance_estimate())
+        mse = np.mean(sq_errors)
+        mean_vhat = np.mean(var_estimates)
+        assert mean_vhat == pytest.approx(mse, rel=0.25)
+
+    def test_pps_heavy_item_always_sampled(self, rng):
+        # An item with weight * threshold >= 1 must always be retained.
+        s = BottomKSampler(5, rng=rng)
+        s.update("whale", weight=10_000.0)
+        for i in range(200):
+            s.update(i, weight=1.0)
+        assert "whale" in s.sample().keys
+
+    def test_exponential_family_supported(self, rng):
+        s = BottomKSampler(8, family=ExponentialPriority(), rng=rng)
+        weights = np.random.default_rng(4).lognormal(0, 0.5, 100)
+        for i, w in enumerate(weights):
+            s.update(i, weight=float(w))
+        sample = s.sample()
+        assert len(sample) == 8
+        # PPSWOR estimates should land near the truth for a single draw.
+        assert sample.ht_total() == pytest.approx(weights.sum(), rel=0.8)
+
+
+class TestMerge:
+    def test_merge_equals_concatenated_stream(self):
+        # Coordinated priorities make the merged sketch reproducible.
+        k, salt = 6, 11
+        a = BottomKSampler(k, coordinated=True, salt=salt)
+        b = BottomKSampler(k, coordinated=True, salt=salt)
+        c = BottomKSampler(k, coordinated=True, salt=salt)
+        for i in range(50):
+            a.update(("a", i))
+            c.update(("a", i))
+        for i in range(70):
+            b.update(("b", i))
+            c.update(("b", i))
+        merged = a.merge(b)
+        assert merged.threshold == pytest.approx(c.threshold)
+        assert set(merged.sample().keys) == set(c.sample().keys)
+        assert merged.items_seen == c.items_seen
+
+    def test_merge_validates_k(self):
+        with pytest.raises(ValueError):
+            BottomKSampler(3).merge(BottomKSampler(4))
+
+    def test_merge_validates_family(self):
+        a = BottomKSampler(3, family=InverseWeightPriority())
+        b = BottomKSampler(3, family=ExponentialPriority())
+        with pytest.raises(ValueError):
+            a.merge(b)

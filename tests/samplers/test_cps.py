@@ -1,0 +1,87 @@
+"""Tests for exact Conditional Poisson Sampling (repro.samplers.cps)."""
+
+import itertools
+import math
+
+import numpy as np
+import pytest
+
+from repro.samplers.cps import ConditionalPoissonSampler
+
+
+def brute_force_design(p: np.ndarray, k: int) -> dict[tuple[int, ...], float]:
+    """Exact CPS sample probabilities by conditioning the Poisson design."""
+    n = p.size
+    design = {}
+    total = 0.0
+    for subset in itertools.combinations(range(n), k):
+        prob = math.prod(p[i] if i in subset else 1 - p[i] for i in range(n))
+        design[subset] = prob
+        total += prob
+    return {s: v / total for s, v in design.items()}
+
+
+class TestExactness:
+    def test_inclusion_probabilities_match_brute_force(self):
+        p = np.array([0.2, 0.5, 0.7, 0.4, 0.6])
+        k = 2
+        cps = ConditionalPoissonSampler(p, k)
+        design = brute_force_design(p, k)
+        truth = np.zeros(p.size)
+        for subset, prob in design.items():
+            for i in subset:
+                truth[i] += prob
+        np.testing.assert_allclose(cps.inclusion_probabilities(), truth, atol=1e-12)
+
+    def test_inclusion_probabilities_sum_to_k(self):
+        p = np.array([0.3, 0.1, 0.8, 0.5, 0.25, 0.66])
+        for k in (1, 2, 3, 5):
+            cps = ConditionalPoissonSampler(p, k)
+            assert cps.inclusion_probabilities().sum() == pytest.approx(k)
+
+    def test_sample_distribution_matches_design(self):
+        p = np.array([0.3, 0.6, 0.5, 0.2])
+        k = 2
+        cps = ConditionalPoissonSampler(p, k)
+        design = brute_force_design(p, k)
+        counts = {s: 0 for s in design}
+        rng = np.random.default_rng(0)
+        trials = 40_000
+        for _ in range(trials):
+            counts[tuple(cps.sample(rng).tolist())] += 1
+        for subset, prob in design.items():
+            assert counts[subset] / trials == pytest.approx(prob, abs=0.012)
+
+    def test_sample_size_always_k(self):
+        p = np.full(10, 0.35)
+        cps = ConditionalPoissonSampler(p, 4)
+        rng = np.random.default_rng(1)
+        for _ in range(200):
+            assert cps.sample(rng).size == 4
+
+
+class TestEstimation:
+    def test_ht_total_unbiased(self):
+        p = np.array([0.3, 0.6, 0.5, 0.2, 0.45])
+        values = np.array([1.0, 5.0, 2.0, 8.0, 3.0])
+        cps = ConditionalPoissonSampler(p, 2)
+        design = brute_force_design(p, 2)
+        expected = sum(
+            prob * cps.ht_total(values, np.asarray(subset))
+            for subset, prob in design.items()
+        )
+        assert expected == pytest.approx(values.sum(), abs=1e-9)
+
+
+class TestValidation:
+    def test_probabilities_strictly_inside(self):
+        with pytest.raises(ValueError):
+            ConditionalPoissonSampler(np.array([0.0, 0.5]), 1)
+        with pytest.raises(ValueError):
+            ConditionalPoissonSampler(np.array([1.0, 0.5]), 1)
+
+    def test_k_range(self):
+        with pytest.raises(ValueError):
+            ConditionalPoissonSampler(np.array([0.5, 0.5]), 3)
+        with pytest.raises(ValueError):
+            ConditionalPoissonSampler(np.array([0.5, 0.5]), 0)

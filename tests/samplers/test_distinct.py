@@ -1,0 +1,179 @@
+"""Tests for distinct counting & merges (repro.samplers.distinct, §3.4–3.5)."""
+
+import numpy as np
+import pytest
+
+from repro.core.hashing import hash_array_to_unit
+from repro.samplers.distinct import (
+    AdaptiveDistinctSketch,
+    WeightedDistinctSketch,
+    lcs_union,
+)
+
+from ..conftest import assert_within_se
+
+
+class TestWeightedDistinctSketch:
+    def test_duplicates_idempotent(self):
+        s = WeightedDistinctSketch(10, salt=0)
+        for _ in range(5):
+            s.update("a", weight=2.0)
+        assert len(s) == 1
+        assert s.estimate_distinct() == pytest.approx(1.0)
+
+    def test_exact_while_underfull(self):
+        s = WeightedDistinctSketch(50, salt=0)
+        for i in range(20):
+            s.update(i, weight=1.0 + i % 3)
+        assert s.estimate_distinct() == pytest.approx(20.0)
+
+    def test_distinct_estimate_unbiased(self):
+        n, k = 500, 40
+        estimates = []
+        for salt in range(300):
+            s = WeightedDistinctSketch(k, salt=salt)
+            for i in range(n):
+                s.update(i, weight=1.0 + (i % 5))
+            estimates.append(s.estimate_distinct())
+        assert_within_se(estimates, float(n))
+
+    def test_subset_sum_unbiased(self):
+        n, k = 400, 40
+        weights = {i: 1.0 + (i % 7) for i in range(n)}
+        truth = sum(w for i, w in weights.items() if i % 2 == 0)
+        estimates = []
+        for salt in range(300):
+            s = WeightedDistinctSketch(k, salt=salt)
+            for i in range(n):
+                s.update(i, weight=weights[i])
+            estimates.append(s.estimate_subset_sum(lambda key: key % 2 == 0))
+        assert_within_se(estimates, truth)
+
+    def test_heavy_key_always_kept(self):
+        s = WeightedDistinctSketch(5, salt=1)
+        s.update("whale", weight=1e9)
+        for i in range(500):
+            s.update(i)
+        assert s.estimate_subset_sum(lambda key: key == "whale") > 0
+
+    def test_weight_validation(self):
+        with pytest.raises(ValueError):
+            WeightedDistinctSketch(5).update("x", weight=0.0)
+
+
+class TestAdaptiveDistinctSketch:
+    def test_exact_while_underfull(self):
+        s = AdaptiveDistinctSketch(100, salt=0)
+        s.extend(range(30))
+        assert s.estimate_distinct() == pytest.approx(30.0)
+        assert len(s) == 30
+
+    def test_estimate_unbiased(self):
+        n, k = 1000, 50
+        estimates = []
+        for salt in range(300):
+            s = AdaptiveDistinctSketch(k, salt=salt)
+            s.extend(range(n))
+            estimates.append(s.estimate_distinct())
+        assert_within_se(estimates, float(n))
+
+    def test_from_hashes_matches_streaming(self):
+        n, k, salt = 400, 30, 9
+        streamed = AdaptiveDistinctSketch(k, salt=salt)
+        streamed.extend(range(n))
+        hashed = AdaptiveDistinctSketch.from_hashes(
+            hash_array_to_unit(np.arange(n), salt), k, salt
+        )
+        assert hashed.estimate_distinct() == pytest.approx(
+            streamed.estimate_distinct()
+        )
+        assert hashed.stream_threshold == pytest.approx(streamed.stream_threshold)
+
+    def test_merge_unbiased_on_overlap(self):
+        size_a, size_b, overlap, k = 600, 800, 300, 60
+        keys_a = np.arange(size_a)
+        keys_b = np.arange(size_a - overlap, size_a - overlap + size_b)
+        truth = float(np.union1d(keys_a, keys_b).size)
+        estimates = []
+        for salt in range(200):
+            a = AdaptiveDistinctSketch.from_hashes(hash_array_to_unit(keys_a, salt), k, salt)
+            b = AdaptiveDistinctSketch.from_hashes(hash_array_to_unit(keys_b, salt), k, salt)
+            estimates.append(a.merge(b).estimate_distinct())
+        assert_within_se(estimates, truth)
+
+    def test_merge_pure_does_not_mutate(self):
+        a = AdaptiveDistinctSketch(10, salt=0)
+        a.extend(range(100))
+        before = a.estimate_distinct()
+        b = AdaptiveDistinctSketch(10, salt=0)
+        b.extend(range(50, 150))
+        a.merge(b)
+        assert a.estimate_distinct() == pytest.approx(before)
+
+    def test_merge_in_place_equals_pure(self):
+        a1 = AdaptiveDistinctSketch(10, salt=0)
+        a1.extend(range(100))
+        a2 = AdaptiveDistinctSketch(10, salt=0)
+        a2.extend(range(100))
+        b = AdaptiveDistinctSketch(10, salt=0)
+        b.extend(range(50, 180))
+        pure = a1.merge(b).estimate_distinct()
+        a2.merge_in_place(b)
+        assert a2.estimate_distinct() == pytest.approx(pure)
+
+    def test_merge_commutative(self):
+        a = AdaptiveDistinctSketch(20, salt=3)
+        a.extend(range(300))
+        b = AdaptiveDistinctSketch(20, salt=3)
+        b.extend(range(200, 600))
+        assert a.merge(b).estimate_distinct() == pytest.approx(
+            b.merge(a).estimate_distinct()
+        )
+
+    def test_merge_salt_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            AdaptiveDistinctSketch(5, salt=0).merge(AdaptiveDistinctSketch(5, salt=1))
+
+    def test_update_after_merge_respects_cap(self):
+        a = AdaptiveDistinctSketch(20, salt=0)
+        a.extend(range(500))
+        b = AdaptiveDistinctSketch(20, salt=0)
+        b.extend(range(500, 1000))
+        merged = a.merge(b)
+        cap = merged.stream_threshold
+        merged.extend(range(1000, 1500))
+        # New entries must all sit below the admission cap.
+        for key, (h, tau) in merged.entries().items():
+            assert h < max(tau, cap) + 1e-12
+
+    def test_trim_bounds_entries_and_stays_sane(self):
+        a = AdaptiveDistinctSketch(50, salt=0)
+        a.extend(range(2000))
+        b = AdaptiveDistinctSketch(50, salt=0)
+        b.extend(range(1500, 3500))
+        merged = a.merge(b)
+        merged.trim(40)
+        assert len(merged) <= 40
+        est = merged.estimate_distinct()
+        assert est == pytest.approx(3500.0, rel=0.6)
+
+
+class TestLCSUnionAdvantage:
+    def test_lcs_beats_single_sketch_variance(self):
+        """§3.5's point: the per-item merge uses ~2k samples, not k."""
+        n, k = 2000, 40
+        keys_a = np.arange(n)
+        keys_b = np.arange(n, 2 * n)
+        lcs_err, theta_like_err = [], []
+        truth = 2.0 * n
+        for salt in range(250):
+            ha = hash_array_to_unit(keys_a, salt)
+            hb = hash_array_to_unit(keys_b, salt)
+            a = AdaptiveDistinctSketch.from_hashes(ha, k, salt)
+            b = AdaptiveDistinctSketch.from_hashes(hb, k, salt)
+            lcs_err.append(lcs_union(a, b) - truth)
+            # Baseline: re-sketch the union down to k entries (trim).
+            merged = a.merge(b)
+            merged.trim(k)
+            theta_like_err.append(merged.estimate_distinct() - truth)
+        assert np.std(lcs_err) < 0.85 * np.std(theta_like_err)

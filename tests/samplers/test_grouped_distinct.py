@@ -1,0 +1,96 @@
+"""Tests for frequent-group distinct counting (repro.samplers.grouped_distinct, §3.6)."""
+
+import numpy as np
+import pytest
+
+from repro.samplers.grouped_distinct import GroupedDistinctSketch
+
+
+def feed_groups(sketch, group_sizes: dict, salt_offset: int = 0):
+    """Insert `group -> size` distinct items per group, interleaved."""
+    items = [
+        (group, f"item-{group}-{i}")
+        for group, size in group_sizes.items()
+        for i in range(size)
+    ]
+    rng = np.random.default_rng(42 + salt_offset)
+    rng.shuffle(items)
+    for group, key in items:
+        sketch.update(group, key)
+
+
+class TestMechanics:
+    def test_small_group_counts_exact_when_dedicated(self):
+        s = GroupedDistinctSketch(m=4, k=20, salt=0)
+        feed_groups(s, {"a": 5, "b": 12, "c": 3})
+        assert s.estimate("a") == pytest.approx(5.0)
+        assert s.estimate("b") == pytest.approx(12.0)
+        assert s.estimate("c") == pytest.approx(3.0)
+
+    def test_unknown_group_is_zero(self):
+        s = GroupedDistinctSketch(m=2, k=5)
+        assert s.estimate("nope") == 0.0
+
+    def test_promotion_of_heavy_pooled_group(self):
+        # Fill all dedicated slots with big groups, then pour a heavy group
+        # through the pool: it must eventually get promoted.
+        s = GroupedDistinctSketch(m=2, k=10, salt=1)
+        feed_groups(s, {"big1": 300, "big2": 300})
+        feed_groups(s, {"late-heavy": 400}, salt_offset=1)
+        assert "late-heavy" in s.dedicated
+
+    def test_pool_respects_t_max(self):
+        s = GroupedDistinctSketch(m=2, k=10, salt=2)
+        feed_groups(s, {"big1": 500, "big2": 500, "small": 30})
+        t = s.t_max
+        for bucket in s.pool.values():
+            assert all(h < t for h in bucket.values())
+
+    def test_memory_stays_bounded(self):
+        # Many tiny groups: the pool keeps only hash < t_max entries, so
+        # the footprint stays near m * k rather than growing per group.
+        s = GroupedDistinctSketch(m=5, k=20, salt=3)
+        sizes = {"heavy1": 2000, "heavy2": 2000, "heavy3": 1500,
+                 "heavy4": 1500, "heavy5": 1500}
+        sizes.update({f"tiny{i}": 3 for i in range(500)})
+        feed_groups(s, sizes)
+        # naive: 505 sketches; ours: 5 dedicated + a thin pool.
+        assert s.memory_entries() < 5 * (20 + 2) + 300
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            GroupedDistinctSketch(m=0, k=5)
+
+
+class TestAccuracy:
+    def test_heavy_group_estimates(self):
+        sizes = {"h1": 3000, "h2": 2000, "h3": 1000}
+        sizes.update({f"t{i}": 5 for i in range(100)})
+        rel_errors = {g: [] for g in ("h1", "h2", "h3")}
+        for salt in range(30):
+            s = GroupedDistinctSketch(m=3, k=50, salt=salt)
+            feed_groups(s, sizes, salt_offset=salt)
+            for g in rel_errors:
+                rel_errors[g].append(s.estimate(g) / sizes[g] - 1.0)
+        for g, errs in rel_errors.items():
+            assert abs(np.mean(errs)) < 0.12
+            assert np.std(errs) < 0.35
+
+    def test_small_group_estimates_under_pool(self):
+        # Pooled groups are estimated at the heavy-hitter rate: unbiased,
+        # with error scaled to the heavy groups (the §3.6 trade-off).
+        sizes = {"h1": 4000, "h2": 4000, "h3": 4000}
+        small = {f"s{i}": 40 for i in range(50)}
+        sizes.update(small)
+        total_errors = []
+        for salt in range(30):
+            s = GroupedDistinctSketch(m=3, k=40, salt=salt)
+            feed_groups(s, sizes, salt_offset=salt)
+            est = sum(s.estimate(g) for g in small)
+            total_errors.append(est / (40 * 50) - 1.0)
+        assert abs(np.mean(total_errors)) < 0.15
+
+    def test_groups_listing(self):
+        s = GroupedDistinctSketch(m=2, k=5, salt=4)
+        feed_groups(s, {"a": 50, "b": 50, "c": 50})
+        assert {"a", "b"} <= s.groups() or len(s.groups()) >= 2

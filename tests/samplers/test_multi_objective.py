@@ -1,0 +1,91 @@
+"""Tests for multi-objective sampling (repro.samplers.multi_objective, §3.8)."""
+
+import numpy as np
+import pytest
+
+from repro.samplers.multi_objective import MultiObjectiveSampler
+from repro.workloads.weights import correlated_weight_pair
+
+from ..conftest import assert_within_se
+
+
+def feed(sampler, profit, revenue):
+    for i in range(profit.size):
+        sampler.update(i, {"profit": float(profit[i]), "revenue": float(revenue[i])})
+
+
+class TestCoordination:
+    def test_proportional_weights_collapse_to_k(self):
+        # Scalar multiples of the same weights give identical priority
+        # orders: the union is exactly one sketch (paper's §3.8 endpoint).
+        n, k = 800, 50
+        w = np.random.default_rng(0).lognormal(0, 1.0, n)
+        s = MultiObjectiveSampler(k, ("profit", "revenue"), salt=1)
+        feed(s, w, 3.0 * w)
+        assert s.union_size() == k
+        assert s.footprint_ratio() == pytest.approx(0.5)
+
+    def test_independent_weights_much_larger_than_k(self):
+        # Even "independent" weights share the coordinating uniform u, so
+        # the union lands around 1.5k rather than the full 2k; the claim
+        # under test is that it clearly exceeds the proportional case's k.
+        n, k = 3000, 50
+        p, r = correlated_weight_pair(n, 0.0, rng=np.random.default_rng(1))
+        s = MultiObjectiveSampler(k, ("profit", "revenue"), salt=2)
+        feed(s, p, r)
+        assert s.union_size() > 1.35 * k
+
+    def test_union_monotone_in_correlation(self):
+        n, k = 3000, 50
+        sizes = []
+        for corr in (0.0, 0.9, 1.0):
+            acc = []
+            for salt in range(5):
+                p, r = correlated_weight_pair(
+                    n, corr, rng=np.random.default_rng(salt)
+                )
+                s = MultiObjectiveSampler(k, ("profit", "revenue"), salt=salt)
+                feed(s, p, r)
+                acc.append(s.union_size())
+            sizes.append(np.mean(acc))
+        assert sizes[0] > sizes[1] > sizes[2]
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            MultiObjectiveSampler(5, ())
+        s = MultiObjectiveSampler(5, ("a",))
+        with pytest.raises(ValueError):
+            s.update(0, {"a": 0.0})
+
+
+class TestEstimation:
+    def test_per_objective_totals_unbiased(self):
+        n, k = 400, 40
+        p, r = correlated_weight_pair(n, 0.5, rng=np.random.default_rng(3))
+        p_est, r_est = [], []
+        for salt in range(250):
+            s = MultiObjectiveSampler(k, ("profit", "revenue"), salt=salt)
+            feed(s, p, r)
+            p_est.append(s.estimate_total("profit"))
+            r_est.append(s.estimate_total("revenue"))
+        assert_within_se(p_est, float(p.sum()))
+        assert_within_se(r_est, float(r.sum()))
+
+    def test_subset_totals(self):
+        n, k = 300, 30
+        p, r = correlated_weight_pair(n, 0.2, rng=np.random.default_rng(4))
+        truth = float(p[: n // 2].sum())
+        estimates = []
+        for salt in range(250):
+            s = MultiObjectiveSampler(k, ("profit", "revenue"), salt=salt)
+            feed(s, p, r)
+            estimates.append(
+                s.estimate_total("profit", predicate=lambda key: key < n // 2)
+            )
+        assert_within_se(estimates, truth)
+
+    def test_sketch_accessor(self):
+        s = MultiObjectiveSampler(5, ("profit", "revenue"))
+        assert s.sketch("profit") is not s.sketch("revenue")
+        with pytest.raises(KeyError):
+            s.sketch("unknown")

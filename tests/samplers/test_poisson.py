@@ -1,0 +1,74 @@
+"""Tests for fixed-threshold Poisson sampling (repro.samplers.poisson)."""
+
+import numpy as np
+import pytest
+
+from repro.core.priorities import Uniform01Priority
+from repro.samplers.poisson import PoissonSampler
+
+from ..conftest import assert_within_se
+
+
+class TestInclusion:
+    def test_inclusion_rate_matches_probability(self):
+        counts = []
+        for trial in range(50):
+            s = PoissonSampler.with_inclusion_probability(0.3, rng=trial)
+            for i in range(200):
+                s.update(i)
+            counts.append(len(s))
+        assert_within_se(counts, 0.3 * 200)
+
+    def test_weighted_inclusion(self):
+        # weight w against threshold t: P = min(1, w t).
+        hits = 0
+        trials = 4000
+        s = PoissonSampler(0.1, rng=0)
+        for i in range(trials):
+            hits += int(s.update(i, weight=4.0))
+        assert hits / trials == pytest.approx(0.4, abs=0.03)
+
+    def test_heavy_item_certain(self, rng):
+        s = PoissonSampler(0.5, rng=rng)
+        assert s.update("whale", weight=10.0)
+
+    def test_callable_threshold(self, rng):
+        s = PoissonSampler(
+            lambda key, w: 1.0 if key == "vip" else 0.0,
+            family=Uniform01Priority(),
+            rng=rng,
+        )
+        assert s.update("vip")
+        assert not s.update("pleb")
+        assert s.threshold_for("vip", 1.0) == 1.0
+
+    def test_probability_validation(self):
+        with pytest.raises(ValueError):
+            PoissonSampler.with_inclusion_probability(0.0)
+
+    def test_coordinated_reproducible(self):
+        a = PoissonSampler.with_inclusion_probability(0.5, coordinated=True, salt=3)
+        b = PoissonSampler.with_inclusion_probability(0.5, coordinated=True, salt=3)
+        for i in range(100):
+            a.update(i)
+            b.update(i)
+        assert a.sample().keys == b.sample().keys
+
+
+class TestEstimation:
+    def test_ht_total_unbiased(self):
+        weights = np.random.default_rng(0).lognormal(0, 0.5, 100)
+        truth = weights.sum()
+        estimates = []
+        for trial in range(400):
+            s = PoissonSampler(0.15, rng=np.random.default_rng(trial))
+            for i, w in enumerate(weights):
+                s.update(i, weight=float(w))
+            estimates.append(s.sample().ht_total())
+        assert_within_se(estimates, truth)
+
+    def test_extend_bulk(self, rng):
+        s = PoissonSampler.with_inclusion_probability(1.0, rng=rng)
+        s.extend(list(range(10)), values=np.arange(10, dtype=float))
+        assert s.items_seen == 10
+        assert s.sample().ht_total() == pytest.approx(45.0)

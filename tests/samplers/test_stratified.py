@@ -1,0 +1,99 @@
+"""Tests for multi-stratified sampling (repro.samplers.stratified, §3.7)."""
+
+import numpy as np
+import pytest
+
+from repro.samplers.stratified import MultiStratifiedSampler
+
+from ..conftest import assert_within_se
+
+
+def feed_population(sampler, n=400, seed=0, n_countries=4, n_ages=5):
+    rng = np.random.default_rng(seed)
+    rows = []
+    for i in range(n):
+        country = f"c{rng.integers(n_countries)}"
+        age = f"a{rng.integers(n_ages)}"
+        value = float(rng.lognormal(0, 0.4))
+        sampler.update(i, (country, age), value=value)
+        rows.append((i, country, age, value))
+    return rows
+
+
+class TestMechanics:
+    def test_every_stratum_represented(self):
+        s = MultiStratifiedSampler(n_dims=2, k=5, salt=1)
+        rows = feed_population(s)
+        sample = s.sample()
+        counts = s.stratum_counts(sample)
+        seen = {(0, c) for _, c, _, _ in rows} | {(1, a) for _, _, a, _ in rows}
+        for stratum in seen:
+            assert counts.get(stratum, 0) >= 1
+
+    def test_per_stratum_at_least_k_without_budget(self):
+        s = MultiStratifiedSampler(n_dims=2, k=5, salt=2)
+        feed_population(s, n=600)
+        counts = s.stratum_counts(s.sample())
+        assert all(v >= 5 for v in counts.values())
+
+    def test_budget_respected(self):
+        s = MultiStratifiedSampler(n_dims=2, k=10, salt=3)
+        feed_population(s, n=600)
+        sample = s.sample(budget=40)
+        assert len(sample) <= 40
+
+    def test_budget_monotone(self):
+        s = MultiStratifiedSampler(n_dims=2, k=10, salt=4)
+        feed_population(s, n=600)
+        large = len(s.sample(budget=80))
+        small = len(s.sample(budget=30))
+        assert small <= 30 and large <= 80
+        assert small <= large
+
+    def test_dims_validated(self):
+        s = MultiStratifiedSampler(n_dims=2, k=3)
+        with pytest.raises(ValueError):
+            s.update(0, ("only-one",))
+        with pytest.raises(ValueError):
+            MultiStratifiedSampler(n_dims=0, k=3)
+        with pytest.raises(ValueError):
+            s.sample(budget=0)
+
+    def test_duplicate_keys_idempotent(self):
+        s = MultiStratifiedSampler(n_dims=1, k=5, salt=5)
+        for _ in range(3):
+            s.update("x", ("c0",))
+        assert len(s.sample()) == 1
+
+
+class TestEstimation:
+    def test_subset_sum_unbiased(self):
+        """HT sums stay unbiased under the max-composition threshold
+        (1-substitutability is enough — see the recalibration tests)."""
+        n = 200
+        rng = np.random.default_rng(7)
+        countries = [f"c{rng.integers(3)}" for _ in range(n)]
+        ages = [f"a{rng.integers(3)}" for _ in range(n)]
+        values = rng.lognormal(0, 0.4, n)
+        target = {i for i in range(n) if countries[i] == "c0"}
+        truth = float(sum(values[i] for i in target))
+        estimates = []
+        for salt in range(300):
+            s = MultiStratifiedSampler(n_dims=2, k=6, salt=salt)
+            for i in range(n):
+                s.update(i, (countries[i], ages[i]), value=float(values[i]))
+            sample = s.sample()
+            estimates.append(sample.select(lambda key: key in target).ht_total())
+        assert_within_se(estimates, truth)
+
+    def test_population_count_unbiased(self):
+        n = 250
+        rng = np.random.default_rng(9)
+        strata = [(f"c{rng.integers(4)}", f"a{rng.integers(4)}") for _ in range(n)]
+        estimates = []
+        for salt in range(300):
+            s = MultiStratifiedSampler(n_dims=2, k=5, salt=salt)
+            for i in range(n):
+                s.update(i, strata[i])
+            estimates.append(s.sample().distinct_estimate())
+        assert_within_se(estimates, float(n))

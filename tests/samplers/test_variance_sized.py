@@ -1,0 +1,153 @@
+"""Tests for variance-sized sampling (repro.samplers.variance_sized, §3.9/§6)."""
+
+import numpy as np
+import pytest
+
+from repro.core.priorities import InverseWeightPriority
+from repro.samplers.variance_sized import (
+    VarianceTargetSampler,
+    solve_first_crossing,
+    solve_stopping_threshold,
+)
+
+
+def vhat_at(values, weights, priorities, t):
+    fam = InverseWeightPriority()
+    mask = priorities < t
+    probs = np.asarray(fam.pseudo_inclusion(t, weights[mask]), dtype=float)
+    return float(
+        np.sum(
+            np.where(probs < 1.0, values[mask] ** 2 * (1 - probs) / probs**2, 0.0)
+        )
+    )
+
+
+@pytest.fixture
+def population(rng):
+    n = 120
+    weights = rng.lognormal(0, 0.6, n)
+    return weights.copy(), weights, rng.random(n) / weights
+
+
+class TestSolvers:
+    def test_crossings_hit_target_exactly(self, population):
+        values, weights, priorities = population
+        delta = 0.08 * values.sum()
+        for solver in (solve_stopping_threshold, solve_first_crossing):
+            t = solver(values, weights, priorities, delta)
+            assert np.isfinite(t)
+            assert vhat_at(values, weights, priorities, t) == pytest.approx(
+                delta**2, rel=1e-6
+            )
+
+    def test_first_crossing_not_above_largest(self, population):
+        values, weights, priorities = population
+        delta = 0.08 * values.sum()
+        first = solve_first_crossing(values, weights, priorities, delta)
+        largest = solve_stopping_threshold(values, weights, priorities, delta)
+        assert first <= largest + 1e-12
+
+    def test_unreachable_target_returns_inf(self, population):
+        values, weights, priorities = population
+        # Absurdly loose target: no downsampling needed.
+        t = solve_stopping_threshold(values, weights, priorities, 1e9)
+        assert np.isinf(t)
+
+    def test_delta_validation(self, population):
+        values, weights, priorities = population
+        with pytest.raises(ValueError):
+            solve_stopping_threshold(values, weights, priorities, 0.0)
+
+    def test_empty_population(self):
+        t = solve_stopping_threshold(
+            np.array([]), np.array([]), np.array([]), 1.0
+        )
+        assert np.isinf(t)
+
+    def test_expected_vhat_equals_target(self):
+        """The §3.9 claim E[Vhat(S_T)] = delta^2 (holds by construction
+        whenever the crossing is interior, which it is a.s.)."""
+        rng = np.random.default_rng(0)
+        n = 150
+        weights = rng.lognormal(0, 0.5, n)
+        values = weights.copy()
+        delta = 0.06 * values.sum()
+        measured = []
+        for _ in range(50):
+            priorities = rng.random(n) / weights
+            t = solve_stopping_threshold(values, weights, priorities, delta)
+            measured.append(vhat_at(values, weights, priorities, t))
+        assert np.mean(measured) == pytest.approx(delta**2, rel=1e-6)
+
+    def test_realized_mse_tracks_target(self):
+        rng = np.random.default_rng(1)
+        n = 400
+        weights = rng.lognormal(0, 0.5, n)
+        values = weights.copy()
+        truth = values.sum()
+        delta = 0.05 * truth
+        fam = InverseWeightPriority()
+        sq = []
+        for _ in range(400):
+            priorities = rng.random(n) / weights
+            t = solve_stopping_threshold(values, weights, priorities, delta)
+            mask = priorities < t
+            probs = np.asarray(fam.pseudo_inclusion(t, weights[mask]))
+            sq.append((float(np.sum(values[mask] / probs)) - truth) ** 2)
+        assert np.mean(sq) == pytest.approx(delta**2, rel=0.35)
+
+
+class TestStreamingSampler:
+    def test_no_horizon_retains_and_is_sound(self, rng):
+        weights = rng.lognormal(0, 0.5, 200)
+        s = VarianceTargetSampler(delta=weights.sum() * 0.1, rng=rng)
+        for i, w in enumerate(weights):
+            s.update(i, weight=float(w))
+        sample, sound = s.finalize()
+        assert sound
+        assert len(s._priorities) == 200  # nothing evicted
+
+    def test_horizon_bounds_memory(self, rng):
+        n = 2000
+        weights = rng.lognormal(0, 0.5, n)
+        s = VarianceTargetSampler(
+            delta=weights.sum() * 0.05, horizon=n, oversample=2.0, rng=rng
+        )
+        for i, w in enumerate(weights):
+            s.update(i, weight=float(w))
+        assert len(s._priorities) < n / 2  # retention cap engaged
+        sample, sound = s.finalize()
+        if sound:
+            # A sound run must agree with the offline first-crossing rule.
+            assert float(sample.thresholds[0]) == pytest.approx(
+                s.provisional_threshold()
+            )
+
+    def test_horizon_runs_usually_sound_and_accurate(self):
+        n = 1500
+        rng0 = np.random.default_rng(5)
+        weights = rng0.lognormal(0, 0.5, n)
+        truth = weights.sum()
+        delta = 0.05 * truth
+        sound_count = 0
+        errors = []
+        trials = 40
+        for seed in range(trials):
+            s = VarianceTargetSampler(
+                delta, horizon=n, oversample=2.0, rng=np.random.default_rng(seed)
+            )
+            for i, w in enumerate(weights):
+                s.update(i, weight=float(w))
+            sample, sound = s.finalize()
+            sound_count += int(sound)
+            errors.append(abs(sample.ht_total() - truth) / truth)
+        assert sound_count >= 0.9 * trials
+        assert np.median(errors) < 0.15
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            VarianceTargetSampler(delta=0.0)
+        with pytest.raises(ValueError):
+            VarianceTargetSampler(delta=1.0, oversample=0.5)
+        with pytest.raises(ValueError):
+            VarianceTargetSampler(delta=1.0, horizon=0)

@@ -1,0 +1,44 @@
+"""Every example script must run cleanly and print what it promises."""
+
+import pathlib
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES_DIR = pathlib.Path(__file__).resolve().parent.parent / "examples"
+
+EXPECTED_MARKERS = {
+    "quickstart.py": ["HT estimate", "revenue[emea]"],
+    "sliding_window_monitoring.py": ["G&L n", "events in last window"],
+    "topk_trending.py": ["true top-10", "FrequentItems"],
+    "distinct_count_union.py": ["adaptive merge", "theta union"],
+    "aqp_dashboard.py": ["rows read", "region-2 total"],
+    "multi_stratified_survey.py": ["panel size", "per-country panel counts"],
+    "statistics_from_sample.py": ["Kendall tau", "kurtosis of x"],
+}
+
+
+def run_example(name: str) -> str:
+    result = subprocess.run(
+        [sys.executable, str(EXAMPLES_DIR / name)],
+        capture_output=True,
+        text=True,
+        timeout=600,
+    )
+    assert result.returncode == 0, f"{name} failed:\n{result.stderr}"
+    return result.stdout
+
+
+@pytest.mark.parametrize("name", sorted(EXPECTED_MARKERS))
+def test_example_runs(name):
+    stdout = run_example(name)
+    for marker in EXPECTED_MARKERS[name]:
+        assert marker in stdout, f"{name}: missing {marker!r} in output"
+
+
+def test_all_examples_covered():
+    on_disk = {p.name for p in EXAMPLES_DIR.glob("*.py")}
+    assert on_disk == set(EXPECTED_MARKERS), (
+        "examples and test expectations out of sync"
+    )

@@ -1,0 +1,190 @@
+"""Property-based tests (hypothesis) for core invariants.
+
+These encode the paper's structural guarantees as properties over random
+inputs: recalibration never raises thresholds, budget samples always fit,
+streaming samplers agree with their offline rules, merges form a
+commutative idempotent monoid, and offline rules are permutation-invariant.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.core.composition import MaxComposition, MinComposition
+from repro.core.hashing import hash_array_to_unit, hash_to_unit
+from repro.core.recalibration import recalibrate
+from repro.core.thresholds import BottomK, BudgetPrefix, SequentialBottomK
+from repro.samplers.budget import BudgetSampler
+from repro.samplers.distinct import AdaptiveDistinctSketch
+from repro.baselines.kmv import KMVSketch
+from repro.baselines.theta import ThetaSketch
+
+priorities_arrays = hnp.arrays(
+    dtype=np.float64,
+    shape=st.integers(min_value=1, max_value=24),
+    elements=st.floats(
+        min_value=1e-6, max_value=1.0, exclude_max=True, allow_nan=False
+    ),
+    unique=True,
+)
+
+sizes_lists = st.lists(
+    st.floats(min_value=0.1, max_value=20.0, allow_nan=False),
+    min_size=1,
+    max_size=24,
+)
+
+key_sets = st.sets(st.integers(min_value=0, max_value=10_000), min_size=0, max_size=300)
+
+
+class TestRecalibrationProperties:
+    @given(priorities_arrays, st.integers(min_value=1, max_value=8))
+    @settings(max_examples=60, deadline=None)
+    def test_recalibration_never_raises_thresholds(self, priorities, k):
+        for rule in (BottomK(k), SequentialBottomK(k)):
+            original = rule.thresholds(priorities)
+            sampled = np.flatnonzero(priorities < original)
+            if sampled.size == 0:
+                continue
+            recal = recalibrate(rule, priorities, sampled[:3].tolist())
+            assert np.all(recal <= original + 1e-12)
+
+    @given(priorities_arrays, st.integers(min_value=1, max_value=8))
+    @settings(max_examples=60, deadline=None)
+    def test_bottomk_recalibration_fixes_sampled(self, priorities, k):
+        rule = BottomK(k)
+        original = rule.thresholds(priorities)
+        sampled = np.flatnonzero(priorities < original)
+        for i in sampled.tolist():
+            recal = recalibrate(rule, priorities, [i])
+            assert recal[i] == pytest.approx(original[i])
+
+
+class TestRuleProperties:
+    @given(priorities_arrays, st.integers(min_value=1, max_value=8))
+    @settings(max_examples=60, deadline=None)
+    def test_bottomk_permutation_invariant(self, priorities, k):
+        rule = BottomK(k)
+        perm = np.random.default_rng(0).permutation(priorities.size)
+        t_orig = rule.thresholds(priorities)[0]
+        t_perm = rule.thresholds(priorities[perm])[0]
+        assert t_orig == pytest.approx(t_perm)
+
+    @given(priorities_arrays, sizes_lists, st.floats(min_value=1.0, max_value=50.0))
+    @settings(max_examples=60, deadline=None)
+    def test_budget_prefix_fits(self, priorities, sizes, budget):
+        n = min(priorities.size, len(sizes))
+        if n == 0:
+            return
+        pr, sz = priorities[:n], np.asarray(sizes[:n])
+        rule = BudgetPrefix(sz, budget)
+        idx = rule.sample(pr)
+        assert sz[idx].sum() <= budget + 1e-9
+
+    @given(priorities_arrays, st.integers(min_value=1, max_value=6))
+    @settings(max_examples=60, deadline=None)
+    def test_min_composition_bounded_by_components(self, priorities, k):
+        a, b = BottomK(k), SequentialBottomK(k)
+        combo = MinComposition([a, b]).thresholds(priorities)
+        assert np.all(combo <= a.thresholds(priorities) + 1e-15)
+        assert np.all(combo <= b.thresholds(priorities) + 1e-15)
+
+    @given(priorities_arrays, st.integers(min_value=1, max_value=6))
+    @settings(max_examples=60, deadline=None)
+    def test_max_composition_bounded_below(self, priorities, k):
+        a, b = BottomK(k), SequentialBottomK(k)
+        combo = MaxComposition([a, b]).thresholds(priorities)
+        assert np.all(combo >= a.thresholds(priorities) - 1e-15)
+
+
+class TestBudgetSamplerProperties:
+    @given(
+        st.lists(
+            st.tuples(
+                st.integers(min_value=0, max_value=1000),
+                st.floats(min_value=0.1, max_value=30.0, allow_nan=False),
+            ),
+            min_size=1,
+            max_size=120,
+        ),
+        st.floats(min_value=5.0, max_value=100.0),
+        st.integers(min_value=0, max_value=5),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_streaming_budget_never_violated(self, items, budget, seed):
+        sampler = BudgetSampler(budget, rng=np.random.default_rng(seed))
+        for i, (key, size) in enumerate(items):
+            sampler.update((key, i), size=size)
+            assert sampler.used <= budget + 1e-9
+        sample = sampler.sample()
+        assert np.all(sample.priorities < sample.thresholds)
+
+
+class TestSketchMonoid:
+    @given(key_sets, key_sets, st.integers(min_value=0, max_value=50))
+    @settings(max_examples=40, deadline=None)
+    def test_adaptive_merge_commutative(self, keys_a, keys_b, salt):
+        a = AdaptiveDistinctSketch(16, salt=salt)
+        a.extend(keys_a)
+        b = AdaptiveDistinctSketch(16, salt=salt)
+        b.extend(keys_b)
+        ab = a.merge(b).estimate_distinct()
+        ba = b.merge(a).estimate_distinct()
+        assert ab == pytest.approx(ba)
+
+    @given(key_sets, key_sets, key_sets, st.integers(min_value=0, max_value=20))
+    @settings(max_examples=25, deadline=None)
+    def test_theta_union_associative_estimate(self, ka, kb, kc, salt):
+        def sk(keys):
+            s = ThetaSketch(16, salt=salt)
+            s.extend(keys)
+            return s
+
+        left = sk(ka).union(sk(kb)).union(sk(kc)).estimate()
+        right = sk(ka).union(sk(kb).union(sk(kc))).estimate()
+        assert left == pytest.approx(right)
+
+    @given(key_sets, st.integers(min_value=0, max_value=20))
+    @settings(max_examples=40, deadline=None)
+    def test_kmv_union_idempotent(self, keys, salt):
+        a = KMVSketch(16, salt=salt)
+        a.extend(keys)
+        b = KMVSketch(16, salt=salt)
+        b.extend(keys)
+        assert a.union(b).estimate() == pytest.approx(a.estimate())
+
+    @given(key_sets, key_sets, st.integers(min_value=0, max_value=20))
+    @settings(max_examples=40, deadline=None)
+    def test_kmv_union_equals_concatenation(self, keys_a, keys_b, salt):
+        a = KMVSketch(16, salt=salt)
+        a.extend(keys_a)
+        b = KMVSketch(16, salt=salt)
+        b.extend(keys_b)
+        direct = KMVSketch(16, salt=salt)
+        direct.extend(keys_a | keys_b)
+        assert a.union(b).estimate() == pytest.approx(direct.estimate())
+
+
+class TestHashingProperties:
+    @given(st.integers(min_value=-(2**62), max_value=2**62), st.integers(0, 100))
+    @settings(max_examples=100, deadline=None)
+    def test_hash_in_open_unit_interval(self, key, salt):
+        h = hash_to_unit(key, salt)
+        assert 0.0 < h < 1.0
+
+    @given(
+        hnp.arrays(
+            dtype=np.int64,
+            shape=st.integers(min_value=1, max_value=100),
+            elements=st.integers(min_value=0, max_value=2**31),
+            unique=True,
+        ),
+        st.integers(0, 50),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_vector_scalar_consistency(self, keys, salt):
+        vec = hash_array_to_unit(keys, salt)
+        for i in range(min(3, keys.size)):
+            assert vec[i] == pytest.approx(hash_to_unit(int(keys[i]), salt))

@@ -1,0 +1,74 @@
+"""Public API hygiene: exports exist, are importable, and documented."""
+
+import importlib
+import inspect
+
+import pytest
+
+import repro
+
+SUBPACKAGES = [
+    "repro.core",
+    "repro.samplers",
+    "repro.baselines",
+    "repro.workloads",
+    "repro.asymptotics",
+    "repro.experiments",
+]
+
+
+class TestTopLevel:
+    def test_version(self):
+        assert repro.__version__ == "1.0.0"
+
+    def test_all_exports_resolve(self):
+        for name in repro.__all__:
+            if name == "__version__":
+                continue
+            assert hasattr(repro, name), f"missing export {name}"
+
+    @pytest.mark.parametrize("module_name", SUBPACKAGES)
+    def test_subpackages_import(self, module_name):
+        module = importlib.import_module(module_name)
+        assert module.__doc__, f"{module_name} lacks a module docstring"
+
+    def test_subpackage_alls_resolve(self):
+        for module_name in SUBPACKAGES:
+            module = importlib.import_module(module_name)
+            for name in getattr(module, "__all__", []):
+                assert hasattr(module, name), f"{module_name}.{name} missing"
+
+
+class TestDocumentation:
+    def test_public_classes_documented(self):
+        undocumented = []
+        for name in repro.__all__:
+            obj = getattr(repro, name, None)
+            if inspect.isclass(obj) or inspect.isfunction(obj):
+                if not (obj.__doc__ or "").strip():
+                    undocumented.append(name)
+        assert not undocumented, f"undocumented exports: {undocumented}"
+
+    def test_public_methods_documented(self):
+        """Every public method on exported classes carries a docstring
+        (possibly inherited from the base class that defines its contract)."""
+        missing = []
+        for name in repro.__all__:
+            obj = getattr(repro, name, None)
+            if not inspect.isclass(obj):
+                continue
+            for attr_name, attr in vars(obj).items():
+                if attr_name.startswith("_") or not callable(attr):
+                    continue
+                resolved = getattr(obj, attr_name, attr)
+                if not (inspect.getdoc(resolved) or "").strip():
+                    missing.append(f"{name}.{attr_name}")
+        assert not missing, f"undocumented methods: {missing}"
+
+    def test_experiment_modules_have_run_and_main(self):
+        from repro import experiments
+
+        for name in experiments.__all__:
+            module = getattr(experiments, name)
+            assert callable(getattr(module, "run", None)), name
+            assert callable(getattr(module, "main", None)), name

@@ -1,0 +1,180 @@
+"""Tests for the workload generators (repro.workloads)."""
+
+import numpy as np
+import pytest
+from scipy import stats
+
+from repro.workloads.arrivals import (
+    homogeneous_arrivals,
+    inhomogeneous_arrivals,
+    piecewise_rate,
+    spike_rate,
+)
+from repro.workloads.pitman_yor import pitman_yor_stream, true_top_k
+from repro.workloads.sets import many_small_sets, max_jaccard, set_pair_with_jaccard
+from repro.workloads.sizes import SURVEY_MAX_SIZE, SURVEY_MEAN_SIZE, survey_sizes
+from repro.workloads.weights import (
+    correlated_weight_pair,
+    lognormal_weights,
+    pareto_weights,
+)
+from repro.workloads.zipf import zipf_stream, zipf_weights
+
+
+class TestPitmanYor:
+    def test_deterministic_given_seed(self):
+        a = pitman_yor_stream(500, 0.5, np.random.default_rng(1))
+        b = pitman_yor_stream(500, 0.5, np.random.default_rng(1))
+        np.testing.assert_array_equal(a, b)
+
+    def test_ids_in_appearance_order(self):
+        stream = pitman_yor_stream(2000, 0.5, np.random.default_rng(2))
+        first_seen = {}
+        for pos, item in enumerate(stream.tolist()):
+            first_seen.setdefault(item, pos)
+        order = [item for item, _ in sorted(first_seen.items(), key=lambda kv: kv[1])]
+        assert order == sorted(order)
+
+    def test_distinct_count_grows_with_beta(self):
+        n = 8000
+        distinct = {}
+        for beta in (0.1, 0.5, 0.9):
+            acc = [
+                len(np.unique(pitman_yor_stream(n, beta, np.random.default_rng(s))))
+                for s in range(3)
+            ]
+            distinct[beta] = np.mean(acc)
+        assert distinct[0.1] < distinct[0.5] < distinct[0.9]
+
+    def test_beta_zero_is_crp(self):
+        # Chinese restaurant process: E[#distinct] ~= log n for theta = 1.
+        n = 5000
+        acc = [
+            len(np.unique(pitman_yor_stream(n, 0.0, np.random.default_rng(s))))
+            for s in range(20)
+        ]
+        expected = np.sum(1.0 / (1.0 + np.arange(n)))
+        assert np.mean(acc) == pytest.approx(expected, rel=0.2)
+
+    def test_beta_validation(self):
+        with pytest.raises(ValueError):
+            pitman_yor_stream(10, 1.0)
+        with pytest.raises(ValueError):
+            pitman_yor_stream(0, 0.5)
+
+    def test_true_top_k(self):
+        stream = np.array([3, 3, 3, 1, 1, 2])
+        assert true_top_k(stream, 2) == [3, 1]
+
+
+class TestArrivals:
+    def test_homogeneous_count(self):
+        counts = [
+            homogeneous_arrivals(100.0, 0.0, 10.0, np.random.default_rng(s)).size
+            for s in range(30)
+        ]
+        assert np.mean(counts) == pytest.approx(1000, rel=0.05)
+
+    def test_sorted_and_in_range(self, rng):
+        t = homogeneous_arrivals(50.0, 2.0, 6.0, rng)
+        assert np.all(np.diff(t) >= 0)
+        assert t.min() >= 2.0 and t.max() <= 6.0
+
+    def test_inhomogeneous_matches_integral(self):
+        rate = spike_rate(100.0, 400.0, 4.0, 5.0)
+        counts = [
+            inhomogeneous_arrivals(rate, 400.0, 0.0, 10.0, np.random.default_rng(s)).size
+            for s in range(30)
+        ]
+        # integral: 100*10 + 300*1 extra during the spike = 1300.
+        assert np.mean(counts) == pytest.approx(1300, rel=0.06)
+
+    def test_spike_rate_shape(self):
+        rate = spike_rate(10.0, 50.0, 1.0, 2.0)
+        np.testing.assert_allclose(rate(np.array([0.5, 1.5, 2.5])), [10, 50, 10])
+
+    def test_spike_validation(self):
+        with pytest.raises(ValueError):
+            spike_rate(10.0, 5.0, 0.0, 1.0)
+
+    def test_piecewise_rate(self):
+        rate = piecewise_rate([1.0, 2.0], [5.0, 10.0, 2.0])
+        np.testing.assert_allclose(rate(np.array([0.5, 1.5, 5.0])), [5, 10, 2])
+        with pytest.raises(ValueError):
+            piecewise_rate([1.0], [5.0])
+
+
+class TestSets:
+    def test_exact_jaccard(self):
+        a, b = set_pair_with_jaccard(1000, 2000, 0.2)
+        inter = np.intersect1d(a, b).size
+        union = np.union1d(a, b).size
+        assert inter / union == pytest.approx(0.2, abs=0.01)
+        assert a.size == 1000 and b.size == 2000
+
+    def test_zero_jaccard_disjoint(self):
+        a, b = set_pair_with_jaccard(100, 300, 0.0)
+        assert np.intersect1d(a, b).size == 0
+
+    def test_max_jaccard(self):
+        assert max_jaccard(100, 300) == pytest.approx(1 / 3)
+        with pytest.raises(ValueError):
+            set_pair_with_jaccard(100, 300, 0.5)
+
+    def test_many_small_sets_disjoint(self):
+        big, smalls = many_small_sets(100, 5, 10)
+        allsets = [big] + smalls
+        combined = np.concatenate(allsets)
+        assert combined.size == np.unique(combined).size == 150
+
+
+class TestSizes:
+    def test_calibrated_statistics(self):
+        sizes = survey_sizes(40_000, np.random.default_rng(0))
+        assert sizes.max() == SURVEY_MAX_SIZE
+        assert sizes.mean() == pytest.approx(SURVEY_MEAN_SIZE, rel=0.03)
+        assert sizes.min() >= 1.0
+
+    def test_minimum_population(self):
+        with pytest.raises(ValueError):
+            survey_sizes(1)
+
+
+class TestWeights:
+    def test_correlation_endpoints(self):
+        w1, w2 = correlated_weight_pair(20_000, 1.0, rng=np.random.default_rng(1))
+        assert np.corrcoef(np.log(w1), np.log(w2))[0, 1] == pytest.approx(1.0)
+        w1, w2 = correlated_weight_pair(20_000, 0.0, rng=np.random.default_rng(2))
+        assert abs(np.corrcoef(np.log(w1), np.log(w2))[0, 1]) < 0.03
+
+    def test_intermediate_correlation(self):
+        w1, w2 = correlated_weight_pair(30_000, 0.6, rng=np.random.default_rng(3))
+        assert np.corrcoef(np.log(w1), np.log(w2))[0, 1] == pytest.approx(0.6, abs=0.02)
+
+    def test_positivity(self, rng):
+        assert np.all(lognormal_weights(1000, rng=rng) > 0)
+        assert np.all(pareto_weights(1000, rng=rng) > 0)
+
+    def test_correlation_validation(self):
+        with pytest.raises(ValueError):
+            correlated_weight_pair(10, 2.0)
+
+
+class TestZipf:
+    def test_weights_shape(self):
+        w = zipf_weights(100, 1.0)
+        assert w[0] == 1.0
+        assert w[9] == pytest.approx(0.1)
+
+    def test_stream_frequencies(self):
+        stream = zipf_stream(100_000, 50, 1.0, rng=np.random.default_rng(4))
+        ids, counts = np.unique(stream, return_counts=True)
+        expected = zipf_weights(50, 1.0)
+        expected = expected / expected.sum()
+        observed = counts / counts.sum()
+        # The head frequencies should track the Zipf law closely.
+        np.testing.assert_allclose(observed[:5], expected[:5], rtol=0.1)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            zipf_weights(0)
