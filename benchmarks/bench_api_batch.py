@@ -1,0 +1,108 @@
+"""Bench P2 — scalar ``update`` loop vs vectorized ``update_many``.
+
+Measures the batch-ingestion speedup of the :class:`repro.api.StreamSampler`
+protocol on a 1M-item Zipf stream for every sampler with a genuinely
+vectorized ``update_many`` (bottom-k, Poisson, and the two distinct
+sketches).  Emits JSON to ``benchmarks/results/bench_api_batch.json`` so
+future PRs can track the batch-path trajectory, and asserts the PR-1
+acceptance floor: ``update_many`` at least 5x faster than the scalar loop
+for ``BottomKSampler``.
+
+Run:  PYTHONPATH=src python benchmarks/bench_api_batch.py [--n 1000000]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import pathlib
+import time
+
+import numpy as np
+
+from repro import make_sampler
+from repro.workloads.zipf import zipf_stream
+
+RESULTS_DIR = pathlib.Path(__file__).resolve().parent / "results"
+
+#: (registry name, constructor params, uses weights)
+TARGETS = [
+    ("bottom_k", {"k": 256, "rng": 0}, True),
+    ("poisson", {"threshold": 0.001, "rng": 0}, True),
+    ("weighted_distinct", {"k": 256, "salt": 0}, True),
+    ("adaptive_distinct", {"k": 256, "salt": 0}, False),
+]
+
+
+def _time_scalar(name: str, params: dict, keys, weights) -> float:
+    sampler = make_sampler(name, **params)
+    start = time.perf_counter()
+    if weights is None:
+        for key in keys:
+            sampler.update(key)
+    else:
+        for key, w in zip(keys, weights):
+            sampler.update(key, w)
+    return time.perf_counter() - start
+
+
+def _time_batch(name: str, params: dict, keys, weights) -> float:
+    sampler = make_sampler(name, **params)
+    start = time.perf_counter()
+    sampler.update_many(keys, weights)
+    return time.perf_counter() - start
+
+
+def run(n: int = 1_000_000) -> dict:
+    """Time both ingestion paths for each vectorized sampler."""
+    keys = zipf_stream(n, n // 2, 1.2, rng=0)
+    weights = np.random.default_rng(1).lognormal(0.0, 0.6, n)
+    key_list = keys.tolist()  # scalar loops consume python ints
+
+    report: dict = {"n": n, "samplers": {}}
+    for name, params, weighted in TARGETS:
+        w = weights if weighted else None
+        scalar_s = _time_scalar(name, params, key_list, w)
+        batch_s = _time_batch(name, params, keys, w)
+        report["samplers"][name] = {
+            "scalar_seconds": round(scalar_s, 4),
+            "batch_seconds": round(batch_s, 4),
+            "speedup": round(scalar_s / batch_s, 2),
+            "scalar_items_per_second": round(n / scalar_s),
+            "batch_items_per_second": round(n / batch_s),
+        }
+    return report
+
+
+def main() -> None:
+    """CLI entry point: run, print, archive, and check the 5x floor."""
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--n", type=int, default=1_000_000,
+                        help="stream length (default 1M)")
+    args = parser.parse_args()
+
+    report = run(args.n)
+    RESULTS_DIR.mkdir(exist_ok=True)
+    out = RESULTS_DIR / "bench_api_batch.json"
+    out.write_text(json.dumps(report, indent=2) + "\n")
+
+    print(f"stream: {report['n']:,} Zipf(1.2) items\n")
+    header = f"{'sampler':<20} {'scalar':>12} {'update_many':>12} {'speedup':>9}"
+    print(header)
+    print("-" * len(header))
+    for name, row in report["samplers"].items():
+        print(
+            f"{name:<20} {row['scalar_seconds']:>10.2f}s "
+            f"{row['batch_seconds']:>10.2f}s {row['speedup']:>8.1f}x"
+        )
+    print(f"\nwrote {out}")
+
+    bottom_k = report["samplers"]["bottom_k"]["speedup"]
+    assert bottom_k >= 5.0, (
+        f"bottom_k update_many speedup {bottom_k:.1f}x is below the 5x floor"
+    )
+    print(f"bottom_k speedup {bottom_k:.1f}x >= 5x floor: OK")
+
+
+if __name__ == "__main__":
+    main()

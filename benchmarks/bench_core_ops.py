@@ -42,6 +42,30 @@ def test_bottomk_updates(benchmark, stream, weights):
     assert len(benchmark(run)) == 256
 
 
+def test_bottomk_update_many(benchmark, stream, weights):
+    keys = np.asarray(stream)
+    w = np.asarray(weights)
+
+    def run():
+        s = BottomKSampler(256, rng=0)
+        s.update_many(keys, w)
+        return s
+
+    assert len(benchmark(run)) == 256
+
+
+def test_weighted_distinct_update_many(benchmark, stream, weights):
+    keys = np.asarray(stream)
+    w = np.asarray(weights)
+
+    def run():
+        s = WeightedDistinctSketch(256, salt=0)
+        s.update_many(keys, w)
+        return s
+
+    assert len(benchmark(run)) <= 257
+
+
 def test_budget_updates(benchmark, stream, weights):
     def run():
         s = BudgetSampler(512.0, rng=0)
@@ -68,7 +92,7 @@ def test_sliding_window_updates(benchmark, stream):
     def run():
         s = SlidingWindowSampler(k=256, window=1.0, rng=0)
         for t, key in zip(times, stream):
-            s.update(float(t), key)
+            s.update(key, time=float(t))
         return s
 
     assert benchmark(run).max_current <= 256

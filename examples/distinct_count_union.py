@@ -26,22 +26,25 @@ def main() -> None:
     print(f"shards  : 1 x {big.size} users + {len(smalls)} x {smalls[0].size}")
     print(f"total   : {total} distinct users; sketch size k={k}\n")
 
-    # Build one sketch per shard (identical hashing: coordinated).
+    # Build one sketch per shard (identical hashing: coordinated); the
+    # vectorized update_many path ingests each shard in one call.
     def adaptive(keys):
         sk = AdaptiveDistinctSketch(k, salt=salt)
-        sk.extend(keys.tolist())
+        sk.update_many(keys)
         return sk
 
     def theta(keys):
         sk = ThetaSketch(k, salt=salt)
-        sk.extend(keys.tolist())
+        sk.update_many(keys)
         return sk
 
+    # StreamSampler.merge is in-place (returns self), so the reduce chain
+    # folds every shard into the accumulator without copying.
     adaptive_merged = reduce(
-        lambda acc, keys: acc.merge_in_place(adaptive(keys)), smalls, adaptive(big)
+        lambda acc, keys: acc.merge(adaptive(keys)), smalls, adaptive(big)
     )
     theta_merged = reduce(
-        lambda acc, keys: acc.union(theta(keys)), smalls, theta(big)
+        lambda acc, keys: acc.merge(theta(keys)), smalls, theta(big)
     )
 
     est_a = adaptive_merged.estimate_distinct()

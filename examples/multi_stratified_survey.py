@@ -32,7 +32,7 @@ def main() -> None:
         a = ages[rng.choice(len(ages), p=age_probs)]
         s = float(rng.lognormal(2.0, 1.0))
         spend[uid] = (c, a, s)
-        sampler.update(uid, (c, a), value=s)
+        sampler.update(uid, strata=(c, a), value=s)
 
     budget = 300
     sample = sampler.sample(budget=budget)

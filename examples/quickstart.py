@@ -11,7 +11,7 @@ Run:  python examples/quickstart.py
 
 import numpy as np
 
-from repro import BottomKSampler
+from repro import make_sampler
 
 
 def main() -> None:
@@ -23,10 +23,13 @@ def main() -> None:
                          p=[0.5, 0.3, 0.2])
     amounts = rng.lognormal(mean=3.0, sigma=1.2, size=n_transactions)
 
-    # Budget: keep only 500 transactions, weighted by amount (PPS).
-    sampler = BottomKSampler(k=500, rng=rng)
-    for i in range(n_transactions):
-        sampler.update((regions[i], i), weight=float(amounts[i]))
+    # Budget: keep only 500 transactions, weighted by amount (PPS).  Any
+    # registered sampler is constructible from config via make_sampler;
+    # update_many is the vectorized batch-ingestion path.
+    sampler = make_sampler("bottom_k", k=500, rng=rng)
+    sampler.update_many(
+        [(regions[i], i) for i in range(n_transactions)], amounts
+    )
 
     sample = sampler.sample()
     print(f"stream length      : {sampler.items_seen}")

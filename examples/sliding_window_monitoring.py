@@ -28,7 +28,7 @@ def main() -> None:
     print(f"\n{'time':>5} {'rate':>6} {'G&L n':>6} {'ours n':>7} {'ratio':>6}")
     for now in np.arange(1.0, 8.0 + 1e-9, 0.5):
         while cursor < arrivals.size and arrivals[cursor] <= now:
-            sampler.update(float(arrivals[cursor]), key=cursor)
+            sampler.update(cursor, time=float(arrivals[cursor]))
             cursor += 1
         snap = sampler.snapshot(float(now))
         ratio = snap.improved_sample_size / max(snap.gl_sample_size, 1)

@@ -1,8 +1,13 @@
 """Setuptools shim.
 
-The canonical metadata lives in ``pyproject.toml``.  This file exists so the
-package can be installed in environments whose setuptools predates built-in
-PEP 660 editable support (no ``wheel`` package available offline):
+The canonical metadata lives in ``pyproject.toml`` — including the
+``[test]`` extra that pins pytest + pytest-benchmark for the suite:
+
+    pip install -e .[test]
+
+This file exists so the package can be installed in environments whose
+setuptools predates built-in PEP 660 editable support (no ``wheel``
+package available offline):
 
     python setup.py develop
 

@@ -2,6 +2,9 @@
 
 The package mirrors the paper's structure:
 
+* :mod:`repro.api` - the unified :class:`StreamSampler` protocol, the
+  sampler registry/factory (``make_sampler``/``SamplerSpec``), and the
+  ``to_state``/``from_state`` checkpoint machinery.
 * :mod:`repro.core` - the adaptive threshold framework (Section 2):
   priorities, threshold rules, recalibration/substitutability, HT and
   pseudo-HT estimators.
@@ -14,16 +17,31 @@ The package mirrors the paper's structure:
 * :mod:`repro.asymptotics` - numerical reproductions of Sections 4-6.
 * :mod:`repro.experiments` - one module per figure / quantified claim.
 
-Quickstart::
+Quickstart — every sampler speaks the same protocol::
 
-    from repro import BottomKSampler
-    sampler = BottomKSampler(k=100)
-    for key, weight in my_stream:
-        sampler.update(key, weight)
+    import repro
+
+    sampler = repro.make_sampler("bottom_k", k=100)   # or BottomKSampler(k=100)
+    sampler.update_many(keys, weights)                # vectorized batch path
+    sampler.update("late-arrival", weight=2.5)        # scalar path
     sample = sampler.sample()
     print(sample.ht_total(), sample.ht_confidence_interval())
+    print(sampler.estimate("total"))                  # unified estimator facade
+
+    state = sampler.to_state()                        # checkpoint (plain dict)
+    revived = repro.sampler_from_state(state)
+    combined = sampler | revived                      # pure merge (disjoint streams)
 """
 
+from .api import (
+    SamplerSpec,
+    StreamSampler,
+    available_samplers,
+    make_sampler,
+    merged,
+    register_sampler,
+    sampler_from_state,
+)
 from .baselines import (
     FrequentItemsSketch,
     KMVSketch,
@@ -79,6 +97,14 @@ __version__ = "1.0.0"
 
 __all__ = [
     "__version__",
+    # api
+    "StreamSampler",
+    "SamplerSpec",
+    "register_sampler",
+    "make_sampler",
+    "merged",
+    "available_samplers",
+    "sampler_from_state",
     # core
     "ThresholdRule",
     "FixedThreshold",

@@ -1,0 +1,342 @@
+"""The unified :class:`StreamSampler` protocol.
+
+Ting's adaptive threshold framework (SIGMOD 2022) builds every sampler in
+this library out of the same three ingredients — per-item priorities, an
+adaptive threshold rule, and pseudo-HT estimation — so all of them can (and
+now do) share one canonical surface:
+
+* ``update(key, weight=1.0, *, value=None, time=None)`` — offer one item;
+* ``update_many(keys, weights=None, values=None, times=None)`` — vectorized
+  batch ingestion (numpy fast path where the sampler supports it, a plain
+  loop otherwise);
+* ``sample()`` — finalize into a :class:`repro.core.sample.Sample`;
+* ``merge(other)`` — in-place union with another sampler over a disjoint
+  stream, returning ``self`` (``a | b`` is the pure variant, via
+  :func:`merged`);
+* ``estimate(kind=..., predicate=..., **kw)`` — one facade over the
+  per-sampler ``estimate_*`` methods;
+* ``to_state()`` / ``from_state()`` — plain-dict round-trip serialization
+  for checkpointing and cross-process shipping.
+
+Concrete samplers register themselves under a config-friendly name with
+:func:`repro.api.registry.register_sampler`, which is what makes
+``repro.make_sampler("bottom_k", k=100)`` work.
+"""
+
+from __future__ import annotations
+
+import abc
+import inspect
+import warnings
+from typing import Any, ClassVar
+
+import numpy as np
+
+from ..core.priorities import (
+    ExponentialPriority,
+    InverseWeightPriority,
+    PriorityFamily,
+    Uniform01Priority,
+)
+
+__all__ = [
+    "StreamSampler",
+    "merged",
+    "family_to_name",
+    "family_from_name",
+    "rng_to_state",
+    "rng_from_state",
+]
+
+#: Serializable priority families, by config name.
+_FAMILIES: dict[str, type[PriorityFamily]] = {
+    "uniform": Uniform01Priority,
+    "inverse_weight": InverseWeightPriority,
+    "exponential": ExponentialPriority,
+}
+
+
+def family_to_name(family: PriorityFamily) -> str:
+    """Return the config name of a priority family (for ``to_state``)."""
+    for name, cls in _FAMILIES.items():
+        if type(family) is cls:
+            return name
+    raise ValueError(
+        f"{type(family).__name__} has no registered config name and cannot "
+        "be serialized; use one of " + ", ".join(sorted(_FAMILIES))
+    )
+
+
+def family_from_name(name: str | PriorityFamily | None) -> PriorityFamily | None:
+    """Build a priority family from its config name (``None`` passes through)."""
+    if name is None or isinstance(name, PriorityFamily):
+        return name
+    try:
+        return _FAMILIES[name]()
+    except KeyError:
+        raise ValueError(
+            f"unknown priority family {name!r}; expected one of "
+            + ", ".join(sorted(_FAMILIES))
+        ) from None
+
+
+def rng_to_state(rng: np.random.Generator) -> dict:
+    """Capture a numpy generator's bit-generator state as a plain dict."""
+    return rng.bit_generator.state
+
+
+def rng_from_state(state: dict) -> np.random.Generator:
+    """Rebuild a numpy generator from :func:`rng_to_state` output."""
+    rng = np.random.default_rng()
+    bit_gen = type(rng.bit_generator)
+    if state.get("bit_generator", "PCG64") != bit_gen.__name__:
+        bit_cls = getattr(np.random, state["bit_generator"])
+        gen = np.random.Generator(bit_cls())
+        gen.bit_generator.state = state
+        return gen
+    rng.bit_generator.state = state
+    return rng
+
+
+class StreamSampler(abc.ABC):
+    """Abstract base class for every streaming sampler and sketch.
+
+    Subclasses implement :meth:`update` (and usually :meth:`sample`), plus
+    the two state hooks ``_config()`` and ``_get_state()``/``_set_state()``
+    that power :meth:`to_state`/:meth:`from_state`.  Everything else —
+    batch ingestion, the estimator facade, pure merges, copying — comes for
+    free from this base class.
+    """
+
+    #: Registry name, set by :func:`repro.api.registry.register_sampler`.
+    sampler_name: ClassVar[str | None] = None
+    #: The ``estimate()`` facade's default ``kind``.
+    default_estimate_kind: ClassVar[str] = "total"
+    #: When set, ``estimate(<non-kind>)`` is interpreted as a legacy call
+    #: passing this parameter positionally (e.g. ``sketch.estimate(key)``).
+    legacy_estimate_param: ClassVar[str | None] = None
+
+    # ------------------------------------------------------------------
+    # Canonical stream interface
+    # ------------------------------------------------------------------
+    @abc.abstractmethod
+    def update(self, key, weight: float = 1.0, *, value=None, time=None):
+        """Offer one item to the sampler.
+
+        Parameters
+        ----------
+        key:
+            Item identifier (any hashable object).
+        weight:
+            Sampling weight (ignored by unweighted samplers).
+        value:
+            Payload aggregated by subset-sum estimators; defaults to the
+            weight.
+        time:
+            Arrival time, for time-aware samplers (sliding windows, decay).
+
+        Returns
+        -------
+        bool or None
+            ``True``/``False`` when the sampler can cheaply report whether
+            the item is currently retained, ``None`` otherwise.
+        """
+
+    def update_many(self, keys, weights=None, values=None, times=None) -> None:
+        """Offer a batch of items.
+
+        The base implementation is a plain loop over :meth:`update`;
+        samplers with a numpy fast path (bottom-k, Poisson, the distinct
+        sketches) override it with genuinely vectorized bulk ingestion.
+        Both paths consume randomness identically, so a given seed yields
+        the same sample either way.
+        """
+        keys = _as_key_list(keys)
+        n = len(keys)
+        weights = _as_optional_array(weights, n, "weights")
+        values = _as_optional_array(values, n, "values")
+        times = _as_optional_array(times, n, "times")
+        for i, key in enumerate(keys):
+            self.update(
+                key,
+                1.0 if weights is None else float(weights[i]),
+                value=None if values is None else float(values[i]),
+                time=None if times is None else float(times[i]),
+            )
+
+    def extend(self, keys, weights=None, values=None) -> None:
+        """Deprecated alias of :meth:`update_many`."""
+        warnings.warn(
+            f"{type(self).__name__}.extend() is deprecated; use "
+            "update_many(keys, weights=..., values=...) instead",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        self.update_many(keys, weights=weights, values=values)
+
+    def sample(self):
+        """Finalize into a :class:`repro.core.sample.Sample`."""
+        raise NotImplementedError(
+            f"{type(self).__name__} does not produce Sample containers"
+        )
+
+    # ------------------------------------------------------------------
+    # Merging
+    # ------------------------------------------------------------------
+    def merge(self, other: "StreamSampler") -> "StreamSampler":
+        """Absorb ``other`` (a sampler over a disjoint stream) into ``self``.
+
+        In-place; returns ``self`` so merges chain.  Use :func:`merged` or
+        the ``|`` operator for the pure variant.
+        """
+        raise NotImplementedError(
+            f"{type(self).__name__} does not support merging"
+        )
+
+    def __or__(self, other: "StreamSampler") -> "StreamSampler":
+        """Pure merge: ``a | b`` returns a new sampler, leaving both inputs
+        untouched (equivalent to :func:`merged`)."""
+        if not isinstance(other, StreamSampler):
+            return NotImplemented
+        return merged(self, other)
+
+    # ------------------------------------------------------------------
+    # Estimation facade
+    # ------------------------------------------------------------------
+    @classmethod
+    def estimate_kinds(cls) -> tuple[str, ...]:
+        """The ``kind`` values :meth:`estimate` accepts for this sampler."""
+        kinds = []
+        for name in dir(cls):
+            if name.startswith("estimate_") and name != "estimate_kinds":
+                if callable(getattr(cls, name)):
+                    kinds.append(name[len("estimate_"):])
+        return tuple(sorted(kinds))
+
+    def estimate(self, kind: str | None = None, predicate=None, **kw):
+        """Unified estimator facade.
+
+        Dispatches ``estimate(kind="total", predicate=...)`` to the
+        sampler's ``estimate_total(predicate=...)`` method and so on; with
+        no arguments the sampler's natural estimator
+        (:attr:`default_estimate_kind`) runs.  Extra keyword arguments are
+        forwarded (e.g. ``estimate("count", key="x")`` on a top-k sampler).
+        """
+        explicit = kind is not None
+        if kind is None:
+            kind = self.default_estimate_kind
+        kinds = self.estimate_kinds()
+        resolved = isinstance(kind, str) and kind in kinds
+        if resolved and explicit and self.legacy_estimate_param is not None:
+            # A legacy key may collide with a kind name ("count", ...); if
+            # the kind's estimator cannot even be called with the provided
+            # arguments, the caller meant the legacy positional key.
+            fn = getattr(self, f"estimate_{kind}")
+            try:
+                inspect.signature(fn).bind(**kw)
+            except TypeError:
+                resolved = False
+        if not resolved:
+            if self.legacy_estimate_param is not None:
+                warnings.warn(
+                    f"{type(self).__name__}.estimate({kind!r}) with a "
+                    f"positional {self.legacy_estimate_param} is deprecated; "
+                    f"use estimate_{self.default_estimate_kind}"
+                    f"({self.legacy_estimate_param}=...) or "
+                    f"estimate(kind, {self.legacy_estimate_param}=...)",
+                    DeprecationWarning,
+                    stacklevel=2,
+                )
+                kw[self.legacy_estimate_param] = kind
+                kind = self.default_estimate_kind
+            else:
+                raise ValueError(
+                    f"{type(self).__name__} has no estimator kind {kind!r}; "
+                    f"available kinds: {', '.join(kinds)}"
+                )
+        fn = getattr(self, f"estimate_{kind}")
+        if predicate is not None:
+            if "predicate" not in inspect.signature(fn).parameters:
+                raise ValueError(
+                    f"estimator kind {kind!r} of {type(self).__name__} does "
+                    "not accept a predicate"
+                )
+            kw["predicate"] = predicate
+        return fn(**kw)
+
+    # ------------------------------------------------------------------
+    # State serialization
+    # ------------------------------------------------------------------
+    def to_state(self) -> dict:
+        """Serialize to a plain dict (constructor params + internal state).
+
+        The result round-trips through :meth:`from_state` (or the
+        polymorphic :func:`repro.api.registry.sampler_from_state`) and is
+        picklable for cross-process shipping.
+        """
+        return {
+            "sampler": self.sampler_name or type(self).__name__,
+            "version": 1,
+            "params": self._config(),
+            "state": self._get_state(),
+        }
+
+    @classmethod
+    def from_state(cls, state: dict) -> "StreamSampler":
+        """Rebuild a sampler from :meth:`to_state` output."""
+        obj = cls(**state["params"])
+        obj._set_state(state["state"])
+        return obj
+
+    def copy(self) -> "StreamSampler":
+        """An independent deep copy (via the state round-trip)."""
+        return type(self).from_state(self.to_state())
+
+    # Hooks for subclasses -----------------------------------------------
+    def _config(self) -> dict:
+        """Constructor keyword arguments reproducing this sampler's config."""
+        raise NotImplementedError(
+            f"{type(self).__name__} does not implement state serialization"
+        )
+
+    def _get_state(self) -> dict:
+        """Mutable internal state as a plain dict (default: stateless)."""
+        return {}
+
+    def _set_state(self, state: dict) -> None:
+        """Restore internal state captured by :meth:`_get_state`."""
+        if state:
+            raise NotImplementedError(
+                f"{type(self).__name__} does not implement state restoration"
+            )
+
+
+def merged(a: StreamSampler, b: StreamSampler) -> StreamSampler:
+    """Pure merge: combine two samplers without mutating either input.
+
+    Equivalent to ``a.copy().merge(b)`` — the protocol-level
+    :meth:`StreamSampler.merge` is in-place, so this helper (also spelled
+    ``a | b``) is the functional form for reduce-style pipelines that must
+    keep their inputs intact.
+    """
+    return a.copy().merge(b)
+
+
+# ----------------------------------------------------------------------
+# Shared coercion helpers for update_many implementations
+# ----------------------------------------------------------------------
+def _as_key_list(keys) -> list:
+    """Coerce a key batch to a plain list (numpy scalars become python)."""
+    if isinstance(keys, np.ndarray):
+        return keys.tolist()
+    return list(keys)
+
+
+def _as_optional_array(arr, n: int, name: str) -> np.ndarray | None:
+    """Coerce an optional per-item column to a float array of length n."""
+    if arr is None:
+        return None
+    out = np.asarray(arr, dtype=float)
+    if out.size != n:
+        raise ValueError(f"{name} must have the same length as keys")
+    return out

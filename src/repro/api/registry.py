@@ -1,0 +1,116 @@
+"""Sampler registry and config-driven factory.
+
+Deployments construct samplers from configuration rather than code: a
+config names a registered sampler ("bottom_k", "sliding_window", ...) plus
+its keyword parameters, and :func:`make_sampler` (or a
+:class:`SamplerSpec`) builds it.  Checkpoint dicts produced by
+``StreamSampler.to_state`` carry the same name, so
+:func:`sampler_from_state` can revive a sampler without knowing its class.
+
+Every sampler in :mod:`repro.samplers` and every baseline sketch in
+:mod:`repro.baselines` registers itself with the
+:func:`register_sampler` class decorator at import time.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+__all__ = [
+    "register_sampler",
+    "make_sampler",
+    "get_sampler_class",
+    "available_samplers",
+    "sampler_from_state",
+    "SamplerSpec",
+]
+
+_REGISTRY: dict[str, type] = {}
+
+
+def register_sampler(name: str):
+    """Class decorator registering a sampler under a config name.
+
+    Sets ``cls.sampler_name`` (used by ``to_state``) and makes the class
+    constructible via :func:`make_sampler` and :class:`SamplerSpec`.
+    """
+
+    def decorator(cls):
+        existing = _REGISTRY.get(name)
+        if existing is not None and existing is not cls:
+            raise ValueError(
+                f"sampler name {name!r} already registered to "
+                f"{existing.__name__}"
+            )
+        _REGISTRY[name] = cls
+        cls.sampler_name = name
+        return cls
+
+    return decorator
+
+
+def _ensure_registered() -> None:
+    """Import the sampler packages so their decorators have run."""
+    from .. import baselines, samplers  # noqa: F401  (import side effect)
+
+
+def get_sampler_class(name: str) -> type:
+    """Return the class registered under ``name``."""
+    _ensure_registered()
+    try:
+        return _REGISTRY[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown sampler {name!r}; available: "
+            + ", ".join(available_samplers())
+        ) from None
+
+
+def available_samplers() -> tuple[str, ...]:
+    """Names of every registered sampler, sorted."""
+    _ensure_registered()
+    return tuple(sorted(_REGISTRY))
+
+
+def make_sampler(name: str, **params):
+    """Build a registered sampler from its config name.
+
+    >>> sampler = make_sampler("bottom_k", k=100)
+    >>> sampler.update("item", weight=2.0)
+    True
+    """
+    return get_sampler_class(name)(**params)
+
+
+def sampler_from_state(state: dict):
+    """Revive any registered sampler from a ``to_state`` checkpoint dict."""
+    return get_sampler_class(state["sampler"]).from_state(state)
+
+
+@dataclass(frozen=True)
+class SamplerSpec:
+    """A declarative sampler configuration (name + constructor params).
+
+    The dataclass is what config files deserialize into; ``build()`` turns
+    it into a live sampler.
+
+    >>> spec = SamplerSpec("bottom_k", {"k": 64})
+    >>> type(spec.build()).__name__
+    'BottomKSampler'
+    """
+
+    name: str
+    params: dict = field(default_factory=dict)
+
+    def build(self):
+        """Instantiate the configured sampler."""
+        return make_sampler(self.name, **self.params)
+
+    def as_dict(self) -> dict:
+        """Plain-dict form (inverse of :meth:`from_dict`)."""
+        return {"name": self.name, "params": dict(self.params)}
+
+    @classmethod
+    def from_dict(cls, spec: dict) -> "SamplerSpec":
+        """Build a spec from ``{"name": ..., "params": {...}}``."""
+        return cls(name=spec["name"], params=dict(spec.get("params", {})))

@@ -16,12 +16,18 @@ estimate — both conventions are reproduced here and used by
 from __future__ import annotations
 
 import statistics
-from typing import Iterable
+
+import numpy as np
+
+from ..api import StreamSampler, register_sampler
+from ..core.priorities import Uniform01Priority
+from ..core.sample import Sample
 
 __all__ = ["FrequentItemsSketch"]
 
 
-class FrequentItemsSketch:
+@register_sampler("frequent_items")
+class FrequentItemsSketch(StreamSampler):
     """Misra–Gries sketch with DataSketches-style median purges.
 
     Parameters
@@ -32,6 +38,8 @@ class FrequentItemsSketch:
     """
 
     LOAD_FACTOR = 0.75
+    default_estimate_kind = "count"
+    legacy_estimate_param = "key"
 
     def __init__(self, max_map_size: int):
         if max_map_size < 2:
@@ -46,8 +54,21 @@ class FrequentItemsSketch:
         """The size the paper reports: 0.75x the allocated table."""
         return int(self.LOAD_FACTOR * self.max_map_size)
 
-    def update(self, key: object, count: int = 1) -> None:
-        """Add ``count`` occurrences of ``key``."""
+    def update(
+        self,
+        key: object,
+        weight: float = 1.0,
+        *,
+        value=None,
+        time=None,
+        count: int | None = None,
+    ) -> None:
+        """Add occurrences of ``key``.
+
+        ``count`` (equivalently a positional integer ``weight``, kept for
+        the canonical protocol signature) is the number of occurrences.
+        """
+        count = int(weight) if count is None else int(count)
         if count <= 0:
             raise ValueError("count must be positive")
         self.items_seen += count
@@ -61,11 +82,6 @@ class FrequentItemsSketch:
         # entries otherwise.  Insert unconditionally, matching DataSketches.
         self.counts[key] = count
 
-    def extend(self, keys: Iterable[object]) -> None:
-        """Bulk :meth:`update`."""
-        for key in keys:
-            self.update(key)
-
     def _purge(self) -> None:
         """Subtract the median count, drop non-positive entries."""
         median = int(statistics.median(self.counts.values()))
@@ -78,8 +94,12 @@ class FrequentItemsSketch:
     def __len__(self) -> int:
         return len(self.counts)
 
-    def estimate(self, key: object) -> int:
-        """Upper-bound estimate ``count + offset`` (0 for untracked keys)."""
+    def estimate_count(self, key: object) -> int:
+        """Upper-bound estimate ``count + offset`` (0 for untracked keys).
+
+        The legacy spelling ``estimate(key)`` still works through the
+        protocol facade (with a deprecation warning).
+        """
         if key not in self.counts:
             return 0
         return self.counts[key] + self.offset
@@ -97,3 +117,41 @@ class FrequentItemsSketch:
     def maximum_error(self) -> int:
         """Current worst-case undercount for any tracked key."""
         return self.offset
+
+    def sample(self) -> Sample:
+        """Tracked keys with their count estimates as values.
+
+        The sketch is deterministic (no thresholds); values carry the
+        upper-bound estimates, so ``sample().ht_total()`` bounds the
+        tracked mass from above.
+        """
+        keys = list(self.counts)
+        return Sample(
+            keys=keys,
+            values=np.array(
+                [self.counts[k] + self.offset for k in keys], dtype=float
+            ),
+            weights=np.ones(len(keys)),
+            priorities=np.zeros(len(keys)),
+            thresholds=np.full(len(keys), np.inf),
+            family=Uniform01Priority(),
+            population_size=self.items_seen,
+        )
+
+    # ------------------------------------------------------------------
+    # Serialization
+    # ------------------------------------------------------------------
+    def _config(self) -> dict:
+        return {"max_map_size": self.max_map_size}
+
+    def _get_state(self) -> dict:
+        return {
+            "counts": list(self.counts.items()),
+            "offset": self.offset,
+            "items_seen": self.items_seen,
+        }
+
+    def _set_state(self, state: dict) -> None:
+        self.counts = dict(state["counts"])
+        self.offset = int(state["offset"])
+        self.items_seen = int(state["items_seen"])

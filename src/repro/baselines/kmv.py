@@ -12,13 +12,22 @@ from __future__ import annotations
 import heapq
 from typing import Iterable
 
-from ..core.hashing import hash_to_unit
+import numpy as np
+
+from ..api import StreamSampler, merged, register_sampler
+from ..api.protocol import _as_key_list
+from ..core.hashing import batch_hash_to_unit, hash_to_unit
+from ..core.priorities import Uniform01Priority
+from ..core.sample import Sample
 
 __all__ = ["KMVSketch", "kmv_union"]
 
 
-class KMVSketch:
+@register_sampler("kmv")
+class KMVSketch(StreamSampler):
     """k-minimum-values sketch over coordinated Uniform(0, 1) hashes."""
+
+    default_estimate_kind = "distinct"
 
     def __init__(self, k: int, salt: int = 0):
         if k < 2:
@@ -29,10 +38,28 @@ class KMVSketch:
         self._hashes: set[float] = set()
         self._exact = 0  # distinct count while underfull
 
-    def update(self, key: object) -> None:
+    def update(
+        self, key: object, weight: float = 1.0, *, value=None, time=None
+    ) -> None:
         """Offer a key; duplicates are idempotent (same hash)."""
         h = hash_to_unit(key, self.salt)
         self._offer(h)
+
+    def update_many(self, keys, weights=None, values=None, times=None) -> None:
+        """Vectorized bulk :meth:`update`.
+
+        Hashes the batch with numpy and offers only the ``k + 1`` smallest
+        distinct hashes (the only values that can change the sketch),
+        preserving the saturation flag exactly.
+        """
+        keys = _as_key_list(keys)
+        if not keys:
+            return
+        h_unique = np.unique(batch_hash_to_unit(keys, self.salt))
+        for hv in h_unique[: self.k + 1]:
+            self._offer(float(hv))
+        if h_unique.size > self.k:
+            self._exact = self.k + 1
 
     def _offer(self, h: float) -> None:
         if h in self._hashes:
@@ -51,11 +78,6 @@ class KMVSketch:
         self._hashes.add(h)
         self._exact = self.k + 1
 
-    def extend(self, keys: Iterable[object]) -> None:
-        """Bulk :meth:`update`."""
-        for key in keys:
-            self.update(key)
-
     @property
     def is_exact(self) -> bool:
         """True while fewer than k distinct keys have been offered."""
@@ -70,11 +92,33 @@ class KMVSketch:
     def __len__(self) -> int:
         return len(self._hashes)
 
-    def estimate(self) -> float:
-        """``(k - 1) / h_(k)``, or the exact count while underfull."""
+    def estimate_distinct(self) -> float:
+        """``(k - 1) / h_(k)``, or the exact count while underfull.
+
+        Also reachable as ``estimate()`` through the protocol facade (the
+        sketch's default estimator kind is ``"distinct"``).
+        """
         if self.is_exact:
             return float(len(self._hashes))
         return (self.k - 1) / self.kth_minimum
+
+    def sample(self) -> Sample:
+        """Retained hashes below the k-th minimum as a uniform Sample.
+
+        ``sample().ht_total()`` reproduces :meth:`estimate_distinct` once
+        the sketch is saturated.
+        """
+        t = self.kth_minimum if not self.is_exact else 1.0
+        hashes = sorted(h for h in self._hashes if h < t)
+        n = len(hashes)
+        return Sample(
+            keys=hashes,
+            values=np.ones(n),
+            weights=np.ones(n),
+            priorities=np.asarray(hashes, dtype=float),
+            thresholds=np.full(n, t),
+            family=Uniform01Priority(),
+        )
 
     @classmethod
     def from_hashes(cls, hashes, k: int, salt: int = 0) -> "KMVSketch":
@@ -92,26 +136,56 @@ class KMVSketch:
             out._exact = out.k + 1
         return out
 
-    def union(self, other: "KMVSketch") -> "KMVSketch":
-        """Re-sketch the merged hash sets down to the k smallest."""
+    def merge(self, other: "KMVSketch") -> "KMVSketch":
+        """Absorb another sketch in place (returns self).
+
+        Re-sketches the merged hash sets down to the k smallest.  A
+        saturated input only retains its own k minima, so the merged
+        nominal size is the *minimum* k over saturated inputs (the classic
+        KMV union rule); while every input is still exact the union stays
+        exact and adopts the larger k.
+        """
         if other.salt != self.salt:
-            raise ValueError("cannot union sketches with different salts")
-        out = KMVSketch(max(self.k, other.k), salt=self.salt)
-        merged = self._hashes | other._hashes
-        saturated = not (self.is_exact and other.is_exact)
-        for h in merged:
-            out._offer(h)
-        if saturated:
-            out._exact = out.k + 1
-        return out
+            raise ValueError("cannot merge sketches with different salts")
+        limits = [s.k for s in (self, other) if not s.is_exact]
+        pool = self._hashes | other._hashes
+        self.k = min(limits) if limits else max(self.k, other.k)
+        self._heap = []
+        self._hashes = set()
+        self._exact = 0
+        for h in sorted(pool):
+            self._offer(h)
+        if limits:
+            self._exact = self.k + 1
+        return self
+
+    def union(self, other: "KMVSketch") -> "KMVSketch":
+        """Pure union: a new sketch, leaving both inputs untouched
+        (equivalent to ``self | other``)."""
+        return merged(self, other)
+
+    # ------------------------------------------------------------------
+    # Serialization
+    # ------------------------------------------------------------------
+    def _config(self) -> dict:
+        return {"k": self.k, "salt": self.salt}
+
+    def _get_state(self) -> dict:
+        return {"hashes": sorted(self._hashes), "exact": self._exact}
+
+    def _set_state(self, state: dict) -> None:
+        self._hashes = set(state["hashes"])
+        self._heap = [-h for h in self._hashes]
+        heapq.heapify(self._heap)
+        self._exact = int(state["exact"])
 
 
 def kmv_union(sketches: Iterable[KMVSketch]) -> KMVSketch:
-    """Union an iterable of KMV sketches left to right."""
+    """Union an iterable of KMV sketches left to right (pure)."""
     sketches = list(sketches)
     if not sketches:
         raise ValueError("need at least one sketch")
-    out = sketches[0]
+    out = sketches[0].copy()
     for sk in sketches[1:]:
-        out = out.union(sk)
+        out.merge(sk)
     return out

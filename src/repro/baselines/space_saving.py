@@ -18,9 +18,15 @@ the top-k tests.
 from __future__ import annotations
 
 import heapq
-from typing import Callable, Iterable
+from typing import Callable
 
+import numpy as np
+
+from ..api import StreamSampler, register_sampler
+from ..api.protocol import rng_from_state, rng_to_state
+from ..core.priorities import Uniform01Priority
 from ..core.rng import as_generator
+from ..core.sample import Sample
 
 __all__ = ["SpaceSavingSketch", "UnbiasedSpaceSavingSketch"]
 
@@ -64,15 +70,21 @@ class _CounterStore:
         return len(self.counts)
 
 
-class SpaceSavingSketch:
+@register_sampler("space_saving")
+class SpaceSavingSketch(StreamSampler):
     """Deterministic Space-Saving: guaranteed error <= n / m."""
+
+    default_estimate_kind = "count"
+    legacy_estimate_param = "key"
 
     def __init__(self, capacity: int):
         self.capacity = int(capacity)
         self._store = _CounterStore(capacity)
         self.items_seen = 0
 
-    def update(self, key: object) -> None:
+    def update(
+        self, key: object, weight: float = 1.0, *, value=None, time=None
+    ) -> None:
         """Count one occurrence, evicting the min counter when full."""
         self.items_seen += 1
         store = self._store
@@ -85,16 +97,15 @@ class SpaceSavingSketch:
         _, min_count = store.pop_min()
         store.insert(key, min_count + 1, min_count)
 
-    def extend(self, keys: Iterable[object]) -> None:
-        """Bulk :meth:`update`."""
-        for key in keys:
-            self.update(key)
-
     def __len__(self) -> int:
         return len(self._store)
 
-    def estimate(self, key: object) -> int:
-        """Upper-bound count estimate (0 for untracked keys)."""
+    def estimate_count(self, key: object) -> int:
+        """Upper-bound count estimate (0 for untracked keys).
+
+        The legacy spelling ``estimate(key)`` still works through the
+        protocol facade (with a deprecation warning).
+        """
         return self._store.counts.get(key, 0)
 
     def guaranteed(self, key: object) -> int:
@@ -110,8 +121,26 @@ class SpaceSavingSketch:
         )
         return ranked[:j]
 
+    def sample(self) -> Sample:
+        """Tracked keys with counter values (deterministic, no thresholds)."""
+        return _counter_sample(self._store, self.items_seen)
 
-class UnbiasedSpaceSavingSketch:
+    # ------------------------------------------------------------------
+    # Serialization
+    # ------------------------------------------------------------------
+    def _config(self) -> dict:
+        return {"capacity": self.capacity}
+
+    def _get_state(self) -> dict:
+        return _store_state(self._store, self.items_seen)
+
+    def _set_state(self, state: dict) -> None:
+        self._store = _store_from_state(state, self.capacity)
+        self.items_seen = int(state["items_seen"])
+
+
+@register_sampler("unbiased_space_saving")
+class UnbiasedSpaceSavingSketch(StreamSampler):
     """Unbiased Space-Saving (Ting 2018): probabilistic label handover.
 
     On an untracked key the minimum counter is incremented and relabelled
@@ -120,13 +149,18 @@ class UnbiasedSpaceSavingSketch:
     unbiased subset sums over label predicates.
     """
 
+    default_estimate_kind = "count"
+    legacy_estimate_param = "key"
+
     def __init__(self, capacity: int, rng=None):
         self.capacity = int(capacity)
         self._store = _CounterStore(capacity)
         self.rng = as_generator(rng if rng is not None else 0)
         self.items_seen = 0
 
-    def update(self, key: object) -> None:
+    def update(
+        self, key: object, weight: float = 1.0, *, value=None, time=None
+    ) -> None:
         """Count one occurrence with probabilistic label handover."""
         self.items_seen += 1
         store = self._store
@@ -143,16 +177,15 @@ class UnbiasedSpaceSavingSketch:
         else:
             store.insert(min_key, new_count, min_count)
 
-    def extend(self, keys: Iterable[object]) -> None:
-        """Bulk :meth:`update`."""
-        for key in keys:
-            self.update(key)
-
     def __len__(self) -> int:
         return len(self._store)
 
-    def estimate(self, key: object) -> int:
-        """Unbiased count estimate of ``key`` (0 when untracked)."""
+    def estimate_count(self, key: object) -> int:
+        """Unbiased count estimate of ``key`` (0 when untracked).
+
+        The legacy spelling ``estimate(key)`` still works through the
+        protocol facade (with a deprecation warning).
+        """
         return self._store.counts.get(key, 0)
 
     def estimate_subset_sum(self, predicate: Callable[[object], bool]) -> float:
@@ -167,3 +200,55 @@ class UnbiasedSpaceSavingSketch:
             self._store.counts.items(), key=lambda kv: kv[1], reverse=True
         )
         return ranked[:j]
+
+    def sample(self) -> Sample:
+        """Tracked keys with counter values (each an unbiased estimate)."""
+        return _counter_sample(self._store, self.items_seen)
+
+    # ------------------------------------------------------------------
+    # Serialization
+    # ------------------------------------------------------------------
+    def _config(self) -> dict:
+        return {"capacity": self.capacity}
+
+    def _get_state(self) -> dict:
+        state = _store_state(self._store, self.items_seen)
+        state["rng"] = rng_to_state(self.rng)
+        return state
+
+    def _set_state(self, state: dict) -> None:
+        self._store = _store_from_state(state, self.capacity)
+        self.items_seen = int(state["items_seen"])
+        self.rng = rng_from_state(state["rng"])
+
+
+def _counter_sample(store: _CounterStore, items_seen: int) -> Sample:
+    """Counter-map contents as a deterministic Sample (thresholds +inf)."""
+    keys = list(store.counts)
+    return Sample(
+        keys=keys,
+        values=np.array([store.counts[k] for k in keys], dtype=float),
+        weights=np.ones(len(keys)),
+        priorities=np.zeros(len(keys)),
+        thresholds=np.full(len(keys), np.inf),
+        family=Uniform01Priority(),
+        population_size=items_seen,
+    )
+
+
+def _store_state(store: _CounterStore, items_seen: int) -> dict:
+    """Serializable view of a counter store."""
+    return {
+        "counts": list(store.counts.items()),
+        "errors": list(store.errors.items()),
+        "items_seen": items_seen,
+    }
+
+
+def _store_from_state(state: dict, capacity: int) -> _CounterStore:
+    """Rebuild a counter store (heap included) from :func:`_store_state`."""
+    store = _CounterStore(capacity)
+    errors = dict(state["errors"])
+    for key, count in state["counts"]:
+        store.insert(key, count, errors.get(key, 0))
+    return store

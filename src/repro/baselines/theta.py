@@ -19,13 +19,22 @@ from __future__ import annotations
 import heapq
 from typing import Iterable
 
-from ..core.hashing import hash_to_unit
+import numpy as np
+
+from ..api import StreamSampler, merged, register_sampler
+from ..api.protocol import _as_key_list
+from ..core.hashing import batch_hash_to_unit, hash_to_unit
+from ..core.priorities import Uniform01Priority
+from ..core.sample import Sample
 
 __all__ = ["ThetaSketch", "theta_union"]
 
 
-class ThetaSketch:
+@register_sampler("theta")
+class ThetaSketch(StreamSampler):
     """Bottom-k distinct-counting sketch with a global theta threshold."""
+
+    default_estimate_kind = "distinct"
 
     def __init__(self, k: int, salt: int = 0):
         if k < 1:
@@ -36,10 +45,25 @@ class ThetaSketch:
         self._hashes: set[float] = set()
         self._theta_cap = 1.0  # carries the min-theta of unions
 
-    def update(self, key: object) -> None:
+    def update(
+        self, key: object, weight: float = 1.0, *, value=None, time=None
+    ) -> None:
         """Offer a key; duplicates are idempotent (same hash)."""
         h = hash_to_unit(key, self.salt)
         self._offer(h)
+
+    def update_many(self, keys, weights=None, values=None, times=None) -> None:
+        """Vectorized bulk :meth:`update`.
+
+        Hashes the batch with numpy and offers only the ``k + 2`` smallest
+        distinct hashes — the only values that can affect the sketch state.
+        """
+        keys = _as_key_list(keys)
+        if not keys:
+            return
+        h = batch_hash_to_unit(keys, self.salt)
+        for hv in np.unique(h)[: self.k + 2]:
+            self._offer(float(hv))
 
     def _offer(self, h: float) -> None:
         if not h < self._theta_cap:
@@ -57,11 +81,6 @@ class ThetaSketch:
         self._hashes.discard(worst)
         self._hashes.add(h)
 
-    def extend(self, keys: Iterable[object]) -> None:
-        """Bulk :meth:`update`."""
-        for key in keys:
-            self.update(key)
-
     @property
     def theta(self) -> float:
         """Sampling threshold: min of the union cap and the (k+1)-th hash."""
@@ -77,10 +96,31 @@ class ThetaSketch:
     def __len__(self) -> int:
         return len(self.retained())
 
-    def estimate(self) -> float:
-        """``|retained| / theta``; exact while the sketch is underfull."""
+    def estimate_distinct(self) -> float:
+        """``|retained| / theta``; exact while the sketch is underfull.
+
+        Also reachable as ``estimate()`` through the protocol facade (the
+        sketch's default estimator kind is ``"distinct"``).
+        """
         t = self.theta
         return len(self.retained()) / t
+
+    def sample(self) -> Sample:
+        """Retained hashes below theta as a uniform Sample.
+
+        ``sample().ht_total()`` equals :meth:`estimate_distinct`.
+        """
+        t = self.theta
+        hashes = sorted(self.retained())
+        n = len(hashes)
+        return Sample(
+            keys=hashes,
+            values=np.ones(n),
+            weights=np.ones(n),
+            priorities=np.asarray(hashes, dtype=float),
+            thresholds=np.full(n, t),
+            family=Uniform01Priority(),
+        )
 
     @classmethod
     def from_hashes(cls, hashes, k: int, salt: int = 0) -> "ThetaSketch":
@@ -101,23 +141,48 @@ class ThetaSketch:
                 out._offer(float(h))
         return out
 
-    def union(self, other: "ThetaSketch") -> "ThetaSketch":
-        """DataSketches-style union: min-theta, then trim to nominal k."""
+    def merge(self, other: "ThetaSketch") -> "ThetaSketch":
+        """DataSketches-style union in place (returns self): min-theta,
+        then trim to nominal k."""
         if other.salt != self.salt:
-            raise ValueError("cannot union sketches with different salts")
-        out = ThetaSketch(max(self.k, other.k), salt=self.salt)
-        out._theta_cap = min(self.theta, other.theta)
-        for h in set(self.retained()) | set(other.retained()):
-            out._offer(h)
-        return out
+            raise ValueError("cannot merge sketches with different salts")
+        pool = set(self.retained()) | set(other.retained())
+        cap = min(self.theta, other.theta)
+        self.k = max(self.k, other.k)
+        self._theta_cap = cap
+        self._heap = []
+        self._hashes = set()
+        for h in pool:
+            self._offer(h)
+        return self
+
+    def union(self, other: "ThetaSketch") -> "ThetaSketch":
+        """Pure union: a new sketch, leaving both inputs untouched
+        (equivalent to ``self | other``)."""
+        return merged(self, other)
+
+    # ------------------------------------------------------------------
+    # Serialization
+    # ------------------------------------------------------------------
+    def _config(self) -> dict:
+        return {"k": self.k, "salt": self.salt}
+
+    def _get_state(self) -> dict:
+        return {"hashes": sorted(self._hashes), "theta_cap": self._theta_cap}
+
+    def _set_state(self, state: dict) -> None:
+        self._hashes = set(state["hashes"])
+        self._heap = [-h for h in self._hashes]
+        heapq.heapify(self._heap)
+        self._theta_cap = float(state["theta_cap"])
 
 
 def theta_union(sketches: Iterable[ThetaSketch]) -> ThetaSketch:
-    """Union an iterable of Theta sketches left to right."""
+    """Union an iterable of Theta sketches left to right (pure)."""
     sketches = list(sketches)
     if not sketches:
         raise ValueError("need at least one sketch")
-    out = sketches[0]
+    out = sketches[0].copy()
     for sk in sketches[1:]:
-        out = out.union(sk)
+        out.merge(sk)
     return out

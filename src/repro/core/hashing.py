@@ -29,6 +29,7 @@ __all__ = [
     "hash_key",
     "hash_to_unit",
     "hash_array_to_unit",
+    "batch_hash_to_unit",
 ]
 
 _MASK64 = 0xFFFFFFFFFFFFFFFF
@@ -114,3 +115,22 @@ def hash_array_to_unit(keys: np.ndarray, salt: int = 0) -> np.ndarray:
     mixed_salt = np.uint64(splitmix64(salt))
     h = splitmix64_array(keys.astype(np.uint64) ^ mixed_salt)
     return h.astype(np.float64) * _INV_2_64 + _HALF_ULP
+
+
+def batch_hash_to_unit(keys, salt: int = 0) -> np.ndarray:
+    """Coordinated hash priorities for an arbitrary key batch.
+
+    The shared fast path of every ``update_many`` implementation: integer
+    key arrays take the vectorized :func:`hash_array_to_unit` route, any
+    other key type falls back to a :func:`hash_to_unit` loop.  Both agree
+    bit-for-bit with the scalar path per key.
+    """
+    try:
+        arr = np.asarray(keys)
+        if np.issubdtype(arr.dtype, np.integer):
+            return hash_array_to_unit(arr, salt)
+    except (TypeError, ValueError):
+        pass
+    return np.fromiter(
+        (hash_to_unit(key, salt) for key in keys), dtype=float, count=len(keys)
+    )

@@ -72,7 +72,11 @@ def run(
             )
             for i in range(population):
                 sampler.update(
-                    i, {"profit": float(profit[i]), "revenue": float(revenue[i])}
+                    i,
+                    weights={
+                        "profit": float(profit[i]),
+                        "revenue": float(revenue[i]),
+                    },
                 )
             sizes[ci] += sampler.union_size()
             footprints[ci] += sampler.footprint_ratio()

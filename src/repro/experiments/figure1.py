@@ -93,7 +93,7 @@ def run(
     cursor = 0
     for g in grid:
         while cursor < arrivals.size and arrivals[cursor] <= g:
-            sampler.update(float(arrivals[cursor]), key=cursor)
+            sampler.update(cursor, time=float(arrivals[cursor]))
             cursor += 1
         snap = sampler.snapshot(float(g))
         gl_t.append(snap.gl_threshold)

@@ -79,7 +79,7 @@ def run(
             AdaptiveDistinctSketch.from_hashes(hb, k, salt),
         )
         theta = reduce(
-            lambda acc, h: acc.union(ThetaSketch.from_hashes(h, k, salt)),
+            lambda acc, h: acc.merge(ThetaSketch.from_hashes(h, k, salt)),
             small_hashes,
             ThetaSketch.from_hashes(hb, k, salt),
         )

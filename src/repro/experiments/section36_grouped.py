@@ -81,7 +81,7 @@ def run(
         sketch = GroupedDistinctSketch(m=n_heavy, k=k, salt=salt)
         for idx in order:
             group, i = items[idx]
-            sketch.update(group, i)
+            sketch.update(i, group=group)
         grouped_entries.append(sketch.memory_entries())
 
         # Naive comparator: an independent bottom-k per group (entry count
@@ -91,9 +91,9 @@ def run(
         )
 
         for i in range(n_heavy):
-            est = sketch.estimate(f"heavy{i}")
+            est = sketch.estimate_distinct(f"heavy{i}")
             heavy_errors.append(est / heavy_size - 1.0)
-        tiny_est = sum(sketch.estimate(f"tiny{i}") for i in range(n_tiny))
+        tiny_est = sum(sketch.estimate_distinct(f"tiny{i}") for i in range(n_tiny))
         tiny_bias.append(tiny_est / tiny_truth - 1.0)
 
     return GroupedResult(

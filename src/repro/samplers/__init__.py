@@ -1,8 +1,31 @@
 """Samplers and sketches built on the adaptive threshold framework.
 
-One module per application section of the paper (see DESIGN.md for the
-complete map); everything here emits :class:`repro.core.sample.Sample`
-containers or exposes HT-style estimators directly.
+One module per application section of the paper.  Every streaming sampler
+here implements the unified :class:`repro.api.StreamSampler` protocol:
+
+* ``update(key, weight=1.0, *, value=None, time=None)`` offers one item
+  (samplers with extra per-item columns add keyword-only parameters:
+  ``size=`` for :class:`BudgetSampler`, ``group=`` for
+  :class:`GroupedDistinctSketch`, ``strata=`` for
+  :class:`MultiStratifiedSampler`, ``weights=`` for
+  :class:`MultiObjectiveSampler`);
+* ``update_many(keys, weights=None, values=None, times=None)`` ingests a
+  batch — vectorized with numpy for :class:`BottomKSampler`,
+  :class:`PoissonSampler`, :class:`WeightedDistinctSketch` and
+  :class:`AdaptiveDistinctSketch`;
+* ``sample()`` finalizes into a :class:`repro.core.sample.Sample`;
+* ``merge(other)`` merges in place and returns ``self``; ``a | b`` (or
+  :func:`repro.api.merged`) is the pure form;
+* ``estimate(kind=..., ...)`` fronts the per-sampler ``estimate_*``
+  methods;
+* ``to_state()`` / ``from_state()`` round-trip the full sampler state as a
+  plain dict.
+
+Each class is registered with :func:`repro.api.register_sampler`, so
+``repro.make_sampler("bottom_k", k=100)`` (or a
+:class:`repro.api.SamplerSpec`) constructs any of them from configuration.
+The AQP physical layouts and the offline CPS design are registered too,
+although they are layouts/designs rather than stream samplers.
 """
 
 from .aqp import MultiObjectiveLayout, PriorityLayoutTable, QueryResult

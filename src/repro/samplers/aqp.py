@@ -19,6 +19,8 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from ..api import register_sampler
+from ..api.protocol import family_from_name, family_to_name
 from ..core.hashing import hash_array_to_unit
 from ..core.priorities import InverseWeightPriority, PriorityFamily
 
@@ -40,8 +42,13 @@ class QueryResult:
         return self.rows_read / max(self.rows_total, 1)
 
 
+@register_sampler("priority_layout")
 class PriorityLayoutTable:
     """A table physically ordered by sampling priority.
+
+    An *offline* physical layout rather than a stream sampler (it does not
+    follow the :class:`repro.api.StreamSampler` protocol), but registered
+    with the factory so AQP deployments can be config-constructed too.
 
     Parameters
     ----------
@@ -56,11 +63,15 @@ class PriorityLayoutTable:
         self,
         values,
         weights=None,
-        family: PriorityFamily | None = None,
+        family: PriorityFamily | str | None = None,
         salt: int = 0,
     ):
+        family = family_from_name(family)
         self.family = family if family is not None else InverseWeightPriority()
+        self._salt = int(salt)
+        self._input_weights = None if weights is None else np.asarray(weights, dtype=float)
         values = np.asarray(values, dtype=float)
+        self._input_values = values.copy()
         if weights is None:
             weights = np.abs(values)
             if np.any(weights <= 0):
@@ -163,7 +174,34 @@ class PriorityLayoutTable:
             threshold=float(t),
         )
 
+    # ------------------------------------------------------------------
+    # Serialization
+    # ------------------------------------------------------------------
+    def to_state(self) -> dict:
+        """Serialize the layout's construction inputs to a plain dict."""
+        return {
+            "sampler": "priority_layout",
+            "version": 1,
+            "params": {
+                "values": self._input_values.tolist(),
+                "weights": (
+                    None
+                    if self._input_weights is None
+                    else self._input_weights.tolist()
+                ),
+                "family": family_to_name(self.family),
+                "salt": self._salt,
+            },
+            "state": {},
+        }
 
+    @classmethod
+    def from_state(cls, state: dict) -> "PriorityLayoutTable":
+        """Rebuild the layout from :meth:`to_state` output."""
+        return cls(**state["params"])
+
+
+@register_sampler("multi_objective_layout")
 class MultiObjectiveLayout:
     """Block layout serving weighted samples for several metrics (§3.10).
 
@@ -177,6 +215,7 @@ class MultiObjectiveLayout:
     def __init__(self, metrics: dict[str, np.ndarray], k: int, salt: int = 0):
         if k < 1:
             raise ValueError("k must be positive")
+        self._salt = int(salt)
         names = list(metrics)
         if not names:
             raise ValueError("need at least one metric")
@@ -231,3 +270,28 @@ class MultiObjectiveLayout:
         pr = self.priorities[metric][rows]
         chosen = rows[pr < threshold] if np.isfinite(threshold) else rows
         return chosen, threshold
+
+    # ------------------------------------------------------------------
+    # Serialization
+    # ------------------------------------------------------------------
+    def to_state(self) -> dict:
+        """Serialize the layout's construction inputs to a plain dict."""
+        return {
+            "sampler": "multi_objective_layout",
+            "version": 1,
+            "params": {
+                "metrics": {m: v.tolist() for m, v in self.metrics.items()},
+                "k": self.k,
+                "salt": self._salt,
+            },
+            "state": {},
+        }
+
+    @classmethod
+    def from_state(cls, state: dict) -> "MultiObjectiveLayout":
+        """Rebuild the layout from :meth:`to_state` output."""
+        params = dict(state["params"])
+        params["metrics"] = {
+            m: np.asarray(v, dtype=float) for m, v in params["metrics"].items()
+        }
+        return cls(**params)

@@ -22,7 +22,16 @@ from typing import Callable
 
 import numpy as np
 
-from ..core.hashing import hash_to_unit
+from ..api import StreamSampler, register_sampler
+from ..api.protocol import (
+    _as_key_list,
+    _as_optional_array,
+    family_from_name,
+    family_to_name,
+    rng_from_state,
+    rng_to_state,
+)
+from ..core.hashing import batch_hash_to_unit, hash_to_unit
 from ..core.priorities import InverseWeightPriority, PriorityFamily
 from ..core.rng import as_generator
 from ..core.sample import Sample
@@ -47,7 +56,8 @@ class _Entry:
         return self.priority > other.priority
 
 
-class BottomKSampler:
+@register_sampler("bottom_k")
+class BottomKSampler(StreamSampler):
     """Weighted bottom-k sampler with an adaptive, substitutable threshold.
 
     Parameters
@@ -58,7 +68,8 @@ class BottomKSampler:
     family:
         Priority family; ``InverseWeightPriority`` (default) gives priority
         sampling, ``ExponentialPriority`` gives PPSWOR, ``Uniform01Priority``
-        gives uniform sampling / KMV.
+        gives uniform sampling / KMV.  Also accepts the config names
+        ``"inverse_weight"``, ``"exponential"`` and ``"uniform"``.
     coordinated:
         Hash-based priorities (stable per key) instead of RNG draws.
     """
@@ -66,7 +77,7 @@ class BottomKSampler:
     def __init__(
         self,
         k: int,
-        family: PriorityFamily | None = None,
+        family: PriorityFamily | str | None = None,
         coordinated: bool = False,
         salt: int = 0,
         rng=None,
@@ -74,6 +85,7 @@ class BottomKSampler:
         if k < 1:
             raise ValueError("k must be a positive integer")
         self.k = int(k)
+        family = family_from_name(family)
         self.family = family if family is not None else InverseWeightPriority()
         self.coordinated = bool(coordinated)
         self.salt = int(salt)
@@ -92,7 +104,9 @@ class BottomKSampler:
             u = float(self.rng.random())
         return float(self.family.inverse_cdf(u, weight))
 
-    def update(self, key: object, weight: float = 1.0, value: float | None = None) -> bool:
+    def update(
+        self, key: object, weight: float = 1.0, *, value=None, time=None
+    ) -> bool:
         """Offer one item; returns True when it is currently retained."""
         self.items_seen += 1
         r = self._priority(key, weight)
@@ -107,15 +121,50 @@ class BottomKSampler:
         heapq.heapreplace(self._heap, entry)
         return True
 
-    def extend(self, keys, weights=None, values=None) -> None:
-        """Bulk :meth:`update`."""
+    def _batch_uniforms(self, keys: list, n: int) -> np.ndarray:
+        """Uniform draws for a batch, matching the scalar path exactly."""
+        if not self.coordinated:
+            return self.rng.random(n)
+        return batch_hash_to_unit(keys, self.salt)
+
+    def update_many(self, keys, weights=None, values=None, times=None) -> None:
+        """Vectorized bulk :meth:`update`.
+
+        Draws all priorities at once, threshold-tests the batch with numpy,
+        and rebuilds the retained heap from the ``k + 1`` smallest of the
+        union (bottom-k state is order-independent, so this is exactly the
+        state the scalar loop would reach — and with the same RNG
+        consumption, bit-for-bit the same sample).
+        """
+        keys = _as_key_list(keys)
         n = len(keys)
-        weights = np.ones(n) if weights is None else np.asarray(weights, dtype=float)
-        for i, key in enumerate(keys):
-            self.update(
-                key,
-                float(weights[i]),
-                None if values is None else float(values[i]),
+        if n == 0:
+            return
+        w = _as_optional_array(weights, n, "weights")
+        v = _as_optional_array(values, n, "values")
+        u = self._batch_uniforms(keys, n)
+        pr = np.asarray(
+            self.family.inverse_cdf(u, 1.0 if w is None else w), dtype=float
+        )
+        self.items_seen += n
+
+        # Candidates: only items below the current threshold can ever enter.
+        t = self.threshold
+        cand = np.flatnonzero(pr < t) if np.isfinite(t) else np.arange(n)
+        if cand.size > self.k + 1:
+            # Among the batch itself only the k+1 smallest can survive.
+            order = np.argpartition(pr[cand], self.k)[: self.k + 1]
+            cand = cand[order]
+        for i in cand:
+            self._offer(
+                _Entry(
+                    float(pr[i]),
+                    keys[i],
+                    1.0 if w is None else float(w[i]),
+                    float(
+                        (1.0 if w is None else w[i]) if v is None else v[i]
+                    ),
+                )
             )
 
     # ------------------------------------------------------------------
@@ -173,25 +222,46 @@ class BottomKSampler:
     # Merging
     # ------------------------------------------------------------------
     def merge(self, other: "BottomKSampler") -> "BottomKSampler":
-        """Merge sketches of two *disjoint* streams.
+        """Absorb the sketch of a *disjoint* stream into this one (in-place).
 
         The merged sketch equals the sketch of the concatenated stream: the
         union of retained entries, cut back to the k+1 smallest priorities.
-        (For coordinated sketches over overlapping key sets, use the
-        distinct-counting merges in :mod:`repro.samplers.distinct`, which
-        handle duplicate keys.)
+        Returns ``self``; use ``a | b`` or :func:`repro.api.merged` for the
+        pure form.  (For coordinated sketches over overlapping key sets, use
+        the distinct-counting merges in :mod:`repro.samplers.distinct`,
+        which handle duplicate keys.)
         """
         if other.k != self.k:
             raise ValueError("cannot merge bottom-k sketches with different k")
         if type(other.family) is not type(self.family):
             raise ValueError("cannot merge sketches with different priority families")
-        merged = BottomKSampler(
-            self.k,
-            family=self.family,
-            coordinated=self.coordinated,
-            salt=self.salt,
-        )
-        merged.items_seen = self.items_seen + other.items_seen
-        for entry in list(self._heap) + list(other._heap):
-            merged._offer(_Entry(entry.priority, entry.key, entry.weight, entry.value))
-        return merged
+        self.items_seen += other.items_seen
+        for entry in list(other._heap):
+            self._offer(_Entry(entry.priority, entry.key, entry.weight, entry.value))
+        return self
+
+    # ------------------------------------------------------------------
+    # Serialization
+    # ------------------------------------------------------------------
+    def _config(self) -> dict:
+        return {
+            "k": self.k,
+            "family": family_to_name(self.family),
+            "coordinated": self.coordinated,
+            "salt": self.salt,
+        }
+
+    def _get_state(self) -> dict:
+        return {
+            "entries": [
+                (e.priority, e.key, e.weight, e.value) for e in self._heap
+            ],
+            "items_seen": self.items_seen,
+            "rng": rng_to_state(self.rng),
+        }
+
+    def _set_state(self, state: dict) -> None:
+        self._heap = [_Entry(*row) for row in state["entries"]]
+        heapq.heapify(self._heap)
+        self.items_seen = int(state["items_seen"])
+        self.rng = rng_from_state(state["rng"])

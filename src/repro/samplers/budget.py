@@ -24,6 +24,15 @@ from typing import Callable
 
 import numpy as np
 
+from ..api import StreamSampler, register_sampler
+from ..api.protocol import (
+    _as_key_list,
+    _as_optional_array,
+    family_from_name,
+    family_to_name,
+    rng_from_state,
+    rng_to_state,
+)
 from ..core.hashing import hash_to_unit
 from ..core.priorities import InverseWeightPriority, PriorityFamily
 from ..core.rng import as_generator
@@ -32,7 +41,8 @@ from ..core.sample import Sample
 __all__ = ["BudgetSampler"]
 
 
-class BudgetSampler:
+@register_sampler("budget")
+class BudgetSampler(StreamSampler):
     """Adaptive-threshold sampler honoring a hard memory budget.
 
     Parameters
@@ -41,12 +51,13 @@ class BudgetSampler:
         Total size the sample may occupy (same units as item sizes).
     family:
         Priority family for weighted sampling; default priority sampling.
+        Also accepts config names (``"inverse_weight"``, ``"uniform"``, ...).
     """
 
     def __init__(
         self,
         budget: float,
-        family: PriorityFamily | None = None,
+        family: PriorityFamily | str | None = None,
         coordinated: bool = False,
         salt: int = 0,
         rng=None,
@@ -54,6 +65,7 @@ class BudgetSampler:
         if budget <= 0:
             raise ValueError("budget must be positive")
         self.budget = float(budget)
+        family = family_from_name(family)
         self.family = family if family is not None else InverseWeightPriority()
         self.coordinated = bool(coordinated)
         self.salt = int(salt)
@@ -79,11 +91,21 @@ class BudgetSampler:
     def update(
         self,
         key: object,
-        size: float,
         weight: float = 1.0,
-        value: float | None = None,
+        *,
+        value=None,
+        time=None,
+        size: float = 1.0,
     ) -> bool:
-        """Offer one item of the given size; returns True if retained."""
+        """Offer one item of the given size; returns True if retained.
+
+        .. warning::
+           ``size`` is keyword-only under the StreamSampler protocol.  The
+           pre-protocol signature ``update(key, size, weight=1.0)`` took
+           size as the second *positional* argument — old positional calls
+           now bind that value to ``weight`` instead, so they must be
+           migrated to ``update(key, weight, size=...)`` explicitly.
+        """
         if size < 0:
             raise ValueError("item size must be non-negative")
         self.items_seen += 1
@@ -118,6 +140,23 @@ class BudgetSampler:
             evicted_min = r
         if evicted_min is not None:
             self._threshold = min(self._threshold, evicted_min)
+
+    def update_many(
+        self, keys, weights=None, values=None, times=None, sizes=None
+    ) -> None:
+        """Bulk :meth:`update` with an optional per-item ``sizes`` column."""
+        keys = _as_key_list(keys)
+        n = len(keys)
+        w = _as_optional_array(weights, n, "weights")
+        v = _as_optional_array(values, n, "values")
+        s = _as_optional_array(sizes, n, "sizes")
+        for i, key in enumerate(keys):
+            self.update(
+                key,
+                1.0 if w is None else float(w[i]),
+                value=None if v is None else float(v[i]),
+                size=1.0 if s is None else float(s[i]),
+            )
 
     # ------------------------------------------------------------------
     # State
@@ -166,3 +205,33 @@ class BudgetSampler:
         if max_item_size <= 0:
             raise ValueError("max_item_size must be positive")
         return int(budget // max_item_size)
+
+    # ------------------------------------------------------------------
+    # Serialization
+    # ------------------------------------------------------------------
+    def _config(self) -> dict:
+        return {
+            "budget": self.budget,
+            "family": family_to_name(self.family),
+            "coordinated": self.coordinated,
+            "salt": self.salt,
+        }
+
+    def _get_state(self) -> dict:
+        return {
+            "priorities": list(self._priorities),
+            "records": [list(rec) for rec in self._records],
+            "threshold": self._threshold,
+            "items_seen": self.items_seen,
+            "max_item_size_seen": self.max_item_size_seen,
+            "rng": rng_to_state(self.rng),
+        }
+
+    def _set_state(self, state: dict) -> None:
+        self._priorities = list(state["priorities"])
+        self._records = [tuple(rec) for rec in state["records"]]
+        self._total_size = float(sum(rec[3] for rec in self._records))
+        self._threshold = float(state["threshold"])
+        self.items_seen = int(state["items_seen"])
+        self.max_item_size_seen = float(state["max_item_size_seen"])
+        self.rng = rng_from_state(state["rng"])

@@ -21,13 +21,22 @@ from __future__ import annotations
 
 import numpy as np
 
+from ..api import register_sampler
 from ..core.rng import as_generator
 
 __all__ = ["ConditionalPoissonSampler"]
 
 
+@register_sampler("cps")
 class ConditionalPoissonSampler:
-    """Maximum-entropy fixed-size sampling design (exact, O(n k))."""
+    """Maximum-entropy fixed-size sampling design (exact, O(n k)).
+
+    Unlike the streaming samplers, CPS is an *offline* design over a fixed
+    population, so it does not follow the :class:`repro.api.StreamSampler`
+    stream protocol — it is registered with the factory for config-driven
+    construction and supports the ``to_state``/``from_state`` round-trip
+    only.
+    """
 
     def __init__(self, working_probs, k: int):
         p = np.asarray(working_probs, dtype=float)
@@ -100,3 +109,20 @@ class ConditionalPoissonSampler:
         pi = self.inclusion_probabilities()
         idx = np.asarray(sample_indices, dtype=int)
         return float(np.sum(values[idx] / pi[idx]))
+
+    # ------------------------------------------------------------------
+    # Serialization (design parameters only; the DP tables are derived)
+    # ------------------------------------------------------------------
+    def to_state(self) -> dict:
+        """Serialize the design to a plain dict (params only)."""
+        return {
+            "sampler": "cps",
+            "version": 1,
+            "params": {"working_probs": self.p.tolist(), "k": self.k},
+            "state": {},
+        }
+
+    @classmethod
+    def from_state(cls, state: dict) -> "ConditionalPoissonSampler":
+        """Rebuild the design from :meth:`to_state` output."""
+        return cls(**state["params"])

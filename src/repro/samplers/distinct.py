@@ -21,17 +21,25 @@ Covers three pieces of the paper:
 
 Hash priorities are coordinated (stable per key, salted per replication),
 so duplicate items across sketches collide exactly as the theory requires.
+Both sketches follow the :class:`repro.api.StreamSampler` protocol:
+``merge`` is in-place (returns self), ``a | b`` is the pure union, and
+``update_many`` ingests batches through a vectorized select-then-insert
+path.
 """
 
 from __future__ import annotations
 
 import heapq
-from typing import Callable, Iterable
+import warnings
+from typing import Callable
 
 import numpy as np
 
-from ..core.hashing import hash_to_unit
+from ..api import StreamSampler, register_sampler
+from ..api.protocol import _as_key_list, _as_optional_array
+from ..core.hashing import batch_hash_to_unit, hash_to_unit
 from ..core.priorities import InverseWeightPriority, Uniform01Priority
+from ..core.sample import Sample
 
 __all__ = [
     "WeightedDistinctSketch",
@@ -40,7 +48,8 @@ __all__ = [
 ]
 
 
-class WeightedDistinctSketch:
+@register_sampler("weighted_distinct")
+class WeightedDistinctSketch(StreamSampler):
     """Coordinated weighted bottom-k sketch for subset sums + distinct counts.
 
     Priorities are ``R = hash(key)/w``; the sketch keeps the ``k`` smallest
@@ -56,6 +65,8 @@ class WeightedDistinctSketch:
         Hash salt (one per Monte-Carlo replication).
     """
 
+    default_estimate_kind = "distinct"
+
     def __init__(self, k: int, salt: int = 0):
         if k < 1:
             raise ValueError("k must be a positive integer")
@@ -66,15 +77,20 @@ class WeightedDistinctSketch:
         self._heap: list[tuple[float, object]] = []
         self._entries: dict[object, tuple[float, float]] = {}
 
-    def update(self, key: object, weight: float = 1.0) -> bool:
+    def update(
+        self, key: object, weight: float = 1.0, *, value=None, time=None
+    ) -> bool:
         """Offer (key, weight); duplicate keys are ignored after admission."""
         if weight <= 0:
             raise ValueError("weights must be positive")
         if key in self._entries:
             return True
         r = hash_to_unit(key, self.salt) / float(weight)
+        return self._offer(key, r, float(weight))
+
+    def _offer(self, key: object, r: float, weight: float) -> bool:
         if len(self._entries) <= self.k:
-            self._entries[key] = (r, float(weight))
+            self._entries[key] = (r, weight)
             heapq.heappush(self._heap, (-r, key))
             return True
         worst = -self._heap[0][0]
@@ -82,17 +98,40 @@ class WeightedDistinctSketch:
             return False
         _, evicted = heapq.heapreplace(self._heap, (-r, key))
         del self._entries[evicted]
-        self._entries[key] = (r, float(weight))
+        self._entries[key] = (r, weight)
         return True
 
-    def extend(self, keys: Iterable[object], weights=None) -> None:
-        """Bulk :meth:`update`."""
-        if weights is None:
-            for key in keys:
-                self.update(key)
-        else:
-            for key, w in zip(keys, weights):
-                self.update(key, w)
+    def update_many(self, keys, weights=None, values=None, times=None) -> None:
+        """Vectorized bulk :meth:`update`.
+
+        Hashes and threshold-tests the whole batch with numpy, then inserts
+        only the ``k + 1`` smallest distinct priorities — the only items
+        that can possibly be retained — through the scalar path.  Assumes
+        each key maps to one weight (the distinct-counting contract).
+        """
+        keys = _as_key_list(keys)
+        n = len(keys)
+        if n == 0:
+            return
+        w = _as_optional_array(weights, n, "weights")
+        if w is not None and np.any(w <= 0):
+            raise ValueError("weights must be positive")
+        h = batch_hash_to_unit(keys, self.salt)
+        r = h if w is None else h / w
+        # Distinct priorities, ascending; duplicates of a key collapse here
+        # because identical (key, weight) pairs hash to identical r.
+        r_unique, first_idx = np.unique(r, return_index=True)
+        take = min(self.k + 1, r_unique.size)
+        t = self.threshold
+        for j in range(take):
+            if r_unique[j] >= t:
+                break
+            i = int(first_idx[j])
+            key = keys[i]
+            if key in self._entries:
+                continue
+            self._offer(key, float(r[i]), 1.0 if w is None else float(w[i]))
+            t = self.threshold
 
     @property
     def threshold(self) -> float:
@@ -109,6 +148,23 @@ class WeightedDistinctSketch:
 
     def __len__(self) -> int:
         return len(self._retained())
+
+    def sample(self) -> Sample:
+        """The retained entries as a :class:`Sample` (values all 1).
+
+        ``sample().ht_total()`` equals :meth:`estimate_distinct`, and
+        re-weighting the values recovers the subset-sum estimators.
+        """
+        entries = self._retained()
+        t = self.threshold
+        return Sample(
+            keys=[key for key, _, _ in entries],
+            values=np.ones(len(entries)),
+            weights=np.array([w for _, _, w in entries], dtype=float),
+            priorities=np.array([r for _, r, _ in entries], dtype=float),
+            thresholds=np.full(len(entries), t),
+            family=self.family,
+        )
 
     def estimate_distinct(self) -> float:
         """``N_hat = sum_i 1 / min(1, w_i T)`` — Section 3.4's estimator."""
@@ -133,8 +189,41 @@ class WeightedDistinctSketch:
                 total += x / min(1.0, w * t)
         return total
 
+    def merge(self, other: "WeightedDistinctSketch") -> "WeightedDistinctSketch":
+        """Union with a sketch over the same salt (in-place, returns self).
 
-class AdaptiveDistinctSketch:
+        Valid for disjoint key sets (and idempotent on shared keys, which
+        carry identical hashes): the union cut back to the ``k + 1``
+        smallest priorities is the sketch of the combined stream.
+        """
+        if other.salt != self.salt:
+            raise ValueError("cannot merge sketches with different salts")
+        for key, (r, w) in other._entries.items():
+            if key not in self._entries:
+                self._offer(key, r, w)
+        return self
+
+    # ------------------------------------------------------------------
+    # Serialization
+    # ------------------------------------------------------------------
+    def _config(self) -> dict:
+        return {"k": self.k, "salt": self.salt}
+
+    def _get_state(self) -> dict:
+        return {
+            "entries": [
+                (key, r, w) for key, (r, w) in self._entries.items()
+            ],
+        }
+
+    def _set_state(self, state: dict) -> None:
+        self._entries = {key: (r, w) for key, r, w in state["entries"]}
+        self._heap = [(-r, key) for key, (r, _) in self._entries.items()]
+        heapq.heapify(self._heap)
+
+
+@register_sampler("adaptive_distinct")
+class AdaptiveDistinctSketch(StreamSampler):
     """Uniform-priority distinct sketch with *per-entry* thresholds.
 
     Streaming behaviour is a plain KMV/bottom-k sketch (all entries share
@@ -147,6 +236,8 @@ class AdaptiveDistinctSketch:
     ``admission_threshold`` is the threshold applied to *new* stream items
     (the min over merged inputs, which keeps the rule 1-substitutable).
     """
+
+    default_estimate_kind = "distinct"
 
     def __init__(self, k: int, salt: int = 0):
         if k < 1:
@@ -165,8 +256,10 @@ class AdaptiveDistinctSketch:
     # ------------------------------------------------------------------
     # Streaming
     # ------------------------------------------------------------------
-    def update(self, key: object) -> bool:
-        """Offer a key; duplicates are idempotent."""
+    def update(
+        self, key: object, weight: float = 1.0, *, value=None, time=None
+    ) -> bool:
+        """Offer a key; duplicates are idempotent (weights are ignored)."""
         if key in self._stream_entries or key in self._merged_entries:
             return True
         h = hash_to_unit(key, self.salt)
@@ -187,10 +280,24 @@ class AdaptiveDistinctSketch:
         self._stream_entries[key] = h
         return True
 
-    def extend(self, keys: Iterable[object]) -> None:
-        """Bulk :meth:`update`."""
-        for key in keys:
-            self.update(key)
+    def update_many(self, keys, weights=None, values=None, times=None) -> None:
+        """Vectorized bulk :meth:`update`.
+
+        Hashes the whole batch with numpy and offers only the ``k + 1``
+        smallest distinct hashes (all any bottom-k state can absorb)
+        through the scalar path.
+        """
+        keys = _as_key_list(keys)
+        n = len(keys)
+        if n == 0:
+            return
+        h = batch_hash_to_unit(keys, self.salt)
+        h_unique, first_idx = np.unique(h, return_index=True)
+        take = min(self.k + 1, h_unique.size)
+        for j in range(take):
+            if h_unique[j] >= self.stream_threshold:
+                break
+            self.update(keys[int(first_idx[j])])
 
     @property
     def stream_threshold(self) -> float:
@@ -215,6 +322,22 @@ class AdaptiveDistinctSketch:
     def __len__(self) -> int:
         return len(self.entries())
 
+    def sample(self) -> Sample:
+        """Usable entries as a :class:`Sample` with per-entry thresholds.
+
+        ``sample().ht_total()`` equals :meth:`estimate_distinct`.
+        """
+        entries = self.entries()
+        keys = list(entries)
+        return Sample(
+            keys=keys,
+            values=np.ones(len(keys)),
+            weights=np.ones(len(keys)),
+            priorities=np.array([entries[k][0] for k in keys], dtype=float),
+            thresholds=np.array([entries[k][1] for k in keys], dtype=float),
+            family=self.family,
+        )
+
     def estimate_distinct(self) -> float:
         """``N_hat = sum over entries of 1/tau_h``."""
         return float(sum(1.0 / tau for _, tau in self.entries().values()))
@@ -229,8 +352,6 @@ class AdaptiveDistinctSketch:
         construction partitions instead of streaming (vectorized path for
         the Figure 4 / Section 3.5 Monte-Carlo sweeps).
         """
-        import numpy as np
-
         hashes = np.asarray(hashes, dtype=float)
         out = cls(k, salt=salt)
         keep = min(k + 1, hashes.size)
@@ -245,31 +366,41 @@ class AdaptiveDistinctSketch:
     # Merging (Section 3.5)
     # ------------------------------------------------------------------
     def merge(self, other: "AdaptiveDistinctSketch") -> "AdaptiveDistinctSketch":
-        """Union with per-entry max thresholds; chainable (pure)."""
-        if other.salt != self.salt:
-            raise ValueError("cannot merge sketches with different salts")
-        out = AdaptiveDistinctSketch(max(self.k, other.k), salt=self.salt)
-        out._merged_entries = dict(self.entries())
-        out._admission_cap = self.stream_threshold
-        out.merge_in_place(other)
-        return out
+        """In-place union with per-entry max thresholds (returns self).
 
-    def merge_in_place(self, other: "AdaptiveDistinctSketch") -> "AdaptiveDistinctSketch":
-        """In-place union (O(|other|)); the workhorse for long merge chains."""
+        O(|other|); the workhorse for long merge chains.  Use ``a | b`` or
+        :func:`repro.api.merged` when the inputs must stay intact.
+        """
         if other.salt != self.salt:
             raise ValueError("cannot merge sketches with different salts")
-        # Fold any live stream entries into the merged representation first.
+        # Thresholds and the entry fold must use each sketch's *own* k —
+        # enlarging k first would lift stream_threshold to the admission
+        # cap and hand the folded entries inflated taus.
+        own_threshold = self.stream_threshold
+        other_threshold = other.stream_threshold
         if self._stream_entries:
             self._merged_entries = dict(self.entries())
             self._stream_entries = {}
             self._heap = []
-        merged = self._merged_entries
+        self.k = max(self.k, other.k)
+        merged_entries = self._merged_entries
         for key, (h, tau) in other.entries().items():
-            known = merged.get(key)
+            known = merged_entries.get(key)
             if known is None or known[1] < tau:
-                merged[key] = (h, tau)
-        self._admission_cap = min(self.stream_threshold, other.stream_threshold)
+                merged_entries[key] = (h, tau)
+        self._admission_cap = min(own_threshold, other_threshold)
         return self
+
+    def merge_in_place(self, other: "AdaptiveDistinctSketch") -> "AdaptiveDistinctSketch":
+        """Deprecated alias of :meth:`merge` (which is now in-place)."""
+        warnings.warn(
+            "AdaptiveDistinctSketch.merge_in_place() is deprecated; merge() "
+            "is in-place under the StreamSampler protocol (use a | b for a "
+            "pure union)",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        return self.merge(other)
 
     def trim(self, max_entries: int) -> None:
         """Bound memory by lowering taus: keep the ``max_entries`` smallest
@@ -288,6 +419,30 @@ class AdaptiveDistinctSketch:
         self._merged_entries = kept
         self._admission_cap = min(self._admission_cap, cut)
 
+    # ------------------------------------------------------------------
+    # Serialization
+    # ------------------------------------------------------------------
+    def _config(self) -> dict:
+        return {"k": self.k, "salt": self.salt}
+
+    def _get_state(self) -> dict:
+        return {
+            "stream_entries": list(self._stream_entries.items()),
+            "merged_entries": [
+                (key, h, tau) for key, (h, tau) in self._merged_entries.items()
+            ],
+            "admission_cap": self._admission_cap,
+        }
+
+    def _set_state(self, state: dict) -> None:
+        self._stream_entries = dict(state["stream_entries"])
+        self._heap = [-h for h in self._stream_entries.values()]
+        heapq.heapify(self._heap)
+        self._merged_entries = {
+            key: (h, tau) for key, h, tau in state["merged_entries"]
+        }
+        self._admission_cap = float(state["admission_cap"])
+
 
 def lcs_union(
     a: AdaptiveDistinctSketch | WeightedDistinctSketch,
@@ -295,6 +450,7 @@ def lcs_union(
 ) -> float:
     """Distinct-count estimate of ``|A u B|`` via the per-item-max merge.
 
-    Convenience wrapper: ``a.merge(b).estimate_distinct()``.
+    Convenience wrapper: ``(a | b).estimate_distinct()`` — pure, leaving
+    both inputs untouched.
     """
-    return a.merge(b).estimate_distinct()
+    return (a | b).estimate_distinct()

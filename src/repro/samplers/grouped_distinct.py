@@ -21,11 +21,21 @@ trade the paper spells out).  Mechanics on a new item of group ``g``:
 
 from __future__ import annotations
 
+import warnings
 from typing import Hashable
 
+import numpy as np
+
+from ..api import StreamSampler, register_sampler
+from ..api.protocol import _as_key_list
 from ..core.hashing import hash_to_unit
+from ..core.priorities import Uniform01Priority
+from ..core.sample import Sample
 
 __all__ = ["GroupedDistinctSketch"]
+
+# Sentinel distinguishing "weight omitted" from a legacy positional key.
+_UNSET = object()
 
 
 class _GroupSketch:
@@ -58,7 +68,8 @@ class _GroupSketch:
         return sum(1 for h in self.entries.values() if h < t) / t
 
 
-class GroupedDistinctSketch:
+@register_sampler("grouped_distinct")
+class GroupedDistinctSketch(StreamSampler):
     """Distinct counts per group with ``m`` sketches + one shared pool.
 
     Parameters
@@ -69,6 +80,9 @@ class GroupedDistinctSketch:
         Bottom-k size of each dedicated sketch (and promotion trigger for
         pooled groups).
     """
+
+    default_estimate_kind = "distinct"
+    legacy_estimate_param = "group"
 
     def __init__(self, m: int, k: int, salt: int = 0):
         if m < 1 or k < 1:
@@ -88,8 +102,38 @@ class GroupedDistinctSketch:
             return 1.0
         return max(s.threshold for s in self.dedicated.values())
 
-    def update(self, group: Hashable, key: object) -> None:
-        """Offer one (group, item) observation."""
+    def update(
+        self,
+        key: object,
+        weight: float = _UNSET,
+        *,
+        value=None,
+        time=None,
+        group: Hashable | None = None,
+    ) -> None:
+        """Offer one (group, item) observation.
+
+        Canonical form: ``update(key, group=...)`` (the sketch is
+        unweighted, so ``weight`` is accepted only for protocol
+        uniformity).  The legacy positional form ``update(group, key)`` is
+        detected — the second positional used to be the key, which lands in
+        ``weight`` — and still works with a :class:`DeprecationWarning`,
+        but only when that value cannot be a weight (non-numeric); numeric
+        ambiguity raises instead of silently swapping key and group.
+        """
+        if group is None:
+            if weight is _UNSET or isinstance(weight, (int, float, np.number)):
+                raise TypeError("update() requires a group= keyword")
+            warnings.warn(
+                "GroupedDistinctSketch.update(group, key) is deprecated; "
+                "use update(key, group=group)",
+                DeprecationWarning,
+                stacklevel=2,
+            )
+            group, key = key, weight
+        self._update(group, key)
+
+    def _update(self, group: Hashable, key: object) -> None:
         self.items_seen += 1
         h = hash_to_unit((group, key), self.salt)
         sketch = self.dedicated.get(group)
@@ -140,10 +184,23 @@ class GroupedDistinctSketch:
             else:
                 del self.pool[group]
 
+    def update_many(
+        self, keys, weights=None, values=None, times=None, groups=None
+    ) -> None:
+        """Bulk :meth:`update` with a parallel ``groups`` column."""
+        keys = _as_key_list(keys)
+        if groups is None:
+            raise TypeError("update_many() requires a groups= column")
+        groups = _as_key_list(groups)
+        if len(groups) != len(keys):
+            raise ValueError("groups must have the same length as keys")
+        for group, key in zip(groups, keys):
+            self._update(group, key)
+
     # ------------------------------------------------------------------
     # Queries
     # ------------------------------------------------------------------
-    def estimate(self, group: Hashable) -> float:
+    def estimate_distinct(self, group: Hashable) -> float:
         """Estimated distinct count of ``group`` (0 if never seen)."""
         sketch = self.dedicated.get(group)
         if sketch is not None:
@@ -165,3 +222,61 @@ class GroupedDistinctSketch:
         dedicated = sum(len(s.entries) for s in self.dedicated.values())
         pooled = sum(len(b) for b in self.pool.values())
         return dedicated + pooled
+
+    def sample(self) -> Sample:
+        """Every retained (group, key) entry with its governing threshold.
+
+        ``sample().select(lambda gk: gk[0] == g).distinct_estimate()``
+        approximates :meth:`estimate_distinct` for dedicated groups and
+        matches it for pooled ones.
+        """
+        keys, priorities, thresholds = [], [], []
+        for group, sketch in self.dedicated.items():
+            t = sketch.threshold
+            for key, h in sketch.entries.items():
+                if h < t:
+                    keys.append((group, key))
+                    priorities.append(h)
+                    thresholds.append(t)
+        t_max = self.t_max
+        for group, bucket in self.pool.items():
+            for key, h in bucket.items():
+                keys.append((group, key))
+                priorities.append(h)
+                thresholds.append(t_max)
+        return Sample(
+            keys=keys,
+            values=np.ones(len(keys)),
+            weights=np.ones(len(keys)),
+            priorities=np.asarray(priorities, dtype=float),
+            thresholds=np.asarray(thresholds, dtype=float),
+            family=Uniform01Priority(),
+        )
+
+    # ------------------------------------------------------------------
+    # Serialization
+    # ------------------------------------------------------------------
+    def _config(self) -> dict:
+        return {"m": self.m, "k": self.k, "salt": self.salt}
+
+    def _get_state(self) -> dict:
+        return {
+            "dedicated": [
+                (group, list(sketch.entries.items()))
+                for group, sketch in self.dedicated.items()
+            ],
+            "pool": [
+                (group, list(bucket.items()))
+                for group, bucket in self.pool.items()
+            ],
+            "items_seen": self.items_seen,
+        }
+
+    def _set_state(self, state: dict) -> None:
+        self.dedicated = {}
+        for group, entries in state["dedicated"]:
+            sketch = _GroupSketch(self.k)
+            sketch.entries = dict(entries)
+            self.dedicated[group] = sketch
+        self.pool = {group: dict(bucket) for group, bucket in state["pool"]}
+        self.items_seen = int(state["items_seen"])

@@ -15,8 +15,11 @@ function of weight correlation (design-choice ablation A2 in DESIGN.md).
 
 from __future__ import annotations
 
-from typing import Callable, Sequence
+import warnings
+from typing import Callable, Mapping, Sequence
 
+from ..api import StreamSampler, register_sampler
+from ..api.protocol import _as_key_list
 from ..core.hashing import hash_to_unit
 from ..core.priorities import InverseWeightPriority
 from ..core.sample import Sample
@@ -25,7 +28,8 @@ from .bottomk import BottomKSampler, _Entry
 __all__ = ["MultiObjectiveSampler"]
 
 
-class MultiObjectiveSampler:
+@register_sampler("multi_objective")
+class MultiObjectiveSampler(StreamSampler):
     """One coordinated bottom-k sketch per objective, sharing priorities.
 
     Parameters
@@ -52,8 +56,36 @@ class MultiObjectiveSampler:
         }
         self.items_seen = 0
 
-    def update(self, key: object, weights: dict[str, float]) -> None:
-        """Offer an item with one weight per objective."""
+    def update(
+        self,
+        key: object,
+        weight: float = 1.0,
+        *,
+        value=None,
+        time=None,
+        weights: Mapping[str, float] | None = None,
+    ) -> None:
+        """Offer an item with one weight per objective.
+
+        Canonical form: ``update(key, weights={"profit": ..., ...})``.  The
+        legacy positional form ``update(key, weights_dict)`` is detected
+        (the mapping lands in ``weight``) and still works with a
+        :class:`DeprecationWarning`.
+        """
+        if weights is None:
+            if not isinstance(weight, Mapping):
+                raise TypeError("update() requires a weights= mapping")
+            warnings.warn(
+                "MultiObjectiveSampler.update(key, weights_dict) as a "
+                "positional argument is deprecated; use "
+                "update(key, weights=weights_dict)",
+                DeprecationWarning,
+                stacklevel=2,
+            )
+            weights = weight
+        self._update(key, weights)
+
+    def _update(self, key: object, weights: Mapping[str, float]) -> None:
         self.items_seen += 1
         u = hash_to_unit(key, self.salt)
         for name in self.objectives:
@@ -64,9 +96,30 @@ class MultiObjectiveSampler:
             sketch.items_seen += 1
             sketch._offer(_Entry(u / w, key, w, w))
 
+    def update_many(
+        self, keys, weights=None, values=None, times=None
+    ) -> None:
+        """Bulk :meth:`update`; ``weights`` maps objective -> weight column."""
+        keys = _as_key_list(keys)
+        if not isinstance(weights, Mapping):
+            raise TypeError(
+                "update_many() requires weights= as a mapping of "
+                "objective -> per-item weight sequence"
+            )
+        columns = {name: list(col) for name, col in weights.items()}
+        for i, key in enumerate(keys):
+            self._update(
+                key, {name: col[i] for name, col in columns.items()}
+            )
+
     def sketch(self, objective: str) -> BottomKSampler:
         """The bottom-k sketch optimized for one objective."""
         return self._sketches[objective]
+
+    def sample(self) -> Sample:
+        """The finalized sample for the *first* objective (see
+        :meth:`sample_for` for the general form)."""
+        return self.sample_for(self.objectives[0])
 
     def sample_for(self, objective: str) -> Sample:
         """The finalized sample to use for queries on ``objective``."""
@@ -101,3 +154,29 @@ class MultiObjectiveSampler:
         near 1 for independent weights.
         """
         return self.union_size() / (self.k * len(self.objectives))
+
+    # ------------------------------------------------------------------
+    # Serialization
+    # ------------------------------------------------------------------
+    def _config(self) -> dict:
+        return {
+            "k": self.k,
+            "objectives": list(self.objectives),
+            "salt": self.salt,
+        }
+
+    def _get_state(self) -> dict:
+        return {
+            "items_seen": self.items_seen,
+            "sketches": {
+                name: sketch.to_state()
+                for name, sketch in self._sketches.items()
+            },
+        }
+
+    def _set_state(self, state: dict) -> None:
+        self.items_seen = int(state["items_seen"])
+        self._sketches = {
+            name: BottomKSampler.from_state(sub)
+            for name, sub in state["sketches"].items()
+        }

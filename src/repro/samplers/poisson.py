@@ -13,7 +13,16 @@ from typing import Callable
 
 import numpy as np
 
-from ..core.hashing import hash_to_unit
+from ..api import StreamSampler, register_sampler
+from ..api.protocol import (
+    _as_key_list,
+    _as_optional_array,
+    family_from_name,
+    family_to_name,
+    rng_from_state,
+    rng_to_state,
+)
+from ..core.hashing import batch_hash_to_unit, hash_to_unit
 from ..core.priorities import InverseWeightPriority, PriorityFamily, Uniform01Priority
 from ..core.rng import as_generator
 from ..core.sample import Sample
@@ -21,7 +30,8 @@ from ..core.sample import Sample
 __all__ = ["PoissonSampler"]
 
 
-class PoissonSampler:
+@register_sampler("poisson")
+class PoissonSampler(StreamSampler):
     """Stream sampler with a fixed threshold per item.
 
     Parameters
@@ -31,6 +41,7 @@ class PoissonSampler:
     family:
         Priority family; default ``InverseWeightPriority`` makes the
         inclusion probability ``min(1, w * threshold)`` (PPS sampling).
+        Also accepts config names (``"inverse_weight"``, ``"uniform"``, ...).
     coordinated:
         When True, priorities come from a salted hash of the key so that
         independent sketches sample the same keys; otherwise from ``rng``.
@@ -39,12 +50,13 @@ class PoissonSampler:
     def __init__(
         self,
         threshold: float | Callable[[object, float], float],
-        family: PriorityFamily | None = None,
+        family: PriorityFamily | str | None = None,
         coordinated: bool = False,
         salt: int = 0,
         rng=None,
     ):
         self._threshold = threshold
+        family = family_from_name(family)
         self.family = family if family is not None else InverseWeightPriority()
         self.coordinated = bool(coordinated)
         self.salt = int(salt)
@@ -69,7 +81,9 @@ class PoissonSampler:
             u = float(self.rng.random())
         return float(self.family.inverse_cdf(u, weight))
 
-    def update(self, key: object, weight: float = 1.0, value: float | None = None) -> bool:
+    def update(
+        self, key: object, weight: float = 1.0, *, value=None, time=None
+    ) -> bool:
         """Offer one item; returns True when it was sampled."""
         self.items_seen += 1
         t = self.threshold_for(key, weight)
@@ -83,16 +97,46 @@ class PoissonSampler:
         self._thresholds.append(t)
         return True
 
-    def extend(self, keys, weights=None, values=None) -> None:
-        """Bulk :meth:`update`."""
+    def update_many(self, keys, weights=None, values=None, times=None) -> None:
+        """Vectorized bulk :meth:`update`.
+
+        Priorities for the whole batch are drawn (or hashed) at once and
+        threshold-tested with numpy; only the accepted minority is appended
+        item by item.  RNG consumption matches the scalar loop, so the same
+        seed produces the same sample.
+        """
+        keys = _as_key_list(keys)
         n = len(keys)
-        weights = np.ones(n) if weights is None else np.asarray(weights, dtype=float)
-        for i, key in enumerate(keys):
-            self.update(
-                key,
-                float(weights[i]),
-                None if values is None else float(values[i]),
+        if n == 0:
+            return
+        w = _as_optional_array(weights, n, "weights")
+        v = _as_optional_array(values, n, "values")
+        if self.coordinated:
+            u = batch_hash_to_unit(keys, self.salt)
+        else:
+            u = self.rng.random(n)
+        wcol = 1.0 if w is None else w
+        pr = np.asarray(self.family.inverse_cdf(u, wcol), dtype=float)
+        if callable(self._threshold):
+            ts = np.fromiter(
+                (
+                    self.threshold_for(key, 1.0 if w is None else float(w[i]))
+                    for i, key in enumerate(keys)
+                ),
+                dtype=float,
+                count=n,
             )
+        else:
+            ts = np.full(n, float(self._threshold))
+        self.items_seen += n
+        taken = np.flatnonzero(pr < ts)
+        self._keys.extend(keys[i] for i in taken)
+        wt = np.ones(n) if w is None else w
+        vals = wt if v is None else v
+        self._values.extend(vals[taken].tolist())
+        self._weights.extend(wt[taken].tolist())
+        self._priorities.extend(pr[taken].tolist())
+        self._thresholds.extend(ts[taken].tolist())
 
     def __len__(self) -> int:
         return len(self._keys)
@@ -108,6 +152,29 @@ class PoissonSampler:
             family=self.family,
             population_size=self.items_seen,
         )
+
+    def estimate_total(self, predicate: Callable[[object], bool] | None = None) -> float:
+        """HT estimate of the (subset) sum of item values."""
+        sample = self.sample()
+        if predicate is not None:
+            sample = sample.select(predicate)
+        return sample.ht_total()
+
+    def merge(self, other: "PoissonSampler") -> "PoissonSampler":
+        """Absorb a Poisson sample of a *disjoint* stream (in-place).
+
+        Fixed per-item thresholds make the union of the two samples a valid
+        sample of the concatenated stream verbatim.  Returns ``self``.
+        """
+        if type(other.family) is not type(self.family):
+            raise ValueError("cannot merge samplers with different priority families")
+        self._keys.extend(other._keys)
+        self._values.extend(other._values)
+        self._weights.extend(other._weights)
+        self._priorities.extend(other._priorities)
+        self._thresholds.extend(other._thresholds)
+        self.items_seen += other.items_seen
+        return self
 
     @classmethod
     def with_inclusion_probability(
@@ -128,3 +195,38 @@ class PoissonSampler:
             salt=salt,
             rng=rng,
         )
+
+    # ------------------------------------------------------------------
+    # Serialization
+    # ------------------------------------------------------------------
+    def _config(self) -> dict:
+        if callable(self._threshold):
+            raise ValueError(
+                "PoissonSampler with a callable threshold cannot be serialized"
+            )
+        return {
+            "threshold": float(self._threshold),
+            "family": family_to_name(self.family),
+            "coordinated": self.coordinated,
+            "salt": self.salt,
+        }
+
+    def _get_state(self) -> dict:
+        return {
+            "keys": list(self._keys),
+            "values": list(self._values),
+            "weights": list(self._weights),
+            "priorities": list(self._priorities),
+            "thresholds": list(self._thresholds),
+            "items_seen": self.items_seen,
+            "rng": rng_to_state(self.rng),
+        }
+
+    def _set_state(self, state: dict) -> None:
+        self._keys = list(state["keys"])
+        self._values = list(state["values"])
+        self._weights = list(state["weights"])
+        self._priorities = list(state["priorities"])
+        self._thresholds = list(state["thresholds"])
+        self.items_seen = int(state["items_seen"])
+        self.rng = rng_from_state(state["rng"])

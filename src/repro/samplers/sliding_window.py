@@ -35,11 +35,14 @@ plus list maintenance.
 from __future__ import annotations
 
 import bisect
+import warnings
 from collections import deque
 from dataclasses import dataclass
 
 import numpy as np
 
+from ..api import StreamSampler, register_sampler
+from ..api.protocol import rng_from_state, rng_to_state
 from ..core.priorities import Uniform01Priority
 from ..core.rng import as_generator
 from ..core.sample import Sample
@@ -70,7 +73,8 @@ class WindowSnapshot:
     stored_expired: int
 
 
-class SlidingWindowSampler:
+@register_sampler("sliding_window")
+class SlidingWindowSampler(StreamSampler):
     """Bounded-space uniform sampler over a sliding time window.
 
     Parameters
@@ -82,6 +86,8 @@ class SlidingWindowSampler:
     rng:
         Source of the Uniform(0, 1) arrival priorities.
     """
+
+    default_estimate_kind = "window_count"
 
     def __init__(self, k: int, window: float, rng=None):
         if k < 2:
@@ -106,6 +112,7 @@ class SlidingWindowSampler:
         self.items_seen = 0
         self.max_current = 0
         self.max_expired = 0
+        self.last_time = 0.0
 
     # ------------------------------------------------------------------
     # Lazy per-item thresholds
@@ -149,9 +156,46 @@ class SlidingWindowSampler:
             self._expired.popleft()
         self.max_expired = max(self.max_expired, len(self._expired))
 
-    def update(self, time: float, key: object, value: float = 1.0) -> bool:
-        """Offer one arrival; returns True when it was stored."""
+    def update(self, *args, **kwargs) -> bool:
+        """Offer one arrival; returns True when it was stored.
+
+        Canonical form: ``update(key, weight=1.0, *, value=None, time=...)``
+        with ``time`` required (the sampler is time-indexed; ``weight`` is
+        accepted for protocol uniformity but must be 1 — the window sample
+        is uniform).  The legacy positional form ``update(time, key,
+        value=1.0)`` still works but emits a :class:`DeprecationWarning`.
+        """
+        if "time" in kwargs:
+            time = float(kwargs.pop("time"))
+            value = kwargs.pop("value", None)
+            kwargs.pop("weight", None)
+            if args:
+                key = args[0]
+                if len(args) > 2:
+                    raise TypeError("too many positional arguments to update()")
+            else:
+                key = kwargs.pop("key")
+            if kwargs:
+                raise TypeError(f"unexpected arguments {sorted(kwargs)}")
+            value = 1.0 if value is None else float(value)
+        else:
+            warnings.warn(
+                "SlidingWindowSampler.update(time, key, value) is "
+                "deprecated; use update(key, value=..., time=...)",
+                DeprecationWarning,
+                stacklevel=2,
+            )
+            params = list(args)
+            time = float(params.pop(0)) if params else float(kwargs.pop("t"))
+            key = params.pop(0) if params else kwargs.pop("key")
+            value = float(params.pop(0)) if params else float(kwargs.pop("value", 1.0))
+            if params or kwargs:
+                raise TypeError("too many arguments to update()")
+        return self._update(time, key, value)
+
+    def _update(self, time: float, key: object, value: float) -> bool:
         self.advance(time)
+        self.last_time = max(self.last_time, float(time))
         self.items_seen += 1
         self._seq += 1
         r = float(self.rng.random())
@@ -252,8 +296,18 @@ class SlidingWindowSampler:
         t = self.improved_threshold(now)
         return self._sample_from(self._current_records(), t, strict=True)
 
-    def estimate_window_count(self, now: float, improved: bool = True) -> float:
-        """HT estimate of the number of arrivals in the current window."""
+    def sample(self) -> Sample:
+        """The improved uniform window sample as of the latest arrival."""
+        return self.improved_sample(self.last_time)
+
+    def estimate_window_count(
+        self, now: float | None = None, improved: bool = True
+    ) -> float:
+        """HT estimate of the number of arrivals in the current window.
+
+        ``now`` defaults to the latest arrival time seen.
+        """
+        now = self.last_time if now is None else float(now)
         sample = self.improved_sample(now) if improved else self.gl_sample(now)
         return sample.distinct_estimate()
 
@@ -274,3 +328,61 @@ class SlidingWindowSampler:
             stored_current=len(self._cur_sorted),
             stored_expired=len(self._expired),
         )
+
+    # ------------------------------------------------------------------
+    # Serialization
+    # ------------------------------------------------------------------
+    def _config(self) -> dict:
+        return {"k": self.k, "window": self.window}
+
+    def _get_state(self) -> dict:
+        return {
+            "records": [
+                (
+                    rid,
+                    rec.key,
+                    rec.value,
+                    rec.time,
+                    rec.priority,
+                    rec.seq,
+                    rec.initial_threshold,
+                )
+                for rid, rec in self._records.items()
+            ],
+            "arrival_order": list(self._arrival_order),
+            "expired": list(self._expired),
+            "updates": list(self._updates),
+            "seq": self._seq,
+            "next_id": self._next_id,
+            "items_seen": self.items_seen,
+            "max_current": self.max_current,
+            "max_expired": self.max_expired,
+            "last_time": self.last_time,
+            "rng": rng_to_state(self.rng),
+        }
+
+    def _set_state(self, state: dict) -> None:
+        self._records = {
+            rid: _Record(
+                key=key,
+                value=value,
+                time=time,
+                priority=priority,
+                seq=seq,
+                initial_threshold=threshold,
+            )
+            for rid, key, value, time, priority, seq, threshold in state["records"]
+        }
+        self._arrival_order = deque(state["arrival_order"])
+        self._cur_sorted = sorted(
+            (rec.priority, rid) for rid, rec in self._records.items()
+        )
+        self._expired = deque(tuple(pair) for pair in state["expired"])
+        self._updates = [tuple(pair) for pair in state["updates"]]
+        self._seq = int(state["seq"])
+        self._next_id = int(state["next_id"])
+        self.items_seen = int(state["items_seen"])
+        self.max_current = int(state["max_current"])
+        self.max_expired = int(state["max_expired"])
+        self.last_time = float(state["last_time"])
+        self.rng = rng_from_state(state["rng"])

@@ -24,10 +24,13 @@ move down, so no discarded item could have been needed.
 from __future__ import annotations
 
 import heapq
+import warnings
 from typing import Hashable, Sequence
 
 import numpy as np
 
+from ..api import StreamSampler, register_sampler
+from ..api.protocol import _as_key_list, _as_optional_array
 from ..core.hashing import hash_to_unit
 from ..core.priorities import Uniform01Priority
 from ..core.sample import Sample
@@ -69,7 +72,8 @@ class StratumState:
         return -self.heap[0][0]
 
 
-class MultiStratifiedSampler:
+@register_sampler("multi_stratified")
+class MultiStratifiedSampler(StreamSampler):
     """Coordinated sample stratified along several attributes at once.
 
     Parameters
@@ -101,9 +105,37 @@ class MultiStratifiedSampler:
     # Streaming
     # ------------------------------------------------------------------
     def update(
-        self, key: object, strata: Sequence[Hashable], value: float = 1.0
+        self,
+        key: object,
+        weight: float = 1.0,
+        *,
+        value=None,
+        time=None,
+        strata: Sequence[Hashable] | None = None,
     ) -> None:
-        """Offer an item with one stratum label per dimension."""
+        """Offer an item with one stratum label per dimension.
+
+        Canonical form: ``update(key, strata=(...), value=...)``.  The
+        legacy positional form ``update(key, strata, value)`` is detected
+        (the tuple lands in ``weight``) and still works with a
+        :class:`DeprecationWarning`.
+        """
+        if strata is None:
+            if not isinstance(weight, (tuple, list)):
+                raise TypeError("update() requires a strata= sequence")
+            warnings.warn(
+                "MultiStratifiedSampler.update(key, strata, value) is "
+                "deprecated; use update(key, strata=strata, value=value)",
+                DeprecationWarning,
+                stacklevel=2,
+            )
+            strata = weight
+        value = 1.0 if value is None else float(value)
+        self._update(key, strata, value)
+
+    def _update(
+        self, key: object, strata: Sequence[Hashable], value: float
+    ) -> None:
         if len(strata) != self.n_dims:
             raise ValueError(f"expected {self.n_dims} stratum labels")
         self.items_seen += 1
@@ -126,6 +158,22 @@ class MultiStratifiedSampler:
         for state in self._strata.values():
             keep.update(state.members)
         self._items = {k: v for k, v in self._items.items() if k in keep}
+
+    def update_many(
+        self, keys, weights=None, values=None, times=None, strata=None
+    ) -> None:
+        """Bulk :meth:`update` with a parallel ``strata`` column (one
+        stratum-label sequence per key)."""
+        keys = _as_key_list(keys)
+        n = len(keys)
+        if strata is None:
+            raise TypeError("update_many() requires a strata= column")
+        strata = list(strata)
+        if len(strata) != n:
+            raise ValueError("strata must have the same length as keys")
+        v = _as_optional_array(values, n, "values")
+        for i, key in enumerate(keys):
+            self._update(key, strata[i], 1.0 if v is None else float(v[i]))
 
     # ------------------------------------------------------------------
     # Thresholds and samples
@@ -204,6 +252,45 @@ class MultiStratifiedSampler:
             family=self.family,
             population_size=self.items_seen,
         )
+
+    def estimate_total(self, predicate=None, budget: int | None = None) -> float:
+        """HT estimate of the (subset) sum of item values."""
+        sample = self.sample(budget=budget)
+        if predicate is not None:
+            sample = sample.select(predicate)
+        return sample.ht_total()
+
+    # ------------------------------------------------------------------
+    # Serialization
+    # ------------------------------------------------------------------
+    def _config(self) -> dict:
+        return {"n_dims": self.n_dims, "k": self.k, "salt": self.salt}
+
+    def _get_state(self) -> dict:
+        return {
+            "items": [
+                (key, list(strata), priority, value)
+                for key, (strata, priority, value) in self._items.items()
+            ],
+            "strata": [
+                (dim, label, list(state.members.items()))
+                for (dim, label), state in self._strata.items()
+            ],
+            "items_seen": self.items_seen,
+        }
+
+    def _set_state(self, state: dict) -> None:
+        self._items = {
+            key: (tuple(strata), priority, value)
+            for key, strata, priority, value in state["items"]
+        }
+        self._strata = {}
+        for dim, label, members in state["strata"]:
+            st = StratumState(dim, label, self.k)
+            for key, priority in members:
+                st.offer(key, priority)
+            self._strata[(dim, label)] = st
+        self.items_seen = int(state["items_seen"])
 
     def stratum_counts(self, sample: Sample) -> dict[tuple[int, Hashable], int]:
         """How many sampled items each stratum contributed (diagnostics)."""

@@ -17,9 +17,16 @@ from __future__ import annotations
 
 import heapq
 import math
+import warnings
 from typing import Callable
 
+import numpy as np
+
+from ..api import StreamSampler, register_sampler
+from ..api.protocol import rng_from_state, rng_to_state
+from ..core.priorities import Uniform01Priority
 from ..core.rng import as_generator
+from ..core.sample import Sample
 
 __all__ = ["ExponentialDecaySampler"]
 
@@ -38,7 +45,8 @@ class _DecayEntry:
         return self.log_priority > other.log_priority
 
 
-class ExponentialDecaySampler:
+@register_sampler("time_decay")
+class ExponentialDecaySampler(StreamSampler):
     """Bottom-k sample under exponentially time-decayed weights.
 
     Parameters
@@ -49,6 +57,8 @@ class ExponentialDecaySampler:
         Decay constant lambda; an item's effective weight halves every
         ``ln 2 / lambda`` time units.
     """
+
+    default_estimate_kind = "decayed_total"
 
     def __init__(self, k: int, decay_rate: float, rng=None):
         if k < 1:
@@ -62,8 +72,46 @@ class ExponentialDecaySampler:
         self.items_seen = 0
         self._last_time = -math.inf
 
-    def update(self, time: float, key: object, weight: float = 1.0, value: float | None = None) -> bool:
-        """Offer an item arriving at ``time`` (non-decreasing)."""
+    def update(self, *args, **kwargs) -> bool:
+        """Offer an item arriving at ``time`` (non-decreasing).
+
+        Canonical form: ``update(key, weight=1.0, *, value=None, time=...)``
+        with ``time`` required.  The legacy positional form
+        ``update(time, key, weight, value)`` still works but emits a
+        :class:`DeprecationWarning`.
+        """
+        if "time" in kwargs:
+            time = float(kwargs.pop("time"))
+            value = kwargs.pop("value", None)
+            weight = kwargs.pop("weight", None)
+            params = list(args)
+            key = params.pop(0) if params else kwargs.pop("key")
+            if params:
+                weight = params.pop(0)
+            weight = 1.0 if weight is None else float(weight)
+            if params or kwargs:
+                raise TypeError("too many arguments to update()")
+        else:
+            warnings.warn(
+                "ExponentialDecaySampler.update(time, key, weight, value) "
+                "is deprecated; use update(key, weight, value=..., time=...)",
+                DeprecationWarning,
+                stacklevel=2,
+            )
+            params = list(args)
+            time = float(params.pop(0)) if params else float(kwargs.pop("t"))
+            key = params.pop(0) if params else kwargs.pop("key")
+            weight = (
+                float(params.pop(0)) if params else float(kwargs.pop("weight", 1.0))
+            )
+            value = params.pop(0) if params else kwargs.pop("value", None)
+            if params or kwargs:
+                raise TypeError("too many arguments to update()")
+        return self._update(time, key, weight, value)
+
+    def _update(
+        self, time: float, key: object, weight: float, value: float | None
+    ) -> bool:
         if weight <= 0:
             raise ValueError("weight must be positive")
         if time < self._last_time:
@@ -106,13 +154,15 @@ class ExponentialDecaySampler:
         return math.exp(min(0.0, exponent))
 
     def estimate_decayed_total(
-        self, now: float, predicate: Callable[[object], bool] | None = None
+        self, now: float | None = None, predicate: Callable[[object], bool] | None = None
     ) -> float:
         """HT estimate of ``sum_i w_i exp(-lambda (now - t_i))`` (subset).
 
         The decayed total is the time-discounted count/importance of the
-        stream — e.g. recent-activity scores.
+        stream — e.g. recent-activity scores.  ``now`` defaults to the last
+        arrival time.
         """
+        now = self._last_time if now is None else float(now)
         total = 0.0
         for entry in self._retained():
             if predicate is not None and not predicate(entry.key):
@@ -126,3 +176,52 @@ class ExponentialDecaySampler:
     def keys(self) -> list[object]:
         """Keys of the currently retained sample."""
         return [e.key for e in self._retained()]
+
+    def sample(self) -> Sample:
+        """Retained items with decayed values pre-divided by inclusion.
+
+        Thresholds are +inf (each value already carries its HT weight), so
+        ``sample().ht_total()`` equals ``estimate_decayed_total()`` at the
+        last arrival time.
+        """
+        now = self._last_time
+        entries = self._retained()
+        values = [
+            e.weight
+            * math.exp(-self.decay_rate * max(0.0, now - e.time))
+            / self.inclusion_probability(e)
+            for e in entries
+        ]
+        return Sample(
+            keys=[e.key for e in entries],
+            values=np.asarray(values, dtype=float),
+            weights=np.array([e.weight for e in entries], dtype=float),
+            priorities=np.array([e.log_priority for e in entries], dtype=float),
+            thresholds=np.full(len(entries), np.inf),
+            family=Uniform01Priority(),
+            population_size=self.items_seen,
+        )
+
+    # ------------------------------------------------------------------
+    # Serialization
+    # ------------------------------------------------------------------
+    def _config(self) -> dict:
+        return {"k": self.k, "decay_rate": self.decay_rate}
+
+    def _get_state(self) -> dict:
+        return {
+            "entries": [
+                (e.log_priority, e.key, e.weight, e.time, e.value)
+                for e in self._heap
+            ],
+            "items_seen": self.items_seen,
+            "last_time": self._last_time,
+            "rng": rng_to_state(self.rng),
+        }
+
+    def _set_state(self, state: dict) -> None:
+        self._heap = [_DecayEntry(*row) for row in state["entries"]]
+        heapq.heapify(self._heap)
+        self.items_seen = int(state["items_seen"])
+        self._last_time = float(state["last_time"])
+        self.rng = rng_from_state(state["rng"])

@@ -30,9 +30,15 @@ FrequentItems in Figure 3 (``repro.experiments.figure3``).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, Iterable
+from typing import Callable
 
+import numpy as np
+
+from ..api import StreamSampler, register_sampler
+from ..api.protocol import rng_from_state, rng_to_state
+from ..core.priorities import Uniform01Priority
 from ..core.rng import as_generator
+from ..core.sample import Sample
 
 __all__ = ["AdaptiveTopKSampler", "TopKEntry"]
 
@@ -51,7 +57,8 @@ class TopKEntry:
         return 1.0 / self.threshold + self.count
 
 
-class AdaptiveTopKSampler:
+@register_sampler("top_k")
+class AdaptiveTopKSampler(StreamSampler):
     """Variable-size sampler that learns to keep only the top-k items.
 
     Parameters
@@ -63,6 +70,9 @@ class AdaptiveTopKSampler:
         keys (recomputation is also triggered every 4096 plain updates so
         long frequent-only streams stay tight).  1 recomputes eagerly.
     """
+
+    default_estimate_kind = "count"
+    legacy_estimate_param = "key"
 
     def __init__(self, k: int, recompute_every: int = 8, rng=None):
         if k < 1:
@@ -80,8 +90,11 @@ class AdaptiveTopKSampler:
     # ------------------------------------------------------------------
     # Stream interface
     # ------------------------------------------------------------------
-    def update(self, key: object) -> None:
-        """Process one occurrence of ``key``."""
+    def update(
+        self, key: object, weight: float = 1.0, *, value=None, time=None
+    ) -> None:
+        """Process one occurrence of ``key`` (weights are ignored: the
+        sampler counts occurrences, Section 3.3's unweighted setting)."""
         self.items_seen += 1
         self._updates_since_recompute += 1
         entry = self.table.get(key)
@@ -98,11 +111,6 @@ class AdaptiveTopKSampler:
             or self._updates_since_recompute >= 4096
         ):
             self.recompute_threshold()
-
-    def extend(self, keys: Iterable[object]) -> None:
-        """Bulk :meth:`update`."""
-        for key in keys:
-            self.update(key)
 
     # ------------------------------------------------------------------
     # The adaptive threshold
@@ -191,3 +199,55 @@ class AdaptiveTopKSampler:
         return [
             key for key, entry in self.table.items() if entry.estimate > boundary
         ]
+
+    def sample(self) -> Sample:
+        """The retained keys with their unbiased count estimates as values.
+
+        Thresholds are +inf (each value is already an unbiased per-key
+        estimate), so ``sample().ht_total()`` is the estimated total stream
+        length restricted to retained keys.
+        """
+        keys = list(self.table)
+        return Sample(
+            keys=keys,
+            values=np.array([self.table[k].estimate for k in keys], dtype=float),
+            weights=np.ones(len(keys)),
+            priorities=np.array(
+                [self.table[k].priority for k in keys], dtype=float
+            ),
+            thresholds=np.full(len(keys), np.inf),
+            family=Uniform01Priority(),
+            population_size=self.items_seen,
+        )
+
+    # ------------------------------------------------------------------
+    # Serialization
+    # ------------------------------------------------------------------
+    def _config(self) -> dict:
+        return {"k": self.k, "recompute_every": self.recompute_every}
+
+    def _get_state(self) -> dict:
+        return {
+            "table": [
+                (key, e.priority, e.threshold, e.count)
+                for key, e in self.table.items()
+            ],
+            "threshold": self.threshold,
+            "items_seen": self.items_seen,
+            "inserts_since_recompute": self._inserts_since_recompute,
+            "updates_since_recompute": self._updates_since_recompute,
+            "max_table_size": self.max_table_size,
+            "rng": rng_to_state(self.rng),
+        }
+
+    def _set_state(self, state: dict) -> None:
+        self.table = {
+            key: TopKEntry(priority=p, threshold=t, count=c)
+            for key, p, t, c in state["table"]
+        }
+        self.threshold = float(state["threshold"])
+        self.items_seen = int(state["items_seen"])
+        self._inserts_since_recompute = int(state["inserts_since_recompute"])
+        self._updates_since_recompute = int(state["updates_since_recompute"])
+        self.max_table_size = int(state["max_table_size"])
+        self.rng = rng_from_state(state["rng"])

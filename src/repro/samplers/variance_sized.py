@@ -40,6 +40,13 @@ import bisect
 
 import numpy as np
 
+from ..api import StreamSampler, register_sampler
+from ..api.protocol import (
+    family_from_name,
+    family_to_name,
+    rng_from_state,
+    rng_to_state,
+)
 from ..core.hashing import hash_to_unit
 from ..core.priorities import InverseWeightPriority, PriorityFamily
 from ..core.rng import as_generator
@@ -172,7 +179,8 @@ def solve_first_crossing(
     return float("inf")
 
 
-class VarianceTargetSampler:
+@register_sampler("variance_target")
+class VarianceTargetSampler(StreamSampler):
     """Streaming sampler that stops sampling once the variance target holds.
 
     Parameters
@@ -206,6 +214,7 @@ class VarianceTargetSampler:
         self.delta = float(delta)
         self.horizon = None if horizon is None else int(horizon)
         self.oversample = float(oversample)
+        family = family_from_name(family)
         self.family = family if family is not None else InverseWeightPriority()
         self.coordinated = bool(coordinated)
         self.salt = int(salt)
@@ -223,7 +232,9 @@ class VarianceTargetSampler:
             u = float(self.rng.random())
         return float(self.family.inverse_cdf(u, weight))
 
-    def update(self, key: object, weight: float = 1.0, value: float | None = None) -> bool:
+    def update(
+        self, key: object, weight: float = 1.0, *, value=None, time=None
+    ) -> bool:
         """Offer one item; returns True if retained (possibly provisionally)."""
         r = self._priority(key, weight)
         return self.offer_with_priority(key, r, weight, value)
@@ -316,3 +327,45 @@ class VarianceTargetSampler:
             population_size=self.items_seen,
         )
         return sample, sound
+
+    def sample(self) -> Sample:
+        """The finalized sample (see :meth:`finalize` for the soundness flag)."""
+        return self.finalize()[0]
+
+    def estimate_total(self, predicate=None) -> float:
+        """HT estimate of the (subset) sum of item values."""
+        sample = self.sample()
+        if predicate is not None:
+            sample = sample.select(predicate)
+        return sample.ht_total()
+
+    # ------------------------------------------------------------------
+    # Serialization
+    # ------------------------------------------------------------------
+    def _config(self) -> dict:
+        return {
+            "delta": self.delta,
+            "horizon": self.horizon,
+            "oversample": self.oversample,
+            "family": family_to_name(self.family),
+            "coordinated": self.coordinated,
+            "salt": self.salt,
+        }
+
+    def _get_state(self) -> dict:
+        return {
+            "priorities": list(self._priorities),
+            "records": [list(rec) for rec in self._records],
+            "cap": self._cap,
+            "cap_ever_bound": self._cap_ever_bound,
+            "items_seen": self.items_seen,
+            "rng": rng_to_state(self.rng),
+        }
+
+    def _set_state(self, state: dict) -> None:
+        self._priorities = list(state["priorities"])
+        self._records = [tuple(rec) for rec in state["records"]]
+        self._cap = float(state["cap"])
+        self._cap_ever_bound = bool(state["cap_ever_bound"])
+        self.items_seen = int(state["items_seen"])
+        self.rng = rng_from_state(state["rng"])

@@ -19,12 +19,17 @@ from typing import Callable
 
 import numpy as np
 
+from ..api import StreamSampler, register_sampler
+from ..api.protocol import rng_from_state, rng_to_state
+from ..core.priorities import Uniform01Priority
 from ..core.rng import as_generator
+from ..core.sample import Sample
 
 __all__ = ["VarOptSampler"]
 
 
-class VarOptSampler:
+@register_sampler("varopt")
+class VarOptSampler(StreamSampler):
     """Fixed-size variance-optimal weighted sampler."""
 
     def __init__(self, k: int, rng=None):
@@ -37,7 +42,9 @@ class VarOptSampler:
         self.threshold = 0.0  # largest tau used so far
         self.items_seen = 0
 
-    def update(self, key: object, weight: float) -> None:
+    def update(
+        self, key: object, weight: float = 1.0, *, value=None, time=None
+    ) -> None:
         """Offer one weighted item."""
         if weight <= 0:
             raise ValueError("weight must be positive")
@@ -94,3 +101,42 @@ class VarOptSampler:
     def items(self) -> list[tuple[object, float]]:
         """The retained (key, adjusted_weight) pairs."""
         return list(zip(self._keys, self._weights))
+
+    def sample(self) -> Sample:
+        """Retained keys with adjusted weights as values.
+
+        Thresholds are +inf (adjusted weights already carry the HT
+        correction), so ``sample().ht_total()`` equals
+        :meth:`estimate_total`.
+        """
+        return Sample(
+            keys=list(self._keys),
+            values=np.asarray(self._weights, dtype=float),
+            weights=np.asarray(self._weights, dtype=float),
+            priorities=np.zeros(len(self._keys)),
+            thresholds=np.full(len(self._keys), np.inf),
+            family=Uniform01Priority(),
+            population_size=self.items_seen,
+        )
+
+    # ------------------------------------------------------------------
+    # Serialization
+    # ------------------------------------------------------------------
+    def _config(self) -> dict:
+        return {"k": self.k}
+
+    def _get_state(self) -> dict:
+        return {
+            "keys": list(self._keys),
+            "weights": list(self._weights),
+            "threshold": self.threshold,
+            "items_seen": self.items_seen,
+            "rng": rng_to_state(self.rng),
+        }
+
+    def _set_state(self, state: dict) -> None:
+        self._keys = list(state["keys"])
+        self._weights = list(state["weights"])
+        self.threshold = float(state["threshold"])
+        self.items_seen = int(state["items_seen"])
+        self.rng = rng_from_state(state["rng"])

@@ -1,0 +1,330 @@
+"""Shared contract test for every registered sampler.
+
+One parametrized suite exercises the :class:`repro.api.StreamSampler`
+protocol across the whole registry:
+
+* construction through ``make_sampler(name, **params)``;
+* ``update`` vs ``update_many`` equivalence (same seed => same sample);
+* merge semantics: in-place ``merge`` returns self, ``|`` is pure, and
+  merging is associative-in-distribution on disjoint streams;
+* ``to_state`` / ``from_state`` round-trips, including resuming a stream
+  from a checkpoint with bit-identical results.
+
+Each sampler declares its capabilities in a :class:`Case` row — e.g. the
+offline CPS design supports construction and serialization only.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+import numpy as np
+import pytest
+
+import repro
+from repro.api import StreamSampler, available_samplers, make_sampler, merged
+
+N = 400
+
+
+def _keys(start: int = 0, n: int = N) -> np.ndarray:
+    return np.arange(start, start + n)
+
+
+def _weights(n: int = N, seed: int = 5) -> np.ndarray:
+    return np.random.default_rng(seed).lognormal(0.0, 0.6, n)
+
+
+@dataclass
+class Case:
+    """Contract-test configuration for one registered sampler."""
+
+    name: str
+    params: dict
+    #: feed(sampler, keys, weights) — scalar update loop.
+    feed: Callable
+    #: feed_many(sampler, keys, weights) — one update_many call.
+    feed_many: Callable | None = None
+    streaming: bool = True
+    supports_merge: bool = False
+    #: update_many must reproduce the scalar loop exactly (same seed).
+    batch_equivalent: bool = True
+    #: the sampler is deterministic under a fixed seed
+    deterministic: bool = True
+    #: resuming from a checkpoint is bit-identical to an uninterrupted run
+    #: (False only for the space-saving heaps, whose internal tie-break
+    #: counters restart after deserialization)
+    resume_identical: bool = True
+
+
+def _plain_feed(sampler, keys, weights):
+    for key, w in zip(keys, weights):
+        sampler.update(int(key), float(w))
+
+
+def _plain_feed_many(sampler, keys, weights):
+    sampler.update_many(keys, weights)
+
+
+def _unweighted_feed(sampler, keys, weights):
+    for key in keys:
+        sampler.update(int(key))
+
+
+def _unweighted_feed_many(sampler, keys, weights):
+    sampler.update_many(keys)
+
+
+def _timed_feed(sampler, keys, weights):
+    # Arrival time derives from the key so checkpoint-resume feeds continue
+    # the clock instead of restarting it.
+    for key, w in zip(keys, weights):
+        sampler.update(int(key), float(w), time=int(key) * 0.01)
+
+
+def _timed_feed_many(sampler, keys, weights):
+    sampler.update_many(keys, weights, times=np.asarray(keys) * 0.01)
+
+
+def _window_feed(sampler, keys, weights):
+    for key in keys:
+        sampler.update(int(key), time=int(key) * 0.01)
+
+
+def _window_feed_many(sampler, keys, weights):
+    sampler.update_many(keys, times=np.asarray(keys) * 0.01)
+
+
+def _budget_feed(sampler, keys, weights):
+    for key, w in zip(keys, weights):
+        sampler.update(int(key), float(w), size=1.0)
+
+
+def _budget_feed_many(sampler, keys, weights):
+    sampler.update_many(keys, weights, sizes=np.ones(len(keys)))
+
+
+def _grouped_feed(sampler, keys, weights):
+    for key in keys:
+        sampler.update(int(key), group=f"g{int(key) % 7}")
+
+
+def _grouped_feed_many(sampler, keys, weights):
+    sampler.update_many(keys, groups=[f"g{int(k) % 7}" for k in keys])
+
+
+def _stratified_feed(sampler, keys, weights):
+    for key in keys:
+        sampler.update(int(key), strata=(int(key) % 3, int(key) % 5))
+
+
+def _stratified_feed_many(sampler, keys, weights):
+    sampler.update_many(
+        keys, strata=[(int(k) % 3, int(k) % 5) for k in keys]
+    )
+
+
+def _multi_objective_feed(sampler, keys, weights):
+    for key, w in zip(keys, weights):
+        sampler.update(int(key), weights={"a": float(w), "b": 1.0 + float(w)})
+
+
+def _multi_objective_feed_many(sampler, keys, weights):
+    weights = np.asarray(weights, dtype=float)
+    sampler.update_many(keys, weights={"a": weights, "b": 1.0 + weights})
+
+
+CASES = [
+    Case("bottom_k", {"k": 32}, _plain_feed, _plain_feed_many,
+         supports_merge=True),
+    Case("bottom_k", {"k": 32, "coordinated": True, "salt": 3}, _plain_feed,
+         _plain_feed_many, supports_merge=True),
+    Case("poisson", {"threshold": 0.25}, _plain_feed, _plain_feed_many,
+         supports_merge=True),
+    Case("budget", {"budget": 48.0}, _budget_feed, _budget_feed_many),
+    Case("sliding_window", {"k": 16, "window": 1.0}, _window_feed,
+         _window_feed_many),
+    Case("top_k", {"k": 8}, _unweighted_feed, _unweighted_feed_many),
+    Case("weighted_distinct", {"k": 32, "salt": 1}, _plain_feed,
+         _plain_feed_many, supports_merge=True),
+    Case("adaptive_distinct", {"k": 32, "salt": 1}, _unweighted_feed,
+         _unweighted_feed_many, supports_merge=True),
+    Case("grouped_distinct", {"m": 4, "k": 8, "salt": 2}, _grouped_feed,
+         _grouped_feed_many),
+    Case("multi_stratified", {"n_dims": 2, "k": 8, "salt": 2},
+         _stratified_feed, _stratified_feed_many),
+    Case("multi_objective", {"k": 16, "objectives": ("a", "b"), "salt": 4},
+         _multi_objective_feed, _multi_objective_feed_many),
+    Case("variance_target", {"delta": 4.0}, _plain_feed, _plain_feed_many),
+    Case("time_decay", {"k": 16, "decay_rate": 0.05}, _timed_feed,
+         _timed_feed_many),
+    Case("varopt", {"k": 16}, _plain_feed, _plain_feed_many,
+         batch_equivalent=True),
+    Case("kmv", {"k": 32, "salt": 1}, _unweighted_feed,
+         _unweighted_feed_many, supports_merge=True),
+    Case("theta", {"k": 32, "salt": 1}, _unweighted_feed,
+         _unweighted_feed_many, supports_merge=True),
+    Case("frequent_items", {"max_map_size": 64}, _unweighted_feed,
+         _unweighted_feed_many),
+    Case("space_saving", {"capacity": 32}, _unweighted_feed,
+         _unweighted_feed_many, resume_identical=False),
+    Case("unbiased_space_saving", {"capacity": 32}, _unweighted_feed,
+         _unweighted_feed_many, resume_identical=False),
+]
+
+#: Registered but non-streaming constructs: factory + state round-trip only.
+OFFLINE_CASES = [
+    ("cps", {"working_probs": [0.3] * 12, "k": 4}),
+    ("priority_layout", {"values": [1.0, 2.5, 4.0, 8.0, 1.5] * 20}),
+    ("multi_objective_layout",
+     {"metrics": {"a": list(range(1, 51))}, "k": 8}),
+]
+
+IDS = [f"{c.name}[{i}]" for i, c in enumerate(CASES)]
+
+
+def _build(case: Case) -> StreamSampler:
+    return make_sampler(case.name, **case.params)
+
+
+def _sample_signature(sampler) -> tuple:
+    """Canonical, order-independent view of a sampler's current sample."""
+    sample = sampler.sample()
+    rows = sorted(
+        (
+            repr(key),
+            round(float(v), 9),
+            round(float(w), 9),
+            round(float(p), 12),
+            round(float(t), 12) if np.isfinite(t) else "inf",
+        )
+        for key, v, w, p, t in zip(
+            sample.keys,
+            sample.values,
+            sample.weights,
+            sample.priorities,
+            sample.thresholds,
+        )
+    )
+    return tuple(rows)
+
+
+class TestRegistryCoverage:
+    def test_every_registered_sampler_has_a_case(self):
+        covered = {c.name for c in CASES} | {name for name, _ in OFFLINE_CASES}
+        assert covered == set(available_samplers())
+
+    def test_make_sampler_unknown_name(self):
+        with pytest.raises(ValueError, match="unknown sampler"):
+            make_sampler("definitely_not_registered")
+
+    @pytest.mark.parametrize("name,params", OFFLINE_CASES)
+    def test_offline_constructs_round_trip(self, name, params):
+        obj = make_sampler(name, **params)
+        state = obj.to_state()
+        assert state["sampler"] == name
+        revived = repro.sampler_from_state(state)
+        assert type(revived) is type(obj)
+
+    def test_sampler_spec_builds(self):
+        spec = repro.SamplerSpec("bottom_k", {"k": 16})
+        sampler = spec.build()
+        assert type(sampler).__name__ == "BottomKSampler"
+        assert repro.SamplerSpec.from_dict(spec.as_dict()) == spec
+
+
+@pytest.mark.parametrize("case", CASES, ids=IDS)
+class TestStreamingContract:
+    def test_constructible_and_streams(self, case):
+        sampler = _build(case)
+        assert isinstance(sampler, StreamSampler)
+        assert sampler.sampler_name == case.name
+        case.feed(sampler, _keys(), _weights())
+        assert len(sampler.sample()) > 0
+
+    def test_update_many_matches_scalar_loop(self, case):
+        scalar = _build(case)
+        batch = _build(case)
+        keys, weights = _keys(), _weights()
+        case.feed(scalar, keys, weights)
+        case.feed_many(batch, keys, weights)
+        if case.batch_equivalent and case.deterministic:
+            assert _sample_signature(scalar) == _sample_signature(batch)
+        else:
+            # Randomized eviction orders may differ; sizes must agree.
+            assert len(batch.sample()) == len(scalar.sample())
+
+    def test_state_round_trip_preserves_sample(self, case):
+        sampler = _build(case)
+        case.feed(sampler, _keys(), _weights())
+        state = sampler.to_state()
+        assert state["sampler"] == case.name
+        revived = type(sampler).from_state(state)
+        assert _sample_signature(revived) == _sample_signature(sampler)
+        polymorphic = repro.sampler_from_state(state)
+        assert _sample_signature(polymorphic) == _sample_signature(sampler)
+
+    def test_checkpoint_resume_is_bit_identical(self, case):
+        if not (case.deterministic and case.resume_identical):
+            pytest.skip("resume is not bit-identical for this sampler")
+        half = N // 2
+        keys, weights = _keys(), _weights()
+        straight = _build(case)
+        case.feed(straight, keys, weights)
+        resumed = _build(case)
+        case.feed(resumed, keys[:half], weights[:half])
+        resumed = type(resumed).from_state(resumed.to_state())
+        case.feed(resumed, keys[half:], weights[half:])
+        assert _sample_signature(resumed) == _sample_signature(straight)
+
+    def test_merge_in_place_and_pure(self, case):
+        if not case.supports_merge:
+            pytest.skip("sampler does not support merging")
+        a = _build(case)
+        b = _build(case)
+        case.feed(a, _keys(0), _weights(seed=7))
+        case.feed(b, _keys(N), _weights(seed=8))
+        before = _sample_signature(a)
+        pure = a | b
+        assert _sample_signature(a) == before, "| must not mutate its inputs"
+        in_place = a.merge(b)
+        assert in_place is a, "merge() must return self"
+        assert _sample_signature(pure) == _sample_signature(a)
+
+    def test_merge_associative_on_disjoint_streams(self, case):
+        if not case.supports_merge:
+            pytest.skip("sampler does not support merging")
+        parts = []
+        for i in range(3):
+            s = _build(case)
+            case.feed(s, _keys(i * N), _weights(seed=10 + i))
+            parts.append(s)
+        a, b, c = parts
+        left = merged(merged(a, b), c)
+        right = merged(a, merged(b, c))
+        assert _sample_signature(left) == _sample_signature(right)
+
+    def test_estimate_facade_dispatches(self, case):
+        sampler = _build(case)
+        case.feed(sampler, _keys(), _weights())
+        kinds = sampler.estimate_kinds()
+        assert kinds, "every sampler exposes at least one estimator kind"
+        assert sampler.default_estimate_kind in kinds
+        if case.name in ("top_k", "frequent_items", "space_saving",
+                         "unbiased_space_saving"):
+            value = sampler.estimate("count", key=int(_keys()[0]))
+        elif case.name == "grouped_distinct":
+            value = sampler.estimate("distinct", group="g0")
+        elif case.name == "multi_objective":
+            value = sampler.estimate("total", objective="a")
+        else:
+            value = sampler.estimate()
+        assert np.isfinite(float(value))
+        if sampler.legacy_estimate_param is None:
+            with pytest.raises(ValueError):
+                sampler.estimate("no_such_kind_registered")
+        else:
+            # Unknown kinds route to the legacy positional-key path.
+            with pytest.deprecated_call():
+                sampler.estimate("no_such_kind_registered")

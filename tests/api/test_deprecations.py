@@ -1,0 +1,115 @@
+"""Old public entry points keep working, each behind a DeprecationWarning."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import (
+    AdaptiveDistinctSketch,
+    BottomKSampler,
+    ExponentialDecaySampler,
+    FrequentItemsSketch,
+    GroupedDistinctSketch,
+    MultiObjectiveSampler,
+    MultiStratifiedSampler,
+    SlidingWindowSampler,
+    SpaceSavingSketch,
+)
+
+
+class TestExtendShim:
+    def test_extend_is_update_many(self):
+        a = BottomKSampler(8, rng=0)
+        b = BottomKSampler(8, rng=0)
+        with pytest.deprecated_call():
+            a.extend(range(50), np.ones(50))
+        b.update_many(range(50), np.ones(50))
+        assert sorted(a.sample().keys) == sorted(b.sample().keys)
+
+    def test_extend_warns_on_sketches(self):
+        s = AdaptiveDistinctSketch(8)
+        with pytest.deprecated_call():
+            s.extend(range(20))
+        assert 0 < len(s) <= 9  # bottom-(k+1) retained
+
+
+class TestMergeShims:
+    def test_merge_in_place_alias_warns(self):
+        a = AdaptiveDistinctSketch(8, salt=0)
+        a.update_many(range(50))
+        b = AdaptiveDistinctSketch(8, salt=0)
+        b.update_many(range(25, 75))
+        expected = (a | b).estimate_distinct()
+        with pytest.deprecated_call():
+            a.merge_in_place(b)
+        assert a.estimate_distinct() == pytest.approx(expected)
+
+
+class TestLegacyUpdateSignatures:
+    def test_sliding_window_time_first(self):
+        legacy = SlidingWindowSampler(k=8, window=1.0, rng=0)
+        modern = SlidingWindowSampler(k=8, window=1.0, rng=0)
+        for i in range(50):
+            modern.update(i, time=i * 0.01)
+        with pytest.deprecated_call():
+            for i in range(50):
+                legacy.update(i * 0.01, key=i)
+        assert sorted(legacy.sample().keys) == sorted(modern.sample().keys)
+
+    def test_time_decay_time_first(self):
+        legacy = ExponentialDecaySampler(8, 0.1, rng=0)
+        modern = ExponentialDecaySampler(8, 0.1, rng=0)
+        for i in range(50):
+            modern.update(i, weight=2.0, time=float(i))
+        with pytest.deprecated_call():
+            for i in range(50):
+                legacy.update(float(i), i, 2.0)
+        assert sorted(legacy.keys()) == sorted(modern.keys())
+
+    def test_grouped_distinct_group_first(self):
+        legacy = GroupedDistinctSketch(m=2, k=4)
+        modern = GroupedDistinctSketch(m=2, k=4)
+        modern.update("user1", group="g")
+        with pytest.deprecated_call():
+            legacy.update("g", "user1")
+        assert legacy.estimate_distinct("g") == modern.estimate_distinct("g")
+
+    def test_stratified_positional_strata(self):
+        legacy = MultiStratifiedSampler(n_dims=1, k=4, salt=0)
+        modern = MultiStratifiedSampler(n_dims=1, k=4, salt=0)
+        modern.update(1, strata=("s",), value=2.0)
+        with pytest.deprecated_call():
+            legacy.update(1, ("s",), value=2.0)
+        assert legacy.sample().keys == modern.sample().keys
+
+    def test_multi_objective_positional_weights(self):
+        legacy = MultiObjectiveSampler(4, ["a"], salt=0)
+        modern = MultiObjectiveSampler(4, ["a"], salt=0)
+        modern.update("x", weights={"a": 2.0})
+        with pytest.deprecated_call():
+            legacy.update("x", {"a": 2.0})
+        assert legacy.union_keys() == modern.union_keys()
+
+
+class TestLegacyEstimateCalls:
+    def test_counter_sketch_estimate_key(self):
+        s = FrequentItemsSketch(16)
+        for _ in range(5):
+            s.update("hot")
+        assert s.estimate_count("hot") == 5
+        with pytest.deprecated_call():
+            assert s.estimate("hot") == 5
+
+    def test_space_saving_estimate_key(self):
+        s = SpaceSavingSketch(16)
+        for _ in range(3):
+            s.update("x")
+        with pytest.deprecated_call():
+            assert s.estimate("x") == 3
+
+    def test_grouped_estimate_group(self):
+        s = GroupedDistinctSketch(m=2, k=4)
+        s.update("u", group="g")
+        with pytest.deprecated_call():
+            assert s.estimate("g") == s.estimate_distinct("g")

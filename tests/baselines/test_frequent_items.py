@@ -14,7 +14,7 @@ class TestMechanics:
             for _ in range(i + 1):
                 s.update(i)
         for i in range(10):
-            assert s.estimate(i) == i + 1
+            assert s.estimate_count(i) == i + 1
             assert s.lower_bound(i) == i + 1
         assert s.maximum_error == 0
 
@@ -30,7 +30,7 @@ class TestMechanics:
     def test_untracked_estimate_zero(self):
         s = FrequentItemsSketch(16)
         s.update("a")
-        assert s.estimate("zzz") == 0
+        assert s.estimate_count("zzz") == 0
 
     def test_update_validation(self):
         with pytest.raises(ValueError):
@@ -42,7 +42,7 @@ class TestMechanics:
         s = FrequentItemsSketch(32)
         s.update("a", count=10)
         s.update("a", count=5)
-        assert s.estimate("a") == 15
+        assert s.estimate_count("a") == 15
 
 
 class TestGuarantees:
@@ -62,7 +62,7 @@ class TestGuarantees:
         for item in stream.tolist():
             s.update(item)
         for key in list(s.counts)[:50]:
-            assert s.lower_bound(key) <= truth[key] <= s.estimate(key)
+            assert s.lower_bound(key) <= truth[key] <= s.estimate_count(key)
 
     def test_top_heavy_hitters_found(self):
         stream = zipf_stream(50_000, 1000, 1.5, rng=2)

@@ -9,7 +9,7 @@ from repro.baselines.space_saving import (
 )
 from repro.workloads.zipf import zipf_stream
 
-from ..conftest import assert_within_se
+from tests.helpers import assert_within_se
 
 
 class TestSpaceSaving:
@@ -47,7 +47,7 @@ class TestSpaceSaving:
         s = SpaceSavingSketch(100)
         for _ in range(7):
             s.update("x")
-        assert s.estimate("x") == 7
+        assert s.estimate_count("x") == 7
         assert s.guaranteed("x") == 7
 
     def test_heavy_hitters_recovered(self):

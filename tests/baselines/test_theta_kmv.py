@@ -7,20 +7,20 @@ from repro.baselines.kmv import KMVSketch, kmv_union
 from repro.baselines.theta import ThetaSketch, theta_union
 from repro.core.hashing import hash_array_to_unit
 
-from ..conftest import assert_within_se
+from tests.helpers import assert_within_se
 
 
 class TestThetaSketch:
     def test_exact_while_underfull(self):
         s = ThetaSketch(100, salt=0)
-        s.extend(range(40))
+        s.update_many(range(40))
         assert s.estimate() == pytest.approx(40.0)
         assert s.theta == 1.0
 
     def test_duplicates_idempotent(self):
         s = ThetaSketch(10, salt=0)
         for _ in range(3):
-            s.extend(range(5))
+            s.update_many(range(5))
         assert s.estimate() == pytest.approx(5.0)
 
     def test_estimate_unbiased(self):
@@ -28,15 +28,15 @@ class TestThetaSketch:
         estimates = []
         for salt in range(300):
             s = ThetaSketch(k, salt=salt)
-            s.extend(range(n))
+            s.update_many(range(n))
             estimates.append(s.estimate())
         assert_within_se(estimates, float(n))
 
     def test_union_min_theta(self):
         a = ThetaSketch(20, salt=1)
-        a.extend(range(1000))
+        a.update_many(range(1000))
         b = ThetaSketch(20, salt=1)
-        b.extend(range(500, 2500))
+        b.update_many(range(500, 2500))
         u = a.union(b)
         assert u.theta <= min(a.theta, b.theta)
         assert len(u) <= 21
@@ -46,9 +46,9 @@ class TestThetaSketch:
         estimates = []
         for salt in range(200):
             a = ThetaSketch(64, salt=salt)
-            a.extend(range(1000))
+            a.update_many(range(1000))
             b = ThetaSketch(64, salt=salt)
-            b.extend(range(500, 2500))  # union = 0..2499 plus 2500..?  n=2500
+            b.update_many(range(500, 2500))  # union = 0..2499 plus 2500..?  n=2500
             estimates.append(a.union(b).estimate())
         assert np.mean(estimates) == pytest.approx(2500.0, rel=0.05)
 
@@ -60,14 +60,14 @@ class TestThetaSketch:
         sketches = []
         for block in range(3):
             s = ThetaSketch(32, salt=2)
-            s.extend(range(block * 300, (block + 1) * 300))
+            s.update_many(range(block * 300, (block + 1) * 300))
             sketches.append(s)
         assert theta_union(sketches).estimate() == pytest.approx(900, rel=0.4)
 
     def test_from_hashes_matches_streaming(self):
         n, k, salt = 500, 40, 7
         streamed = ThetaSketch(k, salt=salt)
-        streamed.extend(range(n))
+        streamed.update_many(range(n))
         built = ThetaSketch.from_hashes(
             hash_array_to_unit(np.arange(n), salt), k, salt
         )
@@ -78,7 +78,7 @@ class TestThetaSketch:
 class TestKMVSketch:
     def test_exact_while_underfull(self):
         s = KMVSketch(50, salt=0)
-        s.extend(range(20))
+        s.update_many(range(20))
         assert s.is_exact
         assert s.estimate() == 20.0
 
@@ -87,27 +87,27 @@ class TestKMVSketch:
         estimates = []
         for salt in range(300):
             s = KMVSketch(k, salt=salt)
-            s.extend(range(n))
+            s.update_many(range(n))
             estimates.append(s.estimate())
         assert_within_se(estimates, float(n))
 
     def test_union_equals_union_stream(self):
         k, salt = 30, 3
         a = KMVSketch(k, salt=salt)
-        a.extend(range(400))
+        a.update_many(range(400))
         b = KMVSketch(k, salt=salt)
-        b.extend(range(200, 900))
+        b.update_many(range(200, 900))
         direct = KMVSketch(k, salt=salt)
-        direct.extend(range(900))
+        direct.update_many(range(900))
         u = a.union(b)
         assert u.estimate() == pytest.approx(direct.estimate())
         assert u.kth_minimum == pytest.approx(direct.kth_minimum)
 
     def test_union_of_exact_sketches(self):
         a = KMVSketch(50, salt=4)
-        a.extend(range(10))
+        a.update_many(range(10))
         b = KMVSketch(50, salt=4)
-        b.extend(range(5, 20))
+        b.update_many(range(5, 20))
         u = a.union(b)
         assert u.estimate() == pytest.approx(20.0)
 
@@ -115,7 +115,7 @@ class TestKMVSketch:
         parts = []
         for block in range(4):
             s = KMVSketch(40, salt=5)
-            s.extend(range(block * 200, (block + 1) * 200))
+            s.update_many(range(block * 200, (block + 1) * 200))
             parts.append(s)
         assert kmv_union(parts).estimate() == pytest.approx(800, rel=0.4)
 
@@ -126,9 +126,56 @@ class TestKMVSketch:
     def test_from_hashes_matches_streaming(self):
         n, k, salt = 600, 40, 9
         streamed = KMVSketch(k, salt=salt)
-        streamed.extend(range(n))
+        streamed.update_many(range(n))
         built = KMVSketch.from_hashes(
             hash_array_to_unit(np.arange(n), salt), k, salt
         )
         assert built.estimate() == pytest.approx(streamed.estimate())
         assert built.is_exact == streamed.is_exact
+
+
+class TestMixedSizeMerges:
+    def test_kmv_mixed_k_merge_uses_min_saturated_k(self):
+        # Regression: a saturated k=4 sketch merged with a larger exact
+        # sketch must not be declared exact (it once returned ~6 for a
+        # 102-key union) and must keep the small sketch's nominal size.
+        a = KMVSketch(4, salt=0)
+        for i in range(100):
+            a.update(i)
+        b = KMVSketch(16, salt=0)
+        b.update(1000)
+        b.update(1001)
+        a.merge(b)
+        assert not a.is_exact
+        assert a.k == 4
+        assert a.estimate() > 40.0
+
+    def test_kmv_merge_symmetric_in_k(self):
+        def build(k, lo, hi):
+            s = KMVSketch(k, salt=3)
+            for i in range(lo, hi):
+                s.update(i)
+            return s
+
+        left = build(4, 0, 100).merge(build(16, 1000, 1002))
+        right = build(16, 1000, 1002).merge(build(4, 0, 100))
+        assert left.estimate() == pytest.approx(right.estimate())
+
+    def test_kmv_merge_of_exact_sketches_stays_exact(self):
+        a = KMVSketch(8, salt=0)
+        b = KMVSketch(16, salt=0)
+        for i in range(3):
+            a.update(i)
+        for i in range(10, 14):
+            b.update(i)
+        assert a.merge(b).estimate() == 7.0
+
+    def test_theta_mixed_k_merge_estimate_sane(self):
+        a = ThetaSketch(8, salt=0)
+        for i in range(500):
+            a.update(i)
+        b = ThetaSketch(64, salt=0)
+        for i in range(1000, 1003):
+            b.update(i)
+        merged = a | b
+        assert merged.estimate() == pytest.approx(503, rel=0.8)

@@ -1,22 +1,21 @@
-"""Shared fixtures and helpers for the test suite.
+"""Shared fixtures for the test suite.
 
-The statistical tests follow two patterns:
-
-* **Exact enumeration** — under a fixed threshold the inclusion pattern is
-  a product of independent Bernoullis, so expectations over all ``2^n``
-  patterns are computed exactly (tolerance ~1e-9).
-* **Monte Carlo** — adaptive thresholds require simulation; tests use fixed
-  seeds and tolerances sized to several standard errors so they are
-  deterministic and non-flaky.
+The statistical helper functions live in :mod:`tests.helpers` (import them
+with ``from tests.helpers import assert_within_se``); they are re-exported
+here for backward compatibility with older test modules.
 """
 
 from __future__ import annotations
 
-import itertools
-from typing import Callable, Iterator
-
 import numpy as np
 import pytest
+
+from tests.helpers import (  # noqa: F401  (re-exported for compatibility)
+    assert_within_se,
+    enumerate_poisson,
+    exact_expectation,
+    monte_carlo_mean_se,
+)
 
 
 @pytest.fixture
@@ -25,37 +24,7 @@ def rng() -> np.random.Generator:
     return np.random.default_rng(12345)
 
 
-def enumerate_poisson(
-    probs: np.ndarray,
-) -> Iterator[tuple[np.ndarray, float]]:
-    """Yield every inclusion mask of a Poisson design with its probability."""
-    probs = np.asarray(probs, dtype=float)
-    n = probs.size
-    for bits in itertools.product((0, 1), repeat=n):
-        mask = np.asarray(bits, dtype=bool)
-        p = float(np.prod(np.where(mask, probs, 1.0 - probs)))
-        yield mask, p
-
-
-def exact_expectation(
-    probs: np.ndarray, estimator: Callable[[np.ndarray], float]
-) -> float:
-    """Exact E[estimator(mask)] over a Poisson design (n <= ~14)."""
-    return sum(p * estimator(mask) for mask, p in enumerate_poisson(probs))
-
-
-def monte_carlo_mean_se(values) -> tuple[float, float]:
-    """Mean and its standard error for Monte-Carlo assertions."""
-    arr = np.asarray(values, dtype=float)
-    return float(arr.mean()), float(arr.std(ddof=1) / np.sqrt(arr.size))
-
-
-def assert_within_se(values, target: float, z: float = 4.5, msg: str = "") -> None:
-    """Assert a Monte-Carlo mean is within ``z`` standard errors of target."""
-    mean, se = monte_carlo_mean_se(values)
-    if se == 0.0:
-        assert abs(mean - target) < 1e-12, msg or f"{mean} != {target}"
-        return
-    assert abs(mean - target) <= z * se, (
-        msg or f"mean {mean} vs target {target}: |z| = {abs(mean - target) / se:.2f}"
-    )
+@pytest.fixture
+def within_se():
+    """Fixture form of :func:`tests.helpers.assert_within_se`."""
+    return assert_within_se

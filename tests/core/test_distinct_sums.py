@@ -19,7 +19,7 @@ from repro.core.distinct_sums import (
     skewness_estimate,
 )
 
-from ..conftest import exact_expectation
+from tests.helpers import exact_expectation
 
 
 def bell_number(n: int) -> int:

@@ -18,7 +18,7 @@ from repro.core.estimators import (
 )
 from repro.core.priorities import InverseWeightPriority, Uniform01Priority
 
-from ..conftest import enumerate_poisson, exact_expectation
+from tests.helpers import enumerate_poisson, exact_expectation
 
 
 @pytest.fixture

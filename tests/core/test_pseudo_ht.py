@@ -12,7 +12,7 @@ from repro.core.pseudo_ht import (
 )
 from repro.core.thresholds import BottomK
 
-from ..conftest import exact_expectation
+from tests.helpers import exact_expectation
 
 
 @pytest.fixture

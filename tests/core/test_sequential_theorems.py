@@ -15,7 +15,7 @@ from repro.core.priorities import Uniform01Priority
 from repro.core.recalibration import is_substitutable
 from repro.core.thresholds import DescendingStoppingRule, SequentialBottomK
 
-from ..conftest import assert_within_se
+from tests.helpers import assert_within_se
 
 
 class TestTheorem7:

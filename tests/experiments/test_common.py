@@ -1,11 +1,25 @@
 """Tests for experiment utilities (repro.experiments.common) and the CLI."""
 
+import os
+import pathlib
 import subprocess
 import sys
 
 import pytest
 
 from repro.experiments.common import format_table, scale_factor, scaled
+
+SRC = str(pathlib.Path(__file__).resolve().parents[2] / "src")
+
+
+def _env(**overrides) -> dict:
+    """Subprocess env with the package importable regardless of runner."""
+    env = dict(os.environ)
+    env["PYTHONPATH"] = os.pathsep.join(
+        p for p in (SRC, env.get("PYTHONPATH")) if p
+    )
+    env.update(overrides)
+    return env
 
 
 class TestScaleFactor:
@@ -53,19 +67,17 @@ class TestRunnerCLI:
             [sys.executable, "-m", "repro.experiments", "nope"],
             capture_output=True,
             text=True,
+            env=_env(),
         )
         assert result.returncode == 2
         assert "unknown experiment ids" in result.stdout
 
     def test_single_experiment_runs(self):
-        env = {"REPRO_SCALE": "0.02"}
-        import os
-
         result = subprocess.run(
             [sys.executable, "-m", "repro.experiments", "t1"],
             capture_output=True,
             text=True,
-            env={**os.environ, **env},
+            env=_env(REPRO_SCALE="0.02"),
             timeout=300,
         )
         assert result.returncode == 0

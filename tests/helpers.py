@@ -1,0 +1,63 @@
+"""Shared statistical helpers for the test suite.
+
+Importable as ``from tests.helpers import ...`` from any test module (the
+repo root is on ``sys.path`` via the ``pythonpath`` setting in
+``pyproject.toml``).  The patterns:
+
+* **Exact enumeration** — under a fixed threshold the inclusion pattern is
+  a product of independent Bernoullis, so expectations over all ``2^n``
+  patterns are computed exactly (tolerance ~1e-9).
+* **Monte Carlo** — adaptive thresholds require simulation; tests use fixed
+  seeds and tolerances sized to several standard errors so they are
+  deterministic and non-flaky.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Callable, Iterator
+
+import numpy as np
+
+__all__ = [
+    "enumerate_poisson",
+    "exact_expectation",
+    "monte_carlo_mean_se",
+    "assert_within_se",
+]
+
+
+def enumerate_poisson(
+    probs: np.ndarray,
+) -> Iterator[tuple[np.ndarray, float]]:
+    """Yield every inclusion mask of a Poisson design with its probability."""
+    probs = np.asarray(probs, dtype=float)
+    n = probs.size
+    for bits in itertools.product((0, 1), repeat=n):
+        mask = np.asarray(bits, dtype=bool)
+        p = float(np.prod(np.where(mask, probs, 1.0 - probs)))
+        yield mask, p
+
+
+def exact_expectation(
+    probs: np.ndarray, estimator: Callable[[np.ndarray], float]
+) -> float:
+    """Exact E[estimator(mask)] over a Poisson design (n <= ~14)."""
+    return sum(p * estimator(mask) for mask, p in enumerate_poisson(probs))
+
+
+def monte_carlo_mean_se(values) -> tuple[float, float]:
+    """Mean and its standard error for Monte-Carlo assertions."""
+    arr = np.asarray(values, dtype=float)
+    return float(arr.mean()), float(arr.std(ddof=1) / np.sqrt(arr.size))
+
+
+def assert_within_se(values, target: float, z: float = 4.5, msg: str = "") -> None:
+    """Assert a Monte-Carlo mean is within ``z`` standard errors of target."""
+    mean, se = monte_carlo_mean_se(values)
+    if se == 0.0:
+        assert abs(mean - target) < 1e-12, msg or f"{mean} != {target}"
+        return
+    assert abs(mean - target) <= z * se, (
+        msg or f"mean {mean} vs target {target}: |z| = {abs(mean - target) / se:.2f}"
+    )

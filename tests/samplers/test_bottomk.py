@@ -11,7 +11,7 @@ from repro.core.priorities import (
 from repro.core.thresholds import BottomK
 from repro.samplers.bottomk import BottomKSampler
 
-from ..conftest import assert_within_se
+from tests.helpers import assert_within_se
 
 
 class TestStreamingMechanics:
@@ -46,7 +46,7 @@ class TestStreamingMechanics:
 
     def test_items_seen_tracked(self, rng):
         s = BottomKSampler(3, rng=rng)
-        s.extend(range(17))
+        s.update_many(range(17))
         assert s.items_seen == 17
         assert s.sample().population_size == 17
 

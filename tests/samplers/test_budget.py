@@ -8,7 +8,7 @@ from repro.core.thresholds import BudgetPrefix
 from repro.samplers.budget import BudgetSampler
 from repro.workloads.sizes import SURVEY_MAX_SIZE, survey_sizes
 
-from ..conftest import assert_within_se
+from tests.helpers import assert_within_se
 
 
 class TestBudgetInvariant:

@@ -10,7 +10,7 @@ from repro.samplers.distinct import (
     lcs_union,
 )
 
-from ..conftest import assert_within_se
+from tests.helpers import assert_within_se
 
 
 class TestWeightedDistinctSketch:
@@ -64,7 +64,7 @@ class TestWeightedDistinctSketch:
 class TestAdaptiveDistinctSketch:
     def test_exact_while_underfull(self):
         s = AdaptiveDistinctSketch(100, salt=0)
-        s.extend(range(30))
+        s.update_many(range(30))
         assert s.estimate_distinct() == pytest.approx(30.0)
         assert len(s) == 30
 
@@ -73,14 +73,14 @@ class TestAdaptiveDistinctSketch:
         estimates = []
         for salt in range(300):
             s = AdaptiveDistinctSketch(k, salt=salt)
-            s.extend(range(n))
+            s.update_many(range(n))
             estimates.append(s.estimate_distinct())
         assert_within_se(estimates, float(n))
 
     def test_from_hashes_matches_streaming(self):
         n, k, salt = 400, 30, 9
         streamed = AdaptiveDistinctSketch(k, salt=salt)
-        streamed.extend(range(n))
+        streamed.update_many(range(n))
         hashed = AdaptiveDistinctSketch.from_hashes(
             hash_array_to_unit(np.arange(n), salt), k, salt
         )
@@ -101,34 +101,48 @@ class TestAdaptiveDistinctSketch:
             estimates.append(a.merge(b).estimate_distinct())
         assert_within_se(estimates, truth)
 
-    def test_merge_pure_does_not_mutate(self):
+    def test_or_operator_is_pure(self):
         a = AdaptiveDistinctSketch(10, salt=0)
-        a.extend(range(100))
+        a.update_many(range(100))
         before = a.estimate_distinct()
         b = AdaptiveDistinctSketch(10, salt=0)
-        b.extend(range(50, 150))
-        a.merge(b)
+        b.update_many(range(50, 150))
+        union = a | b
         assert a.estimate_distinct() == pytest.approx(before)
+        assert union.estimate_distinct() != pytest.approx(before)
 
     def test_merge_in_place_equals_pure(self):
         a1 = AdaptiveDistinctSketch(10, salt=0)
-        a1.extend(range(100))
+        a1.update_many(range(100))
         a2 = AdaptiveDistinctSketch(10, salt=0)
-        a2.extend(range(100))
+        a2.update_many(range(100))
         b = AdaptiveDistinctSketch(10, salt=0)
-        b.extend(range(50, 180))
-        pure = a1.merge(b).estimate_distinct()
-        a2.merge_in_place(b)
+        b.update_many(range(50, 180))
+        pure = (a1 | b).estimate_distinct()
+        result = a2.merge(b)
+        assert result is a2  # in-place merge returns self
         assert a2.estimate_distinct() == pytest.approx(pure)
 
     def test_merge_commutative(self):
         a = AdaptiveDistinctSketch(20, salt=3)
-        a.extend(range(300))
+        a.update_many(range(300))
         b = AdaptiveDistinctSketch(20, salt=3)
-        b.extend(range(200, 600))
-        assert a.merge(b).estimate_distinct() == pytest.approx(
-            b.merge(a).estimate_distinct()
+        b.update_many(range(200, 600))
+        assert (a | b).estimate_distinct() == pytest.approx(
+            (b | a).estimate_distinct()
         )
+
+    def test_merge_mixed_k_keeps_small_sketch_taus(self):
+        # Regression: enlarging k before folding the live stream entries
+        # used to lift the folded taus to the admission cap, collapsing
+        # the estimate of the smaller sketch's stream.
+        x = AdaptiveDistinctSketch(4, salt=0)
+        x.update_many(range(200))
+        alone = x.estimate_distinct()
+        y = AdaptiveDistinctSketch(64, salt=0)
+        y.update_many(range(10_000, 10_003))
+        x.merge(y)
+        assert x.estimate_distinct() == pytest.approx(alone + 3.0, rel=0.05)
 
     def test_merge_salt_mismatch_rejected(self):
         with pytest.raises(ValueError):
@@ -136,21 +150,21 @@ class TestAdaptiveDistinctSketch:
 
     def test_update_after_merge_respects_cap(self):
         a = AdaptiveDistinctSketch(20, salt=0)
-        a.extend(range(500))
+        a.update_many(range(500))
         b = AdaptiveDistinctSketch(20, salt=0)
-        b.extend(range(500, 1000))
+        b.update_many(range(500, 1000))
         merged = a.merge(b)
         cap = merged.stream_threshold
-        merged.extend(range(1000, 1500))
+        merged.update_many(range(1000, 1500))
         # New entries must all sit below the admission cap.
         for key, (h, tau) in merged.entries().items():
             assert h < max(tau, cap) + 1e-12
 
     def test_trim_bounds_entries_and_stays_sane(self):
         a = AdaptiveDistinctSketch(50, salt=0)
-        a.extend(range(2000))
+        a.update_many(range(2000))
         b = AdaptiveDistinctSketch(50, salt=0)
-        b.extend(range(1500, 3500))
+        b.update_many(range(1500, 3500))
         merged = a.merge(b)
         merged.trim(40)
         assert len(merged) <= 40

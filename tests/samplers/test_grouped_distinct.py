@@ -16,20 +16,20 @@ def feed_groups(sketch, group_sizes: dict, salt_offset: int = 0):
     rng = np.random.default_rng(42 + salt_offset)
     rng.shuffle(items)
     for group, key in items:
-        sketch.update(group, key)
+        sketch.update(key, group=group)
 
 
 class TestMechanics:
     def test_small_group_counts_exact_when_dedicated(self):
         s = GroupedDistinctSketch(m=4, k=20, salt=0)
         feed_groups(s, {"a": 5, "b": 12, "c": 3})
-        assert s.estimate("a") == pytest.approx(5.0)
-        assert s.estimate("b") == pytest.approx(12.0)
-        assert s.estimate("c") == pytest.approx(3.0)
+        assert s.estimate_distinct("a") == pytest.approx(5.0)
+        assert s.estimate_distinct("b") == pytest.approx(12.0)
+        assert s.estimate_distinct("c") == pytest.approx(3.0)
 
     def test_unknown_group_is_zero(self):
         s = GroupedDistinctSketch(m=2, k=5)
-        assert s.estimate("nope") == 0.0
+        assert s.estimate_distinct("nope") == 0.0
 
     def test_promotion_of_heavy_pooled_group(self):
         # Fill all dedicated slots with big groups, then pour a heavy group
@@ -71,7 +71,7 @@ class TestAccuracy:
             s = GroupedDistinctSketch(m=3, k=50, salt=salt)
             feed_groups(s, sizes, salt_offset=salt)
             for g in rel_errors:
-                rel_errors[g].append(s.estimate(g) / sizes[g] - 1.0)
+                rel_errors[g].append(s.estimate_distinct(g) / sizes[g] - 1.0)
         for g, errs in rel_errors.items():
             assert abs(np.mean(errs)) < 0.12
             assert np.std(errs) < 0.35
@@ -86,7 +86,7 @@ class TestAccuracy:
         for salt in range(30):
             s = GroupedDistinctSketch(m=3, k=40, salt=salt)
             feed_groups(s, sizes, salt_offset=salt)
-            est = sum(s.estimate(g) for g in small)
+            est = sum(s.estimate_distinct(g) for g in small)
             total_errors.append(est / (40 * 50) - 1.0)
         assert abs(np.mean(total_errors)) < 0.15
 

@@ -6,12 +6,12 @@ import pytest
 from repro.samplers.multi_objective import MultiObjectiveSampler
 from repro.workloads.weights import correlated_weight_pair
 
-from ..conftest import assert_within_se
+from tests.helpers import assert_within_se
 
 
 def feed(sampler, profit, revenue):
     for i in range(profit.size):
-        sampler.update(i, {"profit": float(profit[i]), "revenue": float(revenue[i])})
+        sampler.update(i, weights={"profit": float(profit[i]), "revenue": float(revenue[i])})
 
 
 class TestCoordination:
@@ -55,7 +55,7 @@ class TestCoordination:
             MultiObjectiveSampler(5, ())
         s = MultiObjectiveSampler(5, ("a",))
         with pytest.raises(ValueError):
-            s.update(0, {"a": 0.0})
+            s.update(0, weights={"a": 0.0})
 
 
 class TestEstimation:

@@ -6,7 +6,7 @@ import pytest
 from repro.core.priorities import Uniform01Priority
 from repro.samplers.poisson import PoissonSampler
 
-from ..conftest import assert_within_se
+from tests.helpers import assert_within_se
 
 
 class TestInclusion:
@@ -69,6 +69,6 @@ class TestEstimation:
 
     def test_extend_bulk(self, rng):
         s = PoissonSampler.with_inclusion_probability(1.0, rng=rng)
-        s.extend(list(range(10)), values=np.arange(10, dtype=float))
+        s.update_many(list(range(10)), values=np.arange(10, dtype=float))
         assert s.items_seen == 10
         assert s.sample().ht_total() == pytest.approx(45.0)

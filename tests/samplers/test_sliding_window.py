@@ -9,7 +9,7 @@ from repro.workloads.arrivals import homogeneous_arrivals
 
 def feed(sampler: SlidingWindowSampler, times: np.ndarray) -> None:
     for i, t in enumerate(times):
-        sampler.update(float(t), key=i)
+        sampler.update(i, time=float(t))
 
 
 class TestBookkeeping:
@@ -17,7 +17,7 @@ class TestBookkeeping:
         s = SlidingWindowSampler(k=10, window=1.0, rng=rng)
         times = np.sort(rng.uniform(0, 5, 2000))
         for i, t in enumerate(times):
-            s.update(float(t), key=i)
+            s.update(i, time=float(t))
             assert len(s._cur_sorted) <= 10
         assert s.max_current <= 10
 
@@ -63,7 +63,7 @@ class TestSamples:
             cursor = 0
             for g in np.arange(2.0, 6.0, 0.5):
                 while cursor < times.size and times[cursor] <= g:
-                    s.update(float(times[cursor]), key=cursor)
+                    s.update(cursor, time=float(times[cursor]))
                     cursor += 1
                 snap = s.snapshot(float(g))
                 assert snap.improved_threshold >= snap.gl_threshold
@@ -76,7 +76,7 @@ class TestSamples:
         ratios = []
         for g in np.arange(3.0, 8.0, 0.5):
             while cursor < times.size and times[cursor] <= g:
-                s.update(float(times[cursor]), key=cursor)
+                s.update(cursor, time=float(times[cursor]))
                 cursor += 1
             snap = s.snapshot(float(g))
             if snap.gl_sample_size:
@@ -99,7 +99,7 @@ class TestSamples:
             s = SlidingWindowSampler(k=k, window=window, rng=rng)
             probe = None
             for i, t in enumerate(times):
-                s.update(float(t), key=i)
+                s.update(i, time=float(t))
                 # Choose the first item inside the final window as a probe.
                 if probe is None and t > 2.0:
                     probe = i

@@ -5,7 +5,7 @@ import pytest
 
 from repro.samplers.stratified import MultiStratifiedSampler
 
-from ..conftest import assert_within_se
+from tests.helpers import assert_within_se
 
 
 def feed_population(sampler, n=400, seed=0, n_countries=4, n_ages=5):
@@ -15,7 +15,7 @@ def feed_population(sampler, n=400, seed=0, n_countries=4, n_ages=5):
         country = f"c{rng.integers(n_countries)}"
         age = f"a{rng.integers(n_ages)}"
         value = float(rng.lognormal(0, 0.4))
-        sampler.update(i, (country, age), value=value)
+        sampler.update(i, strata=(country, age), value=value)
         rows.append((i, country, age, value))
     return rows
 
@@ -53,7 +53,7 @@ class TestMechanics:
     def test_dims_validated(self):
         s = MultiStratifiedSampler(n_dims=2, k=3)
         with pytest.raises(ValueError):
-            s.update(0, ("only-one",))
+            s.update(0, strata=("only-one",))
         with pytest.raises(ValueError):
             MultiStratifiedSampler(n_dims=0, k=3)
         with pytest.raises(ValueError):
@@ -62,7 +62,7 @@ class TestMechanics:
     def test_duplicate_keys_idempotent(self):
         s = MultiStratifiedSampler(n_dims=1, k=5, salt=5)
         for _ in range(3):
-            s.update("x", ("c0",))
+            s.update("x", strata=("c0",))
         assert len(s.sample()) == 1
 
 
@@ -81,7 +81,7 @@ class TestEstimation:
         for salt in range(300):
             s = MultiStratifiedSampler(n_dims=2, k=6, salt=salt)
             for i in range(n):
-                s.update(i, (countries[i], ages[i]), value=float(values[i]))
+                s.update(i, strata=(countries[i], ages[i]), value=float(values[i]))
             sample = s.sample()
             estimates.append(sample.select(lambda key: key in target).ht_total())
         assert_within_se(estimates, truth)
@@ -94,6 +94,6 @@ class TestEstimation:
         for salt in range(300):
             s = MultiStratifiedSampler(n_dims=2, k=5, salt=salt)
             for i in range(n):
-                s.update(i, strata[i])
+                s.update(i, strata=strata[i])
             estimates.append(s.sample().distinct_estimate())
         assert_within_se(estimates, float(n))

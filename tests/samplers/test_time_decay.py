@@ -7,26 +7,26 @@ import pytest
 
 from repro.samplers.time_decay import ExponentialDecaySampler
 
-from ..conftest import assert_within_se
+from tests.helpers import assert_within_se
 
 
 class TestMechanics:
     def test_sample_size_bounded(self, rng):
         s = ExponentialDecaySampler(k=10, decay_rate=0.5, rng=rng)
         for i in range(500):
-            s.update(i * 0.01, key=i)
+            s.update(i, time=i * 0.01)
         assert len(s) == 10
 
     def test_times_must_be_nondecreasing(self, rng):
         s = ExponentialDecaySampler(k=3, decay_rate=0.5, rng=rng)
-        s.update(1.0, "a")
+        s.update("a", time=1.0)
         with pytest.raises(ValueError):
-            s.update(0.5, "b")
+            s.update("b", time=0.5)
 
     def test_weight_validation(self, rng):
         s = ExponentialDecaySampler(k=3, decay_rate=0.5, rng=rng)
         with pytest.raises(ValueError):
-            s.update(0.0, "a", weight=0.0)
+            s.update("a", weight=0.0, time=0.0)
 
     def test_parameter_validation(self):
         with pytest.raises(ValueError):
@@ -41,7 +41,7 @@ class TestMechanics:
             s = ExponentialDecaySampler(k=20, decay_rate=1.0,
                                         rng=np.random.default_rng(seed))
             for i in range(200):
-                s.update(i * 0.05, key=i)
+                s.update(i, time=i * 0.05)
             kept = set(s.keys())
             old_hits += sum(1 for i in range(50) if i in kept)
             new_hits += sum(1 for i in range(150, 200) if i in kept)
@@ -54,7 +54,7 @@ class TestMechanics:
             s = ExponentialDecaySampler(k=10, decay_rate=0.0,
                                         rng=np.random.default_rng(seed))
             for i in range(100):
-                s.update(float(i), key=i)
+                s.update(i, time=float(i))
             for key in s.keys():
                 inclusion[key] += 1
         # Uniform weights + zero decay: every position equally likely.
@@ -75,7 +75,7 @@ class TestEstimation:
             s = ExponentialDecaySampler(k=25, decay_rate=lam,
                                         rng=np.random.default_rng(seed))
             for i, t in enumerate(times):
-                s.update(float(t), key=i, weight=float(weights[i]))
+                s.update(i, weight=float(weights[i]), time=float(t))
             estimates.append(s.estimate_decayed_total(now))
         assert_within_se(estimates, truth)
 
@@ -84,7 +84,7 @@ class TestEstimation:
         s = ExponentialDecaySampler(k=50, decay_rate=lam, rng=rng)
         times = np.linspace(0, 3, 120)
         for i, t in enumerate(times):
-            s.update(float(t), key=i)
+            s.update(i, time=float(t))
         est = s.estimate_decayed_total(3.0, predicate=lambda key: key >= 60)
         truth = float(np.sum(np.exp(-lam * (3.0 - times[60:]))))
         assert est == pytest.approx(truth, rel=0.6)
@@ -92,7 +92,7 @@ class TestEstimation:
     def test_inclusion_probability_formula(self, rng):
         s = ExponentialDecaySampler(k=5, decay_rate=0.3, rng=rng)
         for i in range(50):
-            s.update(float(i) * 0.1, key=i, weight=2.0)
+            s.update(i, weight=2.0, time=float(i) * 0.1)
         log_t = s.log_threshold
         for entry in s._retained():
             expected = math.exp(
@@ -104,6 +104,6 @@ class TestEstimation:
         # Log-domain priorities must survive large time values.
         s = ExponentialDecaySampler(k=5, decay_rate=1.0, rng=rng)
         for i in range(1000):
-            s.update(float(i * 10), key=i)
+            s.update(i, time=float(i * 10))
         est = s.estimate_decayed_total(10_000.0)
         assert np.isfinite(est)

@@ -32,7 +32,7 @@ class TestMechanics:
     def test_table_smaller_than_distinct_keys(self, rng):
         s = AdaptiveTopKSampler(10, rng=rng)
         stream = zipf_stream(30_000, 2000, 1.2, rng=5)
-        s.extend(stream.tolist())
+        s.update_many(stream.tolist())
         assert len(s) < len(np.unique(stream))
         assert s.max_table_size < len(np.unique(stream))
 
@@ -42,7 +42,7 @@ class TestMechanics:
 
     def test_frequent_keys_at_least_k(self, rng):
         s = AdaptiveTopKSampler(5, rng=rng)
-        s.extend(zipf_stream(20_000, 300, 1.5, rng=7).tolist())
+        s.update_many(zipf_stream(20_000, 300, 1.5, rng=7).tolist())
         assert len(s.frequent_keys()) >= 5
 
 
@@ -50,7 +50,7 @@ class TestAccuracy:
     def test_topk_identified_on_zipf(self, rng):
         stream = zipf_stream(50_000, 1000, 1.4, rng=11)
         s = AdaptiveTopKSampler(10, rng=rng)
-        s.extend(stream.tolist())
+        s.update_many(stream.tolist())
         returned = {key for key, _ in s.top(10)}
         truth = set(true_top_k(stream, 10))
         assert len(returned & truth) >= 8
@@ -58,7 +58,7 @@ class TestAccuracy:
     def test_heavy_hitter_counts_accurate(self, rng):
         stream = zipf_stream(40_000, 500, 1.5, rng=13)
         s = AdaptiveTopKSampler(10, rng=rng)
-        s.extend(stream.tolist())
+        s.update_many(stream.tolist())
         ids, counts = np.unique(stream, return_counts=True)
         top = ids[np.argsort(counts)[::-1][:5]]
         for key in top:
@@ -75,7 +75,7 @@ class TestAccuracy:
         for seed in range(10):
             stream = zipf_stream(n, 400, 1.3, rng=seed)
             s = AdaptiveTopKSampler(10, rng=np.random.default_rng(seed + 1))
-            s.extend(stream.tolist())
+            s.update_many(stream.tolist())
             estimates.append(s.estimate_subset_sum(lambda key: True))
         mean = np.mean(estimates)
         assert mean == pytest.approx(n, rel=0.35)
@@ -83,7 +83,7 @@ class TestAccuracy:
     def test_subset_sum_heavy_subset(self, rng):
         stream = zipf_stream(40_000, 500, 1.5, rng=17)
         s = AdaptiveTopKSampler(10, rng=rng)
-        s.extend(stream.tolist())
+        s.update_many(stream.tolist())
         truth = int(np.sum(stream < 5))
         est = s.estimate_subset_sum(lambda key: key < 5)
         assert est == pytest.approx(truth, rel=0.15)
@@ -98,7 +98,7 @@ class TestAdaptivity:
             for seed in range(3):
                 stream = pitman_yor_stream(15_000, beta, np.random.default_rng(seed))
                 s = AdaptiveTopKSampler(10, rng=np.random.default_rng(seed + 50))
-                s.extend(stream.tolist())
+                s.update_many(stream.tolist())
                 acc.append(len(s))
             sizes[beta] = np.mean(acc)
         assert sizes[0.9] > 1.5 * sizes[0.25]
@@ -107,6 +107,6 @@ class TestAdaptivity:
         stream = pitman_yor_stream(15_000, 0.25, np.random.default_rng(2))
         truth = true_top_k(stream, 10)
         s = AdaptiveTopKSampler(10, rng=np.random.default_rng(3))
-        s.extend(stream.tolist())
+        s.update_many(stream.tolist())
         returned = {key for key, _ in s.top(10)}
         assert len(returned & set(truth)) >= 7

@@ -5,7 +5,7 @@ import pytest
 
 from repro.samplers.varopt import VarOptSampler
 
-from ..conftest import assert_within_se
+from tests.helpers import assert_within_se
 
 
 class TestMechanics:

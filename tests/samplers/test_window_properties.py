@@ -22,7 +22,7 @@ class TestWindowInvariants:
         sampler = SlidingWindowSampler(k=k, window=1.0,
                                        rng=np.random.default_rng(seed))
         for i, t in enumerate(times):
-            sampler.update(float(t), key=i)
+            sampler.update(i, time=float(t))
             assert len(sampler._cur_sorted) <= k
         now = times[-1]
         snap = sampler.snapshot(now)
@@ -44,7 +44,7 @@ class TestWindowInvariants:
         sampler = SlidingWindowSampler(k=k, window=1.0,
                                        rng=np.random.default_rng(1))
         for i, t in enumerate(times):
-            sampler.update(float(t), key=i)
+            sampler.update(i, time=float(t))
         now = times[-1] + 0.5
         improved = sampler.improved_sample(now)
         gl = sampler.gl_sample(now)
@@ -64,7 +64,7 @@ class TestWindowInvariants:
         times = np.sort(rng.uniform(5.0, 6.0, k - 1))
         sampler = SlidingWindowSampler(k=k, window=1.0, rng=rng)
         for i, t in enumerate(times):
-            sampler.update(float(t), key=i)
+            sampler.update(i, time=float(t))
         sample = sampler.improved_sample(float(times[-1]))
         assert len(sample) == k - 1  # threshold 1: exhaustive sample
         assert sampler.improved_threshold(float(times[-1])) == 1.0

@@ -1,12 +1,14 @@
 """Every example script must run cleanly and print what it promises."""
 
+import os
 import pathlib
 import subprocess
 import sys
 
 import pytest
 
-EXAMPLES_DIR = pathlib.Path(__file__).resolve().parent.parent / "examples"
+REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
+EXAMPLES_DIR = REPO_ROOT / "examples"
 
 EXPECTED_MARKERS = {
     "quickstart.py": ["HT estimate", "revenue[emea]"],
@@ -20,11 +22,17 @@ EXPECTED_MARKERS = {
 
 
 def run_example(name: str) -> str:
+    env = dict(os.environ)
+    src = str(REPO_ROOT / "src")
+    env["PYTHONPATH"] = os.pathsep.join(
+        p for p in (src, env.get("PYTHONPATH")) if p
+    )
     result = subprocess.run(
         [sys.executable, str(EXAMPLES_DIR / name)],
         capture_output=True,
         text=True,
         timeout=600,
+        env=env,
     )
     assert result.returncode == 0, f"{name} failed:\n{result.stderr}"
     return result.stdout

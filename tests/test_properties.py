@@ -127,9 +127,9 @@ class TestSketchMonoid:
     @settings(max_examples=40, deadline=None)
     def test_adaptive_merge_commutative(self, keys_a, keys_b, salt):
         a = AdaptiveDistinctSketch(16, salt=salt)
-        a.extend(keys_a)
+        a.update_many(keys_a)
         b = AdaptiveDistinctSketch(16, salt=salt)
-        b.extend(keys_b)
+        b.update_many(keys_b)
         ab = a.merge(b).estimate_distinct()
         ba = b.merge(a).estimate_distinct()
         assert ab == pytest.approx(ba)
@@ -139,7 +139,7 @@ class TestSketchMonoid:
     def test_theta_union_associative_estimate(self, ka, kb, kc, salt):
         def sk(keys):
             s = ThetaSketch(16, salt=salt)
-            s.extend(keys)
+            s.update_many(keys)
             return s
 
         left = sk(ka).union(sk(kb)).union(sk(kc)).estimate()
@@ -150,20 +150,20 @@ class TestSketchMonoid:
     @settings(max_examples=40, deadline=None)
     def test_kmv_union_idempotent(self, keys, salt):
         a = KMVSketch(16, salt=salt)
-        a.extend(keys)
+        a.update_many(keys)
         b = KMVSketch(16, salt=salt)
-        b.extend(keys)
+        b.update_many(keys)
         assert a.union(b).estimate() == pytest.approx(a.estimate())
 
     @given(key_sets, key_sets, st.integers(min_value=0, max_value=20))
     @settings(max_examples=40, deadline=None)
     def test_kmv_union_equals_concatenation(self, keys_a, keys_b, salt):
         a = KMVSketch(16, salt=salt)
-        a.extend(keys_a)
+        a.update_many(keys_a)
         b = KMVSketch(16, salt=salt)
-        b.extend(keys_b)
+        b.update_many(keys_b)
         direct = KMVSketch(16, salt=salt)
-        direct.extend(keys_a | keys_b)
+        direct.update_many(keys_a | keys_b)
         assert a.union(b).estimate() == pytest.approx(direct.estimate())
 
 
