@@ -17,6 +17,7 @@ import numpy as np
 from ..api import StreamSampler, merged, register_sampler
 from ..api.protocol import _as_key_list
 from ..core.hashing import batch_hash_to_unit, hash_to_unit
+from ..core.kernels import smallest_distinct
 from ..core.priorities import Uniform01Priority
 from ..core.sample import Sample
 
@@ -55,10 +56,12 @@ class KMVSketch(StreamSampler):
         keys = _as_key_list(keys)
         if not keys:
             return
-        h_unique = np.unique(batch_hash_to_unit(keys, self.salt))
-        for hv in h_unique[: self.k + 1]:
+        smallest = smallest_distinct(
+            batch_hash_to_unit(keys, self.salt), self.k + 1
+        )
+        for hv in smallest:
             self._offer(float(hv))
-        if h_unique.size > self.k:
+        if smallest.size > self.k:
             self._exact = self.k + 1
 
     def _offer(self, h: float) -> None:

@@ -13,61 +13,289 @@
 
 Both serve as context baselines for Figure 3 and as comparison points in
 the top-k tests.
+
+Batch ingestion
+---------------
+The min-counter heap is *content addressed*: entries are
+``(count, insertion_position, key)`` and an entry is current iff its count
+matches the live counter (a key's count strictly increases while tracked,
+and — because the minimum counter value never decreases — an evicted key
+re-enters at a strictly higher count, so a count value is never revisited).
+Eviction victims are therefore a pure function of the counter state —
+smallest count, ties broken by earliest insertion — which frees the batch
+path from replicating the scalar loop's per-increment heap pushes: it
+bulk-counts runs of tracked keys at C speed (``Counter.update``) and lets
+:meth:`_CounterStore.pop_min` lazily re-push a key's current entry whenever
+it pops a stale one.  Equivalence with scalar ingestion is exact, including
+eviction tie-breaks.
 """
 
 from __future__ import annotations
 
+import bisect
 import heapq
+from collections import Counter
 from typing import Callable
 
 import numpy as np
 
 from ..api import StreamSampler, register_sampler
-from ..api.protocol import rng_from_state, rng_to_state
+from ..api.protocol import _as_key_list, rng_from_state, rng_to_state
+from ..core.kernels import DrawBuffer, int_key_array
 from ..core.priorities import Uniform01Priority
 from ..core.rng import as_generator
 from ..core.sample import Sample
 
 __all__ = ["SpaceSavingSketch", "UnbiasedSpaceSavingSketch"]
 
+#: Chunk length of the batch ingestion scan; bounds both the cost of the
+#: per-eviction "reschedule remaining occurrences" rescan and the staleness
+#: of the per-chunk untracked-key candidate mask.
+_CHUNK = 2048
+
 
 class _CounterStore:
-    """Capacity-bounded counter map with O(log m) min-counter access."""
+    """Capacity-bounded counter map with O(log m) min-counter access.
+
+    Heap entries are ``(count, insertion_position, key)``: ties in count
+    evict the earliest-inserted key (any min counter is a valid Space-Saving
+    victim; insertion order is the batch-friendly deterministic choice).  A
+    key's count strictly increases while tracked and can never return to a
+    previously-held value after an eviction (the min counter is monotone),
+    so an entry is current iff its count matches ``counts[key]`` —
+    ``(count, insertion)`` pairs are unique and the key element of the
+    tuple is never compared.
+
+    Scalar ingestion pushes one entry per touch and lets ``pop_min`` skip
+    stale ones (the textbook lazy heap).  Batch ingestion bulk-updates
+    ``counts`` without pushing and calls ``pop_min(repair=True)``, which
+    re-pushes the current entry of any live key it pops stale; at batch end
+    every live key gets a fresh current entry so plain ``pop_min`` stays
+    correct afterwards.  The heap is compacted once the stale fraction
+    grows; compaction preserves exactly the current entries, so it never
+    changes eviction order.
+    """
+
+    __slots__ = ("capacity", "counts", "errors", "ins", "_heap")
 
     def __init__(self, capacity: int):
         if capacity < 1:
             raise ValueError("capacity must be positive")
         self.capacity = int(capacity)
-        self.counts: dict[object, int] = {}
+        self.counts: Counter = Counter()
         self.errors: dict[object, int] = {}
-        self._heap: list[tuple[int, int, object]] = []  # (count, tiebreak, key)
-        self._tick = 0
-
-    def _push(self, key: object) -> None:
-        self._tick += 1
-        heapq.heappush(self._heap, (self.counts[key], self._tick, key))
+        self.ins: dict[object, int] = {}  # key -> insertion position
+        self._heap: list[tuple[int, int, object]] = []
 
     def increment(self, key: object, by: int = 1) -> None:
         self.counts[key] += by
-        self._push(key)  # lazy: stale heap entries are skipped on pop
+        heapq.heappush(self._heap, (self.counts[key], self.ins[key], key))
+        if len(self._heap) > 8 * self.capacity + 64:
+            self.compact()
 
-    def insert(self, key: object, count: int, error: int) -> None:
+    def insert(self, key: object, count: int, error: int, position: int) -> None:
         self.counts[key] = count
         self.errors[key] = error
-        self._push(key)
+        self.ins[key] = position
+        heapq.heappush(self._heap, (count, position, key))
 
-    def pop_min(self) -> tuple[object, int]:
-        """Remove and return the (key, count) with the smallest count."""
-        while self._heap:
-            count, _, key = heapq.heappop(self._heap)
-            if self.counts.get(key) == count:
+    def pop_min(self, repair: bool = False):
+        """Remove and return the (key, count) minimizing (count, insertion).
+
+        ``repair=True`` is the batch path's lazy-repair mode: popping a
+        stale entry of a live key re-pushes its current entry (bulk count
+        updates do not push) instead of discarding it.
+        """
+        heap = self._heap
+        while heap:
+            count, _, key = heapq.heappop(heap)
+            current = self.counts.get(key)
+            if current == count:
                 del self.counts[key]
+                del self.ins[key]
                 self.errors.pop(key, None)
                 return key, count
+            if repair and current is not None:
+                heapq.heappush(heap, (current, self.ins[key], key))
         raise KeyError("store is empty")
+
+    def compact(self) -> None:
+        """Drop stale heap entries (one current entry per live key)."""
+        self._heap = [
+            (count, self.ins[key], key) for key, count in self.counts.items()
+        ]
+        heapq.heapify(self._heap)
 
     def __len__(self) -> int:
         return len(self.counts)
+
+
+def _batch_ingest(sketch, raw_keys, handover_draw=None) -> bool | None:
+    """Shared exact batch driver for the two Space-Saving variants.
+
+    Occurrences of *tracked* keys commute between evictions, so runs of
+    them are bulk-added at C speed (``Counter``'s ``_count_elements``) with
+    no heap pushes, while occurrences of untracked keys (the *events*)
+    replay in stream order with the store's pop/insert logic inlined.  The
+    stream is scanned in chunks: one vectorized mask lookup finds each
+    chunk's untracked-key positions, and an eviction of a key tracked since
+    before the chunk consults a lazily-built per-chunk occurrence index to
+    turn the victim's later occurrences back into events (a victim first
+    inserted within the chunk is already covered by the candidate mask).
+
+    ``handover_draw`` is None for deterministic Space-Saving; the unbiased
+    variant passes its uniform source and relabels the min counter with
+    probability ``1 / new_count``.
+
+    Requires a bounded non-negative integer key array; other key batches
+    fall back to the scalar loop (``None`` is returned for dispatch).
+    Returns the number of leading items ingested: on a near-distinct
+    stream (a later chunk still mostly untracked keys) the event machinery
+    cannot beat the scalar loop, so the driver restores the heap
+    invariant and hands the remainder back to the caller's scalar path.
+    """
+    arr = int_key_array(raw_keys)
+    if arr is None:
+        return None
+    n = arr.size
+    if n == 0:
+        return n
+    store = sketch._store
+    counts = store.counts
+    errors = store.errors
+    ins = store.ins
+    heap = store._heap
+    capacity = sketch.capacity
+    base = sketch.items_seen  # stream position of batch item i is base + i + 1
+    kmax = int(arr.max()) + 1
+
+    tracked = np.zeros(kmax, dtype=bool)
+    in_range = [
+        k for k in counts
+        if isinstance(k, (int, np.integer)) and 0 <= k < kmax
+    ]
+    if in_range:
+        tracked[in_range] = True
+
+    heappush, heappop = heapq.heappush, heapq.heappop
+    try:  # Counter.update's C core, without the method-wrapper overhead
+        from _collections import _count_elements as count_into
+    except ImportError:  # pragma: no cover - non-CPython
+        def count_into(mapping, iterable):
+            for elem in iterable:
+                mapping[elem] = mapping.get(elem, 0) + 1
+    bisect_left = bisect.bisect_left
+    counts_get = counts.get
+    pos = 0
+    while pos < n:
+        ce = min(n, pos + _CHUNK)
+        chunk = arr[pos:ce]
+        lst = chunk.tolist()
+        cand = np.flatnonzero(~tracked[chunk]).tolist()
+        if pos and 2 * len(cand) > ce - pos:
+            break  # still event-dominated past warm-up: bail to scalar
+        ci = 0
+        n_cand = len(cand)
+        chunk_len = ce - pos
+        extra: list[int] = []  # rescheduled (chunk-relative) event positions
+        became_tracked: set = set()  # keys first inserted within this chunk
+        # Occurrence index for eviction rescans, built on first use: chunk
+        # positions grouped by key (order within a key is irrelevant — the
+        # rescheduled positions go through a heap).
+        occ_order = occ_keys = None
+        run_start = 0
+        while True:
+            nxt_c = cand[ci] if ci < n_cand else _CHUNK
+            nxt_e = extra[0] if extra else _CHUNK
+            rel = nxt_c if nxt_c <= nxt_e else nxt_e
+            if rel >= chunk_len:
+                if chunk_len > run_start:
+                    count_into(counts, lst[run_start:])
+                break
+            if rel > run_start:
+                count_into(counts, lst[run_start:rel])
+            # Consume every source entry pointing at this position.
+            while ci < n_cand and cand[ci] == rel:
+                ci += 1
+            while extra and extra[0] == rel:
+                heappop(extra)
+            key = lst[rel]
+            if tracked[key]:
+                # Tracked since the chunk mask was built: plain increment.
+                counts[key] += 1
+            elif len(counts) < capacity:
+                p1 = base + pos + rel + 1
+                counts[key] = 1
+                errors[key] = 0
+                ins[key] = p1
+                heappush(heap, (1, p1, key))
+                tracked[key] = True
+                became_tracked.add(key)
+            else:
+                # Inlined pop_min(repair=True): pop the current min entry,
+                # lazily re-pushing current entries of bulk-counted keys.
+                while True:
+                    min_count, _, min_key = heappop(heap)
+                    current = counts_get(min_key)
+                    if current == min_count:
+                        break
+                    if current is not None:
+                        heappush(heap, (current, ins[min_key], min_key))
+                p1 = base + pos + rel + 1
+                new_count = min_count + 1
+                if handover_draw is None or handover_draw() < 1.0 / new_count:
+                    # Deterministic (or won handover): newcomer replaces it.
+                    del counts[min_key]
+                    del ins[min_key]
+                    errors.pop(min_key, None)
+                    counts[key] = new_count
+                    errors[key] = min_count
+                    ins[key] = p1
+                    heappush(heap, (new_count, p1, key))
+                    tracked[key] = True
+                    became_tracked.add(key)
+                    evicted = min_key
+                else:
+                    # Lost handover: the min counter keeps its label.
+                    counts[min_key] = new_count
+                    errors[min_key] = min_count
+                    ins[min_key] = p1
+                    heappush(heap, (new_count, p1, min_key))
+                    evicted = None
+                if (
+                    evicted is not None
+                    and type(evicted) is int
+                    and 0 <= evicted < kmax
+                ):
+                    tracked[evicted] = False
+                    # The victim's later occurrences in this chunk must be
+                    # events again.  A victim first inserted within this
+                    # chunk was untracked when the candidate mask was
+                    # built, so ``cand`` already covers it; only a victim
+                    # tracked since before the chunk needs a rescan.
+                    # Later chunks rescan the updated mask either way.
+                    if evicted not in became_tracked:
+                        if occ_order is None:
+                            order = np.argsort(chunk)
+                            occ_order = order.tolist()
+                            occ_keys = chunk[order].tolist()
+                        j = bisect_left(occ_keys, evicted)
+                        while j < chunk_len and occ_keys[j] == evicted:
+                            r2 = occ_order[j]
+                            if r2 > rel:
+                                heappush(extra, r2)
+                            j += 1
+            run_start = rel + 1
+        pos = ce
+
+    # Restore the boundary invariant — every live key gets a current heap
+    # entry (bulk counting above pushed none) — then shed stale entries.
+    for key, count in counts.items():
+        heappush(heap, (count, ins[key], key))
+    if len(heap) > 8 * capacity + 64:
+        store.compact()
+    sketch.items_seen += pos
+    return pos
 
 
 @register_sampler("space_saving")
@@ -92,10 +320,20 @@ class SpaceSavingSketch(StreamSampler):
             store.increment(key)
             return
         if len(store) < self.capacity:
-            store.insert(key, 1, 0)
+            store.insert(key, 1, 0, self.items_seen)
             return
         _, min_count = store.pop_min()
-        store.insert(key, min_count + 1, min_count)
+        store.insert(key, min_count + 1, min_count, self.items_seen)
+
+    def update_many(self, keys, weights=None, values=None, times=None) -> None:
+        """Vectorized bulk :meth:`update` (see :func:`_batch_ingest`)."""
+        done = _batch_ingest(self, keys)
+        if done is None:
+            for key in _as_key_list(keys):
+                self.update(key)
+        elif done < len(keys):
+            for key in _as_key_list(keys)[done:]:
+                self.update(key)
 
     def __len__(self) -> int:
         return len(self._store)
@@ -168,14 +406,32 @@ class UnbiasedSpaceSavingSketch(StreamSampler):
             store.increment(key)
             return
         if len(store) < self.capacity:
-            store.insert(key, 1, 0)
+            store.insert(key, 1, 0, self.items_seen)
             return
         min_key, min_count = store.pop_min()
         new_count = min_count + 1
         if self.rng.random() < 1.0 / new_count:
-            store.insert(key, new_count, min_count)
+            store.insert(key, new_count, min_count, self.items_seen)
         else:
-            store.insert(min_key, new_count, min_count)
+            store.insert(min_key, new_count, min_count, self.items_seen)
+
+    def update_many(self, keys, weights=None, values=None, times=None) -> None:
+        """Vectorized bulk :meth:`update` (see :func:`_batch_ingest`).
+
+        Handover draws are block-buffered with rewind
+        (:class:`repro.core.kernels.DrawBuffer`), so the generator stream —
+        and therefore every label decision — matches scalar ingestion.
+        """
+        with DrawBuffer(self.rng, expected=len(keys)) as draw:
+            done = _batch_ingest(self, keys, handover_draw=draw)
+        # Any scalar remainder draws from the generator directly, after the
+        # DrawBuffer context has rewound its unused block.
+        if done is None:
+            for key in _as_key_list(keys):
+                self.update(key)
+        elif done < len(keys):
+            for key in _as_key_list(keys)[done:]:
+                self.update(key)
 
     def __len__(self) -> int:
         return len(self._store)
@@ -246,9 +502,14 @@ def _store_state(store: _CounterStore, items_seen: int) -> dict:
 
 
 def _store_from_state(state: dict, capacity: int) -> _CounterStore:
-    """Rebuild a counter store (heap included) from :func:`_store_state`."""
+    """Rebuild a counter store (heap included) from :func:`_store_state`.
+
+    Insertion positions are not serialized; keys are re-inserted in stored
+    order, so eviction tie-breaks after a round-trip may differ from an
+    uninterrupted run (the contract test's ``resume_identical=False``).
+    """
     store = _CounterStore(capacity)
     errors = dict(state["errors"])
-    for key, count in state["counts"]:
-        store.insert(key, count, errors.get(key, 0))
+    for position, (key, count) in enumerate(state["counts"]):
+        store.insert(key, count, errors.get(key, 0), position + 1)
     return store

@@ -24,6 +24,7 @@ import numpy as np
 from ..api import StreamSampler, merged, register_sampler
 from ..api.protocol import _as_key_list
 from ..core.hashing import batch_hash_to_unit, hash_to_unit
+from ..core.kernels import smallest_distinct
 from ..core.priorities import Uniform01Priority
 from ..core.sample import Sample
 
@@ -62,7 +63,7 @@ class ThetaSketch(StreamSampler):
         if not keys:
             return
         h = batch_hash_to_unit(keys, self.salt)
-        for hv in np.unique(h)[: self.k + 2]:
+        for hv in smallest_distinct(h, self.k + 2):
             self._offer(float(hv))
 
     def _offer(self, h: float) -> None:

@@ -32,6 +32,7 @@ from ..api.protocol import (
     rng_to_state,
 )
 from ..core.hashing import batch_hash_to_unit, hash_to_unit
+from ..core.kernels import bottomk_candidates
 from ..core.priorities import InverseWeightPriority, PriorityFamily
 from ..core.rng import as_generator
 from ..core.sample import Sample
@@ -148,14 +149,9 @@ class BottomKSampler(StreamSampler):
         )
         self.items_seen += n
 
-        # Candidates: only items below the current threshold can ever enter.
-        t = self.threshold
-        cand = np.flatnonzero(pr < t) if np.isfinite(t) else np.arange(n)
-        if cand.size > self.k + 1:
-            # Among the batch itself only the k+1 smallest can survive.
-            order = np.argpartition(pr[cand], self.k)[: self.k + 1]
-            cand = cand[order]
-        for i in cand:
+        # Only items below the current threshold, and of those only the
+        # k+1 smallest within the batch, can ever enter the sketch.
+        for i in bottomk_candidates(pr, self.k, self.threshold):
             self._offer(
                 _Entry(
                     float(pr[i]),

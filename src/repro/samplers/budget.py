@@ -33,7 +33,7 @@ from ..api.protocol import (
     rng_from_state,
     rng_to_state,
 )
-from ..core.hashing import hash_to_unit
+from ..core.hashing import batch_hash_to_unit, hash_to_unit
 from ..core.priorities import InverseWeightPriority, PriorityFamily
 from ..core.rng import as_generator
 from ..core.sample import Sample
@@ -144,19 +144,58 @@ class BudgetSampler(StreamSampler):
     def update_many(
         self, keys, weights=None, values=None, times=None, sizes=None
     ) -> None:
-        """Bulk :meth:`update` with an optional per-item ``sizes`` column."""
+        """Vectorized bulk :meth:`update` with an optional ``sizes`` column.
+
+        Draws/hashes the whole batch's priorities at once, then filters in
+        chunks against the *current* threshold before falling into the
+        insertion loop: the budget threshold only ever decreases, so each
+        chunk's filter discards everything the threshold has already ruled
+        out and only the (typically tiny) accepted minority pays
+        python-level list costs.  RNG consumption matches the scalar loop
+        exactly.
+        """
         keys = _as_key_list(keys)
         n = len(keys)
+        if n == 0:
+            return
         w = _as_optional_array(weights, n, "weights")
         v = _as_optional_array(values, n, "values")
         s = _as_optional_array(sizes, n, "sizes")
-        for i, key in enumerate(keys):
-            self.update(
-                key,
-                1.0 if w is None else float(w[i]),
-                value=None if v is None else float(v[i]),
-                size=1.0 if s is None else float(s[i]),
-            )
+        if s is not None and np.any(s < 0):
+            raise ValueError("item size must be non-negative")
+        if self.coordinated:
+            u = batch_hash_to_unit(keys, self.salt)
+        else:
+            u = self.rng.random(n)
+        pr = np.asarray(
+            self.family.inverse_cdf(u, 1.0 if w is None else w), dtype=float
+        )
+        self.items_seen += n
+        self.max_item_size_seen = max(
+            self.max_item_size_seen, 1.0 if s is None else float(s.max())
+        )
+        priorities, records = self._priorities, self._records
+        chunk = 8192
+        for lo in range(0, n, chunk):
+            block = pr[lo:lo + chunk]
+            if np.isfinite(self._threshold):
+                cand = lo + np.flatnonzero(block < self._threshold)
+            else:
+                cand = np.arange(lo, lo + block.size)
+            for i in cand.tolist():
+                r = float(pr[i])
+                if not r < self._threshold:
+                    continue
+                wi = 1.0 if w is None else float(w[i])
+                idx = bisect.bisect_left(priorities, r)
+                priorities.insert(idx, r)
+                records.insert(
+                    idx,
+                    (keys[i], wi, wi if v is None else float(v[i]),
+                     1.0 if s is None else float(s[i])),
+                )
+                self._total_size += 1.0 if s is None else float(s[i])
+                self._evict_overflow()
 
     # ------------------------------------------------------------------
     # State

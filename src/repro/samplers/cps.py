@@ -38,24 +38,93 @@ class ConditionalPoissonSampler:
     only.
     """
 
-    def __init__(self, working_probs, k: int):
-        p = np.asarray(working_probs, dtype=float)
+    def __init__(self, working_probs=None, k: int = 1):
+        p = (
+            np.empty(0, dtype=float)
+            if working_probs is None
+            else np.asarray(working_probs, dtype=float)
+        )
         if np.any((p <= 0) | (p >= 1)):
             raise ValueError("working probabilities must lie strictly in (0, 1)")
-        if not 0 < k <= p.size:
+        if k < 1:
+            raise ValueError("k must be positive")
+        if working_probs is not None and k > p.size:
+            # A population given up front must already cover k; streaming
+            # construction defers this check to the first query.
             raise ValueError("k must satisfy 0 < k <= n")
-        self.p = p
+        self._p = p
+        self._p_pending: list[float] = []  # scalar appends, merged lazily
         self.k = int(k)
-        self.n = p.size
-        self._backward = self._backward_table()
+        self._backward_cache: np.ndarray | None = None
+
+    @property
+    def p(self) -> np.ndarray:
+        """Working probabilities (pending scalar appends merged in)."""
+        if self._p_pending:
+            self._p = np.concatenate(
+                [self._p, np.asarray(self._p_pending, dtype=float)]
+            )
+            self._p_pending.clear()
+        return self._p
+
+    @property
+    def n(self) -> int:
+        """Current population size (grows with :meth:`update_many`)."""
+        return self._p.size + len(self._p_pending)
+
+    @property
+    def _backward(self) -> np.ndarray:
+        """The backward DP table, rebuilt lazily after ingestion."""
+        if self._backward_cache is None:
+            if not 0 < self.k <= self.n:
+                raise ValueError("k must satisfy 0 < k <= n before sampling")
+            self._backward_cache = self._backward_table()
+        return self._backward_cache
+
+    # ------------------------------------------------------------------
+    # Ingestion (population construction)
+    # ------------------------------------------------------------------
+    def update(self, key: object = None, weight: float = 1.0, **kwargs) -> None:
+        """Append one population unit with working probability ``weight``.
+
+        The O(n k) dynamic-programming tables are derived state, so they
+        are only invalidated here and rebuilt lazily at the next query —
+        appending the population one unit at a time costs O(1) per unit.
+        """
+        w = float(weight)
+        if not 0.0 < w < 1.0:
+            raise ValueError("working probabilities must lie strictly in (0, 1)")
+        self._p_pending.append(w)
+        self._backward_cache = None
+
+    def update_many(self, keys, weights=None, values=None, times=None) -> None:
+        """Append a batch of population units in one vectorized pass.
+
+        ``weights`` carries the working probabilities (one per unit); the
+        DP tables are invalidated once for the whole batch, so batch
+        construction costs one array concatenation regardless of size.
+        """
+        n = len(keys)
+        if n == 0:
+            return
+        if weights is None:
+            raise TypeError("update_many() requires a weights= column of working probabilities")
+        w = np.asarray(weights, dtype=float)
+        if w.shape != (n,):
+            raise ValueError("weights must have one working probability per unit")
+        if np.any((w <= 0) | (w >= 1)):
+            raise ValueError("working probabilities must lie strictly in (0, 1)")
+        self._p = np.concatenate([self.p, w])  # merges pending first
+        self._backward_cache = None
 
     def _backward_table(self) -> np.ndarray:
         """``B[i, j] = P(items i..n-1 contribute exactly j inclusions)``."""
         n, k = self.n, self.k
+        p = self.p
         table = np.zeros((n + 1, k + 2))
         table[n, 0] = 1.0
         for i in range(n - 1, -1, -1):
-            pi = self.p[i]
+            pi = p[i]
             table[i, 0] = (1 - pi) * table[i + 1, 0]
             for j in range(1, k + 2):
                 table[i, j] = pi * table[i + 1, j - 1] + (1 - pi) * table[i + 1, j]
@@ -85,22 +154,24 @@ class ConditionalPoissonSampler:
         ``i`` items combined with the backward table.
         """
         n, k = self.n, self.k
+        p = self.p
         # F[i, j] = P(items 0..i-1 contribute exactly j inclusions).
         forward = np.zeros((n + 1, k + 1))
         forward[0, 0] = 1.0
         for i in range(n):
-            pi = self.p[i]
+            pi = p[i]
             for j in range(min(i + 1, k), -1, -1):
                 forward[i + 1, j] = (1 - pi) * forward[i, j]
                 if j > 0:
                     forward[i + 1, j] += pi * forward[i, j - 1]
         total = self._backward[0, k]
+        backward = self._backward
         out = np.empty(n)
         for i in range(n):
             acc = 0.0
             for j in range(k):  # j inclusions before i, k-1-j after
-                acc += forward[i, j] * self._backward[i + 1, k - 1 - j]
-            out[i] = self.p[i] * acc / total
+                acc += forward[i, j] * backward[i + 1, k - 1 - j]
+            out[i] = p[i] * acc / total
         return out
 
     def ht_total(self, values, sample_indices) -> float:

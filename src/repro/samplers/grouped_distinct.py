@@ -187,15 +187,73 @@ class GroupedDistinctSketch(StreamSampler):
     def update_many(
         self, keys, weights=None, values=None, times=None, groups=None
     ) -> None:
-        """Bulk :meth:`update` with a parallel ``groups`` column."""
+        """Vectorized bulk :meth:`update` with a parallel ``groups`` column.
+
+        The sketch is hash-coordinated and idempotent per ``(group, key)``
+        pair, which the batch path exploits three ways: duplicate pairs
+        whose key is already retained short-circuit before hashing (the
+        scalar path BLAKE2b-hashes *every* occurrence), each distinct pair
+        is hashed at most once per batch, and the pool admission threshold
+        ``t_max`` — a max over all dedicated sketches, recomputed from
+        scratch per scalar item — is cached and invalidated only when a
+        dedicated threshold can actually have moved.  State transitions are
+        byte-identical to the scalar loop's.
+        """
         keys = _as_key_list(keys)
         if groups is None:
             raise TypeError("update_many() requires a groups= column")
         groups = _as_key_list(groups)
-        if len(groups) != len(keys):
+        n = len(keys)
+        if len(groups) != n:
             raise ValueError("groups must have the same length as keys")
+        dedicated = self.dedicated
+        pool = self.pool
+        m, k, salt = self.m, self.k, self.salt
+        hash_cache: dict[tuple, float] = {}
+        t_max: float | None = None
         for group, key in zip(groups, keys):
-            self._update(group, key)
+            sketch = dedicated.get(group)
+            if sketch is not None:
+                if key in sketch.entries:
+                    continue  # retained: the scalar offer is a no-op
+                pair = (group, key)
+                h = hash_cache.get(pair)
+                if h is None:
+                    hash_cache[pair] = h = hash_to_unit(pair, salt)
+                before = sketch.threshold
+                sketch.offer(key, h)
+                if sketch.threshold < before:
+                    self._prune_pool()
+                    t_max = None
+                continue
+            if len(dedicated) < m:
+                pair = (group, key)
+                h = hash_cache.get(pair)
+                if h is None:
+                    hash_cache[pair] = h = hash_to_unit(pair, salt)
+                sketch = _GroupSketch(k)
+                sketch.offer(key, h)
+                dedicated[group] = sketch
+                t_max = None
+                continue
+            bucket = pool.get(group)
+            if bucket is not None and key in bucket:
+                continue  # pooled already: the scalar path changes nothing
+            pair = (group, key)
+            h = hash_cache.get(pair)
+            if h is None:
+                hash_cache[pair] = h = hash_to_unit(pair, salt)
+            if t_max is None:
+                t_max = self.t_max
+            if h >= t_max:
+                continue
+            if bucket is None:
+                bucket = pool.setdefault(group, {})
+            bucket[key] = h
+            if len(bucket) > k:
+                self._promote(group)
+                t_max = None
+        self.items_seen += n
 
     # ------------------------------------------------------------------
     # Queries

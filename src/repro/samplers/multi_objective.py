@@ -18,9 +18,12 @@ from __future__ import annotations
 import warnings
 from typing import Callable, Mapping, Sequence
 
+import numpy as np
+
 from ..api import StreamSampler, register_sampler
 from ..api.protocol import _as_key_list
-from ..core.hashing import hash_to_unit
+from ..core.hashing import batch_hash_to_unit, hash_to_unit
+from ..core.kernels import bottomk_candidates
 from ..core.priorities import InverseWeightPriority
 from ..core.sample import Sample
 from .bottomk import BottomKSampler, _Entry
@@ -99,18 +102,37 @@ class MultiObjectiveSampler(StreamSampler):
     def update_many(
         self, keys, weights=None, values=None, times=None
     ) -> None:
-        """Bulk :meth:`update`; ``weights`` maps objective -> weight column."""
+        """Vectorized bulk :meth:`update`.
+
+        ``weights`` maps objective -> per-item weight column.  The
+        coordinated uniforms are hashed for the whole batch at once and
+        each objective's sketch ingests only its bottom-k candidates; the
+        per-sketch state is the ``k + 1`` smallest priorities regardless of
+        offer order, so this is exactly the scalar loop's result.
+        """
         keys = _as_key_list(keys)
+        n = len(keys)
         if not isinstance(weights, Mapping):
             raise TypeError(
                 "update_many() requires weights= as a mapping of "
                 "objective -> per-item weight sequence"
             )
-        columns = {name: list(col) for name, col in weights.items()}
-        for i, key in enumerate(keys):
-            self._update(
-                key, {name: col[i] for name, col in columns.items()}
-            )
+        if n == 0:
+            return
+        u = batch_hash_to_unit(keys, self.salt)
+        self.items_seen += n
+        for name in self.objectives:
+            col = np.asarray(weights[name], dtype=float)
+            if col.size != n:
+                raise ValueError(f"weights[{name!r}] must align with keys")
+            if np.any(col <= 0):
+                raise ValueError("objective weights must be positive")
+            pr = u / col
+            sketch = self._sketches[name]
+            sketch.items_seen += n
+            for i in bottomk_candidates(pr, sketch.k, sketch.threshold):
+                w = float(col[i])
+                sketch._offer(_Entry(float(pr[i]), keys[i], w, w))
 
     def sketch(self, objective: str) -> BottomKSampler:
         """The bottom-k sketch optimized for one objective."""

@@ -42,7 +42,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from ..api import StreamSampler, register_sampler
-from ..api.protocol import rng_from_state, rng_to_state
+from ..api.protocol import _as_key_list, _as_optional_array, rng_from_state, rng_to_state
 from ..core.priorities import Uniform01Priority
 from ..core.rng import as_generator
 from ..core.sample import Sample
@@ -50,7 +50,7 @@ from ..core.sample import Sample
 __all__ = ["SlidingWindowSampler", "WindowSnapshot"]
 
 
-@dataclass
+@dataclass(slots=True)
 class _Record:
     key: object
     value: float
@@ -101,7 +101,10 @@ class SlidingWindowSampler(StreamSampler):
 
         self._records: dict[int, _Record] = {}
         self._arrival_order: deque[int] = deque()  # ids, oldest first
-        self._cur_sorted: list[tuple[float, int]] = []  # (priority, id)
+        # Current candidates in ascending priority order, as two parallel
+        # lists (plain float compares beat tuple compares in the hot path).
+        self._cur_pri: list[float] = []
+        self._cur_ids: list[int] = []
         self._expired: deque[tuple[float, float]] = deque()  # (time, priority)
         # Monotone stack of threshold-update events (seq, value); values
         # increase from bottom to top, so the first entry with seq > s is
@@ -132,6 +135,11 @@ class SlidingWindowSampler(StreamSampler):
         """Current per-item threshold ``T_i(t)`` of a stored record."""
         return min(record.initial_threshold, self._min_update_after(record.seq))
 
+    @property
+    def _cur_sorted(self) -> list[tuple[float, int]]:
+        """The legacy ``(priority, id)`` view of the current candidates."""
+        return list(zip(self._cur_pri, self._cur_ids))
+
     # ------------------------------------------------------------------
     # Stream interface
     # ------------------------------------------------------------------
@@ -149,8 +157,11 @@ class SlidingWindowSampler(StreamSampler):
                 break
             self._arrival_order.popleft()
             del self._records[rid]
-            idx = bisect.bisect_left(self._cur_sorted, (record.priority, rid))
-            self._cur_sorted.pop(idx)
+            idx = bisect.bisect_left(self._cur_pri, record.priority)
+            while self._cur_ids[idx] != rid:  # ties: scan to the matching id
+                idx += 1
+            self._cur_pri.pop(idx)
+            self._cur_ids.pop(idx)
             self._expired.append((record.time, record.priority))
         while self._expired and self._expired[0][0] <= cutoff_expired:
             self._expired.popleft()
@@ -200,27 +211,295 @@ class SlidingWindowSampler(StreamSampler):
         self._seq += 1
         r = float(self.rng.random())
 
-        if len(self._cur_sorted) < self.k:
+        if len(self._cur_pri) < self.k:
             # Budget not binding: admit with the trivial threshold 1.
             self._store(key, value, time, r, 1.0)
-            self.max_current = max(self.max_current, len(self._cur_sorted))
+            self.max_current = max(self.max_current, len(self._cur_pri))
             return True
 
         # Candidate threshold: k-th smallest of current priorities plus the
         # new priority, i.e. clamp(r, c_(k-1), c_k) for the sorted current.
-        c_km1 = self._cur_sorted[-2][0]
-        c_k = self._cur_sorted[-1][0]
+        c_km1 = self._cur_pri[-2]
+        c_k = self._cur_pri[-1]
         t_n = min(max(r, c_km1), c_k)
         accepted = r < t_n
         if accepted:
             # Conceptually k+1 current examples: drop the largest priority.
-            _, evict_id = self._cur_sorted.pop()
+            self._cur_pri.pop()
+            evict_id = self._cur_ids.pop()
             del self._records[evict_id]
             self._store(key, value, time, r, t_n)
         # Every overflow event lowers all current thresholds: T_i = min(T_i, t_n).
         self._push_update(t_n)
-        self.max_current = max(self.max_current, len(self._cur_sorted))
+        self.max_current = max(self.max_current, len(self._cur_pri))
         return accepted
+
+    def update_many(
+        self, keys, weights=None, values=None, times=None
+    ) -> None:
+        """Bulk :meth:`update`, vectorized over inter-event runs.
+
+        The admission test reduces to ``r < c_{k-1}`` (the second-largest
+        current priority): the candidate threshold is ``clamp(r, c_{k-1},
+        c_k)`` and ``r < clamp(...)`` iff ``r < c_{k-1}``.  Current-set
+        state therefore changes only at *events* — expiries, underfull
+        admissions, and threshold admissions — and between events the only
+        per-item effect is a push onto the monotone threshold-update stack,
+        which is write-only during ingestion.  The batch path pre-draws all
+        uniforms (identical generator consumption), locates expiry
+        boundaries by searchsorted on the time column (times must be
+        non-decreasing; otherwise the per-item path runs), scans runs with
+        a plain-float comparison loop, and materializes the batch's stack
+        effect at the end by walking the segments backwards under the
+        running minimum — segments whose clamp floor is already at or
+        above it are skipped whole.  Seed-for-seed identical to the scalar
+        loop.
+        """
+        n = len(keys)
+        if n == 0:
+            return
+        if times is None:
+            raise TypeError("SlidingWindowSampler.update_many() requires a times= column")
+        t_arr = _as_optional_array(times, n, "times")
+        v = _as_optional_array(values, n, "values")
+        if n > 1 and not bool(np.all(t_arr[1:] >= t_arr[:-1])):
+            self._update_many_seq(keys, v, t_arr)
+            return
+
+        u_arr = self.rng.random(n)
+        u = u_arr.tolist()  # the admission scan compares plain floats
+        v_l = None if v is None else v.tolist()
+        tcut = t_arr - self.window
+        tcut2 = t_arr - 2.0 * self.window
+        np_keys = isinstance(keys, np.ndarray)
+        key_l = None if np_keys else _as_key_list(keys)
+        searchsorted = np.searchsorted
+
+        records = self._records
+        order = self._arrival_order
+        pri = self._cur_pri
+        ids = self._cur_ids
+        expired = self._expired
+        k = self.k
+        seq0 = self._seq
+        next_id = self._next_id
+        max_current = self.max_current
+        bisect_left = bisect.bisect_left
+        bisect_right = bisect.bisect_right
+        records_get = records.get
+
+        # Full-mode segments: (start, length, c_{k-1}, c_k); every position
+        # they cover pushes clamp(u, c_{k-1}, c_k) onto the update stack.
+        seg_start: list[int] = []
+        seg_len: list[int] = []
+        seg_c1: list[float] = []
+        seg_ck: list[float] = []
+
+        pos = 0
+        gate = -1  # cached; invalidated (-1) when heads may have changed
+        while pos < n:
+            # Event gate: the first position where the scalar loop's lazy
+            # advance() would fire (stale head, due expiry, or due drop).
+            # Stores never change the heads, so the gate is recomputed only
+            # after an advance() or a head eviction.
+            if gate < 0:
+                if order:
+                    rec0 = records_get(order[0])
+                    if rec0 is None:
+                        gate = pos  # stale head: popped at the next item
+                    else:
+                        gate = int(searchsorted(tcut, rec0.time))
+                else:
+                    gate = n
+                if expired:
+                    drop = int(searchsorted(tcut2, expired[0][0]))
+                    if drop < gate:
+                        gate = drop
+            if gate <= pos:
+                self.advance(float(t_arr[pos]))
+                gate = -1
+                continue
+            cur_len = len(pri)
+            if cur_len < k:
+                # Underfull: admit unconditionally (trivial threshold 1.0,
+                # no update-stack push), exactly like the scalar branch.
+                rid = next_id
+                next_id += 1
+                records[rid] = _Record(
+                    keys[pos].item() if np_keys else key_l[pos],
+                    1.0 if v_l is None else v_l[pos],
+                    float(t_arr[pos]), u[pos], seq0 + pos + 1, 1.0,
+                )
+                order.append(rid)
+                idx = bisect_left(pri, u[pos])
+                pri.insert(idx, u[pos])
+                ids.insert(idx, rid)
+                if cur_len + 1 > max_current:
+                    max_current = cur_len + 1
+                pos += 1
+                continue
+            # Full mode: scan to the first admission before the gate.
+            if cur_len > max_current:
+                max_current = cur_len
+            c_km1 = pri[-2]
+            c_k = pri[-1]
+            i = pos
+            found = -1
+            while i < gate:
+                if u[i] < c_km1:
+                    found = i
+                    break
+                i += 1
+            end = found + 1 if found >= 0 else gate
+            seg_start.append(pos)
+            seg_len.append(end - pos)
+            seg_c1.append(c_km1)
+            seg_ck.append(c_k)
+            if found >= 0:
+                # Admission: evict the largest-priority candidate, store
+                # the arrival with threshold t_n = c_{k-1}.
+                pri.pop()
+                evict_id = ids.pop()
+                del records[evict_id]
+                if order and order[0] == evict_id:
+                    gate = -1  # stale head: re-gate at the next item
+                r = u[found]
+                rid = next_id
+                next_id += 1
+                records[rid] = _Record(
+                    keys[found].item() if np_keys else key_l[found],
+                    1.0 if v_l is None else v_l[found],
+                    float(t_arr[found]), r, seq0 + found + 1, c_km1,
+                )
+                order.append(rid)
+                idx = bisect_left(pri, r)
+                pri.insert(idx, r)
+                ids.insert(idx, rid)
+            pos = end
+
+        # Materialize the batch's update-stack effect: an entry survives
+        # iff it is strictly below every later pushed value (equal values
+        # pop their elders), so walk the segments backwards under the
+        # running minimum.  A segment clamps into [c_{k-1}, c_k], so once
+        # the running minimum is at or below its floor the whole segment
+        # is skipped without touching its values — only the few segments
+        # that lower the minimum do vectorized work.
+        kept_rev: list[tuple[int, float]] = []
+        running = float("inf")
+        for si in range(len(seg_len) - 1, -1, -1):
+            c1 = seg_c1[si]
+            if c1 >= running:
+                continue
+            a = seg_start[si]
+            b = a + seg_len[si]
+            vals = np.clip(u_arr[a:b], c1, seg_ck[si])
+            sm = np.minimum.accumulate(vals[::-1])[::-1]
+            keep = (vals < np.concatenate((sm[1:], [np.inf]))) & (vals < running)
+            for rel in np.flatnonzero(keep)[::-1].tolist():
+                kept_rev.append((seq0 + 1 + a + rel, float(vals[rel])))
+            running = min(running, float(sm[0]))
+        if kept_rev:
+            updates = self._updates
+            while updates and updates[-1][1] >= running:
+                updates.pop()
+            updates.extend(reversed(kept_rev))
+
+        self.items_seen += n
+        self._seq = seq0 + n
+        self._next_id = next_id
+        self.max_current = max_current
+        last = float(t_arr[-1]) if n else self.last_time
+        if last > self.last_time:
+            self.last_time = last
+
+    def _update_many_seq(self, keys, v, t_arr) -> None:
+        """Per-item bulk path for unsorted time columns.
+
+        Pre-draws the batch's uniforms (identical stream consumption),
+        skips the scalar path's keyword parsing, and only enters
+        :meth:`advance` when an expiry or lazy eviction is pending.
+        """
+        keys = _as_key_list(keys)
+        n = len(keys)
+        t_col = t_arr.tolist()
+        v_col = None if v is None else v.tolist()
+        u = self.rng.random(n).tolist()
+
+        records = self._records
+        order = self._arrival_order
+        pri = self._cur_pri
+        ids = self._cur_ids
+        expired = self._expired
+        updates = self._updates
+        k = self.k
+        window = self.window
+        seq = self._seq
+        next_id = self._next_id
+        last_time = self.last_time
+        max_current = self.max_current
+        bisect_left = bisect.bisect_left
+
+        for i in range(n):
+            ti = t_col[i]
+            # Enter the expiry path only when it has work to do (advance is
+            # a no-op otherwise, so lazily skipping it is state-identical).
+            if order:
+                rec0 = records.get(order[0])
+                if rec0 is None or rec0.time <= ti - window or (
+                    expired and expired[0][0] <= ti - 2.0 * window
+                ):
+                    self.advance(ti)
+            elif expired and expired[0][0] <= ti - 2.0 * window:
+                self.advance(ti)
+            if ti > last_time:
+                last_time = ti
+            seq += 1
+            r = u[i]
+
+            cur_len = len(pri)
+            if cur_len < k:
+                rid = next_id
+                next_id += 1
+                records[rid] = _Record(keys[i], 1.0 if v_col is None else v_col[i],
+                                       ti, r, seq, 1.0)
+                order.append(rid)
+                idx = bisect_left(pri, r)
+                pri.insert(idx, r)
+                ids.insert(idx, rid)
+                if cur_len + 1 > max_current:
+                    max_current = cur_len + 1
+                continue
+
+            c_km1 = pri[-2]
+            c_k = pri[-1]
+            t_n = r
+            if t_n < c_km1:
+                t_n = c_km1
+            if t_n > c_k:
+                t_n = c_k
+            if r < t_n:
+                pri.pop()
+                evict_id = ids.pop()
+                del records[evict_id]
+                rid = next_id
+                next_id += 1
+                records[rid] = _Record(keys[i], 1.0 if v_col is None else v_col[i],
+                                       ti, r, seq, t_n)
+                order.append(rid)
+                idx = bisect_left(pri, r)
+                pri.insert(idx, r)
+                ids.insert(idx, rid)
+            while updates and updates[-1][1] >= t_n:
+                updates.pop()
+            updates.append((seq, t_n))
+            if cur_len > max_current:
+                max_current = cur_len
+
+        self.items_seen += n
+        self._seq = seq
+        self._next_id = next_id
+        self.last_time = last_time
+        self.max_current = max_current
 
     def _store(
         self, key: object, value: float, time: float, priority: float, threshold: float
@@ -237,18 +516,20 @@ class SlidingWindowSampler(StreamSampler):
         )
         self._records[rid] = record
         self._arrival_order.append(rid)
-        bisect.insort(self._cur_sorted, (priority, rid))
+        idx = bisect.bisect_left(self._cur_pri, priority)
+        self._cur_pri.insert(idx, priority)
+        self._cur_ids.insert(idx, rid)
 
     # ------------------------------------------------------------------
     # Final thresholds and samples
     # ------------------------------------------------------------------
     def _current_records(self) -> list[_Record]:
-        return [self._records[rid] for _, rid in self._cur_sorted]
+        return [self._records[rid] for rid in self._cur_ids]
 
     def gl_threshold(self, now: float) -> float:
         """G&L final threshold: bottom-k over current + expired priorities."""
         self.advance(now)
-        priorities = [p for p, _ in self._cur_sorted]
+        priorities = list(self._cur_pri)
         priorities.extend(p for _, p in self._expired)
         if len(priorities) < self.k:
             return 1.0
@@ -325,7 +606,7 @@ class SlidingWindowSampler(StreamSampler):
             improved_threshold=imp_t,
             gl_sample_size=gl_n,
             improved_sample_size=imp_n,
-            stored_current=len(self._cur_sorted),
+            stored_current=len(self._cur_pri),
             stored_expired=len(self._expired),
         )
 
@@ -374,9 +655,9 @@ class SlidingWindowSampler(StreamSampler):
             for rid, key, value, time, priority, seq, threshold in state["records"]
         }
         self._arrival_order = deque(state["arrival_order"])
-        self._cur_sorted = sorted(
-            (rec.priority, rid) for rid, rec in self._records.items()
-        )
+        cur = sorted((rec.priority, rid) for rid, rec in self._records.items())
+        self._cur_pri = [p for p, _ in cur]
+        self._cur_ids = [rid for _, rid in cur]
         self._expired = deque(tuple(pair) for pair in state["expired"])
         self._updates = [tuple(pair) for pair in state["updates"]]
         self._seq = int(state["seq"])

@@ -23,7 +23,8 @@ from typing import Callable
 import numpy as np
 
 from ..api import StreamSampler, register_sampler
-from ..api.protocol import rng_from_state, rng_to_state
+from ..api.protocol import _as_key_list, _as_optional_array, rng_from_state, rng_to_state
+from ..core.kernels import bottomk_candidates
 from ..core.priorities import Uniform01Priority
 from ..core.rng import as_generator
 from ..core.sample import Sample
@@ -130,6 +131,45 @@ class ExponentialDecaySampler(StreamSampler):
             return False
         heapq.heapreplace(self._heap, entry)
         return True
+
+    def update_many(self, keys, weights=None, values=None, times=None) -> None:
+        """Vectorized bulk :meth:`update`.
+
+        Draws the whole batch's uniforms at once (``rng.random(n)`` consumes
+        the generator stream exactly like ``n`` scalar draws), computes the
+        static log-priorities vectorized, and offers only the bottom-k
+        candidates — the heap state is the ``k + 1`` smallest log-priorities
+        regardless of arrival order, so the result is seed-for-seed
+        identical to the scalar loop.
+        """
+        keys = _as_key_list(keys)
+        n = len(keys)
+        if n == 0:
+            return
+        if times is None:
+            raise TypeError("ExponentialDecaySampler.update_many() requires a times= column")
+        t = _as_optional_array(times, n, "times")
+        w = _as_optional_array(weights, n, "weights")
+        v = _as_optional_array(values, n, "values")
+        if w is not None and np.any(w <= 0):
+            raise ValueError("weight must be positive")
+        if t[0] < self._last_time or np.any(np.diff(t) < 0):
+            raise ValueError("arrival times must be non-decreasing")
+        u = self.rng.random(n)
+        log_w = 0.0 if w is None else np.log(w)
+        log_p = np.log(u) - log_w - self.decay_rate * t
+        self._last_time = float(t[-1])
+        self.items_seen += n
+        wcol = np.ones(n) if w is None else w
+        vcol = wcol if v is None else v
+        for i in bottomk_candidates(log_p, self.k, self.log_threshold):
+            entry = _DecayEntry(
+                float(log_p[i]), keys[i], float(wcol[i]), float(t[i]), float(vcol[i])
+            )
+            if len(self._heap) <= self.k:
+                heapq.heappush(self._heap, entry)
+            elif entry.log_priority < self._heap[0].log_priority:
+                heapq.heapreplace(self._heap, entry)
 
     @property
     def log_threshold(self) -> float:

@@ -29,21 +29,26 @@ FrequentItems in Figure 3 (``repro.experiments.figure3``).
 
 from __future__ import annotations
 
+import heapq
 from dataclasses import dataclass
 from typing import Callable
 
 import numpy as np
 
 from ..api import StreamSampler, register_sampler
-from ..api.protocol import rng_from_state, rng_to_state
+from ..api.protocol import _as_key_list, rng_from_state, rng_to_state
+from ..core.kernels import DrawBuffer, KeyedBatch, int_key_array
 from ..core.priorities import Uniform01Priority
 from ..core.rng import as_generator
 from ..core.sample import Sample
 
 __all__ = ["AdaptiveTopKSampler", "TopKEntry"]
 
+#: Chunk length of the integer-key batch scan (see ``update_many``).
+_CHUNK = 4096
 
-@dataclass
+
+@dataclass(slots=True)
 class TopKEntry:
     """Sample-list entry: entry priority, anchor threshold, and counter."""
 
@@ -67,12 +72,17 @@ class AdaptiveTopKSampler(StreamSampler):
         Number of frequent slots the adaptive threshold protects.
     recompute_every:
         Threshold recomputation cadence, counted in *insertions* of new
-        keys (recomputation is also triggered every 4096 plain updates so
-        long frequent-only streams stay tight).  1 recomputes eagerly.
+        keys (recomputation is also forced every ``FORCED_RECOMPUTE``
+        plain updates so long frequent-only streams stay tight).  1
+        recomputes eagerly.
     """
 
     default_estimate_kind = "count"
     legacy_estimate_param = "key"
+
+    #: Forced recomputation cadence in plain updates: keeps the threshold
+    #: tight on insert-free streams while amortizing the O(table) solve.
+    FORCED_RECOMPUTE = 16384
 
     def __init__(self, k: int, recompute_every: int = 8, rng=None):
         if k < 1:
@@ -108,45 +118,433 @@ class AdaptiveTopKSampler(StreamSampler):
                 self.max_table_size = max(self.max_table_size, len(self.table))
         if (
             self._inserts_since_recompute >= self.recompute_every
-            or self._updates_since_recompute >= 4096
+            or self._updates_since_recompute >= self.FORCED_RECOMPUTE
         ):
             self.recompute_threshold()
+
+    def update_many(self, keys, weights=None, values=None, times=None) -> None:
+        """Vectorized bulk :meth:`update`.
+
+        The sampler is a key-table state machine: occurrences of *tracked*
+        keys are pure counter increments (they commute until the next
+        threshold recomputation), while occurrences of untracked keys are
+        *events* that consume randomness and can mutate the table.  Bounded
+        non-negative integer key arrays take a chunked-scan path: one
+        vectorized mask lookup per chunk finds the untracked-key positions
+        (the only ones the python loop visits), and the deferred increments
+        of each span are materialized in one ``bincount``/``unique`` pass
+        at the exact recomputation boundaries the scalar loop would hit.
+        Other key batches are factorized once (:class:`KeyedBatch`) and
+        driven by an event heap holding each untracked code's next
+        occurrence.  RNG draws are block-buffered with rewind on both
+        paths, so generator consumption — and therefore the sample — is
+        seed-for-seed identical to scalar ingestion.
+        """
+        arr = int_key_array(keys) if isinstance(keys, np.ndarray) else None
+        if arr is not None:
+            self._update_many_ints(arr)
+            return
+        self._update_many_keyed(keys)
+
+    def _update_many_ints(self, arr: np.ndarray) -> None:
+        """Chunked-scan batch ingestion for dense integer key batches.
+
+        Increments are deferred and materialized per span at recomputation
+        boundaries; untracked-key occurrences draw one uniform each, and —
+        because the threshold only moves at recomputations — whole runs of
+        *rejected* draws are evaluated with one vectorized compare.  Only
+        acceptances (inserts) and recomputations touch python.
+        """
+        n = arr.size
+        if n == 0:
+            return
+        table = self.table
+        kmax = int(arr.max()) + 1
+        tracked = np.zeros(kmax, dtype=bool)
+        in_range = [
+            k for k in table
+            if isinstance(k, (int, np.integer)) and 0 <= k < kmax
+        ]
+        if in_range:
+            tracked[in_range] = True
+
+        threshold = self.threshold
+        isr = self._inserts_since_recompute
+        usr = self._updates_since_recompute
+        recompute_every = self.recompute_every
+        cadence = self.FORCED_RECOMPUTE
+        max_table = self.max_table_size
+        heappush, heappop = heapq.heappush, heapq.heappop
+        rng = self.rng
+
+        flush_from = 0
+        event_keys: list[int] = []  # keys of drawn events since flush_from
+
+        def flush(bound: int) -> None:
+            """Apply the deferred increments in [flush_from, bound).
+
+            Every occurrence in the span increments a tracked entry except
+            the drawn-event positions (an inserting event starts at count
+            0; a rejected event touches nothing) — subtract those and add
+            the rest in one vectorized pass.
+            """
+            nonlocal flush_from
+            if bound <= flush_from:
+                event_keys.clear()
+                return
+            seg = arr[flush_from:bound]
+            if kmax <= 4 * seg.size:
+                pending = np.bincount(seg, minlength=kmax)
+                for key in event_keys:
+                    pending[key] -= 1
+                for key in np.flatnonzero(pending).tolist():
+                    table[key].count += int(pending[key])
+            else:
+                corr: dict = {}
+                for key in event_keys:
+                    corr[key] = corr.get(key, 0) + 1
+                uniq, cnts = np.unique(seg, return_counts=True)
+                corr_get = corr.get
+                for key, c in zip(uniq.tolist(), cnts.tolist()):
+                    c -= corr_get(key, 0)
+                    if c:
+                        table[key].count += c
+            event_keys.clear()
+            flush_from = bound
+
+        def recompute(bound: int) -> list:
+            """Flush and recompute exactly where the scalar loop would."""
+            nonlocal threshold, isr, usr
+            flush(bound)
+            discarded = self.recompute_threshold()
+            isr = usr = 0
+            threshold = self.threshold
+            return discarded
+
+        # Inline block-buffered draws (DrawBuffer semantics, no call cost).
+        buffered = hasattr(rng.bit_generator, "advance")
+        dbuf = rng.random(1024) if buffered else None
+        dpos = 0
+
+        pos = 0  # next unprocessed position
+        while pos < n:
+            ce = min(n, pos + _CHUNK)
+            cbase = pos
+            chunk = arr[pos:ce]
+            chunk_len = ce - pos
+            # Candidate events: untracked-key positions.  Inserts filter
+            # their key's remaining candidates, and discards reschedule
+            # through ``extra``, so the candidate list always holds drawn
+            # events only.
+            cand = np.flatnonzero(~tracked[chunk])
+            ckeys = chunk[cand]
+            ci = 0
+            extra: list[int] = []  # rescheduled (chunk-relative) positions
+
+            def reschedule(keys_, after_rel: int) -> None:
+                """Turn discarded keys' later occurrences into events."""
+                for dkey in keys_:
+                    if isinstance(dkey, (int, np.integer)) and 0 <= dkey < kmax:
+                        tracked[dkey] = False
+                        for r2 in np.flatnonzero(
+                            chunk[after_rel:] == dkey
+                        ).tolist():
+                            heappush(extra, after_rel + r2)
+
+            while True:
+                nxt_c = cand[ci] if ci < cand.size else _CHUNK
+                nxt_e = extra[0] if extra else _CHUNK
+                boundary = pos + cadence - usr  # forced-recompute position
+                if nxt_e < nxt_c:
+                    # Single rescheduled event (rare path).
+                    ev = cbase + nxt_e
+                    step = ev if ev <= boundary else boundary
+                    if step > pos:
+                        usr += step - pos
+                        pos = step
+                        if usr >= cadence:
+                            reschedule(recompute(pos), pos - cbase)
+                            continue
+                    rel = nxt_e
+                    while extra and extra[0] == rel:
+                        heappop(extra)
+                    key = int(chunk[rel])
+                    usr += 1
+                    pos += 1
+                    if tracked[key]:
+                        # Re-tracked meanwhile: a deferred increment, but it
+                        # still counts toward the forced-recompute cadence.
+                        if usr >= cadence:
+                            reschedule(recompute(pos), rel + 1)
+                        continue
+                    if buffered:
+                        if dpos >= 1024:
+                            dbuf = rng.random(1024)
+                            dpos = 0
+                        r = dbuf[dpos]
+                        dpos += 1
+                    else:
+                        r = float(rng.random())
+                    event_keys.append(key)
+                    if r < threshold:
+                        table[key] = TopKEntry(
+                            priority=float(r), threshold=threshold, count=0
+                        )
+                        tracked[key] = True
+                        isr += 1
+                        if len(table) > max_table:
+                            max_table = len(table)
+                        keep = ckeys[ci:] != key
+                        cand = cand[ci:][keep]
+                        ckeys = ckeys[ci:][keep]
+                        ci = 0
+                    if isr >= recompute_every or usr >= cadence:
+                        reschedule(recompute(pos), rel + 1)
+                    continue
+                if nxt_c >= chunk_len:
+                    # No candidates left: bulk-advance toward the chunk
+                    # end.  A forced recomputation on the way may discard
+                    # keys and reschedule their remaining occurrences, so
+                    # re-enter the event loop whenever that happens.
+                    rescheduled = False
+                    while pos < ce:
+                        step = ce if ce <= boundary else boundary
+                        usr += step - pos
+                        pos = step
+                        if usr >= cadence:
+                            reschedule(recompute(pos), pos - cbase)
+                            boundary = pos + cadence - usr
+                            if extra:
+                                rescheduled = True
+                                break
+                    if rescheduled:
+                        continue
+                    break
+                # Vectorized run of drawn candidate events: the threshold
+                # is constant until the next recomputation, so score a
+                # block of draws with one compare and jump to the first
+                # acceptance.
+                limit_rel = min(chunk_len, boundary - cbase)
+                if extra:
+                    limit_rel = min(limit_rel, extra[0])
+                hi = int(np.searchsorted(cand, limit_rel, side="left"))
+                if hi <= ci:
+                    # Forced recomputation (or extra) before the next
+                    # candidate: bulk-advance to it.
+                    ev = cbase + nxt_c
+                    step = ev if ev <= boundary else boundary
+                    usr += step - pos
+                    pos = step
+                    if usr >= cadence:
+                        reschedule(recompute(pos), pos - cbase)
+                    continue
+                if buffered and dpos >= 1024:
+                    dbuf = rng.random(1024)
+                    dpos = 0
+                if buffered:
+                    m = min(hi - ci, 1024 - dpos)
+                    u = dbuf[dpos:dpos + m]
+                else:
+                    # No advance() support: draw one at a time so the
+                    # generator consumption matches the scalar loop.
+                    m = 1
+                    u = np.array([rng.random()])
+                hits = np.flatnonzero(u < threshold)
+                if hits.size == 0:
+                    # Every draw in the block rejected: consume and jump.
+                    last_rel = int(cand[ci + m - 1])
+                    event_keys.extend(ckeys[ci:ci + m].tolist())
+                    if buffered:
+                        dpos += m
+                    ci += m
+                    usr += cbase + last_rel + 1 - pos
+                    pos = cbase + last_rel + 1
+                    if usr >= cadence:
+                        reschedule(recompute(pos), pos - cbase)
+                    continue
+                j = int(hits[0])
+                rel = int(cand[ci + j])
+                key = int(ckeys[ci + j])
+                event_keys.extend(ckeys[ci:ci + j + 1].tolist())
+                r = float(u[j])
+                if buffered:
+                    dpos += j + 1
+                usr += cbase + rel + 1 - pos
+                pos = cbase + rel + 1
+                table[key] = TopKEntry(priority=r, threshold=threshold, count=0)
+                tracked[key] = True
+                isr += 1
+                if len(table) > max_table:
+                    max_table = len(table)
+                keep = ckeys[ci + j + 1:] != key
+                cand = cand[ci + j + 1:][keep]
+                ckeys = ckeys[ci + j + 1:][keep]
+                ci = 0
+                if isr >= recompute_every or usr >= cadence:
+                    reschedule(recompute(pos), rel + 1)
+        flush(n)
+        if buffered and dpos < 1024:
+            rng.bit_generator.advance(-(1024 - dpos))
+
+        self.items_seen += n
+        self.threshold = threshold
+        self._inserts_since_recompute = isr
+        self._updates_since_recompute = usr
+        self.max_table_size = max_table
+
+    def _update_many_keyed(self, keys) -> None:
+        """Event-heap batch ingestion for arbitrary hashable key batches."""
+        raw = keys
+        keys = _as_key_list(keys)
+        n = len(keys)
+        if n == 0:
+            return
+        kb = KeyedBatch(raw if isinstance(raw, np.ndarray) else keys)
+        uniq, inv = kb.keys, kb.inv
+        n_uniq = len(uniq)
+        table = self.table
+        uniq_index = dict(zip(uniq, range(n_uniq)))
+
+        member = np.zeros(n_uniq, dtype=bool)
+        for key in table:
+            code = uniq_index.get(key)
+            if code is not None:
+                member[code] = True
+
+        # One heap entry per untracked code: its next unprocessed
+        # occurrence.  Tracked occurrences never enter the heap — they are
+        # bulk increments, flushed at recomputation boundaries.
+        ev_heap: list[tuple[int, int]] = [
+            (int(kb.occurrences(code)[0]), code)
+            for code in range(n_uniq)
+            if not member[code]
+        ]
+        heapq.heapify(ev_heap)
+
+        prev = 0        # first unprocessed position
+        seg_start = 0   # first position not yet flushed into entry counts
+        seg_events: list[int] = []  # codes of events since seg_start
+        threshold = self.threshold
+        isr = self._inserts_since_recompute
+        usr = self._updates_since_recompute
+        recompute_every = self.recompute_every
+        cadence = self.FORCED_RECOMPUTE
+        max_table = self.max_table_size
+
+        def flush(bound: int) -> None:
+            """Apply the increments in [seg_start, bound) to live entries.
+
+            Every occurrence in the segment is an increment of a tracked
+            key except the event positions, whose codes are recorded in
+            ``seg_events`` (an inserting event starts at count 0; a
+            rejected event touches nothing) — subtract those and add the
+            rest in one ``np.bincount`` pass.
+            """
+            nonlocal seg_start
+            if bound <= seg_start:
+                return
+            pending = np.bincount(inv[seg_start:bound], minlength=n_uniq)
+            for code in seg_events:
+                pending[code] -= 1
+            seg_events.clear()
+            seg_start = bound
+            for code in np.flatnonzero(pending):
+                table[uniq[code]].count += int(pending[code])
+
+        def recompute(pos: int) -> None:
+            """Run the threshold recomputation exactly as the scalar loop."""
+            nonlocal threshold, isr, usr
+            flush(pos)
+            discarded = self.recompute_threshold()
+            isr = usr = 0
+            for key in discarded:
+                code = uniq_index.get(key)
+                if code is None:
+                    continue
+                member[code] = False
+                nxt = kb.next_occurrence_after(code, pos - 1)
+                if nxt >= 0:
+                    heapq.heappush(ev_heap, (nxt, code))
+            threshold = self.threshold
+
+        with DrawBuffer(self.rng, expected=len(ev_heap)) as draw:
+            while prev < n:
+                ev_pos = ev_heap[0][0] if ev_heap else n
+                bound = min(ev_pos, prev + cadence - usr, n)
+                if bound > prev:
+                    usr += bound - prev
+                    prev = bound
+                    if usr >= cadence:
+                        recompute(prev)
+                    continue
+                # Process the event at position prev.
+                pos, code = heapq.heappop(ev_heap)
+                usr += 1
+                prev += 1
+                seg_events.append(code)
+                r = draw()
+                if r < threshold:
+                    table[uniq[code]] = TopKEntry(
+                        priority=r, threshold=threshold, count=0
+                    )
+                    member[code] = True
+                    isr += 1
+                    if len(table) > max_table:
+                        max_table = len(table)
+                else:
+                    nxt = kb.next_occurrence_after(code, pos)
+                    if nxt >= 0:
+                        heapq.heappush(ev_heap, (nxt, code))
+                if isr >= recompute_every or usr >= cadence:
+                    recompute(prev)
+            flush(n)
+
+        self.items_seen += n
+        self._inserts_since_recompute = isr
+        self._updates_since_recompute = usr
+        self.max_table_size = max(self.max_table_size, max_table)
 
     # ------------------------------------------------------------------
     # The adaptive threshold
     # ------------------------------------------------------------------
-    def recompute_threshold(self) -> None:
+    def recompute_threshold(self) -> list:
         """Lower ``T`` to the smallest sample priority keeping k frequent items.
 
         ``T_new = min{ R_j in sample : #{i : c_hat_i > 1/R_j} >= k }``; the
         count condition is monotone in ``R_j``, so it reduces to comparing
-        against the k-th largest estimate.
+        against the k-th largest estimate.  Returns the discarded keys (the
+        batch path reschedules their remaining occurrences as events).
         """
         self._inserts_since_recompute = 0
         self._updates_since_recompute = 0
-        if len(self.table) <= self.k:
-            return
-        estimates = sorted(
-            (entry.estimate for entry in self.table.values()), reverse=True
+        m = len(self.table)
+        if m <= self.k:
+            return []
+        entries = self.table.values()
+        priorities = np.fromiter(
+            (e.priority for e in entries), dtype=float, count=m
         )
-        kth_largest = estimates[self.k - 1]
+        thresholds = np.fromiter(
+            (e.threshold for e in entries), dtype=float, count=m
+        )
+        counts = np.fromiter((e.count for e in entries), dtype=float, count=m)
+        estimates = 1.0 / thresholds + counts
+        kth_largest = float(
+            np.partition(estimates, m - self.k)[m - self.k]
+        )
         if kth_largest <= 0:
-            return
+            return []
         cutoff = 1.0 / kth_largest
-        candidates = [
-            entry.priority
-            for entry in self.table.values()
-            if entry.priority > cutoff
-        ]
-        if not candidates:
-            return
-        t_new = min(candidates)
+        above = priorities[priorities > cutoff]
+        if above.size == 0:
+            return []
+        t_new = float(above.min())
         if t_new >= self.threshold:
-            return
+            return []
         self.threshold = t_new
-        self._apply_threshold(t_new)
+        return self._apply_threshold(t_new)
 
-    def _apply_threshold(self, t_new: float) -> None:
+    def _apply_threshold(self, t_new: float) -> list:
         """Discard / re-anchor infrequent entries after a threshold drop."""
         boundary = 1.0 / t_new
         discard = []
@@ -160,6 +558,7 @@ class AdaptiveTopKSampler(StreamSampler):
                 entry.count = 0
         for key in discard:
             del self.table[key]
+        return discard
 
     # ------------------------------------------------------------------
     # Queries

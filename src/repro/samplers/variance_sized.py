@@ -47,7 +47,9 @@ from ..api.protocol import (
     rng_from_state,
     rng_to_state,
 )
-from ..core.hashing import hash_to_unit
+from ..api.protocol import _as_key_list, _as_optional_array
+from ..core.hashing import batch_hash_to_unit, hash_to_unit
+from ..core.kernels import merge_into_sorted
 from ..core.priorities import InverseWeightPriority, PriorityFamily
 from ..core.rng import as_generator
 from ..core.sample import Sample
@@ -133,6 +135,103 @@ def solve_stopping_threshold(
     return float("inf")
 
 
+def _solve_first_crossing_invw(
+    values: np.ndarray,
+    weights: np.ndarray,
+    priorities: np.ndarray,
+    target: float,
+    tol: float,
+) -> float:
+    """Vectorized first-crossing solve for priority sampling.
+
+    For ``F(t | w) = min(1, w t)`` the variance estimate at boundary
+    ``t = p_(m)`` over the sample ``{p_i <= p_(m)}`` decomposes into prefix
+    sums: with ``a_i = v_i^2 / w_i^2`` and ``b_i = v_i^2 / w_i``,
+
+        Vhat(t) = (A - A_sat) / t^2 - (B - B_sat) / t
+
+    where the "saturated" terms cover items with ``w_i t >= 1``, i.e.
+    ``s_i = 1/w_i <= t``.  Because ``p_i <= s_i`` always, saturation at a
+    boundary implies membership in its sample, so the saturated sums are
+    plain prefix sums along the ``s``-sorted order — every boundary value
+    evaluates in one vectorized pass, and the in-interval bisection runs
+    off the same prefix arrays in O(log n) per probe.  Ties in priorities
+    are assumed absent (they are continuous draws); the generic scan
+    remains the reference for exotic cases.
+    """
+    n = priorities.size
+    order = np.argsort(priorities)
+    p = priorities[order]
+    a = values[order] ** 2 / weights[order] ** 2
+    b = values[order] ** 2 / weights[order]
+    PA = np.cumsum(a)
+    PB = np.cumsum(b)
+    s_all = 1.0 / weights[order]
+    s_order = np.argsort(s_all)
+    s_sorted = s_all[s_order]
+    SA = np.concatenate(([0.0], np.cumsum(a[s_order])))
+    SB = np.concatenate(([0.0], np.cumsum(b[s_order])))
+
+    def vhat_at(t: float, m: int) -> float:
+        """Vhat at threshold ``t`` over the first ``m + 1`` sample items.
+
+        Valid whenever ``t < p[m + 1]`` (every saturated item then lies in
+        the prefix automatically).
+        """
+        cut = int(np.searchsorted(s_sorted, t, side="right"))
+        A = PA[m] - SA[cut]
+        B = PB[m] - SB[cut]
+        return A / (t * t) - B / t
+
+    # Boundary values of every interval in one pass.
+    cut_lo = np.searchsorted(s_sorted, p, side="right")
+    v_lo = (PA - SA[cut_lo]) / p**2 - (PB - SB[cut_lo]) / p
+    # Upper ends: the same sample evaluated at the next boundary; the only
+    # saturation the global s-cut can overcount is item m+1 itself.
+    if n > 1:
+        t_hi = p[1:]
+        cut_hi = np.searchsorted(s_sorted, t_hi, side="right")
+        A_hi = PA[:-1] - SA[cut_hi]
+        B_hi = PB[:-1] - SB[cut_hi]
+        sat_next = s_all[1:] <= t_hi
+        A_hi = A_hi + np.where(sat_next, a[1:], 0.0)
+        B_hi = B_hi + np.where(sat_next, b[1:], 0.0)
+        v_hi = A_hi / t_hi**2 - B_hi / t_hi
+        crossing = (v_lo[:-1] >= target) & (v_hi < target)
+        hits = np.flatnonzero(crossing)
+        if hits.size:
+            m = int(hits[0])
+            lo, hi = float(p[m]), float(p[m + 1])
+            for _ in range(200):
+                mid = 0.5 * (lo + hi)
+                if vhat_at(mid, m) >= target:
+                    lo = mid
+                else:
+                    hi = mid
+                if hi - lo <= tol * max(1.0, hi):
+                    break
+            return 0.5 * (lo + hi)
+    # Last interval: (p[-1], inf) with the full sample.
+    m = n - 1
+    if v_lo[m] < target:
+        return float("inf")
+    hi = max(float(p[m]) * 2.0, 1.0)
+    while vhat_at(hi, m) >= target and hi < 1e300:
+        hi *= 2.0
+    if vhat_at(hi, m) >= target:
+        return float("inf")
+    lo = float(p[m])
+    for _ in range(200):
+        mid = 0.5 * (lo + hi)
+        if vhat_at(mid, m) >= target:
+            lo = mid
+        else:
+            hi = mid
+        if hi - lo <= tol * max(1.0, hi):
+            break
+    return 0.5 * (lo + hi)
+
+
 def solve_first_crossing(
     values,
     weights,
@@ -148,6 +247,10 @@ def solve_first_crossing(
     first down-crossing.  Everything the computation touches lies below the
     returned threshold, which is what makes this rule implementable from
     the sample alone.
+
+    For the default priority-sampling family the scan runs fully
+    vectorized (:func:`_solve_first_crossing_invw`); other families use
+    the generic interval walk.
     """
     if delta <= 0:
         raise ValueError("delta must be positive")
@@ -159,6 +262,10 @@ def solve_first_crossing(
     n = priorities.size
     if n == 0:
         return float("inf")
+    if type(family) is InverseWeightPriority and n > 1:
+        return _solve_first_crossing_invw(
+            values, weights, priorities, target, tol
+        )
     ascending = np.sort(priorities)
 
     for m in range(n):  # interval (a_m, a_{m+1}): sample = first m+1 items
@@ -224,6 +331,10 @@ class VarianceTargetSampler(StreamSampler):
         self._cap = float("inf")
         self._cap_ever_bound = False
         self.items_seen = 0
+        # Geometric tightening cadence: first solve at 256 items, then
+        # every ~12% of stream growth — the solver is O(sample^2) in the
+        # worst case, so a fixed cadence would dominate ingestion.
+        self._next_tighten = 256
 
     def _priority(self, key: object, weight: float) -> float:
         if self.coordinated:
@@ -258,13 +369,11 @@ class VarianceTargetSampler(StreamSampler):
         )
         # Don't cap before the extrapolated threshold has stabilized: the
         # early-stream estimate is noisy, and an over-tight cap can never be
-        # undone (evicted items are gone).
-        if (
-            self.horizon is not None
-            and self.items_seen >= 256
-            and self.items_seen % 64 == 0
-        ):
+        # undone (evicted items are gone).  The cadence backs off
+        # geometrically so the solve cost amortizes to O(1) per item.
+        if self.horizon is not None and self.items_seen >= self._next_tighten:
             self._tighten_cap()
+            self._next_tighten = self.items_seen + max(64, self.items_seen // 8)
         return True
 
     def _arrays(self) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
@@ -274,29 +383,132 @@ class VarianceTargetSampler(StreamSampler):
             np.asarray(self._priorities, dtype=float),
         )
 
-    def _tighten_cap(self) -> None:
-        """Cap retention at the extrapolated final stopping threshold.
+    def _solve_cap(self, values, weights, priorities) -> float | None:
+        """The new (smaller) retention cap, or None when the cap is unchanged.
 
-        ``E Vhat_i(t) = (i / N) Vhat_N(t)`` for i.i.d. arrivals, so the
-        final threshold is estimated by solving with a scaled-down target
-        ``delta^2 * i / N``.
+        Shared core of the scalar and batch tightening paths: the same
+        arrays go through the same solver, so both paths truncate at the
+        same boundary.  ``E Vhat_i(t) = (i / N) Vhat_N(t)`` for i.i.d.
+        arrivals, so the final threshold is estimated by solving with a
+        scaled-down target ``delta^2 * i / N``.
         """
-        if not self._priorities:
-            return
         scale = min(1.0, self.items_seen / float(self.horizon))
-        values, weights, priorities = self._arrays()
         t_hat = solve_first_crossing(
             values, weights, priorities, self.delta * np.sqrt(scale), self.family
         )
         if not np.isfinite(t_hat):
-            return
+            return None
         cap = t_hat * self.oversample
         if cap >= self._cap:
+            return None
+        return cap
+
+    def _tighten_cap(self) -> None:
+        """Cap retention at the extrapolated final stopping threshold."""
+        if not self._priorities:
+            return
+        cap = self._solve_cap(*self._arrays())
+        if cap is None:
             return
         self._cap = cap
         cut = bisect.bisect_left(self._priorities, cap)
         del self._priorities[cut:]
         del self._records[cut:]
+
+    def update_many(self, keys, weights=None, values=None, times=None) -> None:
+        """Vectorized bulk :meth:`update`.
+
+        Priorities for the whole batch are drawn (or hashed) at once, and
+        the sorted retention state lives in numpy arrays for the duration
+        of the batch.  The retention cap can only move at a tightening
+        trigger — the first *accepted* item once ``items_seen`` reaches the
+        cadence counter — so the batch splits into cap-constant segments:
+        each segment is threshold-tested and merged in one numpy pass, and
+        the extrapolated cap is re-solved exactly where the scalar loop
+        would re-solve it.  Seed-for-seed identical to scalar ingestion.
+        """
+        keys = _as_key_list(keys)
+        n = len(keys)
+        if n == 0:
+            return
+        w = _as_optional_array(weights, n, "weights")
+        v = _as_optional_array(values, n, "values")
+        if self.coordinated:
+            u = batch_hash_to_unit(keys, self.salt)
+        else:
+            u = self.rng.random(n)
+        pr = np.asarray(
+            self.family.inverse_cdf(u, 1.0 if w is None else w), dtype=float
+        )
+        wcol = np.ones(n) if w is None else w
+        vcol = wcol if v is None else v
+        key_col = np.empty(n, dtype=object)
+        key_col[:] = keys
+
+        cur_pr = np.asarray(self._priorities, dtype=float)
+        cur_keys = np.empty(len(self._records), dtype=object)
+        cur_keys[:] = [rec[0] for rec in self._records]
+        cur_w = np.asarray([rec[1] for rec in self._records], dtype=float)
+        cur_v = np.asarray([rec[2] for rec in self._records], dtype=float)
+        base = self.items_seen
+
+        pos = 0
+        while pos < n:
+            if np.isfinite(self._cap):
+                acc = pr[pos:] < self._cap
+            else:
+                acc = None  # everything accepted
+            # The tightening trigger fires at the first accepted item from
+            # batch index >= jmin (0-based; items_seen = base + j + 1).
+            trigger = n
+            if self.horizon is not None:
+                jmin = max(pos, self._next_tighten - base - 1)
+                if jmin < n:
+                    if acc is None:
+                        trigger = jmin
+                    else:
+                        rel = np.argmax(acc[jmin - pos:])
+                        if acc[jmin - pos + rel]:
+                            trigger = jmin + int(rel)
+            end = min(n, trigger + 1)
+            if acc is None:
+                taken = np.arange(pos, end)
+            else:
+                taken = pos + np.flatnonzero(acc[: end - pos])
+                if taken.size < end - pos:
+                    self._cap_ever_bound = True
+            if taken.size:
+                cur_pr, cur_keys, cur_w, cur_v = merge_into_sorted(
+                    cur_pr,
+                    pr[taken],
+                    cur_keys,
+                    key_col[taken],
+                    cur_w,
+                    wcol[taken],
+                    cur_v,
+                    vcol[taken],
+                )
+            self.items_seen = base + end
+            if trigger < n:
+                if cur_pr.size:
+                    cap = self._solve_cap(cur_v, cur_w, cur_pr)
+                    if cap is not None:
+                        self._cap = cap
+                        cut = int(np.searchsorted(cur_pr, cap, side="left"))
+                        cur_pr = cur_pr[:cut]
+                        cur_keys = cur_keys[:cut]
+                        cur_w = cur_w[:cut]
+                        cur_v = cur_v[:cut]
+                self._next_tighten = self.items_seen + max(
+                    64, self.items_seen // 8
+                )
+            pos = end
+
+        self.items_seen = base + n
+        self._priorities = cur_pr.tolist()
+        self._records = list(
+            zip(cur_keys.tolist(), cur_w.tolist(), cur_v.tolist())
+        )
 
     def provisional_threshold(self) -> float:
         """First-crossing stopping threshold over the retained items."""
@@ -359,6 +571,7 @@ class VarianceTargetSampler(StreamSampler):
             "cap": self._cap,
             "cap_ever_bound": self._cap_ever_bound,
             "items_seen": self.items_seen,
+            "next_tighten": self._next_tighten,
             "rng": rng_to_state(self.rng),
         }
 
@@ -368,4 +581,5 @@ class VarianceTargetSampler(StreamSampler):
         self._cap = float(state["cap"])
         self._cap_ever_bound = bool(state["cap_ever_bound"])
         self.items_seen = int(state["items_seen"])
+        self._next_tighten = int(state.get("next_tighten", 256))
         self.rng = rng_from_state(state["rng"])

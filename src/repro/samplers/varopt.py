@@ -15,12 +15,14 @@ bench verifies empirically.
 
 from __future__ import annotations
 
+import bisect
 from typing import Callable
 
 import numpy as np
 
 from ..api import StreamSampler, register_sampler
-from ..api.protocol import rng_from_state, rng_to_state
+from ..api.protocol import _as_key_list, _as_optional_array, rng_from_state, rng_to_state
+from ..core.kernels import categorical_draw, varopt_tau
 from ..core.priorities import Uniform01Priority
 from ..core.rng import as_generator
 from ..core.sample import Sample
@@ -54,20 +56,249 @@ class VarOptSampler(StreamSampler):
         if len(self._keys) > self.k:
             self._evict_one()
 
+    def _pick_victim(self, weights: np.ndarray) -> tuple[int, float]:
+        """The eviction threshold tau and the index (in insertion order) to drop.
+
+        Shared by the scalar and batch paths so both consume the generator
+        identically: :func:`repro.core.kernels.categorical_draw` replicates
+        ``rng.choice(n, p=...)`` bit-for-bit with a single uniform.
+        """
+        tau = varopt_tau(weights)
+        drop_probs = 1.0 - np.minimum(1.0, weights / tau)
+        # Total is exactly 1 in exact arithmetic; normalize for safety.
+        drop_probs = drop_probs / drop_probs.sum()
+        return categorical_draw(self.rng, drop_probs), tau
+
     def _evict_one(self) -> None:
         """Drop one of the k+1 items per the VarOpt eviction distribution."""
         weights = np.asarray(self._weights, dtype=float)
-        tau = self._solve_tau(weights, self.k)
-        drop_probs = 1.0 - np.minimum(1.0, weights / tau)
-        total = drop_probs.sum()
-        # Total is exactly 1 in exact arithmetic; normalize for safety.
-        drop_probs = drop_probs / total
-        victim = int(self.rng.choice(len(weights), p=drop_probs))
+        victim, tau = self._pick_victim(weights)
         del self._keys[victim]
         del self._weights[victim]
         # Survivors below tau take the adjusted weight tau.
         self._weights = [tau if w < tau else w for w in self._weights]
         self.threshold = max(self.threshold, tau)
+
+    def update_many(self, keys, weights=None, values=None, times=None) -> None:
+        """Bulk :meth:`update` on a compressed representation of the state.
+
+        VarOpt's threshold moves on *every* overflow, so the eviction chain
+        is inherently sequential — but after each eviction every "small"
+        survivor carries the same adjusted weight ``tau``.  The batch path
+        exploits that: the retained set is kept as a key list plus a list
+        of *explicit* weights (entries above ``tau``; the rest are tagged
+        as ``tau``-valued), so the per-item threshold solve and the victim
+        draw walk only the handful of explicit entries instead of sorting
+        all ``k + 1`` weights.  The per-eviction uniforms are pre-drawn in
+        one generator call (identical stream consumption), and any
+        numerically ambiguous step falls back to the scalar path's exact
+        numpy computation for that item, so the resulting sample matches
+        scalar ingestion (up to <=1e-13 relative rounding drift in the
+        adjusted weights, far below the contract's 1e-9 comparison).
+        """
+        keys = _as_key_list(keys)
+        n = len(keys)
+        if n == 0:
+            return
+        w = _as_optional_array(weights, n, "weights")
+        if w is None:
+            w = np.ones(n)
+        if np.any(w <= 0):
+            raise ValueError("weight must be positive")
+        self.items_seen += n
+        k = self.k
+        w_list = w.tolist()
+
+        # Compressed state: wexp[i] is None for "small" entries (adjusted
+        # weight == tau) and the explicit weight otherwise; expl holds the
+        # explicit slots in ascending buffer order.
+        tau = self.threshold
+        keysb = list(self._keys)
+        wexp: list = []
+        expl: list[int] = []
+        m = 0
+        for i, wt in enumerate(self._weights):
+            if wt == tau and tau > 0.0:
+                wexp.append(None)
+                m += 1
+            else:
+                wexp.append(float(wt))
+                expl.append(i)
+        cur_n = len(keysb)
+
+        # One uniform per eviction, pre-drawn: consumption matches the
+        # scalar loop's one ``rng.random()`` per ``categorical_draw``.
+        n_evict = max(0, cur_n + n - k)
+        draws = self.rng.random(n_evict) if n_evict else None
+        dpos = 0
+        eps = 1e-12
+
+        def materialize() -> np.ndarray:
+            return np.array(
+                [tau if x is None else x for x in wexp], dtype=float
+            )
+
+        def exact_step(u: float) -> float:
+            """Scalar-path numpy eviction (used when grouping is ambiguous).
+
+            Returns the new tau; mutates keysb/wexp/expl/m like the fast
+            path, replicating ``varopt_tau`` + ``categorical_draw`` exactly.
+            """
+            nonlocal m
+            wbuf = materialize()
+            tau_new = varopt_tau(wbuf)
+            drop = 1.0 - np.minimum(1.0, wbuf / tau_new)
+            drop = drop / drop.sum()
+            cdf = np.cumsum(drop)
+            cdf /= cdf[-1]
+            victim = int(cdf.searchsorted(u, side="right"))
+            victim = min(victim, cur_n - 1)
+            _remove(victim)
+            _adjust(tau_new)
+            return tau_new
+
+        def _remove(victim: int) -> None:
+            nonlocal m
+            if wexp[victim] is None:
+                m -= 1
+            else:
+                expl.remove(victim)
+            del keysb[victim]
+            del wexp[victim]
+            for idx in range(len(expl)):
+                if expl[idx] > victim:
+                    expl[idx] -= 1
+
+        def _adjust(tau_new: float) -> None:
+            """Raise survivors below the new tau (they all become small)."""
+            nonlocal m
+            keep = []
+            for p in expl:
+                if wexp[p] <= tau_new:
+                    wexp[p] = None
+                    m += 1
+                else:
+                    keep.append(p)
+            expl[:] = keep
+
+        for i in range(n):
+            keysb.append(keys[i])
+            wt = w_list[i]
+            wexp.append(wt)
+            expl.append(cur_n)
+            cur_n += 1
+            if cur_n <= k:
+                continue
+            u = float(draws[dpos])
+            dpos += 1
+
+            # --- threshold solve over {tau} x m plus the explicit values.
+            evals = sorted(wexp[p] for p in expl)
+            E = len(evals)
+            a = bisect.bisect_left(evals, tau) if m else 0
+            ambiguous = False
+            tau_new = None
+            pre = 0.0
+            for j in range(a):  # explicit entries below the tau run
+                pre += evals[j]
+                t = j + 1
+                if t >= 2:
+                    cand = pre / (t - 1)
+                    upper = evals[t] if t < a else (tau if m else (evals[t] if t < E else np.inf))
+                    if evals[t - 1] <= cand + eps and cand < upper + eps:
+                        tau_new = cand
+                        break
+            if tau_new is None and m:
+                # Interior tau-run brackets exist only in an eps-margin
+                # degeneracy; detect it and fall back for exactness.
+                if abs(pre - tau * (a - 1)) <= 1e-9 * max(1.0, a + m):
+                    ambiguous = a + m >= 2
+                if not ambiguous:
+                    pre_run = pre + m * tau
+                    t = a + m
+                    if t >= 2:
+                        cand = pre_run / (t - 1)
+                        upper = evals[a] if a < E else np.inf
+                        if tau <= cand + eps and cand < upper + eps:
+                            tau_new = cand
+                    pre = pre_run
+                else:
+                    pre += m * tau
+            if tau_new is None and not ambiguous:
+                for j in range(a, E):  # explicit entries above the run
+                    pre += evals[j]
+                    t = m + j + 1
+                    if t >= 2:
+                        cand = pre / (t - 1)
+                        upper = evals[j + 1] if j + 1 < E else np.inf
+                        if evals[j] <= cand + eps and cand < upper + eps:
+                            tau_new = cand
+                            break
+            if tau_new is None or ambiguous or tau_new < tau:
+                tau = exact_step(u)
+                cur_n -= 1
+                continue
+
+            # --- victim draw: replicate categorical_draw's double
+            # normalization over the buffer-order drop probabilities.
+            p_small = 1.0 - tau / tau_new if m else 0.0
+            p_expl = [
+                (p, 1.0 - wexp[p] / tau_new)
+                for p in expl
+                if wexp[p] < tau_new
+            ]
+            total = m * p_small + sum(pe for _, pe in p_expl)
+            if not total > 0.0:
+                tau = exact_step(u)
+                cur_n -= 1
+                continue
+            target = u * total
+            victim = -1
+            cum = 0.0
+            prev_end = 0  # buffer position after the last explicit slot seen
+            ei = 0
+            n_pe = len(p_expl)
+            for p in expl:
+                # run of smalls in [prev_end, p)
+                run = p - prev_end
+                if run and p_small > 0.0:
+                    run_mass = run * p_small
+                    if cum + run_mass > target:
+                        j = int((target - cum) / p_small)
+                        if j >= run:
+                            j = run - 1
+                        victim = prev_end + j
+                        break
+                    cum += run_mass
+                if ei < n_pe and p_expl[ei][0] == p:
+                    pe = p_expl[ei][1]
+                    ei += 1
+                    cum += pe
+                    if cum > target:
+                        victim = p
+                        break
+                prev_end = p + 1
+            if victim < 0:
+                # tail run of smalls (after the last explicit slot)
+                run = cur_n - prev_end
+                if run and p_small > 0.0:
+                    j = int((target - cum) / p_small)
+                    if j >= run:
+                        j = run - 1
+                    victim = prev_end + j
+                else:
+                    tau = exact_step(u)
+                    cur_n -= 1
+                    continue
+            _remove(victim)
+            _adjust(tau_new)
+            tau = tau_new
+            cur_n -= 1
+
+        self._keys = keysb
+        self._weights = [tau if x is None else x for x in wexp]
+        if tau > self.threshold:
+            self.threshold = tau
 
     @staticmethod
     def _solve_tau(weights: np.ndarray, k: int) -> float:

@@ -227,6 +227,39 @@ class TestRegistryCoverage:
         revived = repro.sampler_from_state(state)
         assert type(revived) is type(obj)
 
+    @pytest.mark.parametrize("name", [name for name, _ in OFFLINE_CASES])
+    @pytest.mark.parametrize("chunk", [1, 7, 1000])
+    def test_offline_ingestion_chunking_invariance(self, name, chunk):
+        """Offline constructs ingest via appends; splits must not matter."""
+        m = 60
+        keys = _keys(n=m)
+        probs = np.random.default_rng(9).uniform(0.05, 0.95, m)
+        values = np.random.default_rng(10).lognormal(0.0, 0.8, m)
+
+        def build():
+            if name == "cps":
+                return make_sampler(name, k=5)
+            if name == "priority_layout":
+                return make_sampler(name)
+            return make_sampler(name, metrics={"a": []}, k=8)
+
+        def feed(obj, lo, hi):
+            if name == "cps":
+                obj.update_many(keys[lo:hi], weights=probs[lo:hi])
+            elif name == "priority_layout":
+                obj.update_many(
+                    keys[lo:hi], weights=values[lo:hi], values=values[lo:hi]
+                )
+            else:
+                obj.update_many(keys[lo:hi], weights={"a": values[lo:hi]})
+
+        whole = build()
+        feed(whole, 0, m)
+        split = build()
+        for lo in range(0, m, chunk):
+            feed(split, lo, min(m, lo + chunk))
+        assert whole.to_state() == split.to_state()
+
     def test_sampler_spec_builds(self):
         spec = repro.SamplerSpec("bottom_k", {"k": 16})
         sampler = spec.build()
@@ -254,6 +287,27 @@ class TestStreamingContract:
         else:
             # Randomized eviction orders may differ; sizes must agree.
             assert len(batch.sample()) == len(scalar.sample())
+
+    @pytest.mark.parametrize("chunk", [1, 7, 1000])
+    def test_update_many_chunking_invariance(self, case, chunk):
+        """One big batch == the same stream over arbitrary chunk splits.
+
+        The batch kernels defer work to chunk-internal boundaries
+        (recomputations, purges, threshold runs); splitting the stream
+        moves those boundaries around, so invariance here pins down that
+        the deferral is exact, not approximately right.
+        """
+        if not (case.batch_equivalent and case.deterministic):
+            pytest.skip("chunking comparison needs batch-exact determinism")
+        keys, weights = _keys(), _weights()
+        whole = _build(case)
+        case.feed_many(whole, keys, weights)
+        split = _build(case)
+        for lo in range(0, N, chunk):
+            case.feed_many(
+                split, keys[lo:lo + chunk], weights[lo:lo + chunk]
+            )
+        assert _sample_signature(split) == _sample_signature(whole)
 
     def test_state_round_trip_preserves_sample(self, case):
         sampler = _build(case)
