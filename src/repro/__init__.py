@@ -5,6 +5,9 @@ The package mirrors the paper's structure:
 * :mod:`repro.api` - the unified :class:`StreamSampler` protocol, the
   sampler registry/factory (``make_sampler``/``SamplerSpec``), and the
   ``to_state``/``from_state`` checkpoint machinery.
+* :mod:`repro.engine` - the sharded parallel ingestion engine
+  (:class:`ShardedSampler`): hash-partitioned fan-out over mergeable
+  samplers with merge-tree reduction.
 * :mod:`repro.core` - the adaptive threshold framework (Section 2):
   priorities, threshold rules, recalibration/substitutability, HT and
   pseudo-HT estimators.
@@ -49,6 +52,7 @@ from .baselines import (
     ThetaSketch,
     UnbiasedSpaceSavingSketch,
 )
+from .engine import ShardedSampler, mergeable_samplers
 from .core import (
     BottomK,
     BudgetPrefix,
@@ -105,6 +109,9 @@ __all__ = [
     "merged",
     "available_samplers",
     "sampler_from_state",
+    # engine
+    "ShardedSampler",
+    "mergeable_samplers",
     # core
     "ThresholdRule",
     "FixedThreshold",

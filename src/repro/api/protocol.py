@@ -110,6 +110,11 @@ class StreamSampler(abc.ABC):
 
     #: Registry name, set by :func:`repro.api.registry.register_sampler`.
     sampler_name: ClassVar[str | None] = None
+    #: Whether :meth:`merge` combines two instances over disjoint streams
+    #: into a valid sketch of the concatenated stream.  Classes that
+    #: implement ``merge`` declare this True; execution layers (the sharded
+    #: engine) consult it to reject configurations they cannot reduce.
+    mergeable: ClassVar[bool] = False
     #: The ``estimate()`` facade's default ``kind``.
     default_estimate_kind: ClassVar[str] = "total"
     #: When set, ``estimate(<non-kind>)`` is interpreted as a legacy call
@@ -230,10 +235,19 @@ class StreamSampler(abc.ABC):
         if resolved and explicit and self.legacy_estimate_param is not None:
             # A legacy key may collide with a kind name ("count", ...); if
             # the kind's estimator cannot even be called with the provided
-            # arguments, the caller meant the legacy positional key.
+            # arguments, the caller meant the legacy positional key.  The
+            # probe must include the predicate (it is forwarded below), or
+            # estimate("subset_sum", predicate=...) would misroute to the
+            # legacy path whenever the estimator requires its predicate.
             fn = getattr(self, f"estimate_{kind}")
+            probe = dict(kw)
+            if (
+                predicate is not None
+                and "predicate" in inspect.signature(fn).parameters
+            ):
+                probe["predicate"] = predicate
             try:
-                inspect.signature(fn).bind(**kw)
+                inspect.signature(fn).bind(**probe)
             except TypeError:
                 resolved = False
         if not resolved:

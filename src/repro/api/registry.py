@@ -51,7 +51,7 @@ def register_sampler(name: str):
 
 def _ensure_registered() -> None:
     """Import the sampler packages so their decorators have run."""
-    from .. import baselines, samplers  # noqa: F401  (import side effect)
+    from .. import baselines, engine, samplers  # noqa: F401  (import side effect)
 
 
 def get_sampler_class(name: str) -> type:

@@ -29,6 +29,7 @@ class KMVSketch(StreamSampler):
     """k-minimum-values sketch over coordinated Uniform(0, 1) hashes."""
 
     default_estimate_kind = "distinct"
+    mergeable = True
 
     def __init__(self, k: int, salt: int = 0):
         if k < 2:

@@ -36,6 +36,7 @@ class ThetaSketch(StreamSampler):
     """Bottom-k distinct-counting sketch with a global theta threshold."""
 
     default_estimate_kind = "distinct"
+    mergeable = True
 
     def __init__(self, k: int, salt: int = 0):
         if k < 1:

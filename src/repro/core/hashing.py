@@ -30,6 +30,8 @@ __all__ = [
     "hash_to_unit",
     "hash_array_to_unit",
     "batch_hash_to_unit",
+    "shard_of",
+    "batch_shard_indices",
 ]
 
 _MASK64 = 0xFFFFFFFFFFFFFFFF
@@ -133,4 +135,63 @@ def batch_hash_to_unit(keys, salt: int = 0) -> np.ndarray:
         pass
     return np.fromiter(
         (hash_to_unit(key, salt) for key in keys), dtype=float, count=len(keys)
+    )
+
+
+# ----------------------------------------------------------------------
+# Key partitioning (the sharded-ingestion kernel)
+# ----------------------------------------------------------------------
+# Domain-separation constant mixed into the partition salt so shard
+# assignment is statistically independent of the priority hashes above even
+# when both use the same user-facing salt.  Without this, a coordinated
+# sketch partitioned by its own priority hash would see only a slice of the
+# priority range per shard and every per-shard threshold would be biased.
+_SHARD_DOMAIN = 0x53484152_44303031  # ASCII "SHARD001"
+
+
+def _shard_salt(salt: int) -> int:
+    """Mix a user salt into the shard-assignment hash domain."""
+    return splitmix64((salt ^ _SHARD_DOMAIN) & _MASK64)
+
+
+def shard_of(key: object, n_shards: int, salt: int = 0) -> int:
+    """Deterministic shard index of ``key`` in ``range(n_shards)``.
+
+    Every occurrence of a key lands on the same shard (under a fixed
+    ``salt``), which is what makes hash partitioning preserve sampler
+    semantics: shards see key-disjoint sub-streams, so their sketches merge
+    under the disjoint-stream rules, and coordinated sketches still observe
+    each key's full occurrence run on one shard.
+    """
+    if n_shards < 1:
+        raise ValueError("n_shards must be a positive integer")
+    if isinstance(key, (bool, np.bool_)):
+        key = int(key)  # match the batch path, which uplifts bool arrays
+    return int(hash_key(key, _shard_salt(salt)) % n_shards)
+
+
+def batch_shard_indices(keys, n_shards: int, salt: int = 0) -> np.ndarray:
+    """Vectorized :func:`shard_of` for an arbitrary key batch.
+
+    Integer key arrays take a fully vectorized SplitMix64 route; any other
+    key type falls back to a scalar loop.  Both agree with
+    :func:`shard_of` per key, so routing a stream item-by-item or in bulk
+    produces identical partitions.
+    """
+    if n_shards < 1:
+        raise ValueError("n_shards must be a positive integer")
+    try:
+        arr = np.asarray(keys)
+        # Bool arrays take the integer route so a Python-bool key routes
+        # identically through shard_of and through a bool ndarray batch.
+        if np.issubdtype(arr.dtype, np.integer) or arr.dtype == np.bool_:
+            mixed = np.uint64(splitmix64(_shard_salt(salt)))
+            h = splitmix64_array(arr.astype(np.uint64) ^ mixed)
+            return (h % np.uint64(n_shards)).astype(np.int64)
+    except (TypeError, ValueError):
+        pass
+    return np.fromiter(
+        (shard_of(key, n_shards, salt) for key in keys),
+        dtype=np.int64,
+        count=len(keys),
     )

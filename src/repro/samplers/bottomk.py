@@ -75,6 +75,8 @@ class BottomKSampler(StreamSampler):
         Hash-based priorities (stable per key) instead of RNG draws.
     """
 
+    mergeable = True
+
     def __init__(
         self,
         k: int,

@@ -66,6 +66,7 @@ class WeightedDistinctSketch(StreamSampler):
     """
 
     default_estimate_kind = "distinct"
+    mergeable = True
 
     def __init__(self, k: int, salt: int = 0):
         if k < 1:
@@ -238,6 +239,7 @@ class AdaptiveDistinctSketch(StreamSampler):
     """
 
     default_estimate_kind = "distinct"
+    mergeable = True
 
     def __init__(self, k: int, salt: int = 0):
         if k < 1:

@@ -47,6 +47,8 @@ class PoissonSampler(StreamSampler):
         independent sketches sample the same keys; otherwise from ``rng``.
     """
 
+    mergeable = True
+
     def __init__(
         self,
         threshold: float | Callable[[object, float], float],

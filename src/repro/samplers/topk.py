@@ -17,7 +17,13 @@ paper's sampler adapts both the sampling probability and the sketch size:
   sample into k "frequent" items and a downsampled "infrequent" tail;
 * when ``T`` decreases, infrequent items with ``R_i >= T`` are discarded
   and the remaining infrequent entries are re-anchored (``T_i <- T``,
-  ``v_i <- 0``); frequent items are never touched.
+  ``v_i <- 0``) with their accumulated mass preserved Horvitz–Thompson
+  style in a carry term (``carry <- (carry + v_i) * T_i / T``; survival
+  has probability ``T / T_i``, so the scaling keeps ``E[c_hat_i]``
+  invariant through re-anchoring); frequent items are never touched.  The
+  adaptive process (threshold solve, discards, ranking) runs on the
+  carry-free statistic, so unbiased estimation costs nothing in top-k
+  identification accuracy.
 
 Flooring the priorities of any sampled subset changes neither the sample
 nor the thresholds, so the rule is substitutable and the HT estimates
@@ -54,11 +60,28 @@ class TopKEntry:
 
     priority: float
     threshold: float
-    count: int
+    #: Occurrences counted exactly since the current anchor.
+    count: float
+    #: Horvitz–Thompson mass carried over from re-anchors: each threshold
+    #: drop the entry survives scales its accumulated count by ``T_i / T``
+    #: into this field, which keeps :attr:`estimate` unbiased without
+    #: perturbing the adaptive process (see :attr:`score`).
+    carry: float = 0.0
 
     @property
     def estimate(self) -> float:
-        """Unbiased occurrence-count estimate ``1/T_i + v_i``."""
+        """Unbiased occurrence-count estimate ``1/T_i + v_i + carry_i``."""
+        return 1.0 / self.threshold + self.count + self.carry
+
+    @property
+    def score(self) -> float:
+        """The adaptive process's ranking statistic ``1/T_i + v_i``.
+
+        Excludes the re-anchor carry: the threshold solve, the
+        frequent/infrequent split, and top-k ranking all use this stable
+        (low-variance) statistic, so the sampling process is identical to
+        one without carry tracking — carry only feeds query estimates.
+        """
         return 1.0 / self.threshold + self.count
 
 
@@ -549,13 +572,21 @@ class AdaptiveTopKSampler(StreamSampler):
         boundary = 1.0 / t_new
         discard = []
         for key, entry in self.table.items():
-            if entry.estimate > boundary:
+            if entry.score > boundary:
                 continue  # frequent: untouched
             if entry.priority >= t_new:
                 discard.append(key)
             else:
-                entry.threshold = t_new
+                # HT re-anchor: the entry survives the drop to t_new with
+                # probability t_new / T_i, so the accumulated mass is
+                # scaled by T_i / t_new into the carry to keep
+                # E[estimate] invariant (dropping it outright biased
+                # subset sums ~20% low on churn-heavy uniform streams).
+                entry.carry = (
+                    (entry.carry + entry.count) * (entry.threshold / t_new)
+                )
                 entry.count = 0
+                entry.threshold = t_new
         for key in discard:
             del self.table[key]
         return discard
@@ -572,10 +603,15 @@ class AdaptiveTopKSampler(StreamSampler):
         return entry.estimate if entry is not None else 0.0
 
     def top(self, j: int | None = None) -> list[tuple[object, float]]:
-        """The ``j`` (default k) keys with the largest estimated counts."""
+        """The ``j`` (default k) keys with the largest estimated counts.
+
+        Ranked by the stable process statistic (:attr:`TopKEntry.score`,
+        which identification accuracy depends on); the reported values are
+        the unbiased estimates.
+        """
         j = self.k if j is None else int(j)
         ranked = sorted(
-            self.table.items(), key=lambda kv: kv[1].estimate, reverse=True
+            self.table.items(), key=lambda kv: kv[1].score, reverse=True
         )
         return [(key, entry.estimate) for key, entry in ranked[:j]]
 
@@ -596,7 +632,7 @@ class AdaptiveTopKSampler(StreamSampler):
         """Keys currently classified as frequent (``c_hat > 1/T``)."""
         boundary = 1.0 / self.threshold if self.threshold > 0 else float("inf")
         return [
-            key for key, entry in self.table.items() if entry.estimate > boundary
+            key for key, entry in self.table.items() if entry.score > boundary
         ]
 
     def sample(self) -> Sample:
@@ -628,7 +664,7 @@ class AdaptiveTopKSampler(StreamSampler):
     def _get_state(self) -> dict:
         return {
             "table": [
-                (key, e.priority, e.threshold, e.count)
+                (key, e.priority, e.threshold, e.count, e.carry)
                 for key, e in self.table.items()
             ],
             "threshold": self.threshold,
@@ -641,8 +677,12 @@ class AdaptiveTopKSampler(StreamSampler):
 
     def _set_state(self, state: dict) -> None:
         self.table = {
-            key: TopKEntry(priority=p, threshold=t, count=c)
-            for key, p, t, c in state["table"]
+            # Pre-carry checkpoints stored 4-tuples; their carry is 0.
+            row[0]: TopKEntry(
+                priority=row[1], threshold=row[2], count=row[3],
+                carry=row[4] if len(row) > 4 else 0.0,
+            )
+            for row in state["table"]
         }
         self.threshold = float(state["threshold"])
         self.items_seen = int(state["items_seen"])

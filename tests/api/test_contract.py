@@ -23,7 +23,14 @@ import numpy as np
 import pytest
 
 import repro
-from repro.api import StreamSampler, available_samplers, make_sampler, merged
+from tests.helpers import sample_signature
+from repro.api import (
+    StreamSampler,
+    available_samplers,
+    get_sampler_class,
+    make_sampler,
+    merged,
+)
 
 N = 400
 
@@ -171,6 +178,11 @@ CASES = [
          _unweighted_feed_many, resume_identical=False),
     Case("unbiased_space_saving", {"capacity": 32}, _unweighted_feed,
          _unweighted_feed_many, resume_identical=False),
+    # The sharded engine is itself a registered, composable sampler.
+    Case("sharded",
+         {"spec": {"name": "bottom_k", "params": {"k": 32}},
+          "n_shards": 4, "seed": 11},
+         _plain_feed, _plain_feed_many, supports_merge=True),
 ]
 
 #: Registered but non-streaming constructs: factory + state round-trip only.
@@ -188,32 +200,25 @@ def _build(case: Case) -> StreamSampler:
     return make_sampler(case.name, **case.params)
 
 
-def _sample_signature(sampler) -> tuple:
-    """Canonical, order-independent view of a sampler's current sample."""
-    sample = sampler.sample()
-    rows = sorted(
-        (
-            repr(key),
-            round(float(v), 9),
-            round(float(w), 9),
-            round(float(p), 12),
-            round(float(t), 12) if np.isfinite(t) else "inf",
-        )
-        for key, v, w, p, t in zip(
-            sample.keys,
-            sample.values,
-            sample.weights,
-            sample.priorities,
-            sample.thresholds,
-        )
-    )
-    return tuple(rows)
+#: Canonical sample view shared with the engine/property suites.
+_sample_signature = sample_signature
 
 
 class TestRegistryCoverage:
     def test_every_registered_sampler_has_a_case(self):
         covered = {c.name for c in CASES} | {name for name, _ in OFFLINE_CASES}
         assert covered == set(available_samplers())
+
+    def test_merge_capability_is_declared_on_the_class(self):
+        """``cls.mergeable`` is the contract the sharded engine trusts; it
+        must agree with what the per-sampler contract rows exercise."""
+        for case in CASES:
+            cls = get_sampler_class(case.name)
+            assert bool(getattr(cls, "mergeable", False)) == case.supports_merge, (
+                f"{case.name}: mergeable flag disagrees with contract row"
+            )
+        for name, _ in OFFLINE_CASES:
+            assert not getattr(get_sampler_class(name), "mergeable", False)
 
     def test_make_sampler_unknown_name(self):
         with pytest.raises(ValueError, match="unknown sampler"):

@@ -113,3 +113,22 @@ class TestLegacyEstimateCalls:
         s.update("u", group="g")
         with pytest.deprecated_call():
             assert s.estimate("g") == s.estimate_distinct("g")
+
+
+class TestKindWithPredicateRouting:
+    def test_predicate_kind_does_not_misroute_to_legacy_path(self):
+        """Regression: estimate("subset_sum", predicate=...) on a sampler
+        with a legacy key param used to probe the estimator signature
+        without the predicate, conclude it could not be called, and
+        misroute the kind name down the legacy positional-key path."""
+        import warnings
+
+        from repro import make_sampler
+
+        sampler = make_sampler("top_k", k=8, rng=0)
+        sampler.update_many(list(range(64)) * 3)
+        predicate = lambda key: key % 2 == 0  # noqa: E731
+        with warnings.catch_warnings():
+            warnings.simplefilter("error", DeprecationWarning)
+            routed = sampler.estimate("subset_sum", predicate=predicate)
+        assert routed == sampler.estimate_subset_sum(predicate)

@@ -1,0 +1,211 @@
+"""Property-based merge-algebra tests (Hypothesis).
+
+The chunking-invariance contract in ``test_contract.py`` pins fixed chunk
+splits; here Hypothesis searches the space of key sets, weights, split
+points, and shard counts for violations of the algebra the engine's merge
+tree relies on:
+
+* ``|`` is commutative and associative on disjoint streams for every
+  mergeable sampler (bit-exact sample signatures);
+* the coordinated sketches are also commutative under *overlapping*
+  streams (duplicate keys hash identically, so unions are idempotent);
+* shard-then-merge reproduces the single-instance sketch exactly for the
+  hash-coordinated classes, and retains at least the single-instance keys
+  for the §3.5 per-entry-threshold merge (``adaptive_distinct``);
+* the engine's batch partition is invariant under arbitrary chunk splits.
+
+Weights are derived per key from a salted hash so that any two stream
+fragments agree on every key's weight (the distinct-sketch contract).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+hypothesis = pytest.importorskip("hypothesis")
+from hypothesis import HealthCheck, given, settings, strategies as st  # noqa: E402
+
+from repro import ShardedSampler, make_sampler, merged  # noqa: E402
+from repro.core.hashing import batch_shard_indices, hash_array_to_unit  # noqa: E402
+from tests.helpers import sample_signature  # noqa: E402
+
+#: (name, params) for every mergeable sampler class; rng-based variants get
+#: per-part seeds in the tests (disjoint streams, independent samplers).
+DISJOINT_CONFIGS = [
+    ("bottom_k", {"k": 16}),
+    ("bottom_k", {"k": 16, "coordinated": True, "salt": 3}),
+    ("poisson", {"threshold": 0.35}),
+    ("weighted_distinct", {"k": 16, "salt": 3}),
+    ("adaptive_distinct", {"k": 16, "salt": 3}),
+    ("kmv", {"k": 16, "salt": 3}),
+    ("theta", {"k": 16, "salt": 3}),
+]
+
+#: Idempotent, key-coordinated sketches: merging *overlapping* streams is
+#: well-defined, so commutativity must hold without disjointness.
+OVERLAP_CONFIGS = [c for c in DISJOINT_CONFIGS if c[0] not in ("bottom_k", "poisson")]
+
+#: Sketches for which shard-then-merge is bit-exact vs a single instance.
+EXACT_SHARD_CONFIGS = [
+    ("bottom_k", {"k": 16, "coordinated": True, "salt": 3}),
+    ("weighted_distinct", {"k": 16, "salt": 3}),
+    ("kmv", {"k": 16, "salt": 3}),
+    ("theta", {"k": 16, "salt": 3}),
+]
+
+def _ids(configs):
+    return [
+        f"{name}{'-coord' if params.get('coordinated') else ''}"
+        for name, params in configs
+    ]
+
+
+def _weights_for(keys: np.ndarray) -> np.ndarray:
+    """Deterministic per-key weights in [0.1, 2.1) (hash-derived)."""
+    if keys.size == 0:
+        return np.zeros(0)
+    return 0.1 + 2.0 * hash_array_to_unit(keys, salt=97)
+
+
+def _build(name, params, part):
+    params = dict(params)
+    if name in ("bottom_k", "poisson") and not params.get("coordinated"):
+        params["rng"] = 1000 + part  # independent streams per part
+    return make_sampler(name, **params)
+
+
+def _feed(sampler, keys: np.ndarray) -> None:
+    sampler.update_many(keys, _weights_for(keys))
+
+
+keys_strategy = st.lists(
+    st.integers(min_value=0, max_value=4096), min_size=0, max_size=120
+)
+
+SETTINGS = settings(
+    max_examples=40,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+
+@pytest.mark.parametrize("name,params", DISJOINT_CONFIGS, ids=_ids(DISJOINT_CONFIGS))
+@SETTINGS
+@given(keys=keys_strategy, cut=st.integers(0, 120), data=st.data())
+def test_merge_is_commutative_and_associative_on_disjoint_streams(
+    name, params, keys, cut, data
+):
+    unique = np.unique(np.asarray(keys, dtype=np.int64))
+    cut_a = min(cut, unique.size)
+    cut_b = data.draw(st.integers(cut_a, unique.size), label="second cut")
+    parts = [unique[:cut_a], unique[cut_a:cut_b], unique[cut_b:]]
+    a, b, c = (
+        _build(name, params, i) for i in range(3)
+    )
+    for sampler, part in zip((a, b, c), parts):
+        _feed(sampler, part)
+    assert sample_signature(merged(a, b)) == sample_signature(merged(b, a))
+    left = merged(merged(a, b), c)
+    right = merged(a, merged(b, c))
+    assert sample_signature(left) == sample_signature(right)
+
+
+@pytest.mark.parametrize("name,params", OVERLAP_CONFIGS, ids=_ids(OVERLAP_CONFIGS))
+@SETTINGS
+@given(
+    keys_a=keys_strategy,
+    keys_b=keys_strategy,
+)
+def test_coordinated_merges_are_commutative_under_overlap(
+    name, params, keys_a, keys_b
+):
+    """Duplicate keys across inputs are idempotent for the coordinated
+    sketches, so the union is order-independent even without disjointness."""
+    a = _build(name, params, 0)
+    b = _build(name, params, 1)
+    _feed(a, np.asarray(keys_a, dtype=np.int64))
+    _feed(b, np.asarray(keys_b, dtype=np.int64))
+    assert sample_signature(merged(a, b)) == sample_signature(merged(b, a))
+
+
+@pytest.mark.parametrize("name,params", EXACT_SHARD_CONFIGS, ids=_ids(EXACT_SHARD_CONFIGS))
+@SETTINGS
+@given(keys=keys_strategy, n_shards=st.integers(1, 6))
+def test_shard_then_merge_equals_single_instance(name, params, keys, n_shards):
+    """The engine's partition/merge-tree round trip is invisible for the
+    hash-coordinated sketches: identical keys, priorities, thresholds."""
+    keys = np.asarray(keys, dtype=np.int64)
+    single = make_sampler(name, **params)
+    engine = ShardedSampler(
+        {"name": name, "params": params}, n_shards=n_shards
+    )
+    _feed(single, keys)
+    _feed(engine, keys)
+    assert sample_signature(engine) == sample_signature(single)
+
+
+@SETTINGS
+@given(keys=keys_strategy, n_shards=st.integers(1, 6))
+def test_adaptive_distinct_shard_merge_retains_single_instance_keys(
+    keys, n_shards
+):
+    """§3.5 merges keep every retained hash usable: the sharded sketch's
+    key set must cover whatever a single instance would have kept."""
+    keys = np.asarray(keys, dtype=np.int64)
+    single = make_sampler("adaptive_distinct", k=16, salt=3)
+    engine = ShardedSampler(
+        {"name": "adaptive_distinct", "params": {"k": 16, "salt": 3}},
+        n_shards=n_shards,
+    )
+    single.update_many(keys)
+    engine.update_many(keys)
+    single_keys = {repr(k) for k in single.sample().keys}
+    engine_keys = {repr(k) for k in engine.sample().keys}
+    assert single_keys <= engine_keys
+
+
+@SETTINGS
+@given(
+    keys=st.lists(st.integers(0, 4096), min_size=1, max_size=200),
+    chunks=st.lists(st.integers(1, 50), min_size=1, max_size=8),
+)
+def test_sharded_ingestion_is_chunk_split_invariant(keys, chunks):
+    """Partition + per-shard deferral must not depend on batch boundaries
+    (extends the fixed-chunk contract test to arbitrary splits)."""
+    keys = np.asarray(keys, dtype=np.int64)
+    weights = _weights_for(keys)
+    spec = {"name": "bottom_k", "params": {"k": 16}}
+    whole = ShardedSampler(spec, n_shards=3, seed=7)
+    whole.update_many(keys, weights)
+    split = ShardedSampler(spec, n_shards=3, seed=7)
+    start = 0
+    for size in chunks:
+        if start >= keys.size:
+            break
+        split.update_many(keys[start:start + size], weights[start:start + size])
+        start += size
+    split.update_many(keys[start:], weights[start:])
+    assert sample_signature(split) == sample_signature(whole)
+
+
+@SETTINGS
+@given(
+    keys=st.lists(st.integers(-(2**62), 2**62), min_size=0, max_size=300),
+    n_shards=st.integers(1, 32),
+    salt=st.integers(0, 2**32),
+    cut=st.integers(0, 300),
+)
+def test_partition_kernel_is_stable_and_split_invariant(
+    keys, n_shards, salt, cut
+):
+    """Batch partition equals scalar partition and is split-invariant."""
+    keys = np.asarray(keys, dtype=np.int64)
+    whole = batch_shard_indices(keys, n_shards, salt)
+    assert ((0 <= whole) & (whole < n_shards)).all()
+    cut = min(cut, keys.size)
+    parts = np.concatenate([
+        batch_shard_indices(keys[:cut], n_shards, salt),
+        batch_shard_indices(keys[cut:], n_shards, salt),
+    ]) if keys.size else whole
+    assert np.array_equal(whole, parts)

@@ -1,0 +1,118 @@
+"""Checkpoint fuzzing: snapshot/resume at random cuts is bit-exact.
+
+For every mergeable sampler name — standalone and wrapped in a 4-shard
+:class:`ShardedSampler` — the stream is interrupted at seeded-random
+points, the sampler is serialized with ``to_state()`` (and shipped through
+a real ``pickle`` round-trip, as a process pool would), revived with
+``sampler_from_state``, and fed the remainder.  The final sample must be
+bit-identical to the uninterrupted run, including RNG continuation for the
+randomized samplers.
+"""
+
+from __future__ import annotations
+
+import pickle
+
+import numpy as np
+import pytest
+
+import repro
+from repro import ShardedSampler, make_sampler, mergeable_samplers
+from tests.helpers import sample_signature
+
+N = 1200
+
+#: (name, params, weighted) — every mergeable sampler class, with both the
+#: randomized and the hash-coordinated variants where the class has both.
+MERGEABLE_CONFIGS = [
+    ("bottom_k", {"k": 32, "rng": 5}, True),
+    ("bottom_k", {"k": 32, "coordinated": True, "salt": 3}, True),
+    ("poisson", {"threshold": 0.2, "rng": 5}, True),
+    ("poisson", {"threshold": 0.2, "coordinated": True, "salt": 3}, True),
+    ("weighted_distinct", {"k": 32, "salt": 3}, True),
+    ("adaptive_distinct", {"k": 32, "salt": 3}, False),
+    ("kmv", {"k": 32, "salt": 3}, False),
+    ("theta", {"k": 32, "salt": 3}, False),
+]
+
+IDS = [
+    f"{name}-{'coord' if params.get('coordinated') else 'plain'}"
+    for name, params, _ in MERGEABLE_CONFIGS
+]
+
+
+def _stream(n: int = N):
+    rng = np.random.default_rng(13)
+    keys = rng.integers(0, 400, n)
+    per_key = np.random.default_rng(14).lognormal(0.0, 0.6, 400)
+    return keys, per_key[keys]
+
+
+def _feed(sampler, keys, weights, weighted: bool) -> None:
+    if weighted:
+        sampler.update_many(keys, weights)
+    else:
+        sampler.update_many(keys)
+
+
+def _random_cuts(trial: int, n_cuts: int = 3) -> list[int]:
+    rng = np.random.default_rng(1000 + trial)
+    return sorted(int(c) for c in rng.integers(1, N, n_cuts))
+
+
+def _run_with_checkpoints(build, cuts, keys, weights, weighted):
+    """Ingest the stream, interrupting at each cut with a state round-trip."""
+    sampler = build()
+    start = 0
+    for cut in [*cuts, N]:
+        _feed(sampler, keys[start:cut], weights[start:cut], weighted)
+        state = pickle.loads(pickle.dumps(sampler.to_state()))
+        sampler = repro.sampler_from_state(state)
+        start = cut
+    return sampler
+
+
+def test_fuzz_covers_every_mergeable_name():
+    assert {name for name, _, _ in MERGEABLE_CONFIGS} == (
+        set(mergeable_samplers()) - {"sharded"}
+    )
+
+
+@pytest.mark.parametrize("trial", range(3))
+@pytest.mark.parametrize("name,params,weighted", MERGEABLE_CONFIGS, ids=IDS)
+def test_standalone_checkpoint_resume_is_bit_exact(
+    name, params, weighted, trial
+):
+    keys, weights = _stream()
+    straight = make_sampler(name, **params)
+    _feed(straight, keys, weights, weighted)
+    resumed = _run_with_checkpoints(
+        lambda: make_sampler(name, **params),
+        _random_cuts(trial), keys, weights, weighted,
+    )
+    assert sample_signature(resumed) == sample_signature(straight)
+
+
+@pytest.mark.parametrize("trial", range(2))
+@pytest.mark.parametrize("name,params,weighted", MERGEABLE_CONFIGS, ids=IDS)
+def test_sharded_checkpoint_resume_is_bit_exact(name, params, weighted, trial):
+    """The engine checkpoint carries all shards (RNG streams included)."""
+    params = {k: v for k, v in params.items() if k != "rng"}
+
+    def build():
+        return ShardedSampler(
+            {"name": name, "params": params}, n_shards=4, seed=21
+        )
+
+    keys, weights = _stream()
+    straight = build()
+    _feed(straight, keys, weights, weighted)
+    resumed = _run_with_checkpoints(
+        build, _random_cuts(100 + trial), keys, weights, weighted
+    )
+    assert sample_signature(resumed) == sample_signature(straight)
+    # The checkpoint revives polymorphically as a ShardedSampler.
+    assert isinstance(resumed, ShardedSampler)
+    population = resumed.sample().population_size
+    if population is not None:  # the distinct sketches do not count items
+        assert population == N

@@ -24,7 +24,35 @@ __all__ = [
     "exact_expectation",
     "monte_carlo_mean_se",
     "assert_within_se",
+    "sample_signature",
 ]
+
+
+def sample_signature(sampler) -> tuple:
+    """Canonical, order-independent view of a sampler's current sample.
+
+    Two samplers with equal signatures retain the same keys with the same
+    values, weights, priorities, and thresholds (rounded past float noise)
+    — the equality used by every bit-exactness assertion in the suite.
+    """
+    sample = sampler.sample()
+    rows = sorted(
+        (
+            repr(key),
+            round(float(v), 9),
+            round(float(w), 9),
+            round(float(p), 12),
+            round(float(t), 12) if np.isfinite(t) else "inf",
+        )
+        for key, v, w, p, t in zip(
+            sample.keys,
+            sample.values,
+            sample.weights,
+            sample.priorities,
+            sample.thresholds,
+        )
+    )
+    return tuple(rows)
 
 
 def enumerate_poisson(

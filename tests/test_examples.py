@@ -18,6 +18,10 @@ EXPECTED_MARKERS = {
     "aqp_dashboard.py": ["rows read", "region-2 total"],
     "multi_stratified_survey.py": ["panel size", "per-country panel counts"],
     "statistics_from_sample.py": ["Kendall tau", "kurtosis of x"],
+    "sharded_ingestion.py": [
+        "sharded HT estimate",
+        "resumed estimate matches uninterrupted run: True",
+    ],
 }
 
 
