@@ -1,0 +1,198 @@
+"""Query-layer latency: declarative group-by vs a raw numpy pass.
+
+The query layer's promise is "declarative without a real tax": a grouped
+``Query`` executes as one vectorized pass over the sample arrays, so its
+latency must stay within a constant factor of hand-written numpy doing
+the same group reduction on the same arrays.  This bench ingests a Zipf
+stream into a production-sized bottom-k sampler, then times three paths
+for a ``sum`` group-by with CIs over ``--groups`` labels:
+
+* **raw**    — ``np.bincount`` group sums + variance terms over
+  precomputed (values, probs, labels) arrays; the floor's denominator.
+* **query**  — cold planner execution (``repro.query.planner.execute``),
+  including ``sample()`` materialization, canonicalization, masking and
+  interval construction, with precomputed label/mask columns.
+* **cached** — the ``sampler.query()`` entry point hitting the
+  invalidate-on-update result cache (the dashboard re-poll path).
+
+Results append to ``benchmarks/results/bench_query.json`` as a versioned
+trajectory artifact.  At full scale (or with ``--enforce-floor``) the run
+fails if the cold query exceeds ``FACTOR``x the raw pass, or if a cache
+hit is not dramatically cheaper than cold execution.
+
+Run:  PYTHONPATH=src python benchmarks/bench_query.py [--n 1000000]
+"""
+
+from __future__ import annotations
+
+import argparse
+import datetime
+import json
+import pathlib
+import platform
+import time
+
+import numpy as np
+
+from repro import Query, make_sampler
+from repro.query.planner import execute
+from repro.workloads.zipf import zipf_stream
+
+RESULTS_DIR = pathlib.Path(__file__).resolve().parent / "results"
+RESULTS_PATH = RESULTS_DIR / "bench_query.json"
+
+#: Cold grouped-query latency must stay within this factor of the raw
+#: numpy pass over the same sample arrays.
+FACTOR = 60.0
+#: A cache hit must beat cold execution by at least this factor.
+CACHE_FACTOR = 20.0
+REPS = 5
+
+
+def _best_of(reps: int, fn) -> float:
+    best = float("inf")
+    for _ in range(reps):
+        t0 = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - t0)
+    return best
+
+
+def run(n: int, k: int, groups: int, seed: int) -> dict:
+    """Ingest, then time raw / cold-query / cached paths."""
+    rng = np.random.default_rng(seed)
+    keys = np.asarray(
+        zipf_stream(n, max(n // 100, 1000), 1.5, rng=rng), dtype=np.int64
+    )
+    weights = rng.lognormal(0.0, 0.6, n)
+
+    sampler = make_sampler("bottom_k", k=k, rng=seed)
+    t0 = time.perf_counter()
+    sampler.update_many(keys, weights)
+    ingest_s = time.perf_counter() - t0
+
+    sample = sampler.sample()
+    values = np.asarray(sample.values, dtype=float)
+    probs = sample.probabilities
+    labels = np.fromiter(
+        (int(key) % groups for key in sample.keys),
+        dtype=np.intp,
+        count=len(sample.keys),
+    )
+
+    def raw_pass():
+        est_terms = values / probs
+        var_terms = values**2 * (1.0 - probs) / probs**2
+        sums = np.bincount(labels, weights=est_terms, minlength=groups)
+        vars_ = np.bincount(labels, weights=var_terms, minlength=groups)
+        return sums, vars_
+
+    raw_s = _best_of(REPS, raw_pass)
+
+    #: Precomputed label column (vectorized compile path).
+    query = Query("sum", group_by=labels.tolist(), ci=0.95)
+    cold_s = _best_of(REPS, lambda: execute(sampler, query))
+
+    callable_query = Query("sum", group_by=lambda key: int(key) % groups, ci=0.95)
+    callable_s = _best_of(REPS, lambda: execute(sampler, callable_query))
+
+    # Cached re-polls.  The callable-keyed query fingerprints by identity
+    # (O(1) per poll) and carries the enforced floor; the column-keyed
+    # query re-hashes its label content every poll — the price of
+    # stale-proof content fingerprints — and is reported alongside.
+    sampler.query(query)
+    sampler.query(callable_query)
+    cached_column_s = _best_of(REPS, lambda: sampler.query(query))
+    cached_s = _best_of(REPS, lambda: sampler.query(callable_query))
+
+    return {
+        "timestamp": datetime.datetime.now(datetime.timezone.utc).isoformat(),
+        "python": platform.python_version(),
+        "machine": platform.machine(),
+        "n": n,
+        "k": k,
+        "groups": groups,
+        "sample_size": len(sample),
+        "ingest_s": round(ingest_s, 6),
+        "raw_numpy_s": round(raw_s, 9),
+        "query_cold_s": round(cold_s, 9),
+        "query_callable_s": round(callable_s, 9),
+        "query_cached_s": round(cached_s, 9),
+        "query_cached_column_s": round(cached_column_s, 9),
+        "cold_vs_raw": round(cold_s / raw_s, 2),
+        "cached_vs_cold": round(cold_s / max(cached_s, 1e-12), 2),
+        "factor_floor": FACTOR,
+    }
+
+
+def append_trajectory(record: dict) -> pathlib.Path:
+    RESULTS_DIR.mkdir(exist_ok=True)
+    if RESULTS_PATH.exists():
+        data = json.loads(RESULTS_PATH.read_text())
+    else:
+        data = []
+    data.append(record)
+    RESULTS_PATH.write_text(json.dumps(data, indent=2) + "\n")
+    return RESULTS_PATH
+
+
+def print_report(record: dict) -> None:
+    print(
+        f"n={record['n']:,} k={record['k']} groups={record['groups']} "
+        f"sample={record['sample_size']}"
+    )
+    print(f"  ingest            {record['ingest_s'] * 1e3:10.2f} ms")
+    print(f"  raw numpy pass    {record['raw_numpy_s'] * 1e6:10.1f} us")
+    print(
+        f"  query (cold)      {record['query_cold_s'] * 1e6:10.1f} us  "
+        f"({record['cold_vs_raw']:.1f}x raw)"
+    )
+    print(f"  query (callable)  {record['query_callable_s'] * 1e6:10.1f} us")
+    print(
+        f"  query (cached)    {record['query_cached_s'] * 1e6:10.1f} us  "
+        f"({record['cached_vs_cold']:.0f}x cheaper than cold; "
+        f"column-keyed {record['query_cached_column_s'] * 1e6:.1f} us "
+        "incl. content fingerprint)"
+    )
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--n", type=int, default=1_000_000,
+                        help="stream length (default 1M)")
+    parser.add_argument("--k", type=int, default=4096,
+                        help="sampler size (default 4096)")
+    parser.add_argument("--groups", type=int, default=64,
+                        help="group-by cardinality (default 64)")
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--enforce-floor", action="store_true",
+                        help="assert the latency floors at any scale")
+    args = parser.parse_args()
+
+    record = run(args.n, args.k, args.groups, args.seed)
+    enforceable = args.enforce_floor or args.n >= 1_000_000
+    record["floor_enforced"] = enforceable
+    path = append_trajectory(record)
+    print_report(record)
+    print(f"\nwrote {path}")
+
+    if enforceable:
+        assert record["cold_vs_raw"] <= FACTOR, (
+            f"cold grouped query at {record['cold_vs_raw']:.1f}x the raw "
+            f"numpy pass (floor {FACTOR:.0f}x)"
+        )
+        assert record["cached_vs_cold"] >= CACHE_FACTOR, (
+            f"cache hit only {record['cached_vs_cold']:.1f}x cheaper than "
+            f"cold execution (floor {CACHE_FACTOR:.0f}x)"
+        )
+        print(
+            f"floors OK: cold {record['cold_vs_raw']:.1f}x <= {FACTOR:.0f}x "
+            f"raw; cache {record['cached_vs_cold']:.0f}x >= "
+            f"{CACHE_FACTOR:.0f}x cheaper"
+        )
+    else:
+        print(f"[floors not enforced at n={args.n:,}]")
+
+
+if __name__ == "__main__":
+    main()

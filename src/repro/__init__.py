@@ -8,6 +8,10 @@ The package mirrors the paper's structure:
 * :mod:`repro.engine` - the sharded parallel ingestion engine
   (:class:`ShardedSampler`): hash-partitioned fan-out over mergeable
   samplers with merge-tree reduction.
+* :mod:`repro.query` - the declarative query layer: ``Query`` specs
+  (aggregate + where/group_by + CIs) planned once and executed vectorized
+  over any sampler's sample, with HT/pseudo-HT variance plug-ins and a
+  per-sampler capability table.
 * :mod:`repro.core` - the adaptive threshold framework (Section 2):
   priorities, threshold rules, recalibration/substitutability, HT and
   pseudo-HT estimators.
@@ -34,6 +38,9 @@ Quickstart — every sampler speaks the same protocol::
     state = sampler.to_state()                        # checkpoint (plain dict)
     revived = repro.sampler_from_state(state)
     combined = sampler | revived                      # pure merge (disjoint streams)
+
+    result = sampler.query("sum", where=lambda k: k % 2 == 0, ci=0.95)
+    print(result.estimate, result.ci)                 # declarative queries + CIs
 """
 
 from .api import (
@@ -53,6 +60,14 @@ from .baselines import (
     UnbiasedSpaceSavingSketch,
 )
 from .engine import ShardedSampler, mergeable_samplers
+from .query import (
+    QUERY_AGGREGATES,
+    Query,
+    QueryCapabilityError,
+    QueryResult,
+    TopKItem,
+    capability_table,
+)
 from .core import (
     BottomK,
     BudgetPrefix,
@@ -112,6 +127,13 @@ __all__ = [
     # engine
     "ShardedSampler",
     "mergeable_samplers",
+    # query layer
+    "Query",
+    "QueryResult",
+    "TopKItem",
+    "QueryCapabilityError",
+    "QUERY_AGGREGATES",
+    "capability_table",
     # core
     "ThresholdRule",
     "FixedThreshold",

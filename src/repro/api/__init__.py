@@ -7,10 +7,12 @@ See :mod:`repro.api.protocol` for the :class:`StreamSampler` contract and
 """
 
 from .protocol import (
+    QUERY_AGGREGATES,
     StreamSampler,
     family_from_name,
     family_to_name,
     merged,
+    query_support,
     rng_from_state,
     rng_to_state,
 )
@@ -25,6 +27,8 @@ from .registry import (
 
 __all__ = [
     "StreamSampler",
+    "QUERY_AGGREGATES",
+    "query_support",
     "merged",
     "family_to_name",
     "family_from_name",

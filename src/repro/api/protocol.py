@@ -21,14 +21,23 @@ now do) share one canonical surface:
 Concrete samplers register themselves under a config-friendly name with
 :func:`repro.api.registry.register_sampler`, which is what makes
 ``repro.make_sampler("bottom_k", k=100)`` work.
+
+On top of the imperative facade sits the declarative query layer
+(:mod:`repro.query`): every class carries a capability table
+(:attr:`StreamSampler.query_capabilities`, declared with
+:func:`query_support` in the same spirit as the ``mergeable`` ClassVar)
+saying which query aggregates it answers and *why* the others are out of
+scope, and :meth:`StreamSampler.query` plans/executes/caches declarative
+queries against it.
 """
 
 from __future__ import annotations
 
 import abc
+import functools
 import inspect
 import warnings
-from typing import Any, ClassVar
+from typing import ClassVar, Mapping
 
 import numpy as np
 
@@ -41,12 +50,104 @@ from ..core.priorities import (
 
 __all__ = [
     "StreamSampler",
+    "QUERY_AGGREGATES",
+    "query_support",
     "merged",
     "family_to_name",
     "family_from_name",
     "rng_to_state",
     "rng_from_state",
 ]
+
+#: The aggregates the declarative query layer (:mod:`repro.query`) knows
+#: how to execute.  Every sampler class accounts for each of them in its
+#: :attr:`StreamSampler.query_capabilities` table — either as supported or
+#: with a declared reason for the gap.
+QUERY_AGGREGATES = ("sum", "count", "mean", "distinct", "topk", "quantile")
+
+#: Gap reason used by the protocol default: a sampler that never declared
+#: capabilities supports nothing, for this stated reason.
+_NO_SAMPLE_REASON = (
+    "does not declare query capabilities (no Sample-backed query execution)"
+)
+
+
+def query_support(*supported: str, **gaps: str) -> dict[str, bool | str]:
+    """Build a complete per-aggregate capability table.
+
+    Positional names are supported aggregates; keyword arguments map each
+    remaining aggregate to the *reason* it is out of scope.  Together they
+    must account for every name in :data:`QUERY_AGGREGATES` exactly once —
+    partial or overlapping declarations are construction-time errors, so a
+    sampler cannot silently drift out of sync with the query layer.
+
+    >>> caps = query_support("sum", "count", "mean", "topk", "quantile",
+    ...                      distinct="samples occurrences, not distinct keys")
+    >>> caps["sum"], caps["distinct"]
+    (True, 'samples occurrences, not distinct keys')
+    """
+    table: dict[str, bool | str] = {}
+    for name in supported:
+        if name not in QUERY_AGGREGATES:
+            raise ValueError(
+                f"unknown query aggregate {name!r}; expected one of "
+                + ", ".join(QUERY_AGGREGATES)
+            )
+        table[name] = True
+    for name, reason in gaps.items():
+        if name not in QUERY_AGGREGATES:
+            raise ValueError(
+                f"unknown query aggregate {name!r}; expected one of "
+                + ", ".join(QUERY_AGGREGATES)
+            )
+        if name in table:
+            raise ValueError(
+                f"aggregate {name!r} declared both supported and gapped"
+            )
+        if not isinstance(reason, str) or not reason:
+            raise ValueError(
+                f"gap reason for {name!r} must be a non-empty string"
+            )
+        table[name] = reason
+    missing = [name for name in QUERY_AGGREGATES if name not in table]
+    if missing:
+        raise ValueError(
+            "capability table must account for every aggregate; missing: "
+            + ", ".join(missing)
+        )
+    return {name: table[name] for name in QUERY_AGGREGATES}
+
+
+def _bumps_state_version(fn):
+    """Wrap a mutator so it advances the owner's ``state_version``.
+
+    Applied automatically by ``StreamSampler.__init_subclass__`` to every
+    ``update``/``update_many``/``merge``/``_set_state`` a subclass defines,
+    so the query-result cache can invalidate on any mutation without each
+    sampler having to remember to bump anything.
+    """
+
+    @functools.wraps(fn)
+    def wrapper(self, *args, **kwargs):
+        self.__dict__["_state_version"] = (
+            self.__dict__.get("_state_version", 0) + 1
+        )
+        return fn(self, *args, **kwargs)
+
+    wrapper._bumps_state_version = True
+    return wrapper
+
+
+#: Mutators whose subclass overrides are auto-wrapped for version bumping.
+#: Beyond the protocol surface, this covers the sampler-specific public
+#: mutators (window advancement, sketch trimming) so every state change a
+#: caller can make invalidates cached query results.
+_VERSIONED_MUTATORS = (
+    "update", "update_many", "merge", "_set_state", "advance", "trim",
+)
+
+#: Cap on cached query results per sampler instance (FIFO eviction).
+_QUERY_CACHE_LIMIT = 128
 
 #: Serializable priority families, by config name.
 _FAMILIES: dict[str, type[PriorityFamily]] = {
@@ -120,6 +221,28 @@ class StreamSampler(abc.ABC):
     #: When set, ``estimate(<non-kind>)`` is interpreted as a legacy call
     #: passing this parameter positionally (e.g. ``sketch.estimate(key)``).
     legacy_estimate_param: ClassVar[str | None] = None
+    #: Per-aggregate capability table for the declarative query layer —
+    #: every :data:`QUERY_AGGREGATES` name maps to ``True`` (supported) or
+    #: a reason string for the gap.  Declare with :func:`query_support`;
+    #: the base default supports nothing.
+    query_capabilities: ClassVar[Mapping[str, bool | str]] = {
+        name: _NO_SAMPLE_REASON for name in QUERY_AGGREGATES
+    }
+    #: Whether this sampler's ``sample()`` carries genuine pseudo-inclusion
+    #: probabilities, licensing the HT plug-in variance and the normal
+    #: confidence intervals of ``query(..., ci=...)``.  Classes whose
+    #: samples degenerate to probability-1 rows (pre-adjusted weights,
+    #: deterministic counters) set a reason string instead, and the query
+    #: layer refuses ``ci=`` requests with that reason.
+    query_variance: ClassVar[bool | str] = True
+
+    def __init_subclass__(cls, **kwargs):
+        """Auto-wrap subclass mutators so ``state_version`` tracks them."""
+        super().__init_subclass__(**kwargs)
+        for name in _VERSIONED_MUTATORS:
+            fn = cls.__dict__.get(name)
+            if callable(fn) and not getattr(fn, "_bumps_state_version", False):
+                setattr(cls, name, _bumps_state_version(fn))
 
     # ------------------------------------------------------------------
     # Canonical stream interface
@@ -264,10 +387,7 @@ class StreamSampler(abc.ABC):
                 kw[self.legacy_estimate_param] = kind
                 kind = self.default_estimate_kind
             else:
-                raise ValueError(
-                    f"{type(self).__name__} has no estimator kind {kind!r}; "
-                    f"available kinds: {', '.join(kinds)}"
-                )
+                raise ValueError(self._unknown_kind_message(kind))
         fn = getattr(self, f"estimate_{kind}")
         if predicate is not None:
             if "predicate" not in inspect.signature(fn).parameters:
@@ -278,9 +398,130 @@ class StreamSampler(abc.ABC):
             kw["predicate"] = predicate
         return fn(**kw)
 
+    def _unknown_kind_message(self, kind) -> str:
+        """Unknown-``kind`` diagnostics, derived from the live surfaces.
+
+        Both listings come from single sources of truth — the scanned
+        ``estimate_*`` methods and the declared capability table — never
+        from hand-maintained strings, so the message cannot drift from
+        what the sampler actually accepts (pinned by
+        ``tests/query/test_capability_pinning.py``).
+        """
+        msg = (
+            f"{type(self).__name__} has no estimator kind {kind!r}; "
+            f"available kinds: {', '.join(self.estimate_kinds())}"
+        )
+        supported = self.supported_aggregates()
+        if supported:
+            msg += (
+                "; declarative queries (.query()) support aggregates: "
+                + ", ".join(supported)
+            )
+        return msg
+
+    # ------------------------------------------------------------------
+    # Declarative query layer
+    # ------------------------------------------------------------------
+    def supported_aggregates(self) -> tuple[str, ...]:
+        """Aggregates :meth:`query` answers for this sampler.
+
+        Reads :attr:`query_capabilities` on the instance, so execution
+        layers that mirror a wrapped class's table (the sharded engine)
+        report the wrapped capabilities.
+        """
+        return tuple(
+            name
+            for name in QUERY_AGGREGATES
+            if self.query_capabilities.get(name) is True
+        )
+
+    def query_gap_reason(self, aggregate: str) -> str | None:
+        """The declared reason ``aggregate`` is unsupported (None if it
+        is supported)."""
+        if aggregate not in QUERY_AGGREGATES:
+            raise ValueError(
+                f"unknown query aggregate {aggregate!r}; expected one of "
+                + ", ".join(QUERY_AGGREGATES)
+            )
+        entry = self.query_capabilities.get(aggregate, _NO_SAMPLE_REASON)
+        return None if entry is True else str(entry)
+
+    @property
+    def state_version(self) -> int:
+        """Monotonic mutation counter (bumped by every update/merge/restore).
+
+        Maintained automatically by the ``__init_subclass__`` mutator
+        wrapping; the (version, fingerprint) pair keys the :meth:`query`
+        result cache, so cached answers invalidate on any state change.
+        """
+        return self.__dict__.get("_state_version", 0)
+
+    def query(self, query=None, /, **kw):
+        """Answer a declarative :class:`repro.query.Query` over this sampler.
+
+        Accepts a prebuilt :class:`~repro.query.Query`, an aggregate name
+        plus keyword options, or the :class:`~repro.query.Query` keyword
+        arguments directly::
+
+            sampler.query("sum", where=lambda k: k % 2 == 0, ci=0.95)
+            sampler.query(aggregate="mean", group_by=region_of)
+            sampler.query(Query("distinct"))
+
+        Results are cached per instance, keyed by ``(state_version,
+        query.fingerprint())`` — repeated dashboard polls between updates
+        are O(1), and any mutation invalidates the cache.  Execution is a
+        single vectorized pass over :meth:`sample`'s arrays; see
+        :mod:`repro.query` for planning, executors and variance plug-ins.
+        """
+        from ..query import Query
+        from ..query.planner import execute
+
+        if isinstance(query, Query):
+            if kw:
+                raise TypeError(
+                    "pass either a Query object or keyword arguments, not both"
+                )
+            spec = query
+        elif isinstance(query, str):
+            spec = Query(aggregate=query, **kw)
+        elif query is None:
+            spec = Query(**kw)
+        else:
+            raise TypeError(
+                "query() takes a Query, an aggregate name, or Query keyword "
+                f"arguments; got {type(query).__name__}"
+            )
+        version = self.state_version
+        cache = self.__dict__.setdefault("_query_cache", {})
+        fp = spec.fingerprint()
+        hit = cache.get(fp)
+        if hit is not None and hit[0] == version:
+            return hit[2]
+        result = execute(self, spec)
+        cache.pop(fp, None)
+        while len(cache) >= _QUERY_CACHE_LIMIT:
+            cache.pop(next(iter(cache)))
+        # The entry retains the spec itself: callables fingerprint by
+        # id(), so the cached spec must keep them alive — otherwise a
+        # recycled id from a fresh lambda could false-hit a stale entry.
+        cache[fp] = (version, spec, result)
+        return result
+
     # ------------------------------------------------------------------
     # State serialization
     # ------------------------------------------------------------------
+    def __getstate__(self) -> dict:
+        """Pickle support: drop the query-result cache and its version.
+
+        Cached specs may hold unpicklable callables, and a revived copy
+        is a different instance whose cache must start cold anyway — the
+        same contract as the :meth:`to_state` round-trip.
+        """
+        state = dict(self.__dict__)
+        state.pop("_query_cache", None)
+        state.pop("_state_version", None)
+        return state
+
     def to_state(self) -> dict:
         """Serialize to a plain dict (constructor params + internal state).
 

@@ -20,7 +20,7 @@ import statistics
 
 import numpy as np
 
-from ..api import StreamSampler, register_sampler
+from ..api import StreamSampler, query_support, register_sampler
 from ..api.protocol import _as_key_list, _as_optional_array
 from ..core.kernels import int_key_array
 from ..core.priorities import Uniform01Priority
@@ -46,6 +46,19 @@ class FrequentItemsSketch(StreamSampler):
     LOAD_FACTOR = 0.75
     default_estimate_kind = "count"
     legacy_estimate_param = "key"
+    _DETERMINISTIC_REASON = (
+        "deterministic undercount sketch (biased by design); no inclusion "
+        "probabilities for HT estimation"
+    )
+    query_capabilities = query_support(
+        sum=_DETERMINISTIC_REASON,
+        count=_DETERMINISTIC_REASON,
+        mean=_DETERMINISTIC_REASON,
+        distinct=_DETERMINISTIC_REASON,
+        topk=_DETERMINISTIC_REASON,
+        quantile=_DETERMINISTIC_REASON,
+    )
+    query_variance = _DETERMINISTIC_REASON
 
     def __init__(self, max_map_size: int):
         if max_map_size < 2:

@@ -14,7 +14,7 @@ from typing import Iterable
 
 import numpy as np
 
-from ..api import StreamSampler, merged, register_sampler
+from ..api import StreamSampler, merged, query_support, register_sampler
 from ..api.protocol import _as_key_list
 from ..core.hashing import batch_hash_to_unit, hash_to_unit
 from ..core.kernels import smallest_distinct
@@ -30,6 +30,15 @@ class KMVSketch(StreamSampler):
 
     default_estimate_kind = "distinct"
     mergeable = True
+    #: Retains only hash values (no keys, weights, or payloads): the
+    #: count-style aggregates apply and nothing else can.
+    query_capabilities = query_support(
+        "count", "distinct",
+        sum="retains only hash values, no payloads (sum degenerates to distinct)",
+        mean="retains only hash values, no payloads",
+        topk="rows are anonymous hashes; there are no keys to rank",
+        quantile="retains only hash values, no payload distribution",
+    )
 
     def __init__(self, k: int, salt: int = 0):
         if k < 2:
@@ -89,6 +98,7 @@ class KMVSketch(StreamSampler):
 
     @property
     def kth_minimum(self) -> float:
+        """The k-th smallest retained hash (1.0 while underfull)."""
         if len(self._heap) < self.k:
             return 1.0
         return -self._heap[0]

@@ -39,7 +39,7 @@ from typing import Callable
 
 import numpy as np
 
-from ..api import StreamSampler, register_sampler
+from ..api import StreamSampler, query_support, register_sampler
 from ..api.protocol import _as_key_list, rng_from_state, rng_to_state
 from ..core.kernels import DrawBuffer, int_key_array
 from ..core.priorities import Uniform01Priority
@@ -88,12 +88,14 @@ class _CounterStore:
         self._heap: list[tuple[int, int, object]] = []
 
     def increment(self, key: object, by: int = 1) -> None:
+        """Bump a tracked key's counter (lazy-heap entry appended)."""
         self.counts[key] += by
         heapq.heappush(self._heap, (self.counts[key], self.ins[key], key))
         if len(self._heap) > 8 * self.capacity + 64:
             self.compact()
 
     def insert(self, key: object, count: int, error: int, position: int) -> None:
+        """Track a key with the given counter, error bound and tiebreak."""
         self.counts[key] = count
         self.errors[key] = error
         self.ins[key] = position
@@ -304,6 +306,19 @@ class SpaceSavingSketch(StreamSampler):
 
     default_estimate_kind = "count"
     legacy_estimate_param = "key"
+    _DETERMINISTIC_REASON = (
+        "deterministic upper-bound counter (biased by design); no "
+        "inclusion probabilities for HT estimation"
+    )
+    query_capabilities = query_support(
+        sum=_DETERMINISTIC_REASON,
+        count=_DETERMINISTIC_REASON,
+        mean=_DETERMINISTIC_REASON,
+        distinct=_DETERMINISTIC_REASON,
+        topk=_DETERMINISTIC_REASON,
+        quantile=_DETERMINISTIC_REASON,
+    )
+    query_variance = _DETERMINISTIC_REASON
 
     def __init__(self, capacity: int):
         self.capacity = int(capacity)
@@ -389,6 +404,31 @@ class UnbiasedSpaceSavingSketch(StreamSampler):
 
     default_estimate_kind = "count"
     legacy_estimate_param = "key"
+    #: Counter values are unbiased per-label count estimates on
+    #: probability-1 rows: sums over labels are unbiased (Ting 2018), but
+    #: nothing probability-weighted survives.
+    query_capabilities = query_support(
+        "sum", "topk",
+        count=(
+            "rows carry probability-1 per-label estimates; sum(1/p) is "
+            "just the counter-table size"
+        ),
+        mean=(
+            "per-label count estimates expose no inclusion probabilities "
+            "for ratio estimation"
+        ),
+        distinct=(
+            "retains only the tracked labels; not a distinct-count sketch"
+        ),
+        quantile=(
+            "per-label count estimates expose no inclusion probabilities "
+            "for CDF estimation"
+        ),
+    )
+    query_variance = (
+        "counter values are unbiased estimates on probability-1 rows; the "
+        "HT plug-in variance is identically zero"
+    )
 
     def __init__(self, capacity: int, rng=None):
         self.capacity = int(capacity)

@@ -21,7 +21,7 @@ from typing import Iterable
 
 import numpy as np
 
-from ..api import StreamSampler, merged, register_sampler
+from ..api import StreamSampler, merged, query_support, register_sampler
 from ..api.protocol import _as_key_list
 from ..core.hashing import batch_hash_to_unit, hash_to_unit
 from ..core.kernels import smallest_distinct
@@ -37,6 +37,15 @@ class ThetaSketch(StreamSampler):
 
     default_estimate_kind = "distinct"
     mergeable = True
+    #: Retains only hash values (no keys, weights, or payloads): the
+    #: count-style aggregates apply and nothing else can.
+    query_capabilities = query_support(
+        "count", "distinct",
+        sum="retains only hash values, no payloads (sum degenerates to distinct)",
+        mean="retains only hash values, no payloads",
+        topk="rows are anonymous hashes; there are no keys to rank",
+        quantile="retains only hash values, no payload distribution",
+    )
 
     def __init__(self, k: int, salt: int = 0):
         if k < 1:

@@ -18,12 +18,17 @@ Everything else in the library builds on these primitives:
 from .composition import ClampedRule, MaxComposition, MinComposition
 from .estimators import (
     hajek_mean,
+    hajek_mean_variance_estimate,
     ht_confidence_interval,
+    ht_ratio_variance_estimate,
     ht_stderr,
     ht_total,
     ht_variance_estimate,
     ht_variance_true,
     inclusion_probabilities,
+    normal_interval,
+    quantile_interval,
+    weighted_quantile,
 )
 from .hashing import hash_array_to_unit, hash_key, hash_to_unit
 from .priorities import (
@@ -35,8 +40,10 @@ from .priorities import (
 )
 from .pseudo_ht import (
     central_moment_unbiased,
+    kendall_tau_confidence_interval,
     kendall_tau_estimate,
     kendall_tau_population,
+    kendall_tau_stderr,
     kendall_tau_variance_estimate,
     kurtosis_estimate,
     skewness_estimate,
@@ -99,12 +106,19 @@ __all__ = [
     "ht_variance_estimate",
     "ht_stderr",
     "ht_confidence_interval",
+    "ht_ratio_variance_estimate",
     "hajek_mean",
+    "hajek_mean_variance_estimate",
+    "normal_interval",
+    "weighted_quantile",
+    "quantile_interval",
     "inclusion_probabilities",
     # pseudo-HT
     "kendall_tau_population",
     "kendall_tau_estimate",
+    "kendall_tau_stderr",
     "kendall_tau_variance_estimate",
+    "kendall_tau_confidence_interval",
     "central_moment_unbiased",
     "skewness_estimate",
     "kurtosis_estimate",

@@ -14,7 +14,11 @@ thresholds into these formulas; the tests verify unbiasedness both exactly
 budget, stratified rules).
 
 All functions take plain arrays so they compose with any sampler; the
-:class:`repro.core.sample.Sample` container wraps them for convenience.
+:class:`repro.core.sample.Sample` container wraps them for convenience and
+the query layer (:mod:`repro.query`) builds its aggregates, variances and
+intervals on them.  ``docs/estimators.md`` is the narrative reference:
+which estimator is unbiased when, and which variance formula backs which
+aggregate.
 """
 
 from __future__ import annotations
@@ -30,6 +34,11 @@ __all__ = [
     "ht_stderr",
     "ht_confidence_interval",
     "hajek_mean",
+    "hajek_mean_variance_estimate",
+    "ht_ratio_variance_estimate",
+    "normal_interval",
+    "weighted_quantile",
+    "quantile_interval",
     "inclusion_probabilities",
 ]
 
@@ -93,13 +102,140 @@ def ht_confidence_interval(
     what the paper's Donsker results (Section 5) deliver, so the usual
     Wald interval is the right default.
     """
+    return normal_interval(
+        ht_total(values, probs), ht_variance_estimate(values, probs), level
+    )
+
+
+def normal_interval(estimate: float, variance: float, level: float = 0.95) -> tuple[float, float]:
+    """Wald interval ``estimate +- z_level * sqrt(variance)``.
+
+    The shared CI primitive of the query layer: every aggregate whose
+    variance has an HT plug-in estimate gets its interval from here, so the
+    normal-approximation policy (licensed by the paper's Section 5 Donsker
+    results) lives in exactly one place.
+
+    Parameters
+    ----------
+    estimate:
+        Point estimate (the interval's center).
+    variance:
+        Estimated variance of the point estimate; clipped at zero.
+    level:
+        Confidence level in (0, 1).
+
+    Returns
+    -------
+    tuple of float
+        ``(lower, upper)`` bounds.
+    """
     from scipy.stats import norm
 
     if not 0.0 < level < 1.0:
         raise ValueError("level must be in (0, 1)")
-    est = ht_total(values, probs)
-    half = float(norm.ppf(0.5 + level / 2.0)) * ht_stderr(values, probs)
-    return est - half, est + half
+    half = float(norm.ppf(0.5 + level / 2.0)) * math.sqrt(max(variance, 0.0))
+    return estimate - half, estimate + half
+
+
+def ht_ratio_variance_estimate(numerators, denominators, probs) -> float:
+    """Linearized variance estimate of the ratio ``sum(y/p) / sum(x/p)``.
+
+    Taylor-linearizing the ratio ``R_hat = Y_hat / X_hat`` around the true
+    ratio turns it into an HT total of the residuals ``e_i = (y_i - R_hat
+    x_i) / X_hat``, whose plug-in variance estimate is the standard
+    ``sum e_i^2 (1 - p_i) / p_i^2`` over the sample.  This is the classic
+    survey-sampling ratio variance; it is consistent (not exactly unbiased,
+    matching the Hajek estimator it serves).
+
+    Parameters
+    ----------
+    numerators, denominators:
+        Sampled ``y_i`` and ``x_i`` columns (``x_i = 1`` recovers the mean).
+    probs:
+        Pseudo-inclusion probabilities of the sampled items.
+    """
+    y = np.asarray(numerators, dtype=float)
+    x = np.asarray(denominators, dtype=float)
+    probs = _validate_probs(probs)
+    if y.size == 0:
+        return 0.0
+    x_hat = float(np.sum(x / probs))
+    if x_hat == 0.0:
+        raise ValueError("denominator HT total is zero; ratio is undefined")
+    ratio = float(np.sum(y / probs)) / x_hat
+    residuals = (y - ratio * x) / x_hat
+    return ht_variance_estimate(residuals, probs)
+
+
+def hajek_mean_variance_estimate(values, probs) -> float:
+    """Linearized variance estimate of :func:`hajek_mean`.
+
+    Specializes :func:`ht_ratio_variance_estimate` to the denominator
+    ``x_i = 1`` (the HT population-size estimate) — the form the query
+    layer's ``mean`` aggregate plugs into its normal intervals.
+    """
+    values = np.asarray(values, dtype=float)
+    return ht_ratio_variance_estimate(values, np.ones_like(values), probs)
+
+
+def weighted_quantile(values, probs, q: float) -> float:
+    """HT-weighted ``q``-quantile of the population value distribution.
+
+    Each sampled value represents ``1 / p_i`` population items, so the
+    estimated CDF is ``F_hat(t) = sum_{v_i <= t} (1/p_i) / N_hat``; the
+    quantile is the smallest sampled value where ``F_hat`` reaches ``q``.
+
+    Parameters
+    ----------
+    values:
+        Sampled values.
+    probs:
+        Pseudo-inclusion probabilities of the sampled items.
+    q:
+        Quantile level in (0, 1).
+    """
+    if not 0.0 < q < 1.0:
+        raise ValueError("q must be in (0, 1)")
+    values = np.asarray(values, dtype=float)
+    probs = _validate_probs(probs)
+    if values.size == 0:
+        raise ValueError("cannot estimate a quantile from an empty sample")
+    order = np.argsort(values, kind="stable")
+    cum = np.cumsum(1.0 / probs[order])
+    target = q * cum[-1]
+    idx = int(np.searchsorted(cum, target, side="left"))
+    return float(values[order][min(idx, values.size - 1)])
+
+
+def quantile_interval(values, probs, q: float, level: float = 0.95) -> tuple[float, float]:
+    """Woodruff confidence interval for :func:`weighted_quantile`.
+
+    Inverts a normal interval on the estimated CDF: the variance of
+    ``F_hat(t_q)`` at the point estimate follows from the HT plug-in on the
+    membership indicators, and the interval endpoints are the quantiles at
+    the perturbed levels ``q -+ z * se(F_hat)`` (clipped into (0, 1)).
+    Density-free, hence preferred over delta-method intervals that would
+    need a kernel estimate of ``f(t_q)``.
+    """
+    values = np.asarray(values, dtype=float)
+    probs = _validate_probs(probs)
+    point = weighted_quantile(values, probs, q)
+    n_hat = float(np.sum(1.0 / probs))
+    indicator = (values <= point).astype(float)
+    var_f = ht_ratio_variance_estimate(indicator, np.ones_like(indicator), probs)
+    se_f = math.sqrt(max(var_f, 0.0))
+    from scipy.stats import norm
+
+    if not 0.0 < level < 1.0:
+        raise ValueError("level must be in (0, 1)")
+    z = float(norm.ppf(0.5 + level / 2.0))
+    eps = 1.0 / max(n_hat, 2.0)
+    q_lo = min(max(q - z * se_f, eps), 1.0 - eps)
+    q_hi = min(max(q + z * se_f, eps), 1.0 - eps)
+    return (
+        weighted_quantile(values, probs, q_lo),
+        weighted_quantile(values, probs, q_hi),
+    )
 
 
 def hajek_mean(values, probs) -> float:

@@ -29,7 +29,9 @@ from .distinct_sums import (
 __all__ = [
     "kendall_tau_population",
     "kendall_tau_estimate",
+    "kendall_tau_stderr",
     "kendall_tau_variance_estimate",
+    "kendall_tau_confidence_interval",
     "central_moment_unbiased",
     "skewness_estimate",
     "kurtosis_estimate",
@@ -133,3 +135,40 @@ def kendall_tau_variance_estimate(
 
     n_pairs = n * (n - 1) / 2.0
     return (diagonal + shared) / n_pairs**2
+
+
+def kendall_tau_stderr(
+    x: np.ndarray, y: np.ndarray, probs: np.ndarray, n: int
+) -> float:
+    """Estimated standard error of :func:`kendall_tau_estimate`.
+
+    The square root of :func:`kendall_tau_variance_estimate`, clipped at
+    zero (degree-4 HT variance estimates can dip slightly negative in
+    small samples).
+    """
+    import math
+
+    return math.sqrt(max(kendall_tau_variance_estimate(x, y, probs, n), 0.0))
+
+
+def kendall_tau_confidence_interval(
+    x: np.ndarray,
+    y: np.ndarray,
+    probs: np.ndarray,
+    n: int,
+    level: float = 0.95,
+) -> tuple[float, float]:
+    """Normal-approximation CI for Kendall's tau from a threshold sample.
+
+    Pairs the pseudo-HT point estimate with its plug-in variance through
+    the shared Wald primitive (:func:`repro.core.estimators.normal_interval`)
+    — the same asymptotic-normality license the degree-1 aggregates use,
+    applied to the degree-2 statistic.
+    """
+    from .estimators import normal_interval
+
+    return normal_interval(
+        kendall_tau_estimate(x, y, probs, n),
+        kendall_tau_variance_estimate(x, y, probs, n),
+        level,
+    )

@@ -39,6 +39,7 @@ from typing import Any, ClassVar
 import numpy as np
 
 from ..api import SamplerSpec, StreamSampler, get_sampler_class, register_sampler
+from ..api.protocol import QUERY_AGGREGATES
 from ..api.registry import sampler_from_state
 from ..core.hashing import batch_shard_indices, shard_of
 
@@ -122,6 +123,21 @@ class ShardedSampler(StreamSampler):
     """
 
     mergeable = True
+    #: Class-level placeholder: each engine *instance* mirrors its shard
+    #: class's capability table (set in ``__init__``), so queries against
+    #: an engine behave exactly like queries against the wrapped sampler —
+    #: executed over the merge-tree-reduced sample.
+    query_capabilities = {
+        name: (
+            "per-spec: engine instances mirror the sharded class's "
+            "capability table"
+        )
+        for name in QUERY_AGGREGATES
+    }
+    query_variance = (
+        "per-spec: engine instances mirror the sharded class's variance "
+        "declaration"
+    )
 
     #: The class every shard is an instance of; the estimator-facade
     #: attributes (``default_estimate_kind``, ``legacy_estimate_param``,
@@ -166,6 +182,12 @@ class ShardedSampler(StreamSampler):
         self.default_estimate_kind = self._shard_cls.default_estimate_kind
         self.legacy_estimate_param = self._shard_cls.legacy_estimate_param
         self.estimate_kinds = self._shard_cls.estimate_kinds
+        # The declarative query surface mirrors the shard class too:
+        # planning reads these instance attributes, and execution runs
+        # over reduced().sample(), so sharded answers match (bit-exactly,
+        # for the hash-coordinated sketches) the single-instance answers.
+        self.query_capabilities = dict(self._shard_cls.query_capabilities)
+        self.query_variance = self._shard_cls.query_variance
         self._shards = [self._build_shard(i) for i in range(self.n_shards)]
         self._reduced_cache: StreamSampler | None = None
         self._executor: concurrent.futures.Executor | None = None

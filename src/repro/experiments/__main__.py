@@ -45,6 +45,7 @@ EXPERIMENTS = {
 
 
 def main(argv: list[str]) -> int:
+    """Run the named experiments (all of them by default) and print reports."""
     wanted = [a.lower() for a in argv] or list(EXPERIMENTS)
     unknown = [w for w in wanted if w not in EXPERIMENTS]
     if unknown:

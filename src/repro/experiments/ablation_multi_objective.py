@@ -24,6 +24,8 @@ __all__ = ["MultiObjectiveResult", "run", "main"]
 
 @dataclass
 class MultiObjectiveResult:
+    """Multi-objective footprint ablation results."""
+
     correlations: np.ndarray
     union_sizes: np.ndarray  # mean distinct stored keys
     footprint_ratios: np.ndarray  # union / (c * k)
@@ -33,6 +35,7 @@ class MultiObjectiveResult:
     n_trials: int
 
     def table(self) -> str:
+        """Human-readable results table (one row per series point)."""
         rows = zip(
             self.correlations,
             self.union_sizes,
@@ -53,6 +56,7 @@ def run(
     n_trials: int | None = None,
     seed: int = 0,
 ) -> MultiObjectiveResult:
+    """Run the experiment and return its result record."""
     population = population if population is not None else scaled(5_000)
     n_trials = n_trials if n_trials is not None else scaled(30)
     correlations = np.asarray(correlations, dtype=float)
@@ -99,6 +103,7 @@ def run(
 
 
 def main() -> MultiObjectiveResult:
+    """Run the experiment and print the report (module entry point)."""
     result = run()
     print("A2 — multi-objective sketch overlap vs weight correlation")
     print(result.table())

@@ -32,6 +32,8 @@ __all__ = ["AblationRow", "AblationResult", "run", "main"]
 
 @dataclass
 class AblationRow:
+    """One sampler configuration's ablation measurement row."""
+
     design: str
     mean_estimate: float
     relative_bias: float
@@ -41,11 +43,14 @@ class AblationRow:
 
 @dataclass
 class AblationResult:
+    """Sampler-ablation sweep results (one row per sampler)."""
+
     rows: list[AblationRow]
     truth: float
     n_trials: int
 
     def table(self) -> str:
+        """Human-readable results table (one row per series point)."""
         data = [
             (r.design, r.mean_estimate, r.relative_bias, r.variance, r.mean_sample_size)
             for r in self.rows
@@ -62,6 +67,7 @@ def run(
     n_trials: int | None = None,
     seed: int = 0,
 ) -> AblationResult:
+    """Run the experiment and return its result record."""
     n_trials = n_trials if n_trials is not None else scaled(2_000)
     rng = np.random.default_rng(seed)
     weights = zipf_weights(population, exponent=1.1)
@@ -136,6 +142,7 @@ def run(
 
 
 def main() -> AblationResult:
+    """Run the experiment and print the report (module entry point)."""
     result = run()
     print(f"A1 — subset-sum designs (truth={result.truth:.2f}, {result.n_trials} trials)")
     print(result.table())

@@ -26,6 +26,8 @@ __all__ = ["BiasRow", "BiasResult", "run", "main"]
 
 @dataclass
 class BiasRow:
+    """One estimator's bias measurement row."""
+
     statistic: str
     truth: float
     mean_estimate: float
@@ -35,10 +37,13 @@ class BiasRow:
 
 @dataclass
 class BiasResult:
+    """Estimator-bias sweep results (one row per estimator)."""
+
     rows: list[BiasRow]
     n_trials: int
 
     def table(self) -> str:
+        """Human-readable results table (one row per series point)."""
         data = [
             (r.statistic, r.truth, r.mean_estimate, r.relative_bias, r.z_score)
             for r in self.rows
@@ -54,6 +59,7 @@ def run(
     n_trials: int | None = None,
     seed: int = 0,
 ) -> BiasResult:
+    """Run the experiment and return its result record."""
     n_trials = n_trials if n_trials is not None else scaled(4_000)
     rng = np.random.default_rng(seed)
     weights = rng.lognormal(0.0, 0.8, population)
@@ -126,6 +132,7 @@ def run(
 
 
 def main() -> BiasResult:
+    """Run the experiment and print the report (module entry point)."""
     result = run()
     print(f"T4 — estimator bias under adaptive thresholds ({result.n_trials} trials)")
     print(result.table())

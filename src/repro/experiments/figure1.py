@@ -33,6 +33,8 @@ __all__ = ["Figure1Result", "run", "main"]
 
 @dataclass
 class Figure1Result:
+    """Series and summaries for Figure 1 (sliding-window thresholds)."""
+
     times: np.ndarray
     gl_threshold: np.ndarray
     improved_threshold: np.ndarray
@@ -54,11 +56,13 @@ class Figure1Result:
 
     @property
     def steady_sample_ratio(self) -> float:
+        """Mean improved/G&L sample-size ratio over the steady region."""
         mask = self.steady_mask
         gl = np.maximum(self.gl_sample_size[mask], 1)
         return float(np.mean(self.improved_sample_size[mask] / gl))
 
     def table(self) -> str:
+        """Human-readable results table (one row per series point)."""
         rows = [
             (t, g, i, gs, is_)
             for t, g, i, gs, is_ in zip(
@@ -119,6 +123,7 @@ def run(
 
 
 def main() -> Figure1Result:
+    """Run the experiment and print the report (module entry point)."""
     from .common import scale_factor
 
     result = run(rate=400.0 * scale_factor(), k=scaled(50))

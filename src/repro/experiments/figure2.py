@@ -25,6 +25,8 @@ __all__ = ["Figure2Result", "run", "main"]
 
 @dataclass
 class Figure2Result:
+    """Series and summaries for Figure 2 (spike recovery)."""
+
     times: np.ndarray
     rates: np.ndarray
     gl_threshold: np.ndarray
@@ -55,14 +57,17 @@ class Figure2Result:
 
     @property
     def gl_recovery(self) -> float:
+        """Time for the G&L threshold to recover after the spike ends."""
         return self._recovery_time(self.gl_threshold)
 
     @property
     def improved_recovery(self) -> float:
+        """Time for the improved threshold to recover after the spike ends."""
         return self._recovery_time(self.improved_threshold)
 
     @property
     def steady_sample_ratio(self) -> float:
+        """Mean improved/G&L sample-size ratio before the spike."""
         pre = (self.times >= self.spike_start - self.window) & (
             self.times < self.spike_start
         )
@@ -82,6 +87,7 @@ class Figure2Result:
         )
 
     def table(self) -> str:
+        """Human-readable results table (one row per series point)."""
         rows = zip(
             self.times,
             self.rates,
@@ -107,6 +113,7 @@ def run(
     grid_step: float = 0.2,
     seed: int = 0,
 ) -> Figure2Result:
+    """Run the experiment and return its result record."""
     rng = np.random.default_rng(seed)
     rate_fn = spike_rate(base_rate, base_rate * spike_multiplier, spike_start, spike_end)
     arrivals = inhomogeneous_arrivals(
@@ -143,6 +150,7 @@ def run(
 
 
 def main() -> Figure2Result:
+    """Run the experiment and print the report (module entry point)."""
     result = run()
     print("Figure 2 — sliding-window spike recovery")
     print(result.table())

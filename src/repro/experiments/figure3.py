@@ -30,6 +30,8 @@ __all__ = ["Figure3Result", "run", "main"]
 
 @dataclass
 class Figure3Result:
+    """Series and summaries for Figure 3 (top-k identification)."""
+
     betas: np.ndarray
     sampler_errors: np.ndarray  # mean top-k mistakes per beta
     freqitems_errors: np.ndarray
@@ -40,6 +42,7 @@ class Figure3Result:
     n_trials: int
 
     def table(self) -> str:
+        """Human-readable results table (one row per series point)."""
         rows = zip(
             self.betas,
             self.sampler_errors,
@@ -67,6 +70,7 @@ def run(
     freqitems_map_size: int = 128,
     seed: int = 0,
 ) -> Figure3Result:
+    """Run the experiment and return its result record."""
     stream_length = stream_length if stream_length is not None else scaled(20_000)
     n_trials = n_trials if n_trials is not None else scaled(5)
     betas = np.asarray(betas, dtype=float)
@@ -109,6 +113,7 @@ def run(
 
 
 def main() -> Figure3Result:
+    """Run the experiment and print the report (module entry point)."""
     result = run()
     print(
         f"Figure 3 — top-{result.k} errors and sketch size vs beta "

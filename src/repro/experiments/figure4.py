@@ -38,6 +38,8 @@ __all__ = ["Figure4Result", "run", "main"]
 
 @dataclass
 class Figure4Result:
+    """Series and summaries for Figure 4 (distinct-count unions)."""
+
     jaccards: np.ndarray
     lcs_error: np.ndarray  # relative error SD, percent
     bottomk_error: np.ndarray
@@ -48,6 +50,7 @@ class Figure4Result:
     n_trials: int
 
     def table(self) -> str:
+        """Human-readable results table (one row per series point)."""
         rows = zip(self.jaccards, self.lcs_error, self.bottomk_error, self.theta_error)
         return format_table(
             ["jaccard", "lcs_err_%", "bottomk_err_%", "theta_err_%"], rows
@@ -62,6 +65,7 @@ def run(
     n_trials: int | None = None,
     seed: int = 0,
 ) -> Figure4Result:
+    """Run the experiment and return its result record."""
     size_a = size_a if size_a is not None else scaled(20_000)
     size_b = size_b if size_b is not None else 2 * size_a
     n_trials = n_trials if n_trials is not None else scaled(40)
@@ -109,6 +113,7 @@ def run(
 
 
 def main() -> Figure4Result:
+    """Run the experiment and print the report (module entry point)."""
     result = run()
     print(
         f"Figure 4 — distinct counting union (A={result.size_a}, "

@@ -26,6 +26,8 @@ __all__ = ["BudgetResult", "run", "main"]
 
 @dataclass
 class BudgetResult:
+    """Section 3.1 memory-budget experiment results."""
+
     budget: float
     mean_item_size: float
     max_item_size: float
@@ -37,6 +39,7 @@ class BudgetResult:
 
     @property
     def mean_adaptive_size(self) -> float:
+        """Mean sample size the adaptive budget rule achieved."""
         return float(np.mean(self.adaptive_sizes))
 
     @property
@@ -46,9 +49,11 @@ class BudgetResult:
 
     @property
     def count_bias(self) -> float:
+        """Relative bias of the HT population-count estimate."""
         return float(np.mean(self.count_estimates)) / self.population - 1.0
 
     def table(self) -> str:
+        """Human-readable results table (one row per series point)."""
         rows = [
             ("budget B", self.budget),
             ("max item size L_max", self.max_item_size),
@@ -100,6 +105,7 @@ def run(
 
 
 def main() -> BudgetResult:
+    """Run the experiment and print the report (module entry point)."""
     result = run()
     print("Section 3.1 (T1) — variable item sizes under a memory budget")
     print(result.table())

@@ -27,6 +27,8 @@ __all__ = ["MergeDominanceResult", "run", "main"]
 
 @dataclass
 class MergeDominanceResult:
+    """Merge-rule dominance sweep results (Section 3.5)."""
+
     big_size: int
     n_small: int
     small_size: int
@@ -41,6 +43,7 @@ class MergeDominanceResult:
         return self.theta_rmse / max(self.adaptive_rmse, 1e-12)
 
     def table(self) -> str:
+        """Human-readable results table (one row per series point)."""
         rows = [
             ("big set size", self.big_size),
             ("small sets", f"{self.n_small} x {self.small_size}"),
@@ -61,6 +64,7 @@ def run(
     n_trials: int | None = None,
     seed: int = 0,
 ) -> MergeDominanceResult:
+    """Run the experiment and return its result record."""
     big_size = big_size if big_size is not None else scaled(1_000)
     n_small = n_small if n_small is not None else scaled(1_000)
     n_trials = n_trials if n_trials is not None else max(4, scaled(10))
@@ -98,6 +102,7 @@ def run(
 
 
 def main() -> MergeDominanceResult:
+    """Run the experiment and print the report (module entry point)."""
     result = run()
     print("Section 3.5 (T2) — chained merges when one set dominates")
     print(result.table())

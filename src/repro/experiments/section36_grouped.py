@@ -23,6 +23,8 @@ __all__ = ["GroupedResult", "run", "main"]
 
 @dataclass
 class GroupedResult:
+    """Section 3.6 grouped-distinct experiment results."""
+
     n_heavy: int
     heavy_size: int
     n_tiny: int
@@ -39,6 +41,7 @@ class GroupedResult:
         return self.naive_entries / max(self.grouped_entries, 1.0)
 
     def table(self) -> str:
+        """Human-readable results table (one row per series point)."""
         rows = [
             ("heavy groups", f"{self.n_heavy} x {self.heavy_size}"),
             ("tiny groups", f"{self.n_tiny} x {self.tiny_size}"),
@@ -60,6 +63,7 @@ def run(
     n_trials: int | None = None,
     seed: int = 0,
 ) -> GroupedResult:
+    """Run the experiment and return its result record."""
     heavy_size = heavy_size if heavy_size is not None else scaled(3_000)
     n_tiny = n_tiny if n_tiny is not None else scaled(400)
     n_trials = n_trials if n_trials is not None else max(3, scaled(8))
@@ -110,6 +114,7 @@ def run(
 
 
 def main() -> GroupedResult:
+    """Run the experiment and print the report (module entry point)."""
     result = run()
     print("Section 3.6 (T7) — frequent groups for distinct counting")
     print(result.table())

@@ -24,6 +24,8 @@ __all__ = ["VarianceSizedResult", "run", "main"]
 
 @dataclass
 class VarianceSizedResult:
+    """Section 3.9 variance-sized-sample experiment results."""
+
     deltas: np.ndarray
     mse: np.ndarray  # realized MSE of the HT total per delta
     vhat_mean: np.ndarray  # mean of Vhat(S_T) per delta
@@ -32,6 +34,7 @@ class VarianceSizedResult:
     n_trials: int
 
     def table(self) -> str:
+        """Human-readable results table (one row per series point)."""
         rows = zip(
             self.deltas,
             self.deltas**2,
@@ -53,6 +56,7 @@ def run(
     n_trials: int | None = None,
     seed: int = 0,
 ) -> VarianceSizedResult:
+    """Run the experiment and return its result record."""
     population = population if population is not None else scaled(2_000)
     n_trials = n_trials if n_trials is not None else scaled(200)
     rng = np.random.default_rng(seed)
@@ -98,6 +102,7 @@ def run(
 
 
 def main() -> VarianceSizedResult:
+    """Run the experiment and print the report (module entry point)."""
     result = run()
     print("Section 3.9 (T3) — variance-sized samples")
     print(result.table())

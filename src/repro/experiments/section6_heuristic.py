@@ -26,6 +26,8 @@ __all__ = ["HeuristicResult", "run", "main"]
 
 @dataclass
 class HeuristicResult:
+    """Section 6 heuristic-threshold experiment results."""
+
     sizes: np.ndarray
     threshold_gap: np.ndarray  # mean |heuristic - exact| / deterministic
     exact_deviation: np.ndarray  # mean |exact - deterministic| / deterministic
@@ -33,6 +35,7 @@ class HeuristicResult:
     n_trials: int
 
     def table(self) -> str:
+        """Human-readable results table (one row per series point)."""
         rows = zip(
             self.sizes,
             self.threshold_gap,
@@ -49,6 +52,7 @@ def run(
     n_trials: int | None = None,
     seed: int = 0,
 ) -> HeuristicResult:
+    """Run the experiment and return its result record."""
     n_trials = n_trials if n_trials is not None else scaled(40)
     sizes = np.asarray(sizes, dtype=int)
 
@@ -92,6 +96,7 @@ def run(
 
 
 def main() -> HeuristicResult:
+    """Run the experiment and print the report (module entry point)."""
     result = run()
     print("Section 6 (T5) — heuristic vs exact variance-target thresholds")
     print(result.table())

@@ -1,0 +1,45 @@
+"""Declarative query layer: one sample, many answers.
+
+The point of adaptive threshold sampling (Ting, SIGMOD 2022) is that a
+single maintained sample answers *many* downstream questions — subset
+sums, counts, means, distinct counts, top-k, value quantiles — through
+pseudo-HT estimation.  This package is the serving layer that makes those
+questions declarative:
+
+>>> import repro
+>>> s = repro.make_sampler("bottom_k", k=256)
+>>> s.update_many(range(10_000))
+>>> r = s.query("sum", where=lambda k: k % 2 == 0, ci=0.95)
+>>> r.ci[0] <= r.estimate <= r.ci[1]
+True
+
+* :class:`Query` / :class:`QueryResult` — the spec and answer containers
+  (:mod:`repro.query.spec`).
+* :mod:`repro.query.planner` — capability validation, plan-then-run.
+* :mod:`repro.query.executors` — vectorized execution over canonicalized
+  Sample arrays; group-bys in one ``bincount`` pass.
+* :mod:`repro.query.variance` — the HT/pseudo-HT variance plug-ins.
+* :mod:`repro.query.capabilities` — the registry-wide capability table
+  and its markdown renderer (the matrix in ``docs/architecture.md``).
+
+Entry point: :meth:`repro.api.StreamSampler.query`, which adds the
+per-instance ``(state_version, fingerprint)`` result cache on top of
+:func:`repro.query.planner.execute`.
+"""
+
+from .capabilities import QUERY_AGGREGATES, capability_markdown, capability_table
+from .planner import QueryPlan, execute, plan
+from .spec import Query, QueryCapabilityError, QueryResult, TopKItem
+
+__all__ = [
+    "Query",
+    "QueryResult",
+    "TopKItem",
+    "QueryCapabilityError",
+    "QueryPlan",
+    "plan",
+    "execute",
+    "QUERY_AGGREGATES",
+    "capability_table",
+    "capability_markdown",
+]

@@ -1,0 +1,80 @@
+"""The registry-wide capability table.
+
+Every registered sampler class declares, next to its ``mergeable`` flag,
+which query aggregates it answers and why the rest are out of scope
+(:attr:`repro.api.StreamSampler.query_capabilities`, built with
+:func:`repro.api.protocol.query_support`).  This module collects those
+declarations into one table — the single source of truth behind
+``supported_aggregates()`` listings, capability error messages, and the
+matrix in ``docs/architecture.md`` (pinned against drift by
+``tests/query/test_capability_pinning.py`` and ``tests/docs``).
+"""
+
+from __future__ import annotations
+
+from ..api.protocol import QUERY_AGGREGATES, _NO_SAMPLE_REASON
+from ..api.registry import available_samplers, get_sampler_class
+
+__all__ = ["capability_table", "capability_markdown", "QUERY_AGGREGATES"]
+
+#: Classes registered with the factory but outside the StreamSampler
+#: protocol still carry a plain-attribute capability table; anything
+#: without one falls back to this reason.
+_UNDECLARED = _NO_SAMPLE_REASON
+
+
+def capability_table() -> dict[str, dict[str, bool | str]]:
+    """Per-registered-name capability rows, ``{name: {aggregate: entry}}``.
+
+    Each entry is ``True`` (supported) or the class's declared reason
+    string.  Every registered name appears, including the offline designs
+    and the sharded engine (whose class-level row explains that instances
+    mirror their shard class).
+    """
+    table: dict[str, dict[str, bool | str]] = {}
+    for name in available_samplers():
+        cls = get_sampler_class(name)
+        caps = getattr(cls, "query_capabilities", None)
+        if caps is None:
+            caps = {agg: _UNDECLARED for agg in QUERY_AGGREGATES}
+        table[name] = {agg: caps.get(agg, _UNDECLARED) for agg in QUERY_AGGREGATES}
+    return table
+
+
+def capability_markdown() -> str:
+    """The capability matrix as a GitHub-flavored markdown table.
+
+    Supported cells render as ``yes``; gaps render as footnote markers
+    with the declared reasons listed below the table.  ``docs/architecture.md``
+    embeds this output verbatim between generation markers, and the docs
+    test suite regenerates and diffs it so the published matrix can never
+    drift from the declarations.
+    """
+    table = capability_table()
+    reasons: dict[str, int] = {}
+    lines = [
+        "| sampler | " + " | ".join(QUERY_AGGREGATES) + " | variance/CI |",
+        "|---|" + "---|" * (len(QUERY_AGGREGATES) + 1),
+    ]
+    for name, row in table.items():
+        cells = []
+        for agg in QUERY_AGGREGATES:
+            entry = row[agg]
+            if entry is True:
+                cells.append("yes")
+            else:
+                idx = reasons.setdefault(str(entry), len(reasons) + 1)
+                cells.append(f"— [^q{idx}]")
+        variance = getattr(
+            get_sampler_class(name), "query_variance", _UNDECLARED
+        )
+        if variance is True:
+            var_cell = "yes"
+        else:
+            idx = reasons.setdefault(str(variance), len(reasons) + 1)
+            var_cell = f"— [^q{idx}]"
+        lines.append(f"| `{name}` | " + " | ".join(cells) + f" | {var_cell} |")
+    lines.append("")
+    for reason, idx in sorted(reasons.items(), key=lambda kv: kv[1]):
+        lines.append(f"[^q{idx}]: {reason}")
+    return "\n".join(lines)

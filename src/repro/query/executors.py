@@ -1,0 +1,474 @@
+"""Vectorized query execution over Sample arrays.
+
+One compile step turns a :class:`~repro.core.sample.Sample` plus a
+:class:`~repro.query.spec.Query` into canonicalized numpy columns; each
+aggregate then reduces those columns in a single pass.  Group-bys factorize
+the labels once and fan every per-row contribution through
+``np.bincount`` — one reduction pass regardless of group count.
+
+Canonicalization (a stable sort by priority) makes execution a pure
+function of the sample's row *multiset*: the sharded engine's merge-tree
+emits rows in a different order than a single-instance sampler, and the
+sort is what makes their query answers bit-identical on the
+hash-coordinated sketches (asserted in ``tests/query/test_contract.py``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any
+
+import numpy as np
+
+from ..core import estimators
+from ..core.sample import Sample
+from .spec import Query, QueryResult, TopKItem
+from .variance import (
+    interval as _interval,
+    mean_residual_variance_terms,
+    total_variance_terms,
+)
+
+__all__ = ["CompiledSample", "compile_sample", "run_aggregate"]
+
+
+@dataclass
+class CompiledSample:
+    """Canonicalized per-row columns a query executes over.
+
+    ``labels`` is a numpy array when the label type vectorizes (ints,
+    floats, strings) and a plain list otherwise; ``keys`` stays in the
+    sample's native order with the canonical permutation alongside, so the
+    python-level reorder is paid only by aggregates that need keys (topk).
+    """
+
+    keys: list
+    order: np.ndarray
+    values: np.ndarray
+    probs: np.ndarray
+    mask: np.ndarray
+    labels: np.ndarray | list | None
+
+    _keys_canonical: list | None = None
+
+    def keys_canonical(self) -> list:
+        """Keys permuted into canonical order (materialized on demand)."""
+        if self._keys_canonical is None:
+            self._keys_canonical = [self.keys[i] for i in self.order]
+        return self._keys_canonical
+
+
+def _column(query: Query, sample: Sample) -> np.ndarray:
+    """Resolve the query's value column against the sample."""
+    if query.value is None or query.value == "value":
+        return np.asarray(sample.values, dtype=float)
+    if query.value == "weight":
+        return np.asarray(sample.weights, dtype=float)
+    return np.fromiter(
+        (float(query.value(key)) for key in sample.keys),
+        dtype=float,
+        count=len(sample.keys),
+    )
+
+
+def _row_aligned(spec_field, keys: list, what: str):
+    """Evaluate a callable over keys, or validate a precomputed column."""
+    if callable(spec_field):
+        return [spec_field(key) for key in keys]
+    seq = list(spec_field)
+    if len(seq) != len(keys):
+        raise ValueError(
+            f"precomputed {what} must align with the sample rows "
+            f"({len(seq)} labels for {len(keys)} rows)"
+        )
+    return seq
+
+
+def compile_sample(sample: Sample, query: Query) -> CompiledSample:
+    """Resolve columns on the sample's native order, then canonicalize.
+
+    ``where`` masks and ``group_by`` labels are evaluated (or validated)
+    against the rows as the sampler emitted them — precomputed columns
+    stay aligned — and only then is everything permuted into the stable
+    priority order that makes reductions order-independent.
+    """
+    n = len(sample.keys)
+    values = _column(query, sample)
+    probs = sample.probabilities
+    if query.where is None:
+        mask = np.ones(n, dtype=bool)
+    elif callable(query.where):
+        mask = np.fromiter(
+            (bool(query.where(key)) for key in sample.keys),
+            dtype=bool,
+            count=n,
+        )
+    else:
+        mask = np.asarray(query.where, dtype=bool)
+        if mask.size != n:
+            raise ValueError(
+                f"precomputed where mask must align with the sample rows "
+                f"({mask.size} entries for {n} rows)"
+            )
+    labels = (
+        None
+        if query.group_by is None
+        else _row_aligned(query.group_by, sample.keys, "group_by labels")
+    )
+
+    order = np.argsort(np.asarray(sample.priorities, dtype=float), kind="stable")
+    if labels is not None:
+        # The ndarray fast path is taken only for 1-D numeric/bool label
+        # sets, where the coercion is lossless.  Anything else — strings,
+        # tuples (asarray would stack them into a 2-D array, breaking the
+        # bincount alignment), mixed types (silently stringified) —
+        # keeps python semantics through the list/dict-factorize path.
+        try:
+            arr = np.asarray(labels)
+        except (ValueError, TypeError):  # ragged label tuples
+            arr = None
+        if arr is not None and arr.ndim == 1 and arr.dtype.kind in "iufb":
+            labels = arr[order]
+        else:
+            labels = [labels[i] for i in order]
+    return CompiledSample(
+        keys=sample.keys,
+        order=order,
+        values=values[order],
+        probs=probs[order],
+        mask=mask[order],
+        labels=labels,
+    )
+
+
+def _factorize(labels) -> tuple[np.ndarray, list]:
+    """Factorize labels into (inverse indices, unique labels).
+
+    Vectorized ``np.unique`` for numeric/string arrays (uniques in sorted
+    order); dict-based first-appearance fallback for arbitrary hashable
+    labels.  Either order is deterministic given the canonical row
+    multiset, which is all bit-identical sharded answers need.
+    """
+    if isinstance(labels, np.ndarray) and labels.dtype.kind != "O":
+        uniques, inv = np.unique(labels, return_inverse=True)
+        return inv.astype(np.intp, copy=False), uniques.tolist()
+    index: dict[Any, int] = {}
+    inv = np.empty(len(labels), dtype=np.intp)
+    for i, label in enumerate(labels):
+        code = index.get(label)
+        if code is None:
+            code = len(index)
+            index[label] = code
+        inv[i] = code
+    return inv, list(index)
+
+
+def _select(labels, mask: np.ndarray):
+    """Restrict a label column (array or list) to the masked rows."""
+    if isinstance(labels, np.ndarray):
+        return labels[mask]
+    return [label for label, keep in zip(labels, mask) if keep]
+
+
+def _group_slices(inv: np.ndarray, n_groups: int):
+    """Yield ``(group, row_indices)`` via one stable argsort partition.
+
+    O(n log n) total instead of one full-length mask scan per group; the
+    stable sort keeps canonical row order within each group, preserving
+    the bit-identity of sharded vs single-instance answers.
+    """
+    by_group = np.argsort(inv, kind="stable")
+    bounds = np.searchsorted(inv[by_group], np.arange(n_groups + 1))
+    for g in range(n_groups):
+        yield g, by_group[bounds[g]:bounds[g + 1]]
+
+
+def _scalar_result(
+    aggregate: str,
+    est: float,
+    var: float | None,
+    level: float | None,
+    size: int,
+    groups=None,
+) -> QueryResult:
+    stderr = None if var is None else float(np.sqrt(max(var, 0.0)))
+    return QueryResult(
+        aggregate=aggregate,
+        estimate=est,
+        variance=var,
+        stderr=stderr,
+        ci=_interval(est, var, level),
+        level=level,
+        sample_size=size,
+        groups=groups,
+    )
+
+
+# ----------------------------------------------------------------------
+# Scalar aggregates (sum / count / distinct / mean)
+# ----------------------------------------------------------------------
+def _sum_terms(values, probs, with_variance):
+    est_terms = values / probs
+    var_terms = total_variance_terms(values, probs) if with_variance else None
+    return est_terms, var_terms
+
+
+def _grouped_totals(
+    aggregate, est_terms, var_terms, inv, uniques, with_variance, level
+):
+    """Single-pass group reduction for the HT-total style aggregates.
+
+    Receives the caller's per-row terms so the overall estimate and the
+    group fan-out share one O(n) term computation.
+    """
+    n_groups = len(uniques)
+    sums = np.bincount(inv, weights=est_terms, minlength=n_groups)
+    vars_ = (
+        np.bincount(inv, weights=var_terms, minlength=n_groups)
+        if with_variance
+        else None
+    )
+    sizes = np.bincount(inv, minlength=n_groups)
+    return {
+        label: _scalar_result(
+            aggregate,
+            float(sums[g]),
+            None if vars_ is None else float(vars_[g]),
+            level,
+            int(sizes[g]),
+        )
+        for g, label in enumerate(uniques)
+    }
+
+
+def _total_like(aggregate, compiled, query, with_variance, level):
+    """sum / count / distinct: HT totals of a per-row contribution."""
+    mask = compiled.mask
+    values = (
+        compiled.values[mask]
+        if aggregate == "sum"
+        else np.ones(int(mask.sum()))
+    )
+    probs = compiled.probs[mask]
+    est_terms, var_terms = _sum_terms(values, probs, with_variance)
+    est = float(est_terms.sum())
+    var = None if var_terms is None else float(var_terms.sum())
+    groups = None
+    if compiled.labels is not None:
+        inv, uniques = _factorize(_select(compiled.labels, mask))
+        groups = _grouped_totals(
+            aggregate, est_terms, var_terms, inv, uniques, with_variance, level
+        )
+    return _scalar_result(aggregate, est, var, level, int(mask.sum()), groups)
+
+
+def _mean_of(values, probs, with_variance, level, aggregate="mean"):
+    if values.size == 0:
+        return QueryResult(
+            aggregate=aggregate,
+            estimate=float("nan"),
+            level=level,
+            sample_size=0,
+        )
+    est = estimators.hajek_mean(values, probs)
+    var = (
+        estimators.hajek_mean_variance_estimate(values, probs)
+        if with_variance
+        else None
+    )
+    return _scalar_result(aggregate, est, var, level, int(values.size))
+
+
+def _mean(compiled, query, with_variance, level):
+    mask = compiled.mask
+    values = compiled.values[mask]
+    probs = compiled.probs[mask]
+    groups = None
+    if compiled.labels is not None:
+        inv, uniques = _factorize(_select(compiled.labels, mask))
+        # Vectorized grouped Hajek: group numerators/denominators by
+        # bincount, then linearized residual variance in one more pass.
+        n_groups = len(uniques)
+        num = np.bincount(inv, weights=values / probs, minlength=n_groups)
+        den = np.bincount(inv, weights=1.0 / probs, minlength=n_groups)
+        sizes = np.bincount(inv, minlength=n_groups)
+        with np.errstate(invalid="ignore", divide="ignore"):
+            means = num / den
+        if with_variance:
+            var_terms = mean_residual_variance_terms(
+                values, probs, means, den, inv
+            )
+            group_vars = np.bincount(inv, weights=var_terms, minlength=n_groups)
+        groups = {
+            label: _scalar_result(
+                "mean",
+                float(means[g]),
+                float(group_vars[g]) if with_variance else None,
+                level,
+                int(sizes[g]),
+            )
+            for g, label in enumerate(uniques)
+        }
+    overall = _mean_of(values, probs, with_variance, level)
+    if groups is None:
+        return overall
+    return QueryResult(
+        aggregate="mean",
+        estimate=overall.estimate,
+        variance=overall.variance,
+        stderr=overall.stderr,
+        ci=overall.ci,
+        level=level,
+        sample_size=overall.sample_size,
+        groups=groups,
+    )
+
+
+# ----------------------------------------------------------------------
+# topk / quantile
+# ----------------------------------------------------------------------
+def _topk_of(keys, values, probs, k, with_variance, level):
+    inv, uniques = _factorize(keys)
+    n_groups = len(uniques)
+    est_terms, var_terms = _sum_terms(values, probs, with_variance)
+    sums = np.bincount(inv, weights=est_terms, minlength=n_groups)
+    vars_ = (
+        np.bincount(inv, weights=var_terms, minlength=n_groups)
+        if with_variance
+        else None
+    )
+    # Stable sort on negated estimates: ties resolve by canonical row
+    # order, keeping sharded and single-instance rankings identical.
+    order = np.argsort(-sums, kind="stable")[:k]
+    items = []
+    for g in order:
+        est = float(sums[g])
+        var = None if vars_ is None else float(vars_[g])
+        items.append(
+            TopKItem(
+                key=uniques[g],
+                estimate=est,
+                stderr=None if var is None else float(np.sqrt(max(var, 0.0))),
+                ci=_interval(est, var, level),
+            )
+        )
+    return tuple(items)
+
+
+def _topk(compiled, query, with_variance, level):
+    k = 10 if query.k is None else int(query.k)
+    mask = compiled.mask
+    keys = [
+        key for key, keep in zip(compiled.keys_canonical(), mask) if keep
+    ]
+    values = compiled.values[mask]
+    probs = compiled.probs[mask]
+    groups = None
+    if compiled.labels is not None:
+        inv, uniques = _factorize(_select(compiled.labels, mask))
+        groups = {
+            uniques[g]: QueryResult(
+                aggregate="topk",
+                estimate=_topk_of(
+                    [keys[i] for i in rows],
+                    values[rows],
+                    probs[rows],
+                    k,
+                    with_variance,
+                    level,
+                ),
+                level=level,
+                sample_size=int(rows.size),
+            )
+            for g, rows in _group_slices(inv, len(uniques))
+        }
+    return QueryResult(
+        aggregate="topk",
+        estimate=_topk_of(keys, values, probs, k, with_variance, level),
+        level=level,
+        sample_size=len(keys),
+        groups=groups,
+    )
+
+
+def _quantile_of(values, probs, q, with_variance, level):
+    if values.size == 0:
+        return QueryResult(
+            aggregate="quantile",
+            estimate=float("nan"),
+            level=level,
+            sample_size=0,
+        )
+    est = estimators.weighted_quantile(values, probs, q)
+    ci = (
+        estimators.quantile_interval(values, probs, q, level)
+        if (level is not None and with_variance)
+        else None
+    )
+    return QueryResult(
+        aggregate="quantile",
+        estimate=est,
+        ci=ci,
+        level=level,
+        sample_size=int(values.size),
+    )
+
+
+def _quantile(compiled, query, with_variance, level):
+    q = 0.5 if query.q is None else float(query.q)
+    mask = compiled.mask
+    values = compiled.values[mask]
+    probs = compiled.probs[mask]
+    groups = None
+    if compiled.labels is not None:
+        inv, uniques = _factorize(_select(compiled.labels, mask))
+        groups = {
+            uniques[g]: _quantile_of(
+                values[rows], probs[rows], q, with_variance, level
+            )
+            for g, rows in _group_slices(inv, len(uniques))
+        }
+    overall = _quantile_of(values, probs, q, with_variance, level)
+    if groups is None:
+        return overall
+    return QueryResult(
+        aggregate="quantile",
+        estimate=overall.estimate,
+        ci=overall.ci,
+        level=level,
+        sample_size=overall.sample_size,
+        groups=groups,
+    )
+
+
+_EXECUTORS = {
+    "sum": lambda c, query, v, lvl: _total_like("sum", c, query, v, lvl),
+    "count": lambda c, query, v, lvl: _total_like("count", c, query, v, lvl),
+    "distinct": lambda c, query, v, lvl: _total_like(
+        "distinct", c, query, v, lvl
+    ),
+    "mean": _mean,
+    "topk": _topk,
+    "quantile": _quantile,
+}
+
+
+def run_aggregate(
+    sample: Sample, query: Query, with_variance: bool
+) -> QueryResult:
+    """Compile the sample and run the query's aggregate over it.
+
+    Parameters
+    ----------
+    sample:
+        The finalized sample to execute over.
+    query:
+        The validated query spec.
+    with_variance:
+        Whether the sampler's probabilities license the HT plug-in
+        variance (``query_variance is True``); when False, variance,
+        stderr and CI fields come back ``None``.
+    """
+    compiled = compile_sample(sample, query)
+    level = query.ci
+    return _EXECUTORS[query.aggregate](compiled, query, with_variance, level)

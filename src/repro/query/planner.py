@@ -1,0 +1,103 @@
+"""Query planning: capability checks, then one vectorized execution.
+
+``plan()`` resolves a :class:`~repro.query.spec.Query` against a sampler's
+declared capability table — the *only* authority on what each sampler
+answers — and returns a :class:`QueryPlan` that runs on any
+:class:`~repro.core.sample.Sample` the sampler produces.  ``execute()`` is
+the plan-then-run convenience the protocol's ``StreamSampler.query()``
+entry point (which adds the invalidate-on-update result cache) calls.
+
+The sharded engine needs no special-casing here: its ``sample()`` is the
+merge-tree reduction of its shards, so planning against an engine
+transparently executes over the merged sample — which is what makes
+sharded answers match (bit-identically, for the hash-coordinated sketches)
+the single-instance answers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..api.protocol import _NO_SAMPLE_REASON, QUERY_AGGREGATES
+from ..core.sample import Sample
+from .executors import run_aggregate
+from .spec import Query, QueryCapabilityError, QueryResult
+
+__all__ = ["QueryPlan", "plan", "execute"]
+
+
+@dataclass(frozen=True)
+class QueryPlan:
+    """A validated, executable query bound to a sampler's capabilities."""
+
+    query: Query
+    sampler_label: str
+    with_variance: bool
+
+    def run(self, sample: Sample) -> QueryResult:
+        """Execute the planned aggregate over a finalized sample."""
+        return run_aggregate(sample, self.query, self.with_variance)
+
+
+def _sampler_label(sampler) -> str:
+    name = getattr(sampler, "sampler_name", None)
+    return name or type(sampler).__name__
+
+
+def _capability_entries(sampler):
+    """Read a target's capability table without assuming the protocol.
+
+    Registered classes outside :class:`~repro.api.StreamSampler` (the
+    offline designs/layouts) carry the same ``query_capabilities``
+    attribute but none of the protocol's accessor methods; reading the
+    table via ``getattr`` lets ``plan()`` surface their *declared* gap
+    reasons instead of an :class:`AttributeError`.
+    """
+    caps = getattr(sampler, "query_capabilities", None)
+    if caps is None:
+        caps = {}
+    supported = tuple(
+        name for name in QUERY_AGGREGATES if caps.get(name) is True
+    )
+    return caps, supported
+
+
+def plan(sampler, query: Query) -> QueryPlan:
+    """Validate ``query`` against ``sampler``'s capability table.
+
+    Raises
+    ------
+    QueryCapabilityError
+        When the aggregate is declared out of scope (message carries the
+        sampler's declared reason and its supported aggregates), or when
+        ``ci=`` is requested from a sampler whose ``query_variance``
+        declares no variance story.
+    """
+    label = _sampler_label(sampler)
+    caps, supported = _capability_entries(sampler)
+    entry = caps.get(query.aggregate, _NO_SAMPLE_REASON)
+    if entry is not True:
+        hint = (
+            "supported aggregates: " + ", ".join(supported)
+            if supported
+            else "no aggregates supported"
+        )
+        raise QueryCapabilityError(
+            f"{label} does not support the {query.aggregate!r} aggregate: "
+            f"{entry} ({hint})"
+        )
+    variance_flag = getattr(sampler, "query_variance", True)
+    with_variance = variance_flag is True
+    if query.ci is not None and not with_variance:
+        raise QueryCapabilityError(
+            f"{label} declares no variance story, so ci={query.ci} is "
+            f"unavailable: {variance_flag}"
+        )
+    return QueryPlan(
+        query=query, sampler_label=label, with_variance=with_variance
+    )
+
+
+def execute(sampler, query: Query) -> QueryResult:
+    """Plan ``query`` against ``sampler`` and run it on a fresh sample."""
+    return plan(sampler, query).run(sampler.sample())

@@ -1,0 +1,257 @@
+"""Declarative query specs and results.
+
+A :class:`Query` names *what* to estimate — an aggregate, an optional
+``where`` restriction, an optional ``group_by`` fan-out, the value column,
+and a confidence level — and the planner/executors decide *how*, as one
+vectorized pass over a :class:`repro.core.sample.Sample`.  This is the
+paper's central promise operationalized: one adaptive threshold sample,
+many downstream questions, each answered with pseudo-HT estimation
+(Ting, SIGMOD 2022, §2-3) plus a variance and interval story.
+
+The spec layer is deliberately dumb: no sampler knowledge, just validated
+fields, a content/identity cache fingerprint, and the result containers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from types import MappingProxyType
+from typing import Any, Callable, Mapping, Sequence
+
+import numpy as np
+
+from ..api.protocol import QUERY_AGGREGATES
+
+__all__ = ["Query", "QueryResult", "TopKItem", "QueryCapabilityError"]
+
+
+class QueryCapabilityError(ValueError):
+    """A query asked a sampler for an aggregate (or a variance/CI) it
+    declares out of scope.
+
+    The message carries the sampler's *declared* reason for the gap plus
+    the aggregates it does support, both read from the capability table —
+    never from hand-maintained strings.
+    """
+
+
+@dataclass(frozen=True)
+class Query:
+    """A declarative estimation request.
+
+    Parameters
+    ----------
+    aggregate:
+        One of :data:`repro.api.protocol.QUERY_AGGREGATES`:
+        ``"sum"`` (HT subset sum of the value column), ``"count"`` (HT
+        estimate of the number of population rows), ``"mean"`` (Hajek
+        ratio mean), ``"distinct"`` (HT distinct-key count, where the
+        sampler's rows are per-key), ``"topk"`` (largest per-key HT sums),
+        or ``"quantile"`` (HT-weighted value quantile).
+    where:
+        Optional restriction: a predicate over keys, or a precomputed
+        boolean mask aligned with the sampler's ``sample()`` rows.
+    group_by:
+        Optional fan-out: a key function over keys, or a precomputed label
+        sequence aligned with ``sample()`` rows.  The result then carries
+        one sub-result per group (single-pass numpy group reduction).
+    value:
+        Value column: ``None`` for the sample's payload values,
+        ``"weight"`` for the sampling weights, or a callable mapping each
+        key to a float.
+    k:
+        Number of entries for ``topk`` (default 10; only valid there).
+    q:
+        Quantile level for ``quantile`` (default 0.5; only valid there).
+    ci:
+        Confidence level in (0, 1) for normal-approximation intervals;
+        requires the sampler to declare a genuine variance story
+        (``query_variance is True``).
+
+    Examples
+    --------
+    >>> Query("sum", ci=0.95).fingerprint()[0]
+    'sum'
+    >>> Query("nope")
+    Traceback (most recent call last):
+        ...
+    ValueError: unknown aggregate 'nope'; expected one of sum, count, mean, distinct, topk, quantile
+    """
+
+    aggregate: str
+    where: Callable[[Any], bool] | Sequence | None = None
+    group_by: Callable[[Any], Any] | Sequence | None = None
+    value: str | Callable[[Any], float] | None = None
+    k: int | None = None
+    q: float | None = None
+    ci: float | None = None
+
+    def __post_init__(self) -> None:
+        if self.aggregate not in QUERY_AGGREGATES:
+            raise ValueError(
+                f"unknown aggregate {self.aggregate!r}; expected one of "
+                + ", ".join(QUERY_AGGREGATES)
+            )
+        if self.k is not None:
+            if self.aggregate != "topk":
+                raise ValueError("k= is only valid for the topk aggregate")
+            if int(self.k) < 1:
+                raise ValueError("k must be a positive integer")
+        if self.q is not None:
+            if self.aggregate != "quantile":
+                raise ValueError("q= is only valid for the quantile aggregate")
+            if not 0.0 < float(self.q) < 1.0:
+                raise ValueError("q must lie in (0, 1)")
+        if self.ci is not None and not 0.0 < float(self.ci) < 1.0:
+            raise ValueError("ci must be a confidence level in (0, 1)")
+        if isinstance(self.value, str) and self.value not in ("value", "weight"):
+            raise ValueError(
+                'value= must be None, "value", "weight", or a callable'
+            )
+
+    def fingerprint(self) -> tuple:
+        """A hashable cache key for this query.
+
+        Plain fields fingerprint by value.  Precomputed mask/label
+        columns (arrays, lists, tuples) fingerprint by *content*, so a
+        dashboard that rewrites a mask buffer in place can never be
+        served a stale cached answer.  Callables fingerprint by identity
+        (``id``): reusing the same predicate object across polls hits
+        the cache, a fresh lambda forces re-execution — and the cache
+        retains the spec, so a live entry's callable id cannot be
+        recycled.
+        """
+        return (
+            self.aggregate,
+            _fingerprint_field(self.where),
+            _fingerprint_field(self.group_by),
+            _fingerprint_field(self.value),
+            self.k,
+            self.q,
+            self.ci,
+        )
+
+
+def _fingerprint_field(value) -> tuple | str | int | float | bool | None:
+    """By-value for scalars and data columns, by-identity for callables."""
+    if value is None or isinstance(value, (str, int, float, bool)):
+        return value
+    if isinstance(value, (list, tuple)):
+        content = tuple(value)
+        try:
+            hash(content)
+        except TypeError:  # unhashable elements: identity is all we have
+            return ("seq-id", id(value))
+        # The content itself, not its hash: hash-colliding but different
+        # columns (e.g. [-1] vs [-2] in CPython) must not share a key.
+        return ("seq", content)
+    if isinstance(value, np.ndarray):
+        return ("ndarray", value.shape, value.dtype.str, value.tobytes())
+    return (type(value).__name__, id(value))
+
+
+@dataclass(frozen=True)
+class TopKItem:
+    """One entry of a ``topk`` answer: a key with its estimated total."""
+
+    key: Any
+    estimate: float
+    stderr: float | None = None
+    ci: tuple[float, float] | None = None
+
+
+@dataclass(frozen=True)
+class QueryResult:
+    """The answer to a :class:`Query`.
+
+    Scalar aggregates fill ``estimate``/``variance``/``stderr`` (and
+    ``ci`` when a level was requested); ``topk`` answers put a tuple of
+    :class:`TopKItem` in ``estimate``.  With ``group_by``, ``groups`` maps
+    each label to the per-group :class:`QueryResult`, while the top-level
+    fields hold the ungrouped answer over the same ``where`` selection.
+    Group order is deterministic but representation-dependent — sorted
+    for homogeneous numeric label columns (the vectorized factorization),
+    first-appearance in canonicalized row order otherwise — so index
+    ``groups`` by label, never by position.
+
+    ``variance``/``stderr`` are ``None`` when the sampler declares no
+    variance story (``query_variance`` is a reason string) — a missing
+    number, never a misleading zero.
+    """
+
+    aggregate: str
+    estimate: float | tuple[TopKItem, ...]
+    variance: float | None = None
+    stderr: float | None = None
+    ci: tuple[float, float] | None = None
+    level: float | None = None
+    sample_size: int = 0
+    groups: Mapping[Any, "QueryResult"] | None = None
+
+    def __post_init__(self) -> None:
+        if self.groups is not None and not isinstance(
+            self.groups, MappingProxyType
+        ):
+            object.__setattr__(
+                self, "groups", MappingProxyType(dict(self.groups))
+            )
+
+    def __getstate__(self) -> dict:
+        """Pickle support: the read-only groups proxy travels as a dict."""
+        state = {
+            name: getattr(self, name)
+            for name in self.__dataclass_fields__
+        }
+        if state["groups"] is not None:
+            state["groups"] = dict(state["groups"])
+        return state
+
+    def __setstate__(self, state: dict) -> None:
+        """Rebuild the frozen result, restoring the read-only proxy."""
+        for name, value in state.items():
+            object.__setattr__(self, name, value)
+        if self.groups is not None:
+            object.__setattr__(
+                self, "groups", MappingProxyType(dict(self.groups))
+            )
+
+    def __getitem__(self, label) -> "QueryResult":
+        """Convenience access to a group's sub-result."""
+        if self.groups is None:
+            raise KeyError("result has no groups (query had no group_by)")
+        return self.groups[label]
+
+    def to_dict(self) -> dict:
+        """Plain-dict form, convenient for logging/JSON dashboards."""
+        out: dict[str, Any] = {
+            "aggregate": self.aggregate,
+            "estimate": (
+                [
+                    {
+                        "key": item.key,
+                        "estimate": item.estimate,
+                        "stderr": item.stderr,
+                        "ci": item.ci,
+                    }
+                    for item in self.estimate
+                ]
+                if isinstance(self.estimate, tuple)
+                else self.estimate
+            ),
+            "variance": self.variance,
+            "stderr": self.stderr,
+            "ci": self.ci,
+            "level": self.level,
+            "sample_size": self.sample_size,
+        }
+        if self.groups is not None:
+            keys = [str(label) for label in self.groups]
+            if len(set(keys)) != len(keys):
+                # str() collisions (e.g. int 1 vs "1"): fall back to repr,
+                # which keeps every group rather than silently dropping one.
+                keys = [repr(label) for label in self.groups]
+            out["groups"] = {
+                key: sub.to_dict()
+                for key, sub in zip(keys, self.groups.values())
+            }
+        return out

@@ -1,0 +1,67 @@
+"""Per-aggregate variance plug-ins for query execution.
+
+The estimator theory lives in :mod:`repro.core.estimators` (HT plug-in,
+ratio linearization, Woodruff inversion — see ``docs/estimators.md`` for
+the formulas and when each is unbiased); this module adapts those
+primitives to the *per-row-terms* shape the vectorized executors need, so
+a group-by can reduce every group's variance with one ``np.bincount``
+instead of a per-group function call.
+
+All of it presumes the conditional-independence form the paper licenses in
+§2.6.1: under a substitutable adaptive threshold, inclusions behave as
+independent given the realized threshold, so the fixed-threshold
+(Poisson-design) variance formulas apply verbatim to the sampled rows.
+Samplers whose samples cannot express that (probability-1 rows carrying
+pre-adjusted values) declare a ``query_variance`` reason instead, and the
+planner turns every variance/CI field off rather than report zeros.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..core import estimators
+
+__all__ = [
+    "total_variance_terms",
+    "mean_residual_variance_terms",
+    "interval",
+]
+
+
+def total_variance_terms(values: np.ndarray, probs: np.ndarray) -> np.ndarray:
+    """Per-row terms of the HT total's variance estimate.
+
+    ``x_i^2 (1 - p_i) / p_i^2`` — summing them over any subset of rows
+    reproduces :func:`repro.core.estimators.ht_variance_estimate` on that
+    subset, which is what lets group-bys reduce variance with the same
+    ``bincount`` pass as the point estimates.
+    """
+    return values**2 * (1.0 - probs) / probs**2
+
+
+def mean_residual_variance_terms(
+    values: np.ndarray,
+    probs: np.ndarray,
+    group_means: np.ndarray,
+    group_denominators: np.ndarray,
+    inv: np.ndarray,
+) -> np.ndarray:
+    """Per-row terms of the grouped Hajek mean's linearized variance.
+
+    Each row contributes ``e_i^2 (1 - p_i) / p_i^2`` with residual
+    ``e_i = (x_i - mean_g) / N_hat_g`` against its *own* group's mean and
+    HT size — the grouped form of
+    :func:`repro.core.estimators.hajek_mean_variance_estimate`.
+    """
+    residuals = (values - group_means[inv]) / group_denominators[inv]
+    return total_variance_terms(residuals, probs)
+
+
+def interval(
+    est: float, var: float | None, level: float | None
+) -> tuple[float, float] | None:
+    """Normal-approximation CI, or None when no level/variance applies."""
+    if level is None or var is None:
+        return None
+    return estimators.normal_interval(est, var, level)

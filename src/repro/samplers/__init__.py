@@ -28,7 +28,7 @@ The AQP physical layouts and the offline CPS design are registered too,
 although they are layouts/designs rather than stream samplers.
 """
 
-from .aqp import MultiObjectiveLayout, PriorityLayoutTable, QueryResult
+from .aqp import MultiObjectiveLayout, PriorityLayoutTable, ScanResult
 from .bottomk import BottomKSampler
 from .budget import BudgetSampler
 from .cps import ConditionalPoissonSampler
@@ -61,7 +61,19 @@ __all__ = [
     "PriorityLayoutTable",
     "MultiObjectiveLayout",
     "QueryResult",
+    "ScanResult",
     "ExponentialDecaySampler",
     "VarOptSampler",
     "ConditionalPoissonSampler",
 ]
+
+
+def __getattr__(name: str):
+    """Forward the deprecated ``QueryResult`` alias to :mod:`.aqp`,
+    which emits the :class:`DeprecationWarning` (lazy, so plain package
+    import stays warning-free)."""
+    if name == "QueryResult":
+        from . import aqp
+
+        return aqp.QueryResult
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

@@ -19,17 +19,27 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from ..api import register_sampler
+from ..api import query_support, register_sampler
 from ..api.protocol import family_from_name, family_to_name
 from ..core.hashing import hash_array_to_unit
 from ..core.priorities import InverseWeightPriority, PriorityFamily
 
-__all__ = ["PriorityLayoutTable", "QueryResult", "MultiObjectiveLayout"]
+__all__ = [
+    "PriorityLayoutTable",
+    "ScanResult",
+    "QueryResult",
+    "MultiObjectiveLayout",
+]
 
 
 @dataclass(frozen=True)
-class QueryResult:
-    """Outcome of an early-stopping scan."""
+class ScanResult:
+    """Outcome of an early-stopping scan.
+
+    (Formerly named ``QueryResult``; renamed to avoid colliding with the
+    declarative query layer's :class:`repro.query.QueryResult` — the old
+    name remains importable as a deprecated alias.)
+    """
 
     estimate: float
     stderr: float
@@ -39,7 +49,42 @@ class QueryResult:
 
     @property
     def fraction_read(self) -> float:
+        """Fraction of the physical table the scan had to read."""
         return self.rows_read / max(self.rows_total, 1)
+
+
+def __getattr__(name: str):
+    """Deprecated alias: ``QueryResult`` is :class:`ScanResult` now.
+
+    Lazy so importing the module stays warning-free; touching the old
+    name warns once per call site, matching the repo's other shims.
+    """
+    if name == "QueryResult":
+        import warnings
+
+        warnings.warn(
+            "repro.samplers.aqp.QueryResult was renamed to ScanResult "
+            "(the declarative query layer owns the name repro.QueryResult "
+            "now); update the import",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        return ScanResult
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+
+#: Shared capability-row reason for the offline physical layouts.
+_LAYOUT_REASON = (
+    "offline physical layout outside the StreamSampler protocol; query "
+    "it through its own scan API, not the declarative query layer"
+)
+_LAYOUT_CAPABILITIES = query_support(
+    sum=_LAYOUT_REASON,
+    count=_LAYOUT_REASON,
+    mean=_LAYOUT_REASON,
+    distinct=_LAYOUT_REASON,
+    topk=_LAYOUT_REASON,
+    quantile=_LAYOUT_REASON,
+)
 
 
 @register_sampler("priority_layout")
@@ -58,6 +103,9 @@ class PriorityLayoutTable:
         Sampling weights (default: |values|, the PPS choice); priorities
         are ``hash(row)/w`` so repeated builds are reproducible per salt.
     """
+
+    query_capabilities = _LAYOUT_CAPABILITIES
+    query_variance = _LAYOUT_REASON
 
     def __init__(
         self,
@@ -179,16 +227,19 @@ class PriorityLayoutTable:
 
     @property
     def values(self) -> np.ndarray:
+        """Measure column in physical (priority) order."""
         self._ensure_built()
         return self._layout[0]
 
     @property
     def weights(self) -> np.ndarray:
+        """Sampling weights in physical (priority) order."""
         self._ensure_built()
         return self._layout[1]
 
     @property
     def priorities(self) -> np.ndarray:
+        """Row priorities in physical (ascending) order."""
         self._ensure_built()
         return self._layout[2]
 
@@ -208,7 +259,7 @@ class PriorityLayoutTable:
         max_rows: int | None = None,
         min_rows: int = 64,
         min_matches: int = 30,
-    ) -> QueryResult:
+    ) -> ScanResult:
         """Estimate ``sum(values[mask])`` reading as few rows as possible.
 
         Scans physical order; after reading row ``m`` the candidate
@@ -273,7 +324,7 @@ class PriorityLayoutTable:
             self.family.pseudo_inclusion(t, self.weights[:rows]), dtype=float
         )
         vhat = vhat_after(rows)
-        return QueryResult(
+        return ScanResult(
             estimate=float(np.sum(vals / probs)),
             stderr=float(np.sqrt(max(vhat, 0.0))),
             rows_read=rows,
@@ -319,6 +370,9 @@ class MultiObjectiveLayout:
     weighted bottom-k sample for it; rows sampled for *other* metrics come
     along for free and only help.
     """
+
+    query_capabilities = _LAYOUT_CAPABILITIES
+    query_variance = _LAYOUT_REASON
 
     def __init__(self, metrics: dict[str, np.ndarray], k: int, salt: int = 0):
         if k < 1:
@@ -417,11 +471,13 @@ class MultiObjectiveLayout:
 
     @property
     def priorities(self) -> dict:
+        """Per-metric priority columns (aligned with the input rows)."""
         self._ensure_built()
         return self._derived[0]
 
     @property
     def blocks(self) -> list:
+        """The interleaved block layout: (metric, row indices) pairs."""
         self._ensure_built()
         return self._derived[1]
 

@@ -22,7 +22,7 @@ from typing import Callable
 
 import numpy as np
 
-from ..api import StreamSampler, register_sampler
+from ..api import StreamSampler, query_support, register_sampler
 from ..api.protocol import (
     _as_key_list,
     _as_optional_array,
@@ -76,6 +76,13 @@ class BottomKSampler(StreamSampler):
     """
 
     mergeable = True
+    #: Full query surface: per-occurrence HT rows with genuine inclusion
+    #: probabilities answer every aggregate (``distinct`` presumes the
+    #: stream offers each key once — the coordinated/unique-feed use of
+    #: §3.4; dedup-on-ingest is the distinct sketches' job).
+    query_capabilities = query_support(
+        "sum", "count", "mean", "distinct", "topk", "quantile"
+    )
 
     def __init__(
         self,

@@ -24,7 +24,7 @@ from typing import Callable
 
 import numpy as np
 
-from ..api import StreamSampler, register_sampler
+from ..api import StreamSampler, query_support, register_sampler
 from ..api.protocol import (
     _as_key_list,
     _as_optional_array,
@@ -53,6 +53,14 @@ class BudgetSampler(StreamSampler):
         Priority family for weighted sampling; default priority sampling.
         Also accepts config names (``"inverse_weight"``, ``"uniform"``, ...).
     """
+
+    query_capabilities = query_support(
+        "sum", "count", "mean", "topk", "quantile",
+        distinct=(
+            "samples stream occurrences, not distinct keys; use a distinct "
+            "sketch"
+        ),
+    )
 
     def __init__(
         self,

@@ -21,7 +21,7 @@ from __future__ import annotations
 
 import numpy as np
 
-from ..api import register_sampler
+from ..api import query_support, register_sampler
 from ..core.rng import as_generator
 
 __all__ = ["ConditionalPoissonSampler"]
@@ -37,6 +37,22 @@ class ConditionalPoissonSampler:
     construction and supports the ``to_state``/``from_state`` round-trip
     only.
     """
+
+    _OFFLINE_REASON = (
+        "offline maximum-entropy design returning index draws, not a "
+        "queryable Sample stream"
+    )
+    #: Capability row for the registry-wide table: the offline design
+    #: answers no declarative queries, for the stated reason.
+    query_capabilities = query_support(
+        sum=_OFFLINE_REASON,
+        count=_OFFLINE_REASON,
+        mean=_OFFLINE_REASON,
+        distinct=_OFFLINE_REASON,
+        topk=_OFFLINE_REASON,
+        quantile=_OFFLINE_REASON,
+    )
+    query_variance = _OFFLINE_REASON
 
     def __init__(self, working_probs=None, k: int = 1):
         p = (

@@ -35,7 +35,7 @@ from typing import Callable
 
 import numpy as np
 
-from ..api import StreamSampler, register_sampler
+from ..api import StreamSampler, query_support, register_sampler
 from ..api.protocol import _as_key_list, _as_optional_array
 from ..core.hashing import batch_hash_to_unit, hash_to_unit
 from ..core.priorities import InverseWeightPriority, Uniform01Priority
@@ -67,6 +67,12 @@ class WeightedDistinctSketch(StreamSampler):
 
     default_estimate_kind = "distinct"
     mergeable = True
+    #: Per-key coordinated rows: every HT aggregate applies.  The payload
+    #: column is 1 per key (``sum`` defaults to the distinct count); pass
+    #: ``value="weight"`` for weighted subset sums (§3.4's ``S_hat(A)``).
+    query_capabilities = query_support(
+        "sum", "count", "mean", "distinct", "topk", "quantile"
+    )
 
     def __init__(self, k: int, salt: int = 0):
         if k < 1:
@@ -240,6 +246,15 @@ class AdaptiveDistinctSketch(StreamSampler):
 
     default_estimate_kind = "distinct"
     mergeable = True
+    #: Unweighted hash rows (values and weights all 1): the count-style
+    #: aggregates apply; the rest degenerate and are declared out.
+    query_capabilities = query_support(
+        "count", "distinct",
+        sum="stores no payloads (all values are 1 — sum degenerates to distinct)",
+        mean="stores no payloads (every value is 1; the mean is trivially 1)",
+        topk="all per-key values are 1; there is no ranking signal",
+        quantile="stores no payloads (the value distribution is degenerate)",
+    )
 
     def __init__(self, k: int, salt: int = 0):
         if k < 1:

@@ -26,7 +26,7 @@ from typing import Hashable
 
 import numpy as np
 
-from ..api import StreamSampler, register_sampler
+from ..api import StreamSampler, query_support, register_sampler
 from ..api.protocol import _as_key_list
 from ..core.hashing import hash_to_unit
 from ..core.priorities import Uniform01Priority
@@ -48,6 +48,7 @@ class _GroupSketch:
         self.entries: dict[object, float] = {}
 
     def offer(self, key: object, h: float) -> None:
+        """Offer a hashed key to this group's dedicated sketch."""
         if key in self.entries:
             return
         self.entries[key] = h
@@ -57,11 +58,13 @@ class _GroupSketch:
 
     @property
     def threshold(self) -> float:
+        """This group's bottom-k threshold (1.0 while underfull)."""
         if len(self.entries) <= self.k:
             return 1.0
         return max(self.entries.values())
 
     def estimate(self) -> float:
+        """Distinct-count estimate from this group's sketch alone."""
         t = self.threshold
         if t >= 1.0:
             return float(len(self.entries))
@@ -83,6 +86,15 @@ class GroupedDistinctSketch(StreamSampler):
 
     default_estimate_kind = "distinct"
     legacy_estimate_param = "group"
+    #: Rows are retained ``(group, key)`` pairs under their governing
+    #: threshold — group-by queries over ``gk[0]`` are the native shape.
+    query_capabilities = query_support(
+        "count", "distinct",
+        sum="stores no payloads (all values are 1 — sum degenerates to distinct)",
+        mean="stores no payloads (every value is 1; the mean is trivially 1)",
+        topk="all per-key values are 1; there is no ranking signal",
+        quantile="stores no payloads (the value distribution is degenerate)",
+    )
 
     def __init__(self, m: int, k: int, salt: int = 0):
         if m < 1 or k < 1:

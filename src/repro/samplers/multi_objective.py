@@ -20,7 +20,7 @@ from typing import Callable, Mapping, Sequence
 
 import numpy as np
 
-from ..api import StreamSampler, register_sampler
+from ..api import StreamSampler, query_support, register_sampler
 from ..api.protocol import _as_key_list
 from ..core.hashing import batch_hash_to_unit, hash_to_unit
 from ..core.kernels import bottomk_candidates
@@ -45,6 +45,13 @@ class MultiObjectiveSampler(StreamSampler):
         Hash salt; the per-item uniform ``U`` is ``hash(key, salt)`` for
         every objective, which is what coordinates the sketches.
     """
+
+    #: Queries execute over the *first* objective's sketch (the
+    #: :meth:`sample` contract); per-key coordinated rows support every
+    #: HT aggregate, including distinct-key counts.
+    query_capabilities = query_support(
+        "sum", "count", "mean", "distinct", "topk", "quantile"
+    )
 
     def __init__(self, k: int, objectives: Sequence[str], salt: int = 0):
         if not objectives:

@@ -13,7 +13,7 @@ from typing import Callable
 
 import numpy as np
 
-from ..api import StreamSampler, register_sampler
+from ..api import StreamSampler, query_support, register_sampler
 from ..api.protocol import (
     _as_key_list,
     _as_optional_array,
@@ -48,6 +48,14 @@ class PoissonSampler(StreamSampler):
     """
 
     mergeable = True
+    query_capabilities = query_support(
+        "sum", "count", "mean", "topk", "quantile",
+        distinct=(
+            "samples stream occurrences independently, so repeated keys "
+            "are double-counted by sum(1/p); use a distinct sketch or a "
+            "coordinated bottom_k"
+        ),
+    )
 
     def __init__(
         self,

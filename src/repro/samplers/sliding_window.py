@@ -41,7 +41,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from ..api import StreamSampler, register_sampler
+from ..api import StreamSampler, query_support, register_sampler
 from ..api.protocol import _as_key_list, _as_optional_array, rng_from_state, rng_to_state
 from ..core.priorities import Uniform01Priority
 from ..core.rng import as_generator
@@ -88,6 +88,16 @@ class SlidingWindowSampler(StreamSampler):
     """
 
     default_estimate_kind = "window_count"
+    #: The window sample is a uniform per-arrival HT sample, so the
+    #: total-style aggregates apply *to the current window* (``count`` is
+    #: exactly ``estimate_window_count`` at the latest arrival).
+    query_capabilities = query_support(
+        "sum", "count", "mean", "topk", "quantile",
+        distinct=(
+            "window rows are stream arrivals, not distinct keys; repeated "
+            "keys are double-counted by sum(1/p)"
+        ),
+    )
 
     def __init__(self, k: int, window: float, rng=None):
         if k < 2:

@@ -29,7 +29,7 @@ from typing import Hashable, Sequence
 
 import numpy as np
 
-from ..api import StreamSampler, register_sampler
+from ..api import StreamSampler, query_support, register_sampler
 from ..api.protocol import _as_key_list, _as_optional_array
 from ..core.hashing import hash_array_to_unit, hash_to_unit
 from ..core.kernels import KeyedBatch, int_key_array
@@ -93,6 +93,12 @@ class MultiStratifiedSampler(StreamSampler):
     salt:
         Hash salt for the coordinated Uniform(0, 1) priorities.
     """
+
+    #: Per-key coordinated rows (duplicate offers are idempotent), so the
+    #: HT aggregates — including distinct-key counts — all apply.
+    query_capabilities = query_support(
+        "sum", "count", "mean", "distinct", "topk", "quantile"
+    )
 
     def __init__(self, n_dims: int, k: int, salt: int = 0):
         if n_dims < 1:

@@ -22,7 +22,7 @@ from typing import Callable
 
 import numpy as np
 
-from ..api import StreamSampler, register_sampler
+from ..api import StreamSampler, query_support, register_sampler
 from ..api.protocol import _as_key_list, _as_optional_array, rng_from_state, rng_to_state
 from ..core.kernels import bottomk_candidates
 from ..core.priorities import Uniform01Priority
@@ -60,6 +60,33 @@ class ExponentialDecaySampler(StreamSampler):
     """
 
     default_estimate_kind = "decayed_total"
+    #: Sample rows carry decayed values pre-divided by inclusion
+    #: (probability-1 rows): sums of those rows estimate decayed totals,
+    #: but no plug-in variance or ratio/CDF estimation survives the
+    #: pre-division.
+    query_capabilities = query_support(
+        "sum", "topk",
+        count=(
+            "rows are probability-1 with pre-divided decayed values; "
+            "sum(1/p) is just the retained-row count"
+        ),
+        mean=(
+            "values are pre-divided by inclusion probabilities; the Hajek "
+            "ratio denominator is unavailable"
+        ),
+        distinct=(
+            "samples stream occurrences under decayed weights, not "
+            "distinct keys"
+        ),
+        quantile=(
+            "values are pre-divided by inclusion probabilities, so the "
+            "value distribution is not recoverable"
+        ),
+    )
+    query_variance = (
+        "values are pre-divided by inclusion probabilities (thresholds "
+        "+inf); the HT plug-in variance is identically zero"
+    )
 
     def __init__(self, k: int, decay_rate: float, rng=None):
         if k < 1:

@@ -41,7 +41,7 @@ from typing import Callable
 
 import numpy as np
 
-from ..api import StreamSampler, register_sampler
+from ..api import StreamSampler, query_support, register_sampler
 from ..api.protocol import _as_key_list, rng_from_state, rng_to_state
 from ..core.kernels import DrawBuffer, KeyedBatch, int_key_array
 from ..core.priorities import Uniform01Priority
@@ -102,6 +102,32 @@ class AdaptiveTopKSampler(StreamSampler):
 
     default_estimate_kind = "count"
     legacy_estimate_param = "key"
+    #: Sample rows are per-key *estimates* (values already unbiased, rows
+    #: at probability 1), so only sum-style aggregates over those
+    #: estimates make sense.
+    query_capabilities = query_support(
+        "sum", "topk",
+        count=(
+            "rows carry probability-1 per-key estimates; sum(1/p) is just "
+            "the table size (use a distinct sketch for key counts)"
+        ),
+        mean=(
+            "per-key count estimates expose no inclusion probabilities "
+            "for ratio estimation"
+        ),
+        distinct=(
+            "retains only frequent keys; sum(1/p) over probability-1 rows "
+            "is the table size, not a distinct-count estimate"
+        ),
+        quantile=(
+            "per-key count estimates expose no inclusion probabilities "
+            "for CDF estimation"
+        ),
+    )
+    query_variance = (
+        "values are already per-key unbiased estimates on probability-1 "
+        "rows; the HT plug-in variance is identically zero"
+    )
 
     #: Forced recomputation cadence in plain updates: keeps the threshold
     #: tight on insert-free streams while amortizing the O(table) solve.

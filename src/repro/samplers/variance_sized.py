@@ -40,7 +40,7 @@ import bisect
 
 import numpy as np
 
-from ..api import StreamSampler, register_sampler
+from ..api import StreamSampler, query_support, register_sampler
 from ..api.protocol import (
     family_from_name,
     family_to_name,
@@ -301,6 +301,14 @@ class VarianceTargetSampler(StreamSampler):
     oversample:
         Retention multiplier above the extrapolated threshold.
     """
+
+    query_capabilities = query_support(
+        "sum", "count", "mean", "topk", "quantile",
+        distinct=(
+            "samples stream occurrences, not distinct keys; use a distinct "
+            "sketch"
+        ),
+    )
 
     def __init__(
         self,

@@ -20,7 +20,7 @@ from typing import Callable
 
 import numpy as np
 
-from ..api import StreamSampler, register_sampler
+from ..api import StreamSampler, query_support, register_sampler
 from ..api.protocol import _as_key_list, _as_optional_array, rng_from_state, rng_to_state
 from ..core.kernels import categorical_draw, varopt_tau
 from ..core.priorities import Uniform01Priority
@@ -33,6 +33,34 @@ __all__ = ["VarOptSampler"]
 @register_sampler("varopt")
 class VarOptSampler(StreamSampler):
     """Fixed-size variance-optimal weighted sampler."""
+
+    query_capabilities = query_support(
+        "sum", "topk",
+        count=(
+            "rows carry pre-adjusted weights at probability 1; sum(1/p) "
+            "is just the retained-row count k, not a population estimate"
+        ),
+        mean=(
+            "values are pre-adjusted (tau-lifted) weights on "
+            "probability-1 rows; the Hajek ratio degenerates to their "
+            "plain average"
+        ),
+        distinct=(
+            "samples stream occurrences, not distinct keys; use a distinct "
+            "sketch"
+        ),
+        quantile=(
+            "values are pre-adjusted weights, so the original value "
+            "distribution is not recoverable"
+        ),
+    )
+    #: VarOpt rows carry pre-adjusted weights with degenerate
+    #: probability-1 inclusion, so the HT plug-in variance is identically
+    #: zero; VarOpt variance needs its own estimator.
+    query_variance = (
+        "retained rows carry pre-adjusted VarOpt weights (probability-1 "
+        "rows); the HT plug-in variance is identically zero"
+    )
 
     def __init__(self, k: int, rng=None):
         if k < 1:

@@ -132,3 +132,17 @@ class TestKindWithPredicateRouting:
             warnings.simplefilter("error", DeprecationWarning)
             routed = sampler.estimate("subset_sum", predicate=predicate)
         assert routed == sampler.estimate_subset_sum(predicate)
+
+
+def test_samplers_query_result_alias_warns():
+    """The pre-rename scan-result name still imports, with a warning."""
+    import warnings
+
+    import repro.samplers as samplers
+    from repro.samplers.aqp import ScanResult
+
+    with warnings.catch_warnings(record=True) as caught:
+        warnings.simplefilter("always")
+        alias = samplers.QueryResult
+    assert alias is ScanResult
+    assert any(issubclass(w.category, DeprecationWarning) for w in caught)

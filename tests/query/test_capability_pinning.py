@@ -1,0 +1,190 @@
+"""Pinning tests: the capability table is the single source of truth.
+
+The drift this suite removes: ``estimate_kinds()`` listings, unknown-kind
+error messages, and the query layer's supported/gap story used to be free
+to disagree (hand-maintained strings vs. what ``estimate()``/``query()``
+actually accept).  Now everything derives from two authorities — the
+scanned ``estimate_*`` surface and the declared ``query_capabilities``
+table — and these tests pin the derivations so no sampler can advertise
+one thing and accept another.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+import repro
+from repro import ShardedSampler
+from repro.api.protocol import _NO_SAMPLE_REASON, QUERY_AGGREGATES, StreamSampler
+from repro.api.registry import available_samplers, get_sampler_class
+from repro.query import capability_markdown, capability_table
+
+from .test_contract import CASES, EXCLUDED
+
+
+def _stream_sampler_classes():
+    return [
+        (name, get_sampler_class(name))
+        for name in available_samplers()
+        if issubclass(get_sampler_class(name), StreamSampler)
+    ]
+
+
+# ----------------------------------------------------------------------
+# Capability tables are complete, explicit, and well-formed
+# ----------------------------------------------------------------------
+def test_capability_table_covers_every_registered_name():
+    table = capability_table()
+    assert set(table) == set(available_samplers())
+    for name, row in table.items():
+        assert tuple(row) == QUERY_AGGREGATES, name
+        for aggregate, entry in row.items():
+            assert entry is True or (isinstance(entry, str) and entry), (
+                f"{name}.{aggregate} must be True or a non-empty reason"
+            )
+
+
+def test_every_class_declares_capabilities_explicitly():
+    """No registered class rides on the protocol's undeclared default."""
+    for name in available_samplers():
+        cls = get_sampler_class(name)
+        caps = getattr(cls, "query_capabilities", None)
+        assert caps is not None, name
+        assert not any(
+            caps.get(a) == _NO_SAMPLE_REASON for a in QUERY_AGGREGATES
+        ), f"{name} still uses the base-class placeholder capability table"
+
+
+def test_query_variance_declarations_are_wellformed():
+    for name, cls in _stream_sampler_classes():
+        flag = cls.query_variance
+        assert flag is True or (isinstance(flag, str) and flag), name
+
+
+def test_probability_one_samples_declare_no_variance_story():
+    """Samplers whose rows degenerate to probability 1 must not claim the
+    HT plug-in variance (it would be identically zero, not an estimate)."""
+    for case in CASES:
+        sampler = case.build()
+        case.feed(sampler)
+        if not sampler.supported_aggregates():
+            continue
+        probs = sampler.sample().probabilities
+        if probs.size and (probs == 1.0).all():
+            assert sampler.query_variance is not True, (
+                f"{case.name}: all-probability-1 sample but query_variance "
+                "declares the HT plug-in applies"
+            )
+            # Probability-1 rows carry pre-corrected values: only the
+            # sum-style aggregates over those values stay meaningful.
+            # count degenerates to the table size, mean/quantile to
+            # statistics of the corrected values (the varopt bug class).
+            assert set(sampler.supported_aggregates()) <= {"sum", "topk"}, (
+                f"{case.name}: probability-1 sample claims an aggregate "
+                "that degenerates (count/mean/distinct/quantile)"
+            )
+
+
+# ----------------------------------------------------------------------
+# estimate_kinds() and its error message derive from live surfaces
+# ----------------------------------------------------------------------
+def test_estimate_kinds_match_scanned_methods():
+    for name, cls in _stream_sampler_classes():
+        scanned = tuple(
+            sorted(
+                attr[len("estimate_"):]
+                for attr in dir(cls)
+                if attr.startswith("estimate_")
+                and attr != "estimate_kinds"
+                and callable(getattr(cls, attr))
+            )
+        )
+        assert cls.estimate_kinds() == scanned, name
+
+
+@pytest.mark.parametrize("case", CASES, ids=[c.name for c in CASES])
+def test_unknown_kind_message_lists_both_surfaces(case):
+    """The unknown-kind error enumerates exactly the advertised kinds and
+    (when the sampler answers queries) exactly the supported aggregates."""
+    sampler = case.build()
+    if sampler.legacy_estimate_param is not None:
+        # Unknown kinds route down the legacy positional-key path for
+        # these samplers (with a deprecation warning), so the message is
+        # checked at its source instead.
+        with pytest.warns(DeprecationWarning):
+            sampler.estimate("definitely_not_a_kind")
+        message = sampler._unknown_kind_message("definitely_not_a_kind")
+    else:
+        with pytest.raises(ValueError) as err:
+            sampler.estimate("definitely_not_a_kind")
+        message = str(err.value)
+    for kind in sampler.estimate_kinds():
+        assert kind in message
+    supported = sampler.supported_aggregates()
+    if supported:
+        assert ".query()" in message
+        for aggregate in supported:
+            assert aggregate in message
+    else:
+        assert ".query()" not in message
+
+
+def test_supported_aggregates_reads_instance_mirror():
+    """The engine's instance-level mirror is what listings consult."""
+    engine = ShardedSampler({"name": "theta", "params": {"k": 16}}, n_shards=2)
+    theta = get_sampler_class("theta")
+    assert engine.supported_aggregates() == tuple(
+        a for a in QUERY_AGGREGATES if theta.query_capabilities[a] is True
+    )
+    # Class-level access still shows the declared placeholder row — for
+    # the variance flag too, so the generated matrix cannot claim
+    # unconditional CI support for the engine.
+    assert all(
+        isinstance(v, str) for v in ShardedSampler.query_capabilities.values()
+    )
+    assert isinstance(ShardedSampler.query_variance, str)
+    # Instances mirror the shard class's variance declaration both ways.
+    assert engine.query_variance is theta.query_variance
+    bk_engine = ShardedSampler(
+        {"name": "bottom_k", "params": {"k": 4}}, n_shards=2
+    )
+    assert bk_engine.query_variance is True
+
+
+def test_gap_reason_lookup_rejects_unknown_aggregates():
+    sampler = repro.make_sampler("bottom_k", k=4)
+    with pytest.raises(ValueError, match="unknown query aggregate"):
+        sampler.query_gap_reason("median")
+
+
+# ----------------------------------------------------------------------
+# The rendered matrix derives from the table (docs pin against this)
+# ----------------------------------------------------------------------
+def test_capability_markdown_is_faithful():
+    markdown = capability_markdown()
+    table = capability_table()
+    lines = [l for l in markdown.splitlines() if l.startswith("| `")]
+    assert len(lines) == len(table)
+    for line in lines:
+        name = line.split("`")[1]
+        cells = [c.strip() for c in line.strip("|").split("|")][1:]
+        row = table[name]
+        for aggregate, cell in zip(QUERY_AGGREGATES, cells):
+            if row[aggregate] is True:
+                assert cell == "yes"
+            else:
+                assert cell.startswith("—")
+    # Every footnoted reason appears verbatim.
+    for row in table.values():
+        for entry in row.values():
+            if entry is not True:
+                assert str(entry) in markdown
+
+
+def test_exclusions_are_exactly_the_non_protocol_classes():
+    non_protocol = {
+        name
+        for name in available_samplers()
+        if not issubclass(get_sampler_class(name), StreamSampler)
+    }
+    assert set(EXCLUDED) == non_protocol

@@ -22,6 +22,11 @@ EXPECTED_MARKERS = {
         "sharded HT estimate",
         "resumed estimate matches uninterrupted run: True",
     ],
+    "query_dashboard.py": [
+        "region revenue",
+        "top customers by estimated revenue",
+        "cached re-poll",
+    ],
 }
 
 
