@@ -1,0 +1,217 @@
+"""Serving-runtime benchmark: async ingest throughput vs direct kernels.
+
+One 1M-item Zipf(1.5) stream (lognormal per-key weights) is ingested two
+ways — a bare ``weighted_distinct`` sampler fed ``update_many`` chunks
+directly, and the same spec behind a :class:`repro.serve.StreamService`
+with full durability on (WAL + periodic checkpoints) and **concurrent
+readers actively polling** snapshot-isolated queries the whole time.  The
+ratio of the two is the price of the runtime: queueing, micro-batching,
+write-ahead logging, checkpointing, and read isolation combined.
+
+The acceptance floor (enforced at the full 1M scale, or with
+``--enforce``): sustained service throughput >= 0.5x the direct kernel,
+with readers active.
+
+Correctness is asserted on every run, at any size:
+
+* the service's final state is bit-identical to the direct run (the
+  async batcher adds flush boundaries, which chunking invariance makes
+  free), and
+* ``StreamService.recover`` on the service directory reproduces that
+  state bit-exactly from checkpoint + log replay.
+
+Results append to ``benchmarks/results/bench_serve.json`` as a versioned
+trajectory artifact (same scheme as the other suites).
+
+Run:  PYTHONPATH=src python benchmarks/bench_serve.py [--n 1000000]
+"""
+
+from __future__ import annotations
+
+import argparse
+import asyncio
+import datetime
+import json
+import os
+import pathlib
+import platform
+import tempfile
+import time
+
+import numpy as np
+
+from repro import make_sampler
+from repro.serve import StreamService
+from repro.workloads.zipf import zipf_stream
+
+RESULTS_DIR = pathlib.Path(__file__).resolve().parent / "results"
+RESULTS_PATH = RESULTS_DIR / "bench_serve.json"
+
+FLOOR = 0.5
+SPEC = {"name": "weighted_distinct", "params": {"k": 256}}
+
+
+def build_stream(n: int, seed: int) -> tuple[np.ndarray, np.ndarray]:
+    rng = np.random.default_rng(seed)
+    universe = max(n // 100, 1000)
+    keys = zipf_stream(n, universe, 1.5, rng=rng)
+    per_key = rng.lognormal(0.0, 0.6, universe)
+    return keys, per_key[keys]
+
+
+def _signature(sampler) -> tuple:
+    sample = sampler.sample()
+    return tuple(sorted(
+        (repr(key), round(float(p), 12))
+        for key, p in zip(sample.keys, sample.priorities)
+    ))
+
+
+def ingest_direct(keys, weights, chunk: int, seed: int) -> tuple[float, tuple]:
+    sampler = make_sampler(SPEC["name"], **SPEC["params"], salt=seed)
+    start = time.perf_counter()
+    for lo in range(0, len(keys), chunk):
+        sampler.update_many(keys[lo:lo + chunk], weights[lo:lo + chunk])
+    return time.perf_counter() - start, _signature(sampler)
+
+
+async def _poll_reads(service, counter, stop_event):
+    """A dashboard reader: snapshot-isolated distinct-count polls."""
+    while not stop_event.is_set():
+        async with service.snapshot() as snap:
+            result = snap.query("distinct")
+            assert result.state_version == snap.state_version
+        counter["reads"] += 1
+        await asyncio.sleep(0.005)
+
+
+async def ingest_served(keys, weights, chunk: int, seed: int, root: str,
+                        readers: int) -> tuple[float, tuple, dict, int]:
+    service = StreamService(
+        {"name": SPEC["name"], "params": {**SPEC["params"], "salt": seed}},
+        dir=root, queue_size=8 * chunk, batch_size=chunk, max_latency=0.05,
+    )
+    await service.start()
+    counter = {"reads": 0}
+    stop_event = asyncio.Event()
+    tasks = [
+        asyncio.create_task(_poll_reads(service, counter, stop_event))
+        for _ in range(readers)
+    ]
+    start = time.perf_counter()
+    for lo in range(0, len(keys), chunk):
+        await service.ingest_many(keys[lo:lo + chunk], weights[lo:lo + chunk])
+    await service.flush()
+    elapsed = time.perf_counter() - start
+    stop_event.set()
+    await asyncio.gather(*tasks)
+    signature = _signature(service._sampler)
+    metrics = service.metrics.to_dict()
+    await service.stop()
+    return elapsed, signature, metrics, counter["reads"]
+
+
+def run(n: int, chunk: int, seed: int, readers: int) -> dict:
+    keys, weights = build_stream(n, seed)
+    record = {
+        "timestamp": datetime.datetime.now(datetime.timezone.utc)
+        .isoformat(timespec="seconds"),
+        "n": n, "chunk": chunk, "seed": seed, "readers": readers,
+        "cpu_count": os.cpu_count(), "python": platform.python_version(),
+        "numpy": np.__version__, "spec": SPEC, "floor": FLOOR,
+    }
+
+    direct_s, direct_sig = ingest_direct(keys, weights, chunk, seed)
+    record["direct"] = {
+        "seconds": round(direct_s, 4),
+        "items_per_second": round(n / direct_s),
+    }
+
+    with tempfile.TemporaryDirectory() as root:
+        served_s, served_sig, metrics, reads = asyncio.run(
+            ingest_served(keys, weights, chunk, seed, root, readers)
+        )
+        assert served_sig == direct_sig, (
+            "service state diverged from direct ingestion"
+        )
+        recovered = StreamService.recover(root)
+        assert recovered.events_durable == n
+        assert _signature(recovered._sampler) == direct_sig, (
+            "recovery is not bit-exact"
+        )
+    record["served"] = {
+        "seconds": round(served_s, 4),
+        "items_per_second": round(n / served_s),
+        "throughput_ratio": round(direct_s / served_s, 3),
+        "reads_served": reads,
+        "metrics": metrics,
+    }
+    record["state_identical"] = True
+    record["recovery_bit_exact"] = True
+    return record
+
+
+def append_trajectory(record: dict) -> pathlib.Path:
+    RESULTS_DIR.mkdir(exist_ok=True)
+    if RESULTS_PATH.exists():
+        data = json.loads(RESULTS_PATH.read_text())
+    else:
+        data = {"version": 1, "runs": []}
+    data["runs"].append(record)
+    RESULTS_PATH.write_text(json.dumps(data, indent=2) + "\n")
+    return RESULTS_PATH
+
+
+def print_report(record: dict) -> None:
+    direct, served = record["direct"], record["served"]
+    print(
+        f"stream: {record['n']:,} zipf items | chunk {record['chunk']:,} | "
+        f"{record['readers']} concurrent readers"
+    )
+    print(f"direct update_many : {direct['seconds']:>8.2f}s "
+          f"{direct['items_per_second']:>12,} items/s")
+    print(f"serve runtime      : {served['seconds']:>8.2f}s "
+          f"{served['items_per_second']:>12,} items/s "
+          f"({served['throughput_ratio']:.2f}x direct)")
+    m = served["metrics"]
+    print(
+        f"reads served: {served['reads_served']} | batches: "
+        f"{m['batches_applied']} | checkpoints: {m['checkpoints_written']} | "
+        f"wal: {m['wal_bytes']:,} bytes in {m['wal_records']} records"
+    )
+    print("state identical: OK | recovery bit-exact: OK")
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--n", type=int, default=1_000_000,
+                        help="stream length (default 1M)")
+    parser.add_argument("--chunk", type=int, default=8192,
+                        help="producer chunk / service batch size")
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--readers", type=int, default=2,
+                        help="concurrent snapshot-poll reader tasks")
+    parser.add_argument("--enforce", action="store_true",
+                        help="assert the 0.5x floor regardless of scale")
+    args = parser.parse_args()
+
+    record = run(args.n, args.chunk, args.seed, args.readers)
+    enforceable = args.enforce or args.n >= 1_000_000
+    record["floor_enforced"] = enforceable
+    path = append_trajectory(record)
+    print_report(record)
+    print(f"\nwrote {path}")
+
+    ratio = record["served"]["throughput_ratio"]
+    if enforceable:
+        assert ratio >= FLOOR, (
+            f"serving overhead too high: {ratio:.2f}x direct vs the "
+            f"{FLOOR:.1f}x floor"
+        )
+        print(f"{FLOOR:.1f}x floor: OK ({ratio:.2f}x)")
+    else:
+        print(f"[floor not enforced at {args.n:,} items] ratio {ratio:.2f}x")
+
+
+if __name__ == "__main__":
+    main()

@@ -8,6 +8,10 @@ The package mirrors the paper's structure:
 * :mod:`repro.engine` - the sharded parallel ingestion engine
   (:class:`ShardedSampler`): hash-partitioned fan-out over mergeable
   samplers with merge-tree reduction.
+* :mod:`repro.serve` - the async streaming serving runtime
+  (:class:`StreamService`): bounded-queue ingestion with backpressure,
+  micro-batched flushes, snapshot-isolated reads, write-ahead logging,
+  atomic checkpoints and bit-exact crash recovery.
 * :mod:`repro.query` - the declarative query layer: ``Query`` specs
   (aggregate + where/group_by + CIs) planned once and executed vectorized
   over any sampler's sample, with HT/pseudo-HT variance plug-ins and a
@@ -60,6 +64,7 @@ from .baselines import (
     UnbiasedSpaceSavingSketch,
 )
 from .engine import ShardedSampler, mergeable_samplers
+from .serve import ServiceCrashed, ServiceSnapshot, StreamService
 from .query import (
     QUERY_AGGREGATES,
     Query,
@@ -127,6 +132,10 @@ __all__ = [
     # engine
     "ShardedSampler",
     "mergeable_samplers",
+    # serving runtime
+    "StreamService",
+    "ServiceSnapshot",
+    "ServiceCrashed",
     # query layer
     "Query",
     "QueryResult",

@@ -507,6 +507,18 @@ class StreamSampler(abc.ABC):
         cache[fp] = (version, spec, result)
         return result
 
+    def snapshot_state(self) -> tuple[int, dict]:
+        """Atomic ``(state_version, to_state())`` pair.
+
+        The version hook for checkpoint writers (the serving runtime's
+        :class:`~repro.serve.CheckpointStore`): capturing both in one
+        call pins which mutation epoch a persisted checkpoint describes,
+        so a recovered sampler can be correlated with the version-pinned
+        query results (:attr:`repro.query.QueryResult.state_version`)
+        that were served from it.
+        """
+        return self.state_version, self.to_state()
+
     # ------------------------------------------------------------------
     # State serialization
     # ------------------------------------------------------------------

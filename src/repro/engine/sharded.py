@@ -238,23 +238,23 @@ class ShardedSampler(StreamSampler):
         shard = self._shards[shard_of(key, self.n_shards, self.salt)]
         return shard.update(key, weight, value=value, time=time)
 
-    def update_many(self, keys, weights=None, values=None, times=None,
-                    **columns) -> None:
-        """Partition a batch by key hash and bulk-ingest every shard.
+    def partition_batch(self, keys, weights=None, values=None, times=None,
+                        **columns) -> list[tuple[int, dict]]:
+        """Partition a batch into per-shard ``update_many`` sub-batches.
 
-        The partition is computed vectorized for integer key arrays; each
-        shard then receives its sub-batch (stream order preserved within a
-        shard) through the shard's own vectorized ``update_many``.  With
-        ``parallel="thread"``/``"process"`` the per-shard calls run on a
-        pool; all modes leave bit-identical state.  Extra keyword columns
-        (per-item sequences) are partitioned alongside and forwarded.
+        Returns ``(shard_index, columns)`` pairs for every non-empty
+        shard, stream order preserved within each.  The partition is
+        computed vectorized for integer key arrays and is exactly the
+        split :meth:`update_many` dispatches (the serving runtime's
+        flushes go through ``update_many`` and therefore through this
+        routing); it is public so custom dispatchers can reuse the
+        split without re-deriving the hash.
         """
         if not isinstance(keys, np.ndarray):
             keys = list(keys)
         n = len(keys)
         if n == 0:
-            return
-        self._invalidate()
+            return []
         columns = {
             "weights": weights, "values": values, "times": times, **columns,
         }
@@ -278,6 +278,25 @@ class ShardedSampler(StreamSampler):
             for name, column in columns.items():
                 shard_cols[name] = _take(column, positions)
             work.append((s, shard_cols))
+        return work
+
+    def update_many(self, keys, weights=None, values=None, times=None,
+                    **columns) -> None:
+        """Partition a batch by key hash and bulk-ingest every shard.
+
+        The partition comes from :meth:`partition_batch`; each shard then
+        receives its sub-batch through the shard's own vectorized
+        ``update_many``.  With ``parallel="thread"``/``"process"`` the
+        per-shard calls run on a pool; all modes leave bit-identical
+        state.  Extra keyword columns (per-item sequences) are
+        partitioned alongside and forwarded.
+        """
+        work = self.partition_batch(
+            keys, weights=weights, values=values, times=times, **columns
+        )
+        if not work:
+            return
+        self._invalidate()
 
         if self.parallel == "serial" or len(work) <= 1:
             for s, cols in work:

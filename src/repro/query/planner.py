@@ -99,5 +99,17 @@ def plan(sampler, query: Query) -> QueryPlan:
 
 
 def execute(sampler, query: Query) -> QueryResult:
-    """Plan ``query`` against ``sampler`` and run it on a fresh sample."""
-    return plan(sampler, query).run(sampler.sample())
+    """Plan ``query`` against ``sampler`` and run it on a fresh sample.
+
+    The result (and every per-group sub-result) is stamped with the
+    sampler's ``state_version`` as of execution, so callers — the
+    serving runtime's snapshot readers in particular — can verify that
+    a set of answers was computed against one mutation epoch.
+    """
+    version = getattr(sampler, "state_version", None)
+    result = plan(sampler, query).run(sampler.sample())
+    object.__setattr__(result, "state_version", version)
+    if result.groups is not None:
+        for sub in result.groups.values():
+            object.__setattr__(sub, "state_version", version)
+    return result

@@ -177,6 +177,12 @@ class QueryResult:
     ``variance``/``stderr`` are ``None`` when the sampler declares no
     variance story (``query_variance`` is a reason string) — a missing
     number, never a misleading zero.
+
+    ``state_version`` pins the answer to the sampler mutation epoch it
+    was computed from (stamped by :func:`repro.query.planner.execute`):
+    two results carrying the same version were served from identical
+    state, which is what lets the serving runtime's snapshot-isolated
+    readers assert their reads are mutually consistent.
     """
 
     aggregate: str
@@ -187,6 +193,7 @@ class QueryResult:
     level: float | None = None
     sample_size: int = 0
     groups: Mapping[Any, "QueryResult"] | None = None
+    state_version: int | None = None
 
     def __post_init__(self) -> None:
         if self.groups is not None and not isinstance(
@@ -243,6 +250,7 @@ class QueryResult:
             "ci": self.ci,
             "level": self.level,
             "sample_size": self.sample_size,
+            "state_version": self.state_version,
         }
         if self.groups is not None:
             keys = [str(label) for label in self.groups]

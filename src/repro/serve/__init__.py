@@ -1,0 +1,45 @@
+"""Async streaming serving runtime: ingest while you query, survive crashes.
+
+The paper's premise is that **one** continuously-maintained adaptive
+sample answers arbitrary downstream queries; this package is the
+long-running runtime that premise deserves.  A
+:class:`StreamService` wraps any registered sampler (or a
+:class:`~repro.engine.ShardedSampler`) and provides:
+
+* **Bounded async ingestion** — ``await service.ingest_many(...)`` with
+  backpressure at ``queue_size`` buffered events (or counted drops via
+  the non-blocking ``try_ingest`` variants).
+* **Micro-batching** — events flush into the vectorized ``update_many``
+  kernels on batch size *and* a max-latency deadline
+  (:mod:`repro.serve.batcher`).
+* **Snapshot-isolated reads** — ``sample()``/``estimate()``/``query()``
+  pinned to one ``state_version``; no reader ever sees a half-applied
+  batch (:class:`ServiceSnapshot`).
+* **Durability** — a segmented write-ahead log (:mod:`repro.serve.wal`)
+  plus periodic atomic checkpoints (:mod:`repro.serve.checkpoints`),
+  with :meth:`StreamService.recover` replaying the log tail to a
+  bit-identical state.
+* **Metrics** — ingested/dropped/applied counts, queue depth, batch-size
+  histogram, checkpoint lag (:mod:`repro.serve.metrics`).
+
+See the "Serving" section of ``docs/architecture.md`` for the runtime
+loop diagram and the durability/recovery guarantees.
+"""
+
+from .batcher import MicroBatcher
+from .checkpoints import CheckpointStore
+from .metrics import ServiceMetrics
+from .service import ServiceCrashed, ServiceSnapshot, StreamService
+from .wal import WalRecord, WriteAheadLog, replay_records
+
+__all__ = [
+    "StreamService",
+    "ServiceSnapshot",
+    "ServiceCrashed",
+    "MicroBatcher",
+    "ServiceMetrics",
+    "CheckpointStore",
+    "WriteAheadLog",
+    "WalRecord",
+    "replay_records",
+]

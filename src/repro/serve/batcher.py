@@ -1,0 +1,170 @@
+"""Micro-batch accumulation: flush on size *and* max-latency deadline.
+
+The :class:`MicroBatcher` is deliberately synchronous and loop-agnostic —
+it owns the *policy* (when is a flush due, what goes in it) while the
+service owns the *mechanics* (queues, locks, the event loop).  That split
+is what lets the Hypothesis property suite drive arbitrary flush
+interleavings straight through the batcher without an event loop, pinning
+the contract that matters: any sequence of flush boundaries feeds the
+sampler the same events in the same order, so by the chunking-invariance
+contract of ``update_many`` (PR2) the resulting state is seed-for-seed
+identical to one scalar pass.
+
+Chunks carry optional per-event columns (weights/values/times).  A flush
+never mixes chunks whose *set* of present columns differs: ``update_many``
+gives absent columns per-sampler defaults (weight 1, value = weight), so
+splicing a default-weight chunk into an explicit-weights batch would need
+fabricated filler values.  Instead the batcher reports a signature
+mismatch and the service drains the pending batch first — an extra flush
+boundary, which the invariance contract makes free.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["MicroBatcher", "chunk_of"]
+
+_OPTIONAL = ("weights", "values", "times")
+
+
+def chunk_of(keys, weights=None, values=None, times=None) -> dict:
+    """Normalize one ingestion call into a chunk dict.
+
+    Keys stay in their caller-provided container (numpy array or list —
+    arrays concatenate and pickle fastest); optional columns are
+    validated for length here so errors surface at the ``ingest`` call
+    site, not inside the consumer task.
+    """
+    if not isinstance(keys, (np.ndarray, list, tuple)):
+        keys = list(keys)
+    n = len(keys)
+    chunk = {"n": n, "keys": keys}
+    for name, column in zip(_OPTIONAL, (weights, values, times)):
+        if column is None:
+            chunk[name] = None
+            continue
+        column = np.asarray(column, dtype=float)
+        if column.size != n:
+            raise ValueError(f"{name} must have the same length as keys")
+        chunk[name] = column
+    return chunk
+
+
+def _slice_chunk(chunk: dict, lo: int, hi: int) -> dict:
+    """A sub-chunk covering rows ``[lo, hi)`` (for queue-bound splitting)."""
+    out = {"n": hi - lo, "keys": chunk["keys"][lo:hi]}
+    for name in _OPTIONAL:
+        column = chunk[name]
+        out[name] = None if column is None else column[lo:hi]
+    return out
+
+
+class MicroBatcher:
+    """Accumulates chunks until a size- or deadline-triggered flush.
+
+    Parameters
+    ----------
+    batch_size:
+        Flush as soon as at least this many events are pending.
+    max_latency:
+        Flush no later than this many seconds after the *oldest* pending
+        event arrived, even if the batch is small — bounding the
+        staleness a reader can observe under a trickle of traffic.
+    """
+
+    def __init__(self, batch_size: int = 8192, max_latency: float = 0.05):
+        if batch_size < 1:
+            raise ValueError("batch_size must be >= 1")
+        if max_latency <= 0:
+            raise ValueError("max_latency must be positive")
+        self.batch_size = int(batch_size)
+        self.max_latency = float(max_latency)
+        self._chunks: list[dict] = []
+        self._pending = 0
+        self._oldest: float | None = None
+        self._signature: tuple[bool, ...] | None = None
+
+    def __len__(self) -> int:
+        return self._pending
+
+    @staticmethod
+    def signature(chunk: dict) -> tuple[bool, ...]:
+        """Which optional columns the chunk carries."""
+        return tuple(chunk[name] is not None for name in _OPTIONAL)
+
+    def accepts(self, chunk: dict) -> bool:
+        """Whether ``chunk`` can join the pending batch (same columns)."""
+        return self._signature is None or self.signature(chunk) == self._signature
+
+    def add(self, chunk: dict, now: float) -> None:
+        """Append a chunk (the caller flushes first on signature change)."""
+        if not self.accepts(chunk):
+            raise ValueError(
+                "chunk column signature differs from the pending batch; "
+                "drain before adding"
+            )
+        if self._signature is None:
+            self._signature = self.signature(chunk)
+        if self._oldest is None:
+            self._oldest = now
+        self._chunks.append(chunk)
+        self._pending += chunk["n"]
+
+    def size_due(self) -> bool:
+        """True when the pending batch has reached ``batch_size``."""
+        return self._pending >= self.batch_size
+
+    def deadline(self) -> float | None:
+        """Absolute time the pending batch must flush by (None if empty)."""
+        if self._oldest is None:
+            return None
+        return self._oldest + self.max_latency
+
+    def due(self, now: float) -> str | None:
+        """The flush reason due at ``now`` (``"size"``/``"deadline"``),
+        or ``None`` when the batch can keep accumulating."""
+        if self._pending == 0:
+            return None
+        if self.size_due():
+            return "size"
+        if now >= self._oldest + self.max_latency:
+            return "deadline"
+        return None
+
+    def drain(self) -> tuple[dict, int]:
+        """Merge and clear the pending chunks.
+
+        Returns ``(columns, n)`` where ``columns`` are ``update_many``
+        keyword arguments: keys concatenated (numpy when every chunk
+        brought an array, else a flat list), optional columns
+        concatenated float arrays or ``None``.
+        """
+        if self._pending == 0:
+            raise ValueError("nothing pending to drain")
+        chunks, n = self._chunks, self._pending
+        signature = self._signature
+        self._chunks, self._pending = [], 0
+        self._oldest, self._signature = None, None
+
+        if len(chunks) == 1:
+            keys = chunks[0]["keys"]
+        elif all(isinstance(c["keys"], np.ndarray) for c in chunks):
+            keys = np.concatenate([c["keys"] for c in chunks])
+        else:
+            keys = []
+            for c in chunks:
+                keys.extend(
+                    c["keys"].tolist()
+                    if isinstance(c["keys"], np.ndarray)
+                    else c["keys"]
+                )
+        columns: dict = {"keys": keys}
+        for name, present in zip(_OPTIONAL, signature):
+            if not present:
+                columns[name] = None
+            elif len(chunks) == 1:
+                columns[name] = chunks[0][name]
+            else:
+                columns[name] = np.concatenate([c[name] for c in chunks])
+        return columns, n

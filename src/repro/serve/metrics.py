@@ -1,0 +1,129 @@
+"""Lightweight operational metrics for the serving runtime.
+
+Plain counters and gauges — no external dependencies, no background
+threads — maintained inline by the service on its own event loop, and
+snapshotted to a JSON-friendly dict for dashboards and the benchmark
+trajectory.  The histogram buckets batch sizes by power of two, which is
+the useful resolution for tuning ``batch_size``/``max_latency``: a serving
+loop that mostly flushes tiny deadline-driven batches shows up immediately
+as mass in the low buckets plus a high ``flushes_deadline`` share.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+__all__ = ["ServiceMetrics"]
+
+
+@dataclass
+class ServiceMetrics:
+    """Counters/gauges describing a :class:`~repro.serve.StreamService`.
+
+    ``events_enqueued`` counts admissions into the bounded buffer,
+    ``events_logged`` WAL durability, ``events_applied`` sampler
+    ingestion; at rest (after ``flush()``/``stop()``) all three agree.
+    ``events_dropped`` counts events refused by the non-blocking
+    ``try_ingest`` path when the buffer was full — the blocking path
+    never drops, it backpressures.
+    """
+
+    events_enqueued: int = 0
+    events_dropped: int = 0
+    events_logged: int = 0
+    events_applied: int = 0
+    batches_applied: int = 0
+    #: Flush-trigger counters: pending reached ``batch_size``, the oldest
+    #: pending event hit ``max_latency``, or an explicit drain
+    #: (``flush()``/``stop()``/column-signature change).
+    flushes_size: int = 0
+    flushes_deadline: int = 0
+    flushes_drain: int = 0
+    #: Current buffered (admitted, not yet batched) event count and its
+    #: lifetime high-water mark, against the ``queue_size`` bound.
+    queue_depth: int = 0
+    queue_high_watermark: int = 0
+    #: Batch-size histogram: bucket ``2**i`` counts flushes of size in
+    #: ``(2**(i-1), 2**i]``.
+    batch_size_buckets: dict[int, int] = field(default_factory=dict)
+    checkpoints_written: int = 0
+    #: Stream offset of the newest checkpoint (0 before the first).
+    last_checkpoint_offset: int = 0
+    wal_records: int = 0
+    wal_bytes: int = 0
+
+    def record_flush(self, n: int, reason: str) -> None:
+        """Account one applied micro-batch of ``n`` events."""
+        self.batches_applied += 1
+        self.events_applied += n
+        setattr(self, f"flushes_{reason}", getattr(self, f"flushes_{reason}") + 1)
+        bucket = 1 << max(0, (n - 1).bit_length())
+        self.batch_size_buckets[bucket] = (
+            self.batch_size_buckets.get(bucket, 0) + 1
+        )
+
+    def record_depth(self, depth: int) -> None:
+        """Track the buffered-event gauge and its high-water mark."""
+        self.queue_depth = depth
+        if depth > self.queue_high_watermark:
+            self.queue_high_watermark = depth
+
+    @property
+    def checkpoint_lag(self) -> int:
+        """Events applied since the newest checkpoint (replay-on-crash
+        cost, in events)."""
+        return self.events_applied - self.last_checkpoint_offset
+
+    @classmethod
+    def from_dict(cls, snapshot: dict) -> "ServiceMetrics":
+        """Rebuild from a :meth:`to_dict` snapshot (the inverse used by
+        ``StreamService.recover`` so operational counters survive a
+        crash instead of silently resetting)."""
+        metrics = cls(
+            events_enqueued=int(snapshot.get("events_enqueued", 0)),
+            events_dropped=int(snapshot.get("events_dropped", 0)),
+            events_logged=int(snapshot.get("events_logged", 0)),
+            events_applied=int(snapshot.get("events_applied", 0)),
+            batches_applied=int(snapshot.get("batches_applied", 0)),
+            queue_high_watermark=int(snapshot.get("queue_high_watermark", 0)),
+            checkpoints_written=int(snapshot.get("checkpoints_written", 0)),
+            last_checkpoint_offset=int(
+                snapshot.get("last_checkpoint_offset", 0)
+            ),
+            wal_records=int(snapshot.get("wal_records", 0)),
+            wal_bytes=int(snapshot.get("wal_bytes", 0)),
+        )
+        flushes = snapshot.get("flushes", {})
+        metrics.flushes_size = int(flushes.get("size", 0))
+        metrics.flushes_deadline = int(flushes.get("deadline", 0))
+        metrics.flushes_drain = int(flushes.get("drain", 0))
+        metrics.batch_size_buckets = {
+            int(bucket): int(count)
+            for bucket, count in snapshot.get("batch_size_buckets", {}).items()
+        }
+        return metrics
+
+    def to_dict(self) -> dict:
+        """JSON-friendly snapshot (histogram keyed by bucket strings)."""
+        return {
+            "events_enqueued": self.events_enqueued,
+            "events_dropped": self.events_dropped,
+            "events_logged": self.events_logged,
+            "events_applied": self.events_applied,
+            "batches_applied": self.batches_applied,
+            "flushes": {
+                "size": self.flushes_size,
+                "deadline": self.flushes_deadline,
+                "drain": self.flushes_drain,
+            },
+            "queue_depth": self.queue_depth,
+            "queue_high_watermark": self.queue_high_watermark,
+            "batch_size_buckets": {
+                str(k): v for k, v in sorted(self.batch_size_buckets.items())
+            },
+            "checkpoints_written": self.checkpoints_written,
+            "last_checkpoint_offset": self.last_checkpoint_offset,
+            "checkpoint_lag": self.checkpoint_lag,
+            "wal_records": self.wal_records,
+            "wal_bytes": self.wal_bytes,
+        }

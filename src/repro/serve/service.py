@@ -1,0 +1,742 @@
+"""The asyncio streaming serving runtime: :class:`StreamService`.
+
+This is the layer that turns the library into a long-running system: one
+continuously-maintained adaptive sample (any registered sampler, or a
+:class:`~repro.engine.ShardedSampler` fanning out to many) ingesting an
+async event stream *while* being queried, surviving crashes, and bounding
+memory under bursty load.
+
+The runtime loop
+----------------
+Producers ``await service.ingest(...)`` / ``ingest_many(...)``, which
+admits events into a bounded buffer — when ``queue_size`` events are
+buffered, producers suspend until the consumer catches up
+(**backpressure**; the non-blocking ``try_ingest`` variants drop instead
+and count it).  A single consumer task drains the buffer into a
+:class:`~repro.serve.batcher.MicroBatcher`, flushing whenever the batch
+reaches ``batch_size`` *or* the oldest pending event is ``max_latency``
+seconds old.  Each flush appends one record to the write-ahead log
+(:mod:`repro.serve.wal`), then applies the batch through the sampler's
+vectorized ``update_many`` kernel — for a sharded engine that single call
+reuses the engine's hash-partitioned (optionally pooled) shard dispatch.
+
+Reads are **snapshot-isolated**: mutation happens only inside the
+consumer's flush, under the service state lock, so ``async with
+service.snapshot() as snap:`` pins a ``state_version`` and every
+``snap.sample()`` / ``snap.estimate()`` / ``snap.query()`` observes the
+same fully-applied state — never a half-applied batch.  Query results are
+version-pinned (``QueryResult.state_version``) and cached per version, so
+repeated polls between flushes are O(1) and a post-mutation read can
+never be served a stale cached answer.
+
+Durability and recovery
+-----------------------
+With a service directory, every batch is logged before it is applied, and
+checkpoints (atomic ``to_state()`` snapshots, written temp-file-then-
+rename) are taken every ``checkpoint_every_events`` applied events.
+:meth:`StreamService.recover` loads the newest valid checkpoint and
+replays the log tail after it; because batch ingestion is
+chunking-invariant (the PR2 contract), the recovered sampler is
+bit-identical to an uninterrupted run over the first ``events_durable``
+events — RNG continuation included.  Events that were admitted but not
+yet logged at the crash are the only loss, and ``events_durable`` tells
+the producer exactly where to resume.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import contextlib
+import inspect
+import os
+import pathlib
+import pickle
+from collections import deque
+from typing import Callable
+
+from ..api import SamplerSpec, StreamSampler
+from ..api.registry import sampler_from_state
+from .batcher import MicroBatcher, _slice_chunk, chunk_of
+from .checkpoints import CheckpointStore
+from .metrics import ServiceMetrics
+from .wal import WriteAheadLog, replay_records
+
+__all__ = ["StreamService", "ServiceSnapshot", "ServiceCrashed"]
+
+_META_NAME = "service.pkl"
+
+#: Constructor keywords persisted in the service meta file so
+#: :meth:`StreamService.recover` rebuilds the same configuration.
+_CONFIG_KEYS = (
+    "queue_size",
+    "batch_size",
+    "max_latency",
+    "checkpoint_every_events",
+    "segment_max_bytes",
+    "retain_checkpoints",
+    "fsync",
+)
+
+
+class ServiceCrashed(RuntimeError):
+    """The consumer task died; the original error is ``__cause__``.
+
+    Raised by ingestion/flush/stop once the service has crashed.  The
+    on-disk log and checkpoints are exactly as durable as they were at
+    the failure point — :meth:`StreamService.recover` picks up from
+    there.
+    """
+
+
+class ServiceSnapshot:
+    """A pinned read view handed out by :meth:`StreamService.snapshot`.
+
+    All reads through one snapshot observe the same ``state_version``
+    (no flush can interleave while the snapshot is held).  The view is
+    only valid inside its ``async with`` block.
+    """
+
+    def __init__(self, sampler: StreamSampler, state_version: int,
+                 events_applied: int):
+        self._sampler = sampler
+        self._state_version = state_version
+        self._events_applied = events_applied
+        self._live = True
+
+    @property
+    def state_version(self) -> int:
+        """The sampler mutation counter this snapshot is pinned to."""
+        return self._state_version
+
+    @property
+    def events_applied(self) -> int:
+        """Events applied to the sampler as of this snapshot."""
+        return self._events_applied
+
+    def _check(self) -> StreamSampler:
+        if not self._live:
+            raise RuntimeError(
+                "snapshot used outside its `async with service.snapshot()` "
+                "block"
+            )
+        return self._sampler
+
+    def sample(self):
+        """The pinned state's finalized :class:`~repro.core.sample.Sample`."""
+        return self._check().sample()
+
+    def estimate(self, kind: str | None = None, predicate=None, **kw):
+        """The sampler's estimator facade against the pinned state."""
+        return self._check().estimate(kind, predicate=predicate, **kw)
+
+    def query(self, query=None, /, **kw):
+        """A declarative query against the pinned state.
+
+        Delegates to :meth:`repro.api.StreamSampler.query`, so results
+        are cached keyed by ``(state_version, fingerprint)`` and carry
+        ``QueryResult.state_version == snapshot.state_version``.
+        """
+        return self._check().query(query, **kw)
+
+
+class StreamService:
+    """Async serving runtime over any registered sampler or engine.
+
+    Parameters
+    ----------
+    sampler:
+        A live :class:`~repro.api.StreamSampler` (including a
+        :class:`~repro.engine.ShardedSampler`), a
+        :class:`~repro.api.SamplerSpec`, its ``{"name", "params"}`` dict
+        form, or a bare registry name.
+    dir:
+        Service directory for durability (WAL segments + checkpoints +
+        meta).  ``None`` (default) serves in memory only and cannot
+        recover.
+    queue_size:
+        Backpressure bound: maximum admitted-but-unbatched events.
+    batch_size / max_latency:
+        Micro-batch flush thresholds (see
+        :class:`~repro.serve.batcher.MicroBatcher`).
+    checkpoint_every_events:
+        Checkpoint cadence in applied events (default ``16 *
+        batch_size``).
+    segment_max_bytes / retain_checkpoints / fsync:
+        Durability tuning, forwarded to the WAL and checkpoint store.
+    fault_hook:
+        Test seam: ``fault_hook(stage)`` fires at the documented flush /
+        WAL / checkpoint stages.  Raising simulates a crash at that
+        point; at the service-level ``"flush.before"`` stage the hook may
+        return an awaitable to stall the consumer (for
+        backpressure/isolation tests).
+
+    Examples
+    --------
+    >>> import asyncio, repro.serve
+    >>> async def demo():
+    ...     service = repro.serve.StreamService("bottom_k")
+    ...     await service.start()
+    ...     await service.ingest_many(range(1000))
+    ...     await service.flush()
+    ...     total = await service.estimate("total")
+    ...     await service.stop()
+    ...     return total
+    >>> 500 < asyncio.run(demo()) < 2000  # HT estimate of the true 1000
+    True
+    """
+
+    def __init__(
+        self,
+        sampler: StreamSampler | SamplerSpec | dict | str,
+        *,
+        dir: str | os.PathLike | None = None,
+        queue_size: int = 65536,
+        batch_size: int = 8192,
+        max_latency: float = 0.05,
+        checkpoint_every_events: int | None = None,
+        segment_max_bytes: int = 4 * 1024 * 1024,
+        retain_checkpoints: int = 2,
+        fsync: bool = False,
+        fault_hook: Callable[[str], object] | None = None,
+    ):
+        if isinstance(sampler, StreamSampler):
+            self._sampler = sampler
+        elif isinstance(sampler, (SamplerSpec, dict, str)):
+            spec = (
+                sampler
+                if isinstance(sampler, SamplerSpec)
+                else SamplerSpec(sampler)
+                if isinstance(sampler, str)
+                else SamplerSpec.from_dict(sampler)
+            )
+            self._sampler = spec.build()
+        else:
+            raise TypeError(
+                "sampler must be a StreamSampler, SamplerSpec, spec dict, "
+                f"or registry name; got {type(sampler).__name__}"
+            )
+        if queue_size < 1:
+            raise ValueError("queue_size must be >= 1")
+        self.dir = pathlib.Path(dir) if dir is not None else None
+        self.queue_size = int(queue_size)
+        self.batch_size = int(batch_size)
+        self.max_latency = float(max_latency)
+        self.checkpoint_every_events = int(
+            checkpoint_every_events
+            if checkpoint_every_events is not None
+            else 16 * self.batch_size
+        )
+        self.segment_max_bytes = int(segment_max_bytes)
+        self.retain_checkpoints = int(retain_checkpoints)
+        self.fsync = bool(fsync)
+        self.fault_hook = fault_hook
+
+        self.metrics = ServiceMetrics()
+        self._batcher = MicroBatcher(self.batch_size, self.max_latency)
+        self._queue: deque[dict] = deque()
+        self._buffered = 0
+        self._enqueued = 0  # events admitted to the buffer, ever
+        self._durable = 0   # events appended to the WAL
+        self._applied = 0   # events ingested by the sampler
+        self._recovered = False
+        self._started = False
+        self._closed = False
+        self._stopping = False
+        self._force_flush = False
+        self._error: BaseException | None = None
+        self._task: asyncio.Task | None = None
+        self._wal: WriteAheadLog | None = None
+        self._ckpts: CheckpointStore | None = None
+        # Loop-bound primitives, created in start().
+        self._wake: asyncio.Event | None = None
+        self._not_full: asyncio.Condition | None = None
+        self._applied_cond: asyncio.Condition | None = None
+        self._state_lock: asyncio.Lock | None = None
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def sampler_name(self) -> str:
+        """Registry name (or class name) of the wrapped sampler."""
+        return self._sampler.sampler_name or type(self._sampler).__name__
+
+    @property
+    def events_enqueued(self) -> int:
+        """Events admitted into the buffer since construction/recovery."""
+        return self._enqueued
+
+    @property
+    def events_durable(self) -> int:
+        """Events safely in the write-ahead log (the recovery frontier)."""
+        return self._durable
+
+    @property
+    def events_applied(self) -> int:
+        """Events the sampler has ingested."""
+        return self._applied
+
+    @property
+    def crashed(self) -> bool:
+        """Whether the consumer task has died (see :attr:`error`)."""
+        return self._error is not None
+
+    @property
+    def error(self) -> BaseException | None:
+        """The consumer task's fatal error, if it crashed."""
+        return self._error
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    async def start(self) -> "StreamService":
+        """Open durability (when configured) and launch the consumer."""
+        if self._started:
+            raise RuntimeError("service already started")
+        self._started = True
+        self._wake = asyncio.Event()
+        self._not_full = asyncio.Condition()
+        self._applied_cond = asyncio.Condition()
+        self._state_lock = asyncio.Lock()
+        if self.dir is not None:
+            self.dir.mkdir(parents=True, exist_ok=True)
+            meta_path = self.dir / _META_NAME
+            if meta_path.exists():
+                if not self._recovered:
+                    raise ValueError(
+                        f"{self.dir} already holds a service; use "
+                        "StreamService.recover(dir) to resume it"
+                    )
+            else:
+                tmp = meta_path.with_suffix(".pkl.tmp")
+                tmp.write_bytes(pickle.dumps({
+                    "version": 1,
+                    "initial_state": self._sampler.to_state(),
+                    "config": {key: getattr(self, key) for key in _CONFIG_KEYS},
+                }, protocol=pickle.HIGHEST_PROTOCOL))
+                os.replace(tmp, meta_path)
+            self._wal = WriteAheadLog(
+                self.dir,
+                segment_max_bytes=self.segment_max_bytes,
+                fsync=self.fsync,
+                fault_hook=self.fault_hook,
+            )
+            self._ckpts = CheckpointStore(
+                self.dir,
+                retain=self.retain_checkpoints,
+                fault_hook=self.fault_hook,
+            )
+        self._task = asyncio.get_running_loop().create_task(
+            self._run(), name=f"repro-serve-{self.sampler_name}"
+        )
+        return self
+
+    async def __aenter__(self) -> "StreamService":
+        return await self.start()
+
+    async def __aexit__(self, exc_type, exc, tb) -> None:
+        if exc_type is None:
+            await self.stop()
+        else:  # don't mask the body's exception with drain errors
+            await self.abort()
+
+    async def stop(self, *, checkpoint: bool = True) -> None:
+        """Drain the buffer, flush, take a final checkpoint, and close.
+
+        Raises :class:`ServiceCrashed` if the consumer died (after
+        closing files) — the directory remains recoverable either way.
+        """
+        if self._closed:
+            return
+        self._check_started()
+        self._stopping = True
+        self._wake.set()
+        if self._task is not None:  # start() may have failed before spawn
+            await self._task
+        if (
+            not self.crashed
+            and checkpoint
+            and self._ckpts is not None
+            and self._applied > self.metrics.last_checkpoint_offset
+        ):
+            try:
+                await self._checkpoint()
+            except BaseException as err:  # noqa: BLE001 - fault-injectable
+                await self._crash(err)
+        if self._wal is not None:
+            self._wal.close()
+        self._closed = True
+        if self.crashed:
+            raise ServiceCrashed(
+                "service consumer crashed; recover from the service "
+                "directory"
+            ) from self._error
+
+    async def abort(self) -> None:
+        """Hard-kill the consumer without draining (a simulated crash).
+
+        Admitted-but-unflushed events are lost, exactly as in a real
+        crash; the WAL retains everything up to :attr:`events_durable`.
+        """
+        if self._task is not None:
+            self._task.cancel()
+            with contextlib.suppress(asyncio.CancelledError):
+                await self._task
+        if self._wal is not None:
+            self._wal.close()
+        self._closed = True
+
+    def _check_started(self) -> None:
+        if not self._started or self._wake is None:
+            raise RuntimeError("service not started; call `await start()`")
+        if self._closed:
+            raise RuntimeError("service already stopped")
+
+    def _check_ingest(self) -> None:
+        self._check_started()
+        if self.crashed:
+            raise ServiceCrashed(
+                "service consumer crashed; no further events are accepted"
+            ) from self._error
+        if self._stopping:
+            raise RuntimeError("service is stopping; no further events")
+
+    # ------------------------------------------------------------------
+    # Ingestion
+    # ------------------------------------------------------------------
+    async def ingest(self, key, weight: float = 1.0, *, value=None,
+                     time=None) -> None:
+        """Admit one event (suspends under backpressure)."""
+        # A default weight stays an absent column: interleaving scalar
+        # ingest() with unweighted ingest_many() must share one batch
+        # signature, not force a drain flush per alternation.
+        await self.ingest_many(
+            [key],
+            weights=None if weight == 1.0 else [weight],
+            values=None if value is None else [value],
+            times=None if time is None else [time],
+        )
+
+    async def ingest_many(self, keys, weights=None, values=None,
+                          times=None) -> None:
+        """Admit a batch of events (suspends under backpressure).
+
+        Batches larger than the buffer bound are split so admission
+        never needs more than ``queue_size`` free slots at once.
+        """
+        self._check_ingest()
+        chunk = chunk_of(keys, weights, values, times)
+        if chunk["n"] == 0:  # same no-op contract as update_many
+            return
+        limit = min(self.queue_size, self.batch_size)
+        for lo in range(0, chunk["n"], limit):
+            sub = (
+                chunk
+                if chunk["n"] <= limit
+                else _slice_chunk(chunk, lo, min(lo + limit, chunk["n"]))
+            )
+            async with self._not_full:
+                while (
+                    self._buffered + sub["n"] > self.queue_size
+                    and not self.crashed
+                ):
+                    await self._not_full.wait()
+                self._check_ingest()
+                self._admit(sub)
+
+    def try_ingest(self, key, weight: float = 1.0, *, value=None,
+                   time=None) -> bool:
+        """Non-blocking scalar admit; drops (and counts) when full."""
+        return self.try_ingest_many(
+            [key],
+            weights=None if weight == 1.0 else [weight],
+            values=None if value is None else [value],
+            times=None if time is None else [time],
+        )
+
+    def try_ingest_many(self, keys, weights=None, values=None,
+                        times=None) -> bool:
+        """Non-blocking batch admit: all-or-nothing, dropped events are
+        counted in ``metrics.events_dropped``.
+
+        Synchronous — call it from the event-loop thread (e.g. inside a
+        protocol callback); it never suspends.
+        """
+        self._check_ingest()
+        chunk = chunk_of(keys, weights, values, times)
+        if chunk["n"] == 0:
+            return True
+        if self._buffered + chunk["n"] > self.queue_size:
+            self.metrics.events_dropped += chunk["n"]
+            return False
+        self._admit(chunk)
+        return True
+
+    def _admit(self, chunk: dict) -> None:
+        self._queue.append(chunk)
+        self._buffered += chunk["n"]
+        self._enqueued += chunk["n"]
+        self.metrics.events_enqueued += chunk["n"]
+        self.metrics.record_depth(self._buffered)
+        self._wake.set()
+
+    # ------------------------------------------------------------------
+    # Reads
+    # ------------------------------------------------------------------
+    @contextlib.asynccontextmanager
+    async def snapshot(self):
+        """Pin the current state for a group of consistent reads.
+
+        While the snapshot is held no flush can apply, so every read
+        inside the block observes one ``state_version``::
+
+            async with service.snapshot() as snap:
+                total = snap.estimate("total")
+                by_region = snap.query("sum", group_by=region_of)
+                assert by_region.state_version == snap.state_version
+
+        Raises :class:`ServiceCrashed` after a consumer crash: a failure
+        mid-``update_many`` can leave the live sampler partially
+        applied, and serving that torn state would break the isolation
+        guarantee — recover from the service directory instead.
+        """
+        self._check_started()
+        if self.crashed:
+            raise ServiceCrashed(
+                "service consumer crashed; the in-memory state may hold a "
+                "half-applied batch — use StreamService.recover(dir)"
+            ) from self._error
+        async with self._state_lock:
+            snap = ServiceSnapshot(
+                self._sampler, self._sampler.state_version, self._applied
+            )
+            try:
+                yield snap
+            finally:
+                snap._live = False
+
+    async def sample(self):
+        """One-off snapshot-isolated :meth:`~ServiceSnapshot.sample`."""
+        async with self.snapshot() as snap:
+            return snap.sample()
+
+    async def estimate(self, kind: str | None = None, predicate=None, **kw):
+        """One-off snapshot-isolated :meth:`~ServiceSnapshot.estimate`."""
+        async with self.snapshot() as snap:
+            return snap.estimate(kind, predicate=predicate, **kw)
+
+    async def query(self, query=None, /, **kw):
+        """One-off snapshot-isolated :meth:`~ServiceSnapshot.query`."""
+        async with self.snapshot() as snap:
+            return snap.query(query, **kw)
+
+    async def flush(self) -> None:
+        """Barrier: wait until everything admitted so far is applied."""
+        self._check_started()
+        target = self._enqueued
+        async with self._applied_cond:
+            while self._applied < target and not self.crashed:
+                self._force_flush = True
+                self._wake.set()
+                await self._applied_cond.wait()
+        if self._applied < target and self.crashed:
+            raise ServiceCrashed(
+                "service consumer crashed before the flush barrier"
+            ) from self._error
+
+    # ------------------------------------------------------------------
+    # The consumer task
+    # ------------------------------------------------------------------
+    async def _hook(self, stage: str) -> None:
+        if self.fault_hook is not None:
+            result = self.fault_hook(stage)
+            if inspect.isawaitable(result):
+                await result
+
+    async def _run(self) -> None:
+        loop = asyncio.get_running_loop()
+        try:
+            while True:
+                await self._pull(loop.time())
+                reason = self._batcher.due(loop.time())
+                if reason is not None:
+                    await self._flush_batch(reason)
+                if self._force_flush:
+                    if len(self._batcher):
+                        await self._flush_batch("drain")
+                    if not self._queue:
+                        self._force_flush = False
+                if self._stopping and not self._queue:
+                    # Drain the pending partial batch immediately: shutdown
+                    # latency must not depend on max_latency.
+                    if len(self._batcher):
+                        await self._flush_batch("drain")
+                    if not self._queue:
+                        break
+                if self._queue:
+                    continue  # more work arrived while flushing
+                deadline = self._batcher.deadline()
+                timeout = (
+                    None if deadline is None
+                    else max(0.0, deadline - loop.time())
+                )
+                try:
+                    await asyncio.wait_for(self._wake.wait(), timeout)
+                except (TimeoutError, asyncio.TimeoutError):
+                    # asyncio.TimeoutError != TimeoutError before 3.11
+                    pass
+                self._wake.clear()
+        except asyncio.CancelledError:
+            raise
+        except BaseException as err:  # noqa: BLE001 - crash containment
+            await self._crash(err)
+
+    async def _pull(self, now: float) -> None:
+        """Move admitted chunks into the batcher, flushing as triggered."""
+        while self._queue:
+            chunk = self._queue[0]
+            if not self._batcher.accepts(chunk):
+                await self._flush_batch("drain")
+                continue
+            self._queue.popleft()
+            self._batcher.add(chunk, now)
+            async with self._not_full:
+                self._buffered -= chunk["n"]
+                self._not_full.notify_all()
+            self.metrics.record_depth(self._buffered)
+            if self._batcher.size_due():
+                await self._flush_batch("size")
+
+    async def _flush_batch(self, reason: str) -> None:
+        """Log then apply the pending micro-batch, atomically for readers."""
+        if not len(self._batcher):
+            return
+        await self._hook("flush.before")
+        columns, n = self._batcher.drain()
+        kwargs = {
+            name: column for name, column in columns.items()
+            if name == "keys" or column is not None
+        }
+        async with self._state_lock:
+            if self._wal is not None:
+                frame = self._wal.append(self._durable, n, columns)
+                self.metrics.events_logged += n
+                self.metrics.wal_records += 1
+                self.metrics.wal_bytes += frame
+            self._durable += n
+            await self._hook("apply.before")
+            self._sampler.update_many(**kwargs)
+            self._applied += n
+            self.metrics.record_flush(n, reason)
+            await self._hook("apply.after")
+        async with self._applied_cond:
+            self._applied_cond.notify_all()
+        if (
+            self._ckpts is not None
+            and self._applied - self.metrics.last_checkpoint_offset
+            >= self.checkpoint_every_events
+        ):
+            await self._checkpoint()
+
+    async def _checkpoint(self) -> None:
+        """Write an atomic checkpoint and prune fully-covered log
+        segments."""
+        async with self._state_lock:
+            version, state = self._sampler.snapshot_state()
+            offset = self._applied
+            # Count this checkpoint *before* snapshotting the metrics,
+            # so the persisted counters describe the state a recovery
+            # from this very checkpoint resumes into.
+            self.metrics.checkpoints_written += 1
+            self.metrics.last_checkpoint_offset = offset
+            self._ckpts.write(offset, {
+                "offset": offset,
+                "state": state,
+                "state_version": version,
+                "metrics": self.metrics.to_dict(),
+            })
+        if self._wal is not None:
+            self._wal.prune(self._ckpts.oldest_retained_offset())
+
+    async def _crash(self, error: BaseException) -> None:
+        """Record the fatal error and wake every suspended caller."""
+        self._error = error
+        if self._wal is not None:
+            self._wal.close()
+        async with self._not_full:
+            self._not_full.notify_all()
+        async with self._applied_cond:
+            self._applied_cond.notify_all()
+
+    # ------------------------------------------------------------------
+    # Recovery
+    # ------------------------------------------------------------------
+    @classmethod
+    def recover(cls, dir: str | os.PathLike, **overrides) -> "StreamService":
+        """Rebuild a service from its directory, bit-exactly.
+
+        Loads the newest *valid* checkpoint (corrupt/truncated ones are
+        skipped in favor of older ones), revives the sampler from it via
+        the registry, and replays the write-ahead-log tail after the
+        checkpoint through ``update_many``.  The result equals — to the
+        bit, RNG streams included — an uninterrupted run over the first
+        :attr:`events_durable` events; events admitted but never logged
+        at the crash are the producer's to re-send from that offset.
+
+        Keyword overrides replace persisted config values (e.g. a larger
+        ``queue_size``); the returned service is not started.
+        """
+        root = pathlib.Path(dir)
+        meta_path = root / _META_NAME
+        if not meta_path.exists():
+            raise FileNotFoundError(
+                f"{root} does not contain a service meta file ({_META_NAME})"
+            )
+        meta = pickle.loads(meta_path.read_bytes())
+        config = dict(meta["config"])
+        config.update(overrides)
+
+        store = CheckpointStore(
+            root, retain=int(config.get("retain_checkpoints", 2))
+        )
+        latest = store.load_latest()
+        if latest is not None:
+            offset, payload = latest
+            sampler = sampler_from_state(payload["state"])
+        else:
+            offset, payload = 0, None
+            sampler = sampler_from_state(meta["initial_state"])
+
+        durable = offset
+        replayed_records = replayed_bytes = 0
+        for record in replay_records(root, from_offset=offset):
+            if record.offset != durable:
+                break  # non-contiguous tail: not durable
+            kwargs = {
+                name: column for name, column in record.columns.items()
+                if name == "keys" or column is not None
+            }
+            sampler.update_many(**kwargs)
+            durable += record.n
+            replayed_records += 1
+            replayed_bytes += record.nbytes
+
+        service = cls(sampler, dir=root, **config)
+        service._recovered = True
+        service._enqueued = service._durable = service._applied = durable
+        # Operational counters survive the crash: restore the snapshot
+        # the checkpoint carried, then bring the event counters up to the
+        # replayed frontier (replayed batches are not re-counted in the
+        # histograms — they were counted when first applied).
+        if payload is not None and "metrics" in payload:
+            service.metrics = ServiceMetrics.from_dict(payload["metrics"])
+        service.metrics.events_enqueued = durable
+        service.metrics.events_logged = durable
+        service.metrics.events_applied = durable
+        service.metrics.queue_depth = 0
+        service.metrics.last_checkpoint_offset = offset
+        # Records appended after the checkpoint snapshot are exactly the
+        # replayed ones — fold them in so the WAL counters match disk.
+        service.metrics.wal_records += replayed_records
+        service.metrics.wal_bytes += replayed_bytes
+        return service

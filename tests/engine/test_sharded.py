@@ -71,6 +71,26 @@ class TestRouting:
         single.update_many(labels)
         assert engine.estimate("distinct") == single.estimate("distinct")
 
+    def test_partition_batch_is_the_dispatch_split(self):
+        """The public partition helper: key-disjoint, order-preserving
+        within a shard, covering every row exactly once, and agreeing
+        with the hash routing ``update_many`` dispatches."""
+        keys, weights = _stream(universe=60)
+        engine = _engine()
+        work = engine.partition_batch(keys, weights=weights)
+        assert {s for s, _ in work} <= set(range(engine.n_shards))
+        routed = batch_shard_indices(keys, engine.n_shards, engine.salt)
+        covered = 0
+        for shard_index, cols in work:
+            positions = np.flatnonzero(routed == shard_index)
+            assert np.array_equal(cols["keys"], keys[positions])  # in order
+            assert np.array_equal(cols["weights"], weights[positions])
+            covered += len(cols["keys"])
+        assert covered == len(keys)
+        assert engine.partition_batch([]) == []
+        with pytest.raises(ValueError, match="same length"):
+            engine.partition_batch(keys, weights=weights[:-1])
+
 
 class TestParallelDispatch:
     @pytest.mark.parametrize("mode", ["thread", "process"])

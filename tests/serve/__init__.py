@@ -1,0 +1,1 @@
+"""Serving-runtime test battery: crash recovery, isolation, batching."""

@@ -1,0 +1,96 @@
+"""Shared machinery for the serving-runtime test battery.
+
+Every async test runs through :func:`run_async`, which wraps the
+coroutine in a hard ``asyncio.wait_for`` deadline — a deadlocked queue or
+a hung consumer fails the test in seconds instead of stalling the suite,
+independently of the ``pytest-timeout`` belt CI adds on top.
+"""
+
+from __future__ import annotations
+
+import asyncio
+
+import numpy as np
+
+import repro
+from repro import ShardedSampler, make_sampler
+
+#: Hard per-test coroutine deadline (seconds).
+ASYNC_DEADLINE = 60.0
+
+#: Stream length used by the recovery battery.
+N = 600
+
+#: (name, params, weighted) — every mergeable sampler class, randomized
+#: and hash-coordinated variants (mirrors the engine checkpoint-fuzz
+#: battery; the coverage test pins it against ``mergeable_samplers()``).
+MERGEABLE_CONFIGS = [
+    ("bottom_k", {"k": 24, "rng": 5}, True),
+    ("bottom_k", {"k": 24, "coordinated": True, "salt": 3}, True),
+    ("poisson", {"threshold": 0.2, "rng": 5}, True),
+    ("poisson", {"threshold": 0.2, "coordinated": True, "salt": 3}, True),
+    ("weighted_distinct", {"k": 24, "salt": 3}, True),
+    ("adaptive_distinct", {"k": 24, "salt": 3}, False),
+    ("kmv", {"k": 24, "salt": 3}, False),
+    ("theta", {"k": 24, "salt": 3}, False),
+]
+
+CONFIG_IDS = [
+    f"{name}-{'coord' if params.get('coordinated') else 'plain'}"
+    for name, params, _ in MERGEABLE_CONFIGS
+]
+
+
+def run_async(coro, timeout: float = ASYNC_DEADLINE):
+    """Run an async test body under a hard deadline."""
+    return asyncio.run(asyncio.wait_for(coro, timeout))
+
+
+def stream(n: int = N) -> tuple[np.ndarray, np.ndarray]:
+    """A deterministic weighted key stream (weights constant per key, as
+    the distinct-sketch contract requires)."""
+    rng = np.random.default_rng(13)
+    keys = rng.integers(0, 200, n)
+    per_key = np.random.default_rng(14).lognormal(0.0, 0.6, 200)
+    return keys, per_key[keys]
+
+
+def build_sampler(name: str, params: dict):
+    """A fresh sampler instance for a battery config."""
+    return make_sampler(name, **params)
+
+
+def build_engine(name: str, params: dict) -> ShardedSampler:
+    """The 4-shard engine variant of a battery config (no pinned rng:
+    the engine derives per-shard streams from its root seed)."""
+    params = {k: v for k, v in params.items() if k != "rng"}
+    return ShardedSampler({"name": name, "params": params}, n_shards=4, seed=21)
+
+
+def reference_state(build, keys, weights, weighted: bool, n: int):
+    """The uninterrupted-run signature after the first ``n`` events."""
+    sampler = build()
+    if n:
+        if weighted:
+            sampler.update_many(keys[:n], weights[:n])
+        else:
+            sampler.update_many(keys[:n])
+    return signature(sampler)
+
+
+def signature(sampler) -> tuple:
+    """Bit-exactness signature (re-exported from the shared helpers)."""
+    from tests.helpers import sample_signature
+
+    return sample_signature(sampler)
+
+
+async def feed_service(service, keys, weights, weighted: bool,
+                       start: int = 0, chunk: int = 37) -> None:
+    """Ingest ``keys[start:]`` through the service in fixed chunks."""
+    for lo in range(start, len(keys), chunk):
+        hi = min(lo + chunk, len(keys))
+        if weighted:
+            await service.ingest_many(keys[lo:hi], weights=weights[lo:hi])
+        else:
+            await service.ingest_many(keys[lo:hi])

@@ -27,6 +27,11 @@ EXPECTED_MARKERS = {
         "top customers by estimated revenue",
         "cached re-poll",
     ],
+    "serve_live_dashboard.py": [
+        "emea revenue",
+        "top customers by estimated revenue",
+        "recovered state matches uninterrupted run: True",
+    ],
 }
 
 
