@@ -101,6 +101,10 @@ async def main(root) -> None:
         f"{m.checkpoints_written} checkpoints | "
         f"{m.wal_bytes:,} WAL bytes"
     )
+    print("batch size histogram (events per applied batch):")
+    for row in m.batch_size_histogram():
+        bar = "#" * max(1, round(40 * row["count"] / m.batches_applied))
+        print(f"  {row['label']:>12}: {row['count']:>4} {bar}")
 
     # Simulate a crash: abandon the service without a clean stop, then
     # recover from disk and verify against an uninterrupted run.

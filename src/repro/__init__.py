@@ -11,7 +11,10 @@ The package mirrors the paper's structure:
 * :mod:`repro.serve` - the async streaming serving runtime
   (:class:`StreamService`): bounded-queue ingestion with backpressure,
   micro-batched flushes, snapshot-isolated reads, write-ahead logging,
-  atomic checkpoints and bit-exact crash recovery.
+  atomic checkpoints and bit-exact crash recovery — plus the
+  multi-tenant :class:`Cluster` (:mod:`repro.serve.cluster`):
+  consistent-hash tenant routing, per-tenant quotas, live rebalancing,
+  and a length-prefixed-JSON TCP front end.
 * :mod:`repro.query` - the declarative query layer: ``Query`` specs
   (aggregate + where/group_by + CIs) planned once and executed vectorized
   over any sampler's sample, with HT/pseudo-HT variance plug-ins and a
@@ -64,7 +67,15 @@ from .baselines import (
     UnbiasedSpaceSavingSketch,
 )
 from .engine import ShardedSampler, mergeable_samplers
-from .serve import ServiceCrashed, ServiceSnapshot, StreamService
+from .serve import (
+    Cluster,
+    ClusterClient,
+    ClusterFrontend,
+    ServiceCrashed,
+    ServiceSnapshot,
+    StreamService,
+    TenantQuota,
+)
 from .query import (
     QUERY_AGGREGATES,
     Query,
@@ -136,6 +147,10 @@ __all__ = [
     "StreamService",
     "ServiceSnapshot",
     "ServiceCrashed",
+    "Cluster",
+    "ClusterClient",
+    "ClusterFrontend",
+    "TenantQuota",
     # query layer
     "Query",
     "QueryResult",

@@ -21,15 +21,31 @@ long-running runtime that premise deserves.  A
   bit-identical state.
 * **Metrics** — ingested/dropped/applied counts, queue depth, batch-size
   histogram, checkpoint lag (:mod:`repro.serve.metrics`).
+* **Multi-tenancy** — :mod:`repro.serve.cluster` multiplexes many
+  tenants onto a pool of these services with consistent-hash routing,
+  per-tenant quotas, live rebalancing, and a TCP front end.
 
-See the "Serving" section of ``docs/architecture.md`` for the runtime
-loop diagram and the durability/recovery guarantees.
+See the "Serving" and "Cluster" sections of ``docs/architecture.md`` for
+the runtime loop diagram and the durability/recovery guarantees.
 """
 
 from .batcher import MicroBatcher
 from .checkpoints import CheckpointStore
 from .metrics import ServiceMetrics
 from .service import ServiceCrashed, ServiceSnapshot, StreamService
+
+# .cluster imports .service, so it must come after (it also registers the
+# "tenant_mux" sampler as an import side effect — `import repro` alone
+# makes the cluster worker sampler constructible from the registry).
+from .cluster import (
+    Cluster,
+    ClusterClient,
+    ClusterFrontend,
+    ClusterMetrics,
+    HashRing,
+    TenantMuxSampler,
+    TenantQuota,
+)
 from .wal import WalRecord, WriteAheadLog, replay_records
 
 __all__ = [
@@ -42,4 +58,11 @@ __all__ = [
     "WriteAheadLog",
     "WalRecord",
     "replay_records",
+    "Cluster",
+    "ClusterClient",
+    "ClusterFrontend",
+    "ClusterMetrics",
+    "HashRing",
+    "TenantMuxSampler",
+    "TenantQuota",
 ]

@@ -1,0 +1,51 @@
+"""Multi-tenant serving cluster: ring routing, quotas, live rebalancing.
+
+This package scales the single-service runtime (:mod:`repro.serve`) out
+to many tenants on a fixed worker pool:
+
+- :class:`Cluster` — the facade: tenant namespace, consistent-hash
+  placement, quota-fair ingest, snapshot-isolated tenant-scoped reads,
+  live rebalancing, crash recovery with placement reconciliation.
+- :class:`~repro.serve.cluster.ring.HashRing` — deterministic
+  virtual-node consistent hashing (``~1/n`` movement under churn).
+- :class:`~repro.serve.cluster.mux.TenantMuxSampler` — the registered
+  ``"tenant_mux"`` sampler each worker wraps: per-tenant children keyed
+  by composite ``(tenant, key)`` rows, membership changes as WAL-logged
+  admin rows.
+- :class:`~repro.serve.cluster.tenants.TenantRegistry` /
+  :class:`~repro.serve.cluster.tenants.TenantQuota` — namespace, token
+  buckets, queue-share caps, counted per-reason rejections.
+- :mod:`~repro.serve.cluster.rebalance` — the gate/quiesce/extract/
+  install/commit/drop handoff protocol (bit-exact moved state).
+- :class:`ClusterFrontend` / :class:`ClusterClient` — the TCP front end
+  (length-prefixed JSON frames) and its thin async client.
+- :class:`~repro.serve.cluster.metrics.ClusterMetrics` — per-service,
+  per-tenant, and merged metric aggregation.
+
+See the "Cluster" section of ``docs/architecture.md`` for the ring
+diagram, quota semantics, and the rebalance protocol proof sketch.
+"""
+
+from .cluster import Cluster
+from .frontend import ClusterClient, ClusterFrontend, FrameError
+from .metrics import ClusterMetrics
+from .mux import TenantMuxSampler
+from .rebalance import RebalancePlan, TenantMove
+from .ring import HashRing
+from .tenants import TenantQuota, TenantRecord, TenantRegistry, TokenBucket
+
+__all__ = [
+    "Cluster",
+    "ClusterClient",
+    "ClusterFrontend",
+    "ClusterMetrics",
+    "FrameError",
+    "HashRing",
+    "RebalancePlan",
+    "TenantMove",
+    "TenantMuxSampler",
+    "TenantQuota",
+    "TenantRecord",
+    "TenantRegistry",
+    "TokenBucket",
+]

@@ -1,0 +1,690 @@
+"""The multi-tenant serving cluster: many tenants, few workers.
+
+A :class:`Cluster` multiplexes an arbitrary number of tenants — each with
+its own :class:`~repro.api.SamplerSpec` and quota — onto a fixed pool of
+:class:`~repro.serve.StreamService` workers.  Every worker is an
+*unmodified* ``StreamService`` wrapping a
+:class:`~repro.serve.cluster.mux.TenantMuxSampler`, so the WAL,
+checkpoints, crash recovery, snapshot isolation, and metrics of the
+single-service runtime carry over wholesale; the cluster layer adds only
+routing, namespace, fairness, and rebalancing:
+
+- **Routing** — a consistent-hash ring (:mod:`~repro.serve.cluster.ring`)
+  gives each tenant a deterministic default worker; the authoritative
+  *current* placement lives in the tenant registry (the ring proposes,
+  the placement map disposes — rebalancing moves the map).
+- **Namespace** — ``create_tenant`` / ``describe_tenant`` /
+  ``drop_tenant`` manage :class:`~repro.serve.cluster.tenants.TenantRecord`
+  entries; membership changes reach workers as WAL-logged admin rows in
+  the event stream, so they are durable and ordered with the data.
+- **Fairness** — per-tenant token buckets and queue-share caps
+  (:mod:`~repro.serve.cluster.tenants`) run *in front of* each worker's
+  bounded buffer, with counted, reason-attributed rejections.
+- **Rebalancing** — ``add_service`` / ``remove_service`` /
+  ``rebalance`` hand tenants off live via portable sampler state
+  (:mod:`~repro.serve.cluster.rebalance`), with no event loss for
+  anything past the WAL frontier.
+
+Cluster metadata (ring parameters, tenant registry, placements)
+persists to ``<dir>/cluster.json`` (atomic rename), and
+:meth:`Cluster.recover` rebuilds every worker bit-exactly from its own
+directory, then reconciles placements against what the WALs actually
+hold — resolving rebalances that were interrupted mid-handoff.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import os
+import pathlib
+from typing import Callable
+
+from ...api.registry import SamplerSpec
+from ..service import StreamService
+from .metrics import ClusterMetrics
+from .mux import compose_rows, create_op, drop_op
+from .ring import HashRing
+from .tenants import TenantQuota, TenantRecord, TenantRegistry
+
+__all__ = ["Cluster"]
+
+_META_NAME = "cluster.json"
+
+#: Per-worker ``StreamService`` constructor keywords the cluster fans out.
+_SERVICE_KEYS = (
+    "queue_size",
+    "batch_size",
+    "max_latency",
+    "checkpoint_every_events",
+    "segment_max_bytes",
+    "retain_checkpoints",
+    "fsync",
+)
+
+
+def _named_hook(hook: Callable[[str], object] | None, name: str):
+    """Prefix a fault hook's stage with the worker name.
+
+    Tests inject against one specific worker by matching stages like
+    ``"svc-2:apply.before"``; the wrapper preserves awaitable returns
+    (the ``flush.before`` stall contract).
+    """
+    if hook is None:
+        return None
+    return lambda stage: hook(f"{name}:{stage}")
+
+
+class Cluster:
+    """A pool of mux workers serving many tenants behind one facade.
+
+    Parameters
+    ----------
+    services:
+        Worker count (named ``svc-0`` .. ``svc-{n-1}``) or an explicit
+        iterable of worker names.
+    dir:
+        Cluster directory: per-worker service dirs plus ``cluster.json``.
+        ``None`` serves in memory only (no recovery, no rebalance
+        durability beyond the running process).
+    replicas / ring_salt:
+        Consistent-hash ring tuning (virtual nodes per worker, placement
+        salt).
+    queue_size / batch_size / max_latency / checkpoint_every_events /
+    segment_max_bytes / retain_checkpoints / fsync:
+        Fanned out to every worker ``StreamService``.
+    fault_hook:
+        Test seam: worker hooks fire as ``"<worker>:<stage>"`` (e.g.
+        ``"svc-1:wal.append.before"``), so faults can target one worker.
+    clock:
+        Injectable monotonic clock for the tenant token buckets.
+
+    Examples
+    --------
+    >>> import asyncio
+    >>> from repro.serve.cluster import Cluster
+    >>> async def demo():
+    ...     async with Cluster(services=2) as cluster:
+    ...         await cluster.create_tenant(
+    ...             "acme", {"name": "bottom_k", "params": {"k": 64, "rng": 7}})
+    ...         await cluster.ingest_many("acme", range(500))
+    ...         return await cluster.estimate("acme", "total")
+    >>> 200 < asyncio.run(demo()) < 1200  # HT estimate of the true 500
+    True
+    """
+
+    def __init__(
+        self,
+        services: int | list | tuple = 4,
+        *,
+        dir: str | os.PathLike | None = None,
+        replicas: int = 64,
+        ring_salt: int = 0,
+        queue_size: int = 65536,
+        batch_size: int = 8192,
+        max_latency: float = 0.05,
+        checkpoint_every_events: int | None = None,
+        segment_max_bytes: int = 4 * 1024 * 1024,
+        retain_checkpoints: int = 2,
+        fsync: bool = False,
+        fault_hook: Callable[[str], object] | None = None,
+        clock=None,
+    ):
+        if isinstance(services, int):
+            if services < 1:
+                raise ValueError("a cluster needs at least one service")
+            names = [f"svc-{i}" for i in range(services)]
+        else:
+            names = [str(name) for name in services]
+            if not names or len(set(names)) != len(names):
+                raise ValueError("service names must be unique and non-empty")
+        self.dir = pathlib.Path(dir) if dir is not None else None
+        self.fault_hook = fault_hook
+        self._clock = clock
+        self._service_config = {
+            "queue_size": int(queue_size),
+            "batch_size": int(batch_size),
+            "max_latency": float(max_latency),
+            "checkpoint_every_events": checkpoint_every_events,
+            "segment_max_bytes": int(segment_max_bytes),
+            "retain_checkpoints": int(retain_checkpoints),
+            "fsync": bool(fsync),
+        }
+        self.ring = HashRing(names, replicas=replicas, salt=ring_salt)
+        self.registry = TenantRegistry(clock=clock)
+        self._workers: dict[str, StreamService] = {
+            name: self._build_worker(name) for name in names
+        }
+        self._recovered = False
+        self._started = False
+        self._closed = False
+        #: Tenants mid-handoff: blocking ingest awaits the event, the
+        #: non-blocking path rejects (reason ``backpressure``).
+        self._migrating: dict[str, asyncio.Event] = {}
+        #: Per-tenant count of blocking ingests currently suspended in a
+        #: worker (admitted-or-waiting).  Rebalance/drop quiesce on it:
+        #: gating stops *new* ingests, this drains the in-flight ones, so
+        #: the pre-handoff flush provably covers every accepted event.
+        self._inflight: dict[str, int] = {}
+
+    def _build_worker(self, name: str) -> StreamService:
+        """A fresh (not started) mux worker service named ``name``."""
+        return StreamService(
+            "tenant_mux",
+            dir=None if self.dir is None else self.dir / name,
+            fault_hook=_named_hook(self.fault_hook, name),
+            **self._service_config,
+        )
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def services(self) -> tuple[str, ...]:
+        """Current worker names, sorted."""
+        return tuple(sorted(self._workers))
+
+    def service(self, name: str) -> StreamService:
+        """The worker ``StreamService`` named ``name``."""
+        try:
+            return self._workers[name]
+        except KeyError:
+            raise KeyError(f"unknown service {name!r}") from None
+
+    def tenants(self) -> tuple[str, ...]:
+        """All tenant ids, sorted."""
+        return self.registry.tenants()
+
+    def placement(self) -> dict[str, str]:
+        """The authoritative tenant -> worker map (a copy)."""
+        return {
+            tenant: self.registry.get(tenant).service
+            for tenant in self.registry.tenants()
+        }
+
+    def _check_started(self) -> None:
+        if not self._started:
+            raise RuntimeError("cluster not started; call `await start()`")
+        if self._closed:
+            raise RuntimeError("cluster already stopped")
+
+    def _locate(self, tenant: str) -> tuple[TenantRecord, StreamService]:
+        """The registry record and owning worker for ``tenant``."""
+        record = self.registry.get(tenant)
+        return record, self._workers[record.service]
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    async def start(self) -> "Cluster":
+        """Start every worker (and reconcile placements after recovery)."""
+        if self._started:
+            raise RuntimeError("cluster already started")
+        self._started = True
+        if self.dir is not None:
+            self.dir.mkdir(parents=True, exist_ok=True)
+        for worker in self._workers.values():
+            await worker.start()
+        if self._recovered:
+            await self._reconcile()
+        self._save_meta()
+        return self
+
+    async def __aenter__(self) -> "Cluster":
+        return await self.start()
+
+    async def __aexit__(self, exc_type, exc, tb) -> None:
+        if exc_type is None:
+            await self.stop()
+        else:
+            await self.abort()
+
+    async def stop(self) -> None:
+        """Drain and stop every worker, then persist the cluster meta.
+
+        Worker ``stop()`` takes a final checkpoint each; the meta file is
+        rewritten last so it describes the fully-drained placements.
+        """
+        if self._closed:
+            return
+        self._check_started()
+        errors = []
+        for worker in self._workers.values():
+            try:
+                await worker.stop()
+            except Exception as err:  # noqa: BLE001 - stop every worker
+                errors.append(err)
+        self._closed = True
+        self._save_meta()
+        if errors:
+            raise errors[0]
+
+    async def abort(self) -> None:
+        """Hard-kill every worker without draining (a simulated crash)."""
+        for worker in self._workers.values():
+            await worker.abort()
+        self._closed = True
+
+    # ------------------------------------------------------------------
+    # Tenant namespace
+    # ------------------------------------------------------------------
+    async def create_tenant(
+        self,
+        tenant: str,
+        spec: SamplerSpec | dict | str,
+        *,
+        quota: TenantQuota | dict | None = None,
+    ) -> TenantRecord:
+        """Register ``tenant`` and create its sampler on the ring's worker.
+
+        The sampler materializes when the worker's consumer applies the
+        admin row — cheap enough to call thousands of times; reads
+        flush-and-retry if they arrive first.
+        """
+        self._check_started()
+        if isinstance(spec, str):
+            spec = SamplerSpec(spec)
+        elif not isinstance(spec, SamplerSpec):
+            spec = SamplerSpec.from_dict(spec)
+        placed = self.ring.node_for(tenant)
+        record = self.registry.create(
+            tenant, spec, quota=quota, service=placed
+        )
+        try:
+            await self._workers[placed].ingest_many([create_op(tenant, spec)])
+        except BaseException:
+            self.registry.drop(tenant)
+            raise
+        self._save_meta()
+        return record
+
+    async def create_tenants(
+        self,
+        specs: dict,
+        *,
+        quotas: dict | None = None,
+    ) -> list[TenantRecord]:
+        """Bulk-register tenants: one admin batch per worker, one meta save.
+
+        ``create_tenant`` rewrites the cluster meta per call, which is
+        quadratic when bootstrapping thousands of tenants; this path
+        groups the create rows by placement and persists once at the
+        end.  All-or-nothing on validation: every tenant id and spec is
+        checked (and reserved in the registry) before any worker sees a
+        row.
+        """
+        self._check_started()
+        quotas = quotas or {}
+        records: list[TenantRecord] = []
+        try:
+            for tenant, spec in specs.items():
+                if isinstance(spec, str):
+                    spec = SamplerSpec(spec)
+                elif not isinstance(spec, SamplerSpec):
+                    spec = SamplerSpec.from_dict(spec)
+                records.append(self.registry.create(
+                    tenant, spec, quota=quotas.get(tenant),
+                    service=self.ring.node_for(tenant),
+                ))
+        except BaseException:
+            for record in records:
+                self.registry.drop(record.tenant)
+            raise
+        by_worker: dict[str, list] = {}
+        for record in records:
+            by_worker.setdefault(record.service, []).append(
+                create_op(record.tenant, record.spec)
+            )
+        for name, ops in by_worker.items():
+            await self._workers[name].ingest_many(ops)
+        self._save_meta()
+        return records
+
+    def _gate(self, tenant: str) -> asyncio.Event:
+        """Close the ingest gate for ``tenant`` (handoff/drop in progress)."""
+        self.registry.get(tenant).migrating = True
+        event = self._migrating.get(tenant)
+        if event is None:
+            event = self._migrating[tenant] = asyncio.Event()
+        return event
+
+    def _ungate(self, tenant: str) -> None:
+        """Reopen the ingest gate; suspended producers re-resolve placement."""
+        if tenant in self.registry:
+            self.registry.get(tenant).migrating = False
+        event = self._migrating.pop(tenant, None)
+        if event is not None:
+            event.set()
+
+    async def _quiesce(self, tenant: str) -> None:
+        """Wait until no blocking ingest for ``tenant`` is in flight.
+
+        Called with the gate closed, so no *new* ingest can start; once
+        the in-flight count drains, every event a producer was promised
+        is admitted and a worker ``flush()`` covers it.
+        """
+        while self._inflight.get(tenant, 0) > 0:
+            await asyncio.sleep(0)
+
+    async def drop_tenant(self, tenant: str) -> TenantRecord:
+        """Remove ``tenant``: quiesce its ingest, enqueue the drop row,
+        forget the record.
+
+        The gate-then-quiesce step guarantees no accepted event can trail
+        the drop row into the worker (a stray post-drop row would be an
+        unknown-tenant error in the mux)."""
+        self._check_started()
+        record, worker = self._locate(tenant)
+        self._gate(tenant)
+        try:
+            await self._quiesce(tenant)
+            await worker.ingest_many([drop_op(tenant)])
+            self.registry.drop(tenant)
+        finally:
+            self._ungate(tenant)
+        self._save_meta()
+        return record
+
+    def describe_tenant(self, tenant: str) -> dict:
+        """One tenant's registry entry plus live worker-side counters."""
+        record, worker = self._locate(tenant)
+        mux = worker.sampler
+        out = record.to_dict()
+        out["migrating"] = record.migrating
+        out["events_applied"] = (
+            mux.events_applied_for(tenant) if mux.has_tenant(tenant) else 0
+        )
+        out["events_dropped"] = worker.metrics.events_dropped_by.get(tenant, 0)
+        return out
+
+    # ------------------------------------------------------------------
+    # Ingestion
+    # ------------------------------------------------------------------
+    async def ingest(self, tenant: str, key, weight: float = 1.0, *,
+                     value=None, time=None) -> None:
+        """Admit one event for ``tenant`` (suspends under backpressure)."""
+        await self.ingest_many(
+            tenant,
+            [key],
+            weights=None if weight == 1.0 else [weight],
+            values=None if value is None else [value],
+            times=None if time is None else [time],
+        )
+
+    async def ingest_many(self, tenant: str, keys, weights=None,
+                          values=None, times=None) -> None:
+        """Admit a batch for ``tenant``, enforcing its quota by waiting.
+
+        The blocking path never drops: a rate-limited tenant awaits its
+        token-bucket refill (its overload becomes its own backpressure),
+        a migrating tenant awaits the handoff gate, and a full worker
+        buffer suspends the producer exactly as in the single-service
+        runtime.
+        """
+        self._check_started()
+        record = self.registry.get(tenant)
+        gate = self._migrating.get(tenant)
+        if gate is not None:
+            await gate.wait()
+            record = self.registry.get(tenant)  # placement may have moved
+        rows = compose_rows(tenant, keys)
+        if not rows:
+            return
+        bucket = self.registry.bucket(tenant)
+        if bucket is not None:
+            delay = bucket.acquire_delay(len(rows))
+            if delay > 0:
+                await asyncio.sleep(delay)
+        worker = self._workers[record.service]
+        self._inflight[tenant] = self._inflight.get(tenant, 0) + 1
+        try:
+            await worker.ingest_many(rows, weights, values, times)
+        finally:
+            self._inflight[tenant] -= 1
+            if not self._inflight[tenant]:
+                del self._inflight[tenant]
+        record.events_enqueued += len(rows)
+
+    def try_ingest(self, tenant: str, key, weight: float = 1.0, *,
+                   value=None, time=None) -> bool:
+        """Non-blocking scalar admit; ``False`` means rejected-and-counted."""
+        return self.try_ingest_many(
+            tenant,
+            [key],
+            weights=None if weight == 1.0 else [weight],
+            values=None if value is None else [value],
+            times=None if time is None else [time],
+        )
+
+    def try_ingest_many(self, tenant: str, keys, weights=None,
+                        values=None, times=None) -> bool:
+        """Non-blocking batch admit with per-reason rejection accounting.
+
+        All-or-nothing, checked in quota order: token bucket first
+        (``rate``), then the tenant's queue-share cap (``share``), then
+        the worker's bounded buffer (``backpressure``, also counted
+        per-tenant in the worker's drop metrics).  A migrating tenant
+        rejects as ``backpressure`` until its handoff completes.
+        """
+        self._check_started()
+        record = self.registry.get(tenant)
+        rows = compose_rows(tenant, keys)
+        if not rows:
+            return True
+        n = len(rows)
+        if record.migrating:
+            record.reject("backpressure", n)
+            return False
+        bucket = self.registry.bucket(tenant)
+        if bucket is not None and not bucket.try_acquire(n):
+            record.reject("rate", n)
+            return False
+        worker = self._workers[record.service]
+        share = record.quota.queue_share
+        if share is not None:
+            mux = worker.sampler
+            applied = (
+                mux.events_applied_for(tenant) if mux.has_tenant(tenant) else 0
+            )
+            pending = record.events_enqueued - applied
+            if pending + n > share * worker.queue_size:
+                record.reject("share", n)
+                return False
+        if not worker.try_ingest_many(rows, weights, values, times,
+                                      label=tenant):
+            record.reject("backpressure", n)
+            return False
+        record.events_enqueued += n
+        return True
+
+    # ------------------------------------------------------------------
+    # Reads (tenant-scoped, snapshot-isolated on the owning worker)
+    # ------------------------------------------------------------------
+    async def _tenant_child(self, tenant: str):
+        """The owning worker plus the tenant's live child sampler.
+
+        If the child has not materialized yet (its create row is still
+        queued), flush the worker once and retry before giving up.
+        """
+        record, worker = self._locate(tenant)
+        if not worker.sampler.has_tenant(tenant):
+            await worker.flush()
+        return worker, worker.sampler.tenant_sampler(tenant)
+
+    async def sample(self, tenant: str):
+        """Snapshot-isolated ``sample()`` of one tenant's child sampler."""
+        self._check_started()
+        worker, child = await self._tenant_child(tenant)
+        async with worker.snapshot():
+            return child.sample()
+
+    async def estimate(self, tenant: str, kind: str | None = None,
+                       predicate=None, **kw):
+        """Snapshot-isolated estimate from one tenant's child sampler."""
+        self._check_started()
+        worker, child = await self._tenant_child(tenant)
+        async with worker.snapshot():
+            return child.estimate(kind, predicate=predicate, **kw)
+
+    async def query(self, tenant: str, query=None, /, **kw):
+        """Snapshot-isolated declarative query against one tenant.
+
+        Delegates to the child sampler's
+        :meth:`~repro.api.StreamSampler.query`, so results are cached per
+        ``(state_version, fingerprint)`` exactly as on a single service.
+        """
+        self._check_started()
+        worker, child = await self._tenant_child(tenant)
+        async with worker.snapshot():
+            return child.query(query, **kw)
+
+    async def flush(self) -> None:
+        """Barrier: every event admitted to every worker is applied."""
+        self._check_started()
+        for worker in self._workers.values():
+            await worker.flush()
+
+    # ------------------------------------------------------------------
+    # Metrics
+    # ------------------------------------------------------------------
+    def metrics(self) -> ClusterMetrics:
+        """Aggregate worker metrics per service, per tenant, and overall."""
+        return ClusterMetrics.collect(self._workers, self.registry)
+
+    # ------------------------------------------------------------------
+    # Rebalancing (implemented in .rebalance; thin facades here)
+    # ------------------------------------------------------------------
+    async def add_service(self, name: str | None = None) -> str:
+        """Grow the pool by one worker and migrate its ring share in."""
+        from .rebalance import add_service
+
+        return await add_service(self, name)
+
+    async def remove_service(self, name: str) -> None:
+        """Drain a worker's tenants to the survivors and retire it."""
+        from .rebalance import remove_service
+
+        return await remove_service(self, name)
+
+    async def rebalance(self) -> "list":
+        """Move every tenant whose ring owner differs from its placement."""
+        from .rebalance import rebalance
+
+        return await rebalance(self)
+
+    # ------------------------------------------------------------------
+    # Persistence
+    # ------------------------------------------------------------------
+    def _save_meta(self) -> None:
+        """Atomically rewrite ``cluster.json`` (no-op in memory mode)."""
+        if self.dir is None:
+            return
+        self.dir.mkdir(parents=True, exist_ok=True)
+        payload = {
+            "version": 1,
+            "ring": self.ring.to_dict(),
+            "service_config": self._service_config,
+            "tenants": self.registry.to_dict(),
+        }
+        tmp = self.dir / (_META_NAME + ".tmp")
+        # Compact separators: the meta rewrites on every tenant create,
+        # so serialization cost scales with fleet size.
+        tmp.write_text(json.dumps(
+            payload, sort_keys=True, separators=(",", ":")
+        ))
+        os.replace(tmp, self.dir / _META_NAME)
+
+    @classmethod
+    def recover(cls, dir: str | os.PathLike, *,
+                fault_hook: Callable[[str], object] | None = None,
+                clock=None) -> "Cluster":
+        """Rebuild a cluster from its directory, bit-exactly per worker.
+
+        Each worker recovers through ``StreamService.recover`` (newest
+        valid checkpoint + WAL-tail replay — the PR5 guarantee), then the
+        first ``start()`` reconciles the tenant registry against what the
+        WALs actually hold, resolving any rebalance that crashed
+        mid-handoff (see :meth:`_reconcile`).  The returned cluster is
+        not started.
+        """
+        root = pathlib.Path(dir)
+        meta_path = root / _META_NAME
+        if not meta_path.exists():
+            raise FileNotFoundError(
+                f"{root} does not contain a cluster meta file ({_META_NAME})"
+            )
+        meta = json.loads(meta_path.read_text())
+        ring = HashRing.from_dict(meta["ring"])
+        config = dict(meta.get("service_config", {}))
+        cluster = cls(
+            services=list(ring.nodes),
+            dir=root,
+            replicas=ring.replicas,
+            ring_salt=ring.salt,
+            fault_hook=fault_hook,
+            clock=clock,
+            **{key: config[key] for key in _SERVICE_KEYS if key in config},
+        )
+        cluster.registry = TenantRegistry.from_dict(
+            meta.get("tenants", {}), clock=clock
+        )
+        cluster._workers = {
+            name: StreamService.recover(
+                root / name, fault_hook=_named_hook(fault_hook, name)
+            )
+            for name in ring.nodes
+        }
+        cluster._recovered = True
+        return cluster
+
+    async def _reconcile(self) -> None:
+        """Align registry placements with recovered worker state.
+
+        The rebalance protocol makes a move durable on the destination
+        *before* dropping the source or persisting the new placement, so
+        after a crash a tenant can be (a) on both workers — the
+        registry's placement wins, the other copy is dropped; (b) only on
+        a worker the registry does not point at — the move never
+        committed or the meta write was lost, so the placement repoints
+        to the actual holder; (c) nowhere — its create row was admitted
+        but never WAL-logged, so it is recreated fresh from its spec.
+        Stray mux tenants missing from the registry (a drop whose meta
+        update persisted but whose drop row did not) are dropped.
+        In-flight counters reset to each holder's applied frontier —
+        events admitted but never logged are the producer's to re-send,
+        exactly as on a single service.
+        """
+        holders: dict[str, list[str]] = {}
+        for name, worker in self._workers.items():
+            for tenant in worker.sampler.tenants():
+                holders.setdefault(tenant, []).append(name)
+        for tenant in self.registry.tenants():
+            record = self.registry.get(tenant)
+            where = holders.pop(tenant, [])
+            if record.service in where:
+                for name in where:
+                    if name != record.service:
+                        await self._workers[name].ingest_many([drop_op(tenant)])
+            elif where:
+                record.service = sorted(where)[0]
+                for name in where:
+                    if name != record.service:
+                        await self._workers[name].ingest_many([drop_op(tenant)])
+            else:
+                if record.service not in self._workers:
+                    record.service = self.ring.node_for(tenant)
+                await self._workers[record.service].ingest_many(
+                    [create_op(tenant, record.spec)]
+                )
+        for tenant, where in holders.items():
+            for name in where:
+                await self._workers[name].ingest_many([drop_op(tenant)])
+        await self.flush()
+        for tenant in self.registry.tenants():
+            record = self.registry.get(tenant)
+            mux = self._workers[record.service].sampler
+            record.events_enqueued = (
+                mux.events_applied_for(tenant) if mux.has_tenant(tenant) else 0
+            )
+            record.migrating = False
+        self._save_meta()

@@ -1,0 +1,416 @@
+"""The cluster's network front end: length-prefixed JSON frames.
+
+:class:`ClusterFrontend` exposes a running
+:class:`~repro.serve.cluster.Cluster` over TCP with a deliberately tiny
+protocol — every frame is a 4-byte big-endian length followed by a UTF-8
+JSON object — so any language can speak it in a dozen lines.  Requests
+are ``{"verb": ..., ...}``; responses are ``{"ok": true, ...}`` or
+``{"ok": false, "error": ..., "error_type": ...}``.  A protocol error
+answers instead of killing the connection, and one connection can
+pipeline requests (they are served in order on the event loop).
+
+Verbs
+-----
+``ingest`` / ``ingest_many``
+    Tenant event admission.  ``block=true`` uses the backpressure path
+    (the response waits for admission), otherwise the non-blocking
+    quota-checked path (``admitted`` reports the outcome).
+``query`` / ``estimate`` / ``sample``
+    Tenant-scoped snapshot-isolated reads.  Query options are the
+    JSON-able subset (``aggregate``, ``k``, ``q``, ``ci`` — callables
+    like ``where``/``group_by`` cannot cross the wire; run those
+    in-process).
+``admin``
+    ``{"verb": "admin", "op": ...}`` with ops ``create_tenant``,
+    ``drop_tenant``, ``describe_tenant``, ``tenants``, ``metrics``,
+    ``add_service``, ``remove_service``, ``rebalance``, ``flush``.
+
+:class:`ClusterClient` is the matching thin async client used by the
+benchmarks, the demo example, and the tests.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import contextlib
+import json
+import struct
+
+__all__ = ["ClusterFrontend", "ClusterClient", "FrameError", "MAX_FRAME"]
+
+_HEADER = struct.Struct(">I")
+#: Refuse frames above this size (a corrupt length prefix must not make
+#: the server try to buffer gigabytes).
+MAX_FRAME = 32 * 1024 * 1024
+
+#: Query/estimate keyword options accepted over the wire.  Callable
+#: options (``where``, ``group_by``, ``weight_of``) are in-process only.
+_QUERY_OPTIONS = ("aggregate", "k", "q", "ci")
+
+
+class FrameError(RuntimeError):
+    """A malformed frame (bad length prefix, not JSON, not an object)."""
+
+
+async def read_frame(reader: asyncio.StreamReader) -> dict | None:
+    """Read one length-prefixed JSON object; ``None`` on clean EOF."""
+    try:
+        header = await reader.readexactly(_HEADER.size)
+    except asyncio.IncompleteReadError as err:
+        if not err.partial:
+            return None
+        raise FrameError("connection closed mid-header") from err
+    (length,) = _HEADER.unpack(header)
+    if length > MAX_FRAME:
+        raise FrameError(f"frame of {length} bytes exceeds MAX_FRAME")
+    try:
+        body = await reader.readexactly(length)
+    except asyncio.IncompleteReadError as err:
+        raise FrameError("connection closed mid-frame") from err
+    try:
+        message = json.loads(body.decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError) as err:
+        raise FrameError(f"frame is not UTF-8 JSON: {err}") from err
+    if not isinstance(message, dict):
+        raise FrameError("frame must encode a JSON object")
+    return message
+
+
+def write_frame(writer: asyncio.StreamWriter, message: dict) -> None:
+    """Queue one length-prefixed JSON object on ``writer``."""
+    body = json.dumps(message, separators=(",", ":")).encode("utf-8")
+    if len(body) > MAX_FRAME:
+        raise FrameError(f"frame of {len(body)} bytes exceeds MAX_FRAME")
+    writer.write(_HEADER.pack(len(body)) + body)
+
+
+class ClusterFrontend:
+    """An asyncio TCP server fronting one cluster.
+
+    >>> import asyncio
+    >>> from repro.serve.cluster import Cluster, ClusterFrontend, ClusterClient
+    >>> async def demo():
+    ...     async with Cluster(services=2) as cluster:
+    ...         frontend = ClusterFrontend(cluster)
+    ...         await frontend.start()
+    ...         client = await ClusterClient.connect(*frontend.address)
+    ...         await client.create_tenant(
+    ...             "acme", {"name": "bottom_k", "params": {"k": 32, "rng": 3}})
+    ...         await client.ingest_many("acme", list(range(100)))
+    ...         reply = await client.estimate("acme", "total")
+    ...         await client.aclose()
+    ...         await frontend.stop()
+    ...         return reply["estimate"]
+    >>> 30 < asyncio.run(demo()) < 300  # HT estimate of the true 100
+    True
+    """
+
+    def __init__(self, cluster, *, host: str = "127.0.0.1", port: int = 0):
+        self.cluster = cluster
+        self.host = host
+        self.port = port
+        self._server: asyncio.AbstractServer | None = None
+
+    @property
+    def address(self) -> tuple[str, int]:
+        """The bound ``(host, port)`` (resolves ``port=0`` after start)."""
+        if self._server is None:
+            raise RuntimeError("frontend not started")
+        sock = self._server.sockets[0]
+        host, port = sock.getsockname()[:2]
+        return host, port
+
+    async def start(self) -> "ClusterFrontend":
+        """Bind and start accepting connections."""
+        if self._server is not None:
+            raise RuntimeError("frontend already started")
+        self._server = await asyncio.start_server(
+            self._serve_connection, self.host, self.port
+        )
+        return self
+
+    async def stop(self) -> None:
+        """Stop accepting and close the listening socket."""
+        if self._server is None:
+            return
+        self._server.close()
+        await self._server.wait_closed()
+        self._server = None
+
+    async def __aenter__(self) -> "ClusterFrontend":
+        return await self.start()
+
+    async def __aexit__(self, exc_type, exc, tb) -> None:
+        await self.stop()
+
+    async def _serve_connection(self, reader, writer) -> None:
+        """Serve frames on one connection until EOF or a framing error."""
+        try:
+            while True:
+                try:
+                    request = await read_frame(reader)
+                except FrameError as err:
+                    write_frame(writer, {
+                        "ok": False, "error": str(err),
+                        "error_type": "FrameError",
+                    })
+                    await writer.drain()
+                    break
+                if request is None:
+                    break
+                write_frame(writer, await self._dispatch(request))
+                await writer.drain()
+        except (ConnectionError, asyncio.CancelledError):
+            pass
+        finally:
+            writer.close()
+            with contextlib.suppress(Exception):
+                await writer.wait_closed()
+
+    async def _dispatch(self, request: dict) -> dict:
+        """Answer one request; application errors become error replies."""
+        verb = request.get("verb")
+        handler = getattr(self, f"_verb_{verb}", None) if verb else None
+        if handler is None or (verb or "").startswith("_"):
+            return {
+                "ok": False,
+                "error": f"unknown verb {verb!r}",
+                "error_type": "ValueError",
+            }
+        try:
+            reply = await handler(request)
+        except Exception as err:  # noqa: BLE001 - answer, don't disconnect
+            return {
+                "ok": False,
+                "error": str(err),
+                "error_type": type(err).__name__,
+            }
+        reply.setdefault("ok", True)
+        return reply
+
+    @staticmethod
+    def _columns(request: dict) -> dict:
+        """The optional event columns of an ingest request."""
+        return {
+            name: request.get(name)
+            for name in ("weights", "values", "times")
+        }
+
+    async def _verb_ingest(self, request: dict) -> dict:
+        """Scalar admission: blocking or quota-checked non-blocking."""
+        tenant = request["tenant"]
+        kwargs = {
+            "value": request.get("value"), "time": request.get("time"),
+        }
+        weight = float(request.get("weight", 1.0))
+        if request.get("block", False):
+            await self.cluster.ingest(tenant, request["key"], weight, **kwargs)
+            return {"admitted": True}
+        admitted = self.cluster.try_ingest(
+            tenant, request["key"], weight, **kwargs
+        )
+        return {"admitted": admitted}
+
+    async def _verb_ingest_many(self, request: dict) -> dict:
+        """Batch admission: blocking or quota-checked non-blocking."""
+        tenant = request["tenant"]
+        keys = request["keys"]
+        columns = self._columns(request)
+        if request.get("block", False):
+            await self.cluster.ingest_many(tenant, keys, **columns)
+            return {"admitted": True, "n": len(keys)}
+        admitted = self.cluster.try_ingest_many(tenant, keys, **columns)
+        return {"admitted": admitted, "n": len(keys) if admitted else 0}
+
+    async def _verb_estimate(self, request: dict) -> dict:
+        """Tenant-scoped estimate (JSON-able kinds/options only)."""
+        estimate = await self.cluster.estimate(
+            request["tenant"], request.get("kind")
+        )
+        return {"estimate": float(estimate)}
+
+    async def _verb_query(self, request: dict) -> dict:
+        """Tenant-scoped declarative query, result flattened to JSON."""
+        options = {
+            name: request[name] for name in _QUERY_OPTIONS if name in request
+        }
+        result = await self.cluster.query(request["tenant"], **options)
+        reply = {
+            "aggregate": result.aggregate,
+            "estimate": _jsonable(result.estimate),
+            "sample_size": result.sample_size,
+            "state_version": result.state_version,
+        }
+        if result.stderr is not None:
+            reply["stderr"] = float(result.stderr)
+        if result.ci is not None:
+            reply["ci"] = [float(bound) for bound in result.ci]
+        return reply
+
+    async def _verb_sample(self, request: dict) -> dict:
+        """A tenant's retained sample as parallel JSON columns."""
+        sample = await self.cluster.sample(request["tenant"])
+        return {
+            "keys": [_jsonable(key) for key in list(sample.keys)],
+            "weights": [float(w) for w in sample.weights],
+            "thresholds": [float(t) for t in sample.thresholds],
+            "n": len(sample.keys),
+        }
+
+    async def _verb_admin(self, request: dict) -> dict:
+        """Namespace/pool administration (see the module docstring)."""
+        op = request.get("op")
+        cluster = self.cluster
+        if op == "create_tenant":
+            record = await cluster.create_tenant(
+                request["tenant"], request["spec"],
+                quota=request.get("quota"),
+            )
+            return {"tenant": request["tenant"], "service": record.service}
+        if op == "drop_tenant":
+            await cluster.drop_tenant(request["tenant"])
+            return {"tenant": request["tenant"]}
+        if op == "describe_tenant":
+            return {"description": cluster.describe_tenant(request["tenant"])}
+        if op == "tenants":
+            return {"tenants": list(cluster.tenants())}
+        if op == "metrics":
+            return {"metrics": cluster.metrics().to_dict()}
+        if op == "add_service":
+            name = await cluster.add_service(request.get("name"))
+            return {"service": name, "services": list(cluster.services)}
+        if op == "remove_service":
+            await cluster.remove_service(request["name"])
+            return {"services": list(cluster.services)}
+        if op == "rebalance":
+            plan = await cluster.rebalance()
+            return {"moved": [
+                {"tenant": move.tenant, "source": move.source,
+                 "destination": move.destination}
+                for move in plan.moves
+            ]}
+        if op == "flush":
+            await cluster.flush()
+            return {}
+        raise ValueError(f"unknown admin op {op!r}")
+
+
+def _jsonable(value):
+    """Best-effort JSON form of a query/sample value."""
+    if hasattr(value, "__dataclass_fields__"):  # e.g. TopKItem
+        return {
+            name: _jsonable(getattr(value, name))
+            for name in value.__dataclass_fields__
+        }
+    if isinstance(value, dict):
+        return {str(k): _jsonable(v) for k, v in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [_jsonable(v) for v in value]
+    if hasattr(value, "item"):  # numpy scalar
+        return value.item()
+    if isinstance(value, (str, int, float, bool)) or value is None:
+        return value
+    return str(value)
+
+
+class ClusterClient:
+    """Thin async client speaking the frontend's frame protocol.
+
+    One request at a time per client instance (the protocol itself
+    pipelines fine; open more clients for concurrency).
+    """
+
+    def __init__(self, reader: asyncio.StreamReader,
+                 writer: asyncio.StreamWriter):
+        self._reader = reader
+        self._writer = writer
+
+    @classmethod
+    async def connect(cls, host: str, port: int) -> "ClusterClient":
+        """Open a connection to a running :class:`ClusterFrontend`."""
+        reader, writer = await asyncio.open_connection(host, port)
+        return cls(reader, writer)
+
+    async def aclose(self) -> None:
+        """Close the connection."""
+        self._writer.close()
+        with contextlib.suppress(Exception):
+            await self._writer.wait_closed()
+
+    async def call(self, request: dict) -> dict:
+        """Send one request frame and await its reply frame.
+
+        Raises ``RuntimeError`` on an error reply (carrying the server's
+        ``error_type``/``error``) and ``FrameError`` on a dead
+        connection.
+        """
+        write_frame(self._writer, request)
+        await self._writer.drain()
+        reply = await read_frame(self._reader)
+        if reply is None:
+            raise FrameError("server closed the connection")
+        if not reply.get("ok", False):
+            raise RuntimeError(
+                f"{reply.get('error_type', 'Error')}: "
+                f"{reply.get('error', 'unknown error')}"
+            )
+        return reply
+
+    # -- convenience verbs -------------------------------------------------
+    async def ingest(self, tenant: str, key, weight: float = 1.0, *,
+                     value=None, time=None, block: bool = False) -> dict:
+        """Scalar ``ingest`` (non-blocking unless ``block=True``)."""
+        request = {
+            "verb": "ingest", "tenant": tenant, "key": key,
+            "weight": weight, "block": block,
+        }
+        if value is not None:
+            request["value"] = value
+        if time is not None:
+            request["time"] = time
+        return await self.call(request)
+
+    async def ingest_many(self, tenant: str, keys, *, weights=None,
+                          values=None, times=None,
+                          block: bool = True) -> dict:
+        """Batch ``ingest_many`` (blocking by default, like the API)."""
+        request = {
+            "verb": "ingest_many", "tenant": tenant, "keys": list(keys),
+            "block": block,
+        }
+        if weights is not None:
+            request["weights"] = list(weights)
+        if values is not None:
+            request["values"] = list(values)
+        if times is not None:
+            request["times"] = list(times)
+        return await self.call(request)
+
+    async def estimate(self, tenant: str, kind: str | None = None) -> dict:
+        """Tenant-scoped ``estimate``."""
+        request = {"verb": "estimate", "tenant": tenant}
+        if kind is not None:
+            request["kind"] = kind
+        return await self.call(request)
+
+    async def query(self, tenant: str, aggregate: str, **options) -> dict:
+        """Tenant-scoped declarative ``query`` (JSON-able options only)."""
+        return await self.call({
+            "verb": "query", "tenant": tenant, "aggregate": aggregate,
+            **options,
+        })
+
+    async def sample(self, tenant: str) -> dict:
+        """A tenant's retained sample."""
+        return await self.call({"verb": "sample", "tenant": tenant})
+
+    async def admin(self, op: str, **options) -> dict:
+        """Any admin op (``create_tenant``, ``metrics``, ...)."""
+        return await self.call({"verb": "admin", "op": op, **options})
+
+    async def create_tenant(self, tenant: str, spec, *, quota=None) -> dict:
+        """Admin shorthand: register a tenant."""
+        options = {"tenant": tenant, "spec": spec}
+        if quota is not None:
+            options["quota"] = quota
+        return await self.admin("create_tenant", **options)

@@ -1,0 +1,83 @@
+"""Cluster-wide metrics: per-service, per-tenant, and merged views.
+
+Workers already maintain :class:`~repro.serve.metrics.ServiceMetrics`
+inline; the cluster layer never re-derives a counter.  ``collect`` takes
+one consistent pass over the pool: each worker's metrics snapshot keyed
+by service name, a single merged total (via ``ServiceMetrics.merge``,
+the satellite this PR extracted exactly for this), and a per-tenant
+table joining the registry's admission/rejection counters with the
+worker-side applied counts and per-tenant drop attribution.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..metrics import ServiceMetrics
+
+__all__ = ["ClusterMetrics"]
+
+
+@dataclass
+class ClusterMetrics:
+    """Aggregated view over a worker pool and its tenant registry.
+
+    ``services`` maps worker name to its own ``ServiceMetrics``;
+    ``total`` is their label-wise merge; ``tenants`` maps tenant id to a
+    flat row: current placement, cluster-side admissions, worker-side
+    applied events, per-tenant backpressure drops, and quota rejections
+    by reason.
+    """
+
+    services: dict[str, ServiceMetrics] = field(default_factory=dict)
+    total: ServiceMetrics = field(default_factory=ServiceMetrics)
+    tenants: dict[str, dict] = field(default_factory=dict)
+
+    @classmethod
+    def collect(cls, workers: dict, registry) -> "ClusterMetrics":
+        """Snapshot ``workers`` (name -> ``StreamService``) and
+        ``registry`` into one aggregated view."""
+        out = cls()
+        for name in sorted(workers):
+            snapshot = ServiceMetrics.from_dict(workers[name].metrics.to_dict())
+            out.services[name] = snapshot
+            out.total.merge(snapshot)
+        for tenant in registry.tenants():
+            record = registry.get(tenant)
+            worker = workers.get(record.service)
+            mux = worker.sampler if worker is not None else None
+            out.tenants[tenant] = {
+                "service": record.service,
+                "events_enqueued": record.events_enqueued,
+                "events_applied": (
+                    mux.events_applied_for(tenant)
+                    if mux is not None and mux.has_tenant(tenant)
+                    else 0
+                ),
+                "events_dropped": (
+                    worker.metrics.events_dropped_by.get(tenant, 0)
+                    if worker is not None
+                    else 0
+                ),
+                "rejected": dict(record.rejected),
+                "migrating": record.migrating,
+            }
+        return out
+
+    def to_dict(self) -> dict:
+        """JSON-friendly snapshot (services and tenants name-sorted)."""
+        return {
+            "services": {
+                name: metrics.to_dict()
+                for name, metrics in sorted(self.services.items())
+            },
+            "total": self.total.to_dict(),
+            "tenants": {
+                tenant: dict(row)
+                for tenant, row in sorted(self.tenants.items())
+            },
+        }
+
+    def as_dict(self) -> dict:
+        """Alias of :meth:`to_dict` (mirrors ``ServiceMetrics.as_dict``)."""
+        return self.to_dict()

@@ -1,0 +1,213 @@
+"""Live tenant rebalancing: move sampler state between running workers.
+
+Tenants move because the pool changed (``add_service`` /
+``remove_service``) or because placements drifted from the ring
+(``rebalance``).  A move ships the tenant's *portable sampler state* —
+``to_state()``, RNG continuation included — from source to destination
+worker while the rest of the cluster keeps serving.  The execution order
+is what makes it safe:
+
+1. **Gate** every moving tenant (blocking ingest suspends, non-blocking
+   rejects) and **quiesce**: wait out ingests already in flight, so every
+   event a producer was promised is admitted.
+2. **Flush + extract**: flush each source worker (the barrier now covers
+   all accepted events) and, under its snapshot lock, capture each moving
+   tenant's child state and applied count.
+3. **Install durably**: enqueue install rows on the destinations and
+   flush them — the moved state is in the destination WAL *before*
+   anything is removed.
+4. **Commit placement**: repoint the registry and persist the cluster
+   meta.
+5. **Drop sources**: enqueue drop rows on the sources and flush.
+6. **Ungate** (in ``finally``): suspended producers resume against the
+   new placement.
+
+A crash between (3) and (5) leaves the tenant on two workers; recovery's
+reconciliation resolves by the persisted placement, and whichever copy
+survives is bit-exact at its WAL frontier — the install row and the
+source's original WAL each replay to the same state, because the state
+that moved *is* the flushed source state.  No step discards events that
+ever reached a WAL, so a mid-rebalance crash loses at most the
+admitted-but-unlogged tail, exactly the single-service guarantee.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .mux import drop_op, install_op
+
+__all__ = ["TenantMove", "RebalancePlan", "plan_moves", "execute",
+           "add_service", "remove_service", "rebalance"]
+
+
+@dataclass(frozen=True)
+class TenantMove:
+    """One tenant's handoff: ``source`` worker to ``destination`` worker."""
+
+    tenant: str
+    source: str
+    destination: str
+
+
+@dataclass(frozen=True)
+class RebalancePlan:
+    """An executable set of tenant moves (grouped views for the protocol)."""
+
+    moves: tuple[TenantMove, ...]
+
+    def __len__(self) -> int:
+        return len(self.moves)
+
+    def by_source(self) -> dict[str, list[TenantMove]]:
+        """Moves grouped by source worker, source-sorted."""
+        groups: dict[str, list[TenantMove]] = {}
+        for move in self.moves:
+            groups.setdefault(move.source, []).append(move)
+        return {name: groups[name] for name in sorted(groups)}
+
+    def by_destination(self) -> dict[str, list[TenantMove]]:
+        """Moves grouped by destination worker, destination-sorted."""
+        groups: dict[str, list[TenantMove]] = {}
+        for move in self.moves:
+            groups.setdefault(move.destination, []).append(move)
+        return {name: groups[name] for name in sorted(groups)}
+
+
+def plan_moves(cluster) -> RebalancePlan:
+    """Every tenant whose ring owner differs from its current placement."""
+    moves = []
+    for tenant in cluster.registry.tenants():
+        record = cluster.registry.get(tenant)
+        target = cluster.ring.node_for(tenant)
+        if target != record.service:
+            moves.append(TenantMove(tenant, record.service, target))
+    return RebalancePlan(tuple(moves))
+
+
+async def execute(cluster, plan: RebalancePlan) -> RebalancePlan:
+    """Run the six-step handoff protocol for every move in ``plan``."""
+    if not plan.moves:
+        return plan
+    for move in plan.moves:
+        if move.source not in cluster._workers:
+            raise ValueError(f"unknown source service {move.source!r}")
+        if move.destination not in cluster._workers:
+            raise ValueError(f"unknown destination service {move.destination!r}")
+    try:
+        # (1) Gate, then drain in-flight ingests.
+        for move in plan.moves:
+            cluster._gate(move.tenant)
+        for move in plan.moves:
+            await cluster._quiesce(move.tenant)
+
+        # (2) Flush each source, extract portable state under its
+        # snapshot lock (no flush can interleave with the extraction).
+        states: dict[str, tuple[dict, int]] = {}
+        for source, group in plan.by_source().items():
+            worker = cluster._workers[source]
+            await worker.flush()
+            async with worker.snapshot():
+                mux = worker.sampler
+                for move in group:
+                    states[move.tenant] = (
+                        mux.tenant_sampler(move.tenant).to_state(),
+                        mux.events_applied_for(move.tenant),
+                    )
+
+        # (3) Install on destinations; flush makes the copies durable
+        # *before* any source forgets anything.
+        for destination, group in plan.by_destination().items():
+            worker = cluster._workers[destination]
+            await worker.ingest_many([
+                install_op(move.tenant, *states[move.tenant])
+                for move in group
+            ])
+            await worker.flush()
+
+        # (4) Commit the new placements.
+        for move in plan.moves:
+            record = cluster.registry.get(move.tenant)
+            record.service = move.destination
+            record.events_enqueued = states[move.tenant][1]
+        cluster._save_meta()
+
+        # (5) Retire the source copies.
+        for source, group in plan.by_source().items():
+            worker = cluster._workers[source]
+            await worker.ingest_many(
+                [drop_op(move.tenant) for move in group]
+            )
+            await worker.flush()
+    finally:
+        # (6) Reopen the gates whatever happened; a failed handoff left
+        # either the old or the new placement fully intact.
+        for move in plan.moves:
+            cluster._ungate(move.tenant)
+    return plan
+
+
+async def rebalance(cluster) -> RebalancePlan:
+    """Converge placements back onto the ring (after drift or churn)."""
+    cluster._check_started()
+    return await execute(cluster, plan_moves(cluster))
+
+
+async def add_service(cluster, name: str | None = None) -> str:
+    """Grow the pool by one started worker and migrate its ring share in.
+
+    Consistent hashing keeps the move set to roughly ``tenants / n``:
+    only tenants whose ring owner *becomes* the new worker relocate.
+    """
+    cluster._check_started()
+    if name is None:
+        # Skip live workers AND on-disk tombstones of retired ones — a
+        # removed worker's directory stays behind, and a fresh service
+        # refuses to start over it.
+        taken = set(cluster._workers)
+
+        def free(candidate: str) -> bool:
+            if candidate in taken:
+                return False
+            return cluster.dir is None or not (cluster.dir / candidate).exists()
+
+        index = len(taken)
+        while not free(f"svc-{index}"):
+            index += 1
+        name = f"svc-{index}"
+    if name in cluster._workers:
+        raise ValueError(f"service {name!r} already exists")
+    worker = cluster._build_worker(name)
+    await worker.start()
+    cluster._workers[name] = worker
+    cluster.ring.add_node(name)
+    try:
+        await execute(cluster, plan_moves(cluster))
+    finally:
+        cluster._save_meta()
+    return name
+
+
+async def remove_service(cluster, name: str) -> RebalancePlan:
+    """Drain a worker's tenants to the survivors, then retire it.
+
+    The worker stops (final checkpoint, WAL closed) only after every one
+    of its tenants is durably installed elsewhere; its directory remains
+    on disk as an inert tombstone.
+    """
+    cluster._check_started()
+    if name not in cluster._workers:
+        raise ValueError(f"unknown service {name!r}")
+    if len(cluster._workers) == 1:
+        raise ValueError("cannot remove the last service")
+    cluster.ring.remove_node(name)
+    try:
+        plan = await execute(cluster, plan_moves(cluster))
+    except BaseException:
+        cluster.ring.add_node(name)
+        cluster._save_meta()
+        raise
+    worker = cluster._workers.pop(name)
+    await worker.stop()
+    cluster._save_meta()
+    return plan

@@ -7,6 +7,12 @@ trajectory.  The histogram buckets batch sizes by power of two, which is
 the useful resolution for tuning ``batch_size``/``max_latency``: a serving
 loop that mostly flushes tiny deadline-driven batches shows up immediately
 as mass in the low buckets plus a high ``flushes_deadline`` share.
+
+Instances are *mergeable*: :meth:`ServiceMetrics.merge` folds another
+snapshot into this one (counters and histograms sum, gauges accumulate
+conservatively), which is how the cluster layer
+(:mod:`repro.serve.cluster`) aggregates a worker pool into one
+cluster-wide view without re-deriving any counter.
 """
 
 from __future__ import annotations
@@ -14,6 +20,10 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 __all__ = ["ServiceMetrics"]
+
+#: Drop label used when the non-blocking ingest path is not told whom the
+#: dropped events belonged to (plain single-tenant services).
+UNLABELED_DROP = "_unlabeled"
 
 
 @dataclass
@@ -25,7 +35,10 @@ class ServiceMetrics:
     ingestion; at rest (after ``flush()``/``stop()``) all three agree.
     ``events_dropped`` counts events refused by the non-blocking
     ``try_ingest`` path when the buffer was full — the blocking path
-    never drops, it backpressures.
+    never drops, it backpressures.  Drops are additionally attributed to
+    a label (the tenant, for cluster workers) in ``events_dropped_by``,
+    so backpressure drops remain distinguishable per tenant from
+    quota rejections counted upstream by the tenant registry.
     """
 
     events_enqueued: int = 0
@@ -44,8 +57,12 @@ class ServiceMetrics:
     queue_depth: int = 0
     queue_high_watermark: int = 0
     #: Batch-size histogram: bucket ``2**i`` counts flushes of size in
-    #: ``(2**(i-1), 2**i]``.
+    #: ``(2**(i-1), 2**i]`` (see :meth:`batch_size_histogram` for the
+    #: labeled rendering).
     batch_size_buckets: dict[int, int] = field(default_factory=dict)
+    #: Per-label drop attribution for the ``try_ingest`` path (labels are
+    #: tenants under the cluster layer; :data:`UNLABELED_DROP` otherwise).
+    events_dropped_by: dict[str, int] = field(default_factory=dict)
     checkpoints_written: int = 0
     #: Stream offset of the newest checkpoint (0 before the first).
     last_checkpoint_offset: int = 0
@@ -62,6 +79,17 @@ class ServiceMetrics:
             self.batch_size_buckets.get(bucket, 0) + 1
         )
 
+    def record_drop(self, n: int, label: str | None = None) -> None:
+        """Account ``n`` events dropped by the non-blocking ingest path.
+
+        ``label`` attributes the drop (the tenant, for cluster workers);
+        drops without a label land under :data:`UNLABELED_DROP` so the
+        total always equals the sum over labels.
+        """
+        self.events_dropped += n
+        label = label if label else UNLABELED_DROP
+        self.events_dropped_by[label] = self.events_dropped_by.get(label, 0) + n
+
     def record_depth(self, depth: int) -> None:
         """Track the buffered-event gauge and its high-water mark."""
         self.queue_depth = depth
@@ -73,6 +101,59 @@ class ServiceMetrics:
         """Events applied since the newest checkpoint (replay-on-crash
         cost, in events)."""
         return self.events_applied - self.last_checkpoint_offset
+
+    def batch_size_histogram(self) -> list[dict]:
+        """The pow2 histogram with real bucket bounds, smallest first.
+
+        Each row carries the half-open bucket interval the raw
+        ``batch_size_buckets`` key only implies: ``{"gt": 2**(i-1),
+        "le": 2**i, "label": "(2**(i-1), 2**i]", "count": c}`` (the
+        ``2**0`` bucket covers exactly size-1 batches and is labeled
+        ``"[1, 1]"``).  This is what dashboards and the cluster
+        aggregation render, instead of bare upper-bound keys.
+        """
+        rows = []
+        for upper, count in sorted(self.batch_size_buckets.items()):
+            lower = 0 if upper == 1 else upper // 2
+            label = "[1, 1]" if upper == 1 else f"({lower}, {upper}]"
+            rows.append(
+                {"gt": lower, "le": upper, "label": label, "count": count}
+            )
+        return rows
+
+    def merge(self, other: "ServiceMetrics") -> "ServiceMetrics":
+        """Fold ``other``'s counters into this instance (returns ``self``).
+
+        Counters and histograms sum label-wise.  Gauges accumulate
+        conservatively: ``queue_depth`` sums (total buffered events
+        across the merged services) and ``queue_high_watermark`` sums,
+        which upper-bounds the never-observed joint high-water mark.
+        ``last_checkpoint_offset`` sums so the derived
+        :attr:`checkpoint_lag` stays the total replay-on-crash cost.
+        """
+        self.events_enqueued += other.events_enqueued
+        self.events_dropped += other.events_dropped
+        self.events_logged += other.events_logged
+        self.events_applied += other.events_applied
+        self.batches_applied += other.batches_applied
+        self.flushes_size += other.flushes_size
+        self.flushes_deadline += other.flushes_deadline
+        self.flushes_drain += other.flushes_drain
+        self.queue_depth += other.queue_depth
+        self.queue_high_watermark += other.queue_high_watermark
+        self.checkpoints_written += other.checkpoints_written
+        self.last_checkpoint_offset += other.last_checkpoint_offset
+        self.wal_records += other.wal_records
+        self.wal_bytes += other.wal_bytes
+        for bucket, count in other.batch_size_buckets.items():
+            self.batch_size_buckets[bucket] = (
+                self.batch_size_buckets.get(bucket, 0) + count
+            )
+        for label, count in other.events_dropped_by.items():
+            self.events_dropped_by[label] = (
+                self.events_dropped_by.get(label, 0) + count
+            )
+        return self
 
     @classmethod
     def from_dict(cls, snapshot: dict) -> "ServiceMetrics":
@@ -93,6 +174,7 @@ class ServiceMetrics:
             wal_records=int(snapshot.get("wal_records", 0)),
             wal_bytes=int(snapshot.get("wal_bytes", 0)),
         )
+        metrics.queue_depth = int(snapshot.get("queue_depth", 0))
         flushes = snapshot.get("flushes", {})
         metrics.flushes_size = int(flushes.get("size", 0))
         metrics.flushes_deadline = int(flushes.get("deadline", 0))
@@ -101,13 +183,23 @@ class ServiceMetrics:
             int(bucket): int(count)
             for bucket, count in snapshot.get("batch_size_buckets", {}).items()
         }
+        metrics.events_dropped_by = {
+            str(label): int(count)
+            for label, count in snapshot.get("events_dropped_by", {}).items()
+        }
         return metrics
 
     def to_dict(self) -> dict:
-        """JSON-friendly snapshot (histogram keyed by bucket strings)."""
+        """JSON-friendly snapshot.
+
+        The raw pow2 histogram stays under ``batch_size_buckets`` (keyed
+        by upper-bound strings, the round-trip form) and the labeled
+        rendering rides along under ``batch_size_histogram``.
+        """
         return {
             "events_enqueued": self.events_enqueued,
             "events_dropped": self.events_dropped,
+            "events_dropped_by": dict(sorted(self.events_dropped_by.items())),
             "events_logged": self.events_logged,
             "events_applied": self.events_applied,
             "batches_applied": self.batches_applied,
@@ -121,9 +213,14 @@ class ServiceMetrics:
             "batch_size_buckets": {
                 str(k): v for k, v in sorted(self.batch_size_buckets.items())
             },
+            "batch_size_histogram": self.batch_size_histogram(),
             "checkpoints_written": self.checkpoints_written,
             "last_checkpoint_offset": self.last_checkpoint_offset,
             "checkpoint_lag": self.checkpoint_lag,
             "wal_records": self.wal_records,
             "wal_bytes": self.wal_bytes,
         }
+
+    def as_dict(self) -> dict:
+        """Alias of :meth:`to_dict` (the cluster aggregation entry point)."""
+        return self.to_dict()

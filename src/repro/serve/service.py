@@ -262,6 +262,17 @@ class StreamService:
         return self._sampler.sampler_name or type(self._sampler).__name__
 
     @property
+    def sampler(self) -> StreamSampler:
+        """The live wrapped sampler (read-only access).
+
+        Mutate only through ingestion.  For consistent reads hold a
+        :meth:`snapshot` block while touching it — the cluster layer
+        reads tenant-scoped children this way; bare reads between
+        flushes are unsynchronized.
+        """
+        return self._sampler
+
+    @property
     def events_enqueued(self) -> int:
         """Events admitted into the buffer since construction/recovery."""
         return self._enqueued
@@ -445,19 +456,23 @@ class StreamService:
                 self._admit(sub)
 
     def try_ingest(self, key, weight: float = 1.0, *, value=None,
-                   time=None) -> bool:
+                   time=None, label: str | None = None) -> bool:
         """Non-blocking scalar admit; drops (and counts) when full."""
         return self.try_ingest_many(
             [key],
             weights=None if weight == 1.0 else [weight],
             values=None if value is None else [value],
             times=None if time is None else [time],
+            label=label,
         )
 
     def try_ingest_many(self, keys, weights=None, values=None,
-                        times=None) -> bool:
+                        times=None, label: str | None = None) -> bool:
         """Non-blocking batch admit: all-or-nothing, dropped events are
-        counted in ``metrics.events_dropped``.
+        counted in ``metrics.events_dropped`` and attributed to ``label``
+        in ``metrics.events_dropped_by`` (the tenant, when a cluster
+        worker drops; unlabeled otherwise) — so per-tenant backpressure
+        drops stay distinguishable from quota rejections.
 
         Synchronous — call it from the event-loop thread (e.g. inside a
         protocol callback); it never suspends.
@@ -467,7 +482,7 @@ class StreamService:
         if chunk["n"] == 0:
             return True
         if self._buffered + chunk["n"] > self.queue_size:
-            self.metrics.events_dropped += chunk["n"]
+            self.metrics.record_drop(chunk["n"], label)
             return False
         self._admit(chunk)
         return True

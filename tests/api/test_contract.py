@@ -132,6 +132,17 @@ def _stratified_feed_many(sampler, keys, weights):
     )
 
 
+def _mux_feed(sampler, keys, weights):
+    # Composite (tenant, key) rows, interleaved across three tenants.
+    for key, w in zip(keys, weights):
+        sampler.update((f"t{int(key) % 3}", int(key)), float(w))
+
+
+def _mux_feed_many(sampler, keys, weights):
+    rows = [(f"t{int(key) % 3}", int(key)) for key in keys]
+    sampler.update_many(rows, weights)
+
+
 def _multi_objective_feed(sampler, keys, weights):
     for key, w in zip(keys, weights):
         sampler.update(int(key), weights={"a": float(w), "b": 1.0 + float(w)})
@@ -178,6 +189,14 @@ CASES = [
          _unweighted_feed_many, resume_identical=False),
     Case("unbiased_space_saving", {"capacity": 32}, _unweighted_feed,
          _unweighted_feed_many, resume_identical=False),
+    # The cluster-worker multiplexer: independent per-tenant children fed
+    # through composite (tenant, key) rows.
+    Case("tenant_mux",
+         {"tenants": {
+             f"t{i}": {"name": "bottom_k", "params": {"k": 16, "rng": 40 + i}}
+             for i in range(3)
+         }},
+         _mux_feed, _mux_feed_many),
     # The sharded engine is itself a registered, composable sampler.
     Case("sharded",
          {"spec": {"name": "bottom_k", "params": {"k": 32}},

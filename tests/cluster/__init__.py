@@ -1,0 +1,1 @@
+"""Multi-tenant serving-cluster test battery (tests/cluster/)."""

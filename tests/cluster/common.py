@@ -1,0 +1,43 @@
+"""Shared machinery for the cluster test battery.
+
+Mirrors ``tests/serve/common.py``: async bodies run under a hard
+deadline via :func:`run_async`, and bit-exactness goes through the
+shared :func:`sample_signature` — here usually applied to one tenant's
+child sampler, or via :func:`sig_of` to a raw ``Sample``.
+"""
+
+from __future__ import annotations
+
+import types
+
+import numpy as np
+
+from tests.serve.common import ASYNC_DEADLINE, run_async, signature  # noqa: F401
+from tests.helpers import sample_signature
+
+
+def sig_of(sample) -> tuple:
+    """Bit-exactness signature of a raw :class:`~repro.core.Sample`."""
+    shim = types.SimpleNamespace(sample=lambda: sample)
+    return sample_signature(shim)
+
+
+def tenant_spec(i: int, k: int = 16) -> dict:
+    """A seeded per-tenant sampler spec (determinism for control replays)."""
+    return {"name": "bottom_k", "params": {"k": k, "rng": 1000 + i}}
+
+
+def tenant_stream(i: int, n: int = 400) -> np.ndarray:
+    """A deterministic key stream unique to tenant ``i``."""
+    return np.random.default_rng(5000 + i).integers(0, 5000, size=n)
+
+
+def control_signature(i: int, *streams, k: int = 16) -> tuple:
+    """Signature of a fresh control sampler fed ``streams`` in order."""
+    import repro
+
+    sampler = repro.SamplerSpec.from_dict(tenant_spec(i, k)).build()
+    for keys in streams:
+        if len(keys):
+            sampler.update_many(keys)
+    return sample_signature(sampler)

@@ -1,0 +1,282 @@
+"""The frame protocol front end: verbs, error replies, framing edges."""
+
+from __future__ import annotations
+
+import asyncio
+import contextlib
+import json
+import struct
+
+import pytest
+
+from repro.serve.cluster import (
+    Cluster,
+    ClusterClient,
+    ClusterFrontend,
+    FrameError,
+    TenantQuota,
+)
+from repro.serve.cluster.frontend import MAX_FRAME
+from tests.cluster.common import (
+    control_signature,
+    run_async,
+    tenant_spec,
+    tenant_stream,
+)
+
+
+@contextlib.asynccontextmanager
+async def served(n_services: int = 2, **cluster_kwargs):
+    async with Cluster(services=n_services, **cluster_kwargs) as cluster:
+        async with ClusterFrontend(cluster) as frontend:
+            client = await ClusterClient.connect(*frontend.address)
+            try:
+                yield cluster, client
+            finally:
+                await client.aclose()
+
+
+class TestVerbs:
+    def test_ingest_estimate_query_sample_round_trip(self):
+        async def body():
+            async with served() as (cluster, client):
+                await client.create_tenant("acme", tenant_spec(0))
+                keys = tenant_stream(0, 300)
+                reply = await client.ingest_many("acme", keys.tolist())
+                assert reply == {"ok": True, "admitted": True, "n": 300}
+                await client.admin("flush")
+
+                estimate = await client.estimate("acme", "total")
+                assert 0 < estimate["estimate"] < 5 * 300
+
+                query = await client.query("acme", "count", ci=0.95)
+                assert query["aggregate"] == "count"
+                assert len(query["ci"]) == 2
+                assert query["ci"][0] <= query["estimate"] <= query["ci"][1]
+                assert query["sample_size"] > 0
+
+                sample = await client.sample("acme")
+                assert sample["n"] == len(sample["keys"]) > 0
+                assert len(sample["weights"]) == sample["n"]
+                # The wire sample is the same retained set the in-process
+                # read returns (keys stringify over JSON).
+                local = await cluster.sample("acme")
+                assert sorted(map(str, sample["keys"])) == \
+                    sorted(str(k) for k in local.keys)
+
+        run_async(body())
+
+    def test_wire_state_matches_inprocess_control(self):
+        async def body():
+            async with served() as (cluster, client):
+                await client.create_tenant("acme", tenant_spec(3))
+                keys = tenant_stream(3, 400)
+                for lo in range(0, 400, 80):
+                    await client.ingest_many(
+                        "acme", keys[lo:lo + 80].tolist()
+                    )
+                await client.admin("flush")
+                from tests.cluster.common import sig_of
+                assert sig_of(await cluster.sample("acme")) == \
+                    control_signature(3, keys)
+
+        run_async(body())
+
+    def test_scalar_ingest_blocking_and_quota_paths(self):
+        async def body():
+            clock = lambda: 0.0  # frozen: the bucket never refills
+            async with served(clock=clock) as (cluster, client):
+                await client.create_tenant(
+                    "tiny", tenant_spec(0),
+                    quota=TenantQuota(
+                        events_per_sec=100.0, burst=3.0
+                    ).to_dict(),
+                )
+                for key in (1, 2, 3):
+                    reply = await client.ingest("tiny", key)
+                    assert reply["admitted"]
+                assert not (await client.ingest("tiny", 4))["admitted"]
+                # The blocking path admits instead of rejecting.
+                reply = await client.ingest("tiny", 4, block=True)
+                assert reply["admitted"]
+                record = cluster.registry.get("tiny")
+                assert record.rejected["rate"] == 1
+                assert record.events_enqueued == 4
+
+        run_async(body())
+
+    def test_weighted_ingest_carries_columns(self):
+        async def body():
+            async with served() as (cluster, client):
+                await client.create_tenant("w", tenant_spec(0))
+                await client.ingest_many(
+                    "w", [10, 11, 12], weights=[1.0, 2.0, 3.0]
+                )
+                await client.admin("flush")
+                estimate = await client.estimate("w", "total")
+                assert estimate["estimate"] == pytest.approx(6.0)
+
+        run_async(body())
+
+    def test_admin_lifecycle_and_pool_ops(self):
+        async def body():
+            async with served() as (cluster, client):
+                await client.create_tenant("a", tenant_spec(0))
+                await client.create_tenant("b", tenant_spec(1))
+                assert (await client.admin("tenants"))["tenants"] == ["a", "b"]
+
+                described = await client.admin(
+                    "describe_tenant", tenant="a"
+                )
+                assert described["description"]["spec"]["name"] == "bottom_k"
+
+                metrics = (await client.admin("metrics"))["metrics"]
+                assert set(metrics["tenants"]) == {"a", "b"}
+                assert set(metrics["services"]) == set(cluster.services)
+
+                grown = await client.admin("add_service")
+                assert grown["service"] == "svc-2"
+                assert len(grown["services"]) == 3
+
+                moved = (await client.admin("rebalance"))["moved"]
+                assert moved == []  # add_service already converged
+
+                shrunk = await client.admin(
+                    "remove_service", name="svc-2"
+                )
+                assert "svc-2" not in shrunk["services"]
+
+                await client.admin("drop_tenant", tenant="b")
+                assert (await client.admin("tenants"))["tenants"] == ["a"]
+
+        run_async(body())
+
+    def test_pipelined_requests_answer_in_order(self):
+        async def body():
+            async with served() as (cluster, client):
+                await client.create_tenant("p", tenant_spec(0))
+                from repro.serve.cluster.frontend import (
+                    read_frame,
+                    write_frame,
+                )
+                for key in range(5):
+                    write_frame(client._writer, {
+                        "verb": "ingest", "tenant": "p", "key": key,
+                        "block": True,
+                    })
+                await client._writer.drain()
+                for _ in range(5):
+                    reply = await read_frame(client._reader)
+                    assert reply == {"ok": True, "admitted": True}
+
+        run_async(body())
+
+
+class TestErrors:
+    def test_application_errors_become_error_replies(self):
+        async def body():
+            async with served() as (cluster, client):
+                with pytest.raises(RuntimeError, match="unknown tenant"):
+                    await client.estimate("ghost")
+                with pytest.raises(RuntimeError, match="ValueError"):
+                    await client.admin("explode")
+                with pytest.raises(RuntimeError, match="unknown verb"):
+                    await client.call({"verb": "nope"})
+                with pytest.raises(RuntimeError, match="unknown verb"):
+                    await client.call({})
+                # Handler internals are not reachable as verbs.
+                with pytest.raises(RuntimeError, match="unknown verb"):
+                    await client.call({"verb": "_dispatch"})
+                # The connection survives every one of those.
+                await client.create_tenant("ok", tenant_spec(0))
+                assert (await client.admin("tenants"))["tenants"] == ["ok"]
+
+        run_async(body())
+
+    def test_bad_json_frame_gets_error_reply_then_close(self):
+        async def body():
+            async with Cluster(services=1) as cluster:
+                async with ClusterFrontend(cluster) as frontend:
+                    reader, writer = await asyncio.open_connection(
+                        *frontend.address
+                    )
+                    body_bytes = b"this is not json"
+                    writer.write(
+                        struct.pack(">I", len(body_bytes)) + body_bytes
+                    )
+                    await writer.drain()
+                    header = await reader.readexactly(4)
+                    (length,) = struct.unpack(">I", header)
+                    reply = json.loads(await reader.readexactly(length))
+                    assert reply["ok"] is False
+                    assert reply["error_type"] == "FrameError"
+                    assert await reader.read() == b""  # server closed
+                    writer.close()
+
+        run_async(body())
+
+    def test_oversized_frame_is_refused(self):
+        async def body():
+            async with Cluster(services=1) as cluster:
+                async with ClusterFrontend(cluster) as frontend:
+                    reader, writer = await asyncio.open_connection(
+                        *frontend.address
+                    )
+                    writer.write(struct.pack(">I", MAX_FRAME + 1))
+                    await writer.drain()
+                    header = await reader.readexactly(4)
+                    (length,) = struct.unpack(">I", header)
+                    reply = json.loads(await reader.readexactly(length))
+                    assert reply["ok"] is False
+                    assert "MAX_FRAME" in reply["error"]
+                    writer.close()
+
+        run_async(body())
+
+    def test_non_object_frame_is_refused(self):
+        async def body():
+            async with Cluster(services=1) as cluster:
+                async with ClusterFrontend(cluster) as frontend:
+                    reader, writer = await asyncio.open_connection(
+                        *frontend.address
+                    )
+                    body_bytes = json.dumps([1, 2, 3]).encode()
+                    writer.write(
+                        struct.pack(">I", len(body_bytes)) + body_bytes
+                    )
+                    await writer.drain()
+                    header = await reader.readexactly(4)
+                    (length,) = struct.unpack(">I", header)
+                    reply = json.loads(await reader.readexactly(length))
+                    assert reply["ok"] is False
+                    assert "JSON object" in reply["error"]
+                    writer.close()
+
+        run_async(body())
+
+    def test_client_surfaces_a_dead_server(self):
+        async def body():
+            async with Cluster(services=1) as cluster:
+                frontend = ClusterFrontend(cluster)
+                await frontend.start()
+                client = await ClusterClient.connect(*frontend.address)
+                await frontend.stop()
+                with pytest.raises(RuntimeError, match="not started"):
+                    frontend.address
+                await client.aclose()
+
+        run_async(body())
+
+    def test_lifecycle_guards(self):
+        async def body():
+            async with Cluster(services=1) as cluster:
+                frontend = ClusterFrontend(cluster)
+                with pytest.raises(RuntimeError, match="not started"):
+                    frontend.address
+                await frontend.start()
+                with pytest.raises(RuntimeError, match="already started"):
+                    await frontend.start()
+                await frontend.stop()
+                await frontend.stop()  # idempotent
+
+        run_async(body())

@@ -1,0 +1,207 @@
+"""The tenant multiplexer sampler: grouping, admin rows, portability."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+import repro
+from repro.serve.cluster.mux import (
+    ADMIN_KEY,
+    TenantMuxSampler,
+    compose_rows,
+    create_op,
+    drop_op,
+    install_op,
+)
+from tests.cluster.common import control_signature, tenant_spec, tenant_stream
+from tests.helpers import sample_signature
+
+
+def _mux(n_tenants: int = 3) -> TenantMuxSampler:
+    return TenantMuxSampler(
+        {f"t{i}": tenant_spec(i) for i in range(n_tenants)}
+    )
+
+
+def _interleaved(n_tenants: int = 3, n: int = 300) -> list[tuple]:
+    """Row-interleaved composite stream over ``n_tenants`` tenant streams."""
+    streams = {
+        f"t{i}": tenant_stream(i, n).tolist() for i in range(n_tenants)
+    }
+    rows = []
+    for at in range(n):
+        for tenant in streams:
+            rows.append((tenant, streams[tenant][at]))
+    return rows
+
+
+class TestGrouping:
+    def test_batch_matches_scalar_routing(self):
+        rows = _interleaved()
+        batch, scalar = _mux(), _mux()
+        batch.update_many(rows)
+        for tenant, key in rows:
+            scalar.update((tenant, key))
+        for tenant in batch.tenants():
+            assert sample_signature(batch.tenant_sampler(tenant)) == \
+                sample_signature(scalar.tenant_sampler(tenant))
+
+    @pytest.mark.parametrize("chunk", [1, 7, 1000])
+    def test_chunking_invariance_per_tenant(self, chunk):
+        rows = _interleaved()
+        whole, split = _mux(), _mux()
+        whole.update_many(rows)
+        for lo in range(0, len(rows), chunk):
+            split.update_many(rows[lo:lo + chunk])
+        for tenant in whole.tenants():
+            assert sample_signature(whole.tenant_sampler(tenant)) == \
+                sample_signature(split.tenant_sampler(tenant))
+
+    def test_each_tenant_matches_an_isolated_control(self):
+        mux = _mux()
+        mux.update_many(_interleaved())
+        for i in range(3):
+            assert sample_signature(mux.tenant_sampler(f"t{i}")) == \
+                control_signature(i, tenant_stream(i, 300))
+
+    def test_optional_columns_slice_per_tenant(self):
+        rows = _interleaved(2, 100)
+        weights = np.random.default_rng(3).lognormal(0.0, 0.5, len(rows))
+        mux = _mux(2)
+        mux.update_many(rows, weights)
+        controls = {t: repro.SamplerSpec.from_dict(tenant_spec(int(t[1]))).build()
+                    for t in ("t0", "t1")}
+        for (tenant, key), w in zip(rows, weights):
+            controls[tenant].update(key, float(w))
+        for tenant, control in controls.items():
+            assert sample_signature(mux.tenant_sampler(tenant)) == \
+                sample_signature(control)
+
+    def test_applied_counters_track_data_rows_only(self):
+        mux = TenantMuxSampler()
+        mux.update_many([create_op("a", tenant_spec(0))])
+        mux.update_many(compose_rows("a", [1, 2, 3]))
+        mux.update((ADMIN_KEY, {"op": "create", "tenant": "b",
+                                "spec": tenant_spec(1)}))
+        mux.update(("a", 4))
+        assert mux.events_applied_for("a") == 4
+        assert mux.events_applied_for("b") == 0
+        assert mux.applied_counts == {"a": 4, "b": 0}
+
+    def test_unknown_tenant_rows_raise(self):
+        mux = _mux(1)
+        with pytest.raises(KeyError, match="unknown tenant"):
+            mux.update(("ghost", 1))
+        with pytest.raises(KeyError, match="unknown tenant"):
+            mux.update_many([("ghost", 1)])
+
+
+class TestAdminRows:
+    def test_create_then_data_in_one_batch(self):
+        mux = TenantMuxSampler()
+        keys = tenant_stream(0, 200)
+        mux.update_many(
+            [create_op("t0", tenant_spec(0))] + compose_rows("t0", keys)
+        )
+        assert sample_signature(mux.tenant_sampler("t0")) == \
+            control_signature(0, keys)
+
+    def test_admin_row_orders_against_its_own_tenant(self):
+        """Data before a drop applies; data after a (re)create applies to
+        the fresh sampler — position in the batch is what counts."""
+        keys = tenant_stream(0, 100)
+        mux = TenantMuxSampler()
+        mux.update_many(
+            [create_op("t0", tenant_spec(0))]
+            + compose_rows("t0", keys)
+            + [drop_op("t0"), create_op("t0", tenant_spec(0))]
+            + compose_rows("t0", keys[:10])
+        )
+        assert sample_signature(mux.tenant_sampler("t0")) == \
+            control_signature(0, keys[:10])
+        assert mux.events_applied_for("t0") == 10
+
+    def test_install_continues_state_bit_exactly(self):
+        keys = tenant_stream(0, 400)
+        donor = TenantMuxSampler({"t0": tenant_spec(0)})
+        donor.update_many(compose_rows("t0", keys[:250]))
+        state = donor.tenant_sampler("t0").to_state()
+
+        receiver = TenantMuxSampler()
+        receiver.update_many([
+            install_op("t0", state, donor.events_applied_for("t0"))
+        ])
+        assert receiver.events_applied_for("t0") == 250
+        receiver.update_many(compose_rows("t0", keys[250:]))
+        assert sample_signature(receiver.tenant_sampler("t0")) == \
+            control_signature(0, keys)
+
+    def test_duplicate_create_and_install_raise(self):
+        mux = _mux(1)
+        with pytest.raises(ValueError, match="already exists"):
+            mux.update_many([create_op("t0", tenant_spec(0))])
+        state = mux.tenant_sampler("t0").to_state()
+        with pytest.raises(ValueError, match="cannot install over"):
+            mux.update_many([install_op("t0", state)])
+
+    def test_drop_unknown_and_bad_ops_raise(self):
+        mux = TenantMuxSampler()
+        with pytest.raises(KeyError, match="unknown tenant"):
+            mux.update_many([drop_op("ghost")])
+        with pytest.raises(ValueError, match="unknown tenant admin op"):
+            mux.update((ADMIN_KEY, {"op": "explode"}))
+
+    def test_reserved_tenant_ids_rejected(self):
+        mux = TenantMuxSampler()
+        with pytest.raises(ValueError, match="reserved"):
+            mux.update_many([create_op("__shadow", tenant_spec(0))])
+
+
+class TestStateAndReads:
+    def test_state_round_trip_is_bit_exact(self):
+        mux = _mux()
+        mux.update_many(_interleaved())
+        revived = repro.sampler_from_state(mux.to_state())
+        assert isinstance(revived, TenantMuxSampler)
+        assert revived.tenants() == mux.tenants()
+        for tenant in mux.tenants():
+            assert sample_signature(revived.tenant_sampler(tenant)) == \
+                sample_signature(mux.tenant_sampler(tenant))
+            assert revived.events_applied_for(tenant) == \
+                mux.events_applied_for(tenant)
+
+    def test_sample_concatenates_with_composite_keys(self):
+        mux = _mux(2)
+        mux.update_many(_interleaved(2, 100))
+        sample = mux.sample()
+        assert len(sample.keys) > 0
+        tenants = {tenant for tenant, _ in sample.keys}
+        assert tenants == {"t0", "t1"}
+        assert len(sample.weights) == len(sample.keys)
+
+    def test_empty_mux_sample_is_empty(self):
+        assert len(TenantMuxSampler().sample().keys) == 0
+
+    def test_estimate_total_sums_and_scopes(self):
+        mux = _mux(2)
+        mux.update_many(_interleaved(2, 200))
+        per_tenant = [
+            mux.estimate_total(tenant=t) for t in ("t0", "t1")
+        ]
+        assert mux.estimate_total() == pytest.approx(sum(per_tenant))
+        assert mux.estimate() == pytest.approx(sum(per_tenant))
+
+    def test_spec_accessors(self):
+        mux = _mux(1)
+        assert mux.tenant_spec("t0").name == "bottom_k"
+        assert mux.has_tenant("t0") and not mux.has_tenant("nope")
+        with pytest.raises(KeyError):
+            mux.tenant_spec("nope")
+        with pytest.raises(KeyError):
+            mux.events_applied_for("nope")
+
+    def test_not_mergeable(self):
+        assert TenantMuxSampler.mergeable is False
+        with pytest.raises(ValueError, match="not mergeable"):
+            repro.ShardedSampler("tenant_mux", n_shards=2)

@@ -1,0 +1,103 @@
+"""Consistent-hash ring: determinism, balance, and minimal movement."""
+
+from __future__ import annotations
+
+import collections
+
+import pytest
+
+from repro.serve.cluster import HashRing
+
+NODES = ["svc-0", "svc-1", "svc-2", "svc-3"]
+TENANTS = [f"tenant-{i}" for i in range(4000)]
+
+
+def test_placement_is_deterministic_across_instances():
+    a = HashRing(NODES, replicas=64, salt=7)
+    b = HashRing(reversed(NODES), replicas=64, salt=7)
+    assert [a.node_for(t) for t in TENANTS] == [b.node_for(t) for t in TENANTS]
+
+
+def test_salt_changes_placement():
+    a = HashRing(NODES, salt=0)
+    b = HashRing(NODES, salt=1)
+    moved = sum(a.node_for(t) != b.node_for(t) for t in TENANTS)
+    assert moved > len(TENANTS) // 2
+
+
+def test_load_split_is_roughly_balanced():
+    ring = HashRing(NODES, replicas=256)
+    counts = collections.Counter(ring.node_for(t) for t in TENANTS)
+    assert set(counts) == set(NODES)
+    share = len(TENANTS) / len(NODES)
+    for node, count in counts.items():
+        # 256 vnodes concentrate shares around 1/n at ~1/sqrt(replicas)
+        # relative spread; 2.5x is a loose, non-flaky envelope.
+        assert share / 2.5 < count < share * 2.5, (node, count)
+
+
+def test_adding_a_node_moves_only_its_share():
+    before = HashRing(NODES, replicas=128)
+    after = before.copy()
+    after.add_node("svc-4")
+    moved = [t for t in TENANTS if before.node_for(t) != after.node_for(t)]
+    # Every moved tenant moves TO the new node, never between old nodes.
+    assert all(after.node_for(t) == "svc-4" for t in moved)
+    assert 0 < len(moved) < len(TENANTS) / 2
+
+
+def test_removing_a_node_strands_nothing():
+    before = HashRing(NODES, replicas=128)
+    after = before.copy()
+    after.remove_node("svc-2")
+    for tenant in TENANTS[:500]:
+        owner = before.node_for(tenant)
+        if owner != "svc-2":
+            # Survivors keep their tenants: only svc-2's share moves.
+            assert after.node_for(tenant) == owner
+        else:
+            assert after.node_for(tenant) in after.nodes
+
+
+def test_add_remove_round_trip_restores_placement():
+    ring = HashRing(NODES, replicas=64)
+    original = [ring.node_for(t) for t in TENANTS[:500]]
+    ring.add_node("svc-9")
+    ring.remove_node("svc-9")
+    assert [ring.node_for(t) for t in TENANTS[:500]] == original
+
+
+def test_assignments_partition_the_keys():
+    ring = HashRing(NODES)
+    groups = ring.assignments(TENANTS[:100])
+    assert sorted(key for keys in groups.values() for key in keys) == sorted(
+        TENANTS[:100]
+    )
+    for node, keys in groups.items():
+        assert all(ring.node_for(key) == node for key in keys)
+
+
+def test_dict_round_trip():
+    ring = HashRing(NODES, replicas=32, salt=5)
+    revived = HashRing.from_dict(ring.to_dict())
+    assert revived.nodes == ring.nodes
+    assert revived.replicas == 32 and revived.salt == 5
+    assert [revived.node_for(t) for t in TENANTS[:200]] == [
+        ring.node_for(t) for t in TENANTS[:200]
+    ]
+
+
+def test_membership_introspection_and_errors():
+    ring = HashRing(["a"])
+    assert len(ring) == 1 and "a" in ring
+    with pytest.raises(ValueError, match="already on the ring"):
+        ring.add_node("a")
+    with pytest.raises(ValueError, match="non-empty string"):
+        ring.add_node("")
+    with pytest.raises(ValueError, match="not on the ring"):
+        ring.remove_node("b")
+    ring.remove_node("a")
+    with pytest.raises(ValueError, match="no nodes"):
+        ring.node_for("tenant")
+    with pytest.raises(ValueError, match="replicas"):
+        HashRing(replicas=0)

@@ -80,6 +80,10 @@ def _feed_multiweight(s):
     s.update_many(unique, weights={"a": cols, "b": 1.0 + cols})
 
 
+def _feed_mux(s):
+    s.update_many([("t0", int(k)) for k in W["keys"]], W["weights"])
+
+
 @dataclass
 class QueryCase:
     """One sampler configuration driven through every aggregate."""
@@ -154,6 +158,17 @@ CASES = [
         "sharded",
         lambda: ShardedSampler({"name": "bottom_k", "params": {"k": 64}}, n_shards=4),
         _feed_weighted,
+    ),
+    # The mux is in-protocol but answers no aggregates itself: every entry
+    # is a tenant-scoped gap reason, so this case only exercises the
+    # refusal path (queries run against the per-tenant child samplers).
+    QueryCase(
+        "tenant_mux",
+        lambda: make_sampler(
+            "tenant_mux",
+            tenants={"t0": {"name": "bottom_k", "params": {"k": 64, "rng": 0}}},
+        ),
+        _feed_mux,
     ),
 ]
 

@@ -356,6 +356,8 @@ EXCLUDED = {
     "priority_layout": "offline layout table (no streaming estimate facade)",
     "multi_objective_layout": "offline layout (no streaming estimate facade)",
     "sharded": "covered through the SHARDED_CASES wrappers",
+    "tenant_mux": "a routing container: estimates delegate to per-tenant "
+                  "children, whose unbiasedness is covered by their own rows",
 }
 
 

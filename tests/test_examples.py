@@ -30,7 +30,15 @@ EXPECTED_MARKERS = {
     "serve_live_dashboard.py": [
         "emea revenue",
         "top customers by estimated revenue",
+        "batch size histogram",
         "recovered state matches uninterrupted run: True",
+    ],
+    "cluster_demo.py": [
+        "acme revenue",
+        "distinct customers",
+        "moved 1 of 3 tenants",
+        "per-tenant isolation after rebalance: True",
+        "rate-rejected",
     ],
 }
 
