@@ -129,7 +129,10 @@ def batch_hash_to_unit(keys, salt: int = 0) -> np.ndarray:
     """
     try:
         arr = np.asarray(keys)
-        if np.issubdtype(arr.dtype, np.integer):
+        # 1-D only: equal-length numeric tuple keys coerce to a 2-D
+        # integer array, but each tuple is *one* key and must hash as a
+        # whole (the scalar path serializes it), not element-wise.
+        if arr.ndim == 1 and np.issubdtype(arr.dtype, np.integer):
             return hash_array_to_unit(arr, salt)
     except (TypeError, ValueError):
         pass

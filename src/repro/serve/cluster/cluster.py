@@ -422,28 +422,39 @@ class Cluster:
         runtime.
         """
         self._check_started()
-        record = self.registry.get(tenant)
+        self.registry.get(tenant)  # raise early on unknown tenants
         gate = self._migrating.get(tenant)
         if gate is not None:
             await gate.wait()
-            record = self.registry.get(tenant)  # placement may have moved
         rows = compose_rows(tenant, keys)
         if not rows:
             return
-        bucket = self.registry.bucket(tenant)
-        if bucket is not None:
-            delay = bucket.acquire_delay(len(rows))
-            if delay > 0:
-                await asyncio.sleep(delay)
-        worker = self._workers[record.service]
+        # The in-flight token must be held across *every* await that
+        # follows the gate check (the token-bucket sleep included): a
+        # rebalance/drop quiesces on this counter with the gate closed,
+        # and a producer suspended in the bucket without the token would
+        # wake after the quiesce and ingest to a stale placement — its
+        # rows either erased by the drop row or rejected as an unknown
+        # tenant.  Nothing awaits between the gate check above and this
+        # increment, so the pair is atomic on the event loop.
         self._inflight[tenant] = self._inflight.get(tenant, 0) + 1
         try:
+            bucket = self.registry.bucket(tenant)
+            if bucket is not None:
+                delay = bucket.acquire_delay(len(rows))
+                if delay > 0:
+                    await asyncio.sleep(delay)
+            # Resolve placement only now: a handoff that gated after our
+            # increment is still quiescing on us, so the record's service
+            # cannot move until this ingest completes.
+            record = self.registry.get(tenant)
+            worker = self._workers[record.service]
             await worker.ingest_many(rows, weights, values, times)
+            record.events_enqueued += len(rows)
         finally:
             self._inflight[tenant] -= 1
             if not self._inflight[tenant]:
                 del self._inflight[tenant]
-        record.events_enqueued += len(rows)
 
     def try_ingest(self, tenant: str, key, weight: float = 1.0, *,
                    value=None, time=None) -> bool:

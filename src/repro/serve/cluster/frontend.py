@@ -158,7 +158,18 @@ class ClusterFrontend:
                     break
                 if request is None:
                     break
-                write_frame(writer, await self._dispatch(request))
+                reply = await self._dispatch(request)
+                try:
+                    write_frame(writer, reply)
+                except FrameError as err:
+                    # An oversized reply (e.g. a huge sample) must answer
+                    # with an error frame, not kill the connection; the
+                    # size check runs before any bytes hit the transport,
+                    # so the stream stays frame-aligned.
+                    write_frame(writer, {
+                        "ok": False, "error": str(err),
+                        "error_type": "FrameError",
+                    })
                 await writer.drain()
         except (ConnectionError, asyncio.CancelledError):
             pass

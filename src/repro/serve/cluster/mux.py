@@ -154,12 +154,14 @@ class TenantMuxSampler(StreamSampler):
         self._applied[tenant] = 0
 
     def _admin_install(self, tenant: str, state: dict, applied: int) -> None:
-        """Install ``tenant`` from a portable sampler state (handoff)."""
+        """Install ``tenant`` from a portable sampler state (handoff).
+
+        Installing over an existing copy replaces it: the shipped state
+        is the flushed source state and therefore authoritative, which
+        makes the op idempotent when a failed handoff is retried against
+        a destination still holding an earlier, uncommitted copy.
+        """
         self._check_tenant_id(tenant)
-        if tenant in self._children:
-            raise ValueError(
-                f"tenant {tenant!r} already exists; cannot install over it"
-            )
         self._children[tenant] = sampler_from_state(state)
         self._specs[tenant] = {
             "name": state["sampler"], "params": dict(state.get("params", {}))
@@ -267,9 +269,18 @@ class TenantMuxSampler(StreamSampler):
             child = self._children.get(tenant)
             if child is None:
                 raise KeyError(f"unknown tenant {tenant!r}")
-            batch = np.asarray(sub_keys)
-            if not np.issubdtype(batch.dtype, np.number):
-                batch = sub_keys  # heterogeneous keys: keep the list form
+            try:
+                batch = np.asarray(sub_keys)
+            except ValueError:  # ragged tuple keys refuse to coerce
+                batch = sub_keys
+            # Only 1-D numeric batches take the vectorized fast path.
+            # Equal-length numeric tuple keys coerce to a 2-D numeric
+            # array that would be misread as one row per tuple *element*;
+            # the list form feeds each tuple through as a single key,
+            # matching the scalar update() path.
+            if not (isinstance(batch, np.ndarray) and batch.ndim == 1
+                    and np.issubdtype(batch.dtype, np.number)):
+                batch = sub_keys
             if has_columns:
                 at = np.asarray(idx_by.pop(tenant), dtype=np.intp)
                 child.update_many(batch, *(

@@ -33,6 +33,7 @@ admitted-but-unlogged tail, exactly the single-service guarantee.
 
 from __future__ import annotations
 
+import contextlib
 from dataclasses import dataclass
 
 from .mux import drop_op, install_op
@@ -94,6 +95,13 @@ async def execute(cluster, plan: RebalancePlan) -> RebalancePlan:
             raise ValueError(f"unknown source service {move.source!r}")
         if move.destination not in cluster._workers:
             raise ValueError(f"unknown destination service {move.destination!r}")
+    #: Destination copies enqueued but not yet committed (step 4).  A
+    #: failure before commit must roll these back: the registry still
+    #: points at the sources, so a retry would re-plan the same moves and
+    #: install over the leftover copies.
+    installed: dict[str, list[TenantMove]] = {}
+    states: dict[str, tuple[dict, int]] = {}
+    committed = False
     try:
         # (1) Gate, then drain in-flight ingests.
         for move in plan.moves:
@@ -103,7 +111,6 @@ async def execute(cluster, plan: RebalancePlan) -> RebalancePlan:
 
         # (2) Flush each source, extract portable state under its
         # snapshot lock (no flush can interleave with the extraction).
-        states: dict[str, tuple[dict, int]] = {}
         for source, group in plan.by_source().items():
             worker = cluster._workers[source]
             await worker.flush()
@@ -123,6 +130,7 @@ async def execute(cluster, plan: RebalancePlan) -> RebalancePlan:
                 install_op(move.tenant, *states[move.tenant])
                 for move in group
             ])
+            installed[destination] = group
             await worker.flush()
 
         # (4) Commit the new placements.
@@ -131,6 +139,7 @@ async def execute(cluster, plan: RebalancePlan) -> RebalancePlan:
             record.service = move.destination
             record.events_enqueued = states[move.tenant][1]
         cluster._save_meta()
+        committed = True
 
         # (5) Retire the source copies.
         for source, group in plan.by_source().items():
@@ -139,6 +148,33 @@ async def execute(cluster, plan: RebalancePlan) -> RebalancePlan:
                 [drop_op(move.tenant) for move in group]
             )
             await worker.flush()
+    except BaseException:
+        if not committed:
+            # Unwind a partially-applied commit first: step (4) repoints
+            # registry records *before* the meta write lands, so a failed
+            # write must put them back on the sources (whose copies are
+            # intact and about to become authoritative again).
+            for move in plan.moves:
+                if move.tenant not in cluster.registry:
+                    continue
+                record = cluster.registry.get(move.tenant)
+                if record.service == move.destination:
+                    record.service = move.source
+                    record.events_enqueued = states[move.tenant][1]
+            # Then roll back uncommitted destination copies (best effort
+            # — the drop rows enqueue behind the install rows on each
+            # worker's own queue, so they find the tenant present; a
+            # worker too broken to accept them is resolved by cold
+            # reconciliation).  Without this, a live retry would re-plan
+            # the same moves and install over the leftover copies.
+            for destination, group in installed.items():
+                worker = cluster._workers[destination]
+                with contextlib.suppress(Exception):
+                    await worker.ingest_many(
+                        [drop_op(move.tenant) for move in group]
+                    )
+                    await worker.flush()
+        raise
     finally:
         # (6) Reopen the gates whatever happened; a failed handoff left
         # either the old or the new placement fully intact.

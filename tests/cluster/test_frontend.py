@@ -233,6 +233,30 @@ class TestErrors:
 
         run_async(body())
 
+    def test_oversized_reply_answers_error_frame(self, monkeypatch):
+        """A reply exceeding MAX_FRAME (e.g. a huge sample) must come
+        back as an error frame on a live connection, not escape the
+        handler and kill the connection with no reply."""
+        import repro.serve.cluster.frontend as frontend_mod
+
+        original = frontend_mod.MAX_FRAME
+
+        async def body():
+            async with served() as (cluster, client):
+                await client.create_tenant("big", tenant_spec(0))
+                await client.ingest_many(
+                    "big", tenant_stream(0, 300).tolist()
+                )
+                await client.admin("flush")
+                monkeypatch.setattr(frontend_mod, "MAX_FRAME", 256)
+                with pytest.raises(RuntimeError, match="FrameError"):
+                    await client.sample("big")
+                # The connection survives and keeps serving.
+                monkeypatch.setattr(frontend_mod, "MAX_FRAME", original)
+                assert (await client.admin("tenants"))["tenants"] == ["big"]
+
+        run_async(body())
+
     def test_non_object_frame_is_refused(self):
         async def body():
             async with Cluster(services=1) as cluster:

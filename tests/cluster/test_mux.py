@@ -89,6 +89,32 @@ class TestGrouping:
         assert mux.events_applied_for("b") == 0
         assert mux.applied_counts == {"a": 4, "b": 0}
 
+    def test_tuple_keys_match_scalar_path(self):
+        """Equal-length numeric tuple keys coerce to a 2-D array under
+        ``np.asarray``; the batch path must still treat each tuple as one
+        key (list form), exactly like the scalar ``update`` path."""
+        pairs = [(int(k), int(k) + 1) for k in tenant_stream(0, 120)]
+        rows = [("t0", pair) for pair in pairs]
+        batch, scalar = _mux(1), _mux(1)
+        batch.update_many(rows)
+        for row in rows:
+            scalar.update(row)
+        assert batch.events_applied_for("t0") == len(pairs)
+        assert sample_signature(batch.tenant_sampler("t0")) == \
+            sample_signature(scalar.tenant_sampler("t0"))
+
+    def test_ragged_tuple_keys_match_scalar_path(self):
+        """Mixed-arity tuple keys (which ``np.asarray`` refuses outright)
+        also fall back to the list form."""
+        rows = [("t0", (1, 2)), ("t0", (3, 4, 5)), ("t0", (6,))]
+        batch, scalar = _mux(1), _mux(1)
+        batch.update_many(rows)
+        for row in rows:
+            scalar.update(row)
+        assert batch.events_applied_for("t0") == 3
+        assert sample_signature(batch.tenant_sampler("t0")) == \
+            sample_signature(scalar.tenant_sampler("t0"))
+
     def test_unknown_tenant_rows_raise(self):
         mux = _mux(1)
         with pytest.raises(KeyError, match="unknown tenant"):
@@ -137,13 +163,29 @@ class TestAdminRows:
         assert sample_signature(receiver.tenant_sampler("t0")) == \
             control_signature(0, keys)
 
-    def test_duplicate_create_and_install_raise(self):
+    def test_duplicate_create_raises(self):
         mux = _mux(1)
         with pytest.raises(ValueError, match="already exists"):
             mux.update_many([create_op("t0", tenant_spec(0))])
-        state = mux.tenant_sampler("t0").to_state()
-        with pytest.raises(ValueError, match="cannot install over"):
-            mux.update_many([install_op("t0", state)])
+
+    def test_install_over_existing_copy_replaces_it(self):
+        """Install is idempotent: a retried handoff ships the flushed
+        source state again, and it must overwrite the stale uncommitted
+        copy a failed earlier attempt left on the destination."""
+        keys = tenant_stream(0, 200)
+        donor = TenantMuxSampler({"t0": tenant_spec(0)})
+        donor.update_many(compose_rows("t0", keys))
+        op = install_op(
+            "t0",
+            donor.tenant_sampler("t0").to_state(),
+            donor.events_applied_for("t0"),
+        )
+        receiver = _mux(1)  # already holds a diverged copy of t0
+        receiver.update_many(compose_rows("t0", tenant_stream(1, 50)))
+        receiver.update_many([op, op])  # and twice is the same as once
+        assert receiver.events_applied_for("t0") == 200
+        assert sample_signature(receiver.tenant_sampler("t0")) == \
+            control_signature(0, keys)
 
     def test_drop_unknown_and_bad_ops_raise(self):
         mux = TenantMuxSampler()

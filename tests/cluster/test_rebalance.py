@@ -16,7 +16,12 @@ import pytest
 
 from repro.serve import ServiceCrashed
 from repro.serve.cluster import Cluster
-from repro.serve.cluster.rebalance import RebalancePlan, TenantMove, plan_moves
+from repro.serve.cluster.rebalance import (
+    RebalancePlan,
+    TenantMove,
+    execute,
+    plan_moves,
+)
 from tests.cluster.common import (
     control_signature,
     run_async,
@@ -158,6 +163,74 @@ class TestLiveMoves:
 
         run_async(body())
 
+    def test_bucket_suspended_producer_rides_through_handoff(self):
+        """A blocking producer asleep in its token-bucket delay holds the
+        in-flight token, so a concurrent handoff quiesces on it instead
+        of extracting state out from under it — its batch lands on the
+        source before the pre-handoff flush and moves with the tenant."""
+        async def body():
+            async with Cluster(services=2) as cluster:
+                keys = tenant_stream(0, 120)
+                await cluster.create_tenant(
+                    "tenant-0", tenant_spec(0),
+                    quota={"events_per_sec": 500.0, "burst": 40.0},
+                )
+                await cluster.ingest_many("tenant-0", keys[:40])  # drain burst
+                producer = asyncio.ensure_future(
+                    cluster.ingest_many("tenant-0", keys[40:])  # ~0.16s debt
+                )
+                await asyncio.sleep(0.01)
+                assert not producer.done()
+                assert cluster._inflight.get("tenant-0", 0) == 1
+                source = cluster.placement()["tenant-0"]
+                destination = next(
+                    name for name in cluster.services if name != source
+                )
+                await execute(cluster, RebalancePlan(
+                    (TenantMove("tenant-0", source, destination),)
+                ))
+                await producer
+                await cluster.flush()
+                assert cluster.placement()["tenant-0"] == destination
+                worker = cluster.service(destination)
+                assert worker.sampler.events_applied_for("tenant-0") == 120
+                assert sig_of(await cluster.sample("tenant-0")) == \
+                    control_signature(0, keys)
+
+        run_async(body())
+
+    def test_bucket_suspended_producer_survives_drop_tenant(self):
+        """drop_tenant must quiesce on a producer suspended in the token
+        bucket: its rows go in ahead of the drop row (then erased with
+        the tenant) instead of trailing it as unknown-tenant rows that
+        would crash the worker's consumer."""
+        async def body():
+            async with Cluster(services=2) as cluster:
+                keys = tenant_stream(0, 120)
+                await cluster.create_tenant(
+                    "tenant-0", tenant_spec(0),
+                    quota={"events_per_sec": 500.0, "burst": 40.0},
+                )
+                await cluster.create_tenant("tenant-1", tenant_spec(1))
+                await cluster.ingest_many("tenant-0", keys[:40])
+                producer = asyncio.ensure_future(
+                    cluster.ingest_many("tenant-0", keys[40:])
+                )
+                await asyncio.sleep(0.01)
+                assert cluster._inflight.get("tenant-0", 0) == 1
+                await cluster.drop_tenant("tenant-0")
+                await producer  # admitted before the drop row, no error
+                assert "tenant-0" not in cluster.tenants()
+                # Every worker's consumer survived (a stray post-drop row
+                # would have crashed it, failing this flush).
+                extra = tenant_stream(1, 50)
+                await cluster.ingest_many("tenant-1", extra)
+                await cluster.flush()
+                assert sig_of(await cluster.sample("tenant-1")) == \
+                    control_signature(1, extra)
+
+        run_async(body())
+
     def test_concurrent_blocking_ingest_loses_nothing(self):
         async def body():
             async with Cluster(services=3) as cluster:
@@ -200,6 +273,61 @@ class TestLiveMoves:
                     assert applied == sent[tenant], tenant
                     assert sig_of(await cluster.sample(tenant)) == \
                         control_signature(i, streams[tenant][:applied])
+
+        run_async(body())
+
+
+class TestFailedHandoffRollback:
+    def test_failed_commit_rolls_back_destination_copies(self):
+        """A failure before the placement commit lands must leave no
+        live duplicate: the registry keeps pointing at the sources, the
+        installed destination copies are dropped, and a live retry
+        converges cleanly (previously the retry re-installed over the
+        leftovers and crashed the destination worker)."""
+        async def body():
+            async with Cluster(services=3) as cluster:
+                streams = await _seed(cluster, 20, n_events=100)
+                before = cluster.placement()
+                real_save = cluster._save_meta
+                boom = {"armed": True}
+
+                def failing_save():
+                    if boom["armed"]:
+                        boom["armed"] = False
+                        raise OSError("simulated meta-write failure")
+                    real_save()
+
+                cluster._save_meta = failing_save
+                with pytest.raises(OSError, match="meta-write"):
+                    await cluster.add_service()
+                cluster._save_meta = real_save
+
+                # The move never committed: placements are unchanged and
+                # every tenant lives on exactly one worker.
+                assert cluster.placement() == before
+                holders = collections.Counter(
+                    tenant
+                    for name in cluster.services
+                    for tenant in cluster.service(name).sampler.tenants()
+                )
+                assert set(holders) == set(streams)
+                assert all(count == 1 for count in holders.values())
+                await _assert_bit_exact(cluster, streams)
+
+                # The interrupted expansion replays cleanly, live.
+                plan = await cluster.rebalance()
+                assert plan.moves, "svc-3's ring share must move to it"
+                moved = {
+                    tenant for tenant, service
+                    in cluster.placement().items()
+                    if before[tenant] != service
+                }
+                assert moved == {move.tenant for move in plan.moves}
+                assert all(
+                    cluster.placement()[tenant] == "svc-3"
+                    for tenant in moved
+                )
+                await _assert_bit_exact(cluster, streams)
 
         run_async(body())
 
