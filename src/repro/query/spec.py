@@ -14,7 +14,7 @@ fields, a content/identity cache fingerprint, and the result containers.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import MISSING, dataclass, fields
 from types import MappingProxyType
 from typing import Any, Callable, Mapping, Sequence
 
@@ -183,6 +183,13 @@ class QueryResult:
     two results carrying the same version were served from identical
     state, which is what lets the serving runtime's snapshot-isolated
     readers assert their reads are mutually consistent.
+
+    ``degraded`` marks an answer served from a *durable snapshot* rather
+    than live state — the cluster's degraded-read path while a tenant's
+    worker is down (see ``repro.serve.cluster``).  A degraded result is
+    still exact for the state it pins: ``state_version`` identifies the
+    recovered epoch it was computed from; the flag only says that newer,
+    not-yet-durable events may be missing.
     """
 
     aggregate: str
@@ -194,6 +201,7 @@ class QueryResult:
     sample_size: int = 0
     groups: Mapping[Any, "QueryResult"] | None = None
     state_version: int | None = None
+    degraded: bool = False
 
     def __post_init__(self) -> None:
         if self.groups is not None and not isinstance(
@@ -215,6 +223,9 @@ class QueryResult:
 
     def __setstate__(self, state: dict) -> None:
         """Rebuild the frozen result, restoring the read-only proxy."""
+        for field_ in fields(self):  # defaults first: old pickles may
+            if field_.default is not MISSING:  # predate newer fields
+                object.__setattr__(self, field_.name, field_.default)
         for name, value in state.items():
             object.__setattr__(self, name, value)
         if self.groups is not None:
@@ -252,6 +263,8 @@ class QueryResult:
             "sample_size": self.sample_size,
             "state_version": self.state_version,
         }
+        if self.degraded:
+            out["degraded"] = True
         if self.groups is not None:
             keys = [str(label) for label in self.groups]
             if len(set(keys)) != len(keys):

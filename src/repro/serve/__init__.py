@@ -24,6 +24,11 @@ long-running runtime that premise deserves.  A
 * **Multi-tenancy** — :mod:`repro.serve.cluster` multiplexes many
   tenants onto a pool of these services with consistent-hash routing,
   per-tenant quotas, live rebalancing, and a TCP front end.
+* **Self-healing** — a :class:`~repro.serve.cluster.Supervisor`
+  health-checks the pool and fails over automatically (restart-in-place
+  or rehome) while the cluster keeps serving degraded reads and sheds
+  ingest with counted rejections; :mod:`repro.serve.chaos` is the fault
+  injection harness that proves it.
 
 See the "Serving" and "Cluster" sections of ``docs/architecture.md`` for
 the runtime loop diagram and the durability/recovery guarantees.
@@ -37,12 +42,18 @@ from .service import ServiceCrashed, ServiceSnapshot, StreamService
 # .cluster imports .service, so it must come after (it also registers the
 # "tenant_mux" sampler as an import side effect — `import repro` alone
 # makes the cluster worker sampler constructible from the registry).
+from .chaos import ChaosError, ChaosInjector, Fault
 from .cluster import (
+    CircuitBreaker,
     Cluster,
     ClusterClient,
     ClusterFrontend,
     ClusterMetrics,
+    FrontendMetrics,
     HashRing,
+    RetryPolicy,
+    StaleFrontier,
+    Supervisor,
     TenantMuxSampler,
     TenantQuota,
 )
@@ -58,11 +69,19 @@ __all__ = [
     "WriteAheadLog",
     "WalRecord",
     "replay_records",
+    "ChaosError",
+    "ChaosInjector",
+    "Fault",
+    "CircuitBreaker",
     "Cluster",
     "ClusterClient",
     "ClusterFrontend",
     "ClusterMetrics",
+    "FrontendMetrics",
     "HashRing",
+    "RetryPolicy",
+    "StaleFrontier",
+    "Supervisor",
     "TenantMuxSampler",
     "TenantQuota",
 ]

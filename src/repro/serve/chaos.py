@@ -1,0 +1,177 @@
+"""Chaos harness: declarative fault injection for the serving stack.
+
+The service, WAL, and checkpoint layers already expose a ``fault_hook``
+seam — ``hook(stage)`` fires at every durability-critical point
+(``wal.append.before/mid/after``, ``checkpoint.before/mid/after``,
+``flush.before``, ``apply.before/after``; a cluster prefixes each stage
+with the worker name, e.g. ``svc-1:wal.append.mid``).  This module turns
+that seam into a composable chaos harness: declare *which* stage fails,
+*when*, and *how*, and hand the injector to
+:class:`~repro.serve.StreamService` or
+:class:`~repro.serve.cluster.Cluster` as ``fault_hook=``.
+
+>>> from repro.serve.chaos import ChaosInjector, Fault
+>>> chaos = ChaosInjector(
+...     Fault("svc-0:wal.append.mid", at=3),           # crash svc-0's 3rd append
+...     Fault("svc-1:flush.before", action="stall",    # wedge svc-1's consumer
+...           delay=30.0, times=1000),
+... )
+>>> # Cluster(services=2, fault_hook=chaos) ...
+
+Fault actions:
+
+``"raise"``
+    Raise :class:`ChaosError` (or the fault's own ``error``) at the
+    stage — simulates a crash of the I/O path.  Works at every stage.
+``"stall"``
+    Return an ``asyncio.sleep(delay)`` awaitable — simulates a wedged
+    dependency (disk hang, GC pause).  Only the *service-level* stages
+    (``flush.before``, ``apply.before``, ``apply.after``) await their
+    hook's result; the WAL/checkpoint stages are synchronous and ignore
+    awaitables, so stall faults on them do nothing.
+
+Occurrence windows make faults deterministic: a fault matches its
+``stage`` pattern (``fnmatch`` — ``"*:wal.append.mid"`` hits every
+worker), counts its own matches, and fires only for occurrences
+``at .. at+times-1``.  One injector call fires at most one fault (first
+declaration wins), and every firing is recorded in
+:attr:`ChaosInjector.fired` so tests can assert the fault actually
+happened — a chaos test whose fault never fired proves nothing.
+
+For the network layer, :func:`misbehaving_connection` speaks raw bytes
+at a :class:`~repro.serve.cluster.ClusterFrontend` — truncated frames,
+slowloris trickles, silent connections — to drive the frontend's
+per-connection hardening.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import contextlib
+from dataclasses import dataclass, field
+from fnmatch import fnmatchcase
+
+__all__ = ["ChaosError", "Fault", "ChaosInjector", "misbehaving_connection"]
+
+
+class ChaosError(RuntimeError):
+    """The error an injected fault raises (a simulated infrastructure
+    failure: disk write error, torn append, dead checkpoint store)."""
+
+
+@dataclass
+class Fault:
+    """One declarative fault: where, when, and how to fail.
+
+    ``stage`` is an ``fnmatch`` pattern against hook stage names;
+    ``at`` is the 1-based match occurrence at which the fault starts
+    firing and ``times`` how many consecutive occurrences fire.
+    ``action`` is ``"raise"`` (with ``error`` or a :class:`ChaosError`)
+    or ``"stall"`` (an ``asyncio.sleep(delay)`` awaitable).
+    """
+
+    stage: str
+    at: int = 1
+    times: int = 1
+    action: str = "raise"
+    delay: float = 0.05
+    error: BaseException | None = None
+    #: Matches seen so far (mutated by the injector).
+    seen: int = field(default=0, compare=False)
+
+    def __post_init__(self):
+        if self.action not in ("raise", "stall"):
+            raise ValueError(
+                f"action must be 'raise' or 'stall', got {self.action!r}"
+            )
+        if self.at < 1:
+            raise ValueError("at is a 1-based occurrence, must be >= 1")
+        if self.times < 1:
+            raise ValueError("times must be >= 1")
+        if self.delay < 0:
+            raise ValueError("delay must be non-negative")
+
+    def armed(self) -> bool:
+        """Whether the current occurrence falls in the firing window."""
+        return self.at <= self.seen < self.at + self.times
+
+
+class ChaosInjector:
+    """A ``fault_hook`` that fires declared :class:`Fault`\\ s.
+
+    Pass the injector itself as ``fault_hook=`` — it is a plain
+    callable ``(stage) -> None | awaitable``.  Thread-safe enough for
+    the single event loop it runs on; counters are per-fault.
+    """
+
+    def __init__(self, *faults: Fault):
+        self.faults = list(faults)
+        #: Log of every firing: ``(stage, action)`` tuples in order.
+        self.fired: list[tuple[str, str]] = []
+
+    def add(self, fault: Fault) -> "ChaosInjector":
+        """Declare another fault (chainable)."""
+        self.faults.append(fault)
+        return self
+
+    def count(self, pattern: str) -> int:
+        """How many firings hit stages matching ``pattern``."""
+        return sum(
+            1 for stage, _ in self.fired if fnmatchcase(stage, pattern)
+        )
+
+    def __call__(self, stage: str):
+        for fault in self.faults:
+            if not fnmatchcase(stage, fault.stage):
+                continue
+            fault.seen += 1
+            if not fault.armed():
+                continue
+            self.fired.append((stage, fault.action))
+            if fault.action == "stall":
+                return asyncio.sleep(fault.delay)
+            raise fault.error if fault.error is not None else ChaosError(
+                f"injected fault at {stage}"
+            )
+        return None
+
+
+async def misbehaving_connection(
+    host: str,
+    port: int,
+    *,
+    send: bytes = b"",
+    linger: float = 0.0,
+    abort: bool = False,
+) -> bytes:
+    """Open a raw connection to a frontend and misbehave on purpose.
+
+    Writes ``send`` (possibly a truncated frame), sleeps ``linger``
+    seconds holding the connection open (a slowloris / silent peer),
+    then closes — abruptly when ``abort`` is set.  Returns whatever the
+    server sent back before the close, so tests can assert on (or
+    confirm the absence of) an error reply.
+    """
+    reader, writer = await asyncio.open_connection(host, port)
+    try:
+        if send:
+            writer.write(send)
+            await writer.drain()
+        if linger:
+            await asyncio.sleep(linger)
+        received = bytearray()
+        with contextlib.suppress(asyncio.TimeoutError, ConnectionError,
+                                 OSError):
+            while True:
+                chunk = await asyncio.wait_for(reader.read(4096), 0.05)
+                if not chunk:
+                    break
+                received.extend(chunk)
+        return bytes(received)
+    finally:
+        if abort and writer.transport is not None:
+            writer.transport.abort()
+        else:
+            writer.close()
+        with contextlib.suppress(Exception):
+            await writer.wait_closed()

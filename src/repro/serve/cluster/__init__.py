@@ -18,34 +18,61 @@ to many tenants on a fixed worker pool:
 - :mod:`~repro.serve.cluster.rebalance` — the gate/quiesce/extract/
   install/commit/drop handoff protocol (bit-exact moved state).
 - :class:`ClusterFrontend` / :class:`ClusterClient` — the TCP front end
-  (length-prefixed JSON frames) and its thin async client.
-- :class:`~repro.serve.cluster.metrics.ClusterMetrics` — per-service,
-  per-tenant, and merged metric aggregation.
+  (length-prefixed JSON frames, per-connection hardening) and its thin
+  async client (optional retry/backoff, circuit breaker, idempotent
+  ingest retries).
+- :class:`Supervisor` — the self-healing loop: health probes
+  (:mod:`~repro.serve.cluster.health`), automatic restart-in-place or
+  rehome failover, degraded serving while a worker is down.
+- :class:`~repro.serve.cluster.metrics.ClusterMetrics` /
+  :class:`~repro.serve.cluster.metrics.FrontendMetrics` — per-service,
+  per-tenant, merged, and connection-level metric aggregation.
 
-See the "Cluster" section of ``docs/architecture.md`` for the ring
-diagram, quota semantics, and the rebalance protocol proof sketch.
+See the "Cluster" and "Fault tolerance" sections of
+``docs/architecture.md`` for the ring diagram, quota semantics, the
+rebalance protocol proof sketch, and the failure model.
 """
 
-from .cluster import Cluster
-from .frontend import ClusterClient, ClusterFrontend, FrameError
-from .metrics import ClusterMetrics
+from .cluster import Cluster, StaleFrontier
+from .frontend import (
+    ClusterClient,
+    ClusterFrontend,
+    FrameDisconnect,
+    FrameError,
+    FrameTimeout,
+)
+from .health import HealthConfig, WorkerHealth
+from .metrics import ClusterMetrics, FrontendMetrics
 from .mux import TenantMuxSampler
 from .rebalance import RebalancePlan, TenantMove
+from .retry import CircuitBreaker, CircuitOpenError, RetryPolicy
 from .ring import HashRing
+from .supervisor import FailoverEvent, Supervisor
 from .tenants import TenantQuota, TenantRecord, TenantRegistry, TokenBucket
 
 __all__ = [
+    "CircuitBreaker",
+    "CircuitOpenError",
     "Cluster",
     "ClusterClient",
     "ClusterFrontend",
     "ClusterMetrics",
+    "FailoverEvent",
+    "FrameDisconnect",
     "FrameError",
+    "FrameTimeout",
+    "FrontendMetrics",
     "HashRing",
+    "HealthConfig",
     "RebalancePlan",
+    "RetryPolicy",
+    "StaleFrontier",
+    "Supervisor",
     "TenantMove",
     "TenantMuxSampler",
     "TenantQuota",
     "TenantRecord",
     "TenantRegistry",
     "TokenBucket",
+    "WorkerHealth",
 ]

@@ -38,18 +38,39 @@ import asyncio
 import json
 import os
 import pathlib
+import time
+from dataclasses import dataclass, field
 from typing import Callable
 
 from ...api.registry import SamplerSpec
-from ..service import StreamService
+from ..service import ServiceCrashed, StreamService
 from .metrics import ClusterMetrics
 from .mux import compose_rows, create_op, drop_op
 from .ring import HashRing
-from .tenants import TenantQuota, TenantRecord, TenantRegistry
+from .tenants import (
+    REJECT_REASONS,
+    TenantQuota,
+    TenantRecord,
+    TenantRegistry,
+)
 
-__all__ = ["Cluster"]
+__all__ = ["Cluster", "StaleFrontier"]
 
 _META_NAME = "cluster.json"
+
+
+class StaleFrontier(RuntimeError):
+    """Conditional admission failed: the tenant's admission frontier is
+    not what the producer expected.
+
+    Raised by the ingest paths when ``expect_frontier`` is given and a
+    failover (or a competing producer) moved the frontier between the
+    producer reading it and the batch arriving.  The batch was **not**
+    admitted; the producer re-reads the frontier and re-sends from
+    there.  This is what makes retry-across-failover safe: without the
+    guard, a batch retried after a frontier rollback would be admitted
+    at the wrong position, silently corrupting the at-least-once
+    stream."""
 
 #: Per-worker ``StreamService`` constructor keywords the cluster fans out.
 _SERVICE_KEYS = (
@@ -61,6 +82,38 @@ _SERVICE_KEYS = (
     "retain_checkpoints",
     "fsync",
 )
+
+
+@dataclass
+class _DownWorker:
+    """Book-keeping for one worker marked down (outage in progress).
+
+    ``snapshot`` lazily holds an *offline* ``StreamService.recover`` of
+    the worker's directory — the last durable state, bit-exact at the
+    WAL frontier — which the degraded read path serves from.  It is
+    never started: pure read-only state, discarded when the worker is
+    marked up again.
+    """
+
+    reason: str
+    since: float
+    loaded: bool = False
+    snapshot: StreamService | None = None
+    #: Spec-built fallbacks for tenants whose create row never became
+    #: durable (their durable state is legitimately "empty").
+    fresh: dict = field(default_factory=dict)
+    degraded_reads: int = 0
+    shed_events: int = 0
+
+
+def _stamp_degraded(result) -> None:
+    """Mark a frozen ``QueryResult`` (and its group sub-results) as
+    served from a durable snapshot, the same post-hoc mechanism the
+    planner uses for ``state_version``."""
+    object.__setattr__(result, "degraded", True)
+    if result.groups:
+        for sub in result.groups.values():
+            _stamp_degraded(sub)
 
 
 def _named_hook(hook: Callable[[str], object] | None, name: str):
@@ -166,6 +219,14 @@ class Cluster:
         #: gating stops *new* ingests, this drains the in-flight ones, so
         #: the pre-handoff flush provably covers every accepted event.
         self._inflight: dict[str, int] = {}
+        #: Workers currently marked down (failover in progress): reads
+        #: for their tenants degrade to the last durable snapshot,
+        #: ingest sheds with the counted ``unavailable`` reason.
+        self._down: dict[str, _DownWorker] = {}
+        #: Attached supervisors.  While positive, a worker crash caught
+        #: on the ingest path marks the worker down and sheds instead of
+        #: raising ``ServiceCrashed`` — failover is coming.
+        self._supervised = 0
 
     def _build_worker(self, name: str) -> StreamService:
         """A fresh (not started) mux worker service named ``name``."""
@@ -214,6 +275,85 @@ class Cluster:
         return record, self._workers[record.service]
 
     # ------------------------------------------------------------------
+    # Outage state (the failover layer's primitives)
+    # ------------------------------------------------------------------
+    def down_services(self) -> dict[str, dict]:
+        """Workers currently marked down: name -> outage description."""
+        return {
+            name: {
+                "reason": state.reason,
+                "since": state.since,
+                "degraded_reads": state.degraded_reads,
+                "shed_events": state.shed_events,
+            }
+            for name, state in sorted(self._down.items())
+        }
+
+    def is_down(self, name: str) -> bool:
+        """Whether worker ``name`` is currently marked down."""
+        return name in self._down
+
+    def mark_service_down(self, name: str, reason: str = "manual") -> None:
+        """Enter degraded mode for ``name``'s tenants (idempotent).
+
+        Reads answer from the worker's last durable snapshot (results
+        stamped ``degraded=True``), ingest sheds with the counted
+        ``unavailable`` reason — no caller sees ``ServiceCrashed``.
+        The supervisor calls this on detection; it is also a manual
+        drain/maintenance switch.
+        """
+        self._check_started()
+        if name not in self._workers:
+            raise KeyError(f"unknown service {name!r}")
+        if name not in self._down:
+            self._down[name] = _DownWorker(
+                reason=reason, since=time.monotonic()
+            )
+
+    def mark_service_up(self, name: str) -> None:
+        """Leave degraded mode: discard the outage state (idempotent)."""
+        self._down.pop(name, None)
+
+    def _degraded_snapshot(self, name: str) -> StreamService | None:
+        """The down worker's offline durable snapshot, loaded lazily.
+
+        ``None`` on an in-memory cluster (nothing durable to degrade to)
+        or when the worker never wrote a meta file.
+        """
+        state = self._down[name]
+        if not state.loaded:
+            state.loaded = True
+            if self.dir is not None and (
+                self.dir / name / "service.pkl"
+            ).exists():
+                # Read-only recovery: newest valid checkpoint + WAL-tail
+                # replay, bit-exact at the durable frontier.  The service
+                # is never started, so it opens no files for writing and
+                # cannot clash with the (dead) live worker.
+                state.snapshot = StreamService.recover(self.dir / name)
+        return state.snapshot
+
+    def _degraded_child(self, tenant: str, record: TenantRecord):
+        """The sampler the degraded read path serves ``tenant`` from."""
+        state = self._down[record.service]
+        state.degraded_reads += 1
+        snapshot = self._degraded_snapshot(record.service)
+        if snapshot is not None and snapshot.sampler.has_tenant(tenant):
+            return snapshot.sampler.tenant_sampler(tenant)
+        if self.dir is None:
+            raise RuntimeError(
+                f"tenant {tenant!r} is unavailable: its worker "
+                f"{record.service!r} is down and an in-memory cluster has "
+                "no durable snapshot to degrade to"
+            )
+        # The tenant's create row never became durable: its durable
+        # state is a fresh sampler from its spec (cached so repeated
+        # reads pin one object, hence one state_version).
+        if tenant not in state.fresh:
+            state.fresh[tenant] = record.spec.build()
+        return state.fresh[tenant]
+
+    # ------------------------------------------------------------------
     # Lifecycle
     # ------------------------------------------------------------------
     async def start(self) -> "Cluster":
@@ -249,9 +389,14 @@ class Cluster:
             return
         self._check_started()
         errors = []
-        for worker in self._workers.values():
+        for name, worker in self._workers.items():
             try:
-                await worker.stop()
+                if name in self._down:
+                    # A worker mid-outage has nothing to drain; abort it
+                    # instead of letting stop() re-raise its crash.
+                    await worker.abort()
+                else:
+                    await worker.stop()
             except Exception as err:  # noqa: BLE001 - stop every worker
                 errors.append(err)
         self._closed = True
@@ -401,34 +546,57 @@ class Cluster:
     # Ingestion
     # ------------------------------------------------------------------
     async def ingest(self, tenant: str, key, weight: float = 1.0, *,
-                     value=None, time=None) -> None:
-        """Admit one event for ``tenant`` (suspends under backpressure)."""
-        await self.ingest_many(
+                     value=None, time=None,
+                     expect_frontier: int | None = None) -> bool:
+        """Admit one event for ``tenant`` (suspends under backpressure).
+
+        ``True`` when admitted; ``False`` only when shed because the
+        tenant's worker is down (see :meth:`ingest_many`).
+        """
+        return await self.ingest_many(
             tenant,
             [key],
             weights=None if weight == 1.0 else [weight],
             values=None if value is None else [value],
             times=None if time is None else [time],
+            expect_frontier=expect_frontier,
         )
 
     async def ingest_many(self, tenant: str, keys, weights=None,
-                          values=None, times=None) -> None:
+                          values=None, times=None, *,
+                          expect_frontier: int | None = None) -> bool:
         """Admit a batch for ``tenant``, enforcing its quota by waiting.
+        Returns ``True`` on admission, ``False`` when shed (worker
+        down).
 
-        The blocking path never drops: a rate-limited tenant awaits its
-        token-bucket refill (its overload becomes its own backpressure),
-        a migrating tenant awaits the handoff gate, and a full worker
-        buffer suspends the producer exactly as in the single-service
-        runtime.
+        The blocking path never drops — with one exception: a tenant
+        whose worker is marked **down** sheds (counted under the
+        ``unavailable`` reason) instead of suspending forever against a
+        dead worker; the caller re-sends from the tenant's durable
+        frontier once failover restores service.  Otherwise a
+        rate-limited tenant awaits its token-bucket refill (its overload
+        becomes its own backpressure), a migrating tenant awaits the
+        handoff gate, and a full worker buffer suspends the producer
+        exactly as in the single-service runtime.
+
+        ``expect_frontier`` makes the admission *conditional*: the batch
+        is admitted only if the tenant's admission frontier still equals
+        it (:class:`StaleFrontier` otherwise, with nothing admitted).
+        Producers that re-send from the frontier after failover pass
+        this so a retried batch can never land at the wrong position.
         """
         self._check_started()
-        self.registry.get(tenant)  # raise early on unknown tenants
+        record = self.registry.get(tenant)  # raise early on unknown tenants
+        rows = compose_rows(tenant, keys)
+        if not rows:
+            return True
+        self._check_frontier(record, expect_frontier)
+        if record.service in self._down:
+            self._shed(record, len(rows))
+            return False
         gate = self._migrating.get(tenant)
         if gate is not None:
             await gate.wait()
-        rows = compose_rows(tenant, keys)
-        if not rows:
-            return
         # The in-flight token must be held across *every* await that
         # follows the gate check (the token-bucket sleep included): a
         # rebalance/drop quiesces on this counter with the gate closed,
@@ -448,13 +616,55 @@ class Cluster:
             # increment is still quiescing on us, so the record's service
             # cannot move until this ingest completes.
             record = self.registry.get(tenant)
+            if record.service in self._down:
+                self._shed(record, len(rows))
+                return False
+            # The binding frontier check: nothing awaits between here
+            # and the worker admission except the worker's own buffer
+            # wait — and a failover that rolls the frontier back while
+            # we are suspended there aborts the worker, surfacing as
+            # ServiceCrashed below, never as a misplaced admission.
+            self._check_frontier(record, expect_frontier)
             worker = self._workers[record.service]
-            await worker.ingest_many(rows, weights, values, times)
+            try:
+                await worker.ingest_many(rows, weights, values, times)
+            except ServiceCrashed:
+                # The worker died while we were suspended in it.  Under
+                # supervision the failover is already coming: mark the
+                # worker down ourselves (idempotent, and often *the*
+                # first detection) and shed, so producers never see the
+                # crash.  Unsupervised clusters keep the historical
+                # fail-fast contract.
+                if self._supervised <= 0 and record.service not in self._down:
+                    raise
+                self.mark_service_down(record.service, "crashed")
+                self._shed(record, len(rows))
+                return False
             record.events_enqueued += len(rows)
+            return True
         finally:
             self._inflight[tenant] -= 1
             if not self._inflight[tenant]:
                 del self._inflight[tenant]
+
+    def _shed(self, record: TenantRecord, n: int) -> None:
+        """Count ``n`` events shed because the tenant's worker is down."""
+        record.reject("unavailable", n)
+        state = self._down.get(record.service)
+        if state is not None:
+            state.shed_events += n
+
+    @staticmethod
+    def _check_frontier(record: TenantRecord,
+                        expect_frontier: int | None) -> None:
+        """Enforce conditional admission (see :meth:`ingest_many`)."""
+        if (expect_frontier is not None
+                and record.events_enqueued != expect_frontier):
+            raise StaleFrontier(
+                f"tenant {record.tenant!r} admission frontier is "
+                f"{record.events_enqueued}, producer expected "
+                f"{expect_frontier}; re-read the frontier and re-send"
+            )
 
     def try_ingest(self, tenant: str, key, weight: float = 1.0, *,
                    value=None, time=None) -> bool:
@@ -471,11 +681,13 @@ class Cluster:
                         values=None, times=None) -> bool:
         """Non-blocking batch admit with per-reason rejection accounting.
 
-        All-or-nothing, checked in quota order: token bucket first
-        (``rate``), then the tenant's queue-share cap (``share``), then
-        the worker's bounded buffer (``backpressure``, also counted
-        per-tenant in the worker's drop metrics).  A migrating tenant
-        rejects as ``backpressure`` until its handoff completes.
+        All-or-nothing, checked in quota order: a down worker sheds
+        first (``unavailable`` — no quota is charged during an outage),
+        then the token bucket (``rate``), then the tenant's queue-share
+        cap (``share``), then the worker's bounded buffer
+        (``backpressure``, also counted per-tenant in the worker's drop
+        metrics).  A migrating tenant rejects as ``backpressure`` until
+        its handoff completes.
         """
         self._check_started()
         record = self.registry.get(tenant)
@@ -483,6 +695,9 @@ class Cluster:
         if not rows:
             return True
         n = len(rows)
+        if record.service in self._down:
+            self._shed(record, n)
+            return False
         if record.migrating:
             record.reject("backpressure", n)
             return False
@@ -501,8 +716,17 @@ class Cluster:
             if pending + n > share * worker.queue_size:
                 record.reject("share", n)
                 return False
-        if not worker.try_ingest_many(rows, weights, values, times,
-                                      label=tenant):
+        try:
+            admitted = worker.try_ingest_many(
+                rows, weights, values, times, label=tenant
+            )
+        except ServiceCrashed:
+            if self._supervised <= 0:
+                raise
+            self.mark_service_down(record.service, "crashed")
+            self._shed(record, n)
+            return False
+        if not admitted:
             record.reject("backpressure", n)
             return False
         record.events_enqueued += n
@@ -523,16 +747,34 @@ class Cluster:
         return worker, worker.sampler.tenant_sampler(tenant)
 
     async def sample(self, tenant: str):
-        """Snapshot-isolated ``sample()`` of one tenant's child sampler."""
+        """Snapshot-isolated ``sample()`` of one tenant's child sampler.
+
+        While the tenant's worker is down, answers from the last durable
+        snapshot (nothing in it mutates, so no isolation lock is
+        needed).
+        """
         self._check_started()
+        record = self.registry.get(tenant)
+        if record.service in self._down:
+            return self._degraded_child(tenant, record).sample()
         worker, child = await self._tenant_child(tenant)
         async with worker.snapshot():
             return child.sample()
 
     async def estimate(self, tenant: str, kind: str | None = None,
                        predicate=None, **kw):
-        """Snapshot-isolated estimate from one tenant's child sampler."""
+        """Snapshot-isolated estimate from one tenant's child sampler.
+
+        Degrades to the last durable snapshot while the tenant's worker
+        is down (the scalar return carries no flag; use :meth:`query`
+        when the caller must distinguish degraded answers).
+        """
         self._check_started()
+        record = self.registry.get(tenant)
+        if record.service in self._down:
+            return self._degraded_child(tenant, record).estimate(
+                kind, predicate=predicate, **kw
+            )
         worker, child = await self._tenant_child(tenant)
         async with worker.snapshot():
             return child.estimate(kind, predicate=predicate, **kw)
@@ -543,24 +785,150 @@ class Cluster:
         Delegates to the child sampler's
         :meth:`~repro.api.StreamSampler.query`, so results are cached per
         ``(state_version, fingerprint)`` exactly as on a single service.
+        While the tenant's worker is down the answer comes from the last
+        durable snapshot, stamped ``degraded=True`` with the recovered
+        epoch's pinned ``state_version``.
         """
         self._check_started()
+        record = self.registry.get(tenant)
+        if record.service in self._down:
+            result = self._degraded_child(tenant, record).query(query, **kw)
+            _stamp_degraded(result)
+            return result
         worker, child = await self._tenant_child(tenant)
         async with worker.snapshot():
             return child.query(query, **kw)
 
     async def flush(self) -> None:
-        """Barrier: every event admitted to every worker is applied."""
+        """Barrier: every event admitted to every *live* worker is
+        applied (workers marked down are skipped — they will reconcile
+        during failover).  Under supervision a worker found crashed at
+        the barrier is marked down instead of raising — the supervisor
+        restores it, and events stuck behind the crash are the
+        producer's to re-send past the durable frontier."""
         self._check_started()
-        for worker in self._workers.values():
-            await worker.flush()
+        for name, worker in self._workers.items():
+            if name in self._down:
+                continue
+            try:
+                await worker.flush()
+            except ServiceCrashed:
+                if self._supervised <= 0:
+                    raise
+                # The waiter may only wake *after* a failover already
+                # replaced this worker — don't mark the healthy
+                # replacement down for its predecessor's crash.
+                if self._workers.get(name) is worker:
+                    self.mark_service_down(name, "crashed")
 
     # ------------------------------------------------------------------
     # Metrics
     # ------------------------------------------------------------------
     def metrics(self) -> ClusterMetrics:
         """Aggregate worker metrics per service, per tenant, and overall."""
-        return ClusterMetrics.collect(self._workers, self.registry)
+        return ClusterMetrics.collect(
+            self._workers, self.registry, down=self.down_services()
+        )
+
+    # ------------------------------------------------------------------
+    # Failover (the supervisor's two recovery actions; callable manually)
+    # ------------------------------------------------------------------
+    async def restart_service(self, name: str, *,
+                              reason: str = "manual") -> None:
+        """Replace worker ``name`` with a bit-exact recovery of itself.
+
+        Marks the worker down (reads degrade, ingest sheds), hard-aborts
+        whatever is left of it, rebuilds it via
+        :meth:`StreamService.recover` — newest valid checkpoint plus
+        WAL-tail replay, identical to an uninterrupted run over its
+        durable frontier — starts the replacement, and reconciles its
+        resident tenants (in-flight counters reset to the applied
+        frontier; tenants whose create row never became durable are
+        recreated fresh from their spec).  On an in-memory cluster there
+        is nothing durable: residents restart from zero (enqueued and
+        rejection counters reset), which is the documented best effort.
+
+        On failure the worker *stays marked down* (degraded serving
+        continues) and the error propagates — the supervisor retries on
+        its next tick.
+        """
+        self._check_started()
+        if name not in self._workers:
+            raise KeyError(f"unknown service {name!r}")
+        self.mark_service_down(name, reason)
+        await self._workers[name].abort()
+        if self.dir is None:
+            fresh = self._build_worker(name)
+            fresh.metrics.restarts += 1
+            await fresh.start()
+            self._workers[name] = fresh
+            residents = [
+                self.registry.get(tenant)
+                for tenant in self.registry.tenants()
+                if self.registry.get(tenant).service == name
+            ]
+            if residents:
+                await fresh.ingest_many([
+                    create_op(record.tenant, record.spec)
+                    for record in residents
+                ])
+                await fresh.flush()
+            for record in residents:
+                record.events_enqueued = 0
+                record.rejected = {why: 0 for why in REJECT_REASONS}
+        else:
+            recovered = StreamService.recover(
+                self.dir / name,
+                fault_hook=_named_hook(self.fault_hook, name),
+            )
+            recovered.metrics.restarts += 1
+            await recovered.start()
+            self._workers[name] = recovered
+            await self._reconcile_worker(name)
+        self.mark_service_up(name)
+        self._save_meta()
+
+    async def _reconcile_worker(self, name: str) -> None:
+        """Scoped post-restart reconciliation for one recovered worker.
+
+        The worker's WAL is authoritative for *state*; the registry for
+        *membership*: residents missing from the mux (create row lost
+        with the crash) are recreated fresh, stray mux tenants the
+        registry does not place here (a handoff's drop row lost) are
+        dropped, and each resident's in-flight counter resets to its
+        applied frontier — events admitted but never logged are the
+        producer's to re-send, exactly as on a single service.
+        """
+        worker = self._workers[name]
+        mux = worker.sampler
+        residents = [
+            tenant for tenant in self.registry.tenants()
+            if self.registry.get(tenant).service == name
+        ]
+        ops = [
+            create_op(tenant, self.registry.get(tenant).spec)
+            for tenant in residents if not mux.has_tenant(tenant)
+        ]
+        ops.extend(
+            drop_op(tenant) for tenant in mux.tenants()
+            if tenant not in self.registry
+            or self.registry.get(tenant).service != name
+        )
+        if ops:
+            await worker.ingest_many(ops)
+        await worker.flush()
+        for tenant in residents:
+            self.registry.get(tenant).events_enqueued = (
+                mux.events_applied_for(tenant)
+                if mux.has_tenant(tenant) else 0
+            )
+
+    async def rehome_service(self, name: str, *,
+                             reason: str = "manual") -> "RebalancePlan":
+        """Evacuate a dead worker's tenants onto the surviving pool."""
+        from .rebalance import rehome_service
+
+        return await rehome_service(self, name, reason=reason)
 
     # ------------------------------------------------------------------
     # Rebalancing (implemented in .rebalance; thin facades here)
@@ -639,12 +1007,20 @@ class Cluster:
         cluster.registry = TenantRegistry.from_dict(
             meta.get("tenants", {}), clock=clock
         )
-        cluster._workers = {
-            name: StreamService.recover(
-                root / name, fault_hook=_named_hook(fault_hook, name)
-            )
-            for name in ring.nodes
-        }
+        workers: dict[str, StreamService] = {}
+        for name in ring.nodes:
+            if (root / name / "service.pkl").exists():
+                workers[name] = StreamService.recover(
+                    root / name, fault_hook=_named_hook(fault_hook, name)
+                )
+            else:
+                # The worker's directory is gone entirely (disk lost).
+                # Its durable state is unrecoverable; stand up a fresh
+                # worker under the same name — reconciliation recreates
+                # its tenants from placement + specs, state restarted
+                # from zero with counters reset (see :meth:`_reconcile`).
+                workers[name] = cluster._build_worker(name)
+        cluster._workers = workers
         cluster._recovered = True
         return cluster
 
@@ -658,12 +1034,15 @@ class Cluster:
         a worker the registry does not point at — the move never
         committed or the meta write was lost, so the placement repoints
         to the actual holder; (c) nowhere — its create row was admitted
-        but never WAL-logged, so it is recreated fresh from its spec.
-        Stray mux tenants missing from the registry (a drop whose meta
-        update persisted but whose drop row did not) are dropped.
-        In-flight counters reset to each holder's applied frontier —
-        events admitted but never logged are the producer's to re-send,
-        exactly as on a single service.
+        but never WAL-logged, *or its worker's directory was lost
+        entirely* — so it is recreated fresh from its spec, with its
+        admission and rejection counters reset: the counters described a
+        stream history that no longer exists, and a recreated tenant's
+        operational story restarts from zero.  Stray mux tenants missing
+        from the registry (a drop whose meta update persisted but whose
+        drop row did not) are dropped.  In-flight counters reset to each
+        holder's applied frontier — events admitted but never logged are
+        the producer's to re-send, exactly as on a single service.
         """
         holders: dict[str, list[str]] = {}
         for name, worker in self._workers.items():
@@ -687,6 +1066,9 @@ class Cluster:
                 await self._workers[record.service].ingest_many(
                     [create_op(tenant, record.spec)]
                 )
+                record.rejected = {
+                    reason: 0 for reason in REJECT_REASONS
+                }
         for tenant, where in holders.items():
             for name in where:
                 await self._workers[name].ingest_many([drop_op(tenant)])

@@ -25,8 +25,33 @@ Verbs
     ``drop_tenant``, ``describe_tenant``, ``tenants``, ``metrics``,
     ``add_service``, ``remove_service``, ``rebalance``, ``flush``.
 
+Hardening
+---------
+One misbehaving client must not wedge the server.  The front end
+enforces, per connection: an **idle timeout** (no new frame header),
+a **read timeout** on frame bodies (the slowloris guard: a header
+followed by a trickle), a **max-concurrent-connections** cap (excess
+connections get one ``Unavailable`` error frame and are closed), and a
+**frame-rate limit** backed by the same
+:class:`~repro.serve.cluster.tenants.TokenBucket` machinery the tenant
+quotas use (over-rate frames get a ``RateLimited`` error reply on a
+still-live connection).  Every enforcement is counted in
+:class:`~repro.serve.cluster.metrics.FrontendMetrics`.  A peer that
+vanishes mid-frame is cleaned up quietly — no reply attempt, no logged
+traceback (:class:`FrameDisconnect`).
+
+Error replies that make sense to retry (``Unavailable`` while failover
+is restoring a worker, ``RateLimited``) carry ``"retryable": true``.
+
 :class:`ClusterClient` is the matching thin async client used by the
-benchmarks, the demo example, and the tests.
+benchmarks, the demo example, and the tests.  Give it a
+:class:`~repro.serve.cluster.retry.RetryPolicy` and it adds per-request
+timeouts, bounded exponential backoff with jitter on retryable errors
+(reconnecting as needed), idempotent ingest retries (a client-generated
+``request_id`` the server deduplicates, so a retry whose original
+admission succeeded — only the reply was lost — is *not* re-admitted;
+the replayed reply carries the tenant's admission ``frontier``), and an
+optional per-target :class:`~repro.serve.cluster.retry.CircuitBreaker`.
 """
 
 from __future__ import annotations
@@ -34,9 +59,22 @@ from __future__ import annotations
 import asyncio
 import contextlib
 import json
+import os
 import struct
+from collections import OrderedDict
 
-__all__ = ["ClusterFrontend", "ClusterClient", "FrameError", "MAX_FRAME"]
+from .metrics import FrontendMetrics
+from .retry import CircuitBreaker, CircuitOpenError, RetryPolicy
+from .tenants import TokenBucket
+
+__all__ = [
+    "ClusterFrontend",
+    "ClusterClient",
+    "FrameError",
+    "FrameDisconnect",
+    "FrameTimeout",
+    "MAX_FRAME",
+]
 
 _HEADER = struct.Struct(">I")
 #: Refuse frames above this size (a corrupt length prefix must not make
@@ -52,21 +90,55 @@ class FrameError(RuntimeError):
     """A malformed frame (bad length prefix, not JSON, not an object)."""
 
 
-async def read_frame(reader: asyncio.StreamReader) -> dict | None:
-    """Read one length-prefixed JSON object; ``None`` on clean EOF."""
+class FrameDisconnect(FrameError):
+    """The peer vanished mid-frame (partial length prefix or truncated
+    body).  There is nobody left to answer: the server cleans up quietly
+    instead of attempting an error reply or logging a traceback."""
+
+
+class FrameTimeout(FrameError):
+    """A frame read exceeded its deadline (idle header wait or a
+    slowloris body trickle)."""
+
+
+async def _read_exactly(reader: asyncio.StreamReader, n: int,
+                        timeout: float | None, what: str) -> bytes:
+    if timeout is None:
+        return await reader.readexactly(n)
     try:
-        header = await reader.readexactly(_HEADER.size)
+        return await asyncio.wait_for(reader.readexactly(n), timeout)
+    except asyncio.TimeoutError as err:
+        raise FrameTimeout(f"timed out reading frame {what}") from err
+
+
+async def read_frame(
+    reader: asyncio.StreamReader,
+    *,
+    idle_timeout: float | None = None,
+    body_timeout: float | None = None,
+) -> dict | None:
+    """Read one length-prefixed JSON object; ``None`` on clean EOF.
+
+    ``idle_timeout`` bounds the wait for the 4-byte header (how long a
+    connection may sit silent between requests); ``body_timeout`` bounds
+    the wait for the body once a header arrived (the slowloris guard).
+    Either raises :class:`FrameTimeout`.  A peer that disconnects after
+    sending a partial header or body raises :class:`FrameDisconnect`.
+    """
+    try:
+        header = await _read_exactly(reader, _HEADER.size, idle_timeout,
+                                     "header")
     except asyncio.IncompleteReadError as err:
         if not err.partial:
             return None
-        raise FrameError("connection closed mid-header") from err
+        raise FrameDisconnect("connection closed mid-header") from err
     (length,) = _HEADER.unpack(header)
     if length > MAX_FRAME:
         raise FrameError(f"frame of {length} bytes exceeds MAX_FRAME")
     try:
-        body = await reader.readexactly(length)
+        body = await _read_exactly(reader, length, body_timeout, "body")
     except asyncio.IncompleteReadError as err:
-        raise FrameError("connection closed mid-frame") from err
+        raise FrameDisconnect("connection closed mid-frame") from err
     try:
         message = json.loads(body.decode("utf-8"))
     except (UnicodeDecodeError, json.JSONDecodeError) as err:
@@ -105,11 +177,48 @@ class ClusterFrontend:
     True
     """
 
-    def __init__(self, cluster, *, host: str = "127.0.0.1", port: int = 0):
+    def __init__(
+        self,
+        cluster,
+        *,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        max_connections: int | None = None,
+        idle_timeout: float | None = None,
+        read_timeout: float | None = None,
+        frame_rate: float | None = None,
+        frame_burst: float | None = None,
+        dedupe_capacity: int = 4096,
+        clock=None,
+    ):
+        if max_connections is not None and max_connections < 1:
+            raise ValueError("max_connections must be >= 1 (or None)")
+        for name, value in (("idle_timeout", idle_timeout),
+                            ("read_timeout", read_timeout),
+                            ("frame_rate", frame_rate)):
+            if value is not None and value <= 0:
+                raise ValueError(f"{name} must be positive (or None)")
+        if dedupe_capacity < 1:
+            raise ValueError("dedupe_capacity must be >= 1")
         self.cluster = cluster
         self.host = host
         self.port = port
+        self.max_connections = max_connections
+        self.idle_timeout = idle_timeout
+        self.read_timeout = read_timeout
+        self.frame_rate = frame_rate
+        # Default burst matches the tenant-quota convention: one
+        # second's worth of frames.
+        self.frame_burst = (
+            frame_burst if frame_burst is not None else frame_rate
+        )
+        self.dedupe_capacity = dedupe_capacity
+        self.metrics = FrontendMetrics()
+        self._clock = clock
         self._server: asyncio.AbstractServer | None = None
+        #: Idempotency table: request_id -> successful ingest reply.
+        #: Bounded LRU — old entries fall off past ``dedupe_capacity``.
+        self._dedupe: OrderedDict[str, dict] = OrderedDict()
 
     @property
     def address(self) -> tuple[str, int]:
@@ -143,21 +252,92 @@ class ClusterFrontend:
     async def __aexit__(self, exc_type, exc, tb) -> None:
         await self.stop()
 
+    def _frame_bucket(self) -> TokenBucket | None:
+        """A fresh per-connection frame-rate bucket (``None`` = no limit)."""
+        if self.frame_rate is None:
+            return None
+        kwargs = {} if self._clock is None else {"clock": self._clock}
+        return TokenBucket(self.frame_rate, self.frame_burst, **kwargs)
+
     async def _serve_connection(self, reader, writer) -> None:
-        """Serve frames on one connection until EOF or a framing error."""
+        """Serve frames on one connection until EOF, timeout, or a fatal
+        framing error."""
+        metrics = self.metrics
+        if (self.max_connections is not None
+                and metrics.connections_active >= self.max_connections):
+            # Over the cap: one retryable error frame, then close.  The
+            # client's backoff spreads the reconnects out.
+            metrics.connections_rejected += 1
+            with contextlib.suppress(Exception):
+                write_frame(writer, {
+                    "ok": False,
+                    "error": "connection limit reached",
+                    "error_type": "Unavailable",
+                    "retryable": True,
+                })
+                await writer.drain()
+            writer.close()
+            with contextlib.suppress(Exception):
+                await writer.wait_closed()
+            return
+        metrics.connections_opened += 1
+        metrics.connections_active += 1
+        bucket = self._frame_bucket()
         try:
             while True:
                 try:
-                    request = await read_frame(reader)
+                    request = await read_frame(
+                        reader,
+                        idle_timeout=self.idle_timeout,
+                        body_timeout=self.read_timeout,
+                    )
+                except FrameDisconnect:
+                    # The peer is gone mid-frame: nobody to answer, and
+                    # a traceback would be noise.  Clean close only.
+                    metrics.disconnects_mid_frame += 1
+                    break
+                except FrameTimeout as err:
+                    if "header" in str(err):
+                        # Idle between requests: close *quietly*.  An
+                        # error frame here would sit in the peer's
+                        # receive buffer and desynchronize its next
+                        # request/reply pairing after a reconnect.
+                        metrics.idle_timeouts += 1
+                        break
+                    # Mid-frame trickle (slowloris): the peer is not
+                    # awaiting a reply, so announcing the reap is safe.
+                    metrics.read_timeouts += 1
+                    with contextlib.suppress(Exception):
+                        write_frame(writer, {
+                            "ok": False, "error": str(err),
+                            "error_type": "FrameTimeout",
+                        })
+                        await writer.drain()
+                    break
                 except FrameError as err:
-                    write_frame(writer, {
-                        "ok": False, "error": str(err),
-                        "error_type": "FrameError",
-                    })
-                    await writer.drain()
+                    metrics.frame_errors += 1
+                    with contextlib.suppress(Exception):
+                        write_frame(writer, {
+                            "ok": False, "error": str(err),
+                            "error_type": "FrameError",
+                        })
+                        await writer.drain()
                     break
                 if request is None:
                     break
+                metrics.frames_read += 1
+                if bucket is not None and not bucket.try_acquire(1):
+                    # Over the per-connection frame rate: push back on
+                    # this frame only; the connection stays usable.
+                    metrics.frames_rate_limited += 1
+                    write_frame(writer, {
+                        "ok": False,
+                        "error": "per-connection frame rate exceeded",
+                        "error_type": "RateLimited",
+                        "retryable": True,
+                    })
+                    await writer.drain()
+                    continue
                 reply = await self._dispatch(request)
                 try:
                     write_frame(writer, reply)
@@ -171,9 +351,11 @@ class ClusterFrontend:
                         "error_type": "FrameError",
                     })
                 await writer.drain()
-        except (ConnectionError, asyncio.CancelledError):
+        except (ConnectionError, OSError, asyncio.CancelledError):
             pass
         finally:
+            metrics.connections_active -= 1
+            metrics.connections_closed += 1
             writer.close()
             with contextlib.suppress(Exception):
                 await writer.wait_closed()
@@ -207,31 +389,86 @@ class ClusterFrontend:
             for name in ("weights", "values", "times")
         }
 
+    def _dedupe_lookup(self, request: dict) -> dict | None:
+        """The cached reply for this ``request_id``, if one exists."""
+        request_id = request.get("request_id")
+        if request_id is None or request_id not in self._dedupe:
+            return None
+        self._dedupe.move_to_end(request_id)
+        self.metrics.replies_deduped += 1
+        return {**self._dedupe[request_id], "deduped": True}
+
+    def _dedupe_store(self, request: dict, reply: dict) -> dict:
+        """Cache a *successful admission* reply under its ``request_id``
+        (stamped with the tenant's admission frontier), so a retry whose
+        only casualty was the reply is answered without re-admitting."""
+        request_id = request.get("request_id")
+        if request_id is None or not reply.get("admitted"):
+            return reply
+        record = self.cluster.registry.get(request["tenant"])
+        reply = {**reply, "frontier": record.events_enqueued}
+        self._dedupe[request_id] = reply
+        while len(self._dedupe) > self.dedupe_capacity:
+            self._dedupe.popitem(last=False)
+        return reply
+
+    @staticmethod
+    def _shed_reply() -> dict:
+        """The retryable push-back reply for ingest shed while a worker
+        is down (the supervisor is restoring it; the client's backoff
+        covers the gap)."""
+        return {
+            "ok": False,
+            "error": "tenant's worker is down; ingest shed",
+            "error_type": "Unavailable",
+            "retryable": True,
+        }
+
     async def _verb_ingest(self, request: dict) -> dict:
         """Scalar admission: blocking or quota-checked non-blocking."""
+        cached = self._dedupe_lookup(request)
+        if cached is not None:
+            return cached
         tenant = request["tenant"]
         kwargs = {
             "value": request.get("value"), "time": request.get("time"),
         }
         weight = float(request.get("weight", 1.0))
         if request.get("block", False):
-            await self.cluster.ingest(tenant, request["key"], weight, **kwargs)
-            return {"admitted": True}
+            admitted = await self.cluster.ingest(
+                tenant, request["key"], weight,
+                expect_frontier=request.get("expect_frontier"), **kwargs
+            )
+            if not admitted:
+                return self._shed_reply()
+            return self._dedupe_store(request, {"admitted": True})
         admitted = self.cluster.try_ingest(
             tenant, request["key"], weight, **kwargs
         )
-        return {"admitted": admitted}
+        return self._dedupe_store(request, {"admitted": admitted})
 
     async def _verb_ingest_many(self, request: dict) -> dict:
         """Batch admission: blocking or quota-checked non-blocking."""
+        cached = self._dedupe_lookup(request)
+        if cached is not None:
+            return cached
         tenant = request["tenant"]
         keys = request["keys"]
         columns = self._columns(request)
         if request.get("block", False):
-            await self.cluster.ingest_many(tenant, keys, **columns)
-            return {"admitted": True, "n": len(keys)}
+            admitted = await self.cluster.ingest_many(
+                tenant, keys,
+                expect_frontier=request.get("expect_frontier"), **columns
+            )
+            if not admitted:
+                return self._shed_reply()
+            return self._dedupe_store(
+                request, {"admitted": True, "n": len(keys)}
+            )
         admitted = self.cluster.try_ingest_many(tenant, keys, **columns)
-        return {"admitted": admitted, "n": len(keys) if admitted else 0}
+        return self._dedupe_store(
+            request, {"admitted": admitted, "n": len(keys) if admitted else 0}
+        )
 
     async def _verb_estimate(self, request: dict) -> dict:
         """Tenant-scoped estimate (JSON-able kinds/options only)."""
@@ -256,6 +493,8 @@ class ClusterFrontend:
             reply["stderr"] = float(result.stderr)
         if result.ci is not None:
             reply["ci"] = [float(bound) for bound in result.ci]
+        if result.degraded:
+            reply["degraded"] = True
         return reply
 
     async def _verb_sample(self, request: dict) -> dict:
@@ -329,48 +568,159 @@ class ClusterClient:
 
     One request at a time per client instance (the protocol itself
     pipelines fine; open more clients for concurrency).
+
+    Without a ``retry`` policy the client is exactly the thin wrapper it
+    always was: one attempt, errors surface immediately.  With one, each
+    :meth:`call` is bounded by the policy's ``request_timeout``, retried
+    with exponential backoff and jitter on transport failures, timeouts,
+    and replies flagged ``"retryable": true`` (reconnecting on a dead or
+    suspect connection), and ingest verbs get an automatic
+    ``request_id`` so a retry after a lost reply is answered from the
+    server's idempotency table instead of double-counting events.  An
+    optional per-target ``breaker`` fails calls fast
+    (:class:`~repro.serve.cluster.retry.CircuitOpenError`) while the
+    target keeps failing at the transport level.
     """
 
     def __init__(self, reader: asyncio.StreamReader,
-                 writer: asyncio.StreamWriter):
+                 writer: asyncio.StreamWriter, *,
+                 host: str | None = None, port: int | None = None,
+                 retry: RetryPolicy | None = None,
+                 breaker: CircuitBreaker | None = None,
+                 rng=None):
         self._reader = reader
         self._writer = writer
+        self._host = host
+        self._port = port
+        self.retry = retry
+        self.breaker = breaker
+        self._rng = rng
+        self._request_seq = 0
+        self._nonce = os.urandom(6).hex()
 
     @classmethod
-    async def connect(cls, host: str, port: int) -> "ClusterClient":
+    async def connect(cls, host: str, port: int, *,
+                      retry: RetryPolicy | None = None,
+                      breaker: CircuitBreaker | None = None,
+                      rng=None) -> "ClusterClient":
         """Open a connection to a running :class:`ClusterFrontend`."""
         reader, writer = await asyncio.open_connection(host, port)
-        return cls(reader, writer)
+        return cls(reader, writer, host=host, port=port,
+                   retry=retry, breaker=breaker, rng=rng)
 
     async def aclose(self) -> None:
         """Close the connection."""
+        if self._writer is None:
+            return
         self._writer.close()
         with contextlib.suppress(Exception):
             await self._writer.wait_closed()
+
+    def next_request_id(self) -> str:
+        """A fresh idempotency key (unique per client instance)."""
+        self._request_seq += 1
+        return f"{self._nonce}-{self._request_seq}"
+
+    async def _ensure_connection(self) -> None:
+        """Reconnect if the previous attempt burned the connection."""
+        if self._writer is not None:
+            return
+        if self._host is None or self._port is None:
+            raise FrameError(
+                "connection lost and no (host, port) to reconnect"
+            )
+        self._reader, self._writer = await asyncio.open_connection(
+            self._host, self._port
+        )
+
+    def _drop_connection(self) -> None:
+        """Discard a connection whose frame alignment is no longer
+        trustworthy (timeout mid-round-trip, transport error)."""
+        if self._writer is None:
+            return
+        writer, self._writer = self._writer, None
+        self._reader = None
+        writer.close()
+
+    async def _roundtrip(self, request: dict) -> dict:
+        """One request frame out, one reply frame back (no retries)."""
+        await self._ensure_connection()
+        write_frame(self._writer, request)
+        await self._writer.drain()
+        reply = await read_frame(self._reader)
+        if reply is None:
+            raise FrameError("server closed the connection")
+        return reply
+
+    @staticmethod
+    def _reply_error(reply: dict) -> RuntimeError:
+        return RuntimeError(
+            f"{reply.get('error_type', 'Error')}: "
+            f"{reply.get('error', 'unknown error')}"
+        )
 
     async def call(self, request: dict) -> dict:
         """Send one request frame and await its reply frame.
 
         Raises ``RuntimeError`` on an error reply (carrying the server's
         ``error_type``/``error``) and ``FrameError`` on a dead
-        connection.
+        connection (after the retry budget, when a policy is set).
         """
-        write_frame(self._writer, request)
-        await self._writer.drain()
-        reply = await read_frame(self._reader)
-        if reply is None:
-            raise FrameError("server closed the connection")
-        if not reply.get("ok", False):
-            raise RuntimeError(
-                f"{reply.get('error_type', 'Error')}: "
-                f"{reply.get('error', 'unknown error')}"
-            )
-        return reply
+        if self.retry is None:
+            reply = await self._roundtrip(request)
+            if not reply.get("ok", False):
+                raise self._reply_error(reply)
+            return reply
+        policy = self.retry
+        last_error: Exception | None = None
+        for attempt in range(1, policy.max_attempts + 1):
+            if self.breaker is not None and not self.breaker.allow():
+                raise CircuitOpenError(
+                    f"circuit open for {self._host}:{self._port}"
+                )
+            try:
+                if policy.request_timeout is None:
+                    reply = await self._roundtrip(request)
+                else:
+                    reply = await asyncio.wait_for(
+                        self._roundtrip(request), policy.request_timeout
+                    )
+            except (ConnectionError, OSError, FrameError,
+                    asyncio.TimeoutError) as err:
+                # Transport failure: the connection's frame alignment is
+                # unknown — burn it, count it against the breaker, back
+                # off, reconnect on the next attempt.
+                self._drop_connection()
+                if self.breaker is not None:
+                    self.breaker.record_failure()
+                last_error = err
+            else:
+                if reply.get("ok", False):
+                    if self.breaker is not None:
+                        self.breaker.record_success()
+                    return reply
+                if not reply.get("retryable", False):
+                    if self.breaker is not None:
+                        self.breaker.record_success()
+                    raise self._reply_error(reply)
+                # Application-level push-back (Unavailable, RateLimited):
+                # the target is alive, so the breaker is not charged.
+                last_error = self._reply_error(reply)
+            if attempt < policy.max_attempts:
+                await asyncio.sleep(policy.delay(attempt, self._rng))
+        raise last_error
 
     # -- convenience verbs -------------------------------------------------
     async def ingest(self, tenant: str, key, weight: float = 1.0, *,
-                     value=None, time=None, block: bool = False) -> dict:
-        """Scalar ``ingest`` (non-blocking unless ``block=True``)."""
+                     value=None, time=None, block: bool = False,
+                     request_id: str | None = None,
+                     expect_frontier: int | None = None) -> dict:
+        """Scalar ``ingest`` (non-blocking unless ``block=True``).
+
+        With a retry policy set, a ``request_id`` is generated
+        automatically so retries are idempotent.  ``expect_frontier``
+        makes a blocking admission conditional on the tenant's frontier
+        (a non-retryable ``StaleFrontier`` error reply otherwise)."""
         request = {
             "verb": "ingest", "tenant": tenant, "key": key,
             "weight": weight, "block": block,
@@ -379,22 +729,40 @@ class ClusterClient:
             request["value"] = value
         if time is not None:
             request["time"] = time
+        if expect_frontier is not None:
+            request["expect_frontier"] = int(expect_frontier)
+        if request_id is None and self.retry is not None:
+            request_id = self.next_request_id()
+        if request_id is not None:
+            request["request_id"] = request_id
         return await self.call(request)
 
     async def ingest_many(self, tenant: str, keys, *, weights=None,
-                          values=None, times=None,
-                          block: bool = True) -> dict:
-        """Batch ``ingest_many`` (blocking by default, like the API)."""
+                          values=None, times=None, block: bool = True,
+                          request_id: str | None = None,
+                          expect_frontier: int | None = None) -> dict:
+        """Batch ``ingest_many`` (blocking by default, like the API).
+
+        With a retry policy set, a ``request_id`` is generated
+        automatically so retries are idempotent.  ``expect_frontier``
+        makes a blocking admission conditional on the tenant's frontier
+        (a non-retryable ``StaleFrontier`` error reply otherwise)."""
         request = {
             "verb": "ingest_many", "tenant": tenant, "keys": list(keys),
             "block": block,
         }
+        if expect_frontier is not None:
+            request["expect_frontier"] = int(expect_frontier)
         if weights is not None:
             request["weights"] = list(weights)
         if values is not None:
             request["values"] = list(values)
         if times is not None:
             request["times"] = list(times)
+        if request_id is None and self.retry is not None:
+            request_id = self.next_request_id()
+        if request_id is not None:
+            request["request_id"] = request_id
         return await self.call(request)
 
     async def estimate(self, tenant: str, kind: str | None = None) -> dict:

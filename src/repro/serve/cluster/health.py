@@ -1,0 +1,125 @@
+"""Worker health probes: heartbeat plus consumer-liveness checks.
+
+The supervisor (:mod:`repro.serve.cluster.supervisor`) needs one cheap,
+event-loop-local question answered per worker per tick: *is this
+``StreamService`` still making progress?*  :func:`probe_service` answers
+it from three signals the service already exposes:
+
+- ``service.crashed`` — the consumer task died with an error
+  (``VERDICT_CRASHED``).
+- ``service.consumer_alive`` — the consumer task finished or vanished
+  without the service being stopped on purpose (``VERDICT_DEAD``; an
+  externally-aborted worker looks the same as a killed one).
+- the **heartbeat**: the consumer stamps ``loop.time()`` once per loop
+  turn, so a stale stamp *while events are pending* means the consumer
+  is wedged inside a flush — a stalled fault hook, a stuck kernel, an
+  unresponsive disk (``VERDICT_STALLED``).  An idle consumer parked on
+  its wake event with nothing pending is healthy no matter how old its
+  stamp is.
+
+A single bad probe is not an incident: :class:`WorkerHealth` keeps a
+consecutive-miss counter per worker and only trips to ``down`` after
+``HealthConfig.max_missed`` consecutive bad probes, which keeps one
+slow flush from triggering a pointless failover.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+__all__ = [
+    "HealthConfig",
+    "WorkerHealth",
+    "probe_service",
+    "VERDICT_HEALTHY",
+    "VERDICT_CRASHED",
+    "VERDICT_DEAD",
+    "VERDICT_STALLED",
+]
+
+VERDICT_HEALTHY = "healthy"
+VERDICT_CRASHED = "crashed"   # consumer task died with an error
+VERDICT_DEAD = "dead"         # consumer task gone without a clean stop
+VERDICT_STALLED = "stalled"   # pending work, heartbeat not advancing
+
+#: Probe verdicts that count as a miss toward the down threshold.
+UNHEALTHY_VERDICTS = (VERDICT_CRASHED, VERDICT_DEAD, VERDICT_STALLED)
+
+
+@dataclass(frozen=True)
+class HealthConfig:
+    """Supervision cadence and thresholds.
+
+    ``interval`` is the probe period in seconds; ``stall_timeout`` how
+    long the consumer heartbeat may lag behind ``loop.time()`` while
+    events are pending before the worker counts as wedged (it bounds the
+    largest tolerable single-flush duration — size it to several times
+    the worst expected batch-apply time); ``max_missed`` how many
+    *consecutive* bad probes trip failover.  Detection latency is thus
+    bounded by roughly ``stall_timeout + max_missed * interval`` for a
+    wedge and ``max_missed * interval`` for a crash.
+    """
+
+    interval: float = 0.05
+    stall_timeout: float = 1.0
+    max_missed: int = 2
+
+    def __post_init__(self):
+        if self.interval <= 0:
+            raise ValueError("interval must be positive")
+        if self.stall_timeout <= 0:
+            raise ValueError("stall_timeout must be positive")
+        if self.max_missed < 1:
+            raise ValueError("max_missed must be >= 1")
+
+
+@dataclass
+class WorkerHealth:
+    """One worker's rolling probe history (the supervisor's per-worker
+    state machine: ``healthy`` -> ``suspect`` -> ``down``)."""
+
+    name: str
+    verdict: str = VERDICT_HEALTHY
+    missed: int = 0
+    probes: int = 0
+    #: Applied-event frontier at the last probe; forward progress on it
+    #: clears a stall suspicion even when the heartbeat looks stale.
+    last_applied: int = 0
+
+    @property
+    def status(self) -> str:
+        """``healthy`` / ``suspect`` (missed > 0, below threshold)."""
+        return "healthy" if self.missed == 0 else "suspect"
+
+    def observe(self, verdict: str, applied: int, *,
+                max_missed: int) -> bool:
+        """Fold one probe verdict in; ``True`` when failover should fire."""
+        self.probes += 1
+        self.verdict = verdict
+        if verdict == VERDICT_HEALTHY:
+            self.missed = 0
+        else:
+            self.missed += 1
+        self.last_applied = applied
+        return self.missed >= max_missed
+
+
+def probe_service(service, now: float, health: WorkerHealth,
+                  config: HealthConfig) -> str:
+    """One liveness probe of ``service`` at loop time ``now``.
+
+    Pure inspection — never awaits, never touches the service's locks —
+    so the supervisor can probe a wedged worker without getting wedged
+    itself.
+    """
+    if service.crashed:
+        return VERDICT_CRASHED
+    if not service.consumer_alive:
+        return VERDICT_DEAD
+    if (
+        service.pending_events > 0
+        and service.events_applied == health.last_applied
+        and now - service.last_heartbeat > config.stall_timeout
+    ):
+        return VERDICT_STALLED
+    return VERDICT_HEALTHY

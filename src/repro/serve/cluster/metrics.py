@@ -15,7 +15,52 @@ from dataclasses import dataclass, field
 
 from ..metrics import ServiceMetrics
 
-__all__ = ["ClusterMetrics"]
+__all__ = ["ClusterMetrics", "FrontendMetrics"]
+
+
+@dataclass
+class FrontendMetrics:
+    """Connection-level counters for :class:`~.frontend.ClusterFrontend`.
+
+    Every hardening decision the front end makes is counted here, so a
+    misbehaving client shows up in a dashboard rather than only in the
+    server's latency: connections refused at the concurrency cap,
+    frames refused by the per-connection rate limit, idle/read timeouts,
+    quiet mid-frame disconnects, and ingest replies served from the
+    idempotency table instead of re-admitting.
+    """
+
+    connections_opened: int = 0
+    connections_closed: int = 0
+    connections_active: int = 0
+    connections_rejected: int = 0
+    frames_read: int = 0
+    frames_rate_limited: int = 0
+    idle_timeouts: int = 0
+    read_timeouts: int = 0
+    disconnects_mid_frame: int = 0
+    frame_errors: int = 0
+    replies_deduped: int = 0
+
+    def to_dict(self) -> dict:
+        """JSON-friendly snapshot."""
+        return {
+            "connections_opened": self.connections_opened,
+            "connections_closed": self.connections_closed,
+            "connections_active": self.connections_active,
+            "connections_rejected": self.connections_rejected,
+            "frames_read": self.frames_read,
+            "frames_rate_limited": self.frames_rate_limited,
+            "idle_timeouts": self.idle_timeouts,
+            "read_timeouts": self.read_timeouts,
+            "disconnects_mid_frame": self.disconnects_mid_frame,
+            "frame_errors": self.frame_errors,
+            "replies_deduped": self.replies_deduped,
+        }
+
+    def as_dict(self) -> dict:
+        """Alias of :meth:`to_dict`."""
+        return self.to_dict()
 
 
 @dataclass
@@ -32,12 +77,19 @@ class ClusterMetrics:
     services: dict[str, ServiceMetrics] = field(default_factory=dict)
     total: ServiceMetrics = field(default_factory=ServiceMetrics)
     tenants: dict[str, dict] = field(default_factory=dict)
+    #: Workers currently marked down: name -> outage description
+    #: (reason, since, degraded_reads, shed_events).
+    services_down: dict[str, dict] = field(default_factory=dict)
 
     @classmethod
-    def collect(cls, workers: dict, registry) -> "ClusterMetrics":
+    def collect(cls, workers: dict, registry,
+                down: dict | None = None) -> "ClusterMetrics":
         """Snapshot ``workers`` (name -> ``StreamService``) and
-        ``registry`` into one aggregated view."""
+        ``registry`` into one aggregated view.  ``down`` is the
+        cluster's outage map (``Cluster.down_services()``)."""
         out = cls()
+        down = down or {}
+        out.services_down = {name: dict(row) for name, row in down.items()}
         for name in sorted(workers):
             snapshot = ServiceMetrics.from_dict(workers[name].metrics.to_dict())
             out.services[name] = snapshot
@@ -61,6 +113,7 @@ class ClusterMetrics:
                 ),
                 "rejected": dict(record.rejected),
                 "migrating": record.migrating,
+                "unavailable": record.service in down,
             }
         return out
 
@@ -75,6 +128,10 @@ class ClusterMetrics:
             "tenants": {
                 tenant: dict(row)
                 for tenant, row in sorted(self.tenants.items())
+            },
+            "services_down": {
+                name: dict(row)
+                for name, row in sorted(self.services_down.items())
             },
         }
 

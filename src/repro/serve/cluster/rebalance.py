@@ -36,10 +36,12 @@ from __future__ import annotations
 import contextlib
 from dataclasses import dataclass
 
-from .mux import drop_op, install_op
+from ..service import StreamService
+from .mux import create_op, drop_op, install_op
+from .tenants import REJECT_REASONS
 
 __all__ = ["TenantMove", "RebalancePlan", "plan_moves", "execute",
-           "add_service", "remove_service", "rebalance"]
+           "add_service", "remove_service", "rebalance", "rehome_service"]
 
 
 @dataclass(frozen=True)
@@ -222,6 +224,93 @@ async def add_service(cluster, name: str | None = None) -> str:
     finally:
         cluster._save_meta()
     return name
+
+
+async def rehome_service(cluster, name: str, *,
+                         reason: str = "manual") -> RebalancePlan:
+    """Evacuate a *dead* worker's tenants onto the surviving pool.
+
+    The live-handoff protocol (:func:`execute`) cannot run here — the
+    source worker's consumer is gone, so there is nothing to gate,
+    quiesce, or flush.  Instead the dead worker's **durable** state is
+    read offline (``StreamService.recover`` on its directory: newest
+    valid checkpoint + WAL-tail replay, bit-exact at the durable
+    frontier, never started) and installed on the ring-chosen survivors
+    with the same durable-before-commit ordering as a live move:
+
+    1. Mark the worker down (reads degrade, ingest sheds) and abort its
+       remains; recover its directory offline.
+    2. Remove it from the ring and the pool (its directory stays behind
+       as an inert tombstone, exactly like ``remove_service``).
+    3. Per destination: enqueue install rows (or create rows, for
+       tenants whose create never became durable — they restart fresh
+       with counters reset) and flush, *then* repoint the registry.
+       FIFO worker queues order any racing post-repoint ingest behind
+       the install row, so no event meets an unknown tenant.
+    4. Persist the meta.  Tenants resume at their durable frontier;
+       events past it were never durable anywhere and are the
+       producer's to re-send — the single-service loss contract.
+
+    On an in-memory cluster there is nothing durable: every tenant is
+    recreated fresh from its spec on its new worker (documented state
+    loss, counters reset).
+    """
+    cluster._check_started()
+    if name not in cluster._workers:
+        raise ValueError(f"unknown service {name!r}")
+    if len(cluster._workers) == 1:
+        raise ValueError("cannot rehome the last service")
+    cluster.mark_service_down(name, reason)
+    await cluster._workers[name].abort()
+
+    # (1) The dead worker's durable state, read offline.
+    states: dict[str, tuple[dict, int]] = {}
+    if cluster.dir is not None and (
+        cluster.dir / name / "service.pkl"
+    ).exists():
+        snapshot = StreamService.recover(cluster.dir / name)
+        mux = snapshot.sampler
+        for tenant in mux.tenants():
+            states[tenant] = (
+                mux.tenant_sampler(tenant).to_state(),
+                mux.events_applied_for(tenant),
+            )
+
+    # (2) Retire the dead worker from the pool.
+    cluster.ring.remove_node(name)
+    cluster._workers.pop(name)
+
+    # (3) Install on survivors, then commit placements.
+    moves = []
+    by_destination: dict[str, list] = {}
+    for tenant in cluster.registry.tenants():
+        record = cluster.registry.get(tenant)
+        if record.service != name:
+            continue
+        destination = cluster.ring.node_for(tenant)
+        moves.append(TenantMove(tenant, name, destination))
+        by_destination.setdefault(destination, []).append(record)
+    for destination, group in by_destination.items():
+        worker = cluster._workers[destination]
+        await worker.ingest_many([
+            install_op(record.tenant, *states[record.tenant])
+            if record.tenant in states
+            else create_op(record.tenant, record.spec)
+            for record in group
+        ])
+        await worker.flush()
+        for record in group:
+            record.service = destination
+            if record.tenant in states:
+                record.events_enqueued = states[record.tenant][1]
+            else:
+                record.events_enqueued = 0
+                record.rejected = {r: 0 for r in REJECT_REASONS}
+
+    # (4) The outage is over: the dead worker serves nothing now.
+    cluster.mark_service_up(name)
+    cluster._save_meta()
+    return RebalancePlan(tuple(moves))
 
 
 async def remove_service(cluster, name: str) -> RebalancePlan:

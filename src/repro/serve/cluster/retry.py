@@ -1,0 +1,147 @@
+"""Client-side robustness: retry policy, backoff, circuit breaker.
+
+These are the :class:`~repro.serve.cluster.frontend.ClusterClient`'s
+fault-handling primitives, kept dependency-free and clock-injectable so
+they are unit-testable without a server:
+
+- :class:`RetryPolicy` — bounded exponential backoff with jitter plus a
+  per-request timeout.  Attempts are capped (``max_attempts``), delays
+  grow geometrically from ``base_delay`` to ``max_delay``, and each
+  delay is jittered downward by up to ``jitter`` of itself so a herd of
+  clients retrying the same outage spreads out instead of thundering.
+- :class:`CircuitBreaker` — a per-target breaker: after
+  ``failure_threshold`` *consecutive* transport failures the circuit
+  opens and calls fail fast (:class:`CircuitOpenError`) without touching
+  the network; after ``reset_timeout`` seconds the circuit goes
+  half-open and lets probes through — one success closes it, one
+  failure re-opens it for another full timeout.
+
+What counts as retryable is the client's decision (transport errors,
+timeouts, and server replies flagged ``"retryable": true`` — e.g.
+``Unavailable`` during failover, ``RateLimited`` from the frontend's
+per-connection frame limit); what counts as a *breaker* failure is
+narrower — only transport-level failures, because an application-level
+pushback reply proves the target is alive.
+"""
+
+from __future__ import annotations
+
+import random
+import time
+from dataclasses import dataclass
+
+__all__ = ["RetryPolicy", "CircuitBreaker", "CircuitOpenError"]
+
+
+class CircuitOpenError(ConnectionError):
+    """The circuit breaker is open: the target failed repeatedly and the
+    reset timeout has not elapsed — fail fast, do not touch the wire."""
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Bounded exponential backoff with jitter.
+
+    ``max_attempts`` caps total tries (first call included);
+    ``request_timeout`` bounds each round trip (``None`` disables).  The
+    delay before retry ``attempt`` (1-based) is
+    ``min(max_delay, base_delay * multiplier**(attempt-1))``, jittered
+    down by up to ``jitter`` of itself.
+    """
+
+    max_attempts: int = 4
+    base_delay: float = 0.05
+    max_delay: float = 2.0
+    multiplier: float = 2.0
+    jitter: float = 0.25
+    request_timeout: float | None = 30.0
+
+    def __post_init__(self):
+        if self.max_attempts < 1:
+            raise ValueError("max_attempts must be >= 1")
+        if self.base_delay < 0 or self.max_delay < self.base_delay:
+            raise ValueError("need 0 <= base_delay <= max_delay")
+        if self.multiplier < 1:
+            raise ValueError("multiplier must be >= 1")
+        if not (0 <= self.jitter <= 1):
+            raise ValueError("jitter must be in [0, 1]")
+        if self.request_timeout is not None and self.request_timeout <= 0:
+            raise ValueError("request_timeout must be positive (or None)")
+
+    def delay(self, attempt: int, rng: random.Random | None = None) -> float:
+        """The backoff before retry ``attempt`` (1-based), jittered.
+
+        >>> policy = RetryPolicy(base_delay=0.1, multiplier=2.0,
+        ...                      max_delay=0.5, jitter=0.0)
+        >>> [policy.delay(i) for i in (1, 2, 3, 4)]
+        [0.1, 0.2, 0.4, 0.5]
+        """
+        if attempt < 1:
+            raise ValueError("attempt is 1-based")
+        base = min(
+            self.max_delay, self.base_delay * self.multiplier ** (attempt - 1)
+        )
+        if self.jitter == 0:
+            return base
+        draw = (rng or random).random()
+        return base * (1 - self.jitter * draw)
+
+
+class CircuitBreaker:
+    """Consecutive-failure circuit breaker with a half-open probe state.
+
+    >>> now = [0.0]
+    >>> breaker = CircuitBreaker(failure_threshold=2, reset_timeout=1.0,
+    ...                          clock=lambda: now[0])
+    >>> breaker.record_failure(); breaker.record_failure()
+    >>> breaker.state, breaker.allow()
+    ('open', False)
+    >>> now[0] += 1.0
+    >>> breaker.state, breaker.allow()  # half-open: probes allowed
+    ('half_open', True)
+    >>> breaker.record_success()
+    >>> breaker.state
+    'closed'
+    """
+
+    def __init__(self, failure_threshold: int = 5,
+                 reset_timeout: float = 5.0, *, clock=None):
+        if failure_threshold < 1:
+            raise ValueError("failure_threshold must be >= 1")
+        if reset_timeout <= 0:
+            raise ValueError("reset_timeout must be positive")
+        self.failure_threshold = int(failure_threshold)
+        self.reset_timeout = float(reset_timeout)
+        self._clock = clock if clock is not None else time.monotonic
+        self._failures = 0
+        self._opened_at: float | None = None
+
+    @property
+    def state(self) -> str:
+        """``closed`` / ``open`` / ``half_open``."""
+        if self._opened_at is None:
+            return "closed"
+        if self._clock() - self._opened_at >= self.reset_timeout:
+            return "half_open"
+        return "open"
+
+    @property
+    def failures(self) -> int:
+        """Consecutive transport failures since the last success."""
+        return self._failures
+
+    def allow(self) -> bool:
+        """Whether a call may touch the wire right now."""
+        return self.state != "open"
+
+    def record_success(self) -> None:
+        """A call succeeded: close the circuit, clear the streak."""
+        self._failures = 0
+        self._opened_at = None
+
+    def record_failure(self) -> None:
+        """A transport failure: extend the streak; trip (or re-trip)
+        the circuit at the threshold."""
+        self._failures += 1
+        if self._failures >= self.failure_threshold:
+            self._opened_at = self._clock()

@@ -1,0 +1,293 @@
+"""Automatic failover: the cluster's self-healing loop.
+
+A :class:`Supervisor` owns one background task that probes every worker
+of a :class:`~repro.serve.cluster.Cluster` on a fixed cadence
+(:mod:`~repro.serve.cluster.health`) and, when a worker trips the
+consecutive-miss threshold, executes failover *while the cluster keeps
+serving*: the moment the worker is marked down, reads for its tenants
+degrade to the last durable snapshot (``degraded=True`` results with a
+pinned ``state_version``) and ingest sheds with the counted
+``unavailable`` reason — no caller ever sees ``ServiceCrashed``.
+
+Two recovery policies:
+
+``"restart"`` (default)
+    Restart-in-place via :meth:`Cluster.restart_service` — the worker is
+    rebuilt bit-exactly from its own directory (newest valid checkpoint
+    + WAL-tail replay) under the same name.  The cheap option when the
+    disk survived; tenants keep their placement.
+``"rehome"``
+    Evacuate via :meth:`Cluster.rehome_service` — the dead worker's
+    durable state is read offline and installed on the ring-chosen
+    survivors, shrinking the pool by one.  The right option when the
+    worker's host is gone for good.
+
+``policy`` may also be a callable ``(worker_name, verdict) -> action``
+for mixed fleets (e.g. rehome on ``"dead"``, restart on ``"stalled"``).
+
+Every failover is recorded as a :class:`FailoverEvent` with detection
+and restoration timestamps — ``benchmarks/bench_failover.py`` reads
+these to report detection latency and restore latency under load.  A
+failed recovery leaves the worker marked down (degraded serving
+continues) and is retried on the next tick.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import contextlib
+from dataclasses import dataclass, field
+
+from .health import (
+    HealthConfig,
+    WorkerHealth,
+    probe_service,
+)
+
+__all__ = ["Supervisor", "FailoverEvent"]
+
+
+@dataclass
+class FailoverEvent:
+    """One detected outage and what the supervisor did about it.
+
+    ``detected_at`` / ``restored_at`` are event-loop timestamps
+    (``loop.time()``); ``restored_at`` stays ``None`` while recovery is
+    in progress or after a failed attempt (``error`` carries the
+    failure; the next tick appends a fresh event for the retry).
+    """
+
+    worker: str
+    reason: str
+    action: str
+    detected_at: float
+    restored_at: float | None = None
+    error: str | None = None
+    #: Tenants moved off the worker (``rehome`` only).
+    moved: tuple[str, ...] = ()
+
+    @property
+    def restore_latency(self) -> float | None:
+        """Seconds from detection to restored service (``None`` if not
+        restored)."""
+        if self.restored_at is None:
+            return None
+        return self.restored_at - self.detected_at
+
+
+class Supervisor:
+    """Health-check a cluster's workers and fail over automatically.
+
+    Parameters
+    ----------
+    cluster:
+        The started :class:`~repro.serve.cluster.Cluster` to supervise.
+    config:
+        A :class:`~repro.serve.cluster.health.HealthConfig`; the
+        ``interval`` / ``stall_timeout`` / ``max_missed`` keywords build
+        one when it is omitted.
+    policy:
+        ``"restart"``, ``"rehome"``, or a callable
+        ``(worker_name, verdict) -> action``.
+    on_failover:
+        Optional callback invoked with each completed
+        :class:`FailoverEvent` (after success *or* failure).
+
+    Examples
+    --------
+    >>> import asyncio
+    >>> from repro.serve.cluster import Cluster, Supervisor
+    >>> async def demo():
+    ...     async with Cluster(services=2) as cluster:
+    ...         async with Supervisor(cluster, interval=0.01) as sup:
+    ...             await cluster.create_tenant(
+    ...                 "acme", {"name": "bottom_k", "params": {"k": 8}})
+    ...             return sup.status()["svc-0"]["status"]
+    >>> asyncio.run(demo())
+    'healthy'
+    """
+
+    def __init__(
+        self,
+        cluster,
+        *,
+        config: HealthConfig | None = None,
+        interval: float | None = None,
+        stall_timeout: float | None = None,
+        max_missed: int | None = None,
+        policy="restart",
+        on_failover=None,
+    ):
+        if config is None:
+            defaults = HealthConfig()
+            config = HealthConfig(
+                interval=interval if interval is not None
+                else defaults.interval,
+                stall_timeout=stall_timeout if stall_timeout is not None
+                else defaults.stall_timeout,
+                max_missed=max_missed if max_missed is not None
+                else defaults.max_missed,
+            )
+        elif any(v is not None for v in (interval, stall_timeout, max_missed)):
+            raise ValueError(
+                "pass either a HealthConfig or the individual keywords, "
+                "not both"
+            )
+        if not callable(policy) and policy not in ("restart", "rehome"):
+            raise ValueError(
+                f"policy must be 'restart', 'rehome', or a callable; "
+                f"got {policy!r}"
+            )
+        self.cluster = cluster
+        self.config = config
+        self.policy = policy
+        self.on_failover = on_failover
+        #: Completed and in-progress failovers, oldest first.
+        self.events: list[FailoverEvent] = []
+        self._health: dict[str, WorkerHealth] = {}
+        self._task: asyncio.Task | None = None
+        self._last_error: BaseException | None = None
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    async def start(self) -> "Supervisor":
+        """Launch the probe loop (idempotent start is an error)."""
+        if self._task is not None:
+            raise RuntimeError("supervisor already started")
+        self.cluster._supervised += 1
+        self._task = asyncio.get_running_loop().create_task(
+            self._loop(), name="repro-supervisor"
+        )
+        return self
+
+    async def stop(self) -> None:
+        """Cancel the probe loop (idempotent).  Any in-flight failover
+        is awaited to completion first — a half-executed restart must
+        not be abandoned mid-swap."""
+        if self._task is None:
+            return
+        task, self._task = self._task, None
+        self.cluster._supervised -= 1
+        task.cancel()
+        with contextlib.suppress(asyncio.CancelledError):
+            await task
+
+    async def __aenter__(self) -> "Supervisor":
+        return await self.start()
+
+    async def __aexit__(self, exc_type, exc, tb) -> None:
+        await self.stop()
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def running(self) -> bool:
+        """Whether the probe loop is active."""
+        return self._task is not None and not self._task.done()
+
+    def status(self) -> dict[str, dict]:
+        """Per-worker health: probe history plus the cluster's outage
+        map (workers mid-failover report ``status="down"``)."""
+        down = self.cluster.down_services()
+        out: dict[str, dict] = {}
+        for name in self.cluster.services:
+            health = self._health.get(name)
+            row = {
+                "status": "healthy",
+                "verdict": health.verdict if health else "healthy",
+                "missed": health.missed if health else 0,
+                "probes": health.probes if health else 0,
+            }
+            if name in down:
+                row["status"] = "down"
+                row["outage"] = down[name]
+            elif health is not None:
+                row["status"] = health.status
+            out[name] = row
+        return out
+
+    # ------------------------------------------------------------------
+    # The probe loop
+    # ------------------------------------------------------------------
+    async def _loop(self) -> None:
+        while True:
+            try:
+                await self._tick()
+            except asyncio.CancelledError:
+                raise
+            except Exception as err:  # noqa: BLE001 - the loop must survive
+                # A tick must never kill supervision; the error is kept
+                # for inspection and the next tick retries.
+                self._last_error = err
+            await asyncio.sleep(self.config.interval)
+
+    async def _tick(self) -> None:
+        """Probe every live worker once; fail over the ones that trip."""
+        now = asyncio.get_running_loop().time()
+        # Forget histories of workers that left the pool (rehomed).
+        for name in list(self._health):
+            if name not in self.cluster._workers:
+                del self._health[name]
+        for name, worker in list(self.cluster._workers.items()):
+            if self.cluster.is_down(name):
+                # A worker already marked down is one of three things:
+                # ours to retry (our last recovery attempt failed), a
+                # containment outage (the ingest/flush path caught
+                # ``ServiceCrashed`` and marked it ``"crashed"`` before
+                # we ever probed), or an outage the operator declared
+                # (manual maintenance).  We recover the first two and
+                # honor the third.
+                last = self._last_event(name)
+                if last is not None and last.error is not None:
+                    await self._failover(name, last.reason)
+                    continue
+                outage = self.cluster.down_services().get(name, {})
+                if outage.get("reason") == "crashed" and (
+                        last is None or last.restored_at is not None):
+                    await self._failover(name, "crashed")
+                continue
+            health = self._health.setdefault(name, WorkerHealth(name))
+            verdict = probe_service(worker, now, health, self.config)
+            tripped = health.observe(
+                verdict, worker.events_applied,
+                max_missed=self.config.max_missed,
+            )
+            if tripped:
+                await self._failover(name, verdict)
+
+    def _last_event(self, name: str) -> FailoverEvent | None:
+        """The most recent failover event for worker ``name``."""
+        for event in reversed(self.events):
+            if event.worker == name:
+                return event
+        return None
+
+    async def _failover(self, name: str, verdict: str) -> None:
+        """Execute one failover inline (probing pauses while it runs)."""
+        loop = asyncio.get_running_loop()
+        action = (
+            self.policy(name, verdict) if callable(self.policy)
+            else self.policy
+        )
+        event = FailoverEvent(
+            worker=name, reason=verdict, action=action,
+            detected_at=loop.time(),
+        )
+        self.events.append(event)
+        try:
+            if action == "rehome":
+                plan = await self.cluster.rehome_service(name, reason=verdict)
+                event.moved = tuple(move.tenant for move in plan.moves)
+            else:
+                await self.cluster.restart_service(name, reason=verdict)
+        except Exception as err:  # noqa: BLE001 - keep serving degraded
+            # The worker stays marked down: degraded reads and counted
+            # shedding continue, and the next tick retries recovery.
+            event.error = repr(err)
+        else:
+            event.restored_at = loop.time()
+        self._health.pop(name, None)  # fresh worker, fresh history
+        if self.on_failover is not None:
+            self.on_failover(event)

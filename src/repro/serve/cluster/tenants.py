@@ -39,8 +39,11 @@ __all__ = [
     "REJECT_REASONS",
 ]
 
-#: The per-tenant rejection counters every record carries.
-REJECT_REASONS = ("rate", "share", "backpressure")
+#: The per-tenant rejection counters every record carries.  ``rate`` and
+#: ``share`` are quota refusals, ``backpressure`` is a full worker
+#: buffer (or an in-progress handoff), and ``unavailable`` is load shed
+#: while the tenant's worker is down and failover has not restored it.
+REJECT_REASONS = ("rate", "share", "backpressure", "unavailable")
 
 
 def check_tenant_id(tenant) -> str:

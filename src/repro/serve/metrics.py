@@ -68,6 +68,10 @@ class ServiceMetrics:
     last_checkpoint_offset: int = 0
     wal_records: int = 0
     wal_bytes: int = 0
+    #: Supervised restart-in-place count.  Incremented by the failover
+    #: machinery after ``StreamService.recover``, and persisted through
+    #: checkpoints, so a flapping worker is visible across its lifetimes.
+    restarts: int = 0
 
     def record_flush(self, n: int, reason: str) -> None:
         """Account one applied micro-batch of ``n`` events."""
@@ -145,6 +149,7 @@ class ServiceMetrics:
         self.last_checkpoint_offset += other.last_checkpoint_offset
         self.wal_records += other.wal_records
         self.wal_bytes += other.wal_bytes
+        self.restarts += other.restarts
         for bucket, count in other.batch_size_buckets.items():
             self.batch_size_buckets[bucket] = (
                 self.batch_size_buckets.get(bucket, 0) + count
@@ -173,6 +178,7 @@ class ServiceMetrics:
             ),
             wal_records=int(snapshot.get("wal_records", 0)),
             wal_bytes=int(snapshot.get("wal_bytes", 0)),
+            restarts=int(snapshot.get("restarts", 0)),
         )
         metrics.queue_depth = int(snapshot.get("queue_depth", 0))
         flushes = snapshot.get("flushes", {})
@@ -219,6 +225,7 @@ class ServiceMetrics:
             "checkpoint_lag": self.checkpoint_lag,
             "wal_records": self.wal_records,
             "wal_bytes": self.wal_bytes,
+            "restarts": self.restarts,
         }
 
     def as_dict(self) -> dict:

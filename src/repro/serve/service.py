@@ -244,6 +244,7 @@ class StreamService:
         self._stopping = False
         self._force_flush = False
         self._error: BaseException | None = None
+        self._heartbeat = 0.0  # loop.time() of the consumer's last turn
         self._task: asyncio.Task | None = None
         self._wal: WriteAheadLog | None = None
         self._ckpts: CheckpointStore | None = None
@@ -286,6 +287,32 @@ class StreamService:
     def events_applied(self) -> int:
         """Events the sampler has ingested."""
         return self._applied
+
+    @property
+    def pending_events(self) -> int:
+        """Admitted events not yet applied (buffered plus micro-batched).
+
+        The liveness probe's companion to :attr:`last_heartbeat`: a
+        stale heartbeat is only suspicious while there is pending work —
+        an idle consumer parked on its wake event is healthy.
+        """
+        return self._buffered + len(self._batcher)
+
+    @property
+    def last_heartbeat(self) -> float:
+        """``loop.time()`` at the consumer's most recent loop turn.
+
+        Stamped once per consumer iteration (before pulling and again
+        after waking), so a consumer wedged inside a flush — a stalled
+        fault hook, a blocking kernel — stops advancing it while
+        :attr:`pending_events` stays positive.  ``0.0`` before start.
+        """
+        return self._heartbeat
+
+    @property
+    def consumer_alive(self) -> bool:
+        """Whether the consumer task exists and has not finished."""
+        return self._task is not None and not self._task.done()
 
     @property
     def crashed(self) -> bool:
@@ -337,7 +364,9 @@ class StreamService:
                 retain=self.retain_checkpoints,
                 fault_hook=self.fault_hook,
             )
-        self._task = asyncio.get_running_loop().create_task(
+        loop = asyncio.get_running_loop()
+        self._heartbeat = loop.time()  # probes must not flag a fresh start
+        self._task = loop.create_task(
             self._run(), name=f"repro-serve-{self.sampler_name}"
         )
         return self
@@ -363,7 +392,20 @@ class StreamService:
         self._stopping = True
         self._wake.set()
         if self._task is not None:  # start() may have failed before spawn
-            await self._task
+            try:
+                await self._task
+            except asyncio.CancelledError:
+                # Distinguish *our* cancellation (propagate) from a
+                # consumer task someone killed externally: the latter
+                # is a crash, reported as ServiceCrashed below, not a
+                # CancelledError leaking out of an orderly shutdown.
+                current = asyncio.current_task()
+                if current is not None and current.cancelling():
+                    raise
+                if self._error is None:
+                    await self._crash(
+                        ServiceCrashed("service consumer was killed")
+                    )
         if (
             not self.crashed
             and checkpoint
@@ -388,11 +430,16 @@ class StreamService:
 
         Admitted-but-unflushed events are lost, exactly as in a real
         crash; the WAL retains everything up to :attr:`events_durable`.
+        Callers suspended in :meth:`flush` barriers or backpressure
+        waits are woken (and see :class:`ServiceCrashed`) — a kill must
+        never strand a waiter on a condition nobody will ever notify.
         """
         if self._task is not None:
             self._task.cancel()
             with contextlib.suppress(asyncio.CancelledError):
                 await self._task
+        if self._error is None and self._applied_cond is not None:
+            await self._crash(ServiceCrashed("service aborted"))
         if self._wal is not None:
             self._wal.close()
         self._closed = True
@@ -572,6 +619,7 @@ class StreamService:
         loop = asyncio.get_running_loop()
         try:
             while True:
+                self._heartbeat = loop.time()
                 await self._pull(loop.time())
                 reason = self._batcher.due(loop.time())
                 if reason is not None:
@@ -598,8 +646,16 @@ class StreamService:
                 try:
                     await asyncio.wait_for(self._wake.wait(), timeout)
                 except (TimeoutError, asyncio.TimeoutError):
-                    # asyncio.TimeoutError != TimeoutError before 3.11
-                    pass
+                    # asyncio.TimeoutError != TimeoutError before 3.11.
+                    # On 3.11 ``wait_for`` can swallow an *external*
+                    # ``Task.cancel()`` that races its internal timeout:
+                    # the cancellation is converted into the TimeoutError
+                    # we catch here and the consumer would keep running
+                    # as if nothing happened.  ``cancelling()`` still
+                    # records the lost request — re-raise it.
+                    task = asyncio.current_task()
+                    if task is not None and task.cancelling():
+                        raise asyncio.CancelledError()
                 self._wake.clear()
         except asyncio.CancelledError:
             raise

@@ -1,0 +1,95 @@
+"""Shared machinery for the chaos battery.
+
+The central piece is :func:`reliable_stream` — the at-least-once
+producer protocol the serving stack's failure contract assumes: a
+producer tracks the tenant's admission frontier and re-sends everything
+past it after a failover (events admitted but never durably logged are
+the producer's to re-send, exactly as on a single service).  Chaos tests
+drive a cluster through injected faults with this producer and then
+assert the surviving state is *bit-exact* against a fault-free control
+fed the same stream.
+"""
+
+from __future__ import annotations
+
+import asyncio
+
+from repro.serve.cluster import StaleFrontier
+from tests.cluster.common import (  # noqa: F401
+    control_signature,
+    run_async,
+    sig_of,
+    tenant_spec,
+    tenant_stream,
+)
+
+#: Supervisor settings tuned for test-speed failure detection.
+FAST_SUPERVISION = dict(interval=0.02, stall_timeout=0.2, max_missed=2)
+
+
+async def wait_for(predicate, deadline: float = 15.0):
+    """Poll ``predicate`` until true (failover is asynchronous)."""
+    loop = asyncio.get_running_loop()
+    end = loop.time() + deadline
+    while not predicate():
+        if loop.time() > end:
+            raise AssertionError("condition not reached before deadline")
+        await asyncio.sleep(0.01)
+
+
+async def reliable_stream(cluster, tenant: str, keys, chunk: int = 40,
+                          pause: float = 0.02) -> int:
+    """Feed ``keys`` with at-least-once delivery across failovers.
+
+    Sends in order, chunk by chunk.  A shed chunk (worker down) is
+    retried after ``pause``.  After a failover resets the tenant's
+    admission frontier to its durable count, the producer rewinds and
+    re-sends from there — so the admitted stream is always exactly
+    ``keys[:frontier]``.  Returns the number of send attempts that were
+    shed (for asserting the fault actually bit).
+    """
+    sheds = 0
+    n = len(keys)
+    while True:
+        frontier = cluster.registry.get(tenant).events_enqueued
+        if frontier >= n:
+            return sheds
+        batch = keys[frontier:frontier + chunk]
+        try:
+            admitted = await cluster.ingest_many(
+                tenant, batch, expect_frontier=frontier)
+        except StaleFrontier:
+            continue  # a failover moved the frontier mid-send; resync
+        if not admitted:
+            sheds += 1
+            await asyncio.sleep(pause)
+
+
+async def settle(cluster, tenants_keys: dict, deadline: float = 15.0,
+                 chunk: int = 40) -> None:
+    """Drive every tenant's stream to *durably applied* completion.
+
+    A fault can bite after the last admission (nothing sheds, nothing
+    re-sends) — so completion is not "all sent" but "all applied":
+    flush, re-send anything a failover rolled back, and repeat until
+    every tenant's applied frontier equals its stream length with no
+    worker down.
+    """
+    loop = asyncio.get_running_loop()
+    end = loop.time() + deadline
+    while True:
+        for tenant, keys in tenants_keys.items():
+            await reliable_stream(cluster, tenant, keys, chunk=chunk)
+        await cluster.flush()
+        if not cluster.down_services():
+            table = cluster.metrics().tenants
+            if all(
+                table[tenant]["events_applied"] == len(keys)
+                and cluster.registry.get(tenant).events_enqueued
+                == len(keys)
+                for tenant, keys in tenants_keys.items()
+            ):
+                return
+        if loop.time() > end:
+            raise AssertionError("streams never settled before deadline")
+        await asyncio.sleep(0.02)

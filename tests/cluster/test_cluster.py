@@ -200,6 +200,7 @@ class TestQuotas:
                 assert record.events_enqueued == 500
                 assert record.rejected == {
                     "rate": 0, "share": 0, "backpressure": 0,
+                    "unavailable": 0,
                 }
 
         run_async(body())

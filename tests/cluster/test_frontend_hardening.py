@@ -1,0 +1,444 @@
+"""Per-connection hardening: caps, timeouts, rate limits, idempotency.
+
+One misbehaving client must not wedge the frontend.  Each test drives
+one enforcement — connection cap, idle/read timeouts, per-connection
+frame rate, quiet mid-frame-disconnect cleanup, the idempotent-retry
+dedupe table — and asserts both the wire behavior and the
+:class:`~repro.serve.cluster.FrontendMetrics` counter that proves the
+frontend saw it.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import contextlib
+import json
+import struct
+
+import pytest
+
+from repro.serve.chaos import misbehaving_connection
+from repro.serve.cluster import (
+    CircuitBreaker,
+    CircuitOpenError,
+    Cluster,
+    ClusterClient,
+    ClusterFrontend,
+    FrameError,
+    RetryPolicy,
+)
+from tests.cluster.common import (
+    control_signature,
+    run_async,
+    sig_of,
+    tenant_spec,
+    tenant_stream,
+)
+
+FAST_RETRY = RetryPolicy(max_attempts=6, base_delay=0.02, max_delay=0.1,
+                         jitter=0.0, request_timeout=5.0)
+
+
+@contextlib.asynccontextmanager
+async def served(n_services: int = 2, cluster_kwargs=None,
+                 **frontend_kwargs):
+    async with Cluster(services=n_services,
+                       **(cluster_kwargs or {})) as cluster:
+        async with ClusterFrontend(cluster, **frontend_kwargs) as frontend:
+            yield cluster, frontend
+
+
+def _frame(payload: dict) -> bytes:
+    body = json.dumps(payload).encode()
+    return struct.pack(">I", len(body)) + body
+
+
+class TestConnectionCap:
+    def test_over_cap_connection_gets_retryable_unavailable(self):
+        async def body():
+            async with served(max_connections=2) as (cluster, frontend):
+                host, port = frontend.address
+                keep = [await ClusterClient.connect(host, port)
+                        for _ in range(2)]
+                # The cap counts *served* connections, so poke the two
+                # live ones to make sure their handlers are running.
+                for client in keep:
+                    await client.admin("tenants")
+                # Send nothing: the server rejects at accept time with
+                # one error frame (sending first would leave unread
+                # bytes and turn the server's close into an RST that
+                # discards the reply).
+                reply_bytes = await misbehaving_connection(
+                    host, port, linger=0.1,
+                )
+                assert reply_bytes, "expected one error frame"
+                (length,) = struct.unpack(">I", reply_bytes[:4])
+                reply = json.loads(reply_bytes[4:4 + length])
+                assert reply["ok"] is False
+                assert reply["error_type"] == "Unavailable"
+                assert reply["retryable"] is True
+                assert frontend.metrics.connections_rejected == 1
+                for client in keep:
+                    await client.aclose()
+                # Closed connections free slots for new ones.
+                await asyncio.sleep(0.05)
+                fresh = await ClusterClient.connect(host, port)
+                assert (await fresh.admin("tenants"))["ok"]
+                await fresh.aclose()
+
+        run_async(body())
+
+
+class TestTimeouts:
+    def test_idle_connection_is_reaped(self):
+        async def body():
+            async with served(idle_timeout=0.1) as (cluster, frontend):
+                host, port = frontend.address
+                received = await misbehaving_connection(
+                    host, port, linger=0.4,
+                )
+                assert frontend.metrics.idle_timeouts == 1
+                assert frontend.metrics.connections_active == 0
+                # The reap is a *quiet* close: an error frame here would
+                # desynchronize a reconnecting client's reply pairing.
+                assert received == b""
+
+        run_async(body())
+
+    def test_slowloris_body_trickle_is_reaped(self):
+        async def body():
+            async with served(read_timeout=0.1) as (cluster, frontend):
+                host, port = frontend.address
+                # A header promising 64 bytes, then silence.
+                received = await misbehaving_connection(
+                    host, port, send=struct.pack(">I", 64) + b"abc",
+                    linger=0.4,
+                )
+                assert frontend.metrics.read_timeouts == 1
+                assert frontend.metrics.connections_active == 0
+                assert b"FrameTimeout" in received
+
+        run_async(body())
+
+    def test_fast_clients_are_untouched_by_timeouts(self):
+        async def body():
+            async with served(idle_timeout=1.0, read_timeout=1.0) as (
+                    cluster, frontend):
+                client = await ClusterClient.connect(*frontend.address)
+                await client.create_tenant("acme", tenant_spec(0))
+                for _ in range(5):
+                    reply = await client.ingest_many(
+                        "acme", tenant_stream(0, 50).tolist()
+                    )
+                    assert reply["admitted"]
+                assert frontend.metrics.idle_timeouts == 0
+                assert frontend.metrics.read_timeouts == 0
+                await client.aclose()
+
+        run_async(body())
+
+
+class TestFrameRateLimit:
+    def test_over_rate_frames_get_ratelimited_reply(self):
+        async def body():
+            now = [0.0]
+            async with served(frame_rate=2.0, frame_burst=2.0,
+                              clock=lambda: now[0]) as (cluster, frontend):
+                client = await ClusterClient.connect(*frontend.address)
+                assert (await client.admin("tenants"))["ok"]
+                assert (await client.admin("tenants"))["ok"]
+                # Bucket drained; the third frame bounces but the
+                # connection survives.
+                with pytest.raises(RuntimeError, match="RateLimited"):
+                    await client.admin("tenants")
+                assert frontend.metrics.frames_rate_limited == 1
+                now[0] += 1.0  # refill
+                assert (await client.admin("tenants"))["ok"]
+                await client.aclose()
+
+        run_async(body())
+
+    def test_rate_limited_reply_is_retryable_for_the_client(self):
+        async def body():
+            now = [0.0]
+            async with served(frame_rate=2.0, frame_burst=2.0,
+                              clock=lambda: now[0]) as (cluster, frontend):
+                client = await ClusterClient.connect(
+                    *frontend.address, retry=FAST_RETRY,
+                )
+                assert (await client.admin("tenants"))["ok"]
+                assert (await client.admin("tenants"))["ok"]
+                refill = asyncio.get_running_loop().call_later(
+                    0.05, lambda: now.__setitem__(0, now[0] + 1.0)
+                )
+                # The retry loop rides out the rate limit window.
+                assert (await client.admin("tenants"))["ok"]
+                refill.cancel()
+                assert frontend.metrics.frames_rate_limited >= 1
+                await client.aclose()
+
+        run_async(body())
+
+
+class TestMidFrameDisconnect:
+    def test_partial_header_disconnect_is_quiet(self):
+        async def body():
+            loop = asyncio.get_running_loop()
+            escaped = []
+            loop.set_exception_handler(
+                lambda _l, ctx: escaped.append(ctx)
+            )
+            try:
+                async with served() as (cluster, frontend):
+                    await misbehaving_connection(
+                        *frontend.address, send=b"\x00\x00",
+                    )
+                    await asyncio.sleep(0.05)
+                    assert frontend.metrics.disconnects_mid_frame == 1
+                    assert frontend.metrics.connections_active == 0
+                    # No error frame was attempted at the vanished peer
+                    # and no handler task escaped with a traceback.
+                    assert frontend.metrics.frame_errors == 0
+                await asyncio.sleep(0.05)
+                assert escaped == []
+            finally:
+                loop.set_exception_handler(None)
+
+        run_async(body())
+
+    def test_truncated_body_disconnect_is_quiet(self):
+        async def body():
+            loop = asyncio.get_running_loop()
+            escaped = []
+            loop.set_exception_handler(
+                lambda _l, ctx: escaped.append(ctx)
+            )
+            try:
+                async with served() as (cluster, frontend):
+                    # Header for 100 bytes, only 10 delivered, abrupt
+                    # close (RST, not FIN).
+                    await misbehaving_connection(
+                        *frontend.address,
+                        send=struct.pack(">I", 100) + b"x" * 10,
+                        abort=True,
+                    )
+                    await asyncio.sleep(0.05)
+                    assert frontend.metrics.disconnects_mid_frame == 1
+                    assert frontend.metrics.connections_active == 0
+                await asyncio.sleep(0.05)
+                assert escaped == []
+            finally:
+                loop.set_exception_handler(None)
+
+        run_async(body())
+
+    def test_malformed_frame_still_answers_then_closes(self):
+        async def body():
+            async with served() as (cluster, frontend):
+                received = await misbehaving_connection(
+                    *frontend.address,
+                    send=struct.pack(">I", 3) + b"{{{",
+                    linger=0.1,
+                )
+                assert b"FrameError" in received
+                assert frontend.metrics.frame_errors == 1
+
+        run_async(body())
+
+
+class TestIdempotentIngest:
+    def test_duplicate_request_id_replays_without_readmitting(self):
+        async def body():
+            async with served() as (cluster, frontend):
+                client = await ClusterClient.connect(*frontend.address)
+                await client.create_tenant("acme", tenant_spec(0))
+                keys = tenant_stream(0, 100).tolist()
+                first = await client.ingest_many(
+                    "acme", keys, request_id="req-1"
+                )
+                assert first["admitted"] and first["frontier"] == 100
+                replay = await client.ingest_many(
+                    "acme", keys, request_id="req-1"
+                )
+                assert replay["deduped"] is True
+                assert replay["frontier"] == 100
+                # The duplicate did not double-count a single event.
+                record = cluster.registry.get("acme")
+                assert record.events_enqueued == 100
+                assert frontend.metrics.replies_deduped == 1
+                await client.admin("flush")
+                assert sig_of(await cluster.sample("acme")) == \
+                    control_signature(0, tenant_stream(0, 100))
+                await client.aclose()
+
+        run_async(body())
+
+    def test_scalar_ingest_dedupes_too(self):
+        async def body():
+            async with served() as (cluster, frontend):
+                client = await ClusterClient.connect(*frontend.address)
+                await client.create_tenant("acme", tenant_spec(0))
+                for _ in range(3):
+                    reply = await client.ingest(
+                        "acme", 7, block=True, request_id="one-key"
+                    )
+                    assert reply["admitted"]
+                assert cluster.registry.get("acme").events_enqueued == 1
+                assert frontend.metrics.replies_deduped == 2
+                await client.aclose()
+
+        run_async(body())
+
+    def test_rejected_admissions_are_not_cached(self):
+        async def body():
+            from repro.serve.cluster import TenantQuota
+            now = [0.0]
+            async with served(
+                cluster_kwargs=dict(clock=lambda: now[0]),
+            ) as (cluster, frontend):
+                client = await ClusterClient.connect(*frontend.address)
+                await client.admin(
+                    "create_tenant", tenant="acme", spec=tenant_spec(0),
+                    quota={"events_per_sec": 10, "burst": 100},
+                )
+                # Drain the token bucket, then get denied.
+                drained = await client.ingest_many(
+                    "acme", list(range(100)), block=False,
+                )
+                assert drained["admitted"] is True
+                denied = await client.ingest_many(
+                    "acme", list(range(100)), block=False,
+                    request_id="req-q",
+                )
+                assert denied["admitted"] is False
+                now[0] += 100.0  # refill the quota bucket
+                # Same request id: a non-admission was not cached, so
+                # the retry really runs (and now succeeds).
+                retry = await client.ingest_many(
+                    "acme", list(range(100)), block=False,
+                    request_id="req-q",
+                )
+                assert retry["admitted"] is True
+                assert "deduped" not in retry
+                await client.aclose()
+
+        run_async(body())
+
+    def test_dedupe_table_is_bounded(self):
+        async def body():
+            async with served(dedupe_capacity=4) as (cluster, frontend):
+                client = await ClusterClient.connect(*frontend.address)
+                await client.create_tenant("acme", tenant_spec(0))
+                for i in range(8):
+                    await client.ingest(
+                        "acme", i, block=True, request_id=f"req-{i}"
+                    )
+                assert len(frontend._dedupe) == 4
+                # The oldest entries fell off: replaying req-0 admits
+                # again (at-most-once needs the client to retry within
+                # the table's horizon, which retries do).
+                reply = await client.ingest(
+                    "acme", 0, block=True, request_id="req-0"
+                )
+                assert "deduped" not in reply
+                await client.aclose()
+
+        run_async(body())
+
+
+class TestClientRetry:
+    def test_retry_reconnects_after_server_side_close(self):
+        async def body():
+            async with served(idle_timeout=0.1) as (cluster, frontend):
+                client = await ClusterClient.connect(
+                    *frontend.address, retry=FAST_RETRY,
+                )
+                await client.create_tenant("acme", tenant_spec(0))
+                # Let the server reap the idle connection, then call
+                # again: the first attempt hits a dead socket, the
+                # retry reconnects transparently.
+                await asyncio.sleep(0.3)
+                reply = await client.ingest_many(
+                    "acme", tenant_stream(0, 50).tolist()
+                )
+                assert reply["admitted"]
+                await client.aclose()
+
+        run_async(body())
+
+    def test_no_retry_client_is_unchanged_on_dead_socket(self):
+        async def body():
+            async with served(idle_timeout=0.1) as (cluster, frontend):
+                client = await ClusterClient.connect(*frontend.address)
+                await asyncio.sleep(0.3)
+                with pytest.raises((FrameError, ConnectionError)):
+                    await client.admin("tenants")
+                await client.aclose()
+
+        run_async(body())
+
+    def test_circuit_breaker_opens_after_transport_failures(self):
+        async def body():
+            async with served() as (cluster, frontend):
+                host, port = frontend.address
+                client = await ClusterClient.connect(
+                    host, port,
+                    retry=RetryPolicy(max_attempts=2, base_delay=0.01,
+                                      jitter=0.0, request_timeout=0.5),
+                    breaker=CircuitBreaker(failure_threshold=2,
+                                           reset_timeout=60.0),
+                )
+                await client.aclose()
+            # The frontend (and cluster) are gone: every attempt is a
+            # transport failure.
+            with pytest.raises((ConnectionError, FrameError, OSError)):
+                await client.call({"verb": "admin", "op": "tenants"})
+            assert client.breaker.state == "open"
+            with pytest.raises(CircuitOpenError):
+                await client.call({"verb": "admin", "op": "tenants"})
+
+        run_async(body())
+
+    def test_retry_budget_exhaustion_raises_last_error(self):
+        async def body():
+            policy = RetryPolicy(max_attempts=3, base_delay=0.01,
+                                 jitter=0.0, request_timeout=0.5)
+            client = ClusterClient(
+                None, None, host="127.0.0.1", port=1,  # nothing listens
+                retry=policy,
+            )
+            client._writer = None
+            with pytest.raises((ConnectionError, OSError)):
+                await client.call({"verb": "admin", "op": "tenants"})
+
+        run_async(body())
+
+    def test_non_retryable_error_replies_surface_immediately(self):
+        async def body():
+            async with served() as (cluster, frontend):
+                calls = []
+                client = await ClusterClient.connect(
+                    *frontend.address, retry=FAST_RETRY,
+                )
+                with pytest.raises(RuntimeError, match="KeyError"):
+                    await client.estimate("ghost-tenant")
+                await client.aclose()
+
+        run_async(body())
+
+
+class TestValidation:
+    def test_bad_hardening_parameters_are_rejected(self):
+        async def body():
+            async with Cluster(services=1) as cluster:
+                for kwargs in (
+                    dict(max_connections=0),
+                    dict(idle_timeout=0),
+                    dict(read_timeout=-1),
+                    dict(frame_rate=0),
+                    dict(dedupe_capacity=0),
+                ):
+                    with pytest.raises(ValueError):
+                        ClusterFrontend(cluster, **kwargs)
+
+        run_async(body())

@@ -123,7 +123,9 @@ class TestTenantRegistry:
         record = registry.create("acme", SPEC)
         record.reject("rate", 3)
         record.reject("backpressure")
-        assert record.rejected == {"rate": 3, "share": 0, "backpressure": 1}
+        assert record.rejected == {
+            "rate": 3, "share": 0, "backpressure": 1, "unavailable": 0,
+        }
         with pytest.raises(ValueError, match="unknown rejection reason"):
             record.reject("gremlins")
         assert set(record.rejected) == set(REJECT_REASONS)
