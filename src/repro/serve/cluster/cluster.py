@@ -223,6 +223,12 @@ class Cluster:
         #: for their tenants degrade to the last durable snapshot,
         #: ingest sheds with the counted ``unavailable`` reason.
         self._down: dict[str, _DownWorker] = {}
+        #: Per-tenant locks serializing *conditional* admissions
+        #: (``expect_frontier``): the frontier check and the worker
+        #: admission must be atomic against other conditional producers,
+        #: whose own check could otherwise pass while this batch is
+        #: suspended in the worker's buffer wait.
+        self._conditional: dict[str, asyncio.Lock] = {}
         #: Attached supervisors.  While positive, a worker crash caught
         #: on the ingest path marks the worker down and sheds instead of
         #: raising ``ServiceCrashed`` — failover is coming.
@@ -525,6 +531,7 @@ class Cluster:
             await self._quiesce(tenant)
             await worker.ingest_many([drop_op(tenant)])
             self.registry.drop(tenant)
+            self._conditional.pop(tenant, None)
         finally:
             self._ungate(tenant)
         self._save_meta()
@@ -584,6 +591,15 @@ class Cluster:
         it (:class:`StaleFrontier` otherwise, with nothing admitted).
         Producers that re-send from the frontier after failover pass
         this so a retried batch can never land at the wrong position.
+        Conditional admissions for one tenant are serialized against
+        each other (a per-tenant lock spans the check and the worker
+        admission), so competing conditional producers resolve cleanly
+        — exactly one wins, the rest see ``StaleFrontier``.  A
+        concurrent *unconditional* producer on the same tenant is
+        outside the guarantee: it can advance the frontier while a
+        conditional batch is suspended in the worker's buffer wait, so
+        mixing the two styles on one tenant forfeits the positioning
+        contract.
         """
         self._check_started()
         record = self.registry.get(tenant)  # raise early on unknown tenants
@@ -612,40 +628,57 @@ class Cluster:
                 delay = bucket.acquire_delay(len(rows))
                 if delay > 0:
                     await asyncio.sleep(delay)
-            # Resolve placement only now: a handoff that gated after our
-            # increment is still quiescing on us, so the record's service
-            # cannot move until this ingest completes.
-            record = self.registry.get(tenant)
-            if record.service in self._down:
-                self._shed(record, len(rows))
-                return False
-            # The binding frontier check: nothing awaits between here
-            # and the worker admission except the worker's own buffer
-            # wait — and a failover that rolls the frontier back while
-            # we are suspended there aborts the worker, surfacing as
-            # ServiceCrashed below, never as a misplaced admission.
-            self._check_frontier(record, expect_frontier)
-            worker = self._workers[record.service]
-            try:
-                await worker.ingest_many(rows, weights, values, times)
-            except ServiceCrashed:
-                # The worker died while we were suspended in it.  Under
-                # supervision the failover is already coming: mark the
-                # worker down ourselves (idempotent, and often *the*
-                # first detection) and shed, so producers never see the
-                # crash.  Unsupervised clusters keep the historical
-                # fail-fast contract.
-                if self._supervised <= 0 and record.service not in self._down:
-                    raise
-                self.mark_service_down(record.service, "crashed")
-                self._shed(record, len(rows))
-                return False
-            record.events_enqueued += len(rows)
-            return True
+            if expect_frontier is None:
+                return await self._admit(tenant, rows, weights, values,
+                                         times, None)
+            # Conditional admissions serialize per tenant: the lock
+            # spans the binding frontier check *and* the worker
+            # admission, so a competing conditional producer cannot
+            # pass its own check while this batch is suspended in the
+            # worker's buffer wait and then land at a stale position.
+            lock = self._conditional.setdefault(tenant, asyncio.Lock())
+            async with lock:
+                return await self._admit(tenant, rows, weights, values,
+                                         times, expect_frontier)
         finally:
             self._inflight[tenant] -= 1
             if not self._inflight[tenant]:
                 del self._inflight[tenant]
+
+    async def _admit(self, tenant: str, rows, weights, values, times,
+                     expect_frontier: int | None) -> bool:
+        """Resolve placement and admit ``rows`` (inflight token held)."""
+        # Resolve placement only now: a handoff that gated after our
+        # increment is still quiescing on us, so the record's service
+        # cannot move until this ingest completes.
+        record = self.registry.get(tenant)
+        if record.service in self._down:
+            self._shed(record, len(rows))
+            return False
+        # The binding frontier check: between here and the worker
+        # admission only the worker's own buffer wait can suspend us —
+        # other *conditional* producers are held off by the per-tenant
+        # lock, and a failover that rolls the frontier back while we
+        # are suspended there aborts the worker, surfacing as
+        # ServiceCrashed below, never as a misplaced admission.
+        self._check_frontier(record, expect_frontier)
+        worker = self._workers[record.service]
+        try:
+            await worker.ingest_many(rows, weights, values, times)
+        except ServiceCrashed:
+            # The worker died while we were suspended in it.  Under
+            # supervision the failover is already coming: mark the
+            # worker down ourselves (idempotent, and often *the*
+            # first detection) and shed, so producers never see the
+            # crash.  Unsupervised clusters keep the historical
+            # fail-fast contract.
+            if self._supervised <= 0 and record.service not in self._down:
+                raise
+            self.mark_service_down(record.service, "crashed")
+            self._shed(record, len(rows))
+            return False
+        record.events_enqueued += len(rows)
+        return True
 
     def _shed(self, record: TenantRecord, n: int) -> None:
         """Count ``n`` events shed because the tenant's worker is down."""

@@ -97,8 +97,17 @@ class FrameDisconnect(FrameError):
 
 
 class FrameTimeout(FrameError):
-    """A frame read exceeded its deadline (idle header wait or a
-    slowloris body trickle)."""
+    """A frame read exceeded its deadline.
+
+    ``what`` carries the phase that timed out — ``"header"`` (the
+    connection sat idle between requests) or ``"body"`` (a slowloris
+    trickle after a header arrived) — so handlers branch on it rather
+    than on the message wording.
+    """
+
+    def __init__(self, message: str, *, what: str = "body"):
+        super().__init__(message)
+        self.what = what
 
 
 async def _read_exactly(reader: asyncio.StreamReader, n: int,
@@ -108,7 +117,9 @@ async def _read_exactly(reader: asyncio.StreamReader, n: int,
     try:
         return await asyncio.wait_for(reader.readexactly(n), timeout)
     except asyncio.TimeoutError as err:
-        raise FrameTimeout(f"timed out reading frame {what}") from err
+        raise FrameTimeout(
+            f"timed out reading frame {what}", what=what
+        ) from err
 
 
 async def read_frame(
@@ -297,7 +308,7 @@ class ClusterFrontend:
                     metrics.disconnects_mid_frame += 1
                     break
                 except FrameTimeout as err:
-                    if "header" in str(err):
+                    if err.what == "header":
                         # Idle between requests: close *quietly*.  An
                         # error frame here would sit in the peer's
                         # receive buffer and desynchronize its next

@@ -36,8 +36,9 @@ from __future__ import annotations
 import contextlib
 from dataclasses import dataclass
 
+from ...api import SamplerSpec
 from ..service import StreamService
-from .mux import create_op, drop_op, install_op
+from .mux import drop_op, install_op
 from .tenants import REJECT_REASONS
 
 __all__ = ["TenantMove", "RebalancePlan", "plan_moves", "execute",
@@ -240,16 +241,30 @@ async def rehome_service(cluster, name: str, *,
 
     1. Mark the worker down (reads degrade, ingest sheds) and abort its
        remains; recover its directory offline.
-    2. Remove it from the ring and the pool (its directory stays behind
-       as an inert tombstone, exactly like ``remove_service``).
-    3. Per destination: enqueue install rows (or create rows, for
-       tenants whose create never became durable — they restart fresh
-       with counters reset) and flush, *then* repoint the registry.
-       FIFO worker queues order any racing post-repoint ingest behind
-       the install row, so no event meets an unknown tenant.
-    4. Persist the meta.  Tenants resume at their durable frontier;
+    2. Remove it from the *ring* only, so destinations resolve to
+       survivors.  The worker stays in the pool until the evacuation
+       commits: a failed install must leave it discoverable, because
+       both the supervisor's retry scan and a manual
+       ``rehome_service(name)`` retry look workers up in the pool.
+    3. Per destination: enqueue install rows (tenants whose create
+       never became durable get an install of a fresh spec-built state
+       — they restart with counters reset; installs *overwrite*, so a
+       retry against a survivor already holding a copy from an earlier
+       failed attempt is idempotent) and flush, *then* repoint the
+       registry.  FIFO worker queues order any racing post-repoint
+       ingest behind the install row, so no event meets an unknown
+       tenant.
+    4. Retire the worker from the pool and persist the meta (its
+       directory stays behind as an inert tombstone, exactly like
+       ``remove_service``).  Tenants resume at their durable frontier;
        events past it were never durable anywhere and are the
        producer's to re-send — the single-service loss contract.
+
+    On failure the worker goes back on the ring and stays in the pool,
+    marked down: tenants already repointed keep serving from their
+    survivors (their installs are durable), the rest keep degrading,
+    and the next supervisor tick — or a manual retry — re-plans exactly
+    the tenants still placed on the dead worker.
 
     On an in-memory cluster there is nothing durable: every tenant is
     recreated fresh from its spec on its new worker (documented state
@@ -276,41 +291,60 @@ async def rehome_service(cluster, name: str, *,
                 mux.events_applied_for(tenant),
             )
 
-    # (2) Retire the dead worker from the pool.
+    # (2) Off the ring (placement), still in the pool (discoverability).
     cluster.ring.remove_node(name)
-    cluster._workers.pop(name)
-
-    # (3) Install on survivors, then commit placements.
-    moves = []
-    by_destination: dict[str, list] = {}
-    for tenant in cluster.registry.tenants():
-        record = cluster.registry.get(tenant)
-        if record.service != name:
-            continue
-        destination = cluster.ring.node_for(tenant)
-        moves.append(TenantMove(tenant, name, destination))
-        by_destination.setdefault(destination, []).append(record)
-    for destination, group in by_destination.items():
-        worker = cluster._workers[destination]
-        await worker.ingest_many([
-            install_op(record.tenant, *states[record.tenant])
-            if record.tenant in states
-            else create_op(record.tenant, record.spec)
-            for record in group
-        ])
-        await worker.flush()
-        for record in group:
-            record.service = destination
-            if record.tenant in states:
-                record.events_enqueued = states[record.tenant][1]
-            else:
-                record.events_enqueued = 0
-                record.rejected = {r: 0 for r in REJECT_REASONS}
+    try:
+        # (3) Install on survivors, then commit placements.
+        moves = []
+        by_destination: dict[str, list] = {}
+        for tenant in cluster.registry.tenants():
+            record = cluster.registry.get(tenant)
+            if record.service != name:
+                continue
+            destination = cluster.ring.node_for(tenant)
+            moves.append(TenantMove(tenant, name, destination))
+            by_destination.setdefault(destination, []).append(record)
+        for destination, group in by_destination.items():
+            worker = cluster._workers[destination]
+            await worker.ingest_many([
+                install_op(record.tenant, *states[record.tenant])
+                if record.tenant in states
+                else install_op(record.tenant, _fresh_state(record.spec))
+                for record in group
+            ])
+            await worker.flush()
+            for record in group:
+                record.service = destination
+                if record.tenant in states:
+                    record.events_enqueued = states[record.tenant][1]
+                else:
+                    record.events_enqueued = 0
+                    record.rejected = {r: 0 for r in REJECT_REASONS}
+    except BaseException:
+        # Leave the worker down but retryable: back on the ring, still
+        # in the pool.  The supervisor's next tick re-runs the
+        # evacuation for the tenants still placed here.
+        cluster.ring.add_node(name)
+        raise
 
     # (4) The outage is over: the dead worker serves nothing now.
+    cluster._workers.pop(name)
     cluster.mark_service_up(name)
     cluster._save_meta()
     return RebalancePlan(tuple(moves))
+
+
+def _fresh_state(spec) -> dict:
+    """A brand-new sampler state built from ``spec``.
+
+    Shipping *installs* (which overwrite) instead of create rows keeps a
+    retried rehome idempotent: a create row replayed against a survivor
+    that already applied it would raise ``tenant already exists`` inside
+    the consumer and crash an otherwise healthy worker.
+    """
+    if not isinstance(spec, SamplerSpec):
+        spec = SamplerSpec.from_dict(spec)
+    return spec.build().to_state()
 
 
 async def remove_service(cluster, name: str) -> RebalancePlan:

@@ -265,7 +265,16 @@ class Supervisor:
         return None
 
     async def _failover(self, name: str, verdict: str) -> None:
-        """Execute one failover inline (probing pauses while it runs)."""
+        """Execute one failover inline (probing pauses while it runs).
+
+        The recovery itself runs in its own shielded task: if ``stop()``
+        cancels the probe loop mid-failover, the cancellation lands
+        *here*, not inside ``restart_service``/``rehome_service`` — the
+        swap runs to completion (``stop()`` awaits it) before the loop
+        task finishes cancelling.  A half-executed restart abandoned
+        mid-swap would leave the worker down with no supervisor left to
+        retry.
+        """
         loop = asyncio.get_running_loop()
         action = (
             self.policy(name, verdict) if callable(self.policy)
@@ -276,8 +285,29 @@ class Supervisor:
             detected_at=loop.time(),
         )
         self.events.append(event)
+        recovery = loop.create_task(
+            self._recover(name, verdict, event),
+            name=f"repro-failover-{name}",
+        )
         try:
-            if action == "rehome":
+            await asyncio.shield(recovery)
+        except asyncio.CancelledError:
+            # ``wait`` (not ``await``): the recovery task swallows its
+            # own errors into ``event``, and a second cancel here must
+            # still not propagate into it.
+            await asyncio.wait([recovery])
+            raise
+        finally:
+            self._health.pop(name, None)  # fresh worker, fresh history
+            if self.on_failover is not None:
+                self.on_failover(event)
+
+    async def _recover(self, name: str, verdict: str,
+                       event: FailoverEvent) -> None:
+        """Run one recovery action, recording the outcome on ``event``."""
+        loop = asyncio.get_running_loop()
+        try:
+            if event.action == "rehome":
                 plan = await self.cluster.rehome_service(name, reason=verdict)
                 event.moved = tuple(move.tenant for move in plan.moves)
             else:
@@ -288,6 +318,3 @@ class Supervisor:
             event.error = repr(err)
         else:
             event.restored_at = loop.time()
-        self._health.pop(name, None)  # fresh worker, fresh history
-        if self.on_failover is not None:
-            self.on_failover(event)

@@ -78,6 +78,17 @@ _CONFIG_KEYS = (
 )
 
 
+def _cancel_requests(task: asyncio.Task) -> int:
+    """Pending external cancel requests on ``task``.
+
+    ``Task.cancelling()`` only exists on Python 3.11+; on 3.10 there is
+    no way to observe a swallowed cancel request, so report zero — the
+    3.11 ``wait_for`` race this guards against does not exist there.
+    """
+    cancelling = getattr(task, "cancelling", None)
+    return cancelling() if cancelling is not None else 0
+
+
 class ServiceCrashed(RuntimeError):
     """The consumer task died; the original error is ``__cause__``.
 
@@ -400,7 +411,7 @@ class StreamService:
                 # is a crash, reported as ServiceCrashed below, not a
                 # CancelledError leaking out of an orderly shutdown.
                 current = asyncio.current_task()
-                if current is not None and current.cancelling():
+                if current is not None and _cancel_requests(current):
                     raise
                 if self._error is None:
                     await self._crash(
@@ -654,7 +665,7 @@ class StreamService:
                     # as if nothing happened.  ``cancelling()`` still
                     # records the lost request — re-raise it.
                     task = asyncio.current_task()
-                    if task is not None and task.cancelling():
+                    if task is not None and _cancel_requests(task):
                         raise asyncio.CancelledError()
                 self._wake.clear()
         except asyncio.CancelledError:

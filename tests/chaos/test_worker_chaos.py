@@ -17,6 +17,7 @@ import pytest
 
 from repro.serve.chaos import ChaosError, ChaosInjector, Fault
 from repro.serve.cluster import Cluster, Supervisor
+from repro.serve.service import _cancel_requests
 from tests.chaos.common import (
     FAST_SUPERVISION,
     control_signature,
@@ -257,7 +258,7 @@ class TestChaosSoak:
                     # until every worker is alive with no pending
                     # cancel, i.e. the supervisor restored the fleet.
                     await wait_for(lambda: all(
-                        w.consumer_alive and w._task.cancelling() == 0
+                        w.consumer_alive and _cancel_requests(w._task) == 0
                         for w in cluster._workers.values()
                     ))
                     assert sig_of(await cluster.sample("acme")) == \

@@ -2,11 +2,13 @@
 
 from __future__ import annotations
 
+import asyncio
+
 import numpy as np
 import pytest
 
 from repro.serve import ServiceCrashed
-from repro.serve.cluster import Cluster, TenantQuota
+from repro.serve.cluster import Cluster, StaleFrontier, TenantQuota
 from tests.cluster.common import (
     control_signature,
     run_async,
@@ -115,6 +117,39 @@ class TestLifecycle:
                 await cluster.flush()
                 for name in cluster.services:
                     assert not cluster.service(name).sampler.has_tenant("acme")
+
+        run_async(body())
+
+    def test_conditional_admissions_serialize_per_tenant(self):
+        """Two producers racing the same ``expect_frontier`` resolve
+        cleanly — exactly one admits, the other sees ``StaleFrontier``
+        — even when the winner suspends inside the worker admission
+        (the per-tenant lock spans the check *and* the admission, so
+        the loser's check cannot pass during that suspension and land
+        its batch at a stale position)."""
+        async def body():
+            async with Cluster(services=1) as cluster:
+                await cluster.create_tenant("acme", tenant_spec(0))
+                worker = cluster._workers["svc-0"]
+                real_ingest = worker.ingest_many
+
+                async def slow_ingest(*args, **kwargs):
+                    await asyncio.sleep(0.05)  # a long buffer wait
+                    return await real_ingest(*args, **kwargs)
+
+                worker.ingest_many = slow_ingest
+                keys = tenant_stream(0, 100).tolist()
+                results = await asyncio.gather(
+                    cluster.ingest_many("acme", keys, expect_frontier=0),
+                    cluster.ingest_many("acme", keys, expect_frontier=0),
+                    return_exceptions=True,
+                )
+                admitted = [r for r in results if r is True]
+                stale = [r for r in results
+                         if isinstance(r, StaleFrontier)]
+                assert len(admitted) == 1 and len(stale) == 1
+                assert cluster.registry.get("acme").events_enqueued == \
+                    len(keys)
 
         run_async(body())
 

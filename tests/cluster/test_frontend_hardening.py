@@ -25,8 +25,10 @@ from repro.serve.cluster import (
     ClusterClient,
     ClusterFrontend,
     FrameError,
+    FrameTimeout,
     RetryPolicy,
 )
+from repro.serve.cluster.frontend import read_frame
 from tests.cluster.common import (
     control_signature,
     run_async,
@@ -90,6 +92,23 @@ class TestConnectionCap:
 
 
 class TestTimeouts:
+    def test_frame_timeout_carries_the_phase(self):
+        """Handlers branch on ``FrameTimeout.what`` (``"header"`` =
+        idle, ``"body"`` = slowloris), not on message wording — a
+        rewording must not flip quiet-close vs error-reply behavior."""
+        async def body():
+            reader = asyncio.StreamReader()  # silent: no header
+            with pytest.raises(FrameTimeout) as exc:
+                await read_frame(reader, idle_timeout=0.01)
+            assert exc.value.what == "header"
+            reader = asyncio.StreamReader()
+            reader.feed_data(struct.pack(">I", 10))  # header, then stall
+            with pytest.raises(FrameTimeout) as exc:
+                await read_frame(reader, body_timeout=0.01)
+            assert exc.value.what == "body"
+
+        run_async(body())
+
     def test_idle_connection_is_reaped(self):
         async def body():
             async with served(idle_timeout=0.1) as (cluster, frontend):

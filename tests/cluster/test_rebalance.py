@@ -331,6 +331,55 @@ class TestFailedHandoffRollback:
 
         run_async(body())
 
+    def test_failed_rehome_stays_retryable(self, tmp_path):
+        """A rehome whose install on a survivor fails must leave the
+        dead worker *discoverable* — still in the pool, back on the
+        ring, still marked down — so both the supervisor's retry scan
+        (which iterates the pool) and a manual ``rehome_service(name)``
+        find it.  Previously the worker was popped before the installs,
+        so one failed evacuation stranded its tenants in degraded mode
+        forever ('unknown service' on every retry)."""
+        async def body():
+            async with Cluster(services=2, dir=tmp_path) as cluster:
+                streams = await _seed(cluster, 6, n_events=200)
+                victim = cluster.registry.get("tenant-0").service
+                survivor = next(
+                    name for name in cluster.services if name != victim
+                )
+                worker = cluster._workers[survivor]
+                real_ingest = worker.ingest_many
+                boom = {"armed": True}
+
+                async def failing_ingest(*args, **kwargs):
+                    if boom["armed"]:
+                        boom["armed"] = False
+                        raise InjectedFault("install enqueue failed")
+                    return await real_ingest(*args, **kwargs)
+
+                worker.ingest_many = failing_ingest
+                with pytest.raises(InjectedFault):
+                    await cluster.rehome_service(victim, reason="dead")
+
+                # Retryable, not vanished: in the pool, on the ring,
+                # and still in its outage (degraded serving continues).
+                assert victim in cluster.services
+                assert victim in cluster.ring
+                assert cluster.is_down(victim)
+                for tenant in streams:
+                    if cluster.registry.get(tenant).service == victim:
+                        result = await cluster.query(tenant, "sum")
+                        assert result.degraded
+
+                # The manual retry completes the evacuation bit-exactly.
+                plan = await cluster.rehome_service(victim, reason="dead")
+                assert plan.moves
+                assert victim not in cluster.services
+                assert victim not in cluster.ring
+                assert not cluster.is_down(victim)
+                await _assert_bit_exact(cluster, streams)
+
+        run_async(body())
+
 
 class TestCrashedHandoffs:
     def test_crash_before_install_durable_keeps_the_source(self, tmp_path):

@@ -237,6 +237,44 @@ class TestSupervisorFailover:
 
         run_async(body())
 
+    def test_stop_mid_failover_completes_the_swap(
+            self, tmp_path, monkeypatch):
+        """``stop()`` during an in-flight failover awaits the swap to
+        completion: the cancellation lands in the probe loop, never
+        inside ``restart_service`` — a half-executed restart abandoned
+        mid-swap would leave the worker down with no supervisor left to
+        retry it."""
+        async def body():
+            async with Cluster(services=2, dir=tmp_path) as cluster:
+                await cluster.create_tenant("acme", tenant_spec(0))
+                keys = tenant_stream(0, 300)
+                await cluster.ingest_many("acme", keys)
+                await cluster.flush()
+                real_restart = cluster.restart_service
+                entered = asyncio.Event()
+                finished = {"done": False}
+
+                async def slow_restart(name, *, reason="manual"):
+                    entered.set()
+                    await asyncio.sleep(0.2)
+                    await real_restart(name, reason=reason)
+                    finished["done"] = True
+
+                monkeypatch.setattr(cluster, "restart_service",
+                                    slow_restart)
+                sup = await Supervisor(cluster, **FAST).start()
+                holder = cluster.registry.get("acme").service
+                cluster._workers[holder]._task.cancel()
+                await entered.wait()
+                await sup.stop()
+                assert finished["done"]
+                assert not cluster.is_down(holder)
+                assert sup.events[-1].restored_at is not None
+                assert sig_of(await cluster.sample("acme")) == \
+                    control_signature(0, keys)
+
+        run_async(body())
+
     def test_operator_declared_outage_is_honored(self, tmp_path):
         async def body():
             async with Cluster(services=2, dir=tmp_path) as cluster:
