@@ -144,6 +144,7 @@ def _bumps_state_version(fn):
 #: caller can make invalidates cached query results.
 _VERSIONED_MUTATORS = (
     "update", "update_many", "merge", "_set_state", "advance", "trim",
+    "resize",
 )
 
 #: Cap on cached query results per sampler instance (FIFO eviction).
@@ -235,6 +236,13 @@ class StreamSampler(abc.ABC):
     #: deterministic counters) set a reason string instead, and the query
     #: layer refuses ``ci=`` requests with that reason.
     query_variance: ClassVar[bool | str] = True
+    #: Whether :meth:`resize` can change the sketch budget ``k`` online
+    #: while keeping the estimators unbiased (shrink folds the retained
+    #: set under a lowered threshold; grow caps the threshold at its
+    #: pre-resize value, which 1-substitutability makes sound).  Classes
+    #: that implement ``resize`` declare this True; the serving control
+    #: plane consults it before proposing ``k`` retunes.
+    resizable: ClassVar[bool] = False
 
     def __init_subclass__(cls, **kwargs):
         """Auto-wrap subclass mutators so ``state_version`` tracks them."""
@@ -327,6 +335,23 @@ class StreamSampler(abc.ABC):
         if not isinstance(other, StreamSampler):
             return NotImplemented
         return merged(self, other)
+
+    # ------------------------------------------------------------------
+    # Online resizing
+    # ------------------------------------------------------------------
+    def resize(self, k: int) -> "StreamSampler":
+        """Change the sketch budget to ``k`` mid-stream, in place.
+
+        Only classes declaring :attr:`resizable` implement this.  The
+        contract: after ``resize``, estimates remain unbiased for the
+        whole stream (prefix ingested before the resize included) —
+        shrinking folds the retained set under the new, lower threshold;
+        growing keeps admitting under the pre-resize threshold as a cap
+        until the enlarged budget genuinely fills.  Returns ``self``.
+        """
+        raise NotImplementedError(
+            f"{type(self).__name__} does not support online resizing"
+        )
 
     # ------------------------------------------------------------------
     # Estimation facade

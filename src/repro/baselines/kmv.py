@@ -30,6 +30,7 @@ class KMVSketch(StreamSampler):
 
     default_estimate_kind = "distinct"
     mergeable = True
+    resizable = True
     #: Retains only hash values (no keys, weights, or payloads): the
     #: count-style aggregates apply and nothing else can.
     query_capabilities = query_support(
@@ -48,6 +49,11 @@ class KMVSketch(StreamSampler):
         self._heap: list[float] = []  # max-heap (negated) of the k smallest
         self._hashes: set[float] = set()
         self._exact = 0  # distinct count while underfull
+        # Admission cap left behind by a grow-resize: the effective
+        # threshold may never exceed the k-th minimum at resize time, so
+        # ``|retained| / threshold`` stays unbiased (1.0 = no cap; the
+        # capped estimator reduces to the classic ``(k-1)/h_(k)`` then).
+        self._cap = 1.0
 
     def update(
         self, key: object, weight: float = 1.0, *, value=None, time=None
@@ -75,6 +81,8 @@ class KMVSketch(StreamSampler):
             self._exact = self.k + 1
 
     def _offer(self, h: float) -> None:
+        if h >= self._cap:
+            return
         if h in self._hashes:
             return
         if len(self._heap) < self.k:
@@ -103,18 +111,30 @@ class KMVSketch(StreamSampler):
             return 1.0
         return -self._heap[0]
 
+    @property
+    def threshold(self) -> float:
+        """Effective sampling threshold: the k-th minimum, capped by any
+        grow-resize (equal to :attr:`kth_minimum` when never resized)."""
+        return min(self._cap, self.kth_minimum)
+
     def __len__(self) -> int:
         return len(self._hashes)
 
     def estimate_distinct(self) -> float:
-        """``(k - 1) / h_(k)``, or the exact count while underfull.
+        """``|{h < threshold}| / threshold``, or the exact count while
+        underfull.
 
-        Also reachable as ``estimate()`` through the protocol facade (the
-        sketch's default estimator kind is ``"distinct"``).
+        With no resize cap this is exactly the classic ``(k - 1) /
+        h_(k)`` (the witness hash equals the threshold and is excluded);
+        after a grow-resize the capped threshold keeps it unbiased while
+        the enlarged sketch refills.  Also reachable as ``estimate()``
+        through the protocol facade (the sketch's default estimator kind
+        is ``"distinct"``).
         """
         if self.is_exact:
             return float(len(self._hashes))
-        return (self.k - 1) / self.kth_minimum
+        t = self.threshold
+        return sum(1 for h in self._hashes if h < t) / t
 
     def sample(self) -> Sample:
         """Retained hashes below the k-th minimum as a uniform Sample.
@@ -122,7 +142,7 @@ class KMVSketch(StreamSampler):
         ``sample().ht_total()`` reproduces :meth:`estimate_distinct` once
         the sketch is saturated.
         """
-        t = self.kth_minimum if not self.is_exact else 1.0
+        t = self.threshold if not self.is_exact else 1.0
         hashes = sorted(h for h in self._hashes if h < t)
         n = len(hashes)
         return Sample(
@@ -150,6 +170,34 @@ class KMVSketch(StreamSampler):
             out._exact = out.k + 1
         return out
 
+    def resize(self, k: int) -> "KMVSketch":
+        """Change the nominal size mid-stream, keeping the estimate unbiased.
+
+        Shrinking keeps the ``k`` smallest hashes (what a fresh ``k``
+        sketch of the same stream would hold); a shrunk exact sketch that
+        overflows the new budget becomes a saturated one.  Growing
+        freezes the current k-th minimum as an admission cap so the
+        capped ``|retained| / threshold`` estimator stays unbiased while
+        the enlarged sketch refills; a still-exact sketch just grows.
+        """
+        if k < 2:
+            raise ValueError("k must be at least 2")
+        k = int(k)
+        if k == self.k:
+            return self
+        if k < self.k:
+            if len(self._hashes) > k or not self.is_exact:
+                keep = sorted(self._hashes)[:k]
+                self._hashes = set(keep)
+                self._heap = [-h for h in keep]
+                heapq.heapify(self._heap)
+                self._exact = k + 1
+        elif not self.is_exact:
+            self._cap = self.threshold
+            self._exact = k + 1
+        self.k = k
+        return self
+
     def merge(self, other: "KMVSketch") -> "KMVSketch":
         """Absorb another sketch in place (returns self).
 
@@ -164,6 +212,7 @@ class KMVSketch(StreamSampler):
         limits = [s.k for s in (self, other) if not s.is_exact]
         pool = self._hashes | other._hashes
         self.k = min(limits) if limits else max(self.k, other.k)
+        self._cap = min(self._cap, other._cap)
         self._heap = []
         self._hashes = set()
         self._exact = 0
@@ -185,13 +234,18 @@ class KMVSketch(StreamSampler):
         return {"k": self.k, "salt": self.salt}
 
     def _get_state(self) -> dict:
-        return {"hashes": sorted(self._hashes), "exact": self._exact}
+        return {
+            "hashes": sorted(self._hashes),
+            "exact": self._exact,
+            "cap": self._cap,
+        }
 
     def _set_state(self, state: dict) -> None:
         self._hashes = set(state["hashes"])
         self._heap = [-h for h in self._hashes]
         heapq.heapify(self._heap)
         self._exact = int(state["exact"])
+        self._cap = float(state.get("cap", 1.0))
 
 
 def kmv_union(sketches: Iterable[KMVSketch]) -> KMVSketch:

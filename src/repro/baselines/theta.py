@@ -37,6 +37,7 @@ class ThetaSketch(StreamSampler):
 
     default_estimate_kind = "distinct"
     mergeable = True
+    resizable = True
     #: Retains only hash values (no keys, weights, or payloads): the
     #: count-style aggregates apply and nothing else can.
     query_capabilities = query_support(
@@ -151,6 +152,29 @@ class ThetaSketch(StreamSampler):
             for h in np.sort(smallest):
                 out._offer(float(h))
         return out
+
+    def resize(self, k: int) -> "ThetaSketch":
+        """Change the nominal size mid-stream, keeping the estimate unbiased.
+
+        Shrinking keeps the ``k+1`` smallest hashes (the state a fresh
+        ``k`` sketch of the same stream would hold).  Growing freezes the
+        current theta as the cap — the same mechanism unions already use —
+        until the enlarged sketch genuinely fills past it.
+        """
+        if k < 1:
+            raise ValueError("k must be a positive integer")
+        k = int(k)
+        if k == self.k:
+            return self
+        if k < self.k:
+            keep = sorted(self._hashes)[: k + 1]
+            self._hashes = set(keep)
+            self._heap = [-h for h in keep]
+            heapq.heapify(self._heap)
+        else:
+            self._theta_cap = self.theta
+        self.k = k
+        return self
 
     def merge(self, other: "ThetaSketch") -> "ThetaSketch":
         """DataSketches-style union in place (returns self): min-theta,

@@ -188,6 +188,7 @@ class ShardedSampler(StreamSampler):
         # for the hash-coordinated sketches) the single-instance answers.
         self.query_capabilities = dict(self._shard_cls.query_capabilities)
         self.query_variance = self._shard_cls.query_variance
+        self.resizable = bool(getattr(self._shard_cls, "resizable", False))
         self._shards = [self._build_shard(i) for i in range(self.n_shards)]
         self._reduced_cache: StreamSampler | None = None
         self._executor: concurrent.futures.Executor | None = None
@@ -410,6 +411,31 @@ class ShardedSampler(StreamSampler):
         self._invalidate()
         for mine, theirs in zip(self._shards, other._shards):
             mine.merge(theirs)
+        return self
+
+    # ------------------------------------------------------------------
+    # Online resizing
+    # ------------------------------------------------------------------
+    def resize(self, k: int) -> "ShardedSampler":
+        """Resize every shard's budget to ``k`` (per shard, so the engine
+        retains about ``n_shards * k`` entries total).
+
+        Delegates to the shard class's :meth:`resize` — the per-shard
+        fold/cap semantics carry over unchanged because shards hold
+        key-disjoint sub-streams.  The spec is updated so serialization
+        round-trips the new budget.
+        """
+        if not self.resizable:
+            raise NotImplementedError(
+                f"sampler {self.spec.name!r} does not support online "
+                "resizing"
+            )
+        for shard in self._shards:
+            shard.resize(k)
+        self.spec = SamplerSpec(
+            self.spec.name, {**self.spec.params, "k": int(k)}
+        )
+        self._invalidate()
         return self
 
     # ------------------------------------------------------------------

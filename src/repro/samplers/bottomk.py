@@ -76,6 +76,7 @@ class BottomKSampler(StreamSampler):
     """
 
     mergeable = True
+    resizable = True
     #: Full query surface: per-occurrence HT rows with genuine inclusion
     #: probabilities answer every aggregate (``distinct`` presumes the
     #: stream offers each key once — the coordinated/unique-feed use of
@@ -103,6 +104,11 @@ class BottomKSampler(StreamSampler):
         # Max-heap of the k+1 smallest-priority entries seen so far.
         self._heap: list[_Entry] = []
         self.items_seen = 0
+        # Admission cap left behind by a grow-resize: the threshold can
+        # never exceed the value it had when the budget was enlarged
+        # (1-substitutable, Section 3.5 — what keeps HT unbiased across
+        # the resize).  +inf when no grow has happened.
+        self._threshold_cap = float("inf")
 
     # ------------------------------------------------------------------
     # Stream interface
@@ -123,6 +129,8 @@ class BottomKSampler(StreamSampler):
         return self._offer(_Entry(r, key, float(weight), float(weight if value is None else value)))
 
     def _offer(self, entry: _Entry) -> bool:
+        if entry.priority >= self._threshold_cap:
+            return False
         if len(self._heap) <= self.k:
             heapq.heappush(self._heap, entry)
             return True
@@ -177,10 +185,11 @@ class BottomKSampler(StreamSampler):
     # ------------------------------------------------------------------
     @property
     def threshold(self) -> float:
-        """The (k+1)-st smallest priority, or +inf while n <= k."""
+        """The (k+1)-st smallest priority (capped by any grow-resize), or
+        the cap / +inf while the sketch is underfull."""
         if len(self._heap) <= self.k:
-            return float("inf")
-        return self._heap[0].priority
+            return self._threshold_cap
+        return min(self._heap[0].priority, self._threshold_cap)
 
     def __len__(self) -> int:
         return min(len(self._heap), self.k)
@@ -224,6 +233,36 @@ class BottomKSampler(StreamSampler):
         return self.sample().distinct_estimate()
 
     # ------------------------------------------------------------------
+    # Online resizing
+    # ------------------------------------------------------------------
+    def resize(self, k: int) -> "BottomKSampler":
+        """Change the budget to ``k`` mid-stream, keeping HT unbiased.
+
+        Shrinking folds the sketch to the ``k+1`` smallest priorities —
+        exactly the state a fresh ``k``-budget sketch of the same stream
+        would hold (priority draws are per-item, not per-budget).
+        Growing freezes the current threshold as an admission cap until
+        the enlarged heap genuinely fills past it; the cap is a
+        1-substitutable threshold, so the fixed-threshold estimators
+        stay unbiased across the transition.
+        """
+        if k < 1:
+            raise ValueError("k must be a positive integer")
+        k = int(k)
+        if k == self.k:
+            return self
+        if k < self.k:
+            if len(self._heap) > k + 1:
+                self._heap = sorted(
+                    self._heap, key=lambda e: e.priority
+                )[: k + 1]
+                heapq.heapify(self._heap)
+        else:
+            self._threshold_cap = self.threshold
+        self.k = k
+        return self
+
+    # ------------------------------------------------------------------
     # Merging
     # ------------------------------------------------------------------
     def merge(self, other: "BottomKSampler") -> "BottomKSampler":
@@ -241,6 +280,9 @@ class BottomKSampler(StreamSampler):
         if type(other.family) is not type(self.family):
             raise ValueError("cannot merge sketches with different priority families")
         self.items_seen += other.items_seen
+        # Respect both sides' grow-resize caps: the merged threshold may
+        # not exceed either (per-entry-max merging stays sound, §3.5).
+        self._threshold_cap = min(self._threshold_cap, other._threshold_cap)
         for entry in list(other._heap):
             self._offer(_Entry(entry.priority, entry.key, entry.weight, entry.value))
         return self
@@ -257,11 +299,14 @@ class BottomKSampler(StreamSampler):
         }
 
     def _get_state(self) -> dict:
+        cap = self._threshold_cap
         return {
             "entries": [
                 (e.priority, e.key, e.weight, e.value) for e in self._heap
             ],
             "items_seen": self.items_seen,
+            # None encodes "no cap" so the state stays JSON-friendly.
+            "threshold_cap": None if cap == float("inf") else cap,
             "rng": rng_to_state(self.rng),
         }
 
@@ -269,4 +314,6 @@ class BottomKSampler(StreamSampler):
         self._heap = [_Entry(*row) for row in state["entries"]]
         heapq.heapify(self._heap)
         self.items_seen = int(state["items_seen"])
+        cap = state.get("threshold_cap")
+        self._threshold_cap = float("inf") if cap is None else float(cap)
         self.rng = rng_from_state(state["rng"])

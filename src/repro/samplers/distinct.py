@@ -67,6 +67,7 @@ class WeightedDistinctSketch(StreamSampler):
 
     default_estimate_kind = "distinct"
     mergeable = True
+    resizable = True
     #: Per-key coordinated rows: every HT aggregate applies.  The payload
     #: column is 1 per key (``sum`` defaults to the distinct count); pass
     #: ``value="weight"`` for weighted subset sums (§3.4's ``S_hat(A)``).
@@ -83,6 +84,9 @@ class WeightedDistinctSketch(StreamSampler):
         # Max-heap of (-priority, key); _entries maps key -> (priority, weight).
         self._heap: list[tuple[float, object]] = []
         self._entries: dict[object, tuple[float, float]] = {}
+        # Admission cap left behind by a grow-resize (1-substitutable,
+        # §3.5): the threshold never exceeds its value at resize time.
+        self._cap = float("inf")
 
     def update(
         self, key: object, weight: float = 1.0, *, value=None, time=None
@@ -96,6 +100,8 @@ class WeightedDistinctSketch(StreamSampler):
         return self._offer(key, r, float(weight))
 
     def _offer(self, key: object, r: float, weight: float) -> bool:
+        if r >= self._cap:
+            return False
         if len(self._entries) <= self.k:
             self._entries[key] = (r, weight)
             heapq.heappush(self._heap, (-r, key))
@@ -142,10 +148,11 @@ class WeightedDistinctSketch(StreamSampler):
 
     @property
     def threshold(self) -> float:
-        """The (k+1)-st smallest weighted priority (+inf while underfull)."""
+        """The (k+1)-st smallest weighted priority, capped by any
+        grow-resize (the cap / +inf while underfull)."""
         if len(self._entries) <= self.k:
-            return float("inf")
-        return -self._heap[0][0]
+            return self._cap
+        return min(-self._heap[0][0], self._cap)
 
     def _retained(self) -> list[tuple[object, float, float]]:
         t = self.threshold
@@ -196,6 +203,36 @@ class WeightedDistinctSketch(StreamSampler):
                 total += x / min(1.0, w * t)
         return total
 
+    def resize(self, k: int) -> "WeightedDistinctSketch":
+        """Change the sketch size mid-stream, keeping §3.4's estimators
+        unbiased.
+
+        Shrinking folds to the ``k+1`` smallest priorities (the state of
+        a fresh ``k`` sketch over the same stream); growing freezes the
+        current threshold as an admission cap — a 1-substitutable
+        threshold per §3.5 — until the enlarged sketch fills past it.
+        """
+        if k < 1:
+            raise ValueError("k must be a positive integer")
+        k = int(k)
+        if k == self.k:
+            return self
+        if k < self.k:
+            if len(self._entries) > k + 1:
+                keep = heapq.nsmallest(
+                    k + 1,
+                    ((r, key) for key, (r, _) in self._entries.items()),
+                )
+                self._entries = {
+                    key: self._entries[key] for _, key in keep
+                }
+                self._heap = [(-r, key) for r, key in keep]
+                heapq.heapify(self._heap)
+        else:
+            self._cap = self.threshold
+        self.k = k
+        return self
+
     def merge(self, other: "WeightedDistinctSketch") -> "WeightedDistinctSketch":
         """Union with a sketch over the same salt (in-place, returns self).
 
@@ -205,6 +242,7 @@ class WeightedDistinctSketch(StreamSampler):
         """
         if other.salt != self.salt:
             raise ValueError("cannot merge sketches with different salts")
+        self._cap = min(self._cap, other._cap)
         for key, (r, w) in other._entries.items():
             if key not in self._entries:
                 self._offer(key, r, w)
@@ -217,16 +255,21 @@ class WeightedDistinctSketch(StreamSampler):
         return {"k": self.k, "salt": self.salt}
 
     def _get_state(self) -> dict:
+        cap = self._cap
         return {
             "entries": [
                 (key, r, w) for key, (r, w) in self._entries.items()
             ],
+            # None encodes "no cap" so the state stays JSON-friendly.
+            "cap": None if cap == float("inf") else cap,
         }
 
     def _set_state(self, state: dict) -> None:
         self._entries = {key: (r, w) for key, r, w in state["entries"]}
         self._heap = [(-r, key) for key, (r, _) in self._entries.items()]
         heapq.heapify(self._heap)
+        cap = state.get("cap")
+        self._cap = float("inf") if cap is None else float(cap)
 
 
 @register_sampler("adaptive_distinct")
@@ -246,6 +289,7 @@ class AdaptiveDistinctSketch(StreamSampler):
 
     default_estimate_kind = "distinct"
     mergeable = True
+    resizable = True
     #: Unweighted hash rows (values and weights all 1): the count-style
     #: aggregates apply; the rest degenerate and are declared out.
     query_capabilities = query_support(
@@ -418,6 +462,29 @@ class AdaptiveDistinctSketch(StreamSampler):
             stacklevel=2,
         )
         return self.merge(other)
+
+    def resize(self, k: int) -> "AdaptiveDistinctSketch":
+        """Change the budget mid-stream; the fold is :meth:`trim`'s.
+
+        Shrinking lowers the budget and folds the retained set under the
+        new ``(k+1)``-st-smallest cut via :meth:`trim` (per-entry taus
+        capped at the cut, the admission cap lowered with them).  Growing
+        freezes the current stream threshold as the admission cap before
+        lifting ``k``, so new admissions keep honouring the threshold the
+        existing entries were retained under.
+        """
+        if k < 1:
+            raise ValueError("k must be a positive integer")
+        k = int(k)
+        if k == self.k:
+            return self
+        if k < self.k:
+            self.k = k
+            self.trim(k)
+        else:
+            self._admission_cap = self.stream_threshold
+            self.k = k
+        return self
 
     def trim(self, max_entries: int) -> None:
         """Bound memory by lowering taus: keep the ``max_entries`` smallest

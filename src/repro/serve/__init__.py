@@ -24,6 +24,10 @@ long-running runtime that premise deserves.  A
 * **Multi-tenancy** — :mod:`repro.serve.cluster` multiplexes many
   tenants onto a pool of these services with consistent-hash routing,
   per-tenant quotas, live rebalancing, and a TCP front end.
+* **Adaptive control** — an :class:`AdaptiveController` retunes
+  ``batch_size``/``max_latency``/sampler ``k`` online from live metrics
+  (:mod:`repro.serve.control`); retunes apply at flush boundaries, are
+  WAL-logged, and keep estimators unbiased across sampler resizes.
 * **Self-healing** — a :class:`~repro.serve.cluster.Supervisor`
   health-checks the pool and fails over automatically (restart-in-place
   or rehome) while the cluster keeps serving degraded reads and sheds
@@ -36,6 +40,13 @@ the runtime loop diagram and the durability/recovery guarantees.
 
 from .batcher import MicroBatcher
 from .checkpoints import CheckpointStore
+from .control import (
+    AdaptiveController,
+    CONTROLLER_MODES,
+    ControllerConfig,
+    ControlSignals,
+    derive_signals,
+)
 from .metrics import ServiceMetrics
 from .service import ServiceCrashed, ServiceSnapshot, StreamService
 
@@ -47,6 +58,7 @@ from .cluster import (
     CircuitBreaker,
     Cluster,
     ClusterClient,
+    ClusterController,
     ClusterFrontend,
     ClusterMetrics,
     FrontendMetrics,
@@ -65,6 +77,11 @@ __all__ = [
     "ServiceCrashed",
     "MicroBatcher",
     "ServiceMetrics",
+    "AdaptiveController",
+    "ControllerConfig",
+    "ControlSignals",
+    "CONTROLLER_MODES",
+    "derive_signals",
     "CheckpointStore",
     "WriteAheadLog",
     "WalRecord",
@@ -75,6 +92,7 @@ __all__ = [
     "CircuitBreaker",
     "Cluster",
     "ClusterClient",
+    "ClusterController",
     "ClusterFrontend",
     "ClusterMetrics",
     "FrontendMetrics",

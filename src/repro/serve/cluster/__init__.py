@@ -34,6 +34,7 @@ rebalance protocol proof sketch, and the failure model.
 """
 
 from .cluster import Cluster, StaleFrontier
+from .controller import ClusterController
 from .frontend import (
     ClusterClient,
     ClusterFrontend,
@@ -55,6 +56,7 @@ __all__ = [
     "CircuitOpenError",
     "Cluster",
     "ClusterClient",
+    "ClusterController",
     "ClusterFrontend",
     "ClusterMetrics",
     "FailoverEvent",

@@ -550,6 +550,49 @@ class Cluster:
         return out
 
     # ------------------------------------------------------------------
+    # Online retuning (the adaptive control plane's actuators)
+    # ------------------------------------------------------------------
+    async def retune_service(
+        self,
+        name: str,
+        *,
+        batch_size: int | None = None,
+        max_latency: float | None = None,
+        k: int | None = None,
+    ) -> dict:
+        """Retune one worker's flush knobs online, via
+        :meth:`StreamService.retune` (applied at a flush boundary,
+        WAL-logged, bit-exact under recovery).
+
+        ``k`` is accepted for symmetry but cluster workers wrap the
+        non-resizable tenant mux, so passing it raises ``ValueError``
+        from the worker.  Down workers cannot be retuned — failover
+        restores them with their durable config first.
+        """
+        self._check_started()
+        worker = self.service(name)
+        if self.is_down(name):
+            raise RuntimeError(f"service {name!r} is down; cannot retune")
+        return await worker.retune(
+            batch_size=batch_size, max_latency=max_latency, k=k
+        )
+
+    def retune_quota(
+        self, tenant: str, quota: "TenantQuota | dict | None"
+    ) -> "TenantQuota":
+        """Replace ``tenant``'s quota online and persist the new limits.
+
+        Delegates to :meth:`TenantRegistry.retune_quota` (frozen-quota
+        swap plus a fresh token bucket) and rewrites the cluster meta so
+        a recovered cluster enforces the retuned limits.  Returns the
+        quota now in force.
+        """
+        self._check_started()
+        record = self.registry.retune_quota(tenant, quota)
+        self._save_meta()
+        return record.quota
+
+    # ------------------------------------------------------------------
     # Ingestion
     # ------------------------------------------------------------------
     async def ingest(self, tenant: str, key, weight: float = 1.0, *,

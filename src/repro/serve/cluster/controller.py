@@ -1,0 +1,192 @@
+"""Cluster-wide adaptive control: per-worker controllers + quota tuning.
+
+The single-service :class:`~repro.serve.control.AdaptiveController`
+closes the loop over one worker's flush knobs.  At cluster scope there
+is a second actuator the single-service controller cannot reach: the
+per-tenant rate quotas enforced *before* events hit a worker's bounded
+queue.  :class:`ClusterController` composes both:
+
+- one :class:`AdaptiveController` per worker, retuning each worker's
+  ``batch_size``/``max_latency`` from its own live metrics (worker
+  samplers wrap the tenant mux, which is not resizable, so ``k`` is
+  never proposed at this layer — the controllers' configs get no ``k``
+  bounds because the mux reports ``resizable = False``);
+- a quota loop that watches per-tenant backpressure drops
+  (``events_dropped_by`` on the owning worker) and *backs off* the
+  offending tenant's ``events_per_sec`` multiplicatively, then restores
+  it toward the declared rate once the tenant stops drowning its worker.
+
+Backing off a quota converts a hot tenant's overload into that tenant's
+own pushback (counted ``rate`` rejections) instead of shared queue
+pressure — the cluster-scope analogue of growing ``batch_size``.
+Restores are deliberately slower than backoffs (AIMD-flavoured) so a
+flapping tenant converges to a sustainable rate instead of oscillating.
+"""
+
+from __future__ import annotations
+
+import asyncio
+
+from collections import deque
+from typing import TYPE_CHECKING
+
+from ..control import AdaptiveController, ControllerConfig
+from .tenants import TenantQuota
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
+    from .cluster import Cluster
+
+__all__ = ["ClusterController"]
+
+
+class ClusterController:
+    """Adaptive control for a whole :class:`Cluster`.
+
+    Parameters
+    ----------
+    cluster:
+        The started cluster to control.
+    mode / config:
+        Forwarded to every per-worker
+        :class:`~repro.serve.control.AdaptiveController`.
+    quota_backoff:
+        Multiplicative cut applied to a tenant's ``events_per_sec``
+        in any window where the tenant suffered backpressure drops.
+    quota_recovery:
+        Multiplicative restore applied in drop-free windows, capped at
+        the tenant's originally declared rate.
+    min_events_per_sec:
+        Floor under repeated backoffs (a rate of zero would be a
+        permanent mute, not a throttle).
+    """
+
+    def __init__(
+        self,
+        cluster: "Cluster",
+        mode: str = "balanced",
+        config: ControllerConfig | None = None,
+        *,
+        quota_backoff: float = 0.5,
+        quota_recovery: float = 1.25,
+        min_events_per_sec: float = 1.0,
+    ):
+        if not 0.0 < quota_backoff < 1.0:
+            raise ValueError("quota_backoff must be in (0, 1)")
+        if quota_recovery <= 1.0:
+            raise ValueError("quota_recovery must exceed 1")
+        if min_events_per_sec <= 0:
+            raise ValueError("min_events_per_sec must be positive")
+        self.cluster = cluster
+        self.mode = mode
+        self.config = config if config is not None else ControllerConfig()
+        self.quota_backoff = float(quota_backoff)
+        self.quota_recovery = float(quota_recovery)
+        self.min_events_per_sec = float(min_events_per_sec)
+        self.controllers: dict[str, AdaptiveController] = {}
+        #: Quota actions taken, newest last: ``(tenant, old_rate, new_rate)``.
+        self.quota_history: deque = deque(maxlen=256)
+        self._declared_rates: dict[str, float] = {}
+        self._seen_drops: dict[str, int] = {}
+        self._task: asyncio.Task | None = None
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    async def start(self) -> "ClusterController":
+        """Start one per-worker controller plus the quota loop."""
+        if self._task is not None:
+            raise RuntimeError("cluster controller already started")
+        for name in self.cluster.services:
+            controller = AdaptiveController(
+                self.cluster.service(name), self.mode, self.config
+            )
+            self.controllers[name] = await controller.start()
+        self._task = asyncio.get_running_loop().create_task(self._run())
+        return self
+
+    async def stop(self) -> None:
+        """Stop the quota loop and every per-worker controller."""
+        task, self._task = self._task, None
+        if task is not None:
+            task.cancel()
+            try:
+                await task
+            except asyncio.CancelledError:
+                pass
+        for controller in self.controllers.values():
+            await controller.stop()
+        self.controllers.clear()
+
+    async def __aenter__(self) -> "ClusterController":
+        return await self.start()
+
+    async def __aexit__(self, exc_type, exc, tb) -> None:
+        await self.stop()
+
+    async def _run(self) -> None:
+        while True:
+            await asyncio.sleep(self.config.interval)
+            try:
+                self.quota_step()
+            except RuntimeError:
+                # Cluster stopped underneath the loop: nothing to control.
+                return
+
+    # ------------------------------------------------------------------
+    # Quota policy (one window; the test seam)
+    # ------------------------------------------------------------------
+    def quota_step(self) -> list[tuple[str, float, float]]:
+        """Observe one window of per-tenant drops and retune quotas.
+
+        Pure bookkeeping plus :meth:`Cluster.retune_quota` calls —
+        synchronous, so tests can drive windows deterministically.
+        Returns the ``(tenant, old_rate, new_rate)`` actions taken.
+        """
+        actions: list[tuple[str, float, float]] = []
+        for tenant in self.cluster.tenants():
+            record = self.cluster.registry.get(tenant)
+            rate = record.quota.events_per_sec
+            if rate is None:
+                continue  # unlimited tenants are not throttled further
+            self._declared_rates.setdefault(tenant, float(rate))
+            worker = record.service
+            if not worker or self.cluster.is_down(worker):
+                continue
+            drops = (
+                self.cluster.service(worker)
+                .metrics.events_dropped_by.get(tenant, 0)
+            )
+            fresh = drops - self._seen_drops.get(tenant, 0)
+            self._seen_drops[tenant] = drops
+            declared = self._declared_rates[tenant]
+            if fresh > 0:
+                target = max(rate * self.quota_backoff,
+                             self.min_events_per_sec)
+            elif rate < declared:
+                target = min(rate * self.quota_recovery, declared)
+            else:
+                continue
+            if target == rate:
+                continue
+            new_quota = TenantQuota(
+                events_per_sec=target,
+                burst=record.quota.burst,
+                queue_share=record.quota.queue_share,
+            )
+            self.cluster.retune_quota(tenant, new_quota)
+            actions.append((tenant, float(rate), float(target)))
+            self.quota_history.append((tenant, float(rate), float(target)))
+        return actions
+
+    def trajectory(self) -> dict:
+        """JSON-friendly history: per-worker retunes + quota actions."""
+        return {
+            "workers": {
+                name: controller.trajectory()
+                for name, controller in sorted(self.controllers.items())
+            },
+            "quotas": [
+                {"tenant": tenant, "old_rate": old, "new_rate": new}
+                for tenant, old, new in self.quota_history
+            ],
+        }

@@ -291,6 +291,26 @@ class TenantRegistry:
         self.get(tenant)
         return self._buckets[tenant]
 
+    def retune_quota(
+        self, tenant: str, quota: TenantQuota | dict | None
+    ) -> TenantRecord:
+        """Replace ``tenant``'s quota in place, rebuilding its bucket.
+
+        Quotas are frozen, so a retune swaps the whole
+        :class:`TenantQuota` on the record and rebuilds the live token
+        bucket from it (a fresh, full bucket — a rate *cut* therefore
+        takes effect after at most one old burst).  ``None`` lifts all
+        limits.  Returns the updated record.
+        """
+        record = self.get(tenant)
+        if quota is None:
+            quota = TenantQuota()
+        elif not isinstance(quota, TenantQuota):
+            quota = TenantQuota.from_dict(quota)
+        record.quota = quota
+        self._buckets[tenant] = quota.bucket(self._clock)
+        return record
+
     def drop(self, tenant: str) -> TenantRecord:
         """Remove ``tenant`` from the namespace, returning its record."""
         record = self.get(tenant)

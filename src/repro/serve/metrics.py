@@ -17,13 +17,31 @@ cluster-wide view without re-deriving any counter.
 
 from __future__ import annotations
 
+import math
+
 from dataclasses import dataclass, field
 
-__all__ = ["ServiceMetrics"]
+__all__ = ["ServiceMetrics", "FLUSH_REASONS"]
 
 #: Drop label used when the non-blocking ingest path is not told whom the
 #: dropped events belonged to (plain single-tenant services).
 UNLABELED_DROP = "_unlabeled"
+
+#: The only flush triggers the runtime produces.  ``record_flush``
+#: validates against this at the call boundary so a typo'd reason fails
+#: with a clear ``ValueError`` instead of an ``AttributeError`` deep in
+#: the consumer loop (which would be recorded as a service crash).
+FLUSH_REASONS = ("size", "deadline", "drain")
+
+
+def _pow2_ms_bucket(seconds: float) -> int:
+    """Upper-bound-in-milliseconds pow2 bucket for a latency sample.
+
+    Bucket ``2**i`` covers latencies in ``(2**(i-1), 2**i]`` milliseconds;
+    everything at or under 1ms lands in bucket ``1``.
+    """
+    ms = max(0.0, float(seconds)) * 1000.0
+    return 1 << max(0, (math.ceil(ms) - 1).bit_length())
 
 
 @dataclass
@@ -72,9 +90,35 @@ class ServiceMetrics:
     #: machinery after ``StreamService.recover``, and persisted through
     #: checkpoints, so a flapping worker is visible across its lifetimes.
     restarts: int = 0
+    #: Flush latency: how long the *oldest* event of a flushed batch sat
+    #: buffered before it was applied (the queueing delay an SLO cares
+    #: about).  ``last_flush_latency`` is a gauge; the sum plus
+    #: ``flush_latency_buckets`` (pow2 milliseconds, see
+    #: :meth:`flush_latency_quantile`) give averages and quantiles.
+    last_flush_latency: float = 0.0
+    flush_latency_sum: float = 0.0
+    flush_latency_buckets: dict[int, int] = field(default_factory=dict)
+    #: Per-flush wall-clock duration (WAL append + sampler apply): the
+    #: service-side cost of a flush, as a gauge plus a running sum.
+    last_flush_duration: float = 0.0
+    flush_duration_sum: float = 0.0
+    #: Online reconfigurations applied via ``StreamService.retune``.
+    retunes_applied: int = 0
 
-    def record_flush(self, n: int, reason: str) -> None:
-        """Account one applied micro-batch of ``n`` events."""
+    def record_flush(self, n: int, reason: str,
+                     latency: float = 0.0, duration: float = 0.0) -> None:
+        """Account one applied micro-batch of ``n`` events.
+
+        ``reason`` must be one of :data:`FLUSH_REASONS`; ``latency`` is
+        the buffered age of the batch's oldest event at apply time and
+        ``duration`` the wall-clock cost of the flush itself (both in
+        seconds).
+        """
+        if reason not in FLUSH_REASONS:
+            raise ValueError(
+                f"unknown flush reason {reason!r}; expected one of "
+                f"{FLUSH_REASONS}"
+            )
         self.batches_applied += 1
         self.events_applied += n
         setattr(self, f"flushes_{reason}", getattr(self, f"flushes_{reason}") + 1)
@@ -82,6 +126,50 @@ class ServiceMetrics:
         self.batch_size_buckets[bucket] = (
             self.batch_size_buckets.get(bucket, 0) + 1
         )
+        self.last_flush_latency = float(latency)
+        self.flush_latency_sum += float(latency)
+        ms_bucket = _pow2_ms_bucket(latency)
+        self.flush_latency_buckets[ms_bucket] = (
+            self.flush_latency_buckets.get(ms_bucket, 0) + 1
+        )
+        self.last_flush_duration = float(duration)
+        self.flush_duration_sum += float(duration)
+
+    def record_retune(self) -> None:
+        """Account one applied online reconfiguration."""
+        self.retunes_applied += 1
+
+    def flush_latency_quantile(self, q: float) -> float:
+        """The ``q``-quantile flush latency in **seconds**, from the pow2
+        histogram (the bucket's upper bound, i.e. a conservative
+        estimate).  Returns ``0.0`` before the first flush.
+        """
+        if not 0.0 <= q <= 1.0:
+            raise ValueError(f"quantile must be in [0, 1], got {q}")
+        total = sum(self.flush_latency_buckets.values())
+        if total == 0:
+            return 0.0
+        rank = q * total
+        seen = 0
+        for upper_ms, count in sorted(self.flush_latency_buckets.items()):
+            seen += count
+            if seen >= rank:
+                return upper_ms / 1000.0
+        return upper_ms / 1000.0
+
+    def reset_volatile(self) -> None:
+        """Zero the gauges that describe in-memory state only.
+
+        Called by ``StreamService.recover``: a recovered service starts
+        with an empty buffer and no flush in flight, so the pre-crash
+        ``queue_depth`` / ``last_flush_*`` gauges restored by
+        :meth:`from_dict` would be phantoms (a controller reading them
+        would see backlog that does not exist and mis-retune).  Durable
+        counters and histograms are left untouched.
+        """
+        self.queue_depth = 0
+        self.last_flush_latency = 0.0
+        self.last_flush_duration = 0.0
 
     def record_drop(self, n: int, label: str | None = None) -> None:
         """Account ``n`` events dropped by the non-blocking ingest path.
@@ -150,6 +238,19 @@ class ServiceMetrics:
         self.wal_records += other.wal_records
         self.wal_bytes += other.wal_bytes
         self.restarts += other.restarts
+        self.retunes_applied += other.retunes_applied
+        self.flush_latency_sum += other.flush_latency_sum
+        self.flush_duration_sum += other.flush_duration_sum
+        self.last_flush_latency = max(
+            self.last_flush_latency, other.last_flush_latency
+        )
+        self.last_flush_duration = max(
+            self.last_flush_duration, other.last_flush_duration
+        )
+        for bucket, count in other.flush_latency_buckets.items():
+            self.flush_latency_buckets[bucket] = (
+                self.flush_latency_buckets.get(bucket, 0) + count
+            )
         for bucket, count in other.batch_size_buckets.items():
             self.batch_size_buckets[bucket] = (
                 self.batch_size_buckets.get(bucket, 0) + count
@@ -179,12 +280,23 @@ class ServiceMetrics:
             wal_records=int(snapshot.get("wal_records", 0)),
             wal_bytes=int(snapshot.get("wal_bytes", 0)),
             restarts=int(snapshot.get("restarts", 0)),
+            retunes_applied=int(snapshot.get("retunes_applied", 0)),
         )
         metrics.queue_depth = int(snapshot.get("queue_depth", 0))
         flushes = snapshot.get("flushes", {})
         metrics.flushes_size = int(flushes.get("size", 0))
         metrics.flushes_deadline = int(flushes.get("deadline", 0))
         metrics.flushes_drain = int(flushes.get("drain", 0))
+        latency = snapshot.get("flush_latency", {})
+        metrics.last_flush_latency = float(latency.get("last", 0.0))
+        metrics.flush_latency_sum = float(latency.get("sum", 0.0))
+        metrics.flush_latency_buckets = {
+            int(bucket): int(count)
+            for bucket, count in latency.get("buckets", {}).items()
+        }
+        duration = snapshot.get("flush_duration", {})
+        metrics.last_flush_duration = float(duration.get("last", 0.0))
+        metrics.flush_duration_sum = float(duration.get("sum", 0.0))
         metrics.batch_size_buckets = {
             int(bucket): int(count)
             for bucket, count in snapshot.get("batch_size_buckets", {}).items()
@@ -216,6 +328,20 @@ class ServiceMetrics:
             },
             "queue_depth": self.queue_depth,
             "queue_high_watermark": self.queue_high_watermark,
+            "flush_latency": {
+                "last": self.last_flush_latency,
+                "sum": self.flush_latency_sum,
+                "buckets": {
+                    str(k): v
+                    for k, v in sorted(self.flush_latency_buckets.items())
+                },
+                "p99": self.flush_latency_quantile(0.99),
+            },
+            "flush_duration": {
+                "last": self.last_flush_duration,
+                "sum": self.flush_duration_sum,
+            },
+            "retunes_applied": self.retunes_applied,
             "batch_size_buckets": {
                 str(k): v for k, v in sorted(self.batch_size_buckets.items())
             },

@@ -228,9 +228,18 @@ class StreamService:
             )
         if queue_size < 1:
             raise ValueError("queue_size must be >= 1")
+        if batch_size < 1:
+            raise ValueError("batch_size must be >= 1")
+        if max_latency <= 0:
+            raise ValueError("max_latency must be positive")
         self.dir = pathlib.Path(dir) if dir is not None else None
         self.queue_size = int(queue_size)
-        self.batch_size = int(batch_size)
+        # batch_size > queue_size is a dead config: admission caps the
+        # buffer below batch_size, so a size-triggered flush could never
+        # fire and every batch would wait out max_latency.  Clamp here
+        # and in retune() so no caller (human or controller) can steer
+        # into it.
+        self.batch_size = min(int(batch_size), self.queue_size)
         self.max_latency = float(max_latency)
         self.checkpoint_every_events = int(
             checkpoint_every_events
@@ -254,6 +263,10 @@ class StreamService:
         self._closed = False
         self._stopping = False
         self._force_flush = False
+        # Pending online reconfigurations: (changes, future) pairs the
+        # consumer applies at the next flush boundary (see retune()).
+        self._retunes: deque[tuple[dict, asyncio.Future]] = deque()
+        self._admin_seq = 0  # WAL admin records applied, ever
         self._error: BaseException | None = None
         self._heartbeat = 0.0  # loop.time() of the consumer's last turn
         self._task: asyncio.Task | None = None
@@ -417,6 +430,11 @@ class StreamService:
                     await self._crash(
                         ServiceCrashed("service consumer was killed")
                     )
+        # A retune enqueued after the consumer's final loop turn would
+        # otherwise strand its caller on a future nobody resolves.
+        self._fail_pending_retunes(
+            RuntimeError("service stopped before the retune was applied")
+        )
         if (
             not self.crashed
             and checkpoint
@@ -618,6 +636,83 @@ class StreamService:
             ) from self._error
 
     # ------------------------------------------------------------------
+    # Online reconfiguration
+    # ------------------------------------------------------------------
+    async def retune(self, *, batch_size: int | None = None,
+                     max_latency: float | None = None,
+                     k: int | None = None) -> dict:
+        """Reconfigure the running service without a restart.
+
+        The change takes effect at the next flush boundary: the consumer
+        drains the pending micro-batch under the old configuration, logs
+        one WAL *admin record* (so :meth:`recover` replays the retune at
+        the exact same stream position and stays bit-exact), then applies
+        the new ``batch_size`` / ``max_latency`` to the batcher and — for
+        ``resizable`` samplers — ``resize(k)`` to the sampler.
+
+        ``batch_size`` is clamped to ``queue_size`` (the same dead-config
+        guard as construction).  Returns the dict of changes actually
+        applied, after the consumer has applied them; raises
+        :class:`ServiceCrashed` if the consumer dies first.
+        """
+        self._check_started()
+        if self.crashed:
+            raise ServiceCrashed(
+                "service consumer crashed; cannot retune"
+            ) from self._error
+        if self._stopping:
+            raise RuntimeError("service is stopping; cannot retune")
+        changes: dict = {}
+        if batch_size is not None:
+            batch_size = int(batch_size)
+            if batch_size < 1:
+                raise ValueError("batch_size must be >= 1")
+            changes["batch_size"] = min(batch_size, self.queue_size)
+        if max_latency is not None:
+            max_latency = float(max_latency)
+            if max_latency <= 0:
+                raise ValueError("max_latency must be positive")
+            changes["max_latency"] = max_latency
+        if k is not None:
+            if not getattr(self._sampler, "resizable", False):
+                raise ValueError(
+                    f"sampler {self.sampler_name!r} is not resizable; "
+                    "cannot retune k"
+                )
+            k = int(k)
+            if k < 1:
+                raise ValueError("k must be a positive integer")
+            changes["k"] = k
+        if not changes:
+            return changes
+        future = asyncio.get_running_loop().create_future()
+        self._retunes.append((changes, future))
+        self._wake.set()
+        await future
+        return changes
+
+    def _apply_retune(self, changes: dict) -> None:
+        """Apply validated retune changes to the live config + sampler.
+
+        Shared by the consumer (live path) and :meth:`recover` (replay
+        of WAL admin records) so both walk the exact same code.
+        """
+        if "batch_size" in changes:
+            self.batch_size = min(int(changes["batch_size"]), self.queue_size)
+            self._batcher.batch_size = self.batch_size
+        if "max_latency" in changes:
+            self.max_latency = float(changes["max_latency"])
+            self._batcher.max_latency = self.max_latency
+        if "k" in changes:
+            self._sampler.resize(int(changes["k"]))
+
+    def _fail_pending_retunes(self, error: BaseException) -> None:
+        while self._retunes:
+            _, future = self._retunes.popleft()
+            if not future.done():
+                future.set_exception(error)
+
+    # ------------------------------------------------------------------
     # The consumer task
     # ------------------------------------------------------------------
     async def _hook(self, stage: str) -> None:
@@ -640,6 +735,8 @@ class StreamService:
                         await self._flush_batch("drain")
                     if not self._queue:
                         self._force_flush = False
+                if self._retunes:
+                    await self._apply_retunes()
                 if self._stopping and not self._queue:
                     # Drain the pending partial batch immediately: shutdown
                     # latency must not depend on max_latency.
@@ -688,12 +785,69 @@ class StreamService:
             self.metrics.record_depth(self._buffered)
             if self._batcher.size_due():
                 await self._flush_batch("size")
+                if self._retunes:
+                    # Under sustained overload the queue never empties, so
+                    # waiting for it to drain would starve pending retunes
+                    # exactly when the control plane needs them.  We just
+                    # crossed a flush boundary — hand control back to the
+                    # consumer loop, which applies retunes before pulling
+                    # again.
+                    return
+
+    async def _apply_retunes(self) -> None:
+        """Apply queued retunes at a flush boundary (consumer-side).
+
+        Drains the pending micro-batch first so the reconfiguration sits
+        *between* batches, then — per retune — appends one zero-event WAL
+        admin record and applies the changes under the state lock.  The
+        admin sequence number lets recovery skip records a later
+        checkpoint already covers (replay from a checkpoint taken at the
+        same offset re-yields the record).
+        """
+        if len(self._batcher):
+            await self._flush_batch("drain")
+        while self._retunes:
+            changes, future = self._retunes.popleft()
+            try:
+                async with self._state_lock:
+                    self._admin_seq += 1
+                    if self._wal is not None:
+                        frame = self._wal.append(
+                            self._durable, 0,
+                            {"admin": {
+                                "seq": self._admin_seq,
+                                "retune": dict(changes),
+                            }},
+                        )
+                        self.metrics.wal_records += 1
+                        self.metrics.wal_bytes += frame
+                    self._apply_retune(changes)
+                    self.metrics.record_retune()
+            except BaseException as err:  # noqa: BLE001 - crash containment
+                if not future.done():
+                    wrapped = ServiceCrashed(
+                        "service consumer crashed while applying the retune"
+                    )
+                    wrapped.__cause__ = err
+                    future.set_exception(wrapped)
+                raise
+            if not future.done():
+                future.set_result(dict(changes))
 
     async def _flush_batch(self, reason: str) -> None:
         """Log then apply the pending micro-batch, atomically for readers."""
         if not len(self._batcher):
             return
         await self._hook("flush.before")
+        loop = asyncio.get_running_loop()
+        start = loop.time()
+        oldest = self._batcher.deadline()
+        # deadline() is oldest-arrival + max_latency; undo the offset to
+        # get the queueing delay of the batch's oldest event.
+        latency = (
+            0.0 if oldest is None
+            else max(0.0, start - (oldest - self._batcher.max_latency))
+        )
         columns, n = self._batcher.drain()
         kwargs = {
             name: column for name, column in columns.items()
@@ -709,7 +863,9 @@ class StreamService:
             await self._hook("apply.before")
             self._sampler.update_many(**kwargs)
             self._applied += n
-            self.metrics.record_flush(n, reason)
+            self.metrics.record_flush(
+                n, reason, latency=latency, duration=loop.time() - start
+            )
             await self._hook("apply.after")
         async with self._applied_cond:
             self._applied_cond.notify_all()
@@ -736,6 +892,12 @@ class StreamService:
                 "state": state,
                 "state_version": version,
                 "metrics": self.metrics.to_dict(),
+                # Retune bookkeeping: the live config at checkpoint time
+                # (admin records before the checkpoint may be pruned with
+                # their segments) and the admin sequence already folded
+                # into the state, so replay can skip re-yielded records.
+                "admin_seq": self._admin_seq,
+                "config": {key: getattr(self, key) for key in _CONFIG_KEYS},
             })
         if self._wal is not None:
             self._wal.prune(self._ckpts.oldest_retained_offset())
@@ -745,6 +907,11 @@ class StreamService:
         self._error = error
         if self._wal is not None:
             self._wal.close()
+        failure = ServiceCrashed(
+            "service consumer crashed before applying the retune"
+        )
+        failure.__cause__ = error
+        self._fail_pending_retunes(failure)
         async with self._not_full:
             self._not_full.notify_all()
         async with self._applied_cond:
@@ -776,24 +943,59 @@ class StreamService:
             )
         meta = pickle.loads(meta_path.read_bytes())
         config = dict(meta["config"])
-        config.update(overrides)
 
         store = CheckpointStore(
-            root, retain=int(config.get("retain_checkpoints", 2))
+            root,
+            retain=int(
+                overrides.get(
+                    "retain_checkpoints",
+                    config.get("retain_checkpoints", 2),
+                )
+            ),
         )
         latest = store.load_latest()
         if latest is not None:
             offset, payload = latest
             sampler = sampler_from_state(payload["state"])
+            # Retunes before the checkpoint live on in its config
+            # snapshot (their admin records may be pruned with their
+            # segments).
+            config.update(payload.get("config", {}))
         else:
             offset, payload = 0, None
             sampler = sampler_from_state(meta["initial_state"])
+        admin_seq = int(payload.get("admin_seq", 0)) if payload else 0
 
         durable = offset
         replayed_records = replayed_bytes = 0
+        retunes: list[dict] = []
         for record in replay_records(root, from_offset=offset):
             if record.offset != durable:
                 break  # non-contiguous tail: not durable
+            admin = record.columns.get("admin")
+            if admin is not None:
+                # A zero-event admin record: re-apply the retune at the
+                # exact stream position it originally took effect, so
+                # the replayed sampler walks the same resize/fold path.
+                # Records the checkpoint already covers (seq <= the
+                # checkpointed admin_seq) are skipped — the state and
+                # config snapshots hold their effect.
+                seq = int(admin.get("seq", 0))
+                if seq > admin_seq:
+                    # Only post-checkpoint admin records count toward the
+                    # WAL metrics delta; re-yielded ones are already in
+                    # the checkpoint's metrics snapshot.
+                    replayed_records += 1
+                    replayed_bytes += record.nbytes
+                    admin_seq = seq
+                    changes = dict(admin.get("retune", {}))
+                    retunes.append(changes)
+                    if "k" in changes:
+                        sampler.resize(int(changes["k"]))
+                    for key in ("batch_size", "max_latency"):
+                        if key in changes:
+                            config[key] = changes[key]
+                continue
             kwargs = {
                 name: column for name, column in record.columns.items()
                 if name == "keys" or column is not None
@@ -803,8 +1005,10 @@ class StreamService:
             replayed_records += 1
             replayed_bytes += record.nbytes
 
+        config.update(overrides)
         service = cls(sampler, dir=root, **config)
         service._recovered = True
+        service._admin_seq = admin_seq
         service._enqueued = service._durable = service._applied = durable
         # Operational counters survive the crash: restore the snapshot
         # the checkpoint carried, then bring the event counters up to the
@@ -815,10 +1019,17 @@ class StreamService:
         service.metrics.events_enqueued = durable
         service.metrics.events_logged = durable
         service.metrics.events_applied = durable
-        service.metrics.queue_depth = 0
+        # The buffer is empty and no flush is in flight right after
+        # recovery: zero the volatile gauges (queue_depth, last_flush_*)
+        # the snapshot restored, or a controller would read a phantom
+        # backlog and mis-retune.
+        service.metrics.reset_volatile()
         service.metrics.last_checkpoint_offset = offset
         # Records appended after the checkpoint snapshot are exactly the
         # replayed ones — fold them in so the WAL counters match disk.
+        # Replayed admin records are retunes the snapshot predates, so
+        # they count toward retunes_applied the same way.
         service.metrics.wal_records += replayed_records
         service.metrics.wal_bytes += replayed_bytes
+        service.metrics.retunes_applied += len(retunes)
         return service

@@ -294,6 +294,81 @@ CASES = [
 ]
 
 
+# ----------------------------------------------------------------------
+# Mid-stream resize cases (the adaptive control plane's k-retunes)
+# ----------------------------------------------------------------------
+def _resized_feed(base_feed, k2: int):
+    """Feed the first half of the stream, ``resize(k2)``, feed the rest.
+
+    Splits every per-occurrence column at the same midpoint so the
+    resized run sees the identical stream a straight-through run would.
+    """
+
+    def feed(s, w):
+        mid = len(w["keys"]) // 2
+        half = {
+            **w,
+            "keys": w["keys"][:mid],
+            "weights": w["weights"][:mid],
+        }
+        rest = {
+            **w,
+            "keys": w["keys"][mid:],
+            "weights": w["weights"][mid:],
+        }
+        base_feed(s, half)
+        s.resize(k2)
+        base_feed(s, rest)
+
+    return feed
+
+
+def _resize_case(name: str, kind: str, build, base_feed, estimate, truth,
+                 k2: int, direction: str) -> StatCase:
+    return StatCase(
+        f"{name}-resize-{direction}/{kind}", name, kind, build,
+        _resized_feed(base_feed, k2), estimate, truth,
+    )
+
+
+def _est_distinct(s):
+    return s.estimate("distinct")
+
+
+RESIZE_CASES = [
+    case
+    for k2, direction in ((24, "shrink"), (160, "grow"))
+    for case in (
+        _resize_case(
+            "bottom_k", "total",
+            lambda t: make_sampler("bottom_k", k=64, rng=t),
+            _feed_weighted, lambda s: s.estimate("total"), _truth_total,
+            k2, direction,
+        ),
+        _resize_case(
+            "weighted_distinct", "distinct",
+            lambda t: make_sampler("weighted_distinct", k=64, salt=t),
+            _feed_weighted, _est_distinct, _truth_distinct, k2, direction,
+        ),
+        _resize_case(
+            "adaptive_distinct", "distinct",
+            lambda t: make_sampler("adaptive_distinct", k=64, salt=t),
+            _feed_unweighted, _est_distinct, _truth_distinct, k2, direction,
+        ),
+        _resize_case(
+            "kmv", "distinct",
+            lambda t: make_sampler("kmv", k=64, salt=t),
+            _feed_unweighted, _est_distinct, _truth_distinct, k2, direction,
+        ),
+        _resize_case(
+            "theta", "distinct",
+            lambda t: make_sampler("theta", k=64, salt=t),
+            _feed_unweighted, _est_distinct, _truth_distinct, k2, direction,
+        ),
+    )
+]
+
+
 def _sharded_case(name: str, kind: str, params: dict, feed, estimate, truth,
                   salted: bool) -> StatCase:
     def build(trial: int):
@@ -411,4 +486,16 @@ def test_estimator_is_unbiased(case, workload):
     ids=[f"{c.label}-{wl}" for c in SHARDED_CASES for wl in c.workloads],
 )
 def test_sharded_estimator_is_unbiased(case, workload):
+    _run_case(case, workload)
+
+
+@pytest.mark.parametrize(
+    "case,workload",
+    [(c, wl) for c in RESIZE_CASES for wl in c.workloads],
+    ids=[f"{c.label}-{wl}" for c in RESIZE_CASES for wl in c.workloads],
+)
+def test_resized_estimator_is_unbiased(case, workload):
+    """Unbiasedness survives a mid-stream ``resize`` in both directions
+    (shrink-with-fold and grow-with-cap) — the property the adaptive
+    controller's ``k`` retunes rely on."""
     _run_case(case, workload)
