@@ -1,0 +1,206 @@
+"""Observability overhead benchmark: tracing on the ingest path, and
+the cost of a full Prometheus scrape.
+
+One 1M-item Zipf(1.5) stream is ingested twice through the same
+:class:`repro.serve.StreamService` spec — once untraced, once with a
+bounded :class:`repro.obs.TraceLog` stamping a span per admitted chunk —
+and the final sampler states are asserted bit-identical (tracing is
+observation, never perturbation).  On top of the traced service the
+full ``service_registry`` exposition is rendered repeatedly and timed,
+with the text re-validated through :func:`repro.obs.parse_exposition`
+each run.
+
+The acceptance floor (enforced at the full 1M scale, or with
+``--enforce``): traced ingest throughput >= 0.9x untraced — tracing is
+one dict per chunk, not per event, and must stay in the noise.
+
+Results append to ``benchmarks/results/bench_obs.json`` as a versioned
+trajectory artifact (same scheme as the other suites).
+
+Run:  PYTHONPATH=src python benchmarks/bench_obs.py [--n 1000000]
+"""
+
+from __future__ import annotations
+
+import argparse
+import asyncio
+import datetime
+import json
+import os
+import pathlib
+import platform
+import time
+
+import numpy as np
+
+from repro.obs import TraceLog, parse_exposition, service_registry
+from repro.serve import StreamService
+from repro.workloads.zipf import zipf_stream
+
+RESULTS_DIR = pathlib.Path(__file__).resolve().parent / "results"
+RESULTS_PATH = RESULTS_DIR / "bench_obs.json"
+
+FLOOR = 0.9
+SPEC = {"name": "weighted_distinct", "params": {"k": 256}}
+
+
+def build_stream(n: int, seed: int) -> tuple[np.ndarray, np.ndarray]:
+    rng = np.random.default_rng(seed)
+    universe = max(n // 100, 1000)
+    keys = zipf_stream(n, universe, 1.5, rng=rng)
+    per_key = rng.lognormal(0.0, 0.6, universe)
+    return keys, per_key[keys]
+
+
+def _signature(sampler) -> tuple:
+    sample = sampler.sample()
+    return tuple(sorted(
+        (repr(key), round(float(p), 12))
+        for key, p in zip(sample.keys, sample.priorities)
+    ))
+
+
+async def ingest(keys, weights, chunk: int, seed: int,
+                 trace) -> tuple[float, tuple, StreamService]:
+    service = StreamService(
+        {"name": SPEC["name"], "params": {**SPEC["params"], "salt": seed}},
+        queue_size=8 * chunk, batch_size=chunk, max_latency=0.05,
+        trace=trace,
+    )
+    await service.start()
+    start = time.perf_counter()
+    for lo in range(0, len(keys), chunk):
+        await service.ingest_many(keys[lo:lo + chunk], weights[lo:lo + chunk])
+    await service.flush()
+    elapsed = time.perf_counter() - start
+    signature = _signature(service._sampler)
+    return elapsed, signature, service
+
+
+def time_scrapes(service, rounds: int) -> dict:
+    registry = service_registry(service)
+    text = registry.render()
+    parse_exposition(text)  # every scrape must satisfy the parser
+    start = time.perf_counter()
+    for _ in range(rounds):
+        registry.render()
+    elapsed = time.perf_counter() - start
+    parse_exposition(registry.render())
+    return {
+        "rounds": rounds,
+        "mean_ms": round(1000.0 * elapsed / rounds, 4),
+        "exposition_bytes": len(text.encode("utf-8")),
+        "families": len(parse_exposition(text)),
+    }
+
+
+async def run_async(n: int, chunk: int, seed: int,
+                    scrape_rounds: int) -> dict:
+    keys, weights = build_stream(n, seed)
+    record = {
+        "timestamp": datetime.datetime.now(datetime.timezone.utc)
+        .isoformat(timespec="seconds"),
+        "n": n, "chunk": chunk, "seed": seed,
+        "cpu_count": os.cpu_count(), "python": platform.python_version(),
+        "numpy": np.__version__, "spec": SPEC, "floor": FLOOR,
+    }
+
+    plain_s, plain_sig, plain = await ingest(
+        keys, weights, chunk, seed, trace=None
+    )
+    await plain.stop()
+    record["untraced"] = {
+        "seconds": round(plain_s, 4),
+        "items_per_second": round(n / plain_s),
+    }
+
+    traced_s, traced_sig, traced = await ingest(
+        keys, weights, chunk, seed, trace=TraceLog(capacity=512)
+    )
+    assert traced_sig == plain_sig, (
+        "tracing perturbed the sampler state"
+    )
+    log = traced.trace_log
+    assert log.events_traced == n
+    assert log.spans_completed == log.spans_started
+    record["traced"] = {
+        "seconds": round(traced_s, 4),
+        "items_per_second": round(n / traced_s),
+        "throughput_ratio": round(plain_s / traced_s, 3),
+        "spans": log.spans_completed,
+        "stage_seconds": {
+            stage: round(value, 4)
+            for stage, value in log.stage_seconds.items()
+        },
+    }
+
+    record["scrape"] = time_scrapes(traced, scrape_rounds)
+    await traced.stop()
+    record["state_identical"] = True
+    return record
+
+
+def append_trajectory(record: dict) -> pathlib.Path:
+    RESULTS_DIR.mkdir(exist_ok=True)
+    if RESULTS_PATH.exists():
+        data = json.loads(RESULTS_PATH.read_text())
+    else:
+        data = {"version": 1, "runs": []}
+    data["runs"].append(record)
+    RESULTS_PATH.write_text(json.dumps(data, indent=2) + "\n")
+    return RESULTS_PATH
+
+
+def print_report(record: dict) -> None:
+    plain, traced = record["untraced"], record["traced"]
+    print(f"stream: {record['n']:,} zipf items | chunk {record['chunk']:,}")
+    print(f"untraced ingest : {plain['seconds']:>8.2f}s "
+          f"{plain['items_per_second']:>12,} items/s")
+    print(f"traced ingest   : {traced['seconds']:>8.2f}s "
+          f"{traced['items_per_second']:>12,} items/s "
+          f"({traced['throughput_ratio']:.2f}x untraced, "
+          f"{traced['spans']} spans)")
+    scrape = record["scrape"]
+    print(
+        f"scrape: {scrape['mean_ms']:.3f} ms/render over "
+        f"{scrape['rounds']} rounds | {scrape['exposition_bytes']:,} bytes "
+        f"| {scrape['families']} families (parser-validated)"
+    )
+    print("state identical: OK")
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--n", type=int, default=1_000_000,
+                        help="stream length (default 1M)")
+    parser.add_argument("--chunk", type=int, default=8192,
+                        help="producer chunk / service batch size")
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--scrape-rounds", type=int, default=50,
+                        help="renders timed for the scrape-cost figure")
+    parser.add_argument("--enforce", action="store_true",
+                        help="assert the 0.9x floor regardless of scale")
+    args = parser.parse_args()
+
+    record = asyncio.run(
+        run_async(args.n, args.chunk, args.seed, args.scrape_rounds)
+    )
+    enforceable = args.enforce or args.n >= 1_000_000
+    record["floor_enforced"] = enforceable
+    path = append_trajectory(record)
+    print_report(record)
+    print(f"\nwrote {path}")
+
+    ratio = record["traced"]["throughput_ratio"]
+    if enforceable:
+        assert ratio >= FLOOR, (
+            f"tracing overhead too high: {ratio:.2f}x untraced vs the "
+            f"{FLOOR:.1f}x floor"
+        )
+        print(f"{FLOOR:.1f}x floor: OK ({ratio:.2f}x)")
+    else:
+        print(f"[floor not enforced at {args.n:,} items] ratio {ratio:.2f}x")
+
+
+if __name__ == "__main__":
+    main()

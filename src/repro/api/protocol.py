@@ -544,6 +544,34 @@ class StreamSampler(abc.ABC):
         """
         return self.state_version, self.to_state()
 
+    def observe(self) -> dict:
+        """Operational gauges describing the sampler's live state.
+
+        The observability hook (:mod:`repro.obs`): a flat
+        ``{name: float}`` map of whatever this sampler can report from
+        the shared gauge vocabulary — ``state_version`` always;
+        ``items_seen``, ``k``, ``fill`` (current retained sample size),
+        and ``threshold`` (the inclusion bound tau, ``+Inf`` while a
+        bottom-k structure is underfull) when the class exposes them.
+        A read-only probe: it must never mutate state (it is
+        deliberately *not* in the version-bumped mutator set) and never
+        raise — subclasses overriding it should extend the dict, not
+        replace the contract.
+        """
+        gauges = {"state_version": float(self.state_version)}
+        for name in ("items_seen", "k", "threshold"):
+            try:
+                value = getattr(self, name)
+            except AttributeError:
+                continue
+            if isinstance(value, (int, float)) and not isinstance(value, bool):
+                gauges[name] = float(value)
+        try:
+            gauges["fill"] = float(len(self))
+        except TypeError:
+            pass
+        return gauges
+
     # ------------------------------------------------------------------
     # State serialization
     # ------------------------------------------------------------------

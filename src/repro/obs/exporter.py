@@ -1,0 +1,146 @@
+"""Scrape serving: a standalone exporter and the shared HTTP-ish path.
+
+:class:`MetricsExporter` is the bare-``StreamService`` story: a tiny
+asyncio TCP server answering ``GET /metrics`` with the registry's
+exposition text — enough HTTP for ``curl`` and a Prometheus scrape
+config, with none of the framework weight (the container bakes in no
+HTTP server dependency, and none is needed for a fixed two-endpoint
+read-only surface).
+
+The same request/response helpers back the
+:class:`~repro.serve.cluster.frontend.ClusterFrontend` scrape path: the
+frontend sniffs the first four bytes of each frame — the ASCII bytes
+``GET `` decode as a length prefix of ~1.2 GB, far beyond ``MAX_FRAME``,
+so no legal frame collides with an HTTP request line — and hands the
+connection over to :func:`serve_http` on a match.  One port serves both
+protocols.
+"""
+
+from __future__ import annotations
+
+import asyncio
+
+from .prometheus import PrometheusRegistry
+
+__all__ = ["MetricsExporter", "serve_http", "SCRAPE_CONTENT_TYPE"]
+
+#: The exposition content type Prometheus expects.
+SCRAPE_CONTENT_TYPE = "text/plain; version=0.0.4; charset=utf-8"
+
+#: Refuse request heads beyond this size (scrape requests are tiny).
+_MAX_REQUEST_HEAD = 8192
+
+
+def http_response(body: str, *, status: int = 200,
+                  reason: str = "OK") -> bytes:
+    """A complete ``Connection: close`` HTTP/1.1 response."""
+    payload = body.encode("utf-8")
+    head = (
+        f"HTTP/1.1 {status} {reason}\r\n"
+        f"Content-Type: {SCRAPE_CONTENT_TYPE}\r\n"
+        f"Content-Length: {len(payload)}\r\n"
+        "Connection: close\r\n"
+        "\r\n"
+    )
+    return head.encode("ascii") + payload
+
+
+async def serve_http(reader: asyncio.StreamReader,
+                     writer: asyncio.StreamWriter,
+                     registry: PrometheusRegistry,
+                     *, preread: bytes = b"") -> None:
+    """Answer one HTTP-ish request on an open connection, then close.
+
+    ``preread`` is whatever the caller already consumed while sniffing
+    the protocol (the frontend's four header bytes).  Only
+    ``GET /metrics`` is served; anything else gets a 404.  The request
+    head is read to its blank-line terminator with a hard size cap, so
+    a trickling client cannot hold the handler open unboundedly.
+    """
+    head = bytes(preread)
+    try:
+        while b"\r\n\r\n" not in head and len(head) < _MAX_REQUEST_HEAD:
+            block = await reader.read(1024)
+            if not block:
+                break
+            head += block
+        request_line = head.split(b"\r\n", 1)[0].decode("latin-1")
+        parts = request_line.split()
+        path = parts[1] if len(parts) >= 2 else ""
+        if path.split("?", 1)[0] == "/metrics":
+            response = http_response(registry.render())
+        else:
+            response = http_response(
+                "not found; scrape /metrics\n",
+                status=404, reason="Not Found",
+            )
+        writer.write(response)
+        await writer.drain()
+    finally:
+        writer.close()
+
+
+class MetricsExporter:
+    """A standalone ``/metrics`` endpoint for any registry.
+
+    >>> import asyncio, urllib.request
+    >>> from repro.serve import StreamService
+    >>> from repro.obs import MetricsExporter, service_registry
+    >>> async def demo():
+    ...     spec = {"name": "bottom_k", "params": {"k": 32, "rng": 1}}
+    ...     async with StreamService(spec) as service:
+    ...         await service.ingest_many(range(100))
+    ...         await service.flush()
+    ...         async with MetricsExporter(service_registry(service)) as exp:
+    ...             host, port = exp.address
+    ...             text = await asyncio.to_thread(
+    ...                 lambda: urllib.request.urlopen(
+    ...                     f"http://{host}:{port}/metrics").read())
+    ...         return b"repro_service_events_applied_total 100" in text
+    >>> asyncio.run(demo())
+    True
+    """
+
+    def __init__(self, registry: PrometheusRegistry, *,
+                 host: str = "127.0.0.1", port: int = 0):
+        self.registry = registry
+        self.host = host
+        self.port = port
+        self._server: asyncio.AbstractServer | None = None
+
+    @property
+    def address(self) -> tuple[str, int]:
+        """The bound ``(host, port)`` (resolves ``port=0`` after start)."""
+        if self._server is None:
+            raise RuntimeError("exporter not started")
+        host, port = self._server.sockets[0].getsockname()[:2]
+        return host, port
+
+    async def start(self) -> "MetricsExporter":
+        """Bind and start answering scrapes."""
+        if self._server is not None:
+            raise RuntimeError("exporter already started")
+        self._server = await asyncio.start_server(
+            self._serve_connection, self.host, self.port
+        )
+        return self
+
+    async def stop(self) -> None:
+        """Stop accepting and close the listening socket."""
+        if self._server is None:
+            return
+        self._server.close()
+        await self._server.wait_closed()
+        self._server = None
+
+    async def __aenter__(self) -> "MetricsExporter":
+        return await self.start()
+
+    async def __aexit__(self, exc_type, exc, tb) -> None:
+        await self.stop()
+
+    async def _serve_connection(self, reader, writer) -> None:
+        try:
+            await serve_http(reader, writer, self.registry)
+        except (ConnectionError, OSError, asyncio.CancelledError):
+            writer.close()

@@ -1,0 +1,428 @@
+"""A dependency-free Prometheus text-exposition encoder.
+
+The serving stack keeps all of its operational state in plain in-process
+dataclasses (:class:`~repro.serve.metrics.ServiceMetrics` and friends);
+this module is the wire form: a
+:class:`PrometheusRegistry` of collector callables rendered to the
+`text exposition format`__ that ``curl``, Prometheus, and every
+compatible agent can scrape.
+
+__ https://prometheus.io/docs/instrumenting/exposition_formats/
+
+Three metric kinds are supported, mirroring what the runtime actually
+maintains:
+
+``counter``
+    Monotone totals (``_total``-suffixed by convention).
+``gauge``
+    Point-in-time values (queue depths, thresholds, 0/1 flags).
+``histogram``
+    Bucketed distributions.  Callers hand over *raw* (non-cumulative)
+    bucket counts keyed by finite upper bounds; the encoder emits the
+    cumulative ``le``-labeled series ending at ``+Inf`` plus the
+    ``_sum``/``_count`` pair — cumulative-and-monotone by construction,
+    which the Hypothesis property suite pins.
+
+Escaping follows the format spec exactly: label values escape
+backslash, double-quote, and newline; HELP text escapes backslash and
+newline.  :func:`parse_exposition` is the small reference parser the
+property tests round-trip through — it is deliberately independent of
+the encoder's string building (it *parses*, it does not string-match),
+so an escaping bug in either direction breaks the round-trip.
+
+The output is byte-stable: rendering the same registry state twice
+yields identical bytes (families in registration order, label keys
+sorted, one canonical float formatting).
+"""
+
+from __future__ import annotations
+
+import math
+import re
+
+from dataclasses import dataclass, field
+
+__all__ = [
+    "MetricFamily",
+    "PrometheusRegistry",
+    "escape_help",
+    "escape_label_value",
+    "format_value",
+    "parse_exposition",
+    "render",
+]
+
+#: Legal metric names per the exposition format.
+_NAME_RE = re.compile(r"^[a-zA-Z_:][a-zA-Z0-9_:]*$")
+#: Legal label names (no colon, unlike metric names).
+_LABEL_RE = re.compile(r"^[a-zA-Z_][a-zA-Z0-9_]*$")
+
+_KINDS = ("counter", "gauge", "histogram")
+
+
+def escape_label_value(value: str) -> str:
+    """Escape a label value for exposition (backslash, quote, newline)."""
+    return (
+        str(value)
+        .replace("\\", r"\\")
+        .replace('"', r"\"")
+        .replace("\n", r"\n")
+    )
+
+
+def escape_help(text: str) -> str:
+    """Escape HELP text for exposition (backslash, newline)."""
+    return str(text).replace("\\", r"\\").replace("\n", r"\n")
+
+
+def format_value(value: float) -> str:
+    """One canonical number rendering (byte-stability depends on it).
+
+    Integral values render without an exponent or trailing ``.0`` noise
+    beyond ``repr``'s shortest form; infinities use the spec spellings
+    ``+Inf``/``-Inf``.
+    """
+    value = float(value)
+    if math.isinf(value):
+        return "+Inf" if value > 0 else "-Inf"
+    if math.isnan(value):
+        return "NaN"
+    return repr(value)
+
+
+@dataclass
+class MetricFamily:
+    """One named metric with a fixed kind and any number of samples.
+
+    For ``counter``/``gauge`` kinds, add samples with :meth:`add`.  For
+    ``histogram``, add per-labelset distributions with
+    :meth:`add_histogram` — raw bucket counts keyed by *finite* upper
+    bounds plus an observation sum; the cumulative ``le`` series and the
+    trailing ``+Inf`` bucket are derived at render time.
+    """
+
+    name: str
+    kind: str
+    help: str
+    samples: list = field(default_factory=list)
+
+    def __post_init__(self):
+        if not _NAME_RE.match(self.name):
+            raise ValueError(f"invalid metric name {self.name!r}")
+        if self.kind not in _KINDS:
+            raise ValueError(
+                f"unknown metric kind {self.kind!r}; expected one of {_KINDS}"
+            )
+
+    @staticmethod
+    def _check_labels(labels: dict) -> dict:
+        labels = {} if labels is None else dict(labels)
+        for name in labels:
+            if not _LABEL_RE.match(name):
+                raise ValueError(f"invalid label name {name!r}")
+            if name == "le":
+                raise ValueError(
+                    "the 'le' label is reserved for histogram buckets"
+                )
+        return labels
+
+    def add(self, value: float, labels: dict | None = None) -> "MetricFamily":
+        """Append one counter/gauge sample (returns ``self``)."""
+        if self.kind == "histogram":
+            raise ValueError("use add_histogram() on a histogram family")
+        self.samples.append((self._check_labels(labels), float(value)))
+        return self
+
+    def add_histogram(
+        self,
+        buckets: dict,
+        sum_value: float,
+        labels: dict | None = None,
+        count: float | None = None,
+    ) -> "MetricFamily":
+        """Append one histogram sample (returns ``self``).
+
+        ``buckets`` maps finite upper bounds to **raw** per-bucket counts
+        (not cumulative); ``count`` defaults to their total.  Everything
+        above the largest finite bound lands in the derived ``+Inf``
+        bucket via ``count``.
+        """
+        if self.kind != "histogram":
+            raise ValueError("add_histogram() requires a histogram family")
+        clean: dict[float, float] = {}
+        for upper, n in buckets.items():
+            upper = float(upper)
+            if not math.isfinite(upper):
+                raise ValueError(
+                    "bucket bounds must be finite; +Inf is derived"
+                )
+            if n < 0:
+                raise ValueError("bucket counts must be non-negative")
+            clean[upper] = clean.get(upper, 0.0) + float(n)
+        total = float(count) if count is not None else sum(clean.values())
+        if total < sum(clean.values()):
+            raise ValueError("count must cover every bucketed observation")
+        self.samples.append(
+            (self._check_labels(labels), clean, float(sum_value), total)
+        )
+        return self
+
+
+def _labels_text(labels: dict, extra: tuple[str, str] | None = None) -> str:
+    """The ``{k="v",...}`` block (empty string when there are no labels)."""
+    pairs = [
+        (name, escape_label_value(value))
+        for name, value in sorted(labels.items())
+    ]
+    if extra is not None:
+        pairs.append(extra)
+    if not pairs:
+        return ""
+    return "{" + ",".join(f'{name}="{value}"' for name, value in pairs) + "}"
+
+
+def render(families: list) -> str:
+    """Render metric families to exposition text (byte-stable)."""
+    lines: list[str] = []
+    for family in families:
+        lines.append(f"# HELP {family.name} {escape_help(family.help)}")
+        lines.append(f"# TYPE {family.name} {family.kind}")
+        if family.kind != "histogram":
+            for labels, value in family.samples:
+                lines.append(
+                    f"{family.name}{_labels_text(labels)} "
+                    f"{format_value(value)}"
+                )
+            continue
+        for labels, buckets, sum_value, count in family.samples:
+            seen = 0.0
+            for upper in sorted(buckets):
+                seen += buckets[upper]
+                block = _labels_text(labels, ("le", format_value(upper)))
+                lines.append(
+                    f"{family.name}_bucket{block} {format_value(seen)}"
+                )
+            block = _labels_text(labels, ("le", "+Inf"))
+            lines.append(f"{family.name}_bucket{block} {format_value(count)}")
+            lines.append(
+                f"{family.name}_sum{_labels_text(labels)} "
+                f"{format_value(sum_value)}"
+            )
+            lines.append(
+                f"{family.name}_count{_labels_text(labels)} "
+                f"{format_value(count)}"
+            )
+    return "\n".join(lines) + ("\n" if lines else "")
+
+
+class PrometheusRegistry:
+    """An ordered set of collector callables scraped on demand.
+
+    A *collector* is any zero-argument callable returning a list of
+    :class:`MetricFamily` — adapters build their families fresh per
+    scrape, so the exposition always reflects the live metrics objects
+    without any background copying.  ``register`` keeps insertion order
+    (byte-stable output) and rejects duplicate family names across
+    collectors at scrape time.
+    """
+
+    def __init__(self):
+        self._collectors: list = []
+
+    def register(self, collector) -> "PrometheusRegistry":
+        """Add one collector callable (returns ``self`` for chaining)."""
+        if not callable(collector):
+            raise TypeError("collector must be callable")
+        self._collectors.append(collector)
+        return self
+
+    def collect(self) -> list:
+        """Run every collector once, validating name uniqueness."""
+        families: list[MetricFamily] = []
+        seen: set[str] = set()
+        for collector in self._collectors:
+            for family in collector():
+                if family.name in seen:
+                    raise ValueError(
+                        f"duplicate metric family {family.name!r}"
+                    )
+                seen.add(family.name)
+                families.append(family)
+        return families
+
+    def render(self) -> str:
+        """The full exposition text for one scrape."""
+        return render(self.collect())
+
+
+# ----------------------------------------------------------------------
+# Reference parser (test oracle; also backs the wire-level assertions)
+# ----------------------------------------------------------------------
+_SAMPLE_RE = re.compile(
+    r"^(?P<name>[a-zA-Z_:][a-zA-Z0-9_:]*)"
+    r"(?:\{(?P<labels>.*)\})?"
+    r"\s+(?P<value>\S+)"
+    r"(?:\s+(?P<timestamp>-?\d+))?$"
+)
+
+
+def _unescape_help(text: str) -> str:
+    """Left-to-right HELP unescape (``\\\\`` then ``\\n`` pairwise)."""
+    out: list[str] = []
+    i = 0
+    while i < len(text):
+        pair = text[i:i + 2]
+        if pair == "\\\\":
+            out.append("\\")
+            i += 2
+        elif pair == "\\n":
+            out.append("\n")
+            i += 2
+        else:
+            out.append(text[i])
+            i += 1
+    return "".join(out)
+
+
+def _parse_labels(text: str) -> dict:
+    """Parse the inside of a ``{...}`` label block."""
+    labels: dict[str, str] = {}
+    i = 0
+    while i < len(text):
+        match = re.match(r'([a-zA-Z_][a-zA-Z0-9_]*)="', text[i:])
+        if match is None:
+            raise ValueError(f"malformed label block at {text[i:]!r}")
+        name = match.group(1)
+        i += match.end()
+        value: list[str] = []
+        while i < len(text):
+            ch = text[i]
+            if ch == "\\" and i + 1 < len(text):
+                pair = text[i:i + 2]
+                if pair in ('\\\\', '\\"', '\\n'):
+                    value.append(
+                        {"\\\\": "\\", '\\"': '"', "\\n": "\n"}[pair]
+                    )
+                    i += 2
+                    continue
+                value.append(ch)
+                i += 1
+                continue
+            if ch == '"':
+                i += 1
+                break
+            value.append(ch)
+            i += 1
+        else:
+            raise ValueError("unterminated label value")
+        labels[name] = "".join(value)
+        if i < len(text) and text[i] == ",":
+            i += 1
+    return labels
+
+
+def _parse_value(text: str) -> float:
+    if text == "+Inf":
+        return math.inf
+    if text == "-Inf":
+        return -math.inf
+    if text == "NaN":
+        return math.nan
+    return float(text)
+
+
+def parse_exposition(text: str) -> dict:
+    """Parse exposition text back into ``{name: family-dict}``.
+
+    Each family dict carries ``type``, ``help``, and ``samples`` — a
+    list of ``(suffix, labels, value)`` where ``suffix`` is ``""`` for
+    plain samples and ``"_bucket"``/``"_sum"``/``"_count"`` for
+    histogram series (attributed to their base family).  Histogram
+    bucket series are validated: cumulative counts must be monotone
+    non-decreasing in ``le`` order and the last bucket must be ``+Inf``.
+
+    This is the reference oracle for the encoder's property tests, so it
+    shares no string-building code with :func:`render`.
+    """
+    families: dict[str, dict] = {}
+    types: dict[str, str] = {}
+    for raw in text.split("\n"):
+        line = raw.strip()
+        if not line:
+            continue
+        if line.startswith("# HELP "):
+            name, _, help_text = line[len("# HELP "):].partition(" ")
+            families.setdefault(
+                name, {"type": "untyped", "help": "", "samples": []}
+            )
+            families[name]["help"] = _unescape_help(help_text)
+            continue
+        if line.startswith("# TYPE "):
+            parts = line[len("# TYPE "):].split()
+            if len(parts) != 2:
+                raise ValueError(f"malformed TYPE line: {line!r}")
+            name, kind = parts
+            families.setdefault(
+                name, {"type": "untyped", "help": "", "samples": []}
+            )
+            families[name]["type"] = kind
+            types[name] = kind
+            continue
+        if line.startswith("#"):
+            continue
+        match = _SAMPLE_RE.match(line)
+        if match is None:
+            raise ValueError(f"malformed sample line: {line!r}")
+        name = match.group("name")
+        labels = (
+            _parse_labels(match.group("labels"))
+            if match.group("labels") is not None
+            else {}
+        )
+        value = _parse_value(match.group("value"))
+        base, suffix = name, ""
+        for candidate in ("_bucket", "_sum", "_count"):
+            stem = name[: -len(candidate)] if name.endswith(candidate) else ""
+            if stem and types.get(stem) == "histogram":
+                base, suffix = stem, candidate
+                break
+        if base not in families:
+            families[base] = {"type": "untyped", "help": "", "samples": []}
+        families[base]["samples"].append((suffix, labels, value))
+    _validate_histograms(families)
+    return families
+
+
+def _validate_histograms(families: dict) -> None:
+    """Cumulative/monotone/+Inf-terminated checks per labelset."""
+    for name, family in families.items():
+        if family["type"] != "histogram":
+            continue
+        series: dict[tuple, list[tuple[float, float]]] = {}
+        for suffix, labels, value in family["samples"]:
+            if suffix != "_bucket":
+                continue
+            if "le" not in labels:
+                raise ValueError(
+                    f"{name}: histogram bucket sample without 'le'"
+                )
+            key = tuple(sorted(
+                (k, v) for k, v in labels.items() if k != "le"
+            ))
+            series.setdefault(key, []).append(
+                (_parse_value(labels["le"]), value)
+            )
+        for key, buckets in series.items():
+            buckets.sort(key=lambda pair: pair[0])
+            if not buckets or not math.isinf(buckets[-1][0]):
+                raise ValueError(
+                    f"{name}: histogram buckets must end at +Inf"
+                )
+            last = -math.inf
+            for _, cumulative in buckets:
+                if cumulative < last:
+                    raise ValueError(
+                        f"{name}: histogram buckets must be cumulative "
+                        "and monotone"
+                    )
+                last = cumulative

@@ -1,0 +1,137 @@
+"""Ingest-path tracing: span ids stamped at admission, staged at flush.
+
+Every traced ingestion chunk gets a span stamped in
+``StreamService._admit`` (one span per admitted chunk — the unit the
+micro-batcher moves around).  The span rides the chunk through the
+:class:`~repro.serve.batcher.MicroBatcher` and is completed by
+``_flush_batch`` with per-stage durations:
+
+``queued``
+    From admission to the start of the flush that drained the chunk —
+    the buffered wait an ingestion SLO is written against.
+``wal``
+    The WAL append of the flushed batch (zero on in-memory services).
+``apply``
+    The ``update_many`` sampler ingestion of the batch.
+``checkpoint``
+    Checkpoint writes are periodic, not per-batch, so they are recorded
+    as their own entries rather than attributed to a span.
+
+Completed spans land in a bounded ring (oldest evicted first) and in
+running per-stage counters, so the :mod:`~repro.obs.adapters` summary
+metrics and the frontend's ``trace`` wire verb are O(capacity) — a
+traced service never accumulates unbounded history.
+
+The clock is injectable (tests drive it deterministically) and the log
+is loop-agnostic: begin/complete are plain synchronous calls, cheap
+enough that the tracing overhead floor in ``benchmarks/bench_obs.py``
+holds (one dict per *chunk*, not per event).
+"""
+
+from __future__ import annotations
+
+import time
+
+from collections import deque
+
+__all__ = ["TraceLog", "TRACE_STAGES"]
+
+#: Per-stage duration keys a completed span carries.
+TRACE_STAGES = ("queued", "wal", "apply")
+
+
+class TraceLog:
+    """A bounded ring of completed ingest spans plus running summaries.
+
+    Parameters
+    ----------
+    capacity:
+        Maximum retained completed records (spans and checkpoint
+        entries share the ring); older records are evicted.
+    clock:
+        Monotonic clock used for span timestamps (injectable for
+        deterministic tests).
+    """
+
+    def __init__(self, capacity: int = 512, *, clock=time.monotonic):
+        if capacity < 1:
+            raise ValueError("capacity must be >= 1")
+        self.capacity = int(capacity)
+        self.clock = clock
+        self._ring: deque[dict] = deque(maxlen=self.capacity)
+        self._next_span = 0
+        self.spans_started = 0
+        self.spans_completed = 0
+        self.events_traced = 0
+        self.checkpoints = 0
+        self.checkpoint_seconds = 0.0
+        self.stage_seconds: dict[str, float] = {
+            stage: 0.0 for stage in TRACE_STAGES
+        }
+        self.last_span_seconds = 0.0
+
+    def __len__(self) -> int:
+        return len(self._ring)
+
+    def begin(self, n: int) -> dict:
+        """Stamp a new span over an admitted chunk of ``n`` events.
+
+        Returns the span dict the chunk carries (``id``, ``n``, ``t0``).
+        """
+        self._next_span += 1
+        self.spans_started += 1
+        return {"id": self._next_span, "n": int(n), "t0": self.clock()}
+
+    def complete(self, span: dict, *, reason: str, flush_start: float,
+                 wal_done: float, apply_done: float) -> dict:
+        """Close a span with the flush-stage timestamps; returns the
+        recorded ring entry."""
+        total = max(0.0, apply_done - span["t0"])
+        record = {
+            "kind": "span",
+            "id": span["id"],
+            "n": span["n"],
+            "reason": reason,
+            "queued": max(0.0, flush_start - span["t0"]),
+            "wal": max(0.0, wal_done - flush_start),
+            "apply": max(0.0, apply_done - wal_done),
+            "total": total,
+        }
+        self._ring.append(record)
+        self.spans_completed += 1
+        self.events_traced += span["n"]
+        for stage in TRACE_STAGES:
+            self.stage_seconds[stage] += record[stage]
+        self.last_span_seconds = total
+        return record
+
+    def record_checkpoint(self, duration: float, offset: int) -> dict:
+        """Record one checkpoint write (its own ring entry — checkpoints
+        are periodic, not per-span)."""
+        record = {
+            "kind": "checkpoint",
+            "duration": max(0.0, float(duration)),
+            "offset": int(offset),
+        }
+        self._ring.append(record)
+        self.checkpoints += 1
+        self.checkpoint_seconds += record["duration"]
+        return record
+
+    def records(self) -> list[dict]:
+        """The retained ring, oldest first (copies — safe to serialize)."""
+        return [dict(record) for record in self._ring]
+
+    def summary(self) -> dict:
+        """JSON-friendly running totals (what the adapters export)."""
+        return {
+            "spans_started": self.spans_started,
+            "spans_completed": self.spans_completed,
+            "events_traced": self.events_traced,
+            "stage_seconds": dict(self.stage_seconds),
+            "checkpoints": self.checkpoints,
+            "checkpoint_seconds": self.checkpoint_seconds,
+            "last_span_seconds": self.last_span_seconds,
+            "retained": len(self._ring),
+            "capacity": self.capacity,
+        }

@@ -84,6 +84,10 @@ class MicroBatcher:
         self._pending = 0
         self._oldest: float | None = None
         self._signature: tuple[bool, ...] | None = None
+        # Trace spans riding the pending chunks (observability only —
+        # spans are chunk metadata, never part of the column signature).
+        self._spans: list[dict] = []
+        self._drained_spans: list[dict] = []
 
     def __len__(self) -> int:
         return self._pending
@@ -110,6 +114,9 @@ class MicroBatcher:
             self._oldest = now
         self._chunks.append(chunk)
         self._pending += chunk["n"]
+        span = chunk.get("span")
+        if span is not None:
+            self._spans.append(span)
 
     def size_due(self) -> bool:
         """True when the pending batch has reached ``batch_size``."""
@@ -146,6 +153,9 @@ class MicroBatcher:
         signature = self._signature
         self._chunks, self._pending = [], 0
         self._oldest, self._signature = None, None
+        # Spans of the drained batch wait in a side pocket: the flush
+        # completes them once the batch's stages have run (pop_spans).
+        self._drained_spans, self._spans = self._spans, []
 
         if len(chunks) == 1:
             keys = chunks[0]["keys"]
@@ -168,3 +178,9 @@ class MicroBatcher:
             else:
                 columns[name] = np.concatenate([c[name] for c in chunks])
         return columns, n
+
+    def pop_spans(self) -> list[dict]:
+        """Trace spans of the most recent :meth:`drain` (cleared on
+        read, so a span is completed exactly once)."""
+        spans, self._drained_spans = self._drained_spans, []
+        return spans

@@ -151,6 +151,11 @@ class Cluster:
         ``"svc-1:wal.append.before"``), so faults can target one worker.
     clock:
         Injectable monotonic clock for the tenant token buckets.
+    trace:
+        Give every worker an ingest-path :class:`~repro.obs.TraceLog`
+        (queued → WAL → apply spans).  Process-local observability, not
+        persisted config: restarted and recovered workers get fresh,
+        empty rings.
 
     Examples
     --------
@@ -182,6 +187,7 @@ class Cluster:
         fsync: bool = False,
         fault_hook: Callable[[str], object] | None = None,
         clock=None,
+        trace: bool = False,
     ):
         if isinstance(services, int):
             if services < 1:
@@ -194,6 +200,10 @@ class Cluster:
         self.dir = pathlib.Path(dir) if dir is not None else None
         self.fault_hook = fault_hook
         self._clock = clock
+        # Observability flag, not service config: trace rings are
+        # process-local and deliberately not persisted, so the flag is
+        # re-applied (not recovered) across restarts.
+        self._trace = bool(trace)
         self._service_config = {
             "queue_size": int(queue_size),
             "batch_size": int(batch_size),
@@ -240,6 +250,7 @@ class Cluster:
             "tenant_mux",
             dir=None if self.dir is None else self.dir / name,
             fault_hook=_named_hook(self.fault_hook, name),
+            trace=self._trace or None,
             **self._service_config,
         )
 
@@ -956,6 +967,7 @@ class Cluster:
             recovered = StreamService.recover(
                 self.dir / name,
                 fault_hook=_named_hook(self.fault_hook, name),
+                trace=self._trace or None,
             )
             recovered.metrics.restarts += 1
             await recovered.start()
@@ -1052,7 +1064,7 @@ class Cluster:
     @classmethod
     def recover(cls, dir: str | os.PathLike, *,
                 fault_hook: Callable[[str], object] | None = None,
-                clock=None) -> "Cluster":
+                clock=None, trace: bool = False) -> "Cluster":
         """Rebuild a cluster from its directory, bit-exactly per worker.
 
         Each worker recovers through ``StreamService.recover`` (newest
@@ -1078,6 +1090,7 @@ class Cluster:
             ring_salt=ring.salt,
             fault_hook=fault_hook,
             clock=clock,
+            trace=trace,
             **{key: config[key] for key in _SERVICE_KEYS if key in config},
         )
         cluster.registry = TenantRegistry.from_dict(
@@ -1087,7 +1100,9 @@ class Cluster:
         for name in ring.nodes:
             if (root / name / "service.pkl").exists():
                 workers[name] = StreamService.recover(
-                    root / name, fault_hook=_named_hook(fault_hook, name)
+                    root / name,
+                    fault_hook=_named_hook(fault_hook, name),
+                    trace=trace or None,
                 )
             else:
                 # The worker's directory is gone entirely (disk lost).

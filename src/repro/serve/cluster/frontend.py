@@ -24,6 +24,15 @@ Verbs
     ``{"verb": "admin", "op": ...}`` with ops ``create_tenant``,
     ``drop_tenant``, ``describe_tenant``, ``tenants``, ``metrics``,
     ``add_service``, ``remove_service``, ``rebalance``, ``flush``.
+``scrape`` / ``trace``
+    Observability (PR 9).  ``scrape`` answers the full Prometheus
+    exposition as ``{"text": ...}``; the same text is also served to
+    plain HTTP clients (``curl``, a Prometheus scrape config) on the
+    *same port* — the first four bytes of a connection are sniffed, and
+    ``GET `` decodes as a length prefix beyond ``MAX_FRAME``, so no
+    legal frame collides.  ``trace`` reads a worker's ingest-span ring
+    (``{"verb": "trace", "service": ...}``; omit ``service`` for
+    per-worker summaries).  Requires workers built with ``trace=True``.
 
 Hardening
 ---------
@@ -81,6 +90,12 @@ _HEADER = struct.Struct(">I")
 #: the server try to buffer gigabytes).
 MAX_FRAME = 32 * 1024 * 1024
 
+#: The protocol sniff: ASCII ``GET `` read as a big-endian length prefix
+#: is ~1.2 GB — far beyond ``MAX_FRAME`` — so no legal frame's first four
+#: bytes collide with an HTTP request line and one port can serve both.
+_HTTP_GET = b"GET "
+assert _HEADER.unpack(_HTTP_GET)[0] > MAX_FRAME
+
 #: Query/estimate keyword options accepted over the wire.  Callable
 #: options (``where``, ``group_by``, ``weight_of``) are in-process only.
 _QUERY_OPTIONS = ("aggregate", "k", "q", "ci")
@@ -127,6 +142,7 @@ async def read_frame(
     *,
     idle_timeout: float | None = None,
     body_timeout: float | None = None,
+    preread_header: bytes | None = None,
 ) -> dict | None:
     """Read one length-prefixed JSON object; ``None`` on clean EOF.
 
@@ -135,14 +151,19 @@ async def read_frame(
     the wait for the body once a header arrived (the slowloris guard).
     Either raises :class:`FrameTimeout`.  A peer that disconnects after
     sending a partial header or body raises :class:`FrameDisconnect`.
+    ``preread_header`` supplies the 4 length-prefix bytes when the
+    caller already consumed them (the frontend's protocol sniff).
     """
-    try:
-        header = await _read_exactly(reader, _HEADER.size, idle_timeout,
-                                     "header")
-    except asyncio.IncompleteReadError as err:
-        if not err.partial:
-            return None
-        raise FrameDisconnect("connection closed mid-header") from err
+    if preread_header is not None:
+        header = preread_header
+    else:
+        try:
+            header = await _read_exactly(reader, _HEADER.size, idle_timeout,
+                                         "header")
+        except asyncio.IncompleteReadError as err:
+            if not err.partial:
+                return None
+            raise FrameDisconnect("connection closed mid-header") from err
     (length,) = _HEADER.unpack(header)
     if length > MAX_FRAME:
         raise FrameError(f"frame of {length} bytes exceeds MAX_FRAME")
@@ -201,6 +222,7 @@ class ClusterFrontend:
         frame_burst: float | None = None,
         dedupe_capacity: int = 4096,
         clock=None,
+        alerts=None,
     ):
         if max_connections is not None and max_connections < 1:
             raise ValueError("max_connections must be >= 1 (or None)")
@@ -226,7 +248,11 @@ class ClusterFrontend:
         self.dedupe_capacity = dedupe_capacity
         self.metrics = FrontendMetrics()
         self._clock = clock
+        #: Optional :class:`~repro.obs.AlertEngine` whose firing state
+        #: rides along in the scrape (usually the supervisor's engine).
+        self.alerts = alerts
         self._server: asyncio.AbstractServer | None = None
+        self._registry = None
         #: Idempotency table: request_id -> successful ingest reply.
         #: Bounded LRU — old entries fall off past ``dedupe_capacity``.
         self._dedupe: OrderedDict[str, dict] = OrderedDict()
@@ -263,6 +289,17 @@ class ClusterFrontend:
     async def __aexit__(self, exc_type, exc, tb) -> None:
         await self.stop()
 
+    def scrape_registry(self):
+        """The :class:`~repro.obs.PrometheusRegistry` behind ``/metrics``
+        (built lazily: cluster + this frontend + the alert engine, when
+        one is attached)."""
+        if self._registry is None:
+            from ...obs.adapters import cluster_registry
+            self._registry = cluster_registry(
+                self.cluster, frontend=self, alerts=self.alerts
+            )
+        return self._registry
+
     def _frame_bucket(self) -> TokenBucket | None:
         """A fresh per-connection frame-rate bucket (``None`` = no limit)."""
         if self.frame_rate is None:
@@ -295,12 +332,34 @@ class ClusterFrontend:
         metrics.connections_active += 1
         bucket = self._frame_bucket()
         try:
+            # Protocol sniff: the first four bytes of a connection are
+            # either a frame's length prefix or the ``GET `` of an HTTP
+            # scrape (which no legal prefix collides with — _HTTP_GET).
+            try:
+                sniffed = await _read_exactly(
+                    reader, _HEADER.size, self.idle_timeout, "header"
+                )
+            except asyncio.IncompleteReadError as err:
+                if err.partial:
+                    metrics.disconnects_mid_frame += 1
+                return
+            except FrameTimeout:
+                metrics.idle_timeouts += 1
+                return
+            if sniffed == _HTTP_GET:
+                from ...obs.exporter import serve_http
+                metrics.scrapes_served += 1
+                await serve_http(reader, writer, self.scrape_registry(),
+                                 preread=sniffed)
+                return
+            preread: bytes | None = sniffed
             while True:
                 try:
                     request = await read_frame(
                         reader,
                         idle_timeout=self.idle_timeout,
                         body_timeout=self.read_timeout,
+                        preread_header=preread,
                     )
                 except FrameDisconnect:
                     # The peer is gone mid-frame: nobody to answer, and
@@ -334,6 +393,7 @@ class ClusterFrontend:
                         })
                         await writer.drain()
                     break
+                preread = None  # only the first header was sniffed
                 if request is None:
                     break
                 metrics.frames_read += 1
@@ -554,6 +614,42 @@ class ClusterFrontend:
             await cluster.flush()
             return {}
         raise ValueError(f"unknown admin op {op!r}")
+
+    async def _verb_scrape(self, request: dict) -> dict:
+        """The Prometheus exposition as a frame (same text HTTP gets)."""
+        from ...obs.exporter import SCRAPE_CONTENT_TYPE
+        self.metrics.scrapes_served += 1
+        return {
+            "text": self.scrape_registry().render(),
+            "content_type": SCRAPE_CONTENT_TYPE,
+        }
+
+    async def _verb_trace(self, request: dict) -> dict:
+        """A worker's ingest-span ring (records + summary), or — without
+        a ``service`` — every worker's summary.  Workers not built with
+        ``trace=True`` report ``enabled: false``."""
+        self.metrics.trace_reads += 1
+        name = request.get("service")
+        if name is None:
+            summaries = {}
+            for worker_name in self.cluster.services:
+                trace = getattr(
+                    self.cluster.service(worker_name), "trace_log", None
+                )
+                summaries[worker_name] = (
+                    None if trace is None else trace.summary()
+                )
+            return {"services": summaries}
+        trace = getattr(self.cluster.service(name), "trace_log", None)
+        if trace is None:
+            return {"service": name, "enabled": False,
+                    "records": [], "summary": None}
+        return {
+            "service": name,
+            "enabled": True,
+            "records": trace.records(),
+            "summary": trace.summary(),
+        }
 
 
 def _jsonable(value):
@@ -797,6 +893,18 @@ class ClusterClient:
     async def admin(self, op: str, **options) -> dict:
         """Any admin op (``create_tenant``, ``metrics``, ...)."""
         return await self.call({"verb": "admin", "op": op, **options})
+
+    async def scrape(self) -> str:
+        """The frontend's Prometheus exposition text (frame verb)."""
+        reply = await self.call({"verb": "scrape"})
+        return reply["text"]
+
+    async def trace(self, service: str | None = None) -> dict:
+        """A worker's ingest-span ring, or all workers' summaries."""
+        request: dict = {"verb": "trace"}
+        if service is not None:
+            request["service"] = service
+        return await self.call(request)
 
     async def create_tenant(self, tenant: str, spec, *, quota=None) -> dict:
         """Admin shorthand: register a tenant."""

@@ -41,6 +41,10 @@ class FrontendMetrics:
     disconnects_mid_frame: int = 0
     frame_errors: int = 0
     replies_deduped: int = 0
+    #: Observability surface: Prometheus expositions served (HTTP sniff
+    #: or ``scrape`` frame verb) and ``trace`` verb reads answered.
+    scrapes_served: int = 0
+    trace_reads: int = 0
 
     def to_dict(self) -> dict:
         """JSON-friendly snapshot."""
@@ -56,6 +60,8 @@ class FrontendMetrics:
             "disconnects_mid_frame": self.disconnects_mid_frame,
             "frame_errors": self.frame_errors,
             "replies_deduped": self.replies_deduped,
+            "scrapes_served": self.scrapes_served,
+            "trace_reads": self.trace_reads,
         }
 
     def as_dict(self) -> dict:

@@ -92,6 +92,12 @@ class Supervisor:
     on_failover:
         Optional callback invoked with each completed
         :class:`FailoverEvent` (after success *or* failure).
+    alerts:
+        Optional :class:`~repro.obs.AlertEngine`.  When given, every
+        tick ends by sampling a cluster-wide observation window
+        (:class:`~repro.obs.ClusterWatcher`) and evaluating the rules
+        against it — so alert latency is bounded by one supervisor
+        cadence, the same budget failover detection gets.
 
     Examples
     --------
@@ -117,6 +123,7 @@ class Supervisor:
         max_missed: int | None = None,
         policy="restart",
         on_failover=None,
+        alerts=None,
     ):
         if config is None:
             defaults = HealthConfig()
@@ -142,6 +149,8 @@ class Supervisor:
         self.config = config
         self.policy = policy
         self.on_failover = on_failover
+        self.alerts = alerts
+        self._watcher = None
         #: Completed and in-progress failovers, oldest first.
         self.events: list[FailoverEvent] = []
         self._health: dict[str, WorkerHealth] = {}
@@ -256,6 +265,17 @@ class Supervisor:
             )
             if tripped:
                 await self._failover(name, verdict)
+        if self.alerts is not None:
+            if self._watcher is None:
+                from ...obs.alerts import ClusterWatcher
+                self._watcher = ClusterWatcher(self.cluster)
+            # The window closes *after* this tick's probes, so an outage
+            # still unresolved here (failed recovery, operator-declared
+            # downtime) reaches the rules in the same evaluation —
+            # worker-down latency is one cadence, not two.  An outage
+            # the tick itself repaired shows up as a ``restarts`` delta
+            # instead of a (already stale) down flag.
+            self.alerts.observe(self._watcher.sample())
 
     def _last_event(self, name: str) -> FailoverEvent | None:
         """The most recent failover event for worker ``name``."""

@@ -213,6 +213,18 @@ class ServiceMetrics:
             )
         return rows
 
+    def flush_latency_histogram_seconds(self) -> dict[float, int]:
+        """The pow2-millisecond latency histogram with upper bounds in
+        **seconds**, smallest first — the form a Prometheus ``le``
+        bucket wants (see :mod:`repro.obs.prometheus`).  Raw storage
+        stays in integer milliseconds (:attr:`flush_latency_buckets`)
+        so merges stay exact.
+        """
+        return {
+            upper_ms / 1000.0: count
+            for upper_ms, count in sorted(self.flush_latency_buckets.items())
+        }
+
     def merge(self, other: "ServiceMetrics") -> "ServiceMetrics":
         """Fold ``other``'s counters into this instance (returns ``self``).
 

@@ -180,6 +180,12 @@ class StreamService:
         point; at the service-level ``"flush.before"`` stage the hook may
         return an awaitable to stall the consumer (for
         backpressure/isolation tests).
+    trace:
+        Ingest-path tracing: ``True`` for a default bounded
+        :class:`~repro.obs.trace.TraceLog`, or a preconfigured one.
+        Spans are stamped per admitted chunk and completed at flush
+        with queued/WAL/apply stage durations (``None`` — the default —
+        traces nothing and costs nothing).
 
     Examples
     --------
@@ -209,6 +215,7 @@ class StreamService:
         retain_checkpoints: int = 2,
         fsync: bool = False,
         fault_hook: Callable[[str], object] | None = None,
+        trace=None,
     ):
         if isinstance(sampler, StreamSampler):
             self._sampler = sampler
@@ -250,6 +257,16 @@ class StreamService:
         self.retain_checkpoints = int(retain_checkpoints)
         self.fsync = bool(fsync)
         self.fault_hook = fault_hook
+        # Ingest-path tracing (observability, PR 9): ``True`` builds a
+        # default bounded TraceLog, or pass one preconfigured.  Runtime-
+        # only — deliberately not persisted in _CONFIG_KEYS, so recovery
+        # re-enables it via an explicit override (``recover(trace=...)``).
+        if trace is True:
+            from ..obs.trace import TraceLog
+            trace = TraceLog()
+        # ``isinstance`` rather than truthiness: an empty TraceLog is
+        # falsy (``__len__`` counts ring records) but very much enabled.
+        self.trace_log = None if isinstance(trace, bool) else trace
 
         self.metrics = ServiceMetrics()
         self._batcher = MicroBatcher(self.batch_size, self.max_latency)
@@ -564,6 +581,8 @@ class StreamService:
         return True
 
     def _admit(self, chunk: dict) -> None:
+        if self.trace_log is not None:
+            chunk["span"] = self.trace_log.begin(chunk["n"])
         self._queue.append(chunk)
         self._buffered += chunk["n"]
         self._enqueued += chunk["n"]
@@ -849,6 +868,9 @@ class StreamService:
             else max(0.0, start - (oldest - self._batcher.max_latency))
         )
         columns, n = self._batcher.drain()
+        trace = self.trace_log
+        spans = self._batcher.pop_spans() if trace is not None else ()
+        t_flush = trace.clock() if trace is not None else 0.0
         kwargs = {
             name: column for name, column in columns.items()
             if name == "keys" or column is not None
@@ -860,9 +882,17 @@ class StreamService:
                 self.metrics.wal_records += 1
                 self.metrics.wal_bytes += frame
             self._durable += n
+            t_wal = trace.clock() if trace is not None else 0.0
             await self._hook("apply.before")
             self._sampler.update_many(**kwargs)
             self._applied += n
+            if trace is not None:
+                t_apply = trace.clock()
+                for span in spans:
+                    trace.complete(
+                        span, reason=reason, flush_start=t_flush,
+                        wal_done=t_wal, apply_done=t_apply,
+                    )
             self.metrics.record_flush(
                 n, reason, latency=latency, duration=loop.time() - start
             )
@@ -879,6 +909,8 @@ class StreamService:
     async def _checkpoint(self) -> None:
         """Write an atomic checkpoint and prune fully-covered log
         segments."""
+        trace = self.trace_log
+        t_start = trace.clock() if trace is not None else 0.0
         async with self._state_lock:
             version, state = self._sampler.snapshot_state()
             offset = self._applied
@@ -901,6 +933,8 @@ class StreamService:
             })
         if self._wal is not None:
             self._wal.prune(self._ckpts.oldest_retained_offset())
+        if trace is not None:
+            trace.record_checkpoint(trace.clock() - t_start, offset)
 
     async def _crash(self, error: BaseException) -> None:
         """Record the fatal error and wake every suspended caller."""

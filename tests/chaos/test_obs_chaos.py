@@ -1,0 +1,193 @@
+"""Observability under chaos: scrapes during outages, alert latency
+bounded by the supervisor cadence, and clean post-recovery expositions.
+
+The worker-down alert battery drives an *operator-declared* outage
+(``mark_service_down``) — the one outage shape the supervisor honors
+without auto-repair — so fire/resolve latency is deterministic.  The
+kill battery injects a real WAL fault under supervision and then demands
+the usual strongest outcome (bit-exact state, zero loss past the durable
+frontier) *plus* an exposition with no phantom volatile gauges from the
+dead incarnation.
+"""
+
+from __future__ import annotations
+
+import asyncio
+
+import pytest
+
+from repro.obs import AlertEngine, cluster_registry, parse_exposition
+from repro.serve.chaos import ChaosInjector, Fault
+from repro.serve.cluster import Cluster, Supervisor
+from tests.chaos.common import (
+    FAST_SUPERVISION,
+    control_signature,
+    run_async,
+    settle,
+    sig_of,
+    tenant_spec,
+    tenant_stream,
+    wait_for,
+)
+
+pytestmark = [pytest.mark.obs, pytest.mark.timeout(120)]
+
+
+def _gauge_by_service(parsed: dict, name: str) -> dict:
+    return {
+        labels["service"]: value
+        for _, labels, value in parsed[name]["samples"]
+    }
+
+
+class TestScrapeDuringOutage:
+    def test_scrape_of_killed_worker_is_degraded_and_synchronous(
+        self, tmp_path
+    ):
+        async def body():
+            async with Cluster(services=2, dir=tmp_path, batch_size=32,
+                               max_latency=0.001) as cluster:
+                streams = {}
+                for i in range(4):
+                    tenant = f"tenant-{i}"
+                    await cluster.create_tenant(tenant, tenant_spec(i))
+                    streams[tenant] = tenant_stream(i, 300)
+                await settle(cluster, streams)
+
+                victim = cluster.registry.get("tenant-0").service
+                await cluster._workers[victim].abort()  # hard kill
+                cluster.mark_service_down(victim, "crashed")
+
+                # The collector never awaits, so a scrape mid-outage is
+                # an ordinary synchronous call — it cannot hang on the
+                # dead worker.
+                loop = asyncio.get_running_loop()
+                start = loop.time()
+                text = cluster_registry(cluster).render()
+                assert loop.time() - start < 5.0
+                parsed = parse_exposition(text)
+
+                assert parsed["repro_cluster_workers_down"]["samples"] \
+                    == [("", {}, 1.0)]
+                up = _gauge_by_service(parsed, "repro_cluster_service_up")
+                assert up[victim] == 0.0
+
+                # Tenants on the victim still serve sampler gauges —
+                # from the durable snapshot, labeled degraded.
+                degraded_tenants = {
+                    labels["tenant"]
+                    for _, labels, _ in
+                    parsed["repro_sampler_fill"]["samples"]
+                    if labels["degraded"] == "true"
+                }
+                victims = {
+                    tenant for tenant in streams
+                    if cluster.registry.get(tenant).service == victim
+                }
+                assert victims and degraded_tenants == victims
+        run_async(body())
+
+
+class TestWorkerDownAlert:
+    def test_fires_within_a_cadence_and_resolves_after_restore(
+        self, tmp_path
+    ):
+        async def body():
+            engine = AlertEngine()
+            async with Cluster(services=2, dir=tmp_path, batch_size=32,
+                               max_latency=0.001) as cluster:
+                await cluster.create_tenant("acme", tenant_spec(0))
+                keys = tenant_stream(0, 300)
+                async with Supervisor(cluster, alerts=engine,
+                                      **FAST_SUPERVISION):
+                    await settle(cluster, {"acme": keys})
+                    await wait_for(lambda: engine.evaluations > 0)
+                    assert engine.firing() == {}
+
+                    victim = cluster.registry.get("acme").service
+                    cluster.mark_service_down(victim, "maintenance")
+                    # Alert latency is bounded by one supervisor cadence
+                    # (interval 0.02s here); 2s of slack is two orders
+                    # of magnitude, not a tuned race.
+                    await wait_for(
+                        lambda: "worker-down" in engine.firing(),
+                        deadline=2.0,
+                    )
+                    fired = engine.firing()["worker-down"]
+                    assert fired["severity"] == "critical"
+                    assert fired["value"] == 1.0
+
+                    await cluster.restart_service(victim)
+                    await wait_for(
+                        lambda: "worker-down" not in engine.firing(),
+                        deadline=2.0,
+                    )
+                    kinds = [(e.rule, e.kind) for e in engine.events
+                             if e.rule == "worker-down"]
+                    assert kinds == [("worker-down", "firing"),
+                                     ("worker-down", "resolved")]
+
+                    # The repaired stream still settles to full length.
+                    await settle(cluster, {"acme": keys})
+                    assert sig_of(await cluster.sample("acme")) == \
+                        control_signature(0, keys)
+        run_async(body())
+
+
+class TestPostRecoveryExposition:
+    def test_kill_failover_scrape_has_no_phantom_gauges(self, tmp_path):
+        async def body():
+            engine = AlertEngine()
+            chaos = ChaosInjector(Fault("*:wal.append.mid", at=4))
+            async with Cluster(services=2, dir=tmp_path, fault_hook=chaos,
+                               batch_size=32,
+                               max_latency=0.001) as cluster:
+                await cluster.create_tenant("acme", tenant_spec(3))
+                keys = tenant_stream(3, 600)
+                async with Supervisor(cluster, alerts=engine,
+                                      **FAST_SUPERVISION):
+                    await settle(cluster, {"acme": keys})
+                    assert chaos.count("*:wal.append.mid") == 1, (
+                        "the injected WAL fault never fired"
+                    )
+                    # Zero loss past the durable frontier: bit-exact
+                    # against a fault-free control.
+                    assert sig_of(await cluster.sample("acme")) == \
+                        control_signature(3, keys)
+
+                    text = cluster_registry(cluster).render()
+                    parsed = parse_exposition(text)
+
+                    # Fully recovered: nothing down, everything up.
+                    assert parsed["repro_cluster_workers_down"]["samples"] \
+                        == [("", {}, 0.0)]
+                    up = _gauge_by_service(
+                        parsed, "repro_cluster_service_up"
+                    )
+                    assert set(up.values()) == {1.0}
+
+                    # The failover is visible as a restart delta...
+                    restarts = _gauge_by_service(
+                        parsed, "repro_service_restarts_total"
+                    )
+                    assert sum(restarts.values()) >= 1.0
+
+                    # ...but leaves no phantom volatile gauges from the
+                    # dead incarnation: the settled cluster's queues are
+                    # empty and every sampler row is live again.
+                    depth = _gauge_by_service(
+                        parsed, "repro_service_queue_depth"
+                    )
+                    assert set(depth.values()) == {0.0}
+                    degraded = {
+                        labels["degraded"]
+                        for _, labels, _ in
+                        parsed["repro_sampler_fill"]["samples"]
+                    }
+                    assert degraded == {"false"}
+
+                    # The repaired outage never lingered into a firing
+                    # alert — by the end of the run the board is green.
+                    assert engine.evaluations > 0
+                    assert engine.firing() == {}
+        run_async(body())

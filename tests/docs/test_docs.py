@@ -18,6 +18,7 @@ import re
 
 import pytest
 
+from repro.obs import metric_inventory_markdown
 from repro.query import capability_markdown
 
 REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent.parent
@@ -97,4 +98,19 @@ def test_capability_matrix_matches_live_declarations():
         "docs/architecture.md capability matrix is stale; regenerate with "
         "python -c 'from repro.query import capability_markdown; "
         "print(capability_markdown())'"
+    )
+
+
+def test_metric_inventory_matches_live_declarations():
+    """The embedded metric inventory regenerates byte-identically from
+    ``repro.obs.INVENTORY`` (same pin as the capability matrix)."""
+    text = (REPO_ROOT / "docs" / "architecture.md").read_text()
+    begin = "<!-- metric-inventory:begin -->\n"
+    end = "<!-- metric-inventory:end -->"
+    assert begin in text and end in text
+    embedded = text.split(begin, 1)[1].split(end, 1)[0]
+    assert embedded == metric_inventory_markdown(), (
+        "docs/architecture.md metric inventory is stale; regenerate with "
+        "python -c 'from repro.obs import metric_inventory_markdown; "
+        "print(metric_inventory_markdown())'"
     )

@@ -1,0 +1,238 @@
+"""Adapter battery: the INVENTORY contract, sampler ``observe()``
+read-only semantics, collector/INVENTORY agreement, the generated docs
+table, and degraded-mode gauges from a cluster with a down worker.
+"""
+
+from __future__ import annotations
+
+import re
+
+import pytest
+
+from repro import make_sampler
+from repro.obs import (
+    INVENTORY,
+    PrometheusRegistry,
+    cluster_collector,
+    cluster_registry,
+    metric_inventory_markdown,
+    parse_exposition,
+    render,
+    sampler_gauges,
+    service_registry,
+)
+from repro.obs.adapters import MetricSpec
+from repro.serve import StreamService
+from repro.serve.cluster import Cluster
+
+from tests.cluster.common import run_async, tenant_spec, tenant_stream
+
+pytestmark = [pytest.mark.obs, pytest.mark.timeout(120)]
+
+_NAME_RE = re.compile(r"^[a-zA-Z_:][a-zA-Z0-9_:]*$")
+_LABEL_RE = re.compile(r"^[a-zA-Z_][a-zA-Z0-9_]*$")
+
+SPEC = {"name": "bottom_k", "params": {"k": 32, "rng": 7}}
+
+
+# ----------------------------------------------------------------------
+# The inventory as a contract
+# ----------------------------------------------------------------------
+class TestInventory:
+    def test_names_unique_and_valid(self):
+        names = [spec.name for spec in INVENTORY]
+        assert len(names) == len(set(names))
+        assert all(_NAME_RE.match(name) for name in names)
+        assert all(name.startswith("repro_") for name in names)
+
+    def test_kinds_and_labels_valid(self):
+        for spec in INVENTORY:
+            assert spec.kind in ("counter", "gauge", "histogram"), spec.name
+            for label in spec.labels:
+                assert _LABEL_RE.match(label), spec.name
+                assert label != "le", spec.name
+            assert spec.help
+
+    def test_counter_names_end_in_total_unless_gauge(self):
+        # Prometheus naming convention: cumulative counters carry the
+        # ``_total`` suffix; gauges and histograms must not.
+        for spec in INVENTORY:
+            if spec.kind == "counter":
+                assert spec.name.endswith("_total"), spec.name
+            else:
+                assert not spec.name.endswith("_total"), spec.name
+
+    def test_inventory_markdown_lists_every_series(self):
+        table = metric_inventory_markdown()
+        lines = table.splitlines()
+        assert lines[0].startswith("| Metric |")
+        assert len(lines) == len(INVENTORY) + 2  # header + separator
+        for spec in INVENTORY:
+            assert f"`{spec.name}`" in table
+        assert table.endswith("\n")
+
+    def test_spec_is_frozen(self):
+        spec = INVENTORY[0]
+        with pytest.raises(AttributeError):
+            spec.name = "mutated"
+        assert isinstance(spec, MetricSpec)
+
+
+# ----------------------------------------------------------------------
+# Sampler observe(): the read-only gauge source
+# ----------------------------------------------------------------------
+SAMPLERS = [
+    ("bottom_k", {"k": 16, "rng": 3}),
+    ("poisson", {"threshold": 0.5, "rng": 3}),
+    ("kmv", {"k": 16, "salt": 1}),
+    ("theta", {"k": 16, "salt": 1}),
+]
+
+
+class TestObserve:
+    @pytest.mark.parametrize("name,params", SAMPLERS,
+                             ids=[name for name, _ in SAMPLERS])
+    def test_observe_is_read_only_floats(self, name, params):
+        sampler = make_sampler(name, **params)
+        sampler.update_many(list(range(100)))
+        before = sampler.state_version
+        observed = sampler.observe()
+        assert sampler.observe() == observed  # stable
+        assert sampler.state_version == before  # no mutation
+        assert "state_version" in observed
+        assert all(isinstance(v, float) for v in observed.values())
+
+    def test_sampler_gauges_skip_absent_and_extra_keys(self):
+        rows = [({"tenant": "t"}, {"k": 5.0, "custom_diag": 1.0})]
+        families = sampler_gauges(rows)
+        names = {family.name for family in families}
+        assert names == {"repro_sampler_k"}  # absent keys drop families
+        assert "custom_diag" not in render(families)
+
+
+# ----------------------------------------------------------------------
+# Collectors agree with the inventory
+# ----------------------------------------------------------------------
+def _family_names(text: str) -> set:
+    return set(parse_exposition(text))
+
+
+class TestCollectorsMatchInventory:
+    def test_service_registry_families_subset_of_inventory(self):
+        async def body():
+            async with StreamService(SPEC, trace=True) as service:
+                keys = tenant_stream(1, 200)
+                await service.ingest_many(keys)
+                await service.flush()
+                text = service_registry(service).render()
+            parsed = parse_exposition(text)
+            inventory = {spec.name for spec in INVENTORY}
+            assert set(parsed) <= inventory
+            # Traced service exports the full trace summary family set.
+            assert {
+                name for name in parsed if name.startswith("repro_trace_")
+            } == {
+                spec.name for spec in INVENTORY if spec.source == "TraceLog"
+            }
+            assert parsed["repro_service_events_applied_total"]["samples"] \
+                == [("", {}, 200.0)]
+        run_async(body())
+
+    def test_cluster_registry_families_subset_of_inventory(self, tmp_path):
+        async def body():
+            async with Cluster(services=2, dir=tmp_path) as cluster:
+                await cluster.create_tenant("t0", tenant_spec(0))
+                await cluster.ingest_many("t0", tenant_stream(0, 300))
+                await cluster.flush()
+                text = cluster_registry(cluster).render()
+            parsed = parse_exposition(text)
+            inventory = {spec.name for spec in INVENTORY}
+            assert set(parsed) <= inventory
+            tenants = parsed["repro_cluster_tenants"]["samples"]
+            assert tenants == [("", {}, 1.0)]
+            labels = {
+                tuple(sorted(labels))
+                for _, labels, _ in
+                parsed["repro_tenant_events_applied_total"]["samples"]
+            }
+            assert labels == {("service", "tenant")}
+        run_async(body())
+
+    def test_rendered_kinds_match_inventory(self):
+        async def body():
+            async with StreamService(SPEC) as service:
+                text = service_registry(service).render()
+            specs = {spec.name: spec for spec in INVENTORY}
+            for name, family in parse_exposition(text).items():
+                assert family["type"] == specs[name].kind, name
+        run_async(body())
+
+
+# ----------------------------------------------------------------------
+# Degraded-mode gauges: scraping through an outage
+# ----------------------------------------------------------------------
+class TestDegradedScrape:
+    def test_down_worker_serves_degraded_snapshot_gauges(self, tmp_path):
+        async def body():
+            async with Cluster(services=2, dir=tmp_path) as cluster:
+                await cluster.create_tenants(
+                    {f"t{i}": tenant_spec(i) for i in range(4)}
+                )
+                for i in range(4):
+                    await cluster.ingest_many(f"t{i}", tenant_stream(i, 200))
+                await cluster.flush()
+                victim = cluster.registry.get("t0").service
+                cluster.mark_service_down(victim, "chaos")
+
+                # Strictly synchronous: collect() must not need the loop.
+                families = cluster_collector(cluster)()
+                parsed = parse_exposition(render(families))
+
+                down = parsed["repro_cluster_workers_down"]["samples"]
+                assert down == [("", {}, 1.0)]
+                up = {
+                    labels["service"]: value
+                    for _, labels, value in
+                    parsed["repro_cluster_service_up"]["samples"]
+                }
+                assert up[victim] == 0.0
+                assert sum(up.values()) == len(up) - 1
+
+                degraded = {
+                    labels["degraded"]
+                    for _, labels, _ in
+                    parsed["repro_sampler_fill"]["samples"]
+                }
+                assert degraded == {"true", "false"}
+                unavailable = {
+                    labels["tenant"]: value
+                    for _, labels, value in
+                    parsed["repro_tenant_unavailable"]["samples"]
+                }
+                victims = {
+                    tenant for tenant, value in unavailable.items()
+                    if value == 1.0
+                }
+                assert victims  # at least one tenant rode the down worker
+                # Degraded gauges come from the durable snapshot and are
+                # labeled as such, one row per unavailable tenant.
+                degraded_rows = {
+                    labels["tenant"]
+                    for _, labels, _ in
+                    parsed["repro_sampler_fill"]["samples"]
+                    if labels["degraded"] == "true"
+                }
+                assert degraded_rows == victims
+        run_async(body())
+
+    def test_duplicate_registration_rejected_at_render(self, tmp_path):
+        async def body():
+            async with Cluster(services=1, dir=tmp_path) as cluster:
+                registry = (
+                    PrometheusRegistry()
+                    .register(cluster_collector(cluster))
+                    .register(cluster_collector(cluster))
+                )
+                with pytest.raises(ValueError, match="duplicate"):
+                    registry.render()
+        run_async(body())

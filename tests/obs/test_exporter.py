@@ -1,0 +1,220 @@
+"""Scrape-serving battery: the HTTP helpers, the standalone exporter,
+and the frontend's dual-protocol port (HTTP sniff + ``scrape``/``trace``
+frame verbs on the same listener).
+"""
+
+from __future__ import annotations
+
+import asyncio
+import contextlib
+import urllib.error
+import urllib.request
+
+import pytest
+
+from repro.obs import (
+    MetricsExporter,
+    SCRAPE_CONTENT_TYPE,
+    parse_exposition,
+    service_registry,
+)
+from repro.obs.exporter import http_response
+from repro.serve import StreamService
+from repro.serve.cluster import Cluster, ClusterClient, ClusterFrontend
+
+from tests.cluster.common import run_async, tenant_spec, tenant_stream
+
+pytestmark = [pytest.mark.obs, pytest.mark.timeout(120)]
+
+SPEC = {"name": "bottom_k", "params": {"k": 32, "rng": 7}}
+
+
+def _fetch(url: str) -> tuple[int, dict, bytes]:
+    try:
+        with urllib.request.urlopen(url, timeout=10) as reply:
+            return reply.status, dict(reply.headers), reply.read()
+    except urllib.error.HTTPError as err:
+        return err.code, dict(err.headers), err.read()
+
+
+@contextlib.asynccontextmanager
+async def served(n_services: int = 2, **cluster_kwargs):
+    async with Cluster(services=n_services, **cluster_kwargs) as cluster:
+        async with ClusterFrontend(cluster) as frontend:
+            client = await ClusterClient.connect(*frontend.address)
+            try:
+                yield cluster, frontend, client
+            finally:
+                await client.aclose()
+
+
+class TestHttpHelpers:
+    def test_response_shape(self):
+        raw = http_response("body\n")
+        head, _, payload = raw.partition(b"\r\n\r\n")
+        assert head.startswith(b"HTTP/1.1 200 OK\r\n")
+        assert f"Content-Type: {SCRAPE_CONTENT_TYPE}".encode() in head
+        assert b"Content-Length: 5" in head
+        assert b"Connection: close" in head
+        assert payload == b"body\n"
+
+    def test_status_override(self):
+        raw = http_response("gone", status=404, reason="Not Found")
+        assert raw.startswith(b"HTTP/1.1 404 Not Found\r\n")
+
+
+class TestMetricsExporter:
+    def test_address_requires_start(self):
+        exporter = MetricsExporter(None)
+        with pytest.raises(RuntimeError, match="not started"):
+            exporter.address
+
+    def test_double_start_rejected(self):
+        async def body():
+            async with StreamService(SPEC) as service:
+                exporter = MetricsExporter(service_registry(service))
+                async with exporter:
+                    with pytest.raises(RuntimeError, match="already"):
+                        await exporter.start()
+                # stop() is idempotent.
+                await exporter.stop()
+        run_async(body())
+
+    def test_curl_style_scrape_parses(self):
+        async def body():
+            async with StreamService(SPEC, trace=True) as service:
+                await service.ingest_many(tenant_stream(3, 250))
+                await service.flush()
+                async with MetricsExporter(
+                    service_registry(service)
+                ) as exporter:
+                    host, port = exporter.address
+                    status, headers, body_bytes = await asyncio.to_thread(
+                        _fetch, f"http://{host}:{port}/metrics"
+                    )
+            assert status == 200
+            assert headers["Content-Type"] == SCRAPE_CONTENT_TYPE
+            assert int(headers["Content-Length"]) == len(body_bytes)
+            parsed = parse_exposition(body_bytes.decode("utf-8"))
+            samples = parsed["repro_service_events_applied_total"]["samples"]
+            assert samples == [("", {}, 250.0)]
+            assert "repro_trace_spans_completed_total" in parsed
+        run_async(body())
+
+    def test_query_string_and_404(self):
+        async def body():
+            async with StreamService(SPEC) as service:
+                async with MetricsExporter(
+                    service_registry(service)
+                ) as exporter:
+                    host, port = exporter.address
+                    ok, _, _ = await asyncio.to_thread(
+                        _fetch, f"http://{host}:{port}/metrics?debug=1"
+                    )
+                    missing, _, text = await asyncio.to_thread(
+                        _fetch, f"http://{host}:{port}/other"
+                    )
+            assert ok == 200
+            assert missing == 404
+            assert b"scrape /metrics" in text
+        run_async(body())
+
+
+class TestFrontendScrape:
+    def test_http_scrape_on_the_frame_port(self, tmp_path):
+        async def body():
+            async with served(dir=tmp_path) as (cluster, frontend, client):
+                await client.create_tenant("acme", tenant_spec(0))
+                await client.ingest_many("acme", tenant_stream(0, 300).tolist())
+                await client.admin("flush")
+                host, port = frontend.address
+                status, headers, body_bytes = await asyncio.to_thread(
+                    _fetch, f"http://{host}:{port}/metrics"
+                )
+                assert status == 200
+                assert headers["Content-Type"] == SCRAPE_CONTENT_TYPE
+                parsed = parse_exposition(body_bytes.decode("utf-8"))
+                # One scrape carries every layer: cluster, tenant,
+                # sampler, and the frontend's own counters.
+                assert parsed["repro_cluster_tenants"]["samples"] == \
+                    [("", {}, 1.0)]
+                assert "repro_tenant_events_applied_total" in parsed
+                assert "repro_sampler_fill" in parsed
+                assert "repro_frontend_scrapes_total" in parsed
+
+                # The frame protocol still works on the same port after
+                # HTTP connections came and went.
+                estimate = await client.estimate("acme", "total")
+                assert estimate["estimate"] > 0
+                assert frontend.metrics.scrapes_served == 1
+        run_async(body())
+
+    def test_scrape_verb_over_frames(self, tmp_path):
+        async def body():
+            async with served(dir=tmp_path) as (cluster, frontend, client):
+                await client.create_tenant("acme", tenant_spec(0))
+                text = await client.scrape()
+                parsed = parse_exposition(text)
+                assert "repro_cluster_services" in parsed
+                # The scrape counts itself before rendering, so each
+                # exposition already includes its own serving.
+                count = parsed["repro_frontend_scrapes_total"]["samples"]
+                assert count == [("", {}, 1.0)]
+                text = await client.scrape()
+                scraped = parse_exposition(text)
+                count = scraped["repro_frontend_scrapes_total"]["samples"]
+                assert count == [("", {}, 2.0)]
+                assert frontend.metrics.scrapes_served == 2
+        run_async(body())
+
+    def test_trace_verb(self, tmp_path):
+        async def body():
+            async with Cluster(services=2, dir=tmp_path,
+                               trace=True) as cluster:
+                async with ClusterFrontend(cluster) as frontend:
+                    client = await ClusterClient.connect(*frontend.address)
+                    try:
+                        await client.create_tenant("acme", tenant_spec(0))
+                        await client.ingest_many(
+                            "acme", tenant_stream(0, 300).tolist()
+                        )
+                        await client.admin("flush")
+
+                        overview = await client.trace()
+                        assert set(overview["services"]) == \
+                            set(cluster.services)
+                        assert any(
+                            summary is not None and
+                            summary["spans_completed"] > 0
+                            for summary in overview["services"].values()
+                        )
+
+                        name = cluster.registry.get("acme").service
+                        detail = await client.trace(name)
+                        assert detail["enabled"] is True
+                        # The tenant-create row rides the ingest path
+                        # too, so the span coverage is >= the payload.
+                        traced = detail["summary"]["events_traced"]
+                        assert traced >= 300
+                        spans = [r for r in detail["records"]
+                                 if r["kind"] == "span"]
+                        assert sum(r["n"] for r in spans) == traced
+                        assert frontend.metrics.trace_reads == 2
+
+                        with pytest.raises(RuntimeError, match="nope"):
+                            await client.call(
+                                {"verb": "trace", "service": "nope"}
+                            )
+                    finally:
+                        await client.aclose()
+        run_async(body())
+
+    def test_trace_verb_reports_disabled_when_untraced(self, tmp_path):
+        async def body():
+            async with served(dir=tmp_path) as (cluster, frontend, client):
+                name = cluster.services[0]
+                detail = await client.trace(name)
+                assert detail["enabled"] is False
+                assert detail["records"] == []
+                assert detail["summary"] is None
+        run_async(body())

@@ -1,0 +1,217 @@
+"""TraceLog battery: deterministic-clock span accounting, ring
+eviction, checkpoint entries — and the live ingest-path integration
+(spans stamped at admission, completed at flush, checkpoints recorded,
+and the deliberate non-persistence of tracing across recovery).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.obs import TRACE_STAGES, TraceLog
+from repro.serve import StreamService
+from repro.serve.cluster import Cluster
+
+from tests.serve.common import run_async, stream
+
+pytestmark = [pytest.mark.obs, pytest.mark.timeout(120)]
+
+SPEC = {"name": "bottom_k", "params": {"k": 32, "rng": 7}}
+
+
+class FakeClock:
+    def __init__(self, now: float = 0.0):
+        self.now = now
+
+    def __call__(self) -> float:
+        return self.now
+
+
+# ----------------------------------------------------------------------
+# Unit: the log itself, driven by a fake clock
+# ----------------------------------------------------------------------
+class TestTraceLog:
+    def test_capacity_must_be_positive(self):
+        with pytest.raises(ValueError, match="capacity"):
+            TraceLog(0)
+
+    def test_empty_log_is_falsy_but_enabled(self):
+        # ``__len__`` counts retained records, so a fresh log is falsy —
+        # the reason enablement checks use ``is not None``, never truth.
+        log = TraceLog()
+        assert len(log) == 0
+        assert not log
+        assert log.records() == []
+
+    def test_begin_stamps_monotonic_ids_at_clock_time(self):
+        clock = FakeClock(5.0)
+        log = TraceLog(clock=clock)
+        first = log.begin(10)
+        clock.now = 6.0
+        second = log.begin(3)
+        assert (first["id"], second["id"]) == (1, 2)
+        assert (first["n"], second["n"]) == (10, 3)
+        assert (first["t0"], second["t0"]) == (5.0, 6.0)
+        assert log.spans_started == 2
+        assert log.spans_completed == 0
+        assert len(log) == 0  # only *completed* spans hit the ring
+
+    def test_complete_splits_stages_and_accumulates(self):
+        clock = FakeClock(1.0)
+        log = TraceLog(clock=clock)
+        span = log.begin(7)
+        record = log.complete(
+            span, reason="size", flush_start=1.5, wal_done=1.7,
+            apply_done=2.0,
+        )
+        assert record["kind"] == "span"
+        assert record["queued"] == pytest.approx(0.5)
+        assert record["wal"] == pytest.approx(0.2)
+        assert record["apply"] == pytest.approx(0.3)
+        assert record["total"] == pytest.approx(1.0)
+        assert record["reason"] == "size"
+        assert log.spans_completed == 1
+        assert log.events_traced == 7
+        assert log.last_span_seconds == pytest.approx(1.0)
+        assert log.stage_seconds == {
+            "queued": pytest.approx(0.5),
+            "wal": pytest.approx(0.2),
+            "apply": pytest.approx(0.3),
+        }
+
+    def test_out_of_order_timestamps_clamp_to_zero(self):
+        log = TraceLog(clock=FakeClock(10.0))
+        span = log.begin(1)
+        record = log.complete(
+            span, reason="latency", flush_start=9.0, wal_done=8.0,
+            apply_done=7.0,
+        )
+        assert all(record[stage] == 0.0 for stage in TRACE_STAGES)
+        assert record["total"] == 0.0
+
+    def test_ring_evicts_oldest_but_counters_keep_totals(self):
+        clock = FakeClock()
+        log = TraceLog(capacity=3, clock=clock)
+        for i in range(5):
+            span = log.begin(1)
+            log.complete(span, reason="size", flush_start=clock.now,
+                         wal_done=clock.now, apply_done=clock.now)
+        assert len(log) == 3
+        assert [r["id"] for r in log.records()] == [3, 4, 5]
+        assert log.spans_completed == 5
+        assert log.summary()["retained"] == 3
+        assert log.summary()["capacity"] == 3
+
+    def test_checkpoint_entries_share_the_ring(self):
+        log = TraceLog(clock=FakeClock())
+        log.record_checkpoint(0.25, offset=100)
+        log.record_checkpoint(-1.0, offset=200)  # clamped, still counted
+        records = log.records()
+        assert [r["kind"] for r in records] == ["checkpoint", "checkpoint"]
+        assert records[0]["duration"] == 0.25
+        assert records[1]["duration"] == 0.0
+        assert log.checkpoints == 2
+        assert log.checkpoint_seconds == 0.25
+
+    def test_records_are_copies(self):
+        log = TraceLog(clock=FakeClock())
+        log.record_checkpoint(0.1, offset=1)
+        log.records()[0]["duration"] = 999.0
+        assert log.records()[0]["duration"] == 0.1
+
+    def test_summary_shape(self):
+        log = TraceLog(capacity=8, clock=FakeClock())
+        assert log.summary() == {
+            "spans_started": 0,
+            "spans_completed": 0,
+            "events_traced": 0,
+            "stage_seconds": {stage: 0.0 for stage in TRACE_STAGES},
+            "checkpoints": 0,
+            "checkpoint_seconds": 0.0,
+            "last_span_seconds": 0.0,
+            "retained": 0,
+            "capacity": 8,
+        }
+
+
+# ----------------------------------------------------------------------
+# Integration: spans on the live ingest path
+# ----------------------------------------------------------------------
+class TestServiceTracing:
+    def test_untraced_service_has_no_log(self):
+        async def body():
+            async with StreamService(SPEC) as service:
+                assert service.trace_log is None
+                keys, weights = stream(100)
+                await service.ingest_many(keys, weights)
+                await service.flush()
+        run_async(body())
+
+    def test_spans_cover_every_applied_event(self):
+        async def body():
+            async with StreamService(SPEC, trace=True,
+                                     batch_size=64) as service:
+                log = service.trace_log
+                assert isinstance(log, TraceLog)
+                keys, weights = stream(500)
+                # Chunked ingest: one span per admitted chunk.
+                for start in range(0, 500, 50):
+                    await service.ingest_many(
+                        keys[start:start + 50], weights[start:start + 50]
+                    )
+                await service.flush()
+                assert log.spans_started == 10
+                assert log.spans_completed == 10
+                assert log.events_traced == 500
+                assert log.events_traced == service.metrics.events_applied
+                spans = [r for r in log.records() if r["kind"] == "span"]
+                assert sum(r["n"] for r in spans) == 500
+                assert all(
+                    r["total"] >= r["wal"] + r["apply"] for r in spans
+                )
+        run_async(body())
+
+    def test_checkpoints_recorded_on_durable_service(self, tmp_path):
+        async def body():
+            async with StreamService(
+                SPEC, dir=tmp_path, trace=True, batch_size=32,
+                checkpoint_every_events=64,
+            ) as service:
+                keys, weights = stream(300)
+                await service.ingest_many(keys, weights)
+                await service.flush()
+            log = service.trace_log
+            assert log.checkpoints >= 1
+            kinds = {r["kind"] for r in log.records()}
+            assert kinds == {"span", "checkpoint"}
+        run_async(body())
+
+    def test_tracing_is_not_persisted_but_overridable(self, tmp_path):
+        async def body():
+            async with StreamService(
+                SPEC, dir=tmp_path, trace=True, batch_size=32
+            ) as service:
+                keys, weights = stream(200)
+                await service.ingest_many(keys, weights)
+                await service.flush()
+            # Tracing is runtime-only config: plain recovery comes back
+            # untraced, and an explicit override re-enables it fresh.
+            async with StreamService.recover(tmp_path) as plain:
+                assert plain.trace_log is None
+            async with StreamService.recover(tmp_path, trace=True) as traced:
+                assert isinstance(traced.trace_log, TraceLog)
+                assert traced.trace_log.spans_started == 0
+        run_async(body())
+
+    def test_cluster_trace_flag_survives_restart(self, tmp_path):
+        async def body():
+            async with Cluster(services=2, dir=tmp_path,
+                               trace=True) as cluster:
+                for worker in cluster._workers.values():
+                    assert isinstance(worker.trace_log, TraceLog)
+                name = next(iter(cluster._workers))
+                await cluster.restart_service(name)
+                assert isinstance(
+                    cluster._workers[name].trace_log, TraceLog
+                )
+        run_async(body())
