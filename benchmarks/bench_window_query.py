@@ -1,0 +1,241 @@
+"""Windowed-query latency: sketch answers vs full-scan rescan.
+
+The point of first-class ``window=``/``last=``/``decay=`` dimensions is
+answering trend questions *from the sketch* — O(k) state and O(k) work —
+where the honest alternative retains the raw stream and rescans it, O(n)
+memory and O(n) per query.  This bench ingests a timed stream into a
+sliding-window sampler, then times the answer paths for a ``sum`` over
+the trailing window with CIs:
+
+* **rescan**   — exact full scan of the raw ``(times, values)`` arrays
+  (mask + reduce); what a system without windowed sketch queries pays,
+  and the accuracy ground truth.
+* **exec**     — the time-filtered vectorized query pass over the
+  already-materialized sample (``run_aggregate``): the recurring cost
+  when one snapshot answers many windows.
+* **cold**     — full planner execution including ``sample()``
+  materialization (reported transparently: materialization dominates,
+  so one-shot cold queries are *not* faster than an in-memory rescan —
+  the sketch's win is state size, repeated polls, and multi-window
+  reuse).
+* **cached**   — ``sampler.query()`` re-polling the same window (the
+  dashboard path; the result cache keys on the time dimensions, so
+  distinct windows cache distinctly and advancing ``now=`` never
+  false-hits).
+
+A decayed total (``Query("sum", decay=rate)`` on a ``time_decay``
+sketch) is timed against its exact decayed rescan too.
+
+Results append to ``benchmarks/results/bench_window_query.json`` as a
+versioned trajectory artifact.  At full scale (or with
+``--enforce-floor``) the run fails if the execution pass is not at least
+``EXEC_SPEEDUP``x faster than the rescan, if a cached re-poll is not
+``CACHE_SPEEDUP``x faster, or if the windowed estimate drifts outside
+``REL_TOL`` of truth (k is production-sized there, so sampling error is
+small).
+
+Run:  PYTHONPATH=src python benchmarks/bench_window_query.py [--n 1000000]
+"""
+
+from __future__ import annotations
+
+import argparse
+import datetime
+import json
+import pathlib
+import platform
+import time
+
+import numpy as np
+
+from repro import Query, make_sampler
+from repro.query.executors import run_aggregate
+from repro.query.planner import execute
+
+RESULTS_DIR = pathlib.Path(__file__).resolve().parent / "results"
+RESULTS_PATH = RESULTS_DIR / "bench_window_query.json"
+
+#: The vectorized windowed pass over the materialized sample must beat
+#: the exact O(n) rescan by this factor at full scale (O(k) vs O(n)).
+EXEC_SPEEDUP = 2.0
+#: A cached re-poll of the same window must beat the rescan by this much.
+CACHE_SPEEDUP = 20.0
+#: Windowed estimate vs exact rescan, relative, at the full-scale k.
+REL_TOL = 0.15
+REPS = 5
+
+
+def _best_of(reps: int, fn) -> float:
+    best = float("inf")
+    for _ in range(reps):
+        t0 = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - t0)
+    return best
+
+
+def run(n: int, k: int, seed: int) -> dict:
+    """Ingest a timed stream, then time rescan / exec / cold / cached."""
+    rng = np.random.default_rng(seed)
+    span = 100.0
+    times = np.sort(rng.uniform(0.0, span, n))
+    values = rng.lognormal(0.0, 0.6, n)
+    keys = np.arange(n, dtype=np.int64)
+    last = span / 10.0  # trailing 10% of the stream's time range
+
+    sampler = make_sampler("sliding_window", k=k, window=2.0 * last, rng=seed)
+    t0 = time.perf_counter()
+    sampler.update_many(keys, values=values, times=times)
+    ingest_s = time.perf_counter() - t0
+
+    t_end = float(times[-1])
+
+    def rescan():
+        mask = times > (t_end - last)
+        return float(values[mask].sum())
+
+    rescan_s = _best_of(REPS, rescan)
+    truth = rescan()
+
+    query = Query("sum", last=last, ci=0.95)
+    cold_s = _best_of(REPS, lambda: execute(sampler, query))
+    estimate = execute(sampler, query).estimate
+
+    sample = sampler.sample()
+    exec_s = _best_of(
+        REPS, lambda: run_aggregate(sample, query, True, now=t_end)
+    )
+
+    sampler.query(query)
+    cached_s = _best_of(REPS, lambda: sampler.query(query))
+
+    # Decayed total on the decay sketch vs its exact discounted rescan.
+    rate = 3.0 / span
+    decayed = make_sampler("time_decay", k=k, decay_rate=rate, rng=seed)
+    decayed.update_many(keys, values=values, times=times)
+
+    def decayed_rescan():
+        return float((values * np.exp(-rate * (t_end - times))).sum())
+
+    decay_rescan_s = _best_of(REPS, decayed_rescan)
+    decay_query = Query("sum", decay=rate, ci=0.95)
+    decay_sample = decayed.sample()
+    decay_exec_s = _best_of(
+        REPS,
+        lambda: run_aggregate(decay_sample, decay_query, True, now=t_end),
+    )
+    decay_estimate = execute(decayed, decay_query).estimate
+    decay_truth = decayed_rescan()
+
+    return {
+        "timestamp": datetime.datetime.now(datetime.timezone.utc).isoformat(),
+        "python": platform.python_version(),
+        "machine": platform.machine(),
+        "n": n,
+        "k": k,
+        "last": last,
+        "state_rows": len(sample.keys),
+        "ingest_s": round(ingest_s, 6),
+        "rescan_s": round(rescan_s, 9),
+        "windowed_exec_s": round(exec_s, 9),
+        "windowed_cold_s": round(cold_s, 9),
+        "windowed_cached_s": round(cached_s, 9),
+        "exec_speedup": round(rescan_s / max(exec_s, 1e-12), 2),
+        "cached_speedup": round(rescan_s / max(cached_s, 1e-12), 2),
+        "windowed_rel_err": round(abs(estimate - truth) / truth, 6),
+        "decay_rescan_s": round(decay_rescan_s, 9),
+        "decay_exec_s": round(decay_exec_s, 9),
+        "decay_exec_speedup": round(
+            decay_rescan_s / max(decay_exec_s, 1e-12), 2
+        ),
+        "decay_rel_err": round(
+            abs(decay_estimate - decay_truth) / decay_truth, 6
+        ),
+        "exec_speedup_floor": EXEC_SPEEDUP,
+        "cache_speedup_floor": CACHE_SPEEDUP,
+        "rel_tol": REL_TOL,
+    }
+
+
+def append_trajectory(record: dict) -> pathlib.Path:
+    RESULTS_DIR.mkdir(exist_ok=True)
+    if RESULTS_PATH.exists():
+        data = json.loads(RESULTS_PATH.read_text())
+    else:
+        data = []
+    data.append(record)
+    RESULTS_PATH.write_text(json.dumps(data, indent=2) + "\n")
+    return RESULTS_PATH
+
+
+def print_report(record: dict) -> None:
+    print(
+        f"n={record['n']:,} k={record['k']} last={record['last']:g} "
+        f"state={record['state_rows']} rows"
+    )
+    print(f"  ingest             {record['ingest_s'] * 1e3:10.2f} ms")
+    print(f"  rescan (exact)     {record['rescan_s'] * 1e6:10.1f} us")
+    print(
+        f"  windowed (exec)    {record['windowed_exec_s'] * 1e6:10.1f} us  "
+        f"({record['exec_speedup']:.1f}x faster, "
+        f"rel err {record['windowed_rel_err']:.3%})"
+    )
+    print(
+        f"  windowed (cold)    {record['windowed_cold_s'] * 1e6:10.1f} us  "
+        "(incl. sample materialization)"
+    )
+    print(
+        f"  windowed (cached)  {record['windowed_cached_s'] * 1e6:10.1f} us  "
+        f"({record['cached_speedup']:.0f}x faster)"
+    )
+    print(
+        f"  decayed (exec)     {record['decay_exec_s'] * 1e6:10.1f} us  "
+        f"vs rescan {record['decay_rescan_s'] * 1e6:.1f} us "
+        f"({record['decay_exec_speedup']:.1f}x, "
+        f"rel err {record['decay_rel_err']:.3%})"
+    )
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--n", type=int, default=1_000_000,
+                        help="stream length (default 1M)")
+    parser.add_argument("--k", type=int, default=4096,
+                        help="sampler size (default 4096)")
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--enforce-floor", action="store_true",
+                        help="assert the speedup/accuracy floors at any scale")
+    args = parser.parse_args()
+
+    record = run(args.n, args.k, args.seed)
+    enforceable = args.enforce_floor or args.n >= 1_000_000
+    record["floor_enforced"] = enforceable
+    path = append_trajectory(record)
+    print_report(record)
+    print(f"\nwrote {path}")
+
+    if enforceable:
+        assert record["exec_speedup"] >= EXEC_SPEEDUP, (
+            f"windowed execution pass only {record['exec_speedup']:.1f}x "
+            f"faster than the exact rescan (floor {EXEC_SPEEDUP:.0f}x)"
+        )
+        assert record["cached_speedup"] >= CACHE_SPEEDUP, (
+            f"cached windowed re-poll only {record['cached_speedup']:.1f}x "
+            f"faster than the rescan (floor {CACHE_SPEEDUP:.0f}x)"
+        )
+        assert record["windowed_rel_err"] <= REL_TOL, (
+            f"windowed estimate off truth by "
+            f"{record['windowed_rel_err']:.3%} (tolerance {REL_TOL:.0%})"
+        )
+        print(
+            f"floors OK: exec {record['exec_speedup']:.1f}x >= "
+            f"{EXEC_SPEEDUP:.0f}x; cached {record['cached_speedup']:.0f}x "
+            f">= {CACHE_SPEEDUP:.0f}x; rel err "
+            f"{record['windowed_rel_err']:.3%} <= {REL_TOL:.0%}"
+        )
+    else:
+        print(f"[floors not enforced at n={args.n:,}]")
+
+
+if __name__ == "__main__":
+    main()

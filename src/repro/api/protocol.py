@@ -71,6 +71,14 @@ _NO_SAMPLE_REASON = (
     "does not declare query capabilities (no Sample-backed query execution)"
 )
 
+#: Gap reason for the windowed-query default: a sampler that records no
+#: per-item arrival times cannot scope estimation to a time window or
+#: discount by age.
+_NO_TIME_REASON = (
+    "records no per-item arrival times; windowed/decayed queries "
+    "(window=/last=/decay=) need a time-indexed sampler"
+)
+
 
 def query_support(*supported: str, **gaps: str) -> dict[str, bool | str]:
     """Build a complete per-aggregate capability table.
@@ -236,6 +244,12 @@ class StreamSampler(abc.ABC):
     #: deterministic counters) set a reason string instead, and the query
     #: layer refuses ``ci=`` requests with that reason.
     query_variance: ClassVar[bool | str] = True
+    #: Whether ``query(..., window=/last=/decay=)`` can scope estimation
+    #: by arrival time.  ``True`` requires ``sample()`` to attach a
+    #: ``times`` column (the planner's time pass masks and discounts by
+    #: it); samplers without a time notion keep the default reason string
+    #: and the planner refuses time-scoped queries with it.
+    query_windowed: ClassVar[bool | str] = _NO_TIME_REASON
     #: Whether :meth:`resize` can change the sketch budget ``k`` online
     #: while keeping the estimators unbiased (shrink folds the retained
     #: set under a lowered threshold; grow caps the threshold at its

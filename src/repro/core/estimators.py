@@ -40,6 +40,9 @@ __all__ = [
     "weighted_quantile",
     "quantile_interval",
     "inclusion_probabilities",
+    "canonical_times",
+    "time_window_mask",
+    "decay_factors",
 ]
 
 
@@ -257,3 +260,64 @@ def inclusion_probabilities(family, thresholds, weights=1.0) -> np.ndarray:
     thresholds = np.asarray(thresholds, dtype=float)
     weights = np.broadcast_to(np.asarray(weights, dtype=float), thresholds.shape)
     return np.asarray(family.pseudo_inclusion(thresholds, weights), dtype=float)
+
+
+# ----------------------------------------------------------------------
+# Time-column canonicalization (shared by the windowed query path)
+# ----------------------------------------------------------------------
+def canonical_times(times, size: int) -> np.ndarray:
+    """Canonicalize a sampler's time column to a float array of ``size``.
+
+    ``None`` (sampler recorded no times) becomes an all-``NaN`` column so
+    the windowed masks below uniformly exclude untimed rows instead of
+    every call site special-casing the missing column.
+    """
+    if times is None:
+        return np.full(size, np.nan)
+    arr = np.asarray(times, dtype=float)
+    if arr.size != size:
+        raise ValueError("time column length must match the sample")
+    return arr
+
+
+def time_window_mask(times, lo: float | None, hi: float | None) -> np.ndarray:
+    """Boolean mask for arrival times in the half-open window ``(lo, hi]``.
+
+    The half-open convention matches the sliding-window sampler's
+    ``(now - w, now]`` retention contract, so a query window aligned with
+    the sampler's own window selects exactly the retained items.  ``NaN``
+    times (rows with no recorded arrival) are always excluded.
+
+    Parameters
+    ----------
+    times:
+        Arrival-time column (may contain NaN).
+    lo, hi:
+        Window bounds; ``None`` leaves that side unbounded.
+    """
+    times = np.asarray(times, dtype=float)
+    mask = ~np.isnan(times)
+    if lo is not None:
+        mask &= times > lo
+    if hi is not None:
+        mask &= times <= hi
+    return mask
+
+
+def decay_factors(times, decay: float, now: float) -> np.ndarray:
+    """Exponential decay multipliers ``exp(-decay * (now - t_i))``.
+
+    The duality of Section 2.9: a decayed total is just the HT total of
+    decay-discounted values, so the query layer multiplies the value
+    column by these factors and reuses the ordinary estimators.  Ages are
+    clipped at zero so items stamped (slightly) ahead of ``now`` — e.g.
+    merge skew across shards — are never *inflated*; NaN times propagate
+    NaN (the windowed mask has already excluded them).
+    """
+    times = np.asarray(times, dtype=float)
+    if decay < 0.0:
+        raise ValueError("decay rate must be >= 0")
+    ages = now - times
+    with np.errstate(invalid="ignore"):
+        ages = np.where(ages < 0.0, 0.0, ages)
+    return np.exp(-decay * ages)

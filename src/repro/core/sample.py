@@ -59,6 +59,13 @@ class Sample:
         Priority family; defaults to Uniform(0, 1).
     population_size:
         Optional known ``n`` (needed by e.g. Kendall's tau).
+    times:
+        Optional arrival-time column.  Time-indexed samplers (sliding
+        window, exponential decay, bottom-k fed ``times=``) attach it so
+        the query layer can answer windowed/decayed aggregates
+        (``Query(last=..., decay=..., now=...)``); ``None`` for samplers
+        with no time notion.  ``NaN`` marks rows whose arrival time was
+        never recorded — windowed masks exclude them.
     """
 
     keys: list
@@ -68,12 +75,15 @@ class Sample:
     thresholds: np.ndarray
     family: PriorityFamily = field(default_factory=Uniform01Priority)
     population_size: int | None = None
+    times: np.ndarray | None = None
 
     def __post_init__(self) -> None:
         self.values = np.asarray(self.values, dtype=float)
         self.weights = np.asarray(self.weights, dtype=float)
         self.priorities = np.asarray(self.priorities, dtype=float)
         self.thresholds = np.asarray(self.thresholds, dtype=float)
+        if self.times is not None:
+            self.times = np.asarray(self.times, dtype=float)
         sizes = {
             len(self.keys),
             self.values.size,
@@ -81,6 +91,8 @@ class Sample:
             self.priorities.size,
             self.thresholds.size,
         }
+        if self.times is not None:
+            sizes.add(self.times.size)
         if len(sizes) != 1:
             raise ValueError("all Sample columns must have equal length")
 
@@ -136,6 +148,7 @@ class Sample:
             thresholds=self.thresholds[mask],
             family=self.family,
             population_size=self.population_size,
+            times=self.times[mask] if self.times is not None else None,
         )
 
     # ------------------------------------------------------------------

@@ -1,0 +1,188 @@
+"""Mergeable windowed moments: merge/delete identities and an EH sketch.
+
+The windowed query path (``Query(..., window=..., last=..., decay=...)``)
+needs second-moment bookkeeping that can be *combined* (across shards or
+histogram buckets) and *subtracted* (expiring the old side of a sliding
+window).  Both operations have exact closed forms on the summary
+``(n, mean, m2)`` where ``m2 = sum_i (x_i - mean)^2``:
+
+* merge:    ``m2 = m2_a + m2_b + (n_a n_b / (n_a + n_b)) (mu_a - mu_b)^2``
+* delete:   ``mu = (mu_ab n_ab - mu_b n_b) / n_a`` and
+            ``m2_a = m2_ab - m2_b - (n_a n_b / n_ab) (mu_a - mu_b)^2``
+
+(the deletion identity is the merge identity solved for the remaining
+part).  :class:`ExponentialHistogram` stacks these identities into the
+classic sliding-window sketch (Datar et al. bucket discipline, as used by
+the VarEH exemplar in PredictingWithSketches): per-bucket moments, merged
+pairwise with exponentially growing capacities, so a window mean/variance
+query touches O(log n / eps) buckets and the oldest (partially expired)
+bucket bounds the approximation error.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = [
+    "Moments",
+    "merged_moments",
+    "deleted_moments",
+    "ExponentialHistogram",
+]
+
+
+@dataclass(frozen=True)
+class Moments:
+    """Count / mean / centered-second-moment summary of a value multiset.
+
+    ``m2`` is the *sum* of squared deviations (``n * variance``), the form
+    in which the merge and deletion identities are exact.
+    """
+
+    n: float
+    mean: float
+    m2: float
+
+    @classmethod
+    def empty(cls) -> "Moments":
+        """The identity element for :func:`merged_moments`."""
+        return cls(0.0, 0.0, 0.0)
+
+    @classmethod
+    def of(cls, values) -> "Moments":
+        """Summarize a value array."""
+        arr = np.asarray(values, dtype=float)
+        if arr.size == 0:
+            return cls.empty()
+        mu = float(arr.mean())
+        return cls(float(arr.size), mu, float(np.sum((arr - mu) ** 2)))
+
+    @property
+    def variance(self) -> float:
+        """Population variance ``m2 / n`` (0 for empty/singleton)."""
+        if self.n <= 0.0:
+            return 0.0
+        return max(self.m2, 0.0) / self.n
+
+    @property
+    def total(self) -> float:
+        """The sum of the summarized values."""
+        return self.n * self.mean
+
+
+def merged_moments(a: Moments, b: Moments) -> Moments:
+    """Exact moments of the union of two disjoint multisets."""
+    if a.n == 0.0:
+        return b
+    if b.n == 0.0:
+        return a
+    n = a.n + b.n
+    delta = a.mean - b.mean
+    mean = (a.mean * a.n + b.mean * b.n) / n
+    m2 = a.m2 + b.m2 + (a.n * b.n / n) * delta * delta
+    return Moments(n, mean, m2)
+
+
+def deleted_moments(whole: Moments, part: Moments) -> Moments:
+    """Exact moments of ``whole`` minus the sub-multiset ``part``.
+
+    Inverse of :func:`merged_moments`: expiring the old side of a sliding
+    window without rescanning the survivors.
+    """
+    n = whole.n - part.n
+    if n < 0.0:
+        raise ValueError("cannot delete more items than the whole contains")
+    if n == 0.0:
+        return Moments.empty()
+    mean = (whole.mean * whole.n - part.mean * part.n) / n
+    delta = mean - part.mean
+    m2 = whole.m2 - part.m2 - (n * part.n / whole.n) * delta * delta
+    return Moments(n, mean, max(m2, 0.0))
+
+
+class ExponentialHistogram:
+    """Sliding-window mean/variance sketch over a timestamped stream.
+
+    Maintains time-ordered buckets of :class:`Moments`; every arrival
+    opens a singleton bucket and buckets are merged oldest-pair-first
+    whenever more than ``k = ceil(1/eps) + 1`` share a count level, so
+    bucket counts grow geometrically and memory is O(log(n)/eps).  A
+    window query drops buckets that expired entirely and includes the
+    straddling bucket at most once — its count bounds the relative error,
+    which the capacity invariant keeps below ``eps`` per moment.
+
+    Parameters
+    ----------
+    eps:
+        Target relative accuracy in (0, 1); smaller keeps more buckets.
+    """
+
+    __slots__ = ("_eps", "_capacity", "_buckets")
+
+    def __init__(self, eps: float = 0.05) -> None:
+        if not 0.0 < eps < 1.0:
+            raise ValueError("eps must be in (0, 1)")
+        self._eps = float(eps)
+        self._capacity = int(np.ceil(1.0 / eps)) + 1
+        # Each bucket: [newest_time, Moments]; list ordered oldest-first.
+        self._buckets: list[list] = []
+
+    @property
+    def eps(self) -> float:
+        """Configured relative-accuracy target."""
+        return self._eps
+
+    def __len__(self) -> int:
+        return len(self._buckets)
+
+    def add(self, value: float, time: float) -> None:
+        """Ingest one timestamped value (times must be non-decreasing)."""
+        if self._buckets and time < self._buckets[-1][0]:
+            raise ValueError("ExponentialHistogram requires non-decreasing times")
+        self._buckets.append([float(time), Moments(1.0, float(value), 0.0)])
+        self._compact()
+
+    def _compact(self) -> None:
+        # Merge oldest pairs at any count level that exceeds capacity.
+        # Scanning newest-to-oldest lets one pass settle cascades.
+        changed = True
+        while changed:
+            changed = False
+            counts: dict[int, list[int]] = {}
+            for idx, (_, m) in enumerate(self._buckets):
+                counts.setdefault(int(m.n).bit_length(), []).append(idx)
+            for level_indices in counts.values():
+                if len(level_indices) > self._capacity:
+                    i, j = level_indices[0], level_indices[1]
+                    newest_time = max(self._buckets[i][0], self._buckets[j][0])
+                    merged = merged_moments(self._buckets[i][1], self._buckets[j][1])
+                    self._buckets[i] = [newest_time, merged]
+                    del self._buckets[j]
+                    changed = True
+                    break
+
+    def expire(self, horizon: float) -> None:
+        """Drop buckets whose newest item is at or before ``horizon``."""
+        keep = 0
+        while keep < len(self._buckets) and self._buckets[keep][0] <= horizon:
+            keep += 1
+        if keep:
+            del self._buckets[:keep]
+
+    def window_moments(self, lo: float, hi: float | None = None) -> Moments:
+        """Approximate moments of values with time in ``(lo, hi]``.
+
+        Buckets are included when their newest item falls in the window;
+        only the oldest straddling bucket can over/under-count, which is
+        what the capacity invariant bounds.
+        """
+        out = Moments.empty()
+        for newest, m in self._buckets:
+            if newest <= lo:
+                continue
+            if hi is not None and newest > hi:
+                break
+            out = merged_moments(out, m)
+        return out

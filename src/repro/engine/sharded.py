@@ -138,6 +138,10 @@ class ShardedSampler(StreamSampler):
         "per-spec: engine instances mirror the sharded class's variance "
         "declaration"
     )
+    query_windowed = (
+        "per-spec: engine instances mirror the sharded class's windowed "
+        "declaration"
+    )
 
     #: The class every shard is an instance of; the estimator-facade
     #: attributes (``default_estimate_kind``, ``legacy_estimate_param``,
@@ -188,6 +192,7 @@ class ShardedSampler(StreamSampler):
         # for the hash-coordinated sketches) the single-instance answers.
         self.query_capabilities = dict(self._shard_cls.query_capabilities)
         self.query_variance = self._shard_cls.query_variance
+        self.query_windowed = self._shard_cls.query_windowed
         self.resizable = bool(getattr(self._shard_cls, "resizable", False))
         self._shards = [self._build_shard(i) for i in range(self.n_shards)]
         self._reduced_cache: StreamSampler | None = None

@@ -12,7 +12,7 @@ matrix in ``docs/architecture.md`` (pinned against drift by
 
 from __future__ import annotations
 
-from ..api.protocol import QUERY_AGGREGATES, _NO_SAMPLE_REASON
+from ..api.protocol import _NO_SAMPLE_REASON, _NO_TIME_REASON, QUERY_AGGREGATES
 from ..api.registry import available_samplers, get_sampler_class
 
 __all__ = ["capability_table", "capability_markdown", "QUERY_AGGREGATES"]
@@ -29,7 +29,10 @@ def capability_table() -> dict[str, dict[str, bool | str]]:
     Each entry is ``True`` (supported) or the class's declared reason
     string.  Every registered name appears, including the offline designs
     and the sharded engine (whose class-level row explains that instances
-    mirror their shard class).
+    mirror their shard class).  Beyond the per-aggregate entries, each
+    row carries a ``"windowed"`` entry — whether time-scoped queries
+    (``window=``/``last=``/``decay=``) are answered — read from the
+    class's ``query_windowed`` declaration.
     """
     table: dict[str, dict[str, bool | str]] = {}
     for name in available_samplers():
@@ -37,7 +40,9 @@ def capability_table() -> dict[str, dict[str, bool | str]]:
         caps = getattr(cls, "query_capabilities", None)
         if caps is None:
             caps = {agg: _UNDECLARED for agg in QUERY_AGGREGATES}
-        table[name] = {agg: caps.get(agg, _UNDECLARED) for agg in QUERY_AGGREGATES}
+        row = {agg: caps.get(agg, _UNDECLARED) for agg in QUERY_AGGREGATES}
+        row["windowed"] = getattr(cls, "query_windowed", _NO_TIME_REASON)
+        table[name] = row
     return table
 
 
@@ -52,13 +57,14 @@ def capability_markdown() -> str:
     """
     table = capability_table()
     reasons: dict[str, int] = {}
+    columns = QUERY_AGGREGATES + ("windowed",)
     lines = [
-        "| sampler | " + " | ".join(QUERY_AGGREGATES) + " | variance/CI |",
-        "|---|" + "---|" * (len(QUERY_AGGREGATES) + 1),
+        "| sampler | " + " | ".join(columns) + " | variance/CI |",
+        "|---|" + "---|" * (len(columns) + 1),
     ]
     for name, row in table.items():
         cells = []
-        for agg in QUERY_AGGREGATES:
+        for agg in columns:
             entry = row[agg]
             if entry is True:
                 cells.append("yes")

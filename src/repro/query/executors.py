@@ -29,7 +29,39 @@ from .variance import (
     total_variance_terms,
 )
 
-__all__ = ["CompiledSample", "compile_sample", "run_aggregate"]
+__all__ = [
+    "CompiledSample",
+    "compile_sample",
+    "run_aggregate",
+    "resolve_window_bounds",
+]
+
+
+def resolve_window_bounds(
+    query: Query, now: float | None
+) -> tuple[float | None, float | None]:
+    """The query's time window as absolute ``(lo, hi)`` bounds.
+
+    ``window=(t0, t1)`` passes through; ``last=W`` anchors to ``now``
+    as ``(now - W, now]``; a decay-only query is unbounded (``None`` on
+    both sides — every *retained* timed row contributes, discounted).
+
+    Raises
+    ------
+    ValueError
+        For a relative (``last=``) window when ``now`` could not be
+        resolved from the query, the sampler, or the sample itself.
+    """
+    if query.window is not None:
+        return query.window
+    if query.last is not None:
+        if now is None:
+            raise ValueError(
+                "cannot resolve now= for a last= window: pass now= "
+                "explicitly or query a sampler that tracks its latest time"
+            )
+        return now - query.last, now
+    return None, None
 
 
 @dataclass
@@ -48,6 +80,9 @@ class CompiledSample:
     probs: np.ndarray
     mask: np.ndarray
     labels: np.ndarray | list | None
+    #: Per-row exponential discount factors ``exp(-decay * age)`` in
+    #: canonical order, or ``None`` for undecayed queries.
+    decays: np.ndarray | None = None
 
     _keys_canonical: list | None = None
 
@@ -84,13 +119,56 @@ def _row_aligned(spec_field, keys: list, what: str):
     return seq
 
 
-def compile_sample(sample: Sample, query: Query) -> CompiledSample:
+def _time_pass(
+    sample: Sample, query: Query, now: float | None
+) -> tuple[np.ndarray, np.ndarray | None]:
+    """The time-scoped restriction: a window mask and decay factors.
+
+    Resolves ``now`` (query ``now=`` wins, then the planner-supplied
+    sampler clock, then the newest recorded time in the sample itself),
+    converts the window spec to absolute bounds, and returns the mask
+    over ``(lo, hi]`` — untimed (NaN) rows always excluded — plus the
+    per-row discount column when ``decay=`` was requested.
+    """
+    if sample.times is None:
+        raise ValueError(
+            "sample carries no time column; windowed/decayed queries need "
+            "a time-indexed sampler (sliding_window, time_decay, or "
+            "bottom_k fed time= values)"
+        )
+    times = estimators.canonical_times(sample.times, len(sample.keys))
+    if query.now is not None:
+        now = float(query.now)
+    if now is None and (query.last is not None or query.decay is not None):
+        finite = times[~np.isnan(times)]
+        if finite.size == 0:
+            raise ValueError(
+                "cannot resolve now=: the sample has no timed rows; pass "
+                "now= explicitly"
+            )
+        now = float(finite.max())
+    lo, hi = resolve_window_bounds(query, now)
+    mask = estimators.time_window_mask(times, lo, hi)
+    decays = (
+        estimators.decay_factors(times, query.decay, now)
+        if query.decay is not None
+        else None
+    )
+    return mask, decays
+
+
+def compile_sample(
+    sample: Sample, query: Query, now: float | None = None
+) -> CompiledSample:
     """Resolve columns on the sample's native order, then canonicalize.
 
     ``where`` masks and ``group_by`` labels are evaluated (or validated)
     against the rows as the sampler emitted them — precomputed columns
     stay aligned — and only then is everything permuted into the stable
-    priority order that makes reductions order-independent.
+    priority order that makes reductions order-independent.  Time-scoped
+    queries fold their window restriction into the same row mask (and
+    attach decay factors), so every aggregate inherits the time pass
+    with no per-executor special-casing.
     """
     n = len(sample.keys)
     values = _column(query, sample)
@@ -110,6 +188,10 @@ def compile_sample(sample: Sample, query: Query) -> CompiledSample:
                 f"precomputed where mask must align with the sample rows "
                 f"({mask.size} entries for {n} rows)"
             )
+    decays = None
+    if query.is_time_scoped:
+        time_mask, decays = _time_pass(sample, query, now)
+        mask = mask & time_mask
     labels = (
         None
         if query.group_by is None
@@ -138,6 +220,7 @@ def compile_sample(sample: Sample, query: Query) -> CompiledSample:
         probs=probs[order],
         mask=mask[order],
         labels=labels,
+        decays=None if decays is None else decays[order],
     )
 
 
@@ -242,13 +325,20 @@ def _grouped_totals(
 
 
 def _total_like(aggregate, compiled, query, with_variance, level):
-    """sum / count / distinct: HT totals of a per-row contribution."""
+    """sum / count / distinct: HT totals of a per-row contribution.
+
+    With ``decay=``, the contribution column is discounted per row —
+    ``sum`` becomes the decayed total of §2.9's duality, ``count`` the
+    decayed arrival count (the effective population of an exponentially
+    weighted window).  ``distinct`` never sees decay (spec-rejected).
+    """
     mask = compiled.mask
-    values = (
-        compiled.values[mask]
-        if aggregate == "sum"
-        else np.ones(int(mask.sum()))
-    )
+    if aggregate == "sum":
+        values = compiled.values[mask]
+    else:
+        values = np.ones(int(mask.sum()))
+    if compiled.decays is not None:
+        values = values * compiled.decays[mask]
     probs = compiled.probs[mask]
     est_terms, var_terms = _sum_terms(values, probs, with_variance)
     est = float(est_terms.sum())
@@ -262,41 +352,56 @@ def _total_like(aggregate, compiled, query, with_variance, level):
     return _scalar_result(aggregate, est, var, level, int(mask.sum()), groups)
 
 
-def _mean_of(values, probs, with_variance, level, aggregate="mean"):
+def _mean_of(values, probs, with_variance, level, denominators=None):
+    """Hajek ratio mean; with ``denominators`` (decay factors) it is the
+    exponentially-weighted mean ``sum(d v / p) / sum(d / p)``."""
     if values.size == 0:
         return QueryResult(
-            aggregate=aggregate,
+            aggregate="mean",
             estimate=float("nan"),
             level=level,
             sample_size=0,
         )
-    est = estimators.hajek_mean(values, probs)
+    x = np.ones_like(values) if denominators is None else denominators
+    den_total = float(np.sum(x / probs))
+    if den_total == 0.0:
+        # Every surviving row's discount underflowed: no mass, no mean.
+        return QueryResult(
+            aggregate="mean",
+            estimate=float("nan"),
+            level=level,
+            sample_size=int(values.size),
+        )
+    est = float(np.sum(values * x / probs)) / den_total
     var = (
-        estimators.hajek_mean_variance_estimate(values, probs)
+        estimators.ht_ratio_variance_estimate(values * x, x, probs)
         if with_variance
         else None
     )
-    return _scalar_result(aggregate, est, var, level, int(values.size))
+    return _scalar_result("mean", est, var, level, int(values.size))
 
 
 def _mean(compiled, query, with_variance, level):
     mask = compiled.mask
     values = compiled.values[mask]
     probs = compiled.probs[mask]
+    decays = None if compiled.decays is None else compiled.decays[mask]
     groups = None
     if compiled.labels is not None:
         inv, uniques = _factorize(_select(compiled.labels, mask))
         # Vectorized grouped Hajek: group numerators/denominators by
         # bincount, then linearized residual variance in one more pass.
+        # With decay, each row carries mass d_i/p_i instead of 1/p_i.
         n_groups = len(uniques)
-        num = np.bincount(inv, weights=values / probs, minlength=n_groups)
-        den = np.bincount(inv, weights=1.0 / probs, minlength=n_groups)
+        x = np.ones_like(values) if decays is None else decays
+        num = np.bincount(inv, weights=values * x / probs, minlength=n_groups)
+        den = np.bincount(inv, weights=x / probs, minlength=n_groups)
         sizes = np.bincount(inv, minlength=n_groups)
         with np.errstate(invalid="ignore", divide="ignore"):
             means = num / den
         if with_variance:
             var_terms = mean_residual_variance_terms(
-                values, probs, means, den, inv
+                values * x, probs, means, den, inv, denominators=x
             )
             group_vars = np.bincount(inv, weights=var_terms, minlength=n_groups)
         groups = {
@@ -309,7 +414,7 @@ def _mean(compiled, query, with_variance, level):
             )
             for g, label in enumerate(uniques)
         }
-    overall = _mean_of(values, probs, with_variance, level)
+    overall = _mean_of(values, probs, with_variance, level, decays)
     if groups is None:
         return overall
     return QueryResult(
@@ -362,6 +467,8 @@ def _topk(compiled, query, with_variance, level):
         key for key, keep in zip(compiled.keys_canonical(), mask) if keep
     ]
     values = compiled.values[mask]
+    if compiled.decays is not None:
+        values = values * compiled.decays[mask]
     probs = compiled.probs[mask]
     groups = None
     if compiled.labels is not None:
@@ -454,7 +561,7 @@ _EXECUTORS = {
 
 
 def run_aggregate(
-    sample: Sample, query: Query, with_variance: bool
+    sample: Sample, query: Query, with_variance: bool, now: float | None = None
 ) -> QueryResult:
     """Compile the sample and run the query's aggregate over it.
 
@@ -468,7 +575,12 @@ def run_aggregate(
         Whether the sampler's probabilities license the HT plug-in
         variance (``query_variance is True``); when False, variance,
         stderr and CI fields come back ``None``.
+    now:
+        Reference time for relative windows and decay ages when the
+        query itself carries no ``now=`` — the planner passes the
+        sampler's own clock; the newest timed sample row is the final
+        fallback.
     """
-    compiled = compile_sample(sample, query)
+    compiled = compile_sample(sample, query, now)
     level = query.ci
     return _EXECUTORS[query.aggregate](compiled, query, with_variance, level)

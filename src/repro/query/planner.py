@@ -18,9 +18,9 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-from ..api.protocol import _NO_SAMPLE_REASON, QUERY_AGGREGATES
+from ..api.protocol import _NO_SAMPLE_REASON, _NO_TIME_REASON, QUERY_AGGREGATES
 from ..core.sample import Sample
-from .executors import run_aggregate
+from .executors import resolve_window_bounds, run_aggregate
 from .spec import Query, QueryCapabilityError, QueryResult
 
 __all__ = ["QueryPlan", "plan", "execute"]
@@ -34,9 +34,14 @@ class QueryPlan:
     sampler_label: str
     with_variance: bool
 
-    def run(self, sample: Sample) -> QueryResult:
-        """Execute the planned aggregate over a finalized sample."""
-        return run_aggregate(sample, self.query, self.with_variance)
+    def run(self, sample: Sample, now: float | None = None) -> QueryResult:
+        """Execute the planned aggregate over a finalized sample.
+
+        ``now`` is the sampler clock the planner resolved for time-scoped
+        queries (``None`` otherwise, or when the sample's own newest time
+        should anchor relative windows and decay ages).
+        """
+        return run_aggregate(sample, self.query, self.with_variance, now)
 
 
 def _sampler_label(sampler) -> str:
@@ -86,6 +91,13 @@ def plan(sampler, query: Query) -> QueryPlan:
             f"{label} does not support the {query.aggregate!r} aggregate: "
             f"{entry} ({hint})"
         )
+    if query.is_time_scoped:
+        windowed_flag = getattr(sampler, "query_windowed", _NO_TIME_REASON)
+        if windowed_flag is not True:
+            raise QueryCapabilityError(
+                f"{label} does not support time-scoped queries "
+                f"(window=/last=/decay=): {windowed_flag}"
+            )
     variance_flag = getattr(sampler, "query_variance", True)
     with_variance = variance_flag is True
     if query.ci is not None and not with_variance:
@@ -107,7 +119,28 @@ def execute(sampler, query: Query) -> QueryResult:
     a set of answers was computed against one mutation epoch.
     """
     version = getattr(sampler, "state_version", None)
-    result = plan(sampler, query).run(sampler.sample())
+    query_plan = plan(sampler, query)
+    now = query.now
+    if query.is_time_scoped:
+        if now is None:
+            now = getattr(sampler, "last_time", None)
+        # Retention gate: a sampler that deterministically expires rows
+        # (sliding window) cannot answer about times past its horizon —
+        # the expired rows are gone, not down-weighted, so any estimate
+        # reaching before the horizon would be silently truncated.
+        horizon = getattr(sampler, "retention_horizon", None)
+        if horizon is not None:
+            try:
+                lo, _ = resolve_window_bounds(query, now)
+            except ValueError:
+                lo = None  # unresolvable now: the executor raises below
+            if lo is not None and lo < horizon:
+                raise QueryCapabilityError(
+                    f"{query_plan.sampler_label} retains only times after "
+                    f"{horizon!r}; the requested window reaches back to "
+                    f"{lo!r} — expired rows cannot be estimated"
+                )
+    result = query_plan.run(sampler.sample(), now=now)
     object.__setattr__(result, "state_version", version)
     if result.groups is not None:
         for sub in result.groups.values():

@@ -67,6 +67,24 @@ class Query:
         Confidence level in (0, 1) for normal-approximation intervals;
         requires the sampler to declare a genuine variance story
         (``query_variance is True``).
+    window:
+        Absolute time window ``(t0, t1]``: restrict estimation to rows
+        whose arrival time falls in the half-open interval.  Requires a
+        time-indexed sampler (``query_windowed is True``).  Mutually
+        exclusive with ``last``.
+    last:
+        Relative window: the trailing ``last`` time units, i.e.
+        ``(now - last, now]`` with ``now`` resolved at execution.
+    decay:
+        Exponential decay rate: each row's contribution is discounted by
+        ``exp(-decay * (now - t_i))`` (§2.9 duality — a decayed total is
+        the HT total of discounted values).  Valid for ``sum``/``count``/
+        ``mean``/``topk``; combines freely with ``window``/``last``.
+    now:
+        Reference time for ``last`` windows and ``decay`` ages.  Defaults
+        to the sampler's own clock (its latest observed time) at
+        execution, so dashboards can omit it; pass it explicitly to pin
+        an as-of time (and hence a distinct cache fingerprint).
 
     Examples
     --------
@@ -85,6 +103,10 @@ class Query:
     k: int | None = None
     q: float | None = None
     ci: float | None = None
+    window: tuple[float, float] | None = None
+    last: float | None = None
+    decay: float | None = None
+    now: float | None = None
 
     def __post_init__(self) -> None:
         if self.aggregate not in QUERY_AGGREGATES:
@@ -108,6 +130,55 @@ class Query:
             raise ValueError(
                 'value= must be None, "value", "weight", or a callable'
             )
+        if self.window is not None:
+            if self.last is not None:
+                raise ValueError(
+                    "pass window=(t0, t1) or last=W, not both"
+                )
+            try:
+                lo, hi = self.window
+            except (TypeError, ValueError):
+                raise ValueError(
+                    "window= must be a (t0, t1) pair of times"
+                ) from None
+            lo, hi = float(lo), float(hi)
+            if not lo < hi:
+                raise ValueError("window= requires t0 < t1")
+            object.__setattr__(self, "window", (lo, hi))
+        if self.last is not None:
+            object.__setattr__(self, "last", float(self.last))
+            if not self.last > 0.0:
+                raise ValueError("last= must be a positive duration")
+        if self.decay is not None:
+            object.__setattr__(self, "decay", float(self.decay))
+            if not self.decay > 0.0:
+                raise ValueError("decay= must be a positive rate")
+            if self.aggregate in ("distinct", "quantile"):
+                raise ValueError(
+                    f"decay= is not supported for the {self.aggregate!r} "
+                    "aggregate (decayed contributions have no "
+                    f"{self.aggregate} interpretation); use window=/last= "
+                    "to time-restrict instead"
+                )
+        if self.now is not None:
+            object.__setattr__(self, "now", float(self.now))
+            if not self.is_time_scoped:
+                raise ValueError(
+                    "now= is only meaningful with window=, last=, or decay="
+                )
+
+    @property
+    def is_time_scoped(self) -> bool:
+        """Whether this query restricts or discounts rows by arrival time.
+
+        Time-scoped queries need a time-indexed sampler: the planner gates
+        them on the per-class ``query_windowed`` capability.
+        """
+        return (
+            self.window is not None
+            or self.last is not None
+            or self.decay is not None
+        )
 
     def fingerprint(self) -> tuple:
         """A hashable cache key for this query.
@@ -129,6 +200,13 @@ class Query:
             self.k,
             self.q,
             self.ci,
+            # Time dimensions fingerprint by value: a decayed/windowed
+            # answer is a function of (bounds, rate, as-of time), so two
+            # polls differing only in now= can never share a cache entry.
+            self.window,
+            self.last,
+            self.decay,
+            self.now,
         )
 
 

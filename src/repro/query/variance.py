@@ -46,15 +46,21 @@ def mean_residual_variance_terms(
     group_means: np.ndarray,
     group_denominators: np.ndarray,
     inv: np.ndarray,
+    denominators: np.ndarray | None = None,
 ) -> np.ndarray:
     """Per-row terms of the grouped Hajek mean's linearized variance.
 
     Each row contributes ``e_i^2 (1 - p_i) / p_i^2`` with residual
-    ``e_i = (x_i - mean_g) / N_hat_g`` against its *own* group's mean and
-    HT size — the grouped form of
-    :func:`repro.core.estimators.hajek_mean_variance_estimate`.
+    ``e_i = (y_i - mean_g x_i) / X_hat_g`` against its *own* group's ratio
+    and HT denominator total — the grouped form of
+    :func:`repro.core.estimators.ht_ratio_variance_estimate`.  The
+    default denominator column ``x_i = 1`` recovers the plain Hajek mean;
+    the decayed mean passes its per-row discount factors, making the
+    estimate an exponentially-weighted average with the same linearized
+    variance treatment.
     """
-    residuals = (values - group_means[inv]) / group_denominators[inv]
+    x = np.ones_like(values) if denominators is None else denominators
+    residuals = (values - group_means[inv] * x) / group_denominators[inv]
     return total_variance_terms(residuals, probs)
 
 

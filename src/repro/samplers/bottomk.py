@@ -43,13 +43,21 @@ __all__ = ["BottomKSampler"]
 class _Entry:
     """One retained stream record, ordered by priority (max-heap via negation)."""
 
-    __slots__ = ("priority", "key", "weight", "value")
+    __slots__ = ("priority", "key", "weight", "value", "time")
 
-    def __init__(self, priority: float, key: object, weight: float, value: float):
+    def __init__(
+        self,
+        priority: float,
+        key: object,
+        weight: float,
+        value: float,
+        time: float | None = None,
+    ):
         self.priority = priority
         self.key = key
         self.weight = weight
         self.value = value
+        self.time = time
 
     def __lt__(self, other: "_Entry") -> bool:
         # heapq is a min-heap; we need the *largest* priority on top, so
@@ -84,6 +92,11 @@ class BottomKSampler(StreamSampler):
     query_capabilities = query_support(
         "sum", "count", "mean", "distinct", "topk", "quantile"
     )
+    #: Feeding ``time=`` values threads per-entry arrival times into the
+    #: sample, and the windowed query pass scopes by them (untimed rows
+    #: are excluded from time-scoped answers); a sketch fed no times at
+    #: all raises a clear error instead.
+    query_windowed = True
 
     def __init__(
         self,
@@ -126,7 +139,15 @@ class BottomKSampler(StreamSampler):
         """Offer one item; returns True when it is currently retained."""
         self.items_seen += 1
         r = self._priority(key, weight)
-        return self._offer(_Entry(r, key, float(weight), float(weight if value is None else value)))
+        return self._offer(
+            _Entry(
+                r,
+                key,
+                float(weight),
+                float(weight if value is None else value),
+                None if time is None else float(time),
+            )
+        )
 
     def _offer(self, entry: _Entry) -> bool:
         if entry.priority >= self._threshold_cap:
@@ -160,6 +181,7 @@ class BottomKSampler(StreamSampler):
             return
         w = _as_optional_array(weights, n, "weights")
         v = _as_optional_array(values, n, "values")
+        t = _as_optional_array(times, n, "times")
         u = self._batch_uniforms(keys, n)
         pr = np.asarray(
             self.family.inverse_cdf(u, 1.0 if w is None else w), dtype=float
@@ -177,6 +199,7 @@ class BottomKSampler(StreamSampler):
                     float(
                         (1.0 if w is None else w[i]) if v is None else v[i]
                     ),
+                    None if t is None else float(t[i]),
                 )
             )
 
@@ -200,9 +223,21 @@ class BottomKSampler(StreamSampler):
         return [e for e in self._heap if e.priority < t]
 
     def sample(self) -> Sample:
-        """Finalized sample; plugs into every Section 2 estimator."""
+        """Finalized sample; plugs into every Section 2 estimator.
+
+        When any retained entry carries an arrival time, the sample
+        attaches a ``times`` column (``NaN`` for entries fed without
+        one) so windowed/decayed queries can scope by it; a sketch fed
+        no times at all emits ``times=None``.
+        """
         entries = self._retained()
         t = self.threshold
+        times = None
+        if any(e.time is not None for e in entries):
+            times = np.array(
+                [np.nan if e.time is None else e.time for e in entries],
+                dtype=float,
+            )
         return Sample(
             keys=[e.key for e in entries],
             values=np.array([e.value for e in entries], dtype=float),
@@ -211,6 +246,7 @@ class BottomKSampler(StreamSampler):
             thresholds=np.full(len(entries), t),
             family=self.family,
             population_size=self.items_seen,
+            times=times,
         )
 
     # ------------------------------------------------------------------
@@ -284,7 +320,15 @@ class BottomKSampler(StreamSampler):
         # not exceed either (per-entry-max merging stays sound, §3.5).
         self._threshold_cap = min(self._threshold_cap, other._threshold_cap)
         for entry in list(other._heap):
-            self._offer(_Entry(entry.priority, entry.key, entry.weight, entry.value))
+            self._offer(
+                _Entry(
+                    entry.priority,
+                    entry.key,
+                    entry.weight,
+                    entry.value,
+                    entry.time,
+                )
+            )
         return self
 
     # ------------------------------------------------------------------
@@ -302,7 +346,8 @@ class BottomKSampler(StreamSampler):
         cap = self._threshold_cap
         return {
             "entries": [
-                (e.priority, e.key, e.weight, e.value) for e in self._heap
+                (e.priority, e.key, e.weight, e.value, e.time)
+                for e in self._heap
             ],
             "items_seen": self.items_seen,
             # None encodes "no cap" so the state stays JSON-friendly.

@@ -98,6 +98,11 @@ class SlidingWindowSampler(StreamSampler):
             "keys are double-counted by sum(1/p)"
         ),
     )
+    #: Window rows carry arrival times and per-arrival uniform inclusion,
+    #: so any sub-window of the retained window is answerable; the
+    #: planner's retention gate (:attr:`retention_horizon`) refuses
+    #: windows reaching past what the sampler still stores.
+    query_windowed = True
 
     def __init__(self, k: int, window: float, rng=None):
         if k < 2:
@@ -154,9 +159,16 @@ class SlidingWindowSampler(StreamSampler):
     # Stream interface
     # ------------------------------------------------------------------
     def advance(self, now: float) -> None:
-        """Expire candidates that left the window; drop twice-expired ones."""
+        """Expire candidates that left the window; drop twice-expired ones.
+
+        Bumps ``state_version`` only when something actually expires:
+        every read path (thresholds, samples, queries) calls this
+        defensively, and a no-op advance that still bumped the version
+        would make the query-result cache miss on every poll.
+        """
         cutoff_current = now - self.window
         cutoff_expired = now - 2.0 * self.window
+        mutated = False
         while self._arrival_order:
             rid = self._arrival_order[0]
             record = self._records.get(rid)
@@ -173,9 +185,17 @@ class SlidingWindowSampler(StreamSampler):
             self._cur_pri.pop(idx)
             self._cur_ids.pop(idx)
             self._expired.append((record.time, record.priority))
+            mutated = True
         while self._expired and self._expired[0][0] <= cutoff_expired:
             self._expired.popleft()
+            mutated = True
         self.max_expired = max(self.max_expired, len(self._expired))
+        if mutated:
+            self.__dict__["_state_version"] = (
+                self.__dict__.get("_state_version", 0) + 1
+            )
+
+    advance._bumps_state_version = True  # self-managed: bumps only on expiry
 
     def update(self, *args, **kwargs) -> bool:
         """Offer one arrival; returns True when it was stored.
@@ -200,13 +220,31 @@ class SlidingWindowSampler(StreamSampler):
                 raise TypeError(f"unexpected arguments {sorted(kwargs)}")
             value = 1.0 if value is None else float(value)
         else:
+            params = list(args)
+            if "t" not in kwargs:
+                # A call with no time at all — keyword-only, or a leading
+                # positional that cannot be a legacy time — is a missing
+                # required argument, not a KeyError('t') or a
+                # float-conversion ValueError.
+                legacy_time = False
+                if params:
+                    try:
+                        float(params[0])
+                        legacy_time = True
+                    except (TypeError, ValueError):
+                        pass
+                if not legacy_time:
+                    raise TypeError(
+                        "time= is required: every SlidingWindowSampler "
+                        "arrival needs a time (update(key, value=..., "
+                        "time=...))"
+                    )
             warnings.warn(
                 "SlidingWindowSampler.update(time, key, value) is "
                 "deprecated; use update(key, value=..., time=...)",
                 DeprecationWarning,
                 stacklevel=2,
             )
-            params = list(args)
             time = float(params.pop(0)) if params else float(kwargs.pop("t"))
             key = params.pop(0) if params else kwargs.pop("key")
             value = float(params.pop(0)) if params else float(kwargs.pop("value", 1.0))
@@ -571,6 +609,7 @@ class SlidingWindowSampler(StreamSampler):
             thresholds=np.full(len(chosen), threshold),
             family=self.family,
             population_size=None,
+            times=np.array([rec.time for rec in chosen], dtype=float),
         )
 
     def gl_sample(self, now: float) -> Sample:
@@ -586,6 +625,20 @@ class SlidingWindowSampler(StreamSampler):
         """Uniform window sample under the improved threshold."""
         t = self.improved_threshold(now)
         return self._sample_from(self._current_records(), t, strict=True)
+
+    @property
+    def retention_horizon(self) -> float | None:
+        """Earliest time the sampler can still answer about.
+
+        Arrivals at or before ``last_time - window`` have been (or are due
+        to be) deterministically expired — gone, not down-weighted — so
+        the query planner refuses windows reaching past this bound rather
+        than return silently truncated estimates.  ``None`` before the
+        first arrival.
+        """
+        if self.items_seen == 0:
+            return None
+        return self.last_time - self.window
 
     def sample(self) -> Sample:
         """The improved uniform window sample as of the latest arrival."""

@@ -25,7 +25,7 @@ import numpy as np
 from ..api import StreamSampler, query_support, register_sampler
 from ..api.protocol import _as_key_list, _as_optional_array, rng_from_state, rng_to_state
 from ..core.kernels import bottomk_candidates
-from ..core.priorities import Uniform01Priority
+from ..core.priorities import InverseWeightPriority
 from ..core.rng import as_generator
 from ..core.sample import Sample
 
@@ -60,33 +60,21 @@ class ExponentialDecaySampler(StreamSampler):
     """
 
     default_estimate_kind = "decayed_total"
-    #: Sample rows carry decayed values pre-divided by inclusion
-    #: (probability-1 rows): sums of those rows estimate decayed totals,
-    #: but no plug-in variance or ratio/CDF estimation survives the
-    #: pre-division.
+    #: Sample rows carry raw payloads with *genuine* decayed inclusion
+    #: probabilities ``min(1, w_i exp(lambda t_i) T)`` (per-row effective
+    #: thresholds under the inverse-weight family), so the full HT/Hajek
+    #: estimator suite applies: plain aggregates answer over all retained
+    #: history, and ``decay=``/``window=`` queries reproduce the decayed
+    #: estimates at any ``now``.
     query_capabilities = query_support(
-        "sum", "topk",
-        count=(
-            "rows are probability-1 with pre-divided decayed values; "
-            "sum(1/p) is just the retained-row count"
-        ),
-        mean=(
-            "values are pre-divided by inclusion probabilities; the Hajek "
-            "ratio denominator is unavailable"
-        ),
+        "sum", "count", "mean", "topk", "quantile",
         distinct=(
             "samples stream occurrences under decayed weights, not "
             "distinct keys"
         ),
-        quantile=(
-            "values are pre-divided by inclusion probabilities, so the "
-            "value distribution is not recoverable"
-        ),
     )
-    query_variance = (
-        "values are pre-divided by inclusion probabilities (thresholds "
-        "+inf); the HT plug-in variance is identically zero"
-    )
+    query_variance = True
+    query_windowed = True
 
     def __init__(self, k: int, decay_rate: float, rng=None):
         if k < 1:
@@ -120,13 +108,31 @@ class ExponentialDecaySampler(StreamSampler):
             if params or kwargs:
                 raise TypeError("too many arguments to update()")
         else:
+            params = list(args)
+            if "t" not in kwargs:
+                # A call with no time at all — keyword-only, or a leading
+                # positional that cannot be a legacy time — is a missing
+                # required argument, and it deserves a clear TypeError,
+                # not a KeyError('t') or a float-conversion ValueError.
+                legacy_time = False
+                if params:
+                    try:
+                        float(params[0])
+                        legacy_time = True
+                    except (TypeError, ValueError):
+                        pass
+                if not legacy_time:
+                    raise TypeError(
+                        "time= is required: every ExponentialDecaySampler "
+                        "item needs an arrival time (update(key, weight, "
+                        "value=..., time=...))"
+                    )
             warnings.warn(
                 "ExponentialDecaySampler.update(time, key, weight, value) "
                 "is deprecated; use update(key, weight, value=..., time=...)",
                 DeprecationWarning,
                 stacklevel=2,
             )
-            params = list(args)
             time = float(params.pop(0)) if params else float(kwargs.pop("t"))
             key = params.pop(0) if params else kwargs.pop("key")
             weight = (
@@ -244,29 +250,44 @@ class ExponentialDecaySampler(StreamSampler):
         """Keys of the currently retained sample."""
         return [e.key for e in self._retained()]
 
-    def sample(self) -> Sample:
-        """Retained items with decayed values pre-divided by inclusion.
+    @property
+    def last_time(self) -> float | None:
+        """Latest arrival time observed (None before the first item).
 
-        Thresholds are +inf (each value already carries its HT weight), so
-        ``sample().ht_total()`` equals ``estimate_decayed_total()`` at the
-        last arrival time.
+        The query planner reads this to anchor ``last=`` windows and
+        ``decay=`` ages when a query carries no explicit ``now=``.
         """
-        now = self._last_time
+        return None if math.isinf(self._last_time) else self._last_time
+
+    def sample(self) -> Sample:
+        """Retained items with genuine decayed inclusion probabilities.
+
+        Each row carries its raw payload, weight and arrival time; the
+        per-row effective threshold ``exp(log T + lambda t_i)`` under the
+        inverse-weight family makes the row's pseudo-inclusion probability
+        exactly ``min(1, w_i exp(log T + lambda t_i))`` — the sampler's
+        own :meth:`inclusion_probability`.  The exponent is capped at
+        ``1 - log w_i`` (where the probability is already pinned at 1) so
+        the thresholds stay finite for arbitrarily long streams.
+        """
         entries = self._retained()
-        values = [
-            e.weight
-            * math.exp(-self.decay_rate * max(0.0, now - e.time))
-            / self.inclusion_probability(e)
-            for e in entries
-        ]
+        n = len(entries)
+        times = np.array([e.time for e in entries], dtype=float)
+        weights = np.array([e.weight for e in entries], dtype=float)
+        log_t = self.log_threshold
+        with np.errstate(over="ignore"):
+            exponents = log_t + self.decay_rate * times
+        caps = 1.0 - np.log(weights) if n else np.empty(0)
+        thresholds = np.exp(np.minimum(exponents, caps))
         return Sample(
             keys=[e.key for e in entries],
-            values=np.asarray(values, dtype=float),
-            weights=np.array([e.weight for e in entries], dtype=float),
+            values=np.array([e.value for e in entries], dtype=float),
+            weights=weights,
             priorities=np.array([e.log_priority for e in entries], dtype=float),
-            thresholds=np.full(len(entries), np.inf),
-            family=Uniform01Priority(),
+            thresholds=thresholds,
+            family=InverseWeightPriority(),
             population_size=self.items_seen,
+            times=times,
         )
 
     # ------------------------------------------------------------------

@@ -98,7 +98,9 @@ assert _HEADER.unpack(_HTTP_GET)[0] > MAX_FRAME
 
 #: Query/estimate keyword options accepted over the wire.  Callable
 #: options (``where``, ``group_by``, ``weight_of``) are in-process only.
-_QUERY_OPTIONS = ("aggregate", "k", "q", "ci")
+_QUERY_OPTIONS = (
+    "aggregate", "k", "q", "ci", "window", "last", "decay", "now",
+)
 
 
 class FrameError(RuntimeError):

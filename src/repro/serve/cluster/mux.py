@@ -333,6 +333,17 @@ class TenantMuxSampler(StreamSampler):
         keys = [
             (tenant, key) for tenant, s in parts for key in s.keys
         ]
+        # The composite carries a time column when any part has one;
+        # parts without times contribute NaN rows (excluded by windowed
+        # masks), matching the per-row "untimed" convention.
+        times = None
+        if any(s.times is not None for _, s in parts):
+            times = np.concatenate([
+                s.times
+                if s.times is not None
+                else np.full(len(s.keys), np.nan)
+                for _, s in parts
+            ])
         return Sample(
             keys,
             np.concatenate([s.values for _, s in parts]),
@@ -340,6 +351,7 @@ class TenantMuxSampler(StreamSampler):
             np.concatenate([s.priorities for _, s in parts]),
             np.concatenate([s.thresholds for _, s in parts]),
             family=parts[0][1].family,
+            times=times,
         )
 
     def estimate_total(self, tenant: str | None = None, **kw):

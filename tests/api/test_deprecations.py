@@ -67,6 +67,27 @@ class TestLegacyUpdateSignatures:
                 legacy.update(float(i), i, 2.0)
         assert sorted(legacy.keys()) == sorted(modern.keys())
 
+    @pytest.mark.parametrize("build", [
+        lambda: ExponentialDecaySampler(8, 0.1, rng=0),
+        lambda: SlidingWindowSampler(k=8, window=1.0, rng=0),
+    ], ids=["time_decay", "sliding_window"])
+    def test_missing_time_is_a_clear_typeerror(self, build):
+        """A time-indexed sampler called with no resolvable time must say
+        so — the regression was an opaque ``KeyError: 't'`` (keyword-only
+        call) or a float-conversion ``ValueError`` (non-numeric leading
+        positional) escaping the legacy shim."""
+        with pytest.raises(TypeError, match="time= is required"):
+            build().update("item")
+        with pytest.raises(TypeError, match="time= is required"):
+            build().update(key="item", weight=2.0)
+
+    def test_leading_numeric_positional_still_routes_to_legacy(self):
+        """The guard must not break the deprecated time-first form."""
+        s = ExponentialDecaySampler(8, 0.1, rng=0)
+        with pytest.deprecated_call():
+            s.update(1.0, "item", 2.0)
+        assert s.keys() == ["item"]
+
     def test_grouped_distinct_group_first(self):
         legacy = GroupedDistinctSketch(m=2, k=4)
         modern = GroupedDistinctSketch(m=2, k=4)

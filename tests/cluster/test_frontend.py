@@ -118,6 +118,64 @@ class TestVerbs:
 
         run_async(body())
 
+    def test_windowed_query_round_trips_the_wire(self):
+        """window=/last=/decay=/now= ride the query verb end-to-end: a
+        JSON-list window coerces back to bounds, estimates match the
+        in-process answer, and the retention gate surfaces as a clean
+        error reply."""
+        import numpy as np
+
+        async def body():
+            async with served() as (cluster, client):
+                await client.create_tenant("tw", {
+                    "name": "sliding_window",
+                    "params": {"k": 128, "window": 4.0, "rng": 7},
+                })
+                rng = np.random.default_rng(0)
+                times = np.sort(rng.uniform(0.0, 4.0, 800))
+                keys = rng.integers(0, 10_000, 800)
+                await client.ingest_many(
+                    "tw", keys.tolist(), times=times.tolist()
+                )
+                await client.admin("flush")
+
+                wire = await client.query("tw", "count", last=1.0, ci=0.95)
+                local = await cluster.query("tw", "count", last=1.0, ci=0.95)
+                assert wire["estimate"] == pytest.approx(local.estimate)
+                assert wire["ci"] == pytest.approx(list(local.ci))
+
+                windowed = await client.query(
+                    "tw", "sum", window=[1.0, 2.0]
+                )
+                local_win = await cluster.query(
+                    "tw", "sum", window=(1.0, 2.0)
+                )
+                assert windowed["estimate"] == pytest.approx(
+                    local_win.estimate
+                )
+
+                # decay= and an explicit advancing now= over the wire.
+                await client.create_tenant("td", {
+                    "name": "time_decay",
+                    "params": {"k": 128, "decay_rate": 0.5, "rng": 3},
+                })
+                await client.ingest_many(
+                    "td", keys.tolist(), times=times.tolist()
+                )
+                await client.admin("flush")
+                at4 = await client.query("td", "sum", decay=0.5, now=4.0)
+                at6 = await client.query("td", "sum", decay=0.5, now=6.0)
+                assert at6["estimate"] == pytest.approx(
+                    at4["estimate"] * np.exp(-0.5 * 2.0)
+                )
+
+                # The retention gate comes back as an error reply, not a
+                # hung connection.
+                with pytest.raises(Exception, match="retains only"):
+                    await client.query("tw", "sum", window=[-5.0, 0.5])
+
+        run_async(body())
+
     def test_admin_lifecycle_and_pool_ops(self):
         async def body():
             async with served() as (cluster, client):

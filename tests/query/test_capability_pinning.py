@@ -37,7 +37,7 @@ def test_capability_table_covers_every_registered_name():
     table = capability_table()
     assert set(table) == set(available_samplers())
     for name, row in table.items():
-        assert tuple(row) == QUERY_AGGREGATES, name
+        assert tuple(row) == QUERY_AGGREGATES + ("windowed",), name
         for aggregate, entry in row.items():
             assert entry is True or (isinstance(entry, str) and entry), (
                 f"{name}.{aggregate} must be True or a non-empty reason"
@@ -59,6 +59,32 @@ def test_query_variance_declarations_are_wellformed():
     for name, cls in _stream_sampler_classes():
         flag = cls.query_variance
         assert flag is True or (isinstance(flag, str) and flag), name
+
+
+def test_query_windowed_declarations_are_wellformed():
+    for name, cls in _stream_sampler_classes():
+        flag = getattr(cls, "query_windowed")
+        assert flag is True or (isinstance(flag, str) and flag), name
+
+
+def test_windowed_declarations_match_time_indexed_samples():
+    """A class declaring ``query_windowed = True`` must actually emit a
+    time column from a time-fed stream (and the planner refuses the rest
+    with the declared reason — the drift this pin removes is a sampler
+    advertising windowed queries whose samples carry no times)."""
+    import numpy as np
+
+    sampler = repro.make_sampler("sliding_window", k=8, window=10.0)
+    for i in range(32):
+        sampler.update(i, time=float(i))
+    assert sampler.sample().times is not None
+    decayed = repro.make_sampler("time_decay", k=8, decay_rate=0.1)
+    for i in range(32):
+        decayed.update(i, time=float(i))
+    assert decayed.sample().times is not None
+    timed_bk = repro.make_sampler("bottom_k", k=8, rng=0)
+    timed_bk.update_many(np.arange(32), times=np.arange(32.0))
+    assert timed_bk.sample().times is not None
 
 
 def test_probability_one_samples_declare_no_variance_story():
@@ -149,6 +175,11 @@ def test_supported_aggregates_reads_instance_mirror():
         {"name": "bottom_k", "params": {"k": 4}}, n_shards=2
     )
     assert bk_engine.query_variance is True
+    # ... and the windowed declaration, so the planner's windowed gate
+    # sees the shard class's answer through the engine too.
+    assert isinstance(ShardedSampler.query_windowed, str)
+    assert bk_engine.query_windowed is True
+    assert engine.query_windowed == theta.query_windowed
 
 
 def test_gap_reason_lookup_rejects_unknown_aggregates():
@@ -169,7 +200,7 @@ def test_capability_markdown_is_faithful():
         name = line.split("`")[1]
         cells = [c.strip() for c in line.strip("|").split("|")][1:]
         row = table[name]
-        for aggregate, cell in zip(QUERY_AGGREGATES, cells):
+        for aggregate, cell in zip(QUERY_AGGREGATES + ("windowed",), cells):
             if row[aggregate] is True:
                 assert cell == "yes"
             else:
@@ -179,6 +210,71 @@ def test_capability_markdown_is_faithful():
         for entry in row.values():
             if entry is not True:
                 assert str(entry) in markdown
+
+
+# ----------------------------------------------------------------------
+# The estimate() facade and the query layer agree (both directions)
+# ----------------------------------------------------------------------
+def _timed_sliding_window():
+    sampler = repro.make_sampler("sliding_window", k=64, window=2.0, rng=11)
+    for i in range(400):
+        sampler.update(i, time=i * 0.01)
+    return sampler
+
+
+def _timed_decay():
+    sampler = repro.make_sampler("time_decay", k=64, decay_rate=0.5, rng=12)
+    for i in range(400):
+        sampler.update(i, time=i * 0.01)
+    return sampler
+
+
+def test_sliding_window_facade_and_query_agree():
+    """``estimate('window_count')`` and the declarative windowed count
+    answer the same question — and give the same number."""
+    sampler = _timed_sliding_window()
+    facade = sampler.estimate("window_count")
+    declarative = sampler.query("count").estimate
+    assert facade == pytest.approx(declarative)
+    # The other direction: every advertised aggregate actually runs.
+    for aggregate in sampler.supported_aggregates():
+        kw = {"k": 3} if aggregate == "topk" else (
+            {"q": 0.5} if aggregate == "quantile" else {}
+        )
+        sampler.query(aggregate, **kw)
+
+
+def test_time_decay_facade_and_query_agree():
+    """``estimate('decayed_total')`` equals ``query('sum', decay=rate)``:
+    the decayed HT total through the facade and through the windowed
+    query path are the same estimator over the same sample."""
+    sampler = _timed_decay()
+    facade = sampler.estimate("decayed_total")
+    declarative = sampler.query(
+        "sum", decay=sampler.decay_rate
+    ).estimate
+    assert facade == pytest.approx(declarative)
+    # Explicit now= matches the facade's now= too.
+    assert sampler.estimate("decayed_total", now=10.0) == pytest.approx(
+        sampler.query("sum", decay=sampler.decay_rate, now=10.0).estimate
+    )
+    for aggregate in sampler.supported_aggregates():
+        kw = {"k": 3} if aggregate == "topk" else (
+            {"q": 0.5} if aggregate == "quantile" else {}
+        )
+        sampler.query(aggregate, **kw)
+
+
+def test_unsupported_time_scope_is_refused_with_declared_reason():
+    """A sampler that declares no windowed story refuses window=/last=/
+    decay= with its declared reason — before any execution."""
+    from repro.query import QueryCapabilityError
+
+    sampler = repro.make_sampler("theta", k=32)
+    for i in range(100):
+        sampler.update(i)
+    with pytest.raises(QueryCapabilityError, match="time-scoped"):
+        sampler.query("distinct", last=5.0)
 
 
 def test_exclusions_are_exactly_the_non_protocol_classes():

@@ -1,0 +1,346 @@
+"""Windowed & decayed queries as first-class Query dimensions.
+
+The battery covers the whole path: spec validation, window-bound
+resolution, the executors' time-filtered pass (against exact manual HT
+over the masked rows), the planner's capability/retention gates, and the
+result-cache regression — an explicit advancing ``now=`` must never
+false-hit a stale decayed answer.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+
+import repro
+from repro.core import Sample, decay_factors, time_window_mask
+from repro.core.priorities import InverseWeightPriority
+from repro.query import Query, QueryCapabilityError
+from repro.query.executors import resolve_window_bounds, run_aggregate
+
+
+def _timed_sample(n=40, seed=0):
+    """A hand-built sample with known probabilities and times."""
+    rng = np.random.default_rng(seed)
+    values = rng.uniform(1.0, 5.0, n)
+    weights = np.ones(n)
+    times = np.sort(rng.uniform(0.0, 10.0, n))
+    thresholds = np.full(n, 0.8)
+    priorities = rng.uniform(0.0, 0.8, n)
+    return Sample(
+        keys=list(range(n)),
+        values=values,
+        weights=weights,
+        priorities=priorities,
+        thresholds=thresholds,
+        family=InverseWeightPriority(),
+        population_size=n * 3,
+        times=times,
+    )
+
+
+# ----------------------------------------------------------------------
+# Query spec: the new dimensions validate at construction
+# ----------------------------------------------------------------------
+class TestSpec:
+    def test_window_and_last_are_exclusive(self):
+        with pytest.raises(ValueError, match="not both"):
+            Query("sum", window=(0.0, 1.0), last=1.0)
+
+    def test_window_bounds_must_be_ordered(self):
+        with pytest.raises(ValueError, match="window"):
+            Query("sum", window=(2.0, 1.0))
+        with pytest.raises(ValueError, match="window"):
+            Query("sum", window=(1.0, 1.0))
+
+    def test_window_coerces_to_float_tuple(self):
+        q = Query("sum", window=[1, 3])  # JSON lists arrive over the wire
+        assert q.window == (1.0, 3.0)
+        assert isinstance(q.window, tuple)
+
+    def test_last_must_be_positive(self):
+        with pytest.raises(ValueError, match="last"):
+            Query("sum", last=0.0)
+        with pytest.raises(ValueError, match="last"):
+            Query("sum", last=-1.0)
+
+    def test_decay_must_be_positive(self):
+        with pytest.raises(ValueError, match="decay"):
+            Query("sum", decay=0.0)
+
+    @pytest.mark.parametrize("aggregate", ["distinct", "quantile"])
+    def test_decay_rejected_for_orderless_aggregates(self, aggregate):
+        kw = {"q": 0.5} if aggregate == "quantile" else {}
+        with pytest.raises(ValueError, match="decay= is not supported"):
+            Query(aggregate, decay=0.5, **kw)
+
+    def test_window_alone_fine_for_quantile(self):
+        Query("quantile", q=0.5, window=(0.0, 1.0))
+
+    def test_now_requires_a_time_scope(self):
+        with pytest.raises(ValueError, match="now= is only meaningful"):
+            Query("sum", now=5.0)
+
+    def test_fingerprint_includes_time_dimensions(self):
+        base = Query("sum").fingerprint()
+        assert Query("sum", last=1.0).fingerprint() != base
+        assert Query("sum", window=(0.0, 1.0)).fingerprint() != base
+        assert Query("sum", decay=0.5).fingerprint() != base
+        assert (
+            Query("sum", decay=0.5, now=1.0).fingerprint()
+            != Query("sum", decay=0.5, now=2.0).fingerprint()
+        )
+
+    def test_is_time_scoped(self):
+        assert not Query("sum").is_time_scoped
+        assert Query("sum", last=1.0).is_time_scoped
+        assert Query("sum", window=(0.0, 1.0)).is_time_scoped
+        assert Query("sum", decay=0.5).is_time_scoped
+
+
+# ----------------------------------------------------------------------
+# Window-bound resolution
+# ----------------------------------------------------------------------
+class TestResolveBounds:
+    def test_window_passes_through(self):
+        assert resolve_window_bounds(
+            Query("sum", window=(1.0, 3.0)), None
+        ) == (1.0, 3.0)
+
+    def test_last_anchors_at_now(self):
+        assert resolve_window_bounds(
+            Query("sum", last=2.0), 10.0
+        ) == (8.0, 10.0)
+
+    def test_last_without_now_is_an_error(self):
+        with pytest.raises(ValueError, match="cannot resolve now="):
+            resolve_window_bounds(Query("sum", last=2.0), None)
+
+    def test_decay_only_is_unbounded(self):
+        assert resolve_window_bounds(
+            Query("sum", decay=0.5), 10.0
+        ) == (None, None)
+
+
+# ----------------------------------------------------------------------
+# Executors: the time pass against exact manual HT arithmetic
+# ----------------------------------------------------------------------
+class TestExecution:
+    def test_windowed_sum_is_ht_over_masked_rows(self):
+        sample = _timed_sample()
+        lo, hi = 2.0, 7.0
+        result = run_aggregate(sample, Query("sum", window=(lo, hi)), False)
+        mask = time_window_mask(sample.times, lo, hi)
+        probs = sample.probabilities
+        expected = float(np.sum(sample.values[mask] / probs[mask]))
+        assert result.estimate == pytest.approx(expected)
+        assert result.sample_size == int(mask.sum())
+
+    def test_windowed_count_is_ht_count_over_masked_rows(self):
+        sample = _timed_sample()
+        lo, hi = 2.0, 7.0
+        result = run_aggregate(sample, Query("count", window=(lo, hi)), False)
+        mask = time_window_mask(sample.times, lo, hi)
+        expected = float(np.sum(1.0 / sample.probabilities[mask]))
+        assert result.estimate == pytest.approx(expected)
+
+    def test_window_is_half_open(self):
+        """(lo, hi]: a row exactly at lo is out, exactly at hi is in."""
+        sample = _timed_sample()
+        t = sample.times
+        lo, hi = float(t[3]), float(t[10])
+        mask = time_window_mask(t, lo, hi)
+        assert not mask[3] and mask[10]
+
+    def test_decayed_sum_discounts_by_age(self):
+        sample = _timed_sample()
+        rate, now = 0.3, 10.0
+        result = run_aggregate(
+            sample, Query("sum", decay=rate, now=now), False
+        )
+        d = decay_factors(sample.times, rate, now)
+        expected = float(np.sum(sample.values * d / sample.probabilities))
+        assert result.estimate == pytest.approx(expected)
+
+    def test_decayed_mean_is_ewma_ratio(self):
+        sample = _timed_sample()
+        rate, now = 0.3, 10.0
+        result = run_aggregate(
+            sample, Query("mean", decay=rate, now=now), False
+        )
+        d = decay_factors(sample.times, rate, now)
+        p = sample.probabilities
+        expected = float(
+            np.sum(sample.values * d / p) / np.sum(d / p)
+        )
+        assert result.estimate == pytest.approx(expected)
+
+    def test_decay_composes_with_window(self):
+        sample = _timed_sample()
+        rate, now = 0.3, 10.0
+        lo, hi = 2.0, 10.0
+        result = run_aggregate(
+            sample, Query("sum", window=(lo, hi), decay=rate, now=now), False
+        )
+        mask = time_window_mask(sample.times, lo, hi)
+        d = decay_factors(sample.times, rate, now)
+        p = sample.probabilities
+        expected = float(np.sum((sample.values * d / p)[mask]))
+        assert result.estimate == pytest.approx(expected)
+
+    def test_now_defaults_to_latest_sample_time(self):
+        sample = _timed_sample()
+        latest = float(np.nanmax(sample.times))
+        explicit = run_aggregate(
+            sample, Query("sum", decay=0.3, now=latest), False
+        )
+        implicit = run_aggregate(sample, Query("sum", decay=0.3), False)
+        assert implicit.estimate == pytest.approx(explicit.estimate)
+
+    def test_nan_times_are_excluded_from_windows(self):
+        sample = _timed_sample(n=20)
+        times = sample.times.copy()
+        times[5] = np.nan
+        sample = Sample(
+            keys=sample.keys, values=sample.values, weights=sample.weights,
+            priorities=sample.priorities, thresholds=sample.thresholds,
+            family=sample.family, population_size=sample.population_size,
+            times=times,
+        )
+        result = run_aggregate(
+            sample, Query("count", window=(-np.inf, np.inf)), False
+        )
+        assert result.sample_size == 19
+
+    def test_timeless_sample_refuses_time_scopes(self):
+        sampler = repro.make_sampler("bottom_k", k=16, rng=0)
+        sampler.update_many(np.arange(100))
+        with pytest.raises(ValueError, match="no time column"):
+            run_aggregate(sampler.sample(), Query("sum", last=1.0), False)
+
+    def test_windowed_variance_and_ci_attach(self):
+        sample = _timed_sample()
+        result = run_aggregate(
+            sample, Query("sum", window=(2.0, 7.0), ci=0.95), True
+        )
+        assert result.stderr is not None and result.stderr > 0
+        assert result.ci is not None
+        lo, hi = result.ci
+        assert lo <= result.estimate <= hi
+
+    def test_empty_window_yields_zero_sum_nan_mean(self):
+        sample = _timed_sample()
+        empty = (100.0, 101.0)
+        total = run_aggregate(sample, Query("sum", window=empty), False)
+        assert total.estimate == 0.0
+        mean = run_aggregate(sample, Query("mean", window=empty), False)
+        assert math.isnan(mean.estimate)
+
+    def test_grouped_windowed_mean(self):
+        """group_by composes with the time pass: per-group decayed means
+        match the per-group manual ratio."""
+        sample = _timed_sample()
+        groups = np.array([k % 2 for k in range(len(sample.keys))])
+        result = run_aggregate(
+            sample,
+            Query("mean", decay=0.3, now=10.0,
+                  group_by=lambda k: k % 2),
+            False,
+        )
+        d = decay_factors(sample.times, 0.3, 10.0)
+        p = sample.probabilities
+        for g in (0, 1):
+            m = groups == g
+            expected = float(
+                np.sum((sample.values * d / p)[m]) / np.sum((d / p)[m])
+            )
+            assert result.groups[g].estimate == pytest.approx(expected)
+
+
+# ----------------------------------------------------------------------
+# Planner gates
+# ----------------------------------------------------------------------
+class TestPlannerGates:
+    def test_windowless_sampler_is_refused(self):
+        sampler = repro.make_sampler("theta", k=32)
+        for i in range(50):
+            sampler.update(i)
+        with pytest.raises(QueryCapabilityError) as err:
+            sampler.query("distinct", window=(0.0, 1.0))
+        assert "time-scoped" in str(err.value)
+
+    def test_expired_window_is_refused_not_underestimated(self):
+        """sliding_window refuses a window reaching past its retention
+        horizon — those rows are *gone*, and a silent small answer would
+        be a lie, not an estimate."""
+        sampler = repro.make_sampler(
+            "sliding_window", k=32, window=1.0, rng=0
+        )
+        for i in range(200):
+            sampler.update(i, time=i * 0.01)
+        with pytest.raises(QueryCapabilityError, match="retains only"):
+            sampler.query("count", window=(0.0, 1.5))
+
+    def test_in_retention_window_is_answered(self):
+        sampler = repro.make_sampler(
+            "sliding_window", k=32, window=1.0, rng=0
+        )
+        for i in range(200):
+            sampler.update(i, time=i * 0.01)
+        result = sampler.query("count", last=0.5)
+        assert result.estimate > 0
+
+    def test_planner_anchors_now_at_sampler_last_time(self):
+        sampler = repro.make_sampler("time_decay", k=32, decay_rate=0.5, rng=0)
+        for i in range(100):
+            sampler.update(i, time=i * 0.1)
+        implicit = sampler.query("sum", decay=0.5).estimate
+        explicit = sampler.query("sum", decay=0.5, now=9.9).estimate
+        assert implicit == pytest.approx(explicit)
+
+
+# ----------------------------------------------------------------------
+# Result cache: time dimensions key the cache (the false-hit bugfix)
+# ----------------------------------------------------------------------
+class TestCacheRegression:
+    def test_advancing_now_refreshes_decayed_answers(self):
+        """Polling a decayed estimate with an advancing explicit ``now=``
+        and **no new updates** must decay further each poll — the old
+        (state_version, aggregate-only fingerprint) cache key returned
+        the first answer forever."""
+        sampler = repro.make_sampler("time_decay", k=32, decay_rate=1.0, rng=0)
+        for i in range(100):
+            sampler.update(i, time=i * 0.01)
+        answers = [
+            sampler.query("sum", decay=1.0, now=float(now)).estimate
+            for now in (1.0, 2.0, 3.0)
+        ]
+        # Strictly decaying: each later poll sees strictly older rows.
+        assert answers[0] > answers[1] > answers[2]
+        # And the decay is the analytic factor, not a cache artifact.
+        assert answers[1] == pytest.approx(answers[0] * math.exp(-1.0))
+
+    def test_distinct_windows_cache_distinctly(self):
+        sampler = repro.make_sampler(
+            "sliding_window", k=64, window=4.0, rng=0
+        )
+        for i in range(400):
+            sampler.update(i, time=i * 0.01)
+        wide = sampler.query("count", last=3.0).estimate
+        narrow = sampler.query("count", last=0.5).estimate
+        assert wide > narrow
+        # Re-polling returns the cached-but-correct per-window answers.
+        assert sampler.query("count", last=3.0).estimate == wide
+        assert sampler.query("count", last=0.5).estimate == narrow
+
+    def test_same_query_still_caches(self):
+        sampler = repro.make_sampler(
+            "sliding_window", k=64, window=4.0, rng=0
+        )
+        for i in range(100):
+            sampler.update(i, time=i * 0.01)
+        first = sampler.query("count", last=1.0)
+        again = sampler.query("count", last=1.0)
+        assert again is first  # same object: a genuine cache hit

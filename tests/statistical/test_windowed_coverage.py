@@ -1,0 +1,162 @@
+"""Monte-Carlo CI coverage for windowed & decayed queries.
+
+``tests/query/test_ci_coverage.py`` proves the interval story for plain
+subset-sum queries; this battery extends it to the time dimensions: the
+nominal-95% CIs that ``Query(..., last=W)`` / ``Query(..., decay=rate)``
+return must cover the *exact rescan* ground truth — the answer a full
+scan of the raw stream restricted to the same window (or discounted by
+the same decay) would give — at >= 90% empirically.
+
+Cases: windowed sum/count/mean on ``sliding_window`` (the acceptance
+check: ``Query(last=W)`` matches exact rescan within CI tolerance),
+decayed sum/count/mean plus a pure-window sum on ``time_decay`` (the
+samplers whose probability-1 refusal this PR replaced with genuine
+decayed inclusion probabilities), and a windowed sum on ``bottom_k`` fed
+``times=``.
+
+Method: ``TRIALS`` seeded replications, fresh sampler RNG per trial over
+one fixed timed stream; coverage is asserted against a 90% floor minus
+binomial slack so the check scales soundly with ``REPRO_STAT_TRIALS``.
+"""
+
+from __future__ import annotations
+
+import math
+import os
+from dataclasses import dataclass
+from typing import Callable
+
+import numpy as np
+import pytest
+
+from repro import make_sampler
+
+pytestmark = pytest.mark.statistical
+
+TRIALS = int(os.environ.get("REPRO_STAT_TRIALS", "80"))
+FLOOR = 0.90
+Z = 4.0
+
+N = 2000
+T_MAX = 10.0
+DECAY = 0.3
+
+
+def _build_stream() -> dict:
+    rng = np.random.default_rng(42)
+    times = np.sort(rng.uniform(0.0, T_MAX, N))
+    values = np.random.default_rng(43).lognormal(0.0, 0.6, N)
+    keys = np.arange(N, dtype=np.int64)
+    return {"keys": keys, "values": values, "times": times}
+
+
+STREAM = _build_stream()
+
+
+def _rescan_window(agg: str, lo: float, hi: float) -> float:
+    """Exact full-scan answer over the raw stream, restricted to (lo, hi]."""
+    t, v = STREAM["times"], STREAM["values"]
+    mask = (t > lo) & (t <= hi)
+    if agg == "sum":
+        return float(v[mask].sum())
+    if agg == "count":
+        return float(mask.sum())
+    return float(v[mask].mean())
+
+
+def _rescan_decayed(agg: str) -> float:
+    """Exact decay-discounted answer at ``now`` = the last arrival."""
+    t, v = STREAM["times"], STREAM["values"]
+    d = np.exp(-DECAY * (t[-1] - t))
+    if agg == "sum":
+        return float((v * d).sum())
+    if agg == "count":
+        return float(d.sum())
+    return float((v * d).sum() / d.sum())
+
+
+@dataclass
+class WindowedCase:
+    label: str
+    build: Callable[[int], object]
+    query_kw: dict
+    truth: float
+
+
+def _sliding(seed: int):
+    s = make_sampler("sliding_window", k=300, window=3.0, rng=seed)
+    s.update_many(STREAM["keys"], values=STREAM["values"],
+                  times=STREAM["times"])
+    return s
+
+
+def _decayed(seed: int):
+    s = make_sampler("time_decay", k=300, decay_rate=DECAY, rng=seed)
+    s.update_many(STREAM["keys"], values=STREAM["values"],
+                  times=STREAM["times"])
+    return s
+
+
+def _bottomk(seed: int):
+    s = make_sampler("bottom_k", k=300, rng=seed)
+    s.update_many(STREAM["keys"], values=STREAM["values"],
+                  times=STREAM["times"])
+    return s
+
+
+_LAST = 2.0
+_T_END = float(STREAM["times"][-1])
+
+CASES = [
+    # The acceptance check: Query(last=W) on sliding_window vs rescan.
+    WindowedCase(
+        f"sliding_window/{agg}/last",
+        _sliding,
+        {"aggregate": agg, "last": _LAST, "ci": 0.95},
+        _rescan_window(agg, _T_END - _LAST, _T_END),
+    )
+    for agg in ("sum", "count", "mean")
+] + [
+    # Genuine decayed probabilities: decay= answers carry honest CIs.
+    WindowedCase(
+        f"time_decay/{agg}/decay",
+        _decayed,
+        {"aggregate": agg, "decay": DECAY, "ci": 0.95},
+        _rescan_decayed(agg),
+    )
+    for agg in ("sum", "count", "mean")
+] + [
+    # Pure window on the decay sketch (it retains all history).
+    WindowedCase(
+        "time_decay/sum/window",
+        _decayed,
+        {"aggregate": "sum", "window": (6.0, 9.0), "ci": 0.95},
+        _rescan_window("sum", 6.0, 9.0),
+    ),
+    # Plain bottom-k fed times= answers windowed sums too.
+    WindowedCase(
+        "bottom_k/sum/window",
+        _bottomk,
+        {"aggregate": "sum", "window": (4.0, 8.0), "ci": 0.95},
+        _rescan_window("sum", 4.0, 8.0),
+    ),
+]
+
+
+@pytest.mark.parametrize("case", CASES, ids=[c.label for c in CASES])
+def test_windowed_ci_coverage(case):
+    hits = 0
+    for trial in range(TRIALS):
+        sampler = case.build(10_000 + trial)
+        result = sampler.query(**case.query_kw)
+        assert result.ci is not None, case.label
+        lo, hi = result.ci
+        assert math.isfinite(lo) and math.isfinite(hi), case.label
+        if lo <= case.truth <= hi:
+            hits += 1
+    coverage = hits / TRIALS
+    slack = Z * math.sqrt(FLOOR * (1.0 - FLOOR) / TRIALS)
+    assert coverage >= FLOOR - slack, (
+        f"{case.label}: empirical coverage {coverage:.3f} below "
+        f"{FLOOR} - {slack:.3f} over {TRIALS} trials"
+    )
